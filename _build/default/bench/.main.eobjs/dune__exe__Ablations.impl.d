@@ -1,0 +1,1 @@
+bench/ablations.ml: Array Gc List Pequod_apps Pequod_core Printf Rng Scale Strkey Tablefmt Unix

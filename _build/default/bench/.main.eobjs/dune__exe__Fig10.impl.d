@@ -1,0 +1,1 @@
+bench/fig10.ml: Array Gc Hashtbl List Pequod_apps Pequod_sim Printf Rng Scale String Strkey Tablefmt

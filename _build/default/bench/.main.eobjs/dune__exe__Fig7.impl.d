@@ -1,0 +1,1 @@
+bench/fig7.ml: Gc List Pequod_apps Printf Rng Scale Tablefmt

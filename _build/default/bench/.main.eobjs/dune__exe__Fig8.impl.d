@@ -1,0 +1,1 @@
+bench/fig8.ml: Array Gc List Pequod_apps Pequod_core Printf Rng Scale Strkey Tablefmt Unix

@@ -1,0 +1,1 @@
+bench/fig9.ml: Gc List Pequod_apps Rng Scale Tablefmt

@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Fig10 Fig7 Fig8 Fig9 List Micro Printf Scale Stats Sys

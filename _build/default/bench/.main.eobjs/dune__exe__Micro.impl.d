@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Hashtbl Instance List Measure Pequod_pattern Pequod_proto Pequod_store Printf Staged Strkey Tablefmt Test Time Toolkit

@@ -1,0 +1,150 @@
+(** Figure 10: distributed scalability (§5.5).
+
+    A fixed Twip workload runs against a cluster with a fixed backing
+    store and a growing set of compute servers. The paper scales 12 -> 48
+    compute servers for a 3x throughput gain (4x would be ideal); base
+    memory grows slightly with duplicated subscription state, compute
+    memory grows with base-data duplication, and the inter-server
+    subscription share of network traffic rises from ~10% to ~16%.
+
+    Throughput here is client operations divided by the bottleneck compute
+    node's accumulated work units (store operations + message handling) —
+    the same CPU bottleneck the paper measures. *)
+
+module Event = Pequod_sim.Event
+module Cluster = Pequod_sim.Cluster
+module Social_graph = Pequod_apps.Social_graph
+module Workload = Pequod_apps.Workload
+module Twip = Pequod_apps.Twip
+
+type row = {
+  ncompute : int;
+  qps : float;
+  speedup : float;
+  base_memory : int;
+  compute_memory : int;
+  subscription_share : float;
+}
+
+let partition_of nbase ~table ~lo =
+  match table with
+  | "p" | "s" -> (
+    match String.split_on_char '|' lo with
+    | _ :: who :: _ -> Some (Hashtbl.hash who mod nbase)
+    | _ -> Some 0)
+  | _ -> None
+
+(* work units per second of server CPU: one unit is one store operation
+   or equivalent message-handling work; ~2.5us each as measured for this
+   engine. Only relative throughput matters for the scaling shape. *)
+let units_per_second = 400_000.0
+
+let run_point ~graph ~ops ~nbase ~ncompute ~seed =
+  ignore seed;
+  let event = Event.create () in
+  let cluster =
+    Cluster.create ~event ~nbase ~ncompute ~partition:(fun ~table ~lo ->
+        partition_of nbase ~table ~lo)
+      ()
+  in
+  Cluster.add_join cluster Twip.timeline_join;
+  let nusers = Social_graph.nusers graph in
+  let compute_ids = Array.of_list (Cluster.compute_ids cluster) in
+  let compute_of u = compute_ids.(u mod Array.length compute_ids) in
+  (* load the graph into the backing store *)
+  for u = 0 to nusers - 1 do
+    let user = Social_graph.user_name u in
+    Array.iter
+      (fun p ->
+        Cluster.client_put cluster (Printf.sprintf "s|%s|%s" user (Social_graph.user_name p)) "1")
+      (Social_graph.following graph u)
+  done;
+  Event.run event;
+  (* warm the caches: log every user in on its compute server (§5.5) *)
+  for u = 0 to nusers - 1 do
+    let user = Social_graph.user_name u in
+    Cluster.client_scan cluster ~via:(compute_of u) ~lo:(Printf.sprintf "t|%s|" user)
+      ~hi:(Strkey.prefix_upper (Printf.sprintf "t|%s|" user))
+      (fun _ -> ())
+  done;
+  Event.run event;
+  Cluster.mark_epoch cluster;
+  let checks = ref 0 in
+  Array.iter
+    (fun op ->
+      (match op with
+      | Workload.Login u | Workload.Check u ->
+        incr checks;
+        let user = Social_graph.user_name u in
+        Cluster.client_scan cluster ~via:(compute_of u) ~lo:(Printf.sprintf "t|%s|" user)
+          ~hi:(Strkey.prefix_upper (Printf.sprintf "t|%s|" user))
+          (fun _ -> ())
+      | Workload.Subscribe (u, p) ->
+        Cluster.client_put cluster
+          (Printf.sprintf "s|%s|%s" (Social_graph.user_name u) (Social_graph.user_name p))
+          "1"
+      | Workload.Post (p, time) ->
+        let poster = Social_graph.user_name p in
+        Cluster.client_put cluster
+          (Printf.sprintf "p|%s|%s" poster (Strkey.encode_time time))
+          (Twip.tweet_text poster time));
+      Event.run event)
+    ops;
+  Event.run event;
+  let work = Cluster.bottleneck_work cluster in
+  let qps = float_of_int !checks /. (float_of_int work /. units_per_second) in
+  let sb = Cluster.server_bytes cluster and cb = Cluster.client_bytes cluster in
+  ( qps,
+    Cluster.total_memory cluster (Cluster.base_ids cluster),
+    Cluster.total_memory cluster (Cluster.compute_ids cluster),
+    float_of_int sb /. float_of_int (max 1 (sb + cb)) )
+
+let default_points = [ 12; 24; 36; 48 ]
+
+let run ?(points = default_points) (scale : Scale.t) =
+  let rng = Rng.create scale.Scale.seed in
+  let nusers = Scale.i scale 2_000 in
+  let graph = Social_graph.generate ~rng ~nusers ~avg_follows:10 () in
+  let w =
+    Workload.generate ~rng:(Rng.create (scale.Scale.seed + 3)) ~graph ~active_fraction:1.0
+      ~total_ops:(Scale.i scale 30_000) ()
+  in
+  let nbase = 6 in
+  let rows =
+    List.map
+      (fun ncompute ->
+        let qps, base_memory, compute_memory, subscription_share =
+          run_point ~graph ~ops:w.Workload.ops ~nbase ~ncompute ~seed:scale.Scale.seed
+        in
+        Gc.full_major ();
+        (ncompute, qps, base_memory, compute_memory, subscription_share))
+      points
+  in
+  let base_qps = match rows with (_, q, _, _, _) :: _ -> q | [] -> 1.0 in
+  List.map
+    (fun (ncompute, qps, base_memory, compute_memory, subscription_share) ->
+      { ncompute; qps; speedup = qps /. base_qps; base_memory; compute_memory;
+        subscription_share })
+    rows
+
+let print rows =
+  let t =
+    Tablefmt.create ~title:"Figure 10: distributed Twip scalability"
+      ~headers:
+        [ "Compute servers"; "QPS (k/s)"; "Speedup"; "Base mem (MB)"; "Compute mem (MB)";
+          "Subscr. traffic" ]
+      ~aligns:[ Tablefmt.Right; Right; Right; Right; Right; Right ]
+  in
+  List.iter
+    (fun r ->
+      Tablefmt.add_row t
+        [
+          string_of_int r.ncompute;
+          Tablefmt.fmt_float ~decimals:1 (r.qps /. 1000.0);
+          Printf.sprintf "%.2fx" r.speedup;
+          Tablefmt.fmt_float ~decimals:1 (float_of_int r.base_memory /. 1048576.0);
+          Tablefmt.fmt_float ~decimals:1 (float_of_int r.compute_memory /. 1048576.0);
+          Printf.sprintf "%.1f%%" (100.0 *. r.subscription_share);
+        ])
+    rows;
+  Tablefmt.print t

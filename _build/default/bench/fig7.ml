@@ -1,0 +1,92 @@
+(** Figure 7: time to process a Twip experiment to completion on Pequod,
+    Redis, client Pequod, memcached, and PostgreSQL (§5.2).
+
+    Paper result (multicore, 1.8M users, 62M checks):
+      Pequod 197.06s (1.00x), Redis 1.33x, Client Pequod 1.64x,
+      memcached 3.98x, PostgreSQL 9.55x.
+
+    The shape to reproduce: Pequod fastest; Redis close behind; client
+    Pequod penalized by extra RPCs and lack of server-side optimizations;
+    memcached far behind on the write-heavy mix (append copies); the
+    relational engine slowest by a large factor. *)
+
+module Twip = Pequod_apps.Twip
+module Social_graph = Pequod_apps.Social_graph
+module Workload = Pequod_apps.Workload
+
+type row = {
+  system : string;
+  runtime : float;
+  factor : float;
+  rpcs : int;
+  memory : int;
+}
+
+let run (scale : Scale.t) =
+  let rng = Rng.create scale.Scale.seed in
+  (* denser graph and more checks per user, closer to the paper's regime
+     (Twitter users average >100 followees; checks outnumber posts 100:1) *)
+  let nusers = Scale.i scale 1_200 in
+  let graph = Social_graph.generate ~rng ~nusers ~avg_follows:30 () in
+  let total_ops = Scale.i scale 240_000 in
+  let make_workload () =
+    (* same seed: every system sees the identical op stream *)
+    Workload.generate ~rng:(Rng.create (scale.Scale.seed + 1)) ~graph ~total_ops ()
+  in
+  (* every system runs as a forked server process; each op is a real
+     loopback-TCP RPC, as in the paper's deployment *)
+  let systems =
+    [
+      (fun () -> Twip.pequod ~deployment:Twip.Separate_process ());
+      (fun () -> Twip.redis ~deployment:Twip.Separate_process ());
+      (fun () -> Twip.client_pequod ~deployment:Twip.Separate_process ());
+      (fun () -> Twip.memcached ~deployment:Twip.Separate_process ());
+      (fun () -> Twip.postgres ~deployment:Twip.Separate_process ());
+    ]
+  in
+  let preload = Scale.i scale 10_000 in
+  let results =
+    List.map
+      (fun mk ->
+        let b = mk () in
+        (* old-post corpus first (no fan-out: graph not loaded yet),
+           then the social graph *)
+        Twip.preload_posts b graph ~rng:(Rng.create (scale.Scale.seed + 9)) ~nposts:preload;
+        Twip.load_graph b graph;
+        let r = Twip.run ~initial_clock:1_000_000 b graph (make_workload ()) in
+        b.Twip.shutdown ();
+        Gc.full_major ();
+        r)
+      systems
+  in
+  let base =
+    match results with r :: _ -> r.Twip.elapsed | [] -> 1.0
+  in
+  let rows =
+    List.map
+      (fun (r : Twip.run_result) ->
+        { system = r.Twip.system; runtime = r.Twip.elapsed; factor = r.Twip.elapsed /. base;
+          rpcs = r.Twip.rpcs; memory = r.Twip.memory })
+      results
+  in
+  (* present sorted by runtime like the paper's table *)
+  List.sort (fun a b -> compare a.runtime b.runtime) rows
+
+let print rows =
+  let t =
+    Tablefmt.create ~title:"Figure 7: Twip system comparison (smaller is better)"
+      ~headers:[ "System"; "Runtime (s)"; "Factor"; "RPCs"; "Memory (MB)" ]
+      ~aligns:[ Tablefmt.Left; Right; Right; Right; Right ]
+  in
+  List.iter
+    (fun r ->
+      Tablefmt.add_row t
+        [
+          r.system;
+          Tablefmt.fmt_float ~decimals:2 r.runtime;
+          Printf.sprintf "(%.2fx)" r.factor;
+          string_of_int r.rpcs;
+          Tablefmt.fmt_float ~decimals:1 (float_of_int r.memory /. 1048576.0);
+        ])
+    rows;
+  Tablefmt.print t

@@ -1,0 +1,120 @@
+(** Figure 8: materialization strategy comparison (§5.3).
+
+    A check+post-only Twip workload with p% active users (check:post ratio
+    p:1). Three strategies:
+    - {e none}: the timeline join is installed [pull]; every check
+      recomputes from base data and nothing is cached;
+    - {e full}: every user's timeline is materialized up front and kept up
+      to date, active or not;
+    - {e dynamic}: Pequod's default — materialize on first access, then
+      maintain incrementally.
+
+    The paper's shape: no-materialization is competitive only at very low
+    p and blows up as checks dominate; dynamic beats full until ~90%
+    active; full is slightly better (1.08x) at 100%. *)
+
+module Server = Pequod_core.Server
+module Config = Pequod_core.Config
+module Social_graph = Pequod_apps.Social_graph
+module Workload = Pequod_apps.Workload
+module Twip = Pequod_apps.Twip
+
+type strategy = None_ | Full | Dynamic
+
+let strategy_name = function None_ -> "none" | Full -> "full" | Dynamic -> "dynamic"
+
+type row = { active_pct : int; runtimes : (strategy * float) list }
+
+let join_text = function
+  | None_ -> "t|<user>|<time>|<poster> = pull check s|<user>|<poster> copy p|<poster>|<time>"
+  | Full | Dynamic -> Twip.timeline_join
+
+let run_one ~graph ~strategy ~active_pct ~posts ~seed =
+  let s = Server.create () in
+  Server.add_join_exn s (join_text strategy);
+  (* load subscriptions *)
+  for u = 0 to Social_graph.nusers graph - 1 do
+    let user = Social_graph.user_name u in
+    Array.iter
+      (fun p -> Server.put s (Printf.sprintf "s|%s|%s" user (Social_graph.user_name p)) "1")
+      (Social_graph.following graph u)
+  done;
+  let w =
+    Workload.checks_and_posts ~rng:(Rng.create seed) ~graph
+      ~active_fraction:(float_of_int active_pct /. 100.0)
+      ~nchecks:(posts * active_pct) ~nposts:posts ()
+  in
+  let timeline user since =
+    Server.scan s
+      ~lo:(Printf.sprintf "t|%s|%s" user since)
+      ~hi:(Strkey.prefix_upper (Printf.sprintf "t|%s|" user))
+  in
+  let t0 = Unix.gettimeofday () in
+  (* full materialization: compute every timeline up front *)
+  if strategy = Full then
+    for u = 0 to Social_graph.nusers graph - 1 do
+      ignore (timeline (Social_graph.user_name u) (Strkey.encode_time 0))
+    done;
+  let last_seen = Array.make (Social_graph.nusers graph) 0 in
+  let clock = ref 0 in
+  Array.iter
+    (fun op ->
+      match op with
+      | Workload.Check u ->
+        ignore (timeline (Social_graph.user_name u) (Strkey.encode_time (last_seen.(u) + 1)));
+        last_seen.(u) <- !clock
+      | Workload.Post (p, time) ->
+        clock := max !clock time;
+        let poster = Social_graph.user_name p in
+        Server.put s
+          (Printf.sprintf "p|%s|%s" poster (Strkey.encode_time time))
+          (Twip.tweet_text poster time)
+      | Workload.Login _ | Workload.Subscribe _ -> ())
+    w.Workload.ops;
+  Unix.gettimeofday () -. t0
+
+let default_points = [ 1; 5; 10; 25; 50; 75; 90; 100 ]
+
+let run ?(points = default_points) (scale : Scale.t) =
+  let rng = Rng.create scale.Scale.seed in
+  let nusers = Scale.i scale 1_500 in
+  let graph = Social_graph.generate ~rng ~nusers ~avg_follows:10 () in
+  let posts = Scale.i scale 400 in
+  List.map
+    (fun active_pct ->
+      let runtimes =
+        List.map
+          (fun strategy ->
+            let t = run_one ~graph ~strategy ~active_pct ~posts ~seed:(scale.Scale.seed + 7) in
+            Gc.full_major ();
+            (strategy, t))
+          [ None_; Full; Dynamic ]
+      in
+      { active_pct; runtimes })
+    points
+
+let print rows =
+  let t =
+    Tablefmt.create
+      ~title:"Figure 8: materialization strategy, runtime (s) vs % active users"
+      ~headers:[ "% active"; "No materialization"; "Full"; "Dynamic"; "Best" ]
+      ~aligns:[ Tablefmt.Right; Right; Right; Right; Left ]
+  in
+  List.iter
+    (fun r ->
+      let get s = List.assoc s r.runtimes in
+      let best, _ =
+        List.fold_left
+          (fun (bs, bt) (s, rt) -> if rt < bt then (s, rt) else (bs, bt))
+          (None_, get None_) r.runtimes
+      in
+      Tablefmt.add_row t
+        [
+          string_of_int r.active_pct;
+          Tablefmt.fmt_float ~decimals:3 (get None_);
+          Tablefmt.fmt_float ~decimals:3 (get Full);
+          Tablefmt.fmt_float ~decimals:3 (get Dynamic);
+          strategy_name best;
+        ])
+    rows;
+  Tablefmt.print t

@@ -1,0 +1,74 @@
+(** Figure 9: Newp interleaved vs non-interleaved cache joins across vote
+    rates (§5.4).
+
+    Paper shape: the interleaved joins (one scan per article page) beat
+    separate ranges (many gets in two round trips) at every vote rate
+    until writes are very common; the crossover sits around a 90% vote
+    rate, where the per-vote precomputation outweighs saved gets. *)
+
+module Newp = Pequod_apps.Newp
+
+type row = {
+  vote_rate : int;
+  interleaved : float;
+  separate : float;
+  rpcs_inter : int;
+  rpcs_sep : int;
+}
+
+let default_rates = [ 0; 10; 25; 50; 75; 90; 100 ]
+
+let run ?(rates = default_rates) (scale : Scale.t) =
+  (* the paper's ratios: 10 comments and 20 votes per article, 20
+     comments per user (100K articles, 50K users, 1M comments, 2M votes) *)
+  let d =
+    {
+      Newp.narticles = Scale.i scale 2_000;
+      nusers = Scale.i scale 500;
+      ncomments = Scale.i scale 20_000;
+      nvotes = Scale.i scale 40_000;
+    }
+  in
+  let nsessions = Scale.i scale 15_000 in
+  List.map
+    (fun vote_rate ->
+      let run_variant interleaved =
+        let b = Newp.make ~interleaved ~deployment:Newp.Separate_process () in
+        Newp.populate b ~rng:(Rng.create scale.Scale.seed) d;
+        let r =
+          Newp.run_sessions b ~rng:(Rng.create (scale.Scale.seed + vote_rate)) d ~nsessions
+            ~vote_rate:(float_of_int vote_rate /. 100.0)
+        in
+        b.Newp.shutdown ();
+        Gc.full_major ();
+        r
+      in
+      let ri = run_variant true in
+      let rs = run_variant false in
+      {
+        vote_rate;
+        interleaved = ri.Newp.elapsed;
+        separate = rs.Newp.elapsed;
+        rpcs_inter = ri.Newp.rpcs;
+        rpcs_sep = rs.Newp.rpcs;
+      })
+    rates
+
+let print rows =
+  let t =
+    Tablefmt.create ~title:"Figure 9: Newp page construction, runtime (s) vs vote rate"
+      ~headers:[ "Vote rate %"; "Interleaved"; "Non-interleaved"; "RPCs (int)"; "RPCs (sep)" ]
+      ~aligns:[ Tablefmt.Right; Right; Right; Right; Right ]
+  in
+  List.iter
+    (fun r ->
+      Tablefmt.add_row t
+        [
+          string_of_int r.vote_rate;
+          Tablefmt.fmt_float ~decimals:3 r.interleaved;
+          Tablefmt.fmt_float ~decimals:3 r.separate;
+          string_of_int r.rpcs_inter;
+          string_of_int r.rpcs_sep;
+        ])
+    rows;
+  Tablefmt.print t

@@ -1,0 +1,97 @@
+(** The benchmark harness: regenerates every table and figure of the
+    paper's evaluation (§5) plus the §3/§4 ablations.
+
+    {v
+    dune exec bench/main.exe                    # everything, default scale
+    dune exec bench/main.exe -- fig7 fig9       # selected experiments
+    dune exec bench/main.exe -- all --scale 2.0 # bigger workloads
+    v} *)
+
+let usage =
+  "usage: main.exe [fig7|fig8|fig9|fig10|ablations|micro|all]... [--scale F] [--seed N]"
+
+type selection = {
+  mutable fig7 : bool;
+  mutable fig8 : bool;
+  mutable fig9 : bool;
+  mutable fig10 : bool;
+  mutable ablations : bool;
+  mutable micro : bool;
+}
+
+let () =
+  let sel =
+    { fig7 = false; fig8 = false; fig9 = false; fig10 = false; ablations = false; micro = false }
+  in
+  let scale = ref Scale.default.Scale.factor in
+  let seed = ref Scale.default.Scale.seed in
+  let any = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "fig7" :: rest ->
+      any := true;
+      sel.fig7 <- true;
+      parse rest
+    | "fig8" :: rest ->
+      any := true;
+      sel.fig8 <- true;
+      parse rest
+    | "fig9" :: rest ->
+      any := true;
+      sel.fig9 <- true;
+      parse rest
+    | "fig10" :: rest ->
+      any := true;
+      sel.fig10 <- true;
+      parse rest
+    | "ablations" :: rest ->
+      any := true;
+      sel.ablations <- true;
+      parse rest
+    | "micro" :: rest ->
+      any := true;
+      sel.micro <- true;
+      parse rest
+    | "all" :: rest ->
+      any := true;
+      sel.fig7 <- true;
+      sel.fig8 <- true;
+      sel.fig9 <- true;
+      sel.fig10 <- true;
+      sel.ablations <- true;
+      parse rest
+    | "--scale" :: v :: rest ->
+      scale := float_of_string v;
+      parse rest
+    | "--seed" :: v :: rest ->
+      seed := int_of_string v;
+      parse rest
+    | arg :: _ ->
+      prerr_endline ("unknown argument: " ^ arg);
+      prerr_endline usage;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if not !any then begin
+    sel.fig7 <- true;
+    sel.fig8 <- true;
+    sel.fig9 <- true;
+    sel.fig10 <- true;
+    sel.ablations <- true
+  end;
+  let scale = { Scale.factor = !scale; seed = !seed } in
+  Printf.printf "Pequod benchmark harness (scale %.2f, seed %d)\n" scale.Scale.factor
+    scale.Scale.seed;
+  Printf.printf
+    "Paper scales are cluster-sized; these runs reproduce each result's shape locally.\n\n";
+  let section name f =
+    Printf.printf "--- %s ---\n%!" name;
+    let (), elapsed = Stats.time f in
+    Printf.printf "(%s took %.1fs)\n\n%!" name elapsed
+  in
+  if sel.fig7 then section "fig7" (fun () -> Fig7.print (Fig7.run scale));
+  if sel.fig8 then section "fig8" (fun () -> Fig8.print (Fig8.run scale));
+  if sel.fig9 then section "fig9" (fun () -> Fig9.print (Fig9.run scale));
+  if sel.fig10 then section "fig10" (fun () -> Fig10.print (Fig10.run scale));
+  if sel.ablations then section "ablations" (fun () -> Ablations.print (Ablations.run scale));
+  if sel.micro then section "micro" (fun () -> Micro.run_and_print ())

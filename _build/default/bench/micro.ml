@@ -1,0 +1,180 @@
+(** Bechamel microbenchmarks of the store primitives: the red-black tree
+    against the stdlib containers, interval-tree stabbing, pattern
+    matching, and the wire codec. These quantify the §6 discussion that
+    ordered stores pay versus hash tables, and what the per-operation
+    costs underlying the macro results are. *)
+
+open Bechamel
+open Toolkit
+
+module Rbtree = Pequod_store.Rbtree
+module Interval_map = Pequod_store.Interval_map
+module Pattern = Pequod_pattern.Pattern
+module Message = Pequod_proto.Message
+
+let nkeys = 10_000
+
+let keys = Array.init nkeys (fun i -> Printf.sprintf "t|u%05d|%010d|p%03d" (i mod 97) i (i mod 31))
+
+let make_rbtree () =
+  let t = Rbtree.create ~dummy:0 () in
+  Array.iteri (fun i k -> ignore (Rbtree.insert t k i)) keys;
+  t
+
+let make_hashtbl () =
+  let h = Hashtbl.create nkeys in
+  Array.iteri (fun i k -> Hashtbl.replace h k i) keys;
+  h
+
+let bench_rbtree_insert =
+  Test.make ~name:"rbtree insert 10k" (Staged.stage (fun () -> ignore (make_rbtree ())))
+
+let bench_hashtbl_insert =
+  Test.make ~name:"hashtbl insert 10k" (Staged.stage (fun () -> ignore (make_hashtbl ())))
+
+let bench_rbtree_lookup =
+  let t = make_rbtree () in
+  let i = ref 0 in
+  Test.make ~name:"rbtree lookup"
+    (Staged.stage (fun () ->
+         i := (!i + 7) mod nkeys;
+         ignore (Rbtree.find t keys.(!i))))
+
+let bench_hashtbl_lookup =
+  let h = make_hashtbl () in
+  let i = ref 0 in
+  Test.make ~name:"hashtbl lookup"
+    (Staged.stage (fun () ->
+         i := (!i + 7) mod nkeys;
+         ignore (Hashtbl.find_opt h keys.(!i))))
+
+let bench_rbtree_hinted_append =
+  Test.make ~name:"rbtree hinted append 1k"
+    (Staged.stage (fun () ->
+         let t = Rbtree.create ~dummy:0 () in
+         let hint = ref None in
+         for i = 0 to 999 do
+           let k = Printf.sprintf "t|u|%010d" i in
+           let node, _ =
+             match !hint with
+             | Some h -> Rbtree.insert_after t ~hint:h k i
+             | None -> Rbtree.insert t k i
+           in
+           hint := Some node
+         done))
+
+(* §4.1: subtables turn whole-table O(log N) descents into an O(1) hash
+   jump plus a descent of a tiny per-boundary tree. The effect needs a
+   big table: 400k keys across 4k boundaries. *)
+let big_nkeys = 400_000
+
+let big_keys =
+  Array.init big_nkeys (fun i ->
+      Printf.sprintf "t|u%05d|%010d|p%03d" (i mod 4001) i (i mod 31))
+
+let make_table ~subtables =
+  let t =
+    Pequod_store.Table.create
+      ?subtable_depth:(if subtables then Some 2 else None)
+      ~name:"t" ~dummy:0 ()
+  in
+  Array.iteri (fun i k -> ignore (Pequod_store.Table.put t k i)) big_keys;
+  t
+
+let bench_table_get_subtables =
+  let t = make_table ~subtables:true in
+  let i = ref 0 in
+  Test.make ~name:"table get, 400k keys (subtables)"
+    (Staged.stage (fun () ->
+         i := (!i + 7919) mod big_nkeys;
+         ignore (Pequod_store.Table.get t big_keys.(!i))))
+
+let bench_table_get_flat =
+  let t = make_table ~subtables:false in
+  let i = ref 0 in
+  Test.make ~name:"table get, 400k keys (one tree)"
+    (Staged.stage (fun () ->
+         i := (!i + 7919) mod big_nkeys;
+         ignore (Pequod_store.Table.get t big_keys.(!i))))
+
+let bench_rbtree_fresh_insert_1k =
+  Test.make ~name:"rbtree unhinted insert 1k"
+    (Staged.stage (fun () ->
+         let t = Rbtree.create ~dummy:0 () in
+         for i = 0 to 999 do
+           ignore (Rbtree.insert t (Printf.sprintf "t|u|%010d" i) i)
+         done))
+
+let bench_interval_stab =
+  let im = Interval_map.create () in
+  let () =
+    for i = 0 to 999 do
+      let lo = Printf.sprintf "p|u%04d|" (i mod 200) in
+      ignore (Interval_map.add im ~lo ~hi:(Strkey.prefix_upper lo) i)
+    done
+  in
+  let i = ref 0 in
+  Test.make ~name:"interval stab (1k updaters)"
+    (Staged.stage (fun () ->
+         i := (!i + 13) mod 200;
+         let k = Printf.sprintf "p|u%04d|0100" !i in
+         Interval_map.stab im k (fun _ -> ())))
+
+let bench_pattern_match =
+  let names = ref [] in
+  let intern n =
+    let rec go i = function
+      | [] ->
+        names := !names @ [ n ];
+        i
+      | x :: r -> if x = n then i else go (i + 1) r
+    in
+    go 0 !names
+  in
+  let p = Pattern.parse ~intern "t|<user>|<time>|<poster>" in
+  let bindings = Array.make 3 None in
+  Test.make ~name:"pattern match_key"
+    (Staged.stage (fun () -> ignore (Pattern.match_key p "t|u00042|0000001234|p007" ~bindings)))
+
+let bench_codec_roundtrip =
+  let req = Message.Scan { lo = "t|u00042|0000001234"; hi = "t|u00042}" } in
+  Test.make ~name:"message encode+decode"
+    (Staged.stage (fun () -> ignore (Message.decode_request (Message.encode_request req))))
+
+let all_tests =
+  [
+    bench_rbtree_insert;
+    bench_hashtbl_insert;
+    bench_rbtree_lookup;
+    bench_hashtbl_lookup;
+    bench_rbtree_hinted_append;
+    bench_rbtree_fresh_insert_1k;
+    bench_table_get_subtables;
+    bench_table_get_flat;
+    bench_interval_stab;
+    bench_pattern_match;
+    bench_codec_roundtrip;
+  ]
+
+let run_and_print () =
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:(Some 500) () in
+  let instances = Instance.[ monotonic_clock ] in
+  let tbl =
+    Tablefmt.create ~title:"Microbenchmarks (store primitives)"
+      ~headers:[ "Benchmark"; "ns/run" ] ~aligns:[ Tablefmt.Left; Right ]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed =
+        Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+          Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Tablefmt.add_row tbl [ name; Tablefmt.fmt_float ~decimals:1 est ]
+          | _ -> Tablefmt.add_row tbl [ name; "n/a" ])
+        analyzed)
+    all_tests;
+  Tablefmt.print tbl

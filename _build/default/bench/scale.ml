@@ -1,0 +1,12 @@
+(** Experiment scales. The paper runs at cluster scale (1.8M–40M users);
+    these defaults reproduce every experiment's *shape* on one machine in
+    minutes. [--scale] multiplies the workload sizes. *)
+
+type t = {
+  factor : float;
+  seed : int;
+}
+
+let default = { factor = 1.0; seed = 42 }
+
+let i t n = max 1 (int_of_float (t.factor *. float_of_int n))

@@ -1,0 +1,1 @@
+bin/pequod_cli.ml: Arg Array Bytes Cmd Cmdliner Fun List Pequod_proto Printf String Sys Term Unix

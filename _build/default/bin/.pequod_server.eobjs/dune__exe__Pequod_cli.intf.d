@@ -1,0 +1,1 @@
+bin/pequod_cli.mli:

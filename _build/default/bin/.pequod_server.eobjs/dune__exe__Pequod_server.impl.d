@@ -1,0 +1,1 @@
+bin/pequod_server.ml: Arg Cmd Cmdliner Fmt_tty List Logs Logs_fmt Pequod_server_lib Sys Term

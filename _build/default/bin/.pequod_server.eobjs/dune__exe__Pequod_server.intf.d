@@ -1,0 +1,1 @@
+bin/pequod_server.mli:

@@ -1,0 +1,114 @@
+(* pequod-cli: command-line client for a running pequod-server.
+
+   Examples:
+     pequod_cli.exe put  s|ann|bob 1
+     pequod_cli.exe put  'p|bob|0000000100' 'hello'
+     pequod_cli.exe scan 't|ann|' 't|ann}'
+     pequod_cli.exe get  't|ann|0000000100|bob'
+     pequod_cli.exe add-join 't|<u>|<t>|<p> = check s|<u>|<p> copy p|<p>|<t>'
+     pequod_cli.exe stats
+*)
+
+module Message = Pequod_proto.Message
+module Frame = Pequod_proto.Frame
+
+let connect ~host ~port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let addr =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+  in
+  Unix.connect fd (Unix.ADDR_INET (addr, port));
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+  fd
+
+let rpc fd req =
+  let wire = Frame.encode (Message.encode_request req) in
+  let sent = ref 0 in
+  while !sent < String.length wire do
+    sent := !sent + Unix.write_substring fd wire !sent (String.length wire - !sent)
+  done;
+  let decoder = Frame.decoder () in
+  let buf = Bytes.create 65_536 in
+  let rec read_frame () =
+    let n = Unix.read fd buf 0 (Bytes.length buf) in
+    if n = 0 then failwith "server closed the connection";
+    match Frame.feed decoder (Bytes.sub_string buf 0 n) with
+    | [] -> read_frame ()
+    | frame :: _ -> Message.decode_response frame
+  in
+  read_frame ()
+
+let print_response = function
+  | Message.Done -> print_endline "ok"
+  | Message.Value None -> print_endline "(nil)"
+  | Message.Value (Some v) -> print_endline v
+  | Message.Pairs pairs ->
+    List.iter (fun (k, v) -> Printf.printf "%s\t%s\n" k v) pairs;
+    Printf.printf "(%d pairs)\n" (List.length pairs)
+  | Message.Stat_list stats ->
+    List.iter (fun (k, n) -> Printf.printf "%-24s %d\n" k n) stats
+  | Message.Error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 1
+
+open Cmdliner
+
+let host =
+  Arg.(value & opt string "127.0.0.1" & info [ "h"; "host" ] ~docv:"HOST" ~doc:"Server host.")
+
+let port = Arg.(value & opt int 7077 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Server port.")
+
+let run_command host port req =
+  let fd = connect ~host ~port in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () -> print_response (rpc fd req));
+  0
+
+let key_arg n doc = Arg.(required & pos n (some string) None & info [] ~docv:"KEY" ~doc)
+
+let get_cmd =
+  Cmd.v (Cmd.info "get" ~doc:"Fetch one key (computing joins if needed)")
+    Term.(
+      const (fun host port key -> run_command host port (Message.Get key))
+      $ host $ port $ key_arg 0 "Key to fetch.")
+
+let put_cmd =
+  Cmd.v (Cmd.info "put" ~doc:"Store a key-value pair")
+    Term.(
+      const (fun host port key value -> run_command host port (Message.Put (key, value)))
+      $ host $ port $ key_arg 0 "Key to store."
+      $ Arg.(required & pos 1 (some string) None & info [] ~docv:"VALUE" ~doc:"Value."))
+
+let remove_cmd =
+  Cmd.v (Cmd.info "remove" ~doc:"Remove a key")
+    Term.(
+      const (fun host port key -> run_command host port (Message.Remove key))
+      $ host $ port $ key_arg 0 "Key to remove.")
+
+let scan_cmd =
+  Cmd.v (Cmd.info "scan" ~doc:"Ordered scan of [LO, HI)")
+    Term.(
+      const (fun host port lo hi -> run_command host port (Message.Scan { lo; hi }))
+      $ host $ port
+      $ Arg.(required & pos 0 (some string) None & info [] ~docv:"LO" ~doc:"Range start.")
+      $ Arg.(required & pos 1 (some string) None & info [] ~docv:"HI" ~doc:"Range end (exclusive)."))
+
+let add_join_cmd =
+  Cmd.v (Cmd.info "add-join" ~doc:"Install a cache join")
+    Term.(
+      const (fun host port text -> run_command host port (Message.Add_join text))
+      $ host $ port
+      $ Arg.(required & pos 0 (some string) None & info [] ~docv:"JOIN" ~doc:"Join text."))
+
+let stats_cmd =
+  Cmd.v (Cmd.info "stats" ~doc:"Server counters")
+    Term.(const (fun host port -> run_command host port Message.Stats) $ host $ port)
+
+let cmd =
+  Cmd.group
+    (Cmd.info "pequod-cli" ~doc:"Client for a pequod-server")
+    [ get_cmd; put_cmd; remove_cmd; scan_cmd; add_join_cmd; stats_cmd ]
+
+let () = if not !Sys.interactive then exit (Cmd.eval' cmd)

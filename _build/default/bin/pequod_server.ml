@@ -1,0 +1,55 @@
+(* pequod-server: a real network-facing Pequod cache server.
+
+   Single-threaded and event-driven, like the paper's implementation: a
+   Unix.select readiness loop multiplexes any number of client
+   connections, each speaking the length-prefixed wire protocol of
+   Pequod_proto. Cache joins can be installed at startup (--join) or by
+   clients at runtime (add-join requests).
+
+   Usage:
+     dune exec bin/pequod_server.exe -- --port 7077 \
+       --join 't|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time>'
+*)
+
+module Net_server = Pequod_server_lib.Net_server
+
+open Cmdliner
+
+let port =
+  Arg.(value & opt int 7077 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"TCP port to listen on.")
+
+let joins =
+  Arg.(
+    value & opt_all string []
+    & info [ "j"; "join" ] ~docv:"JOIN" ~doc:"Cache join to install at startup (repeatable).")
+
+let memory_limit =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "memory-limit" ] ~docv:"BYTES" ~doc:"Evict computed ranges above this footprint.")
+
+let verbose =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log client connections and joins.")
+
+let main port joins memory_limit verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Info else Logs.App));
+  match Net_server.create ~port ~joins ~memory_limit with
+  | t ->
+    Logs.app (fun m ->
+        m "pequod-server listening on port %d with %d joins" (Net_server.port t)
+          (List.length joins));
+    Net_server.run t;
+    0
+  | exception Failure msg ->
+    Logs.err (fun m -> m "%s" msg);
+    1
+
+let cmd =
+  Cmd.v
+    (Cmd.info "pequod-server" ~doc:"A Pequod cache server speaking the binary wire protocol")
+    Term.(const main $ port $ joins $ memory_limit $ verbose)
+
+let () = if not !Sys.interactive then exit (Cmd.eval' cmd)

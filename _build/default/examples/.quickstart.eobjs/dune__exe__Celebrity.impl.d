@@ -1,0 +1,1 @@
+examples/celebrity.ml: List Pequod_core Printf String Strkey

@@ -1,0 +1,1 @@
+examples/distributed.ml: Hashtbl List Pequod_sim Printf String Strkey

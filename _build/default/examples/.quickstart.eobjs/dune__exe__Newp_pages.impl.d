@@ -1,0 +1,1 @@
+examples/newp_pages.ml: List Option Pequod_apps Pequod_core Printf Strkey

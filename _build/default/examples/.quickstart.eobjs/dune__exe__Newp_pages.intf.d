@@ -1,0 +1,1 @@
+examples/newp_pages.mli:

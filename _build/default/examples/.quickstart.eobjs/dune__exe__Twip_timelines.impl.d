@@ -1,0 +1,1 @@
+examples/twip_timelines.ml: Array List Pequod_apps Printf Rng String Strkey

@@ -1,0 +1,1 @@
+examples/twip_timelines.mli:

@@ -1,0 +1,1 @@
+examples/write_around.ml: Array List Pequod_core Pequod_db Printf Strkey

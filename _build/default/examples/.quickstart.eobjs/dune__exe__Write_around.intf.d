@@ -1,0 +1,1 @@
+examples/write_around.mli:

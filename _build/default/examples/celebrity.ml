@@ -1,0 +1,54 @@
+(* The celebrity joins (§2.3): most users' posts are eagerly copied into
+   follower timelines, but celebrities with huge followings would waste
+   memory that way. Their posts go to cp|, a push helper join collects
+   them time-ordered in ct|, and a pull join filters per user at read
+   time — computed on demand, never cached.
+
+   Run with: dune exec examples/celebrity.exe *)
+
+module Server = Pequod_core.Server
+
+let () =
+  let cache = Server.create () in
+  (* (1) non-celebrity: eager, materialized *)
+  Server.add_join_exn cache
+    "t|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time>";
+  (* helper range: all celebrity posts in time-primary order *)
+  Server.add_join_exn cache "ct|<time>|<poster> = copy cp|<poster>|<time>";
+  (* (2) celebrity: pull — recomputed per request, not cached *)
+  Server.add_join_exn cache
+    "t|<user>|<time>|<poster> = pull copy ct|<time>|<poster> check s|<user>|<poster>";
+
+  Server.put cache "s|ann|bob" "1";
+  Server.put cache "s|ann|superstar" "1";
+  Server.put cache "s|cal|superstar" "1";
+
+  Server.put cache "p|bob|0000000100" "bob's regular tweet";
+  Server.put cache "cp|superstar|0000000110" "hello to my 40M followers";
+  Server.put cache "cp|superstar|0000000130" "another celebrity tweet";
+
+  let timeline user =
+    Server.scan cache
+      ~lo:(Printf.sprintf "t|%s|" user)
+      ~hi:(Strkey.prefix_upper (Printf.sprintf "t|%s|" user))
+  in
+  print_endline "ann's timeline (eager + pull results merged):";
+  List.iter (fun (k, v) -> Printf.printf "  %-28s -> %s\n" k v) (timeline "ann");
+  print_newline ();
+
+  print_endline "cal's timeline (follows only the celebrity):";
+  List.iter (fun (k, v) -> Printf.printf "  %-28s -> %s\n" k v) (timeline "cal");
+  print_newline ();
+
+  (* memory saving: celebrity tweets are not materialized per follower *)
+  let stored_copies =
+    Server.scan cache ~lo:"t|" ~hi:(Strkey.prefix_upper "t|")
+    |> List.filter (fun (k, _) ->
+           match String.split_on_char '|' k with
+           | [ _; _; _; "superstar" ] -> true
+           | _ -> false)
+  in
+  Printf.printf "celebrity tweets materialized in t| across %d followers: %d copies\n"
+    2 (List.length stored_copies);
+  Printf.printf "(the ct| helper holds them once: %d entries)\n"
+    (List.length (Server.scan cache ~lo:"ct|" ~hi:(Strkey.prefix_upper "ct|")))

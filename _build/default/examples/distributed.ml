@@ -1,0 +1,62 @@
+(* Distributed Pequod (§2.4) on the event simulator: base data lives on
+   home servers; compute servers fetch missing ranges, get subscriptions
+   installed, and then receive pushed updates — eventually consistent.
+
+   Run with: dune exec examples/distributed.exe *)
+
+module Event = Pequod_sim.Event
+module Cluster = Pequod_sim.Cluster
+
+let partition ~table ~lo =
+  match table with
+  | "p" | "s" -> (
+    (* home server chosen by the user/poster component *)
+    match String.split_on_char '|' lo with
+    | _ :: who :: _ -> Some (Hashtbl.hash who mod 2)
+    | _ -> Some 0)
+  | _ -> None (* computed tables are not partitioned *)
+
+let () =
+  let event = Event.create () in
+  let cluster = Cluster.create ~event ~nbase:2 ~ncompute:2 ~partition ~latency:0.0005 () in
+  Cluster.add_join cluster
+    "t|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time>";
+
+  (* writes go to their home servers *)
+  Cluster.client_put cluster "s|ann|bob" "1";
+  Cluster.client_put cluster "s|ann|liz" "1";
+  Cluster.client_put cluster "p|bob|0000000100" "hello from bob";
+  Cluster.client_put cluster "p|liz|0000000110" "liz checking in";
+  Event.run event;
+
+  let compute = List.hd (Cluster.compute_ids cluster) in
+  Printf.printf "cluster: 2 base servers, 2 compute servers; reads go to node %d\n\n" compute;
+
+  (* first timeline check: the compute server fetches base ranges from
+     their home servers and subscribes to them *)
+  Cluster.client_scan cluster ~via:compute ~lo:"t|ann|" ~hi:(Strkey.prefix_upper "t|ann|")
+    (fun pairs ->
+      Printf.printf "[t=%.4fs] first check of ann's timeline (%d fetch rounds so far):\n"
+        (Event.now event) (Cluster.fetch_rounds cluster);
+      List.iter (fun (k, v) -> Printf.printf "  %-28s -> %s\n" k v) pairs);
+  Event.run event;
+  Printf.printf "subscriptions installed at home servers: %d\n\n"
+    (Cluster.subscription_count cluster);
+
+  (* a new post is pushed to the subscribed compute server: no new fetch *)
+  Cluster.client_put cluster "p|bob|0000000150" "pushed through the subscription";
+  Event.run event;
+  Cluster.client_scan cluster ~via:compute ~lo:"t|ann|" ~hi:(Strkey.prefix_upper "t|ann|")
+    (fun pairs ->
+      Printf.printf "[t=%.4fs] after bob posts again (no refetch, %d fetch rounds):\n"
+        (Event.now event) (Cluster.fetch_rounds cluster);
+      List.iter (fun (k, v) -> Printf.printf "  %-28s -> %s\n" k v) pairs);
+  Event.run event;
+
+  Printf.printf "\ninter-server traffic: %d bytes in %d messages; %d scans served\n"
+    (Cluster.server_bytes cluster)
+    (let total = ref 0 in
+     List.iter (fun id -> total := !total + (Cluster.node cluster id).Cluster.msgs_sent)
+       (Cluster.base_ids cluster @ Cluster.compute_ids cluster);
+     !total)
+    (Cluster.scans_done cluster)

@@ -1,0 +1,43 @@
+(* Newp (§2.3): interleaved cache joins bring an article, its vote count,
+   its comments, and each commenter's karma into one contiguous range, so
+   one scan renders a page.
+
+   Run with: dune exec examples/newp_pages.exe *)
+
+module Server = Pequod_core.Server
+module Newp = Pequod_apps.Newp
+
+let () =
+  let cache = Server.create () in
+  List.iter (Server.add_join_exn cache) Newp.base_joins;
+  List.iter (Server.add_join_exn cache) Newp.interleave_joins;
+
+  (* bob writes an article; liz and jim comment; votes arrive *)
+  Server.put cache "article|bob|101" "Pequod: easy freshness with cache joins";
+  Server.put cache "comment|bob|101|c1|liz" "great read!";
+  Server.put cache "comment|bob|101|c2|jim" "needs more benchmarks";
+  Server.put cache "vote|bob|101|ann" "1";
+  Server.put cache "vote|bob|101|liz" "1";
+  Server.put cache "vote|bob|101|jim" "1";
+
+  (* liz has karma because people voted on her own article *)
+  Server.put cache "article|liz|202" "Liz on ordered stores";
+  Server.put cache "vote|liz|202|bob" "1";
+  Server.put cache "vote|liz|202|ann" "1";
+
+  (* one scan returns everything needed to render the page, interleaved *)
+  let page = Server.scan cache ~lo:"page|bob|101|" ~hi:(Strkey.prefix_upper "page|bob|101|") in
+  print_endline "raw page|bob|101| range (one scan):";
+  List.iter (fun (k, v) -> Printf.printf "  %-28s -> %s\n" k v) page;
+  print_newline ();
+
+  (* votes keep rank and karma fresh through the chained joins *)
+  Server.put cache "vote|liz|202|jim" "1";
+  let karma_row = Server.get cache "page|bob|101|k|c1|liz" in
+  Printf.printf "liz's karma on bob's page after another vote on her article: %s\n"
+    (Option.value ~default:"?" karma_row);
+
+  (* the same data is also queryable in its own ranges *)
+  Printf.printf "karma|liz = %s, rank|bob|101 = %s\n"
+    (Option.value ~default:"?" (Server.get cache "karma|liz"))
+    (Option.value ~default:"?" (Server.get cache "rank|bob|101"))

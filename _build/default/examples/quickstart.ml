@@ -1,0 +1,50 @@
+(* Quickstart: the paper's §2.2 walk-through.
+
+   A cache join relates computed timelines to base posts and
+   subscriptions; Pequod materializes on demand and keeps results fresh.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Server = Pequod_core.Server
+
+let show title pairs =
+  Printf.printf "%s\n" title;
+  List.iter (fun (k, v) -> Printf.printf "  %-24s -> %s\n" k v) pairs;
+  print_newline ()
+
+let () =
+  let cache = Server.create () in
+
+  (* the Twip timeline join: t|user|time|poster copies p|poster|time
+     whenever s|user|poster exists *)
+  Server.add_join_exn cache
+    "t|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time>";
+
+  (* base data: subscriptions and posts *)
+  Server.put cache "s|ann|bob" "1";
+  Server.put cache "s|ann|liz" "1";
+  Server.put cache "p|bob|0000000100" "hello, world!";
+  Server.put cache "p|liz|0000000124" "i'm hungry";
+  Server.put cache "p|jim|0000000130" "(ann doesn't follow jim)";
+
+  (* the first scan computes ann's timeline and materializes it *)
+  show "ann's timeline (computed on demand):"
+    (Server.scan cache ~lo:"t|ann|" ~hi:(Strkey.prefix_upper "t|ann|"));
+
+  (* a new post flows into the materialized timeline incrementally *)
+  Server.put cache "p|bob|0000000150" "back again";
+  show "after bob posts again (incremental maintenance):"
+    (Server.scan cache ~lo:"t|ann|" ~hi:(Strkey.prefix_upper "t|ann|"));
+
+  (* subscription changes are applied lazily at the next read *)
+  Server.put cache "s|ann|jim" "1";
+  show "after ann follows jim (lazy log application):"
+    (Server.scan cache ~lo:"t|ann|" ~hi:(Strkey.prefix_upper "t|ann|"));
+
+  Server.remove cache "s|ann|liz";
+  show "after ann unfollows liz:"
+    (Server.scan cache ~lo:"t|ann|" ~hi:(Strkey.prefix_upper "t|ann|"));
+
+  (* time-bounded checks use the key order: scan [t|ann|0000000140, t|ann|+) *)
+  show "timeline since time 140:"
+    (Server.scan cache ~lo:"t|ann|0000000140" ~hi:(Strkey.prefix_upper "t|ann|"))

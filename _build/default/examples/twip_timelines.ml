@@ -1,0 +1,48 @@
+(* Twip at (small) scale: generate a power-law social graph, run the
+   paper's §5.1 workload mix against the Pequod backend over the metered
+   loopback channel, and report what the cache did.
+
+   Run with: dune exec examples/twip_timelines.exe *)
+
+module Twip = Pequod_apps.Twip
+module Social_graph = Pequod_apps.Social_graph
+module Workload = Pequod_apps.Workload
+
+let () =
+  let rng = Rng.create 7 in
+  let graph = Social_graph.generate ~rng ~nusers:500 ~avg_follows:12 () in
+  Printf.printf "social graph: %d users, %d edges; most-followed user has %d followers\n"
+    (Social_graph.nusers graph) (Social_graph.edge_count graph)
+    (let best = ref 0 in
+     for u = 0 to Social_graph.nusers graph - 1 do
+       best := max !best (Social_graph.follower_count graph u)
+     done;
+     !best);
+
+  let backend = Twip.pequod () in
+  Twip.load_graph backend graph;
+
+  let workload = Workload.generate ~rng ~graph ~total_ops:20_000 () in
+  Printf.printf "workload: %d logins, %d subscribes, %d checks, %d posts\n"
+    workload.Workload.nlogins workload.Workload.nsubs workload.Workload.nchecks
+    workload.Workload.nposts;
+
+  let result = Twip.run backend graph workload in
+  Printf.printf "ran in %.2fs: %d RPCs, %.1f MB wire traffic, %.1f MB cache memory\n"
+    result.Twip.elapsed result.Twip.rpcs
+    (float_of_int result.Twip.wire_bytes /. 1048576.0)
+    (float_of_int result.Twip.memory /. 1048576.0);
+  Printf.printf "timeline entries served: %d\n\n" result.Twip.entries_read;
+
+  (* peek at one user's timeline *)
+  let user = Social_graph.user_name 3 in
+  let tl = backend.Twip.timeline ~user ~since:(Strkey.encode_time 0) in
+  Printf.printf "%s follows %d users; last 5 timeline entries:\n" user
+    (Array.length (Social_graph.following graph 3));
+  List.iteri
+    (fun i (time, poster, tweet) ->
+      if i >= max 0 (List.length tl - 5) then
+        Printf.printf "  t=%s %s: %s\n" time poster
+          (String.sub tweet 0 (min 40 (String.length tweet))))
+    tl;
+  backend.Twip.shutdown ()

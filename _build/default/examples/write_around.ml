@@ -1,0 +1,48 @@
+(* The write-around deployment (§2): applications write to the persistent
+   database; the database forwards changes to Pequod (Postgres
+   notify-style); applications read computed data from the cache.
+
+   Run with: dune exec examples/write_around.exe *)
+
+module Db = Pequod_db.Db
+module Server = Pequod_core.Server
+
+let () =
+  (* the persistent store: posts and subscriptions as relations *)
+  let db = Db.create () in
+  let _ = Db.create_table db ~name:"posts" ~columns:[ "poster"; "time"; "tweet" ] ~key:[ "poster"; "time" ] in
+  let _ = Db.create_table db ~name:"subs" ~columns:[ "user"; "poster" ] ~key:[ "user"; "poster" ] in
+
+  (* the cache, with the timeline join *)
+  let cache = Server.create () in
+  Server.add_join_exn cache
+    "t|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time>";
+
+  (* wire the database's notifications into the cache *)
+  Db.listen db ~table:"posts" (fun change row ->
+      let key = Printf.sprintf "p|%s|%s" row.(0) row.(1) in
+      match change with
+      | Db.Row_insert -> Server.put cache key row.(2)
+      | Db.Row_delete -> Server.remove cache key);
+  Db.listen db ~table:"subs" (fun change row ->
+      let key = Printf.sprintf "s|%s|%s" row.(0) row.(1) in
+      match change with
+      | Db.Row_insert -> Server.put cache key "1"
+      | Db.Row_delete -> Server.remove cache key);
+
+  (* the application only ever writes to the database... *)
+  Db.insert db ~table:"subs" [ "ann"; "bob" ];
+  Db.insert db ~table:"posts" [ "bob"; "0000000100"; "hello through the database" ];
+
+  (* ...and reads computed timelines from the cache *)
+  let timeline () = Server.scan cache ~lo:"t|ann|" ~hi:(Strkey.prefix_upper "t|ann|") in
+  print_endline "timeline read from the cache:";
+  List.iter (fun (k, v) -> Printf.printf "  %-28s -> %s\n" k v) (timeline ());
+
+  Db.insert db ~table:"posts" [ "bob"; "0000000200"; "still write-around" ];
+  ignore (Db.delete db ~table:"posts" [ "bob"; "0000000100" ]);
+  print_endline "\nafter one more insert and one delete in the database:";
+  List.iter (fun (k, v) -> Printf.printf "  %-28s -> %s\n" k v) (timeline ());
+
+  Printf.printf "\ndatabase: %d rows, %d statements, %d WAL bytes\n" (Db.total_rows db)
+    (Db.statements db) (Db.wal_bytes db)

@@ -1,0 +1,1 @@
+lib/apps/newp.ml: List Option Pequod_baselines Pequod_core Pequod_proto Printf Rng String Strkey Twip Unix

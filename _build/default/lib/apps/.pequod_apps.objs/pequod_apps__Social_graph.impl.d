@@ -1,0 +1,1 @@
+lib/apps/social_graph.ml: Array Hashtbl Printf Rng

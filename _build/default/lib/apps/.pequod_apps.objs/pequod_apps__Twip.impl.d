@@ -1,0 +1,1 @@
+lib/apps/twip.ml: Array List Option Pequod_baselines Pequod_core Pequod_db Pequod_proto Printf Rng Social_graph String Strkey Unix Workload

@@ -1,0 +1,1 @@
+lib/apps/workload.ml: Array Hashtbl Rng Social_graph

@@ -1,0 +1,217 @@
+(** Newp, the paper's Hacker-News model (§2.3, §5.4).
+
+    Users author articles, comment, and vote; an article page shows the
+    article, its vote count (rank), its comments, and each commenter's
+    karma (count of votes on articles that commenter authored).
+
+    Two variants compare the §5.4 join choices:
+    - {e non-interleaved}: karma and rank live in their own ranges; a page
+      read issues several RPCs in two round trips (the second fetches each
+      commenter's karma);
+    - {e interleaved}: the Fig 1 joins colocate everything under one
+      [page|author|id|] range; a page read is a single scan, but every
+      vote does more server-side work. *)
+
+module Server = Pequod_core.Server
+module Config = Pequod_core.Config
+module Message = Pequod_proto.Message
+module Meter = Pequod_baselines.Meter
+
+let base_joins =
+  [
+    "karma|<author> = count vote|<author>|<id>|<voter>";
+    "rank|<author>|<id> = count vote|<author>|<id>|<voter>";
+  ]
+
+let interleave_joins =
+  [
+    "page|<author>|<id>|a = copy article|<author>|<id>";
+    "page|<author>|<id>|r = copy rank|<author>|<id>";
+    "page|<author>|<id>|c|<cid>|<commenter> = copy comment|<author>|<id>|<cid>|<commenter>";
+    "page|<author>|<id>|k|<cid>|<commenter> = check comment|<author>|<id>|<cid>|<commenter> copy karma|<commenter>";
+  ]
+
+type page = {
+  article : string;
+  rank : int;
+  comments : (string * string * string) list; (* cid, commenter, text *)
+  karma : (string * int) list; (* commenter -> karma, per comment, deduped *)
+}
+
+type backend = {
+  name : string;
+  add_article : author:string -> id:string -> text:string -> unit;
+  add_comment : author:string -> id:string -> cid:string -> commenter:string -> text:string -> unit;
+  vote : author:string -> id:string -> voter:string -> unit;
+  read_page : author:string -> id:string -> page;
+  rpcs : unit -> int;
+  wire_bytes : unit -> int;
+  memory_bytes : unit -> int;
+  shutdown : unit -> unit;
+}
+
+type deployment = Twip.deployment = In_process | Separate_process
+
+let make ~interleaved ?config ?(deployment = In_process) () =
+  let serve () =
+    let server = Server.create ?config () in
+    List.iter (Server.add_join_exn server) base_joins;
+    if interleaved then List.iter (Server.add_join_exn server) interleave_joins;
+    fun request ->
+      Message.encode_response (Message.apply_to_server server (Message.decode_request request))
+  in
+  let meter =
+    match deployment with
+    | In_process -> Meter.create ~handler:(serve ()) ()
+    | Separate_process -> Meter.create_forked ~serve:(serve ()) ()
+  in
+  let rpc req = Message.decode_response (Meter.call meter (Message.encode_request req)) in
+  let put k v = match rpc (Message.Put (k, v)) with Message.Done -> () | _ -> assert false in
+  let get k = match rpc (Message.Get k) with Message.Value v -> v | _ -> assert false in
+  let scan lo hi =
+    match rpc (Message.Scan { lo; hi }) with Message.Pairs p -> p | _ -> assert false
+  in
+  let add_article ~author ~id ~text = put (Printf.sprintf "article|%s|%s" author id) text in
+  let add_comment ~author ~id ~cid ~commenter ~text =
+    put (Printf.sprintf "comment|%s|%s|%s|%s" author id cid commenter) text
+  in
+  let vote ~author ~id ~voter = put (Printf.sprintf "vote|%s|%s|%s" author id voter) "1" in
+  let read_page_interleaved ~author ~id =
+    let prefix = Printf.sprintf "page|%s|%s|" author id in
+    let pairs = scan prefix (Strkey.prefix_upper prefix) in
+    let article = ref "" and rank = ref 0 and comments = ref [] and karma = ref [] in
+    List.iter
+      (fun (k, v) ->
+        match String.split_on_char '|' k with
+        | [ _page; _a; _i; "a" ] -> article := v
+        | [ _page; _a; _i; "r" ] -> rank := int_of_string v
+        | [ _page; _a; _i; "c"; cid; commenter ] -> comments := (cid, commenter, v) :: !comments
+        | [ _page; _a; _i; "k"; _cid; commenter ] ->
+          if not (List.mem_assoc commenter !karma) then
+            karma := (commenter, int_of_string v) :: !karma
+        | _ -> ())
+      pairs;
+    { article = !article; rank = !rank; comments = List.rev !comments;
+      karma = List.sort compare !karma }
+  in
+  let read_page_separate ~author ~id =
+    (* round trip 1: article, rank, comments *)
+    let article = Option.value ~default:"" (get (Printf.sprintf "article|%s|%s" author id)) in
+    let rank =
+      match get (Printf.sprintf "rank|%s|%s" author id) with
+      | Some v -> int_of_string v
+      | None -> 0
+    in
+    let cprefix = Printf.sprintf "comment|%s|%s|" author id in
+    let comments =
+      scan cprefix (Strkey.prefix_upper cprefix)
+      |> List.filter_map (fun (k, v) ->
+             match String.split_on_char '|' k with
+             | [ _c; _a; _i; cid; commenter ] -> Some (cid, commenter, v)
+             | _ -> None)
+    in
+    (* round trip 2: karma of each distinct commenter *)
+    let commenters =
+      List.sort_uniq compare (List.map (fun (_, commenter, _) -> commenter) comments)
+    in
+    (* a commenter with no karma key has no karma row, matching the
+       interleaved join's semantics (count emits nothing for zero) *)
+    let karma =
+      List.filter_map
+        (fun commenter ->
+          match get ("karma|" ^ commenter) with
+          | Some v -> Some (commenter, int_of_string v)
+          | None -> None)
+        commenters
+    in
+    { article; rank; comments; karma }
+  in
+  {
+    name = (if interleaved then "Interleaved" else "Non-interleaved");
+    add_article;
+    add_comment;
+    vote;
+    read_page = (if interleaved then read_page_interleaved else read_page_separate);
+    rpcs = (fun () -> meter.Meter.rpcs);
+    wire_bytes = (fun () -> meter.Meter.bytes_sent + meter.Meter.bytes_received);
+    memory_bytes =
+      (fun () ->
+        match rpc Message.Stats with
+        | Message.Stat_list stats ->
+          (match List.assoc_opt "memory.bytes" stats with Some n -> n | None -> 0)
+        | _ -> 0);
+    shutdown = (fun () -> Meter.close meter);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Workload (§5.4)                                                     *)
+
+type dataset = {
+  narticles : int;
+  nusers : int;
+  ncomments : int;
+  nvotes : int;
+}
+
+(* article authors come from the same user pool as commenters and
+   voters: a user's karma (votes on their articles) then feeds the page
+   ranges of every article they commented on, as in the paper *)
+let article_of ~nusers i =
+  (Printf.sprintf "u%05d" (i * 7919 mod nusers), Printf.sprintf "a%06d" i)
+
+(** Pre-populate articles, comments and votes; deterministic in [rng]. *)
+let populate (backend : backend) ~rng (d : dataset) =
+  for i = 0 to d.narticles - 1 do
+    let author, id = article_of ~nusers:d.nusers i in
+    backend.add_article ~author ~id ~text:(Printf.sprintf "article %d body" i)
+  done;
+  for c = 0 to d.ncomments - 1 do
+    let author, id = article_of ~nusers:d.nusers (Rng.int rng d.narticles) in
+    backend.add_comment ~author ~id
+      ~cid:(Printf.sprintf "c%07d" c)
+      ~commenter:(Printf.sprintf "u%05d" (Rng.int rng d.nusers))
+      ~text:(Printf.sprintf "comment %d" c)
+  done;
+  for _v = 0 to d.nvotes - 1 do
+    let author, id = article_of ~nusers:d.nusers (Rng.int rng d.narticles) in
+    backend.vote ~author ~id ~voter:(Printf.sprintf "u%05d" (Rng.int rng d.nusers))
+  done
+
+type session_result = {
+  system : string;
+  elapsed : float;
+  rpcs : int;
+  wire_bytes : int;
+  pages_read : int;
+}
+
+(** Run [nsessions] user sessions: each reads a random article, votes with
+    probability [vote_rate], and comments with probability 1%. *)
+let run_sessions (backend : backend) ~rng (d : dataset) ~nsessions ~vote_rate =
+  let rpcs0 = backend.rpcs () and bytes0 = backend.wire_bytes () in
+  let pages = ref 0 in
+  let next_cid = ref 10_000_000 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to nsessions do
+    let i = Rng.int rng d.narticles in
+    let author, id = article_of ~nusers:d.nusers i in
+    let _page = backend.read_page ~author ~id in
+    incr pages;
+    if Rng.bool rng vote_rate then
+      backend.vote ~author ~id ~voter:(Printf.sprintf "u%05d" (Rng.int rng d.nusers));
+    if Rng.bool rng 0.01 then begin
+      incr next_cid;
+      backend.add_comment ~author ~id
+        ~cid:(Printf.sprintf "c%07d" !next_cid)
+        ~commenter:(Printf.sprintf "u%05d" (Rng.int rng d.nusers))
+        ~text:"session comment"
+    end
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  {
+    system = backend.name;
+    elapsed;
+    rpcs = backend.rpcs () - rpcs0;
+    wire_bytes = backend.wire_bytes () - bytes0;
+    pages_read = !pages;
+  }

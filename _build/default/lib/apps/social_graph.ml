@@ -1,0 +1,65 @@
+(** Synthetic Twitter-like social graph.
+
+    Stands in for the 2009 crawl the paper samples (§5.1): follower counts
+    follow a Zipf distribution (a few celebrities with enormous audiences,
+    a long tail of small accounts), and each user follows a dispersed,
+    popularity-biased set of accounts. Generation is deterministic in the
+    seed, so experiments are reproducible and all backends see the same
+    graph. *)
+
+type t = {
+  nusers : int;
+  following : int array array; (* user -> sorted posters they follow *)
+  followers : int array array; (* poster -> sorted followers *)
+}
+
+let nusers t = t.nusers
+let following t u = t.following.(u)
+let followers t p = t.followers.(p)
+let follower_count t p = Array.length t.followers.(p)
+
+(** Canonical user name: fixed width so names sort like ids. *)
+let user_name u = Printf.sprintf "u%06d" u
+
+let generate ~rng ~nusers ~avg_follows ?(zipf_s = 1.0) () =
+  if nusers <= 1 then invalid_arg "Social_graph.generate: need at least 2 users";
+  let popularity = Rng.Zipf.create ~n:nusers ~s:zipf_s in
+  let following = Array.make nusers [||] in
+  let follower_lists = Array.make nusers [] in
+  for u = 0 to nusers - 1 do
+    (* skewed out-degree: most users follow a few, some follow many *)
+    let k = max 1 (int_of_float (float_of_int avg_follows *. (0.25 +. (1.5 *. Rng.float rng)))) in
+    let seen = Hashtbl.create (2 * k) in
+    let rec draw remaining guard =
+      if remaining > 0 && guard < 20 * k then begin
+        let p = Rng.Zipf.sample popularity rng in
+        if p <> u && not (Hashtbl.mem seen p) then begin
+          Hashtbl.add seen p ();
+          follower_lists.(p) <- u :: follower_lists.(p);
+          draw (remaining - 1) guard
+        end
+        else draw remaining (guard + 1)
+      end
+    in
+    draw k 0;
+    let fs = Hashtbl.fold (fun p () acc -> p :: acc) seen [] in
+    let fs = Array.of_list fs in
+    Array.sort compare fs;
+    following.(u) <- fs
+  done;
+  let followers =
+    Array.map
+      (fun l ->
+        let a = Array.of_list l in
+        Array.sort compare a;
+        a)
+      follower_lists
+  in
+  { nusers; following; followers }
+
+let edge_count t = Array.fold_left (fun acc f -> acc + Array.length f) 0 t.following
+
+(** Per-user posting weight: proportional to log(follower count), as in
+    §5.1 ("more popular users tweet more often"). *)
+let posting_weights t =
+  Array.init t.nusers (fun u -> log (float_of_int (follower_count t u) +. 2.0))

@@ -1,0 +1,93 @@
+(** Twip workload generation (§5.1).
+
+    The op mix models the paper's client behaviour: 5% initial timeline
+    scans (logins), 9% new subscriptions, 85% incremental timeline checks,
+    1% posts. A fraction of users is active; each active user logs in,
+    repeatedly checks, and posts with probability proportional to the log
+    of their follower count. Times are a global logical counter encoded
+    fixed-width so they sort correctly. *)
+
+type op =
+  | Login of int (* initial timeline scan: everything recent *)
+  | Check of int (* incremental scan since last check *)
+  | Subscribe of int * int (* user follows poster *)
+  | Post of int * int (* poster, time *)
+
+type t = {
+  ops : op array;
+  nposts : int;
+  nchecks : int;
+  nlogins : int;
+  nsubs : int;
+}
+
+let mix_default = (0.05, 0.09, 0.85, 0.01)
+
+(** Generate [total_ops] operations over [active] users of the graph.
+    [mix] is (login, subscribe, check, post) and defaults to the paper's
+    5/9/85/1. Posts receive strictly increasing times starting at
+    [first_time]. *)
+let generate ~rng ~graph ?(active_fraction = 0.7) ?(mix = mix_default) ~total_ops
+    ?(first_time = 1_000_000) () =
+  let nusers = Social_graph.nusers graph in
+  let nactive = max 1 (int_of_float (float_of_int nusers *. active_fraction)) in
+  (* active users are a random sample *)
+  let ids = Array.init nusers (fun i -> i) in
+  Rng.shuffle rng ids;
+  let active = Array.sub ids 0 nactive in
+  let posting = Rng.Alias.create (Array.map (fun u -> (Social_graph.posting_weights graph).(u))
+                                    (Array.init nusers (fun i -> i))) in
+  let l, s, c, _p = mix in
+  let time = ref first_time in
+  let nposts = ref 0 and nchecks = ref 0 and nlogins = ref 0 and nsubs = ref 0 in
+  let logged_in = Hashtbl.create nactive in
+  let ops =
+    Array.init total_ops (fun _ ->
+        let r = Rng.float rng in
+        if r < l then begin
+          incr nlogins;
+          let u = active.(Rng.int rng nactive) in
+          Hashtbl.replace logged_in u ();
+          Login u
+        end
+        else if r < l +. s then begin
+          incr nsubs;
+          let u = active.(Rng.int rng nactive) in
+          let p = Rng.Alias.sample posting rng in
+          let p = if p = u then (p + 1) mod nusers else p in
+          Subscribe (u, p)
+        end
+        else if r < l +. s +. c then begin
+          incr nchecks;
+          Check (active.(Rng.int rng nactive))
+        end
+        else begin
+          incr nposts;
+          incr time;
+          Post (Rng.Alias.sample posting rng, !time)
+        end)
+  in
+  { ops; nposts = !nposts; nchecks = !nchecks; nlogins = !nlogins; nsubs = !nsubs }
+
+(** A check+post-only workload for the materialization experiment (Fig 8):
+    [nchecks] timeline checks spread uniformly over the active users,
+    interleaved with [nposts] posts. *)
+let checks_and_posts ~rng ~graph ~active_fraction ~nchecks ~nposts ?(first_time = 1_000_000) () =
+  let nusers = Social_graph.nusers graph in
+  let nactive = max 1 (int_of_float (float_of_int nusers *. active_fraction)) in
+  let ids = Array.init nusers (fun i -> i) in
+  Rng.shuffle rng ids;
+  let active = Array.sub ids 0 nactive in
+  let posting = Rng.Alias.create (Social_graph.posting_weights graph) in
+  let total = nchecks + nposts in
+  let time = ref first_time in
+  let ops =
+    Array.init total (fun i ->
+        (* deterministic interleave with the right ratio *)
+        if nposts > 0 && i mod (max 1 (total / nposts)) = 0 && !time - first_time < nposts then begin
+          incr time;
+          Post (Rng.Alias.sample posting rng, !time)
+        end
+        else Check (active.(Rng.int rng nactive)))
+  in
+  { ops; nposts; nchecks; nlogins = 0; nsubs = 0 }

@@ -1,0 +1,1 @@
+lib/baselines/memcached_model.ml: Hashtbl String

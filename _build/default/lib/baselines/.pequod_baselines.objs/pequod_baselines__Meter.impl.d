@@ -1,0 +1,1 @@
+lib/baselines/meter.ml: Buffer Bytes List Pequod_proto String Unix

@@ -1,0 +1,1 @@
+lib/baselines/meter.mli: Bytes Unix

@@ -1,0 +1,1 @@
+lib/baselines/redis_model.ml: Hashtbl List Sorted_vec String

@@ -1,0 +1,1 @@
+lib/baselines/sorted_vec.ml: Array List String

@@ -1,0 +1,58 @@
+(** A model of memcached as used in the paper's comparison (§5.2): a
+    hash-table store of plain strings, with [get]/[set]/[append]/[delete].
+    Clients store timelines as strings of concatenated entries and update
+    them with [append] — which, as in the C implementation's
+    reallocate-and-copy behaviour, costs O(current size) per append. That
+    cost is why memcached suffers under the write-heavy Twip mix. *)
+
+type t = {
+  store : (string, string) Hashtbl.t;
+  mutable commands : int;
+  mutable bytes_copied : int;
+}
+
+let create () = { store = Hashtbl.create 4096; commands = 0; bytes_copied = 0 }
+
+let commands t = t.commands
+let bytes_copied t = t.bytes_copied
+
+let set t key v =
+  t.commands <- t.commands + 1;
+  Hashtbl.replace t.store key v
+
+let get t key =
+  t.commands <- t.commands + 1;
+  Hashtbl.find_opt t.store key
+
+(** Append to an existing value; fails (like memcached) when absent. *)
+let append t key suffix =
+  t.commands <- t.commands + 1;
+  match Hashtbl.find_opt t.store key with
+  | Some v ->
+    (* model the slab reallocate-and-copy *)
+    let v' = v ^ suffix in
+    t.bytes_copied <- t.bytes_copied + String.length v';
+    Hashtbl.replace t.store key v';
+    true
+  | None -> false
+
+let delete t key =
+  t.commands <- t.commands + 1;
+  let existed = Hashtbl.mem t.store key in
+  Hashtbl.remove t.store key;
+  existed
+
+let memory_bytes t =
+  Hashtbl.fold (fun k v acc -> acc + String.length k + String.length v + 64) t.store 0
+
+(** Command dispatcher (server side of the model as a process). *)
+let dispatch t parts =
+  match parts with
+  | [ "set"; k; v ] ->
+    set t k v;
+    [ "STORED" ]
+  | [ "get"; k ] -> ( match get t k with Some v -> [ v ] | None -> [])
+  | [ "append"; k; v ] -> [ (if append t k v then "STORED" else "NOT_STORED") ]
+  | [ "delete"; k ] -> [ (if delete t k then "DELETED" else "NOT_FOUND") ]
+  | [ "MEMORY" ] -> [ string_of_int (memory_bytes t) ]
+  | _ -> [ "ERROR" ]

@@ -1,0 +1,158 @@
+(** Metered RPC channels for the comparison systems.
+
+    Every system in the §5.2 comparison is driven through one of these
+    channels, so measured runtimes include real RPC costs and the byte/RPC
+    counts are exact. Two deployments:
+
+    - {e in-process} (the default, used by the test suite): request and
+      response bytes bounce through a connected loopback TCP pair (the
+      paper's transport, §5.1) and the handler runs in the same process;
+    - {e forked} (used by the benchmark harness): the handler — and all
+      system state — lives in a forked child process serving framed
+      requests, so each RPC is a genuine cross-process round trip with
+      scheduler wakeups, exactly like the paper's client/server setup.
+
+    The channel API is bytes-to-bytes; helpers encode command-style
+    requests (Redis/memcached/SQL wire shapes) as string arrays. *)
+
+module Frame = Pequod_proto.Frame
+module Codec = Pequod_proto.Codec
+
+type mode =
+  | In_process of { handler : string -> string; a : Unix.file_descr; b : Unix.file_descr }
+  | Forked of { fd : Unix.file_descr; pid : int; decoder : Frame.decoder }
+
+type t = {
+  mutable rpcs : int;
+  mutable bytes_sent : int;
+  mutable bytes_received : int;
+  mode : mode;
+  scratch : Bytes.t;
+}
+
+(* a connected TCP pair over the loopback interface (§5.1) *)
+let tcp_loopback_pair () =
+  let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listener Unix.SO_REUSEADDR true;
+  Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen listener 1;
+  let port =
+    match Unix.getsockname listener with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  let client = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect client (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let server, _ = Unix.accept listener in
+  Unix.close listener;
+  Unix.setsockopt client Unix.TCP_NODELAY true;
+  Unix.setsockopt server Unix.TCP_NODELAY true;
+  (client, server)
+
+let write_all fd s =
+  let n = String.length s in
+  let sent = ref 0 in
+  while !sent < n do
+    sent := !sent + Unix.write_substring fd s !sent (n - !sent)
+  done
+
+(** In-process channel: [handler] maps request bytes to response bytes. *)
+let create ~handler () =
+  let a, b = tcp_loopback_pair () in
+  { rpcs = 0; bytes_sent = 0; bytes_received = 0; mode = In_process { handler; a; b };
+    scratch = Bytes.create 65_536 }
+
+(** Forked channel: [serve] runs in a child process; all state it closes
+    over is the child's alone from this point on. *)
+let create_forked ~serve () =
+  let parent_fd, child_fd = tcp_loopback_pair () in
+  match Unix.fork () with
+  | 0 ->
+    (* child: serve framed requests until EOF, then exit *)
+    Unix.close parent_fd;
+    let decoder = Frame.decoder () in
+    let buf = Bytes.create 65_536 in
+    (try
+       let rec loop () =
+         let n = Unix.read child_fd buf 0 (Bytes.length buf) in
+         if n > 0 then begin
+           List.iter
+             (fun req -> write_all child_fd (Frame.encode (serve req)))
+             (Frame.feed decoder (Bytes.sub_string buf 0 n));
+           loop ()
+         end
+       in
+       loop ()
+     with _ -> ());
+    Unix._exit 0
+  | pid ->
+    Unix.close child_fd;
+    { rpcs = 0; bytes_sent = 0; bytes_received = 0;
+      mode = Forked { fd = parent_fd; pid; decoder = Frame.decoder () };
+      scratch = Bytes.create 65_536 }
+
+let close t =
+  match t.mode with
+  | In_process { a; b; _ } ->
+    Unix.close a;
+    Unix.close b
+  | Forked { fd; pid; _ } ->
+    Unix.close fd;
+    ignore (Unix.waitpid [] pid)
+
+(* push [wire] through the kernel pair and read it back: the two copies,
+   two syscalls and the readiness wait of a loopback RPC direction *)
+let bounce t a b wire =
+  let n = String.length wire in
+  if n > 0 && n < 60_000 then begin
+    let written = Unix.write_substring a wire 0 n in
+    (match Unix.select [ b ] [] [] 0.0 with _ -> ());
+    let got = ref 0 in
+    while !got < written do
+      got := !got + Unix.read b t.scratch !got (written - !got)
+    done
+  end
+
+(** One RPC: request bytes in, response bytes out, through the channel's
+    transport. *)
+let call t request =
+  t.rpcs <- t.rpcs + 1;
+  t.bytes_sent <- t.bytes_sent + String.length request;
+  let response =
+    match t.mode with
+    | In_process { handler; a; b } ->
+      bounce t a b request;
+      let response = handler request in
+      bounce t a b response;
+      response
+    | Forked { fd; decoder; _ } -> (
+      write_all fd (Frame.encode request);
+      let rec read_frame () =
+        let n = Unix.read fd t.scratch 0 (Bytes.length t.scratch) in
+        if n = 0 then failwith "Meter.call: server process closed the connection";
+        match Frame.feed decoder (Bytes.sub_string t.scratch 0 n) with
+        | [] -> read_frame ()
+        | [ frame ] -> frame
+        | _ -> failwith "Meter.call: pipelined response"
+      in
+      read_frame ())
+  in
+  t.bytes_received <- t.bytes_received + String.length response;
+  response
+
+(* ------------------------------------------------------------------ *)
+(* Command-style payloads (Redis / memcached / SQL wire shapes)        *)
+
+let encode_parts parts =
+  let buf = Buffer.create 64 in
+  Codec.put_varint buf (List.length parts);
+  List.iter (Codec.put_string buf) parts;
+  Buffer.contents buf
+
+let decode_parts wire =
+  let r = Codec.reader wire in
+  let n = Codec.get_varint r in
+  List.init n (fun _ -> Codec.get_string r)
+
+(** Send one command (array of strings), receive reply parts. *)
+let command t parts = decode_parts (call t (encode_parts parts))

@@ -1,0 +1,40 @@
+(** Metered RPC channels for the comparison systems (§5.2).
+
+    Two deployments: {e in-process} (request/response bytes bounce through
+    a connected loopback-TCP pair — the paper's transport, §5.1 — and the
+    handler runs locally; used by the tests) and {e forked} (the handler
+    and all state it closes over live in a forked child process serving
+    framed requests; every call is a genuine cross-process RPC; used by
+    the benchmark harness). *)
+
+type t = {
+  mutable rpcs : int;
+  mutable bytes_sent : int;
+  mutable bytes_received : int;
+  mode : mode;
+  scratch : Bytes.t;
+}
+
+and mode
+
+(** A connected TCP pair over the loopback interface. *)
+val tcp_loopback_pair : unit -> Unix.file_descr * Unix.file_descr
+
+(** In-process channel: [handler] maps request bytes to response bytes. *)
+val create : handler:(string -> string) -> unit -> t
+
+(** Forked channel: [serve] runs in a child process. *)
+val create_forked : serve:(string -> string) -> unit -> t
+
+(** Close the transport (and reap the child, for forked channels). *)
+val close : t -> unit
+
+(** One RPC: request bytes in, response bytes out. *)
+val call : t -> string -> string
+
+(** Command-style payloads (Redis/memcached/SQL wire shapes): an array of
+    strings each way. *)
+val encode_parts : string list -> string
+
+val decode_parts : string -> string list
+val command : t -> string list -> string list

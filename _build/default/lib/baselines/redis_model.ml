@@ -1,0 +1,142 @@
+(** A faithful model of the Redis usage in the paper's comparison (§5.2):
+    an unordered hash-table store with O(1) key lookup, holding strings,
+    sets, and sorted sets. Clients manage timelines themselves (Redis has
+    no server-side computation): timelines are sorted sets keyed by time.
+
+    Commands mirror the Redis ones the Retwis-style client needs. *)
+
+type value =
+  | Str of string
+  | Set of (string, unit) Hashtbl.t
+  | Zset of Sorted_vec.t
+
+type t = {
+  store : (string, value) Hashtbl.t;
+  mutable commands : int;
+}
+
+let create () = { store = Hashtbl.create 4096; commands = 0 }
+
+let commands t = t.commands
+
+let wrong_type () = invalid_arg "redis: wrong value type"
+
+let set t key v =
+  t.commands <- t.commands + 1;
+  Hashtbl.replace t.store key (Str v)
+
+let get t key =
+  t.commands <- t.commands + 1;
+  match Hashtbl.find_opt t.store key with
+  | Some (Str v) -> Some v
+  | Some _ -> wrong_type ()
+  | None -> None
+
+let del t key =
+  t.commands <- t.commands + 1;
+  let existed = Hashtbl.mem t.store key in
+  Hashtbl.remove t.store key;
+  existed
+
+let sadd t key member =
+  t.commands <- t.commands + 1;
+  let set =
+    match Hashtbl.find_opt t.store key with
+    | Some (Set s) -> s
+    | None ->
+      let s = Hashtbl.create 8 in
+      Hashtbl.replace t.store key (Set s);
+      s
+    | Some _ -> wrong_type ()
+  in
+  Hashtbl.replace set member ()
+
+let srem t key member =
+  t.commands <- t.commands + 1;
+  match Hashtbl.find_opt t.store key with
+  | Some (Set s) -> Hashtbl.remove s member
+  | Some _ -> wrong_type ()
+  | None -> ()
+
+let smembers t key =
+  t.commands <- t.commands + 1;
+  match Hashtbl.find_opt t.store key with
+  | Some (Set s) -> Hashtbl.fold (fun m () acc -> m :: acc) s []
+  | Some _ -> wrong_type ()
+  | None -> []
+
+let zadd t key ~score ~member =
+  t.commands <- t.commands + 1;
+  let z =
+    match Hashtbl.find_opt t.store key with
+    | Some (Zset z) -> z
+    | None ->
+      let z = Sorted_vec.create () in
+      Hashtbl.replace t.store key (Zset z);
+      z
+    | Some _ -> wrong_type ()
+  in
+  Sorted_vec.add z ~score ~member
+
+let zrem t key ~score ~member =
+  t.commands <- t.commands + 1;
+  match Hashtbl.find_opt t.store key with
+  | Some (Zset z) -> ignore (Sorted_vec.remove z ~score ~member)
+  | Some _ -> wrong_type ()
+  | None -> ()
+
+let zrangebyscore t key ~min_score ~max_score =
+  t.commands <- t.commands + 1;
+  match Hashtbl.find_opt t.store key with
+  | Some (Zset z) -> Sorted_vec.range_by_score z ~min_score ~max_score
+  | Some _ -> wrong_type ()
+  | None -> []
+
+let zcard t key =
+  t.commands <- t.commands + 1;
+  match Hashtbl.find_opt t.store key with
+  | Some (Zset z) -> Sorted_vec.length z
+  | Some _ -> wrong_type ()
+  | None -> 0
+
+let memory_bytes t =
+  Hashtbl.fold
+    (fun k v acc ->
+      acc + String.length k + 64
+      +
+      match v with
+      | Str s -> String.length s
+      | Set s -> Hashtbl.fold (fun m () a -> a + String.length m + 32) s 64
+      | Zset z -> Sorted_vec.memory_bytes z)
+    t.store 0
+
+(** Command dispatcher: execute one RESP-style command (array of strings)
+    and return the reply parts. This is the server side of the Redis
+    model when it runs as a separate process. *)
+let dispatch t parts =
+  match parts with
+  | [ "SET"; k; v ] ->
+    set t k v;
+    [ "OK" ]
+  | [ "GET"; k ] -> ( match get t k with Some v -> [ v ] | None -> [])
+  | [ "DEL"; k ] -> [ (if del t k then "1" else "0") ]
+  | [ "SADD"; k; m ] ->
+    sadd t k m;
+    [ "1" ]
+  | [ "SREM"; k; m ] ->
+    srem t k m;
+    [ "1" ]
+  | [ "SMEMBERS"; k ] -> smembers t k
+  | [ "ZADD"; k; score; member ] ->
+    zadd t k ~score ~member;
+    [ "1" ]
+  | [ "ZREM"; k; score; member ] ->
+    zrem t k ~score ~member;
+    [ "1" ]
+  | [ "ZRANGEBYSCORE"; k; min_score; max_score ] ->
+    zrangebyscore t k ~min_score ~max_score
+    |> List.concat_map (fun (s, m) -> [ s; m ])
+  | [ "ZCARD"; k ] -> [ string_of_int (zcard t k) ]
+  | [ "MEMORY" ] -> [ string_of_int (memory_bytes t) ]
+  | [ "COMMANDS" ] -> [ string_of_int (commands t) ]
+  | _ -> [ "ERR"; "unknown command" ]

@@ -1,0 +1,91 @@
+(** A growable sorted vector of (score, member) pairs — the data structure
+    behind the Redis-model sorted set. Appends at the tail (the common case
+    for time-ordered timelines) are amortized O(1); out-of-order inserts
+    shift, as an array-backed structure does. Range queries by score use
+    binary search. *)
+
+type t = {
+  mutable scores : string array;
+  mutable members : string array;
+  mutable len : int;
+}
+
+let create () = { scores = Array.make 8 ""; members = Array.make 8 ""; len = 0 }
+
+let length t = t.len
+
+let ensure_capacity t =
+  if t.len = Array.length t.scores then begin
+    let n = 2 * t.len in
+    let scores = Array.make n "" and members = Array.make n "" in
+    Array.blit t.scores 0 scores 0 t.len;
+    Array.blit t.members 0 members 0 t.len;
+    t.scores <- scores;
+    t.members <- members
+  end
+
+let cmp_at t i score member =
+  let c = String.compare t.scores.(i) score in
+  if c <> 0 then c else String.compare t.members.(i) member
+
+(* first index with element >= (score, member) *)
+let lower_bound t score member =
+  let rec bs lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if cmp_at t mid score member < 0 then bs (mid + 1) hi else bs lo mid
+  in
+  bs 0 t.len
+
+(** Insert keeping order; replaces an existing identical (score, member). *)
+let add t ~score ~member =
+  ensure_capacity t;
+  if t.len > 0 && cmp_at t (t.len - 1) score member < 0 then begin
+    (* fast path: append at tail *)
+    t.scores.(t.len) <- score;
+    t.members.(t.len) <- member;
+    t.len <- t.len + 1
+  end
+  else begin
+    let i = lower_bound t score member in
+    if i < t.len && cmp_at t i score member = 0 then t.members.(i) <- member
+    else begin
+      Array.blit t.scores i t.scores (i + 1) (t.len - i);
+      Array.blit t.members i t.members (i + 1) (t.len - i);
+      t.scores.(i) <- score;
+      t.members.(i) <- member;
+      t.len <- t.len + 1
+    end
+  end
+
+let remove t ~score ~member =
+  let i = lower_bound t score member in
+  if i < t.len && cmp_at t i score member = 0 then begin
+    Array.blit t.scores (i + 1) t.scores i (t.len - i - 1);
+    Array.blit t.members (i + 1) t.members i (t.len - i - 1);
+    t.len <- t.len - 1;
+    true
+  end
+  else false
+
+(** All pairs with [min_score <= score < max_score], ascending. *)
+let range_by_score t ~min_score ~max_score =
+  let start = lower_bound t min_score "" in
+  let acc = ref [] in
+  let i = ref start in
+  while !i < t.len && String.compare t.scores.(!i) max_score < 0 do
+    acc := (t.scores.(!i), t.members.(!i)) :: !acc;
+    incr i
+  done;
+  List.rev !acc
+
+let to_list t = range_by_score t ~min_score:"" ~max_score:"\xff"
+
+(** Approximate resident bytes. *)
+let memory_bytes t =
+  let acc = ref (16 + (2 * 8 * Array.length t.scores)) in
+  for i = 0 to t.len - 1 do
+    acc := !acc + String.length t.scores.(i) + String.length t.members.(i)
+  done;
+  !acc

@@ -1,0 +1,1 @@
+lib/core/operator.ml: List Pequod_pattern String Strkey

@@ -1,0 +1,1 @@
+lib/core/server.ml: Array Buffer Config Float Hashtbl List Operator Option Pequod_pattern Pequod_store Printf Stats String Strkey

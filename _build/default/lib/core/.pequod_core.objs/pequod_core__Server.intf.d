@@ -1,0 +1,1 @@
+lib/core/server.mli: Config Pequod_pattern Stats

@@ -1,0 +1,31 @@
+(** Server configuration knobs.
+
+    The optimization toggles exist so the §4 ablation experiments can
+    measure each mechanism: output hints (§4.2), value sharing (§4.3),
+    updater combining (§3.2), subtables (§4.1, via [table_config]) and the
+    check-source maintenance policy (§3.2). Production use keeps the
+    defaults, which match the paper's prototype. *)
+
+type t = {
+  mutable output_hints : bool; (* O(1) appends via last-update pointer *)
+  mutable value_sharing : bool; (* copy joins share the source string *)
+  mutable combine_updaters : bool; (* merge same-range updaters *)
+  mutable lazy_checks : bool; (* check sources invalidate lazily (paper default) *)
+  mutable pending_log_limit : int; (* partial-invalidation log cap; beyond it
+                                      escalate to complete invalidation *)
+  mutable memory_limit : int option; (* eviction high-water mark, bytes *)
+  mutable now : unit -> float; (* clock, for snapshot joins *)
+  mutable table_config : string -> int option; (* table -> subtable depth *)
+}
+
+let default () =
+  {
+    output_hints = true;
+    value_sharing = true;
+    combine_updaters = true;
+    lazy_checks = true;
+    pending_log_limit = 64;
+    memory_limit = None;
+    now = Unix.gettimeofday;
+    table_config = (fun _ -> None);
+  }

@@ -1,0 +1,85 @@
+(** Semantics of the cache-join source operators over string values.
+
+    [count] and [sum] treat values as decimal integers; [min]/[max] compare
+    values lexicographically (use {!Strkey.encode_int} for numeric order).
+    Each aggregate supports both from-scratch folding and incremental
+    reaction to one source change (§3.2); [min]/[max] must ask for a
+    recomputation when their current extremum disappears, since the
+    remaining extremum is not derivable from the change alone. *)
+
+module Joinspec = Pequod_pattern.Joinspec
+
+type change = Insert | Update | Remove
+
+(** From-scratch aggregate of the given source values. [None] when there
+    are no inputs (the aggregate output key is then absent). *)
+let fold_aggregate (op : Joinspec.operator) values =
+  match (op, values) with
+  | _, [] -> None
+  | Joinspec.Count, vs -> Some (string_of_int (List.length vs))
+  | Joinspec.Sum, vs ->
+    Some (string_of_int (List.fold_left (fun acc v -> acc + int_of_string v) 0 vs))
+  | Joinspec.Min, v :: vs -> Some (List.fold_left Strkey.min_str v vs)
+  | Joinspec.Max, v :: vs -> Some (List.fold_left Strkey.max_str v vs)
+  | (Joinspec.Copy | Joinspec.Check), _ -> invalid_arg "Operator.fold_aggregate: not an aggregate"
+
+(** Incremental update of an aggregate output value in response to one
+    source change.
+
+    [current] is the aggregate's present value ([None] if the output key
+    does not exist yet). Returns what to do to the output key. *)
+type action =
+  | Set of string (* store this value *)
+  | Delete (* remove the output key *)
+  | Recompute (* fold from scratch over the source range *)
+  | Nothing
+
+let incremental (op : Joinspec.operator) ~current ~change ~old_value ~new_value =
+  let as_int = function
+    | Some v -> ( match int_of_string_opt v with Some n -> n | None -> 0)
+    | None -> 0
+  in
+  match op with
+  | Joinspec.Count -> (
+    match (change, current) with
+    | Insert, None -> Set "1"
+    | Insert, Some c -> Set (string_of_int (as_int (Some c) + 1))
+    | Remove, Some c ->
+      let n = as_int (Some c) - 1 in
+      if n <= 0 then Delete else Set (string_of_int n)
+    | Remove, None -> Nothing
+    | Update, _ -> Nothing)
+  | Joinspec.Sum -> (
+    let delta =
+      match change with
+      | Insert -> as_int new_value
+      | Remove -> -as_int old_value
+      | Update -> as_int new_value - as_int old_value
+    in
+    match (current, change) with
+    | None, Remove -> Nothing
+    | None, _ -> Set (string_of_int delta)
+    | Some _, Remove when current = None -> Nothing
+    | Some c, _ ->
+      (* a sum with no remaining inputs cannot be detected from the value
+         alone; keep 0 sums rather than guessing *)
+      Set (string_of_int (as_int (Some c) + delta)))
+  | Joinspec.Min -> (
+    match (change, current, new_value) with
+    | Insert, None, Some v -> Set v
+    | Insert, Some c, Some v -> if String.compare v c < 0 then Set v else Nothing
+    | (Remove | Update), Some c, _ when old_value = Some c -> Recompute
+    | Update, Some c, Some v -> if String.compare v c < 0 then Set v else Nothing
+    | Remove, _, _ -> Nothing
+    | _, _, None -> Nothing
+    | Update, None, Some _ -> Recompute)
+  | Joinspec.Max -> (
+    match (change, current, new_value) with
+    | Insert, None, Some v -> Set v
+    | Insert, Some c, Some v -> if String.compare v c > 0 then Set v else Nothing
+    | (Remove | Update), Some c, _ when old_value = Some c -> Recompute
+    | Update, Some c, Some v -> if String.compare v c > 0 then Set v else Nothing
+    | Remove, _, _ -> Nothing
+    | _, _, None -> Nothing
+    | Update, None, Some _ -> Recompute)
+  | Joinspec.Copy | Joinspec.Check -> invalid_arg "Operator.incremental: not an aggregate"

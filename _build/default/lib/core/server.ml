@@ -1,0 +1,1068 @@
+(** The Pequod cache engine: an ordered key-value store with cache joins.
+
+    One [Server.t] is one cache server. It supports the four client
+    operations ([get], [put], [remove], [scan]) plus [add_join] (§2), and
+    implements:
+
+    - forward query execution with slot sets and containing ranges
+      (§3.1, Figs 3 and 5), with dynamic materialization: join output is
+      computed on first demand for a range, then kept fresh;
+    - incremental maintenance (§3.2): eager updaters for value sources,
+      lazy invalidation (partial logs, escalating to complete
+      invalidation) for check sources, updater combining, output hints,
+      and value sharing;
+    - pull and snapshot maintenance annotations (§3.4);
+    - missing-data resolution hooks (§3.3): a resolver callback loads
+      base ranges from a backing database or a remote home server; an
+      asynchronous resolver makes [scan_nb] return the set of ranges to
+      fetch so the host can fetch them in parallel and retry (the restart
+      behaviour: completed covers stay valid and are not recomputed);
+    - LRU eviction of computed ranges under a memory limit (§2.5).
+
+    The store itself is schema-free; bookkeeping lives beside the data:
+    a {e status} range map per table records which output ranges are
+    fresh, and an {e updater} interval tree per table reacts to writes. *)
+
+module Table = Pequod_store.Table
+module Store = Pequod_store.Store
+module Interval_map = Pequod_store.Interval_map
+module Range_map = Pequod_store.Range_map
+module Lru = Pequod_store.Lru
+module Pattern = Pequod_pattern.Pattern
+module Joinspec = Pequod_pattern.Joinspec
+
+type change = Operator.change = Insert | Update | Remove
+
+(* Stored value plus the bytes charged against the memory budget (copy
+   joins with value sharing enabled charge only a pointer). *)
+type cell = { data : string; charged : int }
+
+let pointer_cost = 8
+
+type join = { jid : int; spec : Joinspec.t }
+
+(* A partial-invalidation log entry: a logged check-source change to be
+   applied when the output range is next queried (§3.2, [29]). *)
+type log_entry = {
+  le_join : join;
+  le_source : int;
+  le_key : string;
+  le_change : change;
+  le_bindings : string option array;
+  le_residual : Pattern.residual option;
+}
+
+type st_state =
+  | Valid of { expires : float option } (* snapshot joins carry an expiry *)
+  | Invalid (* complete invalidation: recompute from scratch *)
+  | Pending of log_entry list (* partial invalidation, newest first *)
+
+type status = { mutable state : st_state }
+
+(* A cover is one materialized execution of one join over one output
+   range: it owns the updaters installed during that execution, the
+   output hint, and an LRU slot for eviction. *)
+type cover = {
+  co_join : join;
+  co_lo : string;
+  co_hi : string;
+  mutable co_handles : updater Interval_map.handle list;
+  co_installed : (string, unit) Hashtbl.t; (* dedup of (entry, context) installs *)
+  co_handle_keys : (string, updater Interval_map.handle) Hashtbl.t;
+  (* entry keys already in co_handles, with the handle registered *)
+  mutable co_hint : cell Table.handle option;
+  mutable co_lru : cover Lru.entry option;
+}
+
+and updater = {
+  up_join : join;
+  up_source : int;
+  up_kind : [ `Eager | `Invalidate ];
+  mutable up_contexts : context list;
+}
+
+and context = {
+  cx_bindings : string option array;
+  cx_residual : Pattern.residual option;
+  cx_cover : cover;
+}
+
+type tbl_meta = {
+  status : status Range_map.t;
+  updaters : updater Interval_map.t;
+  (* O(1) updater-combining lookup: "jid/src/kind/lo/hi" -> entry *)
+  combine_index : (string, updater Interval_map.handle) Hashtbl.t;
+  mutable present : unit Range_map.t option; (* Some when a resolver governs this table *)
+}
+
+(* Resolver answers for a missing base range (§3.3). *)
+type resolve_result =
+  | Resolved of (string * string) list (* pairs now available *)
+  | Deferred (* fetch started; retry later *)
+  | Local (* this table is not backed; treat as present *)
+
+type resolver = table:string -> lo:string -> hi:string -> resolve_result
+
+exception Need_fetch of (string * string * string) (* table, lo, hi *)
+exception Join_cycle of string
+
+type t = {
+  store : cell Store.t;
+  mutable c_puts : int; (* hot-path counters; folded into stats_snapshot *)
+  mutable c_updater_runs : int;
+  mutable c_scans : int;
+  mutable c_scans_fast : int;
+  config : Config.t;
+  mutable joins : join list; (* install order *)
+  meta : (string, tbl_meta) Hashtbl.t;
+  covers : (int, cover Range_map.t) Hashtbl.t; (* join id -> disjoint covers *)
+  lru : cover Lru.t;
+  mutable value_bytes : int;
+  mutable next_jid : int;
+  counters : Stats.Counters.t;
+  mutable resolver : resolver option;
+}
+
+let create ?config () =
+  let config = match config with Some c -> c | None -> Config.default () in
+  {
+    store = Store.create ~table_config:(fun name -> config.Config.table_config name)
+        ~dummy:{ data = ""; charged = 0 } ();
+    c_puts = 0;
+    c_updater_runs = 0;
+    c_scans = 0;
+    c_scans_fast = 0;
+    config;
+    joins = [];
+    meta = Hashtbl.create 16;
+    covers = Hashtbl.create 16;
+    lru = Lru.create ();
+    value_bytes = 0;
+    next_jid = 0;
+    counters = Stats.Counters.create ();
+    resolver = None;
+  }
+
+let config t = t.config
+let counters t = t.counters
+let set_resolver t r = t.resolver <- Some r
+
+let meta t name =
+  match Hashtbl.find_opt t.meta name with
+  | Some m -> m
+  | None ->
+    let m = { status = Range_map.create ~dup:(fun st -> { state = st.state }) ();
+              updaters = Interval_map.create ();
+              combine_index = Hashtbl.create 64;
+              present = None }
+    in
+    Hashtbl.add t.meta name m;
+    m
+
+let covers_of t jid =
+  match Hashtbl.find_opt t.covers jid with
+  | Some rm -> rm
+  | None ->
+    let rm = Range_map.create () in
+    Hashtbl.add t.covers jid rm;
+    rm
+
+(** Total approximate resident bytes: keys, nodes, values. *)
+let memory_bytes t = Store.memory_bytes t.store + t.value_bytes
+
+let store_ops t = Store.total_ops t.store
+
+let now t = t.config.Config.now ()
+
+let in_cover cover key =
+  String.compare cover.co_lo key <= 0 && String.compare key cover.co_hi < 0
+
+(* ------------------------------------------------------------------ *)
+(* Join installation                                                   *)
+
+(** Install a cache join. Rejects joins that would make the dependency
+    graph between tables cyclic (§3's recursion check, extended to
+    indirect cycles through chained joins). *)
+let add_join t spec =
+  let out_table = Pattern.table (Joinspec.output spec) in
+  let deps j =
+    List.map (fun s -> Pattern.table s.Joinspec.pattern) (Joinspec.sources j)
+  in
+  (* edge: out table of join -> source tables; a cycle means recursion *)
+  let edges =
+    (out_table, deps spec)
+    :: List.map (fun j -> (Pattern.table (Joinspec.output j.spec), deps j.spec)) t.joins
+  in
+  let rec reachable src visited =
+    if List.mem src visited then visited
+    else
+      let visited = src :: visited in
+      List.fold_left
+        (fun acc (o, ds) -> if String.equal o src then List.fold_left (fun a d -> reachable d a) acc ds else acc)
+        visited edges
+  in
+  let closure = List.concat_map (fun d -> reachable d []) (deps spec) in
+  if List.mem out_table closure then
+    Error (Printf.sprintf "join on table %s creates a dependency cycle" out_table)
+  else begin
+    let join = { jid = t.next_jid; spec } in
+    t.next_jid <- t.next_jid + 1;
+    t.joins <- t.joins @ [ join ];
+    Ok ()
+  end
+
+let add_join_text t text =
+  match Joinspec.parse text with
+  | Error msg -> Error msg
+  | Ok spec -> add_join t spec
+
+let add_join_exn t text =
+  match add_join_text t text with Ok () -> () | Error msg -> invalid_arg msg
+
+let joins t = List.map (fun j -> j.spec) t.joins
+
+(* ------------------------------------------------------------------ *)
+(* The mutually recursive engine core                                  *)
+
+let bump ?n t name = Stats.Counters.bump ?n t.counters name
+
+let source_array spec = Joinspec.sources_array spec
+
+(* Union of two binding arrays; [None] on any conflicting slot. *)
+let merge_bindings a b =
+  let n = max (Array.length a) (Array.length b) in
+  let out = Array.make n None in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    let va = if i < Array.length a then a.(i) else None in
+    let vb = if i < Array.length b then b.(i) else None in
+    match (va, vb) with
+    | Some x, Some y when not (String.equal x y) -> ok := false
+    | Some x, _ -> out.(i) <- Some x
+    | None, v -> out.(i) <- v
+  done;
+  if !ok then Some out else None
+
+(* Does [sub]'s every binding also appear, equal, in [sup]? *)
+let bindings_subsume ~sub ~sup =
+  let n = min (Array.length sub) (Array.length sup) in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    match (sub.(i), sup.(i)) with
+    | Some a, Some b when not (String.equal a b) -> ok := false
+    | Some _, None -> ok := false
+    | _ -> ()
+  done;
+  Array.iteri (fun i v -> if i >= n && v <> None then ok := false) sub;
+  !ok
+
+(* merge adjacent Valid status pieces so warm reads see one piece *)
+let coalesce_valid m ~lo ~hi =
+  Range_map.coalesce m.status ~lo ~hi ~eq:(fun a b ->
+      match (a.state, b.state) with
+      | Valid { expires = None }, Valid { expires = None } -> true
+      | Valid { expires = Some x }, Valid { expires = Some y } -> x = y
+      | _ -> false)
+
+let rec apply_put ?hint ?(shared = false) t key data =
+  t.c_puts <- t.c_puts + 1;
+  Strkey.validate key;
+  let tbl = Store.table_of_key t.store key in
+  let charged =
+    if shared && t.config.Config.value_sharing then pointer_cost else String.length data
+  in
+  let data = if shared && not t.config.Config.value_sharing then String.sub data 0 (String.length data) else data in
+  let handle, old = Table.put ?hint tbl key { data; charged } in
+  (match old with Some oc -> t.value_bytes <- t.value_bytes - oc.charged | None -> ());
+  t.value_bytes <- t.value_bytes + charged;
+  let change = if old = None then Insert else Update in
+  notify t key ~old_value:(Option.map (fun c -> c.data) old) ~new_value:(Some data) ~change;
+  handle
+
+and apply_remove t key =
+  let tbl = Store.table_of_key t.store key in
+  match Table.remove tbl key with
+  | None -> ()
+  | Some cell ->
+    bump t "store.remove";
+    t.value_bytes <- t.value_bytes - cell.charged;
+    notify t key ~old_value:(Some cell.data) ~new_value:None ~change:Remove
+
+(* Every write runs the updaters stabbing the key (§3.2). *)
+and notify t key ~old_value ~new_value ~change =
+  let m = meta t (Store.table_name_of key) in
+  if Interval_map.size m.updaters > 0 then begin
+    let hits = ref [] in
+    Interval_map.stab m.updaters key (fun e -> hits := Interval_map.handle_data e :: !hits);
+    List.iter
+      (fun up ->
+        List.iter
+          (fun cx -> run_context t up cx key ~old_value ~new_value ~change)
+          up.up_contexts)
+      !hits
+  end
+
+and run_context t up cx key ~old_value ~new_value ~change =
+  t.c_updater_runs <- t.c_updater_runs + 1;
+  let src = (source_array up.up_join.spec).(up.up_source) in
+  match Pattern.match_key src.Joinspec.pattern key ~bindings:cx.cx_bindings with
+  | None -> ()
+  | Some b -> (
+    match up.up_kind with
+    | `Eager ->
+      if up.up_source = Joinspec.value_source_index up.up_join.spec then
+        eager_value_apply t up cx b ~old_value ~new_value ~change
+      else eager_check_apply t up cx b ~change
+    | `Invalidate -> invalidate_apply t up cx b key ~change)
+
+(* Eager reaction on the value source: copy or adjust an aggregate. *)
+and eager_value_apply t up cx b ~old_value ~new_value ~change =
+  let join = up.up_join in
+  let out = Joinspec.output join.spec in
+  match Pattern.build_key out b with
+  | exception Invalid_argument _ -> ()
+  | okey ->
+    if in_cover cx.cx_cover okey then begin
+      match Joinspec.value_op join.spec with
+      | Joinspec.Copy -> (
+        match change with
+        | Insert | Update -> (
+          match new_value with
+          | Some v -> put_output t cx.cx_cover okey v ~shared:true
+          | None -> ())
+        | Remove -> apply_remove t okey)
+      | Joinspec.Count | Joinspec.Sum | Joinspec.Min | Joinspec.Max -> (
+        let op = Joinspec.value_op join.spec in
+        let current = Option.map (fun c -> c.data) (Store.get t.store okey) in
+        match Operator.incremental op ~current ~change ~old_value ~new_value with
+        | Operator.Set v -> put_output t cx.cx_cover okey v ~shared:false
+        | Operator.Delete -> apply_remove t okey
+        | Operator.Recompute -> recompute_aggregate t join cx b okey
+        | Operator.Nothing -> ())
+      | Joinspec.Check -> assert false
+    end
+
+(* Eager reaction on a check source (the non-default policy, used by the
+   maintenance-policy ablation): recompute the binding immediately. *)
+and eager_check_apply t up cx b ~change =
+  match change with
+  | Update -> () (* check values are not interesting *)
+  | Insert ->
+    exec_sources t ~active:[] up.up_join ~bindings:b ~residual:cx.cx_residual
+      ~out_range:(cx.cx_cover.co_lo, cx.cx_cover.co_hi)
+      ~mode:(`Materialize cx.cx_cover) ~skip_source:up.up_source
+  | Remove ->
+    retract_binding t up.up_join b ~lo:cx.cx_cover.co_lo ~hi:cx.cx_cover.co_hi
+
+(* Lazy reaction on a check source: log a partial invalidation against the
+   affected output subrange, escalating to complete invalidation when the
+   log grows too long (§3.2). *)
+and invalidate_apply t up cx b key ~change =
+  if change <> Update then begin
+    let join = up.up_join in
+    let out = Joinspec.output join.spec in
+    let clo, chi = Pattern.containing_range out ~bindings:b ~residual:cx.cx_residual in
+    match Strkey.range_inter (clo, chi) (cx.cx_cover.co_lo, cx.cx_cover.co_hi) with
+    | None -> ()
+    | Some (lo, hi) ->
+      bump t "updater.invalidate";
+      let m = meta t (Pattern.table out) in
+      let entry =
+        { le_join = join; le_source = up.up_source; le_key = key; le_change = change;
+          le_bindings = cx.cx_bindings; le_residual = cx.cx_residual }
+      in
+      let limit = t.config.Config.pending_log_limit in
+      Range_map.update_range m.status ~lo ~hi (fun _ _ stv ->
+          match stv with
+          | None -> None (* unknown: nothing materialized to invalidate *)
+          | Some st ->
+            (match st.state with
+            | Valid _ -> st.state <- Pending [ entry ]
+            | Pending log when List.length log >= limit -> st.state <- Invalid
+            | Pending log -> st.state <- Pending (entry :: log)
+            | Invalid -> ());
+            Some st)
+  end
+
+(* Remove the outputs and value-source updater contexts a vanished check
+   binding was supporting (subscription removal), restricted to the output
+   region [lo, hi) being repaired — other regions carry their own log
+   entries and repair themselves when queried. *)
+and retract_binding t join b ~lo ~hi =
+  let out = Joinspec.output join.spec in
+  let olo, ohi = Pattern.containing_range out ~bindings:b ~residual:None in
+  let olo = Strkey.max_str olo lo and ohi = Strkey.min_str ohi hi in
+  if String.compare olo ohi < 0 then begin
+    let doomed =
+      Store.fold_range t.store ~lo:olo ~hi:ohi ~init:[] (fun acc k _ ->
+          match Pattern.match_key out k ~bindings:b with Some _ -> k :: acc | None -> acc)
+    in
+    List.iter (fun k -> apply_remove t k) doomed;
+    (* prune value-source updater contexts subsumed by this binding, for
+       covers that overlap the repaired region *)
+    let vs = Joinspec.value_source join.spec in
+    let slo, shi = Pattern.containing_range vs.Joinspec.pattern ~bindings:b ~residual:None in
+    let m = meta t (Pattern.table vs.Joinspec.pattern) in
+    let stale = ref [] in
+    Interval_map.iter_overlapping m.updaters ~lo:slo ~hi:shi (fun e ->
+        let up = Interval_map.handle_data e in
+        if up.up_join.jid = join.jid && up.up_source = Joinspec.value_source_index join.spec
+        then begin
+          let elo, ehi = Interval_map.handle_range e in
+          let ckey =
+            combine_key join ~source_idx:up.up_source ~kind:up.up_kind ~slo:elo ~shi:ehi
+          in
+          let keep cx =
+            let doomed =
+              bindings_subsume ~sub:b ~sup:cx.cx_bindings
+              && Strkey.range_overlaps (cx.cx_cover.co_lo, cx.cx_cover.co_hi) (lo, hi)
+            in
+            if doomed then
+              (* allow a later heal to reinstall this binding *)
+              Hashtbl.remove cx.cx_cover.co_installed
+                (install_fingerprint ~ckey ~bindings:cx.cx_bindings);
+            not doomed
+          in
+          up.up_contexts <- List.filter keep up.up_contexts;
+          if up.up_contexts = [] then stale := e :: !stale
+        end);
+    List.iter (fun e -> delete_updater_entry t m e) !stale
+  end
+
+(* unlink an updater entry from both the interval tree and the combine
+   index (which must never point at a removed entry) *)
+and delete_updater_entry t m e =
+  ignore t;
+  Interval_map.remove m.updaters e;
+  let up = Interval_map.handle_data e in
+  let slo, shi = Interval_map.handle_range e in
+  let ckey = combine_key up.up_join ~source_idx:up.up_source ~kind:up.up_kind ~slo ~shi in
+  match Hashtbl.find_opt m.combine_index ckey with
+  | Some e' when e' == e -> Hashtbl.remove m.combine_index ckey
+  | _ -> ()
+
+and put_output t cover okey data ~shared =
+  let hint = if t.config.Config.output_hints then cover.co_hint else None in
+  let handle = apply_put ?hint ~shared t okey data in
+  if t.config.Config.output_hints then cover.co_hint <- Some handle
+
+(* Recompute one aggregate group from scratch (min/max retraction). *)
+and recompute_aggregate t join cx b okey =
+  bump t "aggregate.recompute";
+  let vs = Joinspec.value_source join.spec in
+  (* restrict to the group key's slots: the aggregate refolds over every
+     source key of the group, not just the one that changed *)
+  let out_slots = Pattern.slots (Joinspec.output join.spec) in
+  let b = Array.mapi (fun i v -> if List.mem i out_slots then v else None) b in
+  let slo, shi = Pattern.containing_range vs.Joinspec.pattern ~bindings:b ~residual:None in
+  let values =
+    Store.fold_range t.store ~lo:slo ~hi:shi ~init:[] (fun acc k cell ->
+        match Pattern.match_key vs.Joinspec.pattern k ~bindings:b with
+        | Some _ -> cell.data :: acc
+        | None -> acc)
+  in
+  match Operator.fold_aggregate (Joinspec.value_op join.spec) (List.rev values) with
+  | Some v -> put_output t cx.cx_cover okey v ~shared:false
+  | None -> apply_remove t okey
+
+and install_fingerprint ~ckey ~bindings =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf ckey;
+  Array.iter
+    (fun v ->
+      Buffer.add_char buf '\x01';
+      match v with Some x -> Buffer.add_string buf x | None -> ())
+    bindings;
+  Buffer.contents buf
+
+(* Install (or combine, §3.2) an updater for [source_idx] of [join] over
+   source range [slo, shi), maintaining [cover]. *)
+and combine_key join ~source_idx ~kind ~slo ~shi =
+  String.concat "/"
+    [ string_of_int join.jid; string_of_int source_idx;
+      (match kind with `Eager -> "e" | `Invalidate -> "i"); slo; shi ]
+
+and install_updater t join ~source_idx ~kind ~slo ~shi ~cx =
+  if String.compare slo shi < 0 then begin
+    let cover = cx.cx_cover in
+    let ckey = combine_key join ~source_idx ~kind ~slo ~shi in
+    (* one context per (entry, cover, binding): repeated lazy heals of the
+       same subscription must not accumulate duplicates *)
+    let fp = install_fingerprint ~ckey ~bindings:cx.cx_bindings in
+    if not (Hashtbl.mem cover.co_installed fp) then begin
+      Hashtbl.replace cover.co_installed fp ();
+      let src = (source_array join.spec).(source_idx) in
+      let m = meta t (Pattern.table src.Joinspec.pattern) in
+      let existing =
+        if t.config.Config.combine_updaters then Hashtbl.find_opt m.combine_index ckey else None
+      in
+      let register e =
+        (* co_handle_keys maps entry key -> handle: if the entry was
+           re-created since, register the fresh handle too *)
+        match Hashtbl.find_opt cover.co_handle_keys ckey with
+        | Some e' when e' == e -> ()
+        | _ ->
+          Hashtbl.replace cover.co_handle_keys ckey e;
+          cover.co_handles <- e :: cover.co_handles
+      in
+      match existing with
+      | Some e ->
+        bump t "updater.combined";
+        let up = Interval_map.handle_data e in
+        up.up_contexts <- cx :: up.up_contexts;
+        register e
+      | None ->
+        bump t "updater.installed";
+        let up = { up_join = join; up_source = source_idx; up_kind = kind; up_contexts = [ cx ] } in
+        let e = Interval_map.add m.updaters ~lo:slo ~hi:shi up in
+        if t.config.Config.combine_updaters then Hashtbl.replace m.combine_index ckey e;
+        register e
+    end
+  end
+
+(* The nested-loop executor (Figs 3 and 5). [skip_source] marks a source
+   already bound by the caller (log application / eager check insert).
+   [mode] is [`Materialize cover] (install results, updaters, hints) or
+   [`Collect acc] (pull joins: just produce pairs). *)
+and exec_sources t ~active join ~bindings ~residual ~out_range ~mode ~skip_source =
+  bump t "exec.run";
+  let spec = join.spec in
+  let sources = source_array spec in
+  let nsources = Array.length sources in
+  let vs_idx = Joinspec.value_source_index spec in
+  let vop = Joinspec.value_op spec in
+  let out = Joinspec.output spec in
+  let olo, ohi = out_range in
+  let install = match mode with
+    | `Materialize _ when Joinspec.maintenance spec = Joinspec.Push -> true
+    | _ -> false
+  in
+  let agg = if Joinspec.is_aggregate vop then Some (Hashtbl.create 16) else None in
+  (* copy emissions are buffered and flushed in key order, so the output
+     hint turns materialization into sequential appends *)
+  let copy_buf = ref [] in
+  let emit b value =
+    match Pattern.build_key out b with
+    | exception Invalid_argument _ -> ()
+    | okey ->
+      if String.compare olo okey <= 0 && String.compare okey ohi < 0 then begin
+        match agg with
+        | Some groups ->
+          let prev = match Hashtbl.find_opt groups okey with Some l -> l | None -> [] in
+          Hashtbl.replace groups okey (value :: prev)
+        | None -> (
+          match mode with
+          | `Materialize _ -> copy_buf := (okey, value) :: !copy_buf
+          | `Collect acc -> acc := (okey, value) :: !acc)
+      end
+  in
+  let rec loop i b value =
+    if i >= nsources then (match value with Some v -> emit b v | None -> ())
+    else if i = skip_source then
+      (* pre-bound source; its key contributed bindings already, and check
+         sources contribute no value *)
+      loop (i + 1) b value
+    else begin
+      let src = sources.(i) in
+      let slo, shi = Pattern.containing_range src.Joinspec.pattern ~bindings:b ~residual in
+      if String.compare slo shi < 0 then begin
+        ensure_source_ready t ~active (Pattern.table src.Joinspec.pattern) ~lo:slo ~hi:shi;
+        (if install then
+           match mode with
+           | `Materialize cover ->
+             let kind =
+               if src.Joinspec.op = Joinspec.Check && t.config.Config.lazy_checks then `Invalidate
+               else `Eager
+             in
+             (* install over the canonical residual-free range: updaters
+                from different queried subranges then combine into one
+                entry instead of piling up overlapping intervals *)
+             let ilo, ihi =
+               if residual = None then (slo, shi)
+               else Pattern.containing_range src.Joinspec.pattern ~bindings:b ~residual:None
+             in
+             install_updater t join ~source_idx:i ~kind ~slo:ilo ~shi:ihi
+               ~cx:{ cx_bindings = b; cx_residual = residual; cx_cover = cover }
+           | `Collect _ -> ());
+        (* safe to iterate live: emissions are buffered until the loop
+           finishes, so no store mutation happens during iteration *)
+        Store.iter_range t.store ~lo:slo ~hi:shi (fun k cell ->
+            match Pattern.match_key src.Joinspec.pattern k ~bindings:b with
+            | Some b' ->
+              let value = if i = vs_idx then Some cell.data else value in
+              loop (i + 1) b' value
+            | None -> ())
+      end
+    end
+  in
+  loop 0 bindings None;
+  (match (mode, !copy_buf) with
+  | `Materialize cover, (_ :: _ as buf) ->
+    (* stable sort keeps last-wins order for ambiguous joins *)
+    List.iter
+      (fun (okey, v) -> put_output t cover okey v ~shared:true)
+      (List.stable_sort (fun (a, _) (b, _) -> String.compare a b) (List.rev buf))
+  | _ -> ());
+  match agg with
+  | None -> ()
+  | Some groups ->
+    let groups = Hashtbl.fold (fun k vs acc -> (k, List.rev vs) :: acc) groups [] in
+    List.iter
+      (fun (okey, values) ->
+        match Operator.fold_aggregate vop values with
+        | Some v -> (
+          match mode with
+          | `Materialize cover -> put_output t cover okey v ~shared:false
+          | `Collect acc -> acc := (okey, v) :: !acc)
+        | None -> ())
+      (List.sort compare groups)
+
+(* Make a base/source range available locally, resolving through other
+   joins (§3.3 case 1) or the resolver (cases 2 and 3). *)
+and ensure_source_ready t ~active table ~lo ~hi =
+  (* chained joins: if any join outputs into this table, validate first *)
+  let feeds =
+    List.exists
+      (fun j ->
+        Joinspec.maintenance j.spec <> Joinspec.Pull
+        && String.equal (Pattern.table (Joinspec.output j.spec)) table)
+      t.joins
+  in
+  if feeds then validate_range t ~active ~lo ~hi;
+  match t.resolver with
+  | None -> ()
+  | Some resolve ->
+    let m = meta t table in
+    let present =
+      match m.present with
+      | Some p -> p
+      | None ->
+        let p = Range_map.create () in
+        m.present <- Some p;
+        p
+    in
+    let missing = ref [] in
+    Range_map.iter_cover present ~lo ~hi (fun plo phi v ->
+        if v = None then missing := (plo, phi) :: !missing);
+    List.iter
+      (fun (plo, phi) ->
+        match resolve ~table ~lo:plo ~hi:phi with
+        | Local -> Range_map.set present ~lo:plo ~hi:phi ()
+        | Resolved pairs ->
+          bump t "resolver.fetch";
+          Range_map.set present ~lo:plo ~hi:phi ();
+          List.iter (fun (k, v) -> ignore (apply_put t k v)) pairs
+        | Deferred ->
+          bump t "resolver.deferred";
+          raise (Need_fetch (table, plo, phi)))
+      (List.rev !missing)
+
+(* Bring every push/snapshot join's output in [lo, hi) up to date:
+   compute unknown ranges, recompute invalid ones, apply pending logs. *)
+and validate_range t ~active ~lo ~hi =
+  (* per-join cover of the request *)
+  let jcovers =
+    List.filter_map
+      (fun j ->
+        if Joinspec.maintenance j.spec = Joinspec.Pull then None
+        else
+          let out = Joinspec.output j.spec in
+          match Pattern.bind_range out ~lo ~hi ~nslots:(Joinspec.nslots j.spec) with
+          | None -> None
+          | Some (b0, residual) ->
+            let clo, chi = Pattern.containing_range out ~bindings:b0 ~residual in
+            (match Strkey.range_inter (clo, chi) (lo, hi) with
+            | None -> None
+            | Some cov -> Some (j, b0, residual, cov)))
+      t.joins
+  in
+  if jcovers <> [] then begin
+    (* group by output table *)
+    let tables =
+      List.sort_uniq String.compare
+        (List.map (fun (j, _, _, _) -> Pattern.table (Joinspec.output j.spec)) jcovers)
+    in
+    List.iter
+      (fun table ->
+        let m = meta t table in
+        let mine = List.filter (fun (j, _, _, _) -> String.equal (Pattern.table (Joinspec.output j.spec)) table) jcovers in
+        let span_lo = List.fold_left (fun acc (_, _, _, (l, _)) -> Strkey.min_str acc l) hi mine in
+        let span_hi = List.fold_left (fun acc (_, _, _, (_, h)) -> Strkey.max_str acc h) lo mine in
+        if String.compare span_lo span_hi < 0 then begin
+          let pieces = ref [] in
+          Range_map.iter_cover m.status ~lo:span_lo ~hi:span_hi (fun plo phi st ->
+              pieces := (plo, phi, st) :: !pieces);
+          List.iter
+            (fun (plo, phi, st) ->
+              let involved =
+                List.filter (fun (_, _, _, cov) -> Strkey.range_overlaps cov (plo, phi)) mine
+              in
+              if involved <> [] then begin
+                match st with
+                | Some { state = Valid { expires = None } } -> touch_covers t involved
+                | Some { state = Valid { expires = Some e } } when now t < e ->
+                  touch_covers t involved
+                | Some { state = Pending log } ->
+                  (* re-read state: an earlier piece's work may have changed it *)
+                  apply_log t ~active m ~plo ~phi (List.rev log)
+                | Some { state = Valid _ } (* expired snapshot *)
+                | Some { state = Invalid } | None ->
+                  recompute_region t ~active m table ~plo ~phi
+              end)
+            (List.rev !pieces)
+        end)
+      tables
+  end
+
+and touch_covers t involved =
+  if t.config.Config.memory_limit <> None then
+  List.iter
+    (fun (j, _, _, (clo, chi)) ->
+      List.iter
+        (fun (_, _, c) -> match c.co_lru with Some e -> Lru.touch t.lru e | None -> ())
+        (Range_map.overlapping (covers_of t j.jid) ~lo:clo ~hi:chi))
+    involved
+
+(* Recompute a region from scratch: expand to whole covers, tear them
+   down, clear their outputs, re-execute every overlapping join, and mark
+   the region valid. *)
+and recompute_region t ~active m table ~plo ~phi =
+  bump t "exec.recompute_region";
+  (* expand to cover boundaries (fixpoint) so updater teardown is whole *)
+  let lo = ref plo and hi = ref phi in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun j ->
+        if String.equal (Pattern.table (Joinspec.output j.spec)) table then
+          List.iter
+            (fun (_, _, c) ->
+              if String.compare c.co_lo !lo < 0 then begin lo := c.co_lo; changed := true end;
+              if String.compare c.co_hi !hi > 0 then begin hi := c.co_hi; changed := true end)
+            (Range_map.overlapping (covers_of t j.jid) ~lo:!lo ~hi:!hi))
+      t.joins
+  done;
+  let lo = !lo and hi = !hi in
+  (* which joins can output here? *)
+  let involved =
+    List.filter_map
+      (fun j ->
+        if
+          Joinspec.maintenance j.spec = Joinspec.Pull
+          || not (String.equal (Pattern.table (Joinspec.output j.spec)) table)
+        then None
+        else
+          match Pattern.bind_range (Joinspec.output j.spec) ~lo ~hi ~nslots:(Joinspec.nslots j.spec) with
+          | None -> None
+          | Some (b0, residual) -> Some (j, b0, residual))
+      t.joins
+  in
+  (* cycle guard for chained joins *)
+  List.iter
+    (fun (j, _, _) ->
+      if List.mem j.jid active then
+        raise (Join_cycle (Printf.sprintf "cyclic evaluation through %s" (Joinspec.to_string j.spec))))
+    involved;
+  (* teardown existing covers in the region *)
+  List.iter (fun (j, _, _) -> teardown_covers t j ~lo ~hi) involved;
+  (* drop stale outputs of the involved joins *)
+  List.iter
+    (fun (j, _, _) ->
+      let out = Joinspec.output j.spec in
+      let nb = Array.make (Joinspec.nslots j.spec) None in
+      let doomed =
+        Store.fold_range t.store ~lo ~hi ~init:[] (fun acc k _ ->
+            match Pattern.match_key out k ~bindings:nb with Some _ -> k :: acc | None -> acc)
+      in
+      List.iter (fun k -> apply_remove t k) doomed)
+    involved;
+  (* re-execute each join over its cover within the region *)
+  let expiry = ref None in
+  List.iter
+    (fun (j, b0, residual) ->
+      let out = Joinspec.output j.spec in
+      let clo, chi = Pattern.containing_range out ~bindings:b0 ~residual in
+      match Strkey.range_inter (clo, chi) (lo, hi) with
+      | None -> ()
+      | Some (covlo, covhi) ->
+        let cover =
+          { co_join = j; co_lo = covlo; co_hi = covhi; co_handles = [];
+            co_installed = Hashtbl.create 16; co_handle_keys = Hashtbl.create 16;
+            co_hint = None; co_lru = None }
+        in
+        (try
+           exec_sources t ~active:(j.jid :: active) j ~bindings:b0 ~residual
+             ~out_range:(covlo, covhi) ~mode:(`Materialize cover) ~skip_source:(-1)
+         with e ->
+           (* roll back the partial execution's updaters *)
+           List.iter (fun h -> remove_handle t cover h) cover.co_handles;
+           cover.co_handles <- [];
+           raise e);
+        Range_map.set (covers_of t j.jid) ~lo:covlo ~hi:covhi cover;
+        cover.co_lru <- Some (Lru.add t.lru cover);
+        (match Joinspec.maintenance j.spec with
+        | Joinspec.Snapshot secs ->
+          let e = now t +. secs in
+          expiry := Some (match !expiry with Some e0 -> Float.min e0 e | None -> e)
+        | Joinspec.Push | Joinspec.Pull -> ()))
+    involved;
+  Range_map.set m.status ~lo ~hi { state = Valid { expires = !expiry } };
+  coalesce_valid m ~lo ~hi
+
+(* Release one cover's stake in an updater entry: combined updaters
+   (§3.2) carry contexts from several covers, so only this cover's
+   contexts go; the entry disappears when its last context does. *)
+and remove_handle t cover h =
+  let up = Interval_map.handle_data h in
+  up.up_contexts <- List.filter (fun cx -> cx.cx_cover != cover) up.up_contexts;
+  if up.up_contexts = [] then begin
+    let src = (source_array up.up_join.spec).(up.up_source) in
+    let m = meta t (Pattern.table src.Joinspec.pattern) in
+    delete_updater_entry t m h
+  end
+
+and teardown_covers t j ~lo ~hi =
+  let cm = covers_of t j.jid in
+  let doomed = List.map (fun (_, _, c) -> c) (Range_map.overlapping cm ~lo ~hi) in
+  let doomed = ref doomed in
+  List.iter
+    (fun c ->
+      List.iter (fun h -> remove_handle t c h) c.co_handles;
+      c.co_handles <- [];
+      (match c.co_lru with Some e -> Lru.remove t.lru e | None -> ());
+      Range_map.clear_range cm ~lo:c.co_lo ~hi:c.co_hi)
+    !doomed
+
+(* Apply a partial-invalidation log to one status piece (§3.2): each
+   logged check-source change is joined against the other sources,
+   restricted to the piece. *)
+and apply_log t ~active m ~plo ~phi entries =
+  bump t "exec.apply_log";
+  List.iter
+    (fun e ->
+      let join = e.le_join in
+      let src = (source_array join.spec).(e.le_source) in
+      match Pattern.match_key src.Joinspec.pattern e.le_key ~bindings:e.le_bindings with
+      | None -> ()
+      | Some b -> (
+        match e.le_change with
+        | Update -> ()
+        | Insert -> (
+          (* find the cover this piece belongs to *)
+          match Range_map.find (covers_of t join.jid) plo with
+          | Some (_, _, cover) ->
+            let olo = Strkey.max_str plo cover.co_lo and ohi = Strkey.min_str phi cover.co_hi in
+            if String.compare olo ohi < 0 then begin
+              (* derive the slot set from the piece itself so source scans
+                 are narrowed to exactly the queried range — the essence of
+                 partial invalidation: "only those tweets strictly required
+                 by queries" (§3.2) *)
+              match
+                Pattern.bind_range (Joinspec.output join.spec) ~lo:olo ~hi:ohi
+                  ~nslots:(Joinspec.nslots join.spec)
+              with
+              | None -> ()
+              | Some (b0, residual_piece) -> (
+                match merge_bindings b b0 with
+                | None -> () (* the logged binding cannot output in this piece *)
+                | Some merged ->
+                  exec_sources t ~active join ~bindings:merged ~residual:residual_piece
+                    ~out_range:(olo, ohi) ~mode:(`Materialize cover) ~skip_source:e.le_source)
+            end
+          | None ->
+            (* cover vanished (evicted): recompute wholesale *)
+            recompute_region t ~active m (Pattern.table (Joinspec.output join.spec)) ~plo ~phi)
+        | Remove ->
+          (* retract outputs of this binding, restricted to the piece *)
+          let out = Joinspec.output join.spec in
+          let olo, ohi = Pattern.containing_range out ~bindings:b ~residual:e.le_residual in
+          ignore out;
+          let olo = Strkey.max_str olo plo and ohi = Strkey.min_str ohi phi in
+          if String.compare olo ohi < 0 then retract_binding t join b ~lo:olo ~hi:ohi))
+    entries;
+  Range_map.update_range m.status ~lo:plo ~hi:phi (fun _ _ stv ->
+      match stv with
+      | Some st ->
+        (match st.state with Pending _ -> st.state <- Valid { expires = None } | _ -> ());
+        Some st
+      | None -> None);
+  coalesce_valid m ~lo:plo ~hi:phi
+
+(* LRU eviction of computed covers under memory pressure (§2.5). *)
+and maybe_evict t =
+  match t.config.Config.memory_limit with
+  | None -> ()
+  | Some limit ->
+    let guard = ref 0 in
+    while memory_bytes t > limit && Lru.length t.lru > 0 && !guard < 10_000 do
+      incr guard;
+      match Lru.pop_lru t.lru with
+      | None -> ()
+      | Some c ->
+        bump t "evict.cover";
+        c.co_lru <- None;
+        evict_cover t c
+    done
+
+and evict_cover t c =
+  let j = c.co_join in
+  List.iter (fun h -> remove_handle t c h) c.co_handles;
+  c.co_handles <- [];
+  Range_map.clear_range (covers_of t j.jid) ~lo:c.co_lo ~hi:c.co_hi;
+  (* remove this join's outputs and forget the range's freshness *)
+  let out = Joinspec.output j.spec in
+  let nb = Array.make (Joinspec.nslots j.spec) None in
+  let doomed =
+    Store.fold_range t.store ~lo:c.co_lo ~hi:c.co_hi ~init:[] (fun acc k _ ->
+        match Pattern.match_key out k ~bindings:nb with Some _ -> k :: acc | None -> acc)
+  in
+  List.iter (fun k -> apply_remove t k) doomed;
+  let m = meta t (Pattern.table out) in
+  Range_map.clear_range m.status ~lo:c.co_lo ~hi:c.co_hi
+
+(* ------------------------------------------------------------------ *)
+(* Client operations                                                   *)
+
+let put t key value =
+  ignore (apply_put t key value);
+  maybe_evict t
+
+let remove t key = apply_remove t key
+
+(* Pull joins are recomputed on every query and never cached (§3.4). *)
+let pull_results t ~lo ~hi =
+  let acc = ref [] in
+  List.iter
+    (fun j ->
+      if Joinspec.maintenance j.spec = Joinspec.Pull then begin
+        let out = Joinspec.output j.spec in
+        match Pattern.bind_range out ~lo ~hi ~nslots:(Joinspec.nslots j.spec) with
+        | None -> ()
+        | Some (b0, residual) ->
+          let clo, chi = Pattern.containing_range out ~bindings:b0 ~residual in
+          (match Strkey.range_inter (clo, chi) (lo, hi) with
+          | None -> ()
+          | Some (covlo, covhi) ->
+            bump t "exec.pull";
+            exec_sources t ~active:[ j.jid ] j ~bindings:b0 ~residual
+              ~out_range:(covlo, covhi) ~mode:(`Collect acc) ~skip_source:(-1))
+      end)
+    t.joins;
+  List.sort_uniq compare !acc
+
+let has_pull_joins t =
+  List.exists (fun j -> Joinspec.maintenance j.spec = Joinspec.Pull) t.joins
+
+(* Fast path for the common warm read: the request stays in one table and
+   one unexpired Valid status piece covers all of it, so every overlapping
+   join's output is already fresh in the store. *)
+let warm_fast_path t ~lo ~hi =
+  (not (has_pull_joins t))
+  && String.equal (Store.table_name_of lo) (Store.table_name_of hi)
+  &&
+  match Hashtbl.find_opt t.meta (Store.table_name_of lo) with
+  | None -> false
+  | Some m -> (
+    match Range_map.find m.status lo with
+    | Some (_, phi, { state = Valid { expires } }) ->
+      String.compare hi phi <= 0
+      && (match expires with None -> true | Some e -> now t < e)
+    | _ -> false)
+
+(** Non-blocking scan for asynchronous deployments: either the results, or
+    the base ranges that must be fetched before retrying (§3.3). Fetches
+    are discovered one at a time but completed covers stay valid, so the
+    retry never recomputes finished work. *)
+let scan_nb t ~lo ~hi =
+  t.c_scans <- t.c_scans + 1;
+  if warm_fast_path t ~lo ~hi then begin
+    t.c_scans_fast <- t.c_scans_fast + 1;
+    `Ok (List.rev (Store.fold_range t.store ~lo ~hi ~init:[] (fun acc k c -> (k, c.data) :: acc)))
+  end
+  else
+  match
+    validate_range t ~active:[] ~lo ~hi;
+    pull_results t ~lo ~hi
+  with
+  | pulled ->
+    let stored = Store.fold_range t.store ~lo ~hi ~init:[] (fun acc k c -> (k, c.data) :: acc) in
+    let stored = List.rev stored in
+    (* merge, preferring materialized values on key collisions *)
+    let merged =
+      if pulled = [] then stored
+      else begin
+        let stored_keys = List.map fst stored in
+        let extra = List.filter (fun (k, _) -> not (List.mem k stored_keys)) pulled in
+        List.sort (fun (a, _) (b, _) -> String.compare a b) (stored @ extra)
+      end
+    in
+    (* evict only after the response is assembled: a cover computed for
+       this very scan must not vanish under the read *)
+    maybe_evict t;
+    `Ok merged
+  | exception Need_fetch (table, flo, fhi) -> `Missing [ (table, flo, fhi) ]
+
+(** Ordered scan of [\[lo, hi)], computing and freshening any overlapping
+    cache-join output first. Raises [Need_fetch] only under an
+    asynchronous resolver; use {!scan_nb} there. *)
+let scan t ~lo ~hi =
+  match scan_nb t ~lo ~hi with
+  | `Ok pairs -> pairs
+  | `Missing ((table, flo, fhi) :: _) ->
+    failwith (Printf.sprintf "Pequod.scan: unresolved fetch %s [%s, %s)" table flo fhi)
+  | `Missing [] -> assert false
+
+let get t key =
+  bump t "op.get";
+  match scan t ~lo:key ~hi:(Strkey.key_after key) with
+  | (k, v) :: _ when String.equal k key -> Some v
+  | _ -> None
+
+(** Feed base data fetched by the host (distributed mode): installs the
+    pairs, marks the range present, and lets updaters react. *)
+let feed_base t ~table ~lo ~hi pairs =
+  let m = meta t table in
+  let present =
+    match m.present with
+    | Some p -> p
+    | None ->
+      let p = Range_map.create () in
+      m.present <- Some p;
+      p
+  in
+  Range_map.set present ~lo ~hi ();
+  List.iter (fun (k, v) -> ignore (apply_put t k v)) pairs
+
+(** Mark a base range as locally owned (home-server partitions). *)
+let mark_present t ~table ~lo ~hi =
+  let m = meta t table in
+  let present =
+    match m.present with
+    | Some p -> p
+    | None ->
+      let p = Range_map.create () in
+      m.present <- Some p;
+      p
+  in
+  Range_map.set present ~lo ~hi ()
+
+(** Number of key-value pairs resident (all tables). *)
+let size t = Store.size t.store
+
+let stats_snapshot t =
+  [ ("store.put", t.c_puts); ("updater.run", t.c_updater_runs); ("op.scan", t.c_scans);
+    ("op.scan_fast", t.c_scans_fast); ("memory.bytes", memory_bytes t);
+    ("store.size", size t) ]
+  @ Stats.Counters.to_list t.counters
+  |> List.sort compare
+
+(** Invariant checks for tests. *)
+let validate t =
+  Store.validate t.store;
+  Hashtbl.iter
+    (fun _ m ->
+      Range_map.validate m.status;
+      Interval_map.validate m.updaters)
+    t.meta;
+  Hashtbl.iter (fun _ cm -> Range_map.validate cm) t.covers

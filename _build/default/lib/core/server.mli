@@ -1,0 +1,91 @@
+(** The Pequod cache engine: an ordered key-value store with cache joins.
+
+    One [Server.t] is one cache server. It supports the paper's four
+    client operations plus join installation (§2), and implements forward
+    query execution with dynamic materialization (§3.1), incremental
+    maintenance with eager updaters and lazy invalidation logs (§3.2),
+    missing-data resolution (§3.3), the pull/snapshot maintenance
+    annotations (§3.4), LRU eviction (§2.5), and the §4 optimizations
+    (subtables, output hints, value sharing, updater combining), each
+    controlled by {!Config.t}.
+
+    Keys are ['|']-separated byte strings without [0xff]
+    ({!Strkey.validate}); the first component names the table. *)
+
+module Joinspec = Pequod_pattern.Joinspec
+
+type t
+
+(** Resolver answers for a missing base range (§3.3). *)
+type resolve_result =
+  | Resolved of (string * string) list  (** pairs now available *)
+  | Deferred  (** fetch started; retry later via {!scan_nb} *)
+  | Local  (** this table is not backed; treat as present *)
+
+type resolver = table:string -> lo:string -> hi:string -> resolve_result
+
+(** Raised (through {!scan}) when an asynchronous resolver defers a fetch;
+    use {!scan_nb} in asynchronous deployments. *)
+exception Need_fetch of (string * string * string)
+
+(** Raised when chained joins evaluate cyclically at runtime. *)
+exception Join_cycle of string
+
+val create : ?config:Config.t -> unit -> t
+val config : t -> Config.t
+
+(** Install a cache join. Rejects joins that would make the dependency
+    graph between tables cyclic (the §3 recursion check, extended to
+    indirect cycles through chained joins). *)
+val add_join : t -> Joinspec.t -> (unit, string) result
+
+val add_join_text : t -> string -> (unit, string) result
+val add_join_exn : t -> string -> unit
+val joins : t -> Joinspec.t list
+
+(** Store a pair; every applicable updater runs (§3.2). *)
+val put : t -> string -> string -> unit
+
+val remove : t -> string -> unit
+
+(** Fetch one key, computing and freshening overlapping join output
+    first. *)
+val get : t -> string -> string option
+
+(** Ordered scan of [\[lo, hi)], computing and freshening any overlapping
+    cache-join output first. Pull-join results are merged in without
+    being cached. *)
+val scan : t -> lo:string -> hi:string -> (string * string) list
+
+(** Non-blocking scan for asynchronous deployments: either the results,
+    or the base ranges to fetch ([`Missing]) before retrying. Completed
+    covers stay valid across retries (§3.3 restart behaviour). *)
+val scan_nb :
+  t -> lo:string -> hi:string -> [ `Ok of (string * string) list | `Missing of (string * string * string) list ]
+
+(** Hook consulted when a base range is first needed (§3.3): a database
+    backing store or a remote home server. *)
+val set_resolver : t -> resolver -> unit
+
+(** Install fetched base data and mark its range present (distributed
+    deployments feed [Fetch] responses through this). *)
+val feed_base : t -> table:string -> lo:string -> hi:string -> (string * string) list -> unit
+
+(** Mark a base range as locally owned (home-server partitions). *)
+val mark_present : t -> table:string -> lo:string -> hi:string -> unit
+
+(** Approximate resident bytes: keys, nodes, values (§4.3-aware). *)
+val memory_bytes : t -> int
+
+(** Number of resident key-value pairs. *)
+val size : t -> int
+
+(** Cumulative store operations (tree lookups/inserts/removes/steps) —
+    the distributed simulator's CPU cost model. *)
+val store_ops : t -> int
+
+val counters : t -> Stats.Counters.t
+val stats_snapshot : t -> (string * int) list
+
+(** Structural invariant checks (trees, range maps); for tests. *)
+val validate : t -> unit

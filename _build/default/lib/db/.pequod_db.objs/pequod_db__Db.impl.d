@@ -1,0 +1,1 @@
+lib/db/db.ml: Array Bytes Char Hashtbl List Relation String

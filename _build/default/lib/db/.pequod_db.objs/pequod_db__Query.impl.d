@@ -1,0 +1,1 @@
+lib/db/query.ml: Array List Option Relation String Strkey

@@ -1,0 +1,1 @@
+lib/db/relation.ml: Array List Option Pequod_store Printf String Strkey

@@ -1,0 +1,182 @@
+(** A select-project-join query executor over {!Relation}s.
+
+    Queries are built programmatically (no SQL parser): a list of table
+    terms joined by column equalities, with constant and range predicates.
+    Execution is nested-loop in term order; each inner term is accessed
+    through its primary key prefix or a matching secondary index when the
+    already-bound join columns allow it, otherwise by filtered scan. This
+    mirrors how the paper's timeline query
+
+    {v select p.time, p.poster, p.tweet from s, p
+       where s.user='ann' and s.poster=p.poster and p.time>=100 v}
+
+    runs on an indexed relational engine. *)
+
+type term = {
+  relation : Relation.t;
+  alias : string;
+}
+
+type pred =
+  | Const of string * string * string (* alias.col = value *)
+  | Join of string * string * string * string (* a1.c1 = a2.c2 *)
+  | Ge of string * string * string (* alias.col >= value *)
+  | Lt of string * string * string (* alias.col < value *)
+
+type t = {
+  terms : term list;
+  preds : pred list;
+  select : (string * string) list; (* (alias, column) projection *)
+}
+
+type binding = (string * string array) list (* alias -> row *)
+
+let make ~terms ~preds ~select = { terms; preds; select }
+
+let col_value (binding : binding) alias col_idx =
+  match List.assoc_opt alias binding with
+  | Some row -> Some row.(col_idx)
+  | None -> None
+
+(* Predicates fully decided by the rows bound so far. *)
+let pred_applies q binding pred =
+  let resolve alias col =
+    match List.find_opt (fun t -> String.equal t.alias alias) q.terms with
+    | None -> invalid_arg ("unknown alias " ^ alias)
+    | Some t -> col_value binding alias (Relation.column_index (Relation.schema t.relation) col)
+  in
+  match pred with
+  | Const (a, c, v) -> (
+    match resolve a c with Some x -> Some (String.equal x v) | None -> None)
+  | Ge (a, c, v) -> (
+    match resolve a c with Some x -> Some (String.compare x v >= 0) | None -> None)
+  | Lt (a, c, v) -> (
+    match resolve a c with Some x -> Some (String.compare x v < 0) | None -> None)
+  | Join (a1, c1, a2, c2) -> (
+    match (resolve a1 c1, resolve a2 c2) with
+    | Some x, Some y -> Some (String.equal x y)
+    | _ -> None)
+
+(* Constant and join-derived equalities on [term]'s columns, given the
+   current binding: used to pick an access path. *)
+let known_equalities q binding term =
+  List.filter_map
+    (fun pred ->
+      match pred with
+      | Const (a, c, v) when String.equal a term.alias -> Some (c, v)
+      | Join (a1, c1, a2, c2) when String.equal a1 term.alias -> (
+        match
+          List.find_opt (fun t -> String.equal t.alias a2) q.terms
+        with
+        | Some t2 -> (
+          match col_value binding a2 (Relation.column_index (Relation.schema t2.relation) c2) with
+          | Some v -> Some (c1, v)
+          | None -> None)
+        | None -> None)
+      | Join (a2, c2, a1, c1) when String.equal a1 term.alias -> (
+        match
+          List.find_opt (fun t -> String.equal t.alias a2) q.terms
+        with
+        | Some t2 -> (
+          match col_value binding a2 (Relation.column_index (Relation.schema t2.relation) c2) with
+          | Some v -> Some (c1, v)
+          | None -> None)
+        | None -> None)
+      | _ -> None)
+    q.preds
+
+(* Access rows of [term] consistent with the known equalities: primary key
+   prefix when the equalities cover a pk prefix (extended by range
+   predicates on the next key column), else a secondary index, else a
+   scan. *)
+let access q term (eqs : (string * string) list) f =
+  let rel = term.relation in
+  let schema = Relation.schema rel in
+  let lookup c = List.assoc_opt schema.Relation.columns.(c) eqs in
+  (* longest pk prefix covered by equalities *)
+  let rec pk_prefix i acc =
+    if i >= Array.length schema.Relation.key then List.rev acc
+    else
+      match lookup schema.Relation.key.(i) with
+      | Some v -> pk_prefix (i + 1) (v :: acc)
+      | None -> List.rev acc
+  in
+  (* range predicates on the pk column right after the prefix narrow the
+     scan (the timeline check's "time >= since") *)
+  let range_on col =
+    List.fold_left
+      (fun (ge, lt) pred ->
+        match pred with
+        | Ge (a, c, v) when String.equal a term.alias && String.equal c col -> (Some v, lt)
+        | Lt (a, c, v) when String.equal a term.alias && String.equal c col -> (ge, Some v)
+        | _ -> (ge, lt))
+      (None, None) q.preds
+  in
+  match pk_prefix 0 [] with
+  | _ :: _ as prefix ->
+    let nprefix = List.length prefix in
+    let base = String.concat "|" prefix ^ "|" in
+    if nprefix < Array.length schema.Relation.key then begin
+      let next_col = schema.Relation.columns.(schema.Relation.key.(nprefix)) in
+      match range_on next_col with
+      | None, None -> Relation.scan_prefix rel prefix f
+      | ge, lt ->
+        let lo = match ge with Some v -> base ^ v | None -> base in
+        let hi = match lt with Some v -> base ^ v | None -> Strkey.prefix_upper base in
+        Relation.scan_pk rel ~lo ~hi f
+    end
+    else Relation.scan_prefix rel prefix f
+  | [] -> (
+    (* try any secondary index fully covered by equalities *)
+    let indexed =
+      List.find_map
+        (fun (cols, _) ->
+          let names = Array.to_list (Array.map (fun i -> schema.Relation.columns.(i)) cols) in
+          let values = List.map (fun n -> List.assoc_opt n eqs) names in
+          if List.for_all Option.is_some values then
+            Some (names, List.map Option.get values)
+          else None)
+        rel.Relation.indexes
+    in
+    match indexed with
+    | Some (columns, values) -> Relation.scan_index rel ~columns ~values f
+    | None -> Relation.iter rel f)
+
+(** Run the query, calling [f] with each projected result row. *)
+let exec q f =
+  let rec loop terms binding =
+    match terms with
+    | [] ->
+      let result =
+        Array.of_list
+          (List.map
+             (fun (alias, col) ->
+               match List.find_opt (fun t -> String.equal t.alias alias) q.terms with
+               | None -> invalid_arg ("unknown alias " ^ alias)
+               | Some t -> (
+                 match
+                   col_value binding alias (Relation.column_index (Relation.schema t.relation) col)
+                 with
+                 | Some v -> v
+                 | None -> invalid_arg "unbound projection"))
+             q.select)
+      in
+      f result
+    | term :: rest ->
+      let eqs = known_equalities q binding term in
+      access q term eqs (fun row ->
+          let binding' = (term.alias, row) :: binding in
+          let ok =
+            List.for_all
+              (fun pred ->
+                match pred_applies q binding' pred with Some b -> b | None -> true)
+              q.preds
+          in
+          if ok then loop rest binding')
+  in
+  loop q.terms []
+
+let exec_list q =
+  let acc = ref [] in
+  exec q (fun row -> acc := row :: !acc);
+  List.rev !acc

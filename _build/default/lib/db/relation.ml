@@ -1,0 +1,142 @@
+(** A relation: schema, rows, primary key, secondary indexes.
+
+    This is the storage layer of the mini relational database used as the
+    paper's PostgreSQL stand-in (§5.2) and as the persistent backing store
+    of a write-around deployment (§2). Rows are arrays of strings. The
+    primary key is an ordered B-tree-like index (our red-black tree);
+    secondary indexes map column prefixes to primary keys, also ordered.
+
+    The deliberate heaviness — generic tuples, per-row index maintenance,
+    encoded keys — is the point: it reproduces the machinery a relational
+    engine pays on every operation. *)
+
+module Rbtree = Pequod_store.Rbtree
+
+type schema = {
+  name : string;
+  columns : string array;
+  key : int array; (* indexes of primary key columns, in order *)
+}
+
+type t = {
+  schema : schema;
+  rows : string array Rbtree.t; (* pk-encoded -> row *)
+  mutable indexes : (int array * unit Rbtree.t) list; (* cols -> (encoded -> ()) *)
+  mutable row_count : int;
+}
+
+let encode_cols row cols =
+  String.concat "|" (Array.to_list (Array.map (fun i -> row.(i)) cols))
+
+let pk_of t row = encode_cols row t.schema.key
+
+let column_index schema name =
+  let rec go i =
+    if i >= Array.length schema.columns then
+      invalid_arg (Printf.sprintf "relation %s has no column %s" schema.name name)
+    else if String.equal schema.columns.(i) name then i
+    else go (i + 1)
+  in
+  go 0
+
+let create ~name ~columns ~key =
+  let schema = { name; columns = Array.of_list columns; key = [||] } in
+  let key = Array.of_list (List.map (column_index schema) key) in
+  let schema = { schema with key } in
+  { schema; rows = Rbtree.create ~dummy:[||] (); indexes = []; row_count = 0 }
+
+let schema t = t.schema
+let row_count t = t.row_count
+
+(** Add a secondary index on the named columns (ordered, supports prefix
+    and range scans). Existing rows are indexed immediately. *)
+let add_index t columns =
+  let cols = Array.of_list (List.map (column_index t.schema) columns) in
+  let idx = Rbtree.create ~dummy:() () in
+  Rbtree.iter t.rows (fun node ->
+      let row = node.Rbtree.value in
+      ignore (Rbtree.insert idx (encode_cols row cols ^ "|" ^ pk_of t row) ()));
+  t.indexes <- (cols, idx) :: t.indexes
+
+let index_for t cols =
+  let cols = Array.of_list (List.map (column_index t.schema) cols) in
+  List.find_opt (fun (ic, _) -> ic = cols) t.indexes
+
+(** Insert or replace by primary key. Returns the replaced row, if any. *)
+let insert t row =
+  if Array.length row <> Array.length t.schema.columns then
+    invalid_arg ("arity mismatch inserting into " ^ t.schema.name);
+  let pk = pk_of t row in
+  let old = Option.map (fun n -> n.Rbtree.value) (Rbtree.find t.rows pk) in
+  ignore (Rbtree.insert t.rows pk row);
+  (match old with
+  | Some orow ->
+    List.iter
+      (fun (cols, idx) -> ignore (Rbtree.remove idx (encode_cols orow cols ^ "|" ^ pk)))
+      t.indexes
+  | None -> t.row_count <- t.row_count + 1);
+  List.iter
+    (fun (cols, idx) -> ignore (Rbtree.insert idx (encode_cols row cols ^ "|" ^ pk) ()))
+    t.indexes;
+  old
+
+(** Delete by primary key values. Returns the deleted row, if any. *)
+let delete t key_values =
+  let pk = String.concat "|" key_values in
+  match Rbtree.find t.rows pk with
+  | None -> None
+  | Some node ->
+    let row = node.Rbtree.value in
+    Rbtree.remove_node t.rows node;
+    t.row_count <- t.row_count - 1;
+    List.iter
+      (fun (cols, idx) -> ignore (Rbtree.remove idx (encode_cols row cols ^ "|" ^ pk)))
+      t.indexes;
+    Some row
+
+let find t key_values =
+  Option.map (fun n -> n.Rbtree.value) (Rbtree.find t.rows (String.concat "|" key_values))
+
+(** Scan rows whose encoded primary key lies in [\[lo, hi)]. *)
+let scan_pk t ~lo ~hi f = Rbtree.iter_range t.rows ~lo ~hi (fun n -> f n.Rbtree.value)
+
+(** Scan rows whose primary key starts with the given column values. *)
+let scan_prefix t prefix_values f =
+  let p = String.concat "|" prefix_values in
+  let lo = if p = "" then "" else p ^ "|" in
+  let hi = if p = "" then "\xfe" else Strkey.prefix_upper lo in
+  (* a row whose whole pk equals the prefix also matches *)
+  (match Rbtree.find t.rows p with Some n -> f n.Rbtree.value | None -> ());
+  scan_pk t ~lo ~hi f
+
+(** Scan via a secondary index: rows whose indexed columns equal the given
+    values. Falls back to a full scan when no index matches (counted so
+    benchmarks can report it). *)
+let scan_index t ~columns ~values f =
+  match index_for t columns with
+  | Some (_, idx) ->
+    let p = String.concat "|" values in
+    let lo = p ^ "|" in
+    let hi = Strkey.prefix_upper lo in
+    Rbtree.iter_range idx ~lo ~hi (fun n ->
+        let key = n.Rbtree.key in
+        (* strip "values|" to recover the pk *)
+        let pk = String.sub key (String.length lo) (String.length key - String.length lo) in
+        match Rbtree.find t.rows pk with
+        | Some rn -> f rn.Rbtree.value
+        | None -> ())
+  | None ->
+    let cols = Array.of_list (List.map (column_index t.schema) columns) in
+    let vals = Array.of_list values in
+    Rbtree.iter t.rows (fun n ->
+        let row = n.Rbtree.value in
+        let ok = ref true in
+        Array.iteri (fun i c -> if not (String.equal row.(c) vals.(i)) then ok := false) cols;
+        if !ok then f row)
+
+let iter t f = Rbtree.iter t.rows (fun n -> f n.Rbtree.value)
+
+let to_list t =
+  let acc = ref [] in
+  iter t (fun row -> acc := row :: !acc);
+  List.rev !acc

@@ -1,0 +1,1 @@
+lib/net/net_server.ml: Bytes List Logs Pequod_core Pequod_proto Printexc Printf String Unix

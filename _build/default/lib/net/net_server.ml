@@ -1,0 +1,139 @@
+(** The network-facing Pequod server: a single-threaded, event-driven
+    loop (as in the paper's implementation) multiplexing any number of
+    client connections over TCP with [Unix.select].
+
+    Clients speak the length-prefixed binary protocol of
+    {!Pequod_proto.Message}. The loop is exposed as [step] so tests (and
+    embedding applications) can drive it manually; [run] loops forever. *)
+
+module Server = Pequod_core.Server
+module Config = Pequod_core.Config
+module Message = Pequod_proto.Message
+module Frame = Pequod_proto.Frame
+
+let src = Logs.Src.create "pequod.server"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type client = {
+  fd : Unix.file_descr;
+  peer : string;
+  decoder : Frame.decoder;
+  mutable outbuf : string; (* bytes waiting for the socket to accept them *)
+}
+
+type t = {
+  engine : Server.t;
+  listener : Unix.file_descr;
+  mutable clients : client list;
+  buf : Bytes.t;
+  mutable shutdown : bool;
+}
+
+(** Create a server listening on [port] (0 picks a free port; see {!port})
+    with the given cache joins installed. *)
+let create ~port ~joins ~memory_limit =
+  let config = Config.default () in
+  config.Config.memory_limit <- memory_limit;
+  let engine = Server.create ~config () in
+  List.iter
+    (fun j ->
+      match Server.add_join_text engine j with
+      | Ok () -> Log.info (fun m -> m "installed join: %s" j)
+      | Error msg -> failwith msg)
+    joins;
+  let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listener Unix.SO_REUSEADDR true;
+  Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_any, port));
+  Unix.listen listener 64;
+  Unix.set_nonblock listener;
+  { engine; listener; clients = []; buf = Bytes.create 65_536; shutdown = false }
+
+let engine t = t.engine
+
+(** The port actually bound (useful with [~port:0]). *)
+let port t =
+  match Unix.getsockname t.listener with
+  | Unix.ADDR_INET (_, p) -> p
+  | _ -> invalid_arg "Net_server.port"
+
+let peer_name fd =
+  match Unix.getpeername fd with
+  | Unix.ADDR_INET (addr, port) -> Printf.sprintf "%s:%d" (Unix.string_of_inet_addr addr) port
+  | Unix.ADDR_UNIX path -> path
+  | exception _ -> "?"
+
+let drop t client =
+  Log.info (fun m -> m "client %s disconnected" client.peer);
+  (try Unix.close client.fd with Unix.Unix_error _ -> ());
+  t.clients <- List.filter (fun c -> c != client) t.clients
+
+(* try to flush buffered output; keep the rest for the next round *)
+let flush_output t client =
+  if client.outbuf <> "" then begin
+    match Unix.write_substring client.fd client.outbuf 0 (String.length client.outbuf) with
+    | n -> client.outbuf <- String.sub client.outbuf n (String.length client.outbuf - n)
+    | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) -> ()
+    | exception Unix.Unix_error _ -> drop t client
+  end
+
+let handle_request t request =
+  match Message.decode_request request with
+  | req -> Message.apply_to_server t.engine req
+  | exception Message.Protocol_error msg -> Message.Error ("protocol error: " ^ msg)
+  | exception e -> Message.Error (Printexc.to_string e)
+
+let handle_readable t client =
+  match Unix.read client.fd t.buf 0 (Bytes.length t.buf) with
+  | 0 -> drop t client
+  | n -> (
+    match Frame.feed client.decoder (Bytes.sub_string t.buf 0 n) with
+    | frames ->
+      List.iter
+        (fun request ->
+          let response = handle_request t request in
+          client.outbuf <- client.outbuf ^ Frame.encode (Message.encode_response response);
+          flush_output t client)
+        frames
+    | exception Frame.Frame_too_large _ -> drop t client)
+  | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) -> ()
+  | exception Unix.Unix_error _ -> drop t client
+
+let accept_clients t =
+  let rec go () =
+    match Unix.accept t.listener with
+    | fd, _ ->
+      Unix.set_nonblock fd;
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+      let client = { fd; peer = peer_name fd; decoder = Frame.decoder (); outbuf = "" } in
+      Log.info (fun m -> m "client %s connected" client.peer);
+      t.clients <- client :: t.clients;
+      go ()
+    | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) -> ()
+  in
+  go ()
+
+(** One iteration of the event loop: wait up to [timeout] seconds for
+    readiness, then accept/read/write whatever is ready. *)
+let step ?(timeout = 1.0) t =
+  let reads = t.listener :: List.map (fun c -> c.fd) t.clients in
+  let writes = List.filter_map (fun c -> if c.outbuf <> "" then Some c.fd else None) t.clients in
+  match Unix.select reads writes [] timeout with
+  | readable, writable, _ ->
+    if List.memq t.listener readable then accept_clients t;
+    List.iter (fun c -> if List.memq c.fd readable then handle_readable t c) t.clients;
+    List.iter (fun c -> if List.memq c.fd writable then flush_output t c) t.clients
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+
+(** Serve until {!stop}. *)
+let run t =
+  while not t.shutdown do
+    step t
+  done
+
+(** Close the listener and every client connection. *)
+let stop t =
+  t.shutdown <- true;
+  List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) t.clients;
+  t.clients <- [];
+  try Unix.close t.listener with Unix.Unix_error _ -> ()

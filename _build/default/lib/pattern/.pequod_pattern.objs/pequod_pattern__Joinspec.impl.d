@@ -1,0 +1,1 @@
+lib/pattern/joinspec.ml: Array List Pattern Printf String

@@ -1,0 +1,1 @@
+lib/pattern/joinspec.mli: Pattern

@@ -1,0 +1,1 @@
+lib/pattern/pattern.ml: Array Buffer List String Strkey

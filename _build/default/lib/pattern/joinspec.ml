@@ -1,0 +1,182 @@
+(** The cache join language (Fig 2).
+
+    {v
+    <cachejoin> ::= <key> "=" ["push" | "pull" | "snapshot" <T>] <sources> [";"]
+    <sources>   ::= <source> | <sources> <source>
+    <source>    ::= <operator> <key>
+    <operator>  ::= "copy" | "min" | "max" | "count" | "sum" | "check"
+    v}
+
+    Example — the Twip timeline join:
+    {[ t|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time> ]}
+
+    Slots are written [<name>] and share one namespace across the join's
+    patterns. Parsing performs the §3 installation-time checks: exactly one
+    non-[check] source (the {e value source}), patterns rooted at table
+    literals, no direct self-recursion, and every output slot determinable
+    from some source. Ambiguous joins (value-source slots dropped from the
+    output under [copy], like the paper's duplicate-timestamp example) are
+    accepted but flagged, matching the paper's "users are responsible"
+    stance. *)
+
+type operator = Copy | Check | Count | Sum | Min | Max
+
+let operator_to_string = function
+  | Copy -> "copy"
+  | Check -> "check"
+  | Count -> "count"
+  | Sum -> "sum"
+  | Min -> "min"
+  | Max -> "max"
+
+let operator_of_string = function
+  | "copy" -> Some Copy
+  | "check" -> Some Check
+  | "count" -> Some Count
+  | "sum" -> Some Sum
+  | "min" -> Some Min
+  | "max" -> Some Max
+  | _ -> None
+
+let is_aggregate = function
+  | Count | Sum | Min | Max -> true
+  | Copy | Check -> false
+
+(** Maintenance annotation (§3.4): [Push] joins are incrementally
+    maintained; [Pull] joins are recomputed on every query and never cached;
+    [Snapshot t] joins are recomputed, then cached without updates for [t]
+    seconds. *)
+type maintenance = Push | Pull | Snapshot of float
+
+type source = { op : operator; pattern : Pattern.t }
+
+type t = {
+  output : Pattern.t;
+  sources : source list;
+  sources_a : source array; (* same contents; avoids per-use conversion *)
+  maintenance : maintenance;
+  slot_names : string array; (* slot id -> name *)
+  value_source : int; (* index into sources of the non-check source *)
+  ambiguous : bool; (* copy join that may merge distinct source tuples *)
+  text : string;
+}
+
+let nslots t = Array.length t.slot_names
+let nsources t = Array.length t.sources_a
+let source_at t i = t.sources_a.(i)
+let sources_array t = t.sources_a
+let output t = t.output
+let sources t = t.sources
+let maintenance t = t.maintenance
+let value_source t = List.nth t.sources t.value_source
+let value_source_index t = t.value_source
+let is_ambiguous t = t.ambiguous
+let slot_name t i = t.slot_names.(i)
+let to_string t = t.text
+
+(** Operator of the join's value source. *)
+let value_op t = (value_source t).op
+
+let parse text =
+  let fail msg = Error (Printf.sprintf "cache join %S: %s" text msg) in
+  let tokens =
+    String.split_on_char ' ' text
+    |> List.concat_map (String.split_on_char '\n')
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun s -> s <> "")
+  in
+  (* strip a trailing ';' from the last token *)
+  let tokens =
+    match List.rev tokens with
+    | last :: rest when String.length last > 0 && last.[String.length last - 1] = ';' ->
+      let trimmed = String.sub last 0 (String.length last - 1) in
+      List.rev (if trimmed = "" then rest else trimmed :: rest)
+    | _ -> tokens
+  in
+  let slot_names = ref [] in
+  let intern name =
+    let rec idx i = function
+      | [] ->
+        slot_names := !slot_names @ [ name ];
+        i
+      | n :: rest -> if String.equal n name then i else idx (i + 1) rest
+    in
+    idx 0 !slot_names
+  in
+  let parse_pattern s =
+    match Pattern.parse ~intern s with
+    | p -> Ok p
+    | exception Pattern.Parse_error msg -> Error msg
+  in
+  match tokens with
+  | out_text :: "=" :: rest -> (
+    let maintenance, rest =
+      match rest with
+      | "push" :: r -> (Ok Push, r)
+      | "pull" :: r -> (Ok Pull, r)
+      | "snapshot" :: t :: r -> (
+        match float_of_string_opt t with
+        | Some secs when secs > 0.0 -> (Ok (Snapshot secs), r)
+        | _ -> (Error "snapshot needs a positive duration", r))
+      | r -> (Ok Push, r)
+    in
+    match maintenance with
+    | Error msg -> fail msg
+    | Ok maintenance -> (
+      let rec parse_sources acc = function
+        | [] -> Ok (List.rev acc)
+        | op_text :: pat_text :: rest -> (
+          match operator_of_string op_text with
+          | None -> Error (Printf.sprintf "unknown operator %S" op_text)
+          | Some op -> (
+            match parse_pattern pat_text with
+            | Error msg -> Error msg
+            | Ok pattern -> parse_sources ({ op; pattern } :: acc) rest))
+        | [ tok ] -> Error (Printf.sprintf "dangling token %S" tok)
+      in
+      match parse_pattern out_text with
+      | Error msg -> fail msg
+      | Ok output -> (
+        match parse_sources [] rest with
+        | Error msg -> fail msg
+        | Ok [] -> fail "no sources"
+        | Ok sources -> (
+          (* exactly one non-check source *)
+          let value_sources =
+            List.mapi (fun i s -> (i, s)) sources |> List.filter (fun (_, s) -> s.op <> Check)
+          in
+          match value_sources with
+          | [] -> fail "no value source (all sources are check)"
+          | _ :: _ :: _ -> fail "a join must have exactly one non-check source"
+          | [ (value_source, vsource) ] ->
+            let slot_names = Array.of_list !slot_names in
+            let out_table = Pattern.table output in
+            if List.exists (fun s -> String.equal (Pattern.table s.pattern) out_table) sources
+            then fail "recursive join: output table used as a source"
+            else begin
+              (* every output slot must come from some source *)
+              let source_slots =
+                List.concat_map (fun s -> Pattern.slots s.pattern) sources
+              in
+              let missing =
+                Pattern.slots output |> List.filter (fun i -> not (List.mem i source_slots))
+              in
+              match missing with
+              | i :: _ ->
+                fail (Printf.sprintf "output slot <%s> not bound by any source" slot_names.(i))
+              | [] ->
+                (* a copy join whose value source has slots absent from the
+                   output may collapse distinct tuples (paper's example) *)
+                let ambiguous =
+                  vsource.op = Copy
+                  && List.exists
+                       (fun i -> not (Pattern.mentions_slot output i))
+                       (Pattern.slots vsource.pattern)
+                in
+                Ok { output; sources; sources_a = Array.of_list sources; maintenance;
+                     slot_names; value_source; ambiguous; text }
+            end))))
+  | _ -> fail "expected: <output-pattern> = [annotation] <op> <pattern> ..."
+
+let parse_exn text =
+  match parse text with Ok t -> t | Error msg -> invalid_arg msg

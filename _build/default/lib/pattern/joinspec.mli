@@ -1,0 +1,59 @@
+(** The cache join language (paper Fig 2).
+
+    {v
+    <cachejoin> ::= <key> "=" ["push" | "pull" | "snapshot" <T>] <sources> [";"]
+    <source>    ::= <operator> <key>
+    <operator>  ::= "copy" | "min" | "max" | "count" | "sum" | "check"
+    v}
+
+    Example — the Twip timeline join:
+    {[ t|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time> ]}
+
+    Parsing performs the §3 installation-time checks: exactly one
+    non-[check] source (the {e value source}), patterns rooted at table
+    literals, no direct self-recursion, every output slot determinable
+    from some source. Ambiguous joins (paper's duplicate-timestamp
+    example) are accepted but flagged. *)
+
+type operator = Copy | Check | Count | Sum | Min | Max
+
+val operator_to_string : operator -> string
+val operator_of_string : string -> operator option
+val is_aggregate : operator -> bool
+
+(** Maintenance annotation (§3.4): [Push] joins are incrementally
+    maintained; [Pull] joins are recomputed on every query and never
+    cached; [Snapshot t] joins are recomputed, then cached without updates
+    for [t] seconds. *)
+type maintenance = Push | Pull | Snapshot of float
+
+type source = { op : operator; pattern : Pattern.t }
+
+type t
+
+val parse : string -> (t, string) result
+val parse_exn : string -> t
+
+val output : t -> Pattern.t
+val sources : t -> source list
+val nsources : t -> int
+val source_at : t -> int -> source
+val sources_array : t -> source array
+val maintenance : t -> maintenance
+
+(** Size of the join's shared slot namespace. *)
+val nslots : t -> int
+
+val slot_name : t -> int -> string
+
+(** The single non-[check] source and its index. *)
+val value_source : t -> source
+
+val value_source_index : t -> int
+val value_op : t -> operator
+
+(** True when the join may collapse distinct source tuples into one
+    output key (§3's undefined-results caveat). *)
+val is_ambiguous : t -> bool
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/proto/codec.ml: Buffer Char List String

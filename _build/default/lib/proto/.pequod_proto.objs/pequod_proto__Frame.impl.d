@@ -1,0 +1,1 @@
+lib/proto/frame.ml: Bytes Char List String

@@ -1,0 +1,1 @@
+lib/proto/message.ml: Buffer Codec List Pequod_core Printf String

@@ -1,0 +1,62 @@
+(** Binary encoding primitives for the wire protocol: LEB128 varints and
+    length-prefixed strings. *)
+
+let put_varint buf n =
+  if n < 0 then invalid_arg "Codec.put_varint: negative";
+  let rec go n =
+    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let put_string buf s =
+  put_varint buf (String.length s);
+  Buffer.add_string buf s
+
+type reader = { data : string; mutable pos : int }
+
+exception Decode_error of string
+
+let reader data = { data; pos = 0 }
+
+let get_byte r =
+  if r.pos >= String.length r.data then raise (Decode_error "truncated");
+  let c = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  c
+
+let get_varint r =
+  let rec go shift acc =
+    if shift > 56 then raise (Decode_error "varint too long");
+    let b = get_byte r in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let get_string r =
+  let n = get_varint r in
+  if r.pos + n > String.length r.data then raise (Decode_error "truncated string");
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let at_end r = r.pos >= String.length r.data
+
+let put_pair_list buf pairs =
+  put_varint buf (List.length pairs);
+  List.iter
+    (fun (k, v) ->
+      put_string buf k;
+      put_string buf v)
+    pairs
+
+let get_pair_list r =
+  let n = get_varint r in
+  List.init n (fun _ ->
+      let k = get_string r in
+      let v = get_string r in
+      (k, v))

@@ -1,0 +1,48 @@
+(** Length-prefixed framing for the TCP transport.
+
+    Each frame is a 4-byte big-endian length followed by the message body.
+    The decoder is incremental: feed it whatever bytes arrived and it
+    yields every completed frame, keeping the remainder buffered — exactly
+    what a readiness-driven ([select]) event loop needs. *)
+
+let max_frame = 64 * 1024 * 1024
+
+exception Frame_too_large of int
+
+let encode body =
+  let n = String.length body in
+  if n > max_frame then raise (Frame_too_large n);
+  let header = Bytes.create 4 in
+  Bytes.set_uint8 header 0 ((n lsr 24) land 0xff);
+  Bytes.set_uint8 header 1 ((n lsr 16) land 0xff);
+  Bytes.set_uint8 header 2 ((n lsr 8) land 0xff);
+  Bytes.set_uint8 header 3 (n land 0xff);
+  Bytes.to_string header ^ body
+
+type decoder = { mutable pending : string }
+
+let decoder () = { pending = "" }
+
+let feed t chunk =
+  t.pending <- t.pending ^ chunk;
+  let frames = ref [] in
+  let continue = ref true in
+  while !continue do
+    let buf = t.pending in
+    if String.length buf < 4 then continue := false
+    else begin
+      let n =
+        (Char.code buf.[0] lsl 24) lor (Char.code buf.[1] lsl 16) lor (Char.code buf.[2] lsl 8)
+        lor Char.code buf.[3]
+      in
+      if n > max_frame then raise (Frame_too_large n);
+      if String.length buf < 4 + n then continue := false
+      else begin
+        frames := String.sub buf 4 n :: !frames;
+        t.pending <- String.sub buf (4 + n) (String.length buf - 4 - n)
+      end
+    end
+  done;
+  List.rev !frames
+
+let buffered t = String.length t.pending

@@ -1,0 +1,20 @@
+(** Length-prefixed framing for the TCP transport: 4-byte big-endian
+    length, then the body. The decoder is incremental, as a
+    readiness-driven event loop needs. *)
+
+val max_frame : int
+
+exception Frame_too_large of int
+
+val encode : string -> string
+
+type decoder
+
+val decoder : unit -> decoder
+
+(** Feed arriving bytes; returns every completed frame, keeping the
+    remainder buffered. *)
+val feed : decoder -> string -> string list
+
+(** Bytes currently buffered awaiting completion. *)
+val buffered : decoder -> int

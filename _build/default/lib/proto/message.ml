@@ -1,0 +1,175 @@
+(** RPC messages between Pequod clients and servers, and between servers
+    (the §2.4 subscription protocol).
+
+    [loopback] drives a handler through a full encode/decode round trip;
+    the evaluation harness routes every system's operations through it so
+    per-RPC CPU cost is real work rather than a modeled constant. *)
+
+type request =
+  | Get of string
+  | Put of string * string
+  | Remove of string
+  | Scan of { lo : string; hi : string }
+  | Add_join of string
+  (* server-to-server *)
+  | Fetch of { table : string; lo : string; hi : string; subscriber : int }
+  | Notify_put of string * string
+  | Notify_remove of string
+  | Stats
+
+type response =
+  | Done
+  | Value of string option
+  | Pairs of (string * string) list
+  | Stat_list of (string * int) list
+  | Error of string
+
+exception Protocol_error = Codec.Decode_error
+
+let encode_request req =
+  let buf = Buffer.create 64 in
+  (match req with
+  | Get k ->
+    Buffer.add_char buf '\x01';
+    Codec.put_string buf k
+  | Put (k, v) ->
+    Buffer.add_char buf '\x02';
+    Codec.put_string buf k;
+    Codec.put_string buf v
+  | Remove k ->
+    Buffer.add_char buf '\x03';
+    Codec.put_string buf k
+  | Scan { lo; hi } ->
+    Buffer.add_char buf '\x04';
+    Codec.put_string buf lo;
+    Codec.put_string buf hi
+  | Add_join text ->
+    Buffer.add_char buf '\x05';
+    Codec.put_string buf text
+  | Fetch { table; lo; hi; subscriber } ->
+    Buffer.add_char buf '\x06';
+    Codec.put_string buf table;
+    Codec.put_string buf lo;
+    Codec.put_string buf hi;
+    Codec.put_varint buf subscriber
+  | Notify_put (k, v) ->
+    Buffer.add_char buf '\x07';
+    Codec.put_string buf k;
+    Codec.put_string buf v
+  | Notify_remove k ->
+    Buffer.add_char buf '\x08';
+    Codec.put_string buf k
+  | Stats -> Buffer.add_char buf '\x09');
+  Buffer.contents buf
+
+let decode_request data =
+  let r = Codec.reader data in
+  let req =
+    match Codec.get_byte r with
+    | 0x01 -> Get (Codec.get_string r)
+    | 0x02 ->
+      let k = Codec.get_string r in
+      let v = Codec.get_string r in
+      Put (k, v)
+    | 0x03 -> Remove (Codec.get_string r)
+    | 0x04 ->
+      let lo = Codec.get_string r in
+      let hi = Codec.get_string r in
+      Scan { lo; hi }
+    | 0x05 -> Add_join (Codec.get_string r)
+    | 0x06 ->
+      let table = Codec.get_string r in
+      let lo = Codec.get_string r in
+      let hi = Codec.get_string r in
+      let subscriber = Codec.get_varint r in
+      Fetch { table; lo; hi; subscriber }
+    | 0x07 ->
+      let k = Codec.get_string r in
+      let v = Codec.get_string r in
+      Notify_put (k, v)
+    | 0x08 -> Notify_remove (Codec.get_string r)
+    | 0x09 -> Stats
+    | tag -> raise (Codec.Decode_error (Printf.sprintf "bad request tag %#x" tag))
+  in
+  if not (Codec.at_end r) then raise (Codec.Decode_error "trailing bytes");
+  req
+
+let encode_response resp =
+  let buf = Buffer.create 64 in
+  (match resp with
+  | Done -> Buffer.add_char buf '\x81'
+  | Value None -> Buffer.add_char buf '\x82'
+  | Value (Some v) ->
+    Buffer.add_char buf '\x83';
+    Codec.put_string buf v
+  | Pairs pairs ->
+    Buffer.add_char buf '\x84';
+    Codec.put_pair_list buf pairs
+  | Stat_list stats ->
+    Buffer.add_char buf '\x85';
+    Codec.put_varint buf (List.length stats);
+    List.iter
+      (fun (k, n) ->
+        Codec.put_string buf k;
+        Codec.put_varint buf n)
+      stats
+  | Error msg ->
+    Buffer.add_char buf '\x86';
+    Codec.put_string buf msg);
+  Buffer.contents buf
+
+let decode_response data =
+  let r = Codec.reader data in
+  let resp =
+    match Codec.get_byte r with
+    | 0x81 -> Done
+    | 0x82 -> Value None
+    | 0x83 -> Value (Some (Codec.get_string r))
+    | 0x84 -> Pairs (Codec.get_pair_list r)
+    | 0x85 ->
+      let n = Codec.get_varint r in
+      Stat_list
+        (List.init n (fun _ ->
+             let k = Codec.get_string r in
+             let v = Codec.get_varint r in
+             (k, v)))
+    | 0x86 -> Error (Codec.get_string r)
+    | tag -> raise (Codec.Decode_error (Printf.sprintf "bad response tag %#x" tag))
+  in
+  if not (Codec.at_end r) then raise (Codec.Decode_error "trailing bytes");
+  resp
+
+(** Drive [handler] through a full wire round trip (encode request, decode
+    at the "server", encode response, decode at the "client"), returning
+    the response and the bytes moved in each direction. *)
+let loopback handler req =
+  let wire_req = encode_request req in
+  let resp = handler (decode_request wire_req) in
+  let wire_resp = encode_response resp in
+  (decode_response wire_resp, String.length wire_req, String.length wire_resp)
+
+(** Apply a request to a Pequod engine (shared by the loopback harness and
+    the TCP server). *)
+let apply_to_server server req =
+  let module Server = Pequod_core.Server in
+  match req with
+  | Get k -> Value (Server.get server k)
+  | Put (k, v) ->
+    Server.put server k v;
+    Done
+  | Remove k ->
+    Server.remove server k;
+    Done
+  | Scan { lo; hi } -> Pairs (Server.scan server ~lo ~hi)
+  | Add_join text -> (
+    match Server.add_join_text server text with
+    | Ok () -> Done
+    | Error msg -> Error msg)
+  | Notify_put (k, v) ->
+    Server.put server k v;
+    Done
+  | Notify_remove k ->
+    Server.remove server k;
+    Done
+  | Stats -> Stat_list (Server.stats_snapshot server)
+  | Fetch _ -> Error "fetch is handled by the cluster layer"

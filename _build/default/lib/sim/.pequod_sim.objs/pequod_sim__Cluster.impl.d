@@ -1,0 +1,1 @@
+lib/sim/cluster.ml: Array Event Hashtbl List Pequod_core Pequod_proto Pequod_store String

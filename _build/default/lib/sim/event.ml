@@ -1,0 +1,86 @@
+(** Discrete-event simulation core: a time-ordered queue of thunks.
+
+    Events at equal times run in scheduling order (a sequence number breaks
+    ties), so simulations are deterministic. *)
+
+type event = { time : float; seq : int; thunk : unit -> unit }
+
+type t = {
+  mutable heap : event array;
+  mutable len : int;
+  mutable now : float;
+  mutable next_seq : int;
+  mutable executed : int;
+}
+
+let create () =
+  { heap = Array.make 64 { time = 0.0; seq = 0; thunk = ignore };
+    len = 0; now = 0.0; next_seq = 0; executed = 0 }
+
+let now t = t.now
+let pending t = t.len
+let executed t = t.executed
+
+let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if earlier t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.len && earlier t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.len && earlier t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+(** Schedule [thunk] to run at absolute time [time] (clamped to now). *)
+let schedule_at t ~time thunk =
+  let time = Float.max time t.now in
+  if t.len = Array.length t.heap then begin
+    let bigger = Array.make (2 * t.len) t.heap.(0) in
+    Array.blit t.heap 0 bigger 0 t.len;
+    t.heap <- bigger
+  end;
+  t.heap.(t.len) <- { time; seq = t.next_seq; thunk };
+  t.next_seq <- t.next_seq + 1;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+(** Schedule [thunk] after [delay] simulated seconds. *)
+let schedule t ~delay thunk = schedule_at t ~time:(t.now +. delay) thunk
+
+(** Run the earliest event; false when the queue is empty. *)
+let step t =
+  if t.len = 0 then false
+  else begin
+    let ev = t.heap.(0) in
+    t.len <- t.len - 1;
+    t.heap.(0) <- t.heap.(t.len);
+    sift_down t 0;
+    t.now <- ev.time;
+    t.executed <- t.executed + 1;
+    ev.thunk ();
+    true
+  end
+
+(** Drain the queue (bounded by [max_events] as a runaway guard). *)
+let run ?(max_events = max_int) t =
+  let n = ref 0 in
+  while !n < max_events && step t do
+    incr n
+  done;
+  if t.len > 0 then failwith "Event.run: event budget exhausted"

@@ -1,0 +1,23 @@
+(** Discrete-event simulation core: a time-ordered queue of thunks.
+    Events at equal times run in scheduling order, so simulations are
+    deterministic. *)
+
+type t
+
+val create : unit -> t
+val now : t -> float
+val pending : t -> int
+val executed : t -> int
+
+(** Schedule at an absolute time (clamped to now). *)
+val schedule_at : t -> time:float -> (unit -> unit) -> unit
+
+(** Schedule after a delay in simulated seconds. *)
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+
+(** Run the earliest event; false when the queue is empty. *)
+val step : t -> bool
+
+(** Drain the queue. [max_events] bounds runaway simulations.
+    @raise Failure if the budget is exhausted with events pending. *)
+val run : ?max_events:int -> t -> unit

@@ -1,0 +1,1 @@
+lib/store/interval_map.mli:

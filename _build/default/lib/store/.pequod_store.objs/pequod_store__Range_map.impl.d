@@ -1,0 +1,1 @@
+lib/store/range_map.ml: List Map Seq String Strkey

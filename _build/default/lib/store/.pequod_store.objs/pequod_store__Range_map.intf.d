@@ -1,0 +1,1 @@
+lib/store/range_map.mli:

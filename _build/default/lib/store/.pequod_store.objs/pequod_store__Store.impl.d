@@ -1,0 +1,1 @@
+lib/store/store.ml: Hashtbl List Map Seq String Strkey Table

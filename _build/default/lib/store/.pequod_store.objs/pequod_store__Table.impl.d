@@ -1,0 +1,1 @@
+lib/store/table.ml: Hashtbl List Map Rbtree Seq String Strkey

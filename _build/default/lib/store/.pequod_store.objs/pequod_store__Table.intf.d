@@ -1,0 +1,1 @@
+lib/store/table.mli: Rbtree

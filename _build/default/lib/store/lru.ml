@@ -1,0 +1,76 @@
+(** Intrusive doubly-linked LRU list.
+
+    Pequod's eviction policy (§2.5) discards the least recently used data
+    ranges under memory pressure. Entries are created at the
+    most-recently-used end, [touch]ed on access, and harvested from the LRU
+    end by [pop_lru]. *)
+
+type 'a entry = {
+  data : 'a;
+  mutable next : 'a entry option; (* towards LRU end *)
+  mutable prev : 'a entry option; (* towards MRU end *)
+  mutable linked : bool;
+}
+
+type 'a t = {
+  mutable mru : 'a entry option;
+  mutable lru : 'a entry option;
+  mutable count : int;
+}
+
+let create () = { mru = None; lru = None; count = 0 }
+
+let length t = t.count
+let data e = e.data
+let is_linked e = e.linked
+
+let unlink t e =
+  if e.linked then begin
+    (match e.prev with Some p -> p.next <- e.next | None -> t.mru <- e.next);
+    (match e.next with Some n -> n.prev <- e.prev | None -> t.lru <- e.prev);
+    e.prev <- None;
+    e.next <- None;
+    e.linked <- false;
+    t.count <- t.count - 1
+  end
+
+let push_mru t e =
+  e.prev <- None;
+  e.next <- t.mru;
+  (match t.mru with Some m -> m.prev <- Some e | None -> t.lru <- Some e);
+  t.mru <- Some e;
+  e.linked <- true;
+  t.count <- t.count + 1
+
+(** Insert fresh data at the MRU end, returning its entry. *)
+let add t data =
+  let e = { data; next = None; prev = None; linked = false } in
+  push_mru t e;
+  e
+
+(** Move an entry to the MRU end (no-op if unlinked). *)
+let touch t e =
+  if e.linked then begin
+    unlink t e;
+    push_mru t e
+  end
+
+(** Remove an entry from the list. *)
+let remove t e = unlink t e
+
+(** Detach and return the least recently used entry. *)
+let pop_lru t =
+  match t.lru with
+  | None -> None
+  | Some e ->
+    unlink t e;
+    Some e.data
+
+let iter_mru_to_lru t f =
+  let rec go = function
+    | None -> ()
+    | Some e ->
+      f e.data;
+      go e.next
+  in
+  go t.mru

@@ -1,0 +1,24 @@
+(** Intrusive doubly-linked LRU list for eviction (§2.5): entries enter at
+    the most-recently-used end, are [touch]ed on access, and are harvested
+    from the LRU end. *)
+
+type 'a t
+type 'a entry
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val data : 'a entry -> 'a
+val is_linked : 'a entry -> bool
+
+(** Insert at the MRU end. *)
+val add : 'a t -> 'a -> 'a entry
+
+(** Move to the MRU end (no-op if unlinked). *)
+val touch : 'a t -> 'a entry -> unit
+
+val remove : 'a t -> 'a entry -> unit
+
+(** Detach and return the least recently used entry. *)
+val pop_lru : 'a t -> 'a option
+
+val iter_mru_to_lru : 'a t -> ('a -> unit) -> unit

@@ -1,0 +1,136 @@
+(** Disjoint cover of key space by half-open ranges carrying values.
+
+    Join status ranges (§3.2) "form a disjoint cover of key space": every key
+    belongs to at most one explicit range; keys outside any explicit range
+    are implicitly in the Unknown state, which this structure represents as
+    absence. Supports point lookup, covering iteration (reporting gaps), and
+    range assignment with splitting of straddling ranges.
+
+    Values may be mutable; when a range is split, the [dup] function
+    supplied at creation is used to give each piece its own value. *)
+
+module M = Map.Make (String)
+
+type 'a t = {
+  mutable m : (string * 'a) M.t; (* lo -> (hi, value) *)
+  dup : 'a -> 'a;
+}
+
+let create ?(dup = fun v -> v) () = { m = M.empty; dup }
+
+let is_empty t = M.is_empty t.m
+let cardinal t = M.cardinal t.m
+
+(** The explicit range containing [k], if any. *)
+let find t k =
+  match M.find_last_opt (fun lo -> String.compare lo k <= 0) t.m with
+  | Some (lo, (hi, v)) when String.compare k hi < 0 -> Some (lo, hi, v)
+  | _ -> None
+
+(** All explicit ranges intersecting [\[lo, hi)], in order.
+    O(log n + matches). *)
+let overlapping t ~lo ~hi =
+  if String.compare lo hi >= 0 then []
+  else begin
+    let straddle =
+      (* a range starting before lo may straddle into [lo, hi) *)
+      match M.find_last_opt (fun l -> String.compare l lo < 0) t.m with
+      | Some (l, (h, v)) when String.compare h lo > 0 -> [ (l, h, v) ]
+      | _ -> []
+    in
+    let rest =
+      M.to_seq_from lo t.m
+      |> Seq.take_while (fun (l, _) -> String.compare l hi < 0)
+      |> Seq.map (fun (l, (h, v)) -> (l, h, v))
+      |> List.of_seq
+    in
+    straddle @ rest
+  end
+
+(** [iter_cover t ~lo ~hi f] calls [f sublo subhi v_opt] on consecutive
+    pieces exactly covering [\[lo, hi)]; [None] marks implicit gaps. *)
+let iter_cover t ~lo ~hi f =
+  let pieces = overlapping t ~lo ~hi in
+  let cursor = ref lo in
+  List.iter
+    (fun (l, h, v) ->
+      let l' = Strkey.max_str l lo and h' = Strkey.min_str h hi in
+      if String.compare !cursor l' < 0 then f !cursor l' None;
+      if String.compare l' h' < 0 then f l' h' (Some v);
+      cursor := Strkey.max_str !cursor h')
+    pieces;
+  if String.compare !cursor hi < 0 then f !cursor hi None
+
+(** Remove all coverage of [\[lo, hi)], trimming straddling ranges (the
+    trimmed remainders keep duplicates of their values). *)
+let clear_range t ~lo ~hi =
+  if String.compare lo hi < 0 then begin
+    let pieces = overlapping t ~lo ~hi in
+    List.iter
+      (fun (l, h, v) ->
+        t.m <- M.remove l t.m;
+        if String.compare l lo < 0 then t.m <- M.add l (lo, t.dup v) t.m;
+        if String.compare hi h < 0 then t.m <- M.add hi (h, t.dup v) t.m)
+      pieces
+  end
+
+(** Assign value [v] to exactly [\[lo, hi)], overwriting any overlap. *)
+let set t ~lo ~hi v =
+  if String.compare lo hi >= 0 then invalid_arg "Range_map.set: empty range";
+  clear_range t ~lo ~hi;
+  t.m <- M.add lo (hi, v) t.m
+
+(** [update_range t ~lo ~hi f] rewrites the cover of [\[lo, hi)] piecewise:
+    [f sublo subhi v_opt] returns the piece's new value ([None] clears it).
+    Straddling ranges are split first. *)
+let update_range t ~lo ~hi f =
+  if String.compare lo hi < 0 then begin
+    let pieces = ref [] in
+    iter_cover t ~lo ~hi (fun l h v -> pieces := (l, h, v) :: !pieces);
+    let pieces = List.rev !pieces in
+    clear_range t ~lo ~hi;
+    List.iter
+      (fun (l, h, v) ->
+        match f l h v with None -> () | Some v' -> t.m <- M.add l (h, v') t.m)
+      pieces
+  end
+
+(** Merge runs of adjacent ranges with [eq]-equal values in the
+    neighbourhood of [\[lo, hi)] (fights fragmentation from repeated
+    split/heal cycles). The merged run keeps the leftmost value. *)
+let coalesce t ~lo ~hi ~eq =
+  let start =
+    match M.find_last_opt (fun l -> String.compare l lo <= 0) t.m with
+    | Some (l, _) -> l
+    | None -> lo
+  in
+  let snapshot =
+    M.to_seq_from start t.m
+    |> Seq.take_while (fun (l, _) -> String.compare l hi <= 0)
+    |> List.of_seq
+  in
+  let cur = ref None in
+  List.iter
+    (fun (l, (h, v)) ->
+      match !cur with
+      | Some (cl, ch, cv) when String.equal ch l && eq cv v ->
+        t.m <- M.remove l t.m;
+        t.m <- M.add cl (h, cv) t.m;
+        cur := Some (cl, h, cv)
+      | _ -> cur := Some (l, h, v))
+    snapshot
+
+let iter t f = M.iter (fun lo (hi, v) -> f lo hi v) t.m
+
+let to_list t = M.fold (fun lo (hi, v) acc -> (lo, hi, v) :: acc) t.m [] |> List.rev
+
+(** Validation for tests: ranges non-empty, sorted, pairwise disjoint. *)
+let validate t =
+  let fail msg = failwith ("Range_map.validate: " ^ msg) in
+  let prev_hi = ref "" in
+  M.iter
+    (fun lo (hi, _) ->
+      if String.compare lo hi >= 0 then fail "empty range";
+      if String.compare !prev_hi lo > 0 then fail "overlap";
+      prev_hi := hi)
+    t.m

@@ -1,0 +1,41 @@
+(** Disjoint cover of key space by half-open ranges carrying values — the
+    join status structure (§3.2). Absence of coverage is the implicit
+    Unknown state. Values may be mutable; [dup] (given at creation) gives
+    split pieces their own value. *)
+
+type 'a t
+
+val create : ?dup:('a -> 'a) -> unit -> 'a t
+val is_empty : 'a t -> bool
+val cardinal : 'a t -> int
+
+(** The explicit range containing the key, if any. *)
+val find : 'a t -> string -> (string * string * 'a) option
+
+(** Explicit ranges intersecting [\[lo, hi)], in order.
+    O(log n + matches). *)
+val overlapping : 'a t -> lo:string -> hi:string -> (string * string * 'a) list
+
+(** Consecutive pieces exactly covering [\[lo, hi)]; [None] marks gaps. *)
+val iter_cover : 'a t -> lo:string -> hi:string -> (string -> string -> 'a option -> unit) -> unit
+
+(** Remove all coverage of [\[lo, hi)], trimming straddling ranges. *)
+val clear_range : 'a t -> lo:string -> hi:string -> unit
+
+(** Assign [v] to exactly [\[lo, hi)], overwriting any overlap. *)
+val set : 'a t -> lo:string -> hi:string -> 'a -> unit
+
+(** Rewrite the cover of [\[lo, hi)] piecewise; [None] clears a piece.
+    Straddling ranges are split first. *)
+val update_range :
+  'a t -> lo:string -> hi:string -> (string -> string -> 'a option -> 'a option) -> unit
+
+(** Merge runs of adjacent ranges with [eq]-equal values around
+    [\[lo, hi)] (fights split/heal fragmentation). *)
+val coalesce : 'a t -> lo:string -> hi:string -> eq:('a -> 'a -> bool) -> unit
+
+val iter : 'a t -> (string -> string -> 'a -> unit) -> unit
+val to_list : 'a t -> (string * string * 'a) list
+
+(** Ranges non-empty, sorted, pairwise disjoint; raises [Failure]. *)
+val validate : 'a t -> unit

@@ -1,0 +1,36 @@
+(** The multi-table store facade (paper Fig 6, top layer). The first
+    ['|']-separated component of a key names its table; tables are created
+    on demand with per-table subtable configuration; the whole store is
+    one ordered key space and scans may cross tables. *)
+
+type 'v t
+
+val create : ?table_config:(string -> int option) -> dummy:'v -> unit -> 'v t
+
+(** Table name of a key: everything before the first ['|']. *)
+val table_name_of : string -> string
+
+val table : 'v t -> string -> 'v Table.t
+val table_of_key : 'v t -> string -> 'v Table.t
+
+(** @raise Strkey.Invalid_key on keys containing [0xff]. *)
+val get : 'v t -> string -> 'v option
+
+val put : ?hint:'v Table.handle -> 'v t -> string -> 'v -> 'v Table.handle * 'v option
+val remove : 'v t -> string -> 'v option
+
+(** Ordered iteration over [\[lo, hi)] across all tables. *)
+val iter_range : 'v t -> lo:string -> hi:string -> (string -> 'v -> unit) -> unit
+
+val fold_range : 'v t -> lo:string -> hi:string -> init:'a -> ('a -> string -> 'v -> 'a) -> 'a
+val range_to_list : 'v t -> lo:string -> hi:string -> (string * 'v) list
+val count_range : 'v t -> lo:string -> hi:string -> int
+val size : 'v t -> int
+val memory_bytes : 'v t -> int
+val tables : 'v t -> 'v Table.t list
+
+(** Summed operation statistics across tables (the simulator's CPU cost
+    model). *)
+val total_ops : 'v t -> int
+
+val validate : 'v t -> unit

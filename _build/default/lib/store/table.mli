@@ -1,0 +1,56 @@
+(** One logical table of the store: ordered pairs, optionally subdivided
+    into {e subtables} at marked key boundaries (§4.1). Operations within
+    one boundary jump to its tree through a hash index (with a last-group
+    cache); the table remains a single ordered key space, and scans that
+    cross boundaries walk the subtables in order. *)
+
+type stats = {
+  mutable lookups : int;
+  mutable inserts : int;
+  mutable removes : int;
+  mutable steps : int;
+}
+
+val total_ops : stats -> int
+
+type 'v t
+
+(** Handle to a stored pair: the node plus the tree holding it (used as
+    the §4.2 output hint). *)
+type 'v handle = { node : 'v Rbtree.node; tree : 'v Rbtree.t }
+
+(** [create ?subtable_depth ~name ~dummy ()]: [subtable_depth] is the
+    number of ['|']-separated components forming a boundary (e.g. 2 for
+    one Twip timeline [t|user|]). *)
+val create : ?subtable_depth:int -> name:string -> dummy:'v -> unit -> 'v t
+
+val name : 'v t -> string
+val stats : 'v t -> stats
+val size : 'v t -> int
+
+(** Approximate resident bytes for keys and nodes (values are accounted by
+    the engine, which knows about sharing). *)
+val memory_bytes : 'v t -> int
+
+val subtable_count : 'v t -> int
+val get : 'v t -> string -> 'v option
+val get_handle : 'v t -> string -> 'v handle option
+
+(** Insert or overwrite; O(1) amortized with an adjacent [hint]. Returns
+    the handle and the previous value ([None] when new). *)
+val put : ?hint:'v handle -> 'v t -> string -> 'v -> 'v handle * 'v option
+
+val remove : 'v t -> string -> 'v option
+
+(** Ordered iteration over [\[lo, hi)], across subtables as needed. *)
+val iter_range : 'v t -> lo:string -> hi:string -> (string -> 'v -> unit) -> unit
+
+val fold_range : 'v t -> lo:string -> hi:string -> init:'a -> ('a -> string -> 'v -> 'a) -> 'a
+val count_range : 'v t -> lo:string -> hi:string -> int
+val range_to_list : 'v t -> lo:string -> hi:string -> (string * 'v) list
+
+(** Remove every pair in [\[lo, hi)]; returns how many were removed. *)
+val remove_range : 'v t -> lo:string -> hi:string -> int
+
+val iter : 'v t -> (string -> 'v -> unit) -> unit
+val validate : 'v t -> unit

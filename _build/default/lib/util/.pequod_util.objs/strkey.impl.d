@@ -1,0 +1,1 @@
+lib/util/strkey.ml: Char String

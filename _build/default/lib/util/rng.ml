@@ -1,0 +1,134 @@
+(** Deterministic pseudo-random numbers for workload generation.
+
+    A self-contained xoshiro256++ generator seeded through splitmix64, so
+    that every experiment is reproducible from a single integer seed and
+    independent streams can be derived for independent workload components.
+    Includes the skewed samplers the Twip workload needs: Zipf ranks for the
+    follower distribution and an alias table for log-weighted posting. *)
+
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+(** Derive an independent stream: used to give each workload component its
+    own generator so adding draws to one does not perturb another. *)
+let split t =
+  let state = ref (Int64.logxor t.s0 0x5851F42D4C957F2DL) in
+  t.s0 <- splitmix64 state;
+  create (Int64.to_int (splitmix64 state))
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let next_int64 t =
+  let open Int64 in
+  let result = add (rotl (add t.s0 t.s3) 23) t.s0 in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+(** Uniform integer in [\[0, bound)]. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
+  let x = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  x mod bound
+
+(** Uniform float in [\[0, 1)]. *)
+let float t =
+  let x = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) in
+  float_of_int x /. 9007199254740992.0
+
+let bool t p = float t < p
+
+(** Uniformly chosen element of a non-empty array. *)
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty";
+  arr.(int t (Array.length arr))
+
+(** In-place Fisher-Yates shuffle. *)
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+(** Zipf(s) sampler over ranks [1..n] by inversion on the generalized
+    harmonic CDF, precomputed once. Sampling is O(log n). *)
+module Zipf = struct
+  type dist = { cdf : float array }
+
+  let create ~n ~s =
+    if n <= 0 then invalid_arg "Zipf.create: n <= 0";
+    let cdf = Array.make n 0.0 in
+    let total = ref 0.0 in
+    for i = 0 to n - 1 do
+      total := !total +. (1.0 /. Float.pow (float_of_int (i + 1)) s);
+      cdf.(i) <- !total
+    done;
+    let norm = !total in
+    Array.iteri (fun i v -> cdf.(i) <- v /. norm) cdf;
+    { cdf }
+
+  (** Sample a rank in [\[0, n)] (0 = most popular). *)
+  let sample dist t =
+    let u = float t in
+    let cdf = dist.cdf in
+    let n = Array.length cdf in
+    let rec bs lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if cdf.(mid) < u then bs (mid + 1) hi else bs lo mid
+    in
+    min (bs 0 (n - 1)) (n - 1)
+end
+
+(** O(1) sampling from an arbitrary discrete distribution (Vose's alias
+    method). Used for "users post proportionally to log(follower count)". *)
+module Alias = struct
+  type dist = { prob : float array; alias : int array }
+
+  let create weights =
+    let n = Array.length weights in
+    if n = 0 then invalid_arg "Alias.create: empty";
+    let total = Array.fold_left ( +. ) 0.0 weights in
+    if total <= 0.0 then invalid_arg "Alias.create: zero total weight";
+    let scaled = Array.map (fun w -> w *. float_of_int n /. total) weights in
+    let prob = Array.make n 0.0 and alias = Array.make n 0 in
+    let small = Queue.create () and large = Queue.create () in
+    Array.iteri (fun i p -> Queue.push i (if p < 1.0 then small else large)) scaled;
+    while not (Queue.is_empty small || Queue.is_empty large) do
+      let s = Queue.pop small and l = Queue.pop large in
+      prob.(s) <- scaled.(s);
+      alias.(s) <- l;
+      scaled.(l) <- scaled.(l) +. scaled.(s) -. 1.0;
+      Queue.push l (if scaled.(l) < 1.0 then small else large)
+    done;
+    Queue.iter (fun i -> prob.(i) <- 1.0) small;
+    Queue.iter (fun i -> prob.(i) <- 1.0) large;
+    { prob; alias }
+
+  let sample dist t =
+    let i = int t (Array.length dist.prob) in
+    if float t < dist.prob.(i) then i else dist.alias.(i)
+end

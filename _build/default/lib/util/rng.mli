@@ -1,0 +1,45 @@
+(** Deterministic pseudo-random numbers for workload generation:
+    xoshiro256++ seeded via splitmix64, plus the skewed samplers the Twip
+    workload needs. Every experiment is reproducible from one seed. *)
+
+type t
+
+val create : int -> t
+
+(** Derive an independent stream. *)
+val split : t -> t
+
+val next_int64 : t -> int64
+
+(** Uniform integer in [\[0, bound)]. *)
+val int : t -> int -> int
+
+(** Uniform float in [\[0, 1)]. *)
+val float : t -> float
+
+(** [bool t p] is true with probability [p]. *)
+val bool : t -> float -> bool
+
+val pick : t -> 'a array -> 'a
+
+(** In-place Fisher-Yates shuffle. *)
+val shuffle : t -> 'a array -> unit
+
+(** Zipf(s) ranks by inversion on the generalized harmonic CDF. *)
+module Zipf : sig
+  type dist
+
+  val create : n:int -> s:float -> dist
+
+  (** A rank in [\[0, n)]; 0 is the most popular. *)
+  val sample : dist -> t -> int
+end
+
+(** O(1) sampling from an arbitrary discrete distribution (Vose's alias
+    method) — "users post proportionally to log(follower count)". *)
+module Alias : sig
+  type dist
+
+  val create : float array -> dist
+  val sample : dist -> t -> int
+end

@@ -1,0 +1,100 @@
+(** Measurement helpers for the benchmark harness. *)
+
+(** Welford's online mean/variance. *)
+module Running = struct
+  type t = { mutable n : int; mutable mean : float; mutable m2 : float }
+
+  let create () = { n = 0; mean = 0.0; m2 = 0.0 }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean))
+
+  let count t = t.n
+  let mean t = if t.n = 0 then 0.0 else t.mean
+  let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+  let stddev t = sqrt (variance t)
+end
+
+(** Collected samples with percentile queries (sorts on demand). *)
+module Samples = struct
+  type t = { mutable data : float array; mutable len : int; mutable sorted : bool }
+
+  let create () = { data = Array.make 64 0.0; len = 0; sorted = true }
+
+  let add t x =
+    if t.len = Array.length t.data then begin
+      let bigger = Array.make (2 * t.len) 0.0 in
+      Array.blit t.data 0 bigger 0 t.len;
+      t.data <- bigger
+    end;
+    t.data.(t.len) <- x;
+    t.len <- t.len + 1;
+    t.sorted <- false
+
+  let count t = t.len
+
+  let ensure_sorted t =
+    if not t.sorted then begin
+      let slice = Array.sub t.data 0 t.len in
+      Array.sort compare slice;
+      Array.blit slice 0 t.data 0 t.len;
+      t.sorted <- true
+    end
+
+  (** [percentile t 0.99] with linear interpolation; 0 if empty. *)
+  let percentile t p =
+    if t.len = 0 then 0.0
+    else begin
+      ensure_sorted t;
+      let rank = p *. float_of_int (t.len - 1) in
+      let lo = int_of_float (Float.floor rank) in
+      let hi = int_of_float (Float.ceil rank) in
+      let frac = rank -. float_of_int lo in
+      (t.data.(lo) *. (1.0 -. frac)) +. (t.data.(hi) *. frac)
+    end
+
+  let mean t =
+    if t.len = 0 then 0.0
+    else begin
+      let sum = ref 0.0 in
+      for i = 0 to t.len - 1 do sum := !sum +. t.data.(i) done;
+      !sum /. float_of_int t.len
+    end
+
+  let max t =
+    if t.len = 0 then 0.0
+    else begin
+      ensure_sorted t;
+      t.data.(t.len - 1)
+    end
+end
+
+(** Named monotonic counters, used to account work (RPCs, bytes, tree ops). *)
+module Counters = struct
+  type t = (string, int ref) Hashtbl.t
+
+  let create () : t = Hashtbl.create 16
+
+  let bump ?(n = 1) t name =
+    match Hashtbl.find_opt t name with
+    | Some r -> r := !r + n
+    | None -> Hashtbl.add t name (ref n)
+
+  let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+
+  let to_list t =
+    Hashtbl.fold (fun k v acc -> (k, !v) :: acc) t []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  let reset t = Hashtbl.reset t
+end
+
+(** Wall-clock timing of a thunk, in seconds. *)
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  let t1 = Unix.gettimeofday () in
+  (result, t1 -. t0)

@@ -1,0 +1,83 @@
+(** Lexicographic key-space helpers.
+
+    Pequod keys are byte strings ordered lexicographically. Keys must not
+    contain the byte [0xff]; this guarantees that every prefix has a finite
+    least upper bound, so all ranges can be represented as half-open
+    [\[lo, hi)] pairs of plain strings (the paper's [t|ann|+] notation). *)
+
+exception Invalid_key of string
+
+(** Raise [Invalid_key] if [k] contains the reserved byte [0xff]. *)
+let validate k =
+  String.iter (fun c -> if Char.code c = 0xff then raise (Invalid_key k)) k
+
+let is_valid k =
+  match validate k with () -> true | exception Invalid_key _ -> false
+
+(** [prefix_upper p] is the least string greater than every valid key having
+    prefix [p]: the last byte of [p] incremented. Raises [Invalid_key] on the
+    empty string or a string of [0xff] bytes (not a valid key prefix). *)
+let prefix_upper p =
+  let n = String.length p in
+  let rec bump i =
+    if i < 0 then raise (Invalid_key p)
+    else
+      let c = Char.code p.[i] in
+      if c < 0xff then String.sub p 0 i ^ String.make 1 (Char.chr (c + 1))
+      else bump (i - 1)
+  in
+  bump (n - 1)
+
+(** Least key strictly greater than [k]: append a NUL byte. Used to express
+    [get k] as the scan [\[k, key_after k)]. *)
+let key_after k = k ^ "\x00"
+
+(** [in_range ~lo ~hi k] tests [lo <= k < hi]. *)
+let in_range ~lo ~hi k = String.compare lo k <= 0 && String.compare k hi < 0
+
+(** [range_overlaps (a, b) (c, d)] tests whether the half-open ranges
+    intersect. Empty ranges never overlap anything. *)
+let range_overlaps (a, b) (c, d) =
+  String.compare a b < 0 && String.compare c d < 0
+  && String.compare a d < 0 && String.compare c b < 0
+
+(** Intersection of two half-open ranges, if non-empty. *)
+let range_inter (a, b) (c, d) =
+  let lo = if String.compare a c >= 0 then a else c in
+  let hi = if String.compare b d <= 0 then b else d in
+  if String.compare lo hi < 0 then Some (lo, hi) else None
+
+let max_str a b = if String.compare a b >= 0 then a else b
+let min_str a b = if String.compare a b <= 0 then a else b
+
+(** [common_prefix a b] is the longest common prefix of [a] and [b]. *)
+let common_prefix a b =
+  let n = min (String.length a) (String.length b) in
+  let rec go i = if i < n && a.[i] = b.[i] then go (i + 1) else i in
+  String.sub a 0 (go 0)
+
+(** Fixed-width, zero-padded decimal encoding. All values encoded with the
+    same [width] compare lexicographically in numeric order, which is what
+    pattern range narrowing requires of numeric slots. *)
+let encode_int ~width n =
+  if n < 0 then invalid_arg "Strkey.encode_int: negative";
+  let s = string_of_int n in
+  let pad = width - String.length s in
+  if pad < 0 then invalid_arg "Strkey.encode_int: width too small"
+  else String.make pad '0' ^ s
+
+let decode_int s =
+  match int_of_string_opt s with
+  | Some n -> n
+  | None -> invalid_arg ("Strkey.decode_int: " ^ s)
+
+(** Standard widths used by the example applications. *)
+let time_width = 10
+
+let encode_time t = encode_int ~width:time_width t
+
+(** Split a key on the ['|'] separator. *)
+let split k = String.split_on_char '|' k
+
+(** Join components with ['|']. *)
+let join parts = String.concat "|" parts

@@ -1,0 +1,46 @@
+(** Lexicographic key-space helpers.
+
+    Pequod keys are byte strings ordered lexicographically, with the byte
+    [0xff] reserved so that every prefix has a finite least upper bound
+    and all ranges are half-open [\[lo, hi)] pairs of plain strings. *)
+
+exception Invalid_key of string
+
+(** Raise {!Invalid_key} if the key contains [0xff]. *)
+val validate : string -> unit
+
+val is_valid : string -> bool
+
+(** Least string greater than every valid key with the given prefix (the
+    paper's [t|ann|+] bound). *)
+val prefix_upper : string -> string
+
+(** Least key strictly greater than the argument. *)
+val key_after : string -> string
+
+(** [in_range ~lo ~hi k] tests [lo <= k < hi]. *)
+val in_range : lo:string -> hi:string -> string -> bool
+
+(** Do two half-open ranges intersect? Empty ranges never overlap. *)
+val range_overlaps : string * string -> string * string -> bool
+
+(** Intersection of two half-open ranges, if non-empty. *)
+val range_inter : string * string -> string * string -> (string * string) option
+
+val max_str : string -> string -> string
+val min_str : string -> string -> string
+val common_prefix : string -> string -> string
+
+(** Fixed-width zero-padded decimal: values of equal width compare
+    lexicographically in numeric order (required of slots that
+    participate in range narrowing). *)
+val encode_int : width:int -> int -> string
+
+val decode_int : string -> int
+val time_width : int
+val encode_time : int -> string
+
+(** Split on / join with ['|']. *)
+val split : string -> string list
+
+val join : string list -> string

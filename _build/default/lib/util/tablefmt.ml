@@ -1,0 +1,50 @@
+(** Plain-text aligned tables for benchmark output, in the style of the
+    paper's figures. *)
+
+type align = Left | Right
+
+type t = {
+  title : string;
+  headers : string list;
+  aligns : align list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create ~title ~headers ~aligns =
+  if List.length headers <> List.length aligns then
+    invalid_arg "Tablefmt.create: headers/aligns length mismatch";
+  { title; headers; aligns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.headers then
+    invalid_arg "Tablefmt.add_row: arity mismatch";
+  t.rows <- row :: t.rows
+
+let fmt_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+
+let render t =
+  let rows = List.rev t.rows in
+  let cols = List.length t.headers in
+  let widths = Array.make cols 0 in
+  let measure row = List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row in
+  measure t.headers;
+  List.iter measure rows;
+  let pad align width s =
+    let fill = String.make (width - String.length s) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  in
+  let render_row row =
+    let cells = List.mapi (fun i cell -> pad (List.nth t.aligns i) widths.(i) cell) row in
+    "  " ^ String.concat "  " cells
+  in
+  let sep =
+    "  " ^ String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  Buffer.add_string buf (render_row t.headers ^ "\n");
+  Buffer.add_string buf (sep ^ "\n");
+  List.iter (fun row -> Buffer.add_string buf (render_row row ^ "\n")) rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Array Gen Hashtbl List Option Pequod_apps Pequod_baselines Printf QCheck2 QCheck_alcotest Rng Strkey Test

@@ -1,0 +1,1 @@
+test/test_db.ml: Alcotest Array List Pequod_core Pequod_db Printf

@@ -1,0 +1,1 @@
+test/test_extra.ml: Alcotest Array Hashtbl List Pequod_apps Pequod_baselines Pequod_core Pequod_pattern Printf Rng String Strkey

@@ -1,0 +1,1 @@
+test/test_join.ml: Alcotest Array Gen List Map Pequod_core Pequod_pattern Printf QCheck2 QCheck_alcotest Stats String Strkey Test

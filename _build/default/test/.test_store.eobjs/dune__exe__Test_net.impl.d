@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Bytes Fun Pequod_proto Pequod_server_lib String Unix

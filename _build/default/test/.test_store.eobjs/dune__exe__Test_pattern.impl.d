@@ -1,0 +1,1 @@
+test/test_pattern.ml: Alcotest Array Gen List Pequod_pattern Printf QCheck2 QCheck_alcotest String Strkey Test

@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest Buffer Gen List Pequod_core Pequod_proto QCheck2 QCheck_alcotest String Test

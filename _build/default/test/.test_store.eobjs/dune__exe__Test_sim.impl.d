@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Gen Hashtbl List Pequod_core Pequod_sim Printf QCheck2 QCheck_alcotest String Strkey Test

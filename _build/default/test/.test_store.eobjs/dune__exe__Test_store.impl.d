@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Array Gen Hashtbl List Map Option Pequod_store Printf QCheck2 QCheck_alcotest Rng String Strkey Test

@@ -1,0 +1,344 @@
+(* Tests for the applications and baselines: graph generation, the workload
+   mix, the Redis/memcached models — and the cross-system equivalence test:
+   all five Twip backends must return identical timelines. *)
+
+module Social_graph = Pequod_apps.Social_graph
+module Workload = Pequod_apps.Workload
+module Twip = Pequod_apps.Twip
+module Newp = Pequod_apps.Newp
+module Redis = Pequod_baselines.Redis_model
+module Memcached = Pequod_baselines.Memcached_model
+module Sorted_vec = Pequod_baselines.Sorted_vec
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Social graph                                                        *)
+
+let test_graph_shape () =
+  let rng = Rng.create 11 in
+  let g = Social_graph.generate ~rng ~nusers:500 ~avg_follows:10 () in
+  check_int "users" 500 (Social_graph.nusers g);
+  let edges = Social_graph.edge_count g in
+  check_bool "enough edges" true (edges > 2000);
+  (* follower counts are skewed: the most-followed user has far more
+     followers than the median *)
+  let counts =
+    Array.init 500 (fun u -> Social_graph.follower_count g u) |> Array.to_list
+    |> List.sort compare |> Array.of_list
+  in
+  check_bool "skewed" true (counts.(499) > 10 * max 1 counts.(250));
+  (* following/followers are consistent inverses *)
+  let ok = ref true in
+  for u = 0 to 499 do
+    Array.iter
+      (fun p -> if not (Array.mem u (Social_graph.followers g p)) then ok := false)
+      (Social_graph.following g u)
+  done;
+  check_bool "inverse consistency" true !ok
+
+let test_graph_deterministic () =
+  let g1 = Social_graph.generate ~rng:(Rng.create 7) ~nusers:100 ~avg_follows:5 () in
+  let g2 = Social_graph.generate ~rng:(Rng.create 7) ~nusers:100 ~avg_follows:5 () in
+  check_bool "same graph" true
+    (Array.for_all2 ( = ) (Array.init 100 (Social_graph.following g1))
+       (Array.init 100 (Social_graph.following g2)))
+
+let test_no_self_follow () =
+  let rng = Rng.create 3 in
+  let g = Social_graph.generate ~rng ~nusers:200 ~avg_follows:8 () in
+  let ok = ref true in
+  for u = 0 to 199 do
+    if Array.mem u (Social_graph.following g u) then ok := false
+  done;
+  check_bool "no self follows" true !ok
+
+(* ------------------------------------------------------------------ *)
+(* Workload                                                            *)
+
+let test_workload_mix () =
+  let rng = Rng.create 5 in
+  let g = Social_graph.generate ~rng ~nusers:300 ~avg_follows:8 () in
+  let w = Workload.generate ~rng ~graph:g ~total_ops:20_000 () in
+  let frac n = float_of_int n /. 20_000.0 in
+  check_bool "5% logins" true (abs_float (frac w.Workload.nlogins -. 0.05) < 0.01);
+  check_bool "9% subs" true (abs_float (frac w.Workload.nsubs -. 0.09) < 0.01);
+  check_bool "85% checks" true (abs_float (frac w.Workload.nchecks -. 0.85) < 0.015);
+  check_bool "1% posts" true (abs_float (frac w.Workload.nposts -. 0.01) < 0.005);
+  (* post times strictly increase *)
+  let last = ref 0 in
+  let ok = ref true in
+  Array.iter
+    (function
+      | Workload.Post (_, t) ->
+        if t <= !last then ok := false;
+        last := t
+      | _ -> ())
+    w.Workload.ops;
+  check_bool "times increase" true !ok
+
+(* ------------------------------------------------------------------ *)
+(* Baseline models                                                     *)
+
+let test_sorted_vec () =
+  let v = Sorted_vec.create () in
+  Sorted_vec.add v ~score:"0100" ~member:"b";
+  Sorted_vec.add v ~score:"0050" ~member:"a";
+  Sorted_vec.add v ~score:"0200" ~member:"c";
+  Alcotest.(check (list (pair string string)))
+    "sorted" [ ("0050", "a"); ("0100", "b"); ("0200", "c") ] (Sorted_vec.to_list v);
+  Alcotest.(check (list (pair string string)))
+    "range" [ ("0100", "b") ]
+    (Sorted_vec.range_by_score v ~min_score:"0060" ~max_score:"0150");
+  (* duplicate (score, member) replaces *)
+  Sorted_vec.add v ~score:"0100" ~member:"b";
+  check_int "no dup" 3 (Sorted_vec.length v);
+  check_bool "remove" true (Sorted_vec.remove v ~score:"0050" ~member:"a");
+  check_bool "remove absent" false (Sorted_vec.remove v ~score:"0050" ~member:"a");
+  check_int "len" 2 (Sorted_vec.length v)
+
+let prop_sorted_vec_model =
+  let open QCheck2 in
+  let pair_gen = Gen.pair (Gen.map (Printf.sprintf "%03d") (Gen.int_bound 50)) (Gen.map (Printf.sprintf "m%d") (Gen.int_bound 10)) in
+  Test.make ~name:"sorted_vec matches sorted-list model" ~count:300
+    Gen.(list_size (int_range 0 100) pair_gen)
+    (fun pairs ->
+      let v = Sorted_vec.create () in
+      List.iter (fun (s, m) -> Sorted_vec.add v ~score:s ~member:m) pairs;
+      let model = List.sort_uniq compare pairs in
+      Sorted_vec.to_list v = model)
+
+let test_redis_model () =
+  let r = Redis.create () in
+  Redis.set r "k" "v";
+  Alcotest.(check (option string)) "get" (Some "v") (Redis.get r "k");
+  Redis.sadd r "s" "a";
+  Redis.sadd r "s" "a";
+  Redis.sadd r "s" "b";
+  Alcotest.(check (list string)) "smembers" [ "a"; "b" ] (List.sort compare (Redis.smembers r "s"));
+  Redis.zadd r "z" ~score:"2" ~member:"two";
+  Redis.zadd r "z" ~score:"1" ~member:"one";
+  check_int "zcard" 2 (Redis.zcard r "z");
+  Alcotest.(check (list (pair string string)))
+    "zrange" [ ("1", "one"); ("2", "two") ]
+    (Redis.zrangebyscore r "z" ~min_score:"" ~max_score:"9");
+  check_bool "wrong type" true
+    (match Redis.get r "z" with exception Invalid_argument _ -> true | _ -> false);
+  check_bool "del" true (Redis.del r "k");
+  check_bool "del absent" false (Redis.del r "k")
+
+let test_memcached_model () =
+  let m = Memcached.create () in
+  check_bool "append to missing fails" false (Memcached.append m "k" "x");
+  Memcached.set m "k" "a";
+  check_bool "append" true (Memcached.append m "k" "b");
+  Alcotest.(check (option string)) "value" (Some "ab") (Memcached.get m "k");
+  check_bool "copied bytes counted" true (Memcached.bytes_copied m >= 2);
+  check_bool "delete" true (Memcached.delete m "k")
+
+(* ------------------------------------------------------------------ *)
+(* Cross-system equivalence: the heart of the Fig 7 comparison         *)
+
+let all_backends () =
+  [
+    Twip.pequod ();
+    Twip.client_pequod ();
+    Twip.redis ();
+    Twip.memcached ();
+    Twip.postgres ();
+  ]
+
+let test_backends_equivalent () =
+  let rng = Rng.create 21 in
+  let g = Social_graph.generate ~rng ~nusers:40 ~avg_follows:5 () in
+  let w = Workload.generate ~rng ~graph:g ~total_ops:800 () in
+  let backends = all_backends () in
+  List.iter (fun b -> Twip.load_graph b g) backends;
+  let results = List.map (fun b -> Twip.run b g w) backends in
+  (* every system read the same number of timeline entries *)
+  (match results with
+  | first :: rest ->
+    List.iter
+      (fun (r : Twip.run_result) ->
+        Alcotest.(check int)
+          (Printf.sprintf "%s matches %s" r.Twip.system first.Twip.system)
+          first.Twip.entries_read r.Twip.entries_read)
+      rest
+  | [] -> Alcotest.fail "no backends");
+  (* and identical full timelines for every user at the end *)
+  let full b u = b.Twip.timeline ~user:(Social_graph.user_name u) ~since:(Strkey.encode_time 0) in
+  (match backends with
+  | first :: rest ->
+    for u = 0 to Social_graph.nusers g - 1 do
+      let expect = full first u in
+      List.iter
+        (fun b ->
+          Alcotest.(check (list (triple string string string)))
+            (Printf.sprintf "user %d on %s" u b.Twip.name)
+            expect (full b u))
+        rest
+    done
+  | [] -> ())
+
+let test_pequod_fewer_rpcs_than_client () =
+  let rng = Rng.create 33 in
+  let g = Social_graph.generate ~rng ~nusers:60 ~avg_follows:6 () in
+  let w = Workload.generate ~rng ~graph:g ~total_ops:1_500 () in
+  let pq = Twip.pequod () and cp = Twip.client_pequod () in
+  Twip.load_graph pq g;
+  Twip.load_graph cp g;
+  let rp = Twip.run pq g w and rc = Twip.run cp g w in
+  check_bool "client pequod pays more RPCs" true (rc.Twip.rpcs > rp.Twip.rpcs)
+
+(* ------------------------------------------------------------------ *)
+(* Newp                                                                *)
+
+let test_newp_variants_equivalent () =
+  let d = { Newp.narticles = 30; nusers = 20; ncomments = 60; nvotes = 120 } in
+  let inter = Newp.make ~interleaved:true () in
+  let sep = Newp.make ~interleaved:false () in
+  Newp.populate inter ~rng:(Rng.create 9) d;
+  Newp.populate sep ~rng:(Rng.create 9) d;
+  (* both variants render identical pages *)
+  for i = 0 to d.Newp.narticles - 1 do
+    let author, id = Newp.article_of ~nusers:d.Newp.nusers i in
+    let p1 = inter.Newp.read_page ~author ~id in
+    let p2 = sep.Newp.read_page ~author ~id in
+    Alcotest.(check string) "article" p1.Newp.article p2.Newp.article;
+    Alcotest.(check int) "rank" p1.Newp.rank p2.Newp.rank;
+    Alcotest.(check (list (triple string string string))) "comments" p1.Newp.comments p2.Newp.comments;
+    Alcotest.(check (list (pair string int))) "karma" p1.Newp.karma p2.Newp.karma
+  done;
+  (* sessions keep them equivalent *)
+  let r1 = Newp.run_sessions inter ~rng:(Rng.create 10) d ~nsessions:200 ~vote_rate:0.3 in
+  let r2 = Newp.run_sessions sep ~rng:(Rng.create 10) d ~nsessions:200 ~vote_rate:0.3 in
+  check_int "pages" r1.Newp.pages_read r2.Newp.pages_read;
+  for i = 0 to d.Newp.narticles - 1 do
+    let author, id = Newp.article_of ~nusers:d.Newp.nusers i in
+    let p1 = inter.Newp.read_page ~author ~id in
+    let p2 = sep.Newp.read_page ~author ~id in
+    Alcotest.(check int) "rank after sessions" p1.Newp.rank p2.Newp.rank;
+    Alcotest.(check (list (pair string int))) "karma after sessions" p1.Newp.karma p2.Newp.karma
+  done
+
+let test_newp_rpc_structure () =
+  let d = { Newp.narticles = 20; nusers = 10; ncomments = 60; nvotes = 50 } in
+  let inter = Newp.make ~interleaved:true () in
+  let sep = Newp.make ~interleaved:false () in
+  Newp.populate inter ~rng:(Rng.create 4) d;
+  Newp.populate sep ~rng:(Rng.create 4) d;
+  (* read-only sessions: interleaved needs far fewer RPCs *)
+  let r1 = Newp.run_sessions inter ~rng:(Rng.create 6) d ~nsessions:150 ~vote_rate:0.0 in
+  let r2 = Newp.run_sessions sep ~rng:(Rng.create 6) d ~nsessions:150 ~vote_rate:0.0 in
+  check_bool "interleaved uses fewer RPCs" true (r1.Newp.rpcs < r2.Newp.rpcs);
+  (* one scan per page plus the ~1% session comments *)
+  check_bool "about one RPC per page" true
+    (r1.Newp.rpcs <= r1.Newp.pages_read + (r1.Newp.pages_read / 10))
+
+(* Property: the interleaved Newp page always equals a from-scratch
+   reference computed over the base data. *)
+let prop_newp_page_reference =
+  let open QCheck2 in
+  let authors = [| "u1"; "u2"; "u3" |] in
+  let author = Gen.map (fun i -> authors.(i)) (Gen.int_bound 2) in
+  let art = Gen.map (fun i -> Printf.sprintf "a%d" i) (Gen.int_bound 3) in
+  let op_gen =
+    Gen.oneof
+      [
+        Gen.map2 (fun a i -> `Article (a, i)) author art;
+        Gen.map2 (fun (a, i) (c, who) -> `Comment (a, i, c, who))
+          (Gen.pair author art)
+          (Gen.pair (Gen.map (Printf.sprintf "c%d") (Gen.int_bound 5)) author);
+        Gen.map2 (fun (a, i) v -> `Vote (a, i, v)) (Gen.pair author art) author;
+        Gen.map2 (fun a i -> `Read (a, i)) author art;
+      ]
+  in
+  Test.make ~name:"interleaved page equals reference model" ~count:80
+    (Gen.list_size (Gen.int_range 1 50) op_gen)
+    (fun ops ->
+      let b = Newp.make ~interleaved:true () in
+      let articles = Hashtbl.create 8 and comments = ref [] and votes = ref [] in
+      let ok = ref true in
+      let check_page a i =
+        let page = b.Newp.read_page ~author:a ~id:i in
+        let expect_article =
+          Option.value ~default:"" (Hashtbl.find_opt articles (a, i))
+        in
+        let expect_rank =
+          List.length (List.sort_uniq compare (List.filter (fun (a', i', _) -> a' = a && i' = i) !votes))
+        in
+        let expect_comments =
+          List.sort_uniq compare
+            (List.filter_map
+               (fun (a', i', c, who, text) ->
+                 if a' = a && i' = i then Some (c, who, text) else None)
+               !comments)
+        in
+        let karma_of who =
+          List.length (List.sort_uniq compare (List.filter (fun (a', _, _) -> a' = who) !votes))
+        in
+        let expect_karma =
+          expect_comments
+          |> List.map (fun (_, who, _) -> who)
+          |> List.sort_uniq compare
+          |> List.filter_map (fun who ->
+                 let k = karma_of who in
+                 if k > 0 then Some (who, k) else None)
+        in
+        if
+          page.Newp.article <> expect_article
+          || page.Newp.rank <> expect_rank
+          || List.sort compare page.Newp.comments <> expect_comments
+          || page.Newp.karma <> expect_karma
+        then ok := false
+      in
+      List.iter
+        (fun op ->
+          match op with
+          | `Article (a, i) ->
+            Hashtbl.replace articles (a, i) ("body " ^ a ^ i);
+            b.Newp.add_article ~author:a ~id:i ~text:("body " ^ a ^ i)
+          | `Comment (a, i, c, who) ->
+            comments := (a, i, c, who, "txt") :: !comments;
+            b.Newp.add_comment ~author:a ~id:i ~cid:c ~commenter:who ~text:"txt"
+          | `Vote (a, i, v) ->
+            votes := (a, i, v) :: !votes;
+            b.Newp.vote ~author:a ~id:i ~voter:v
+          | `Read (a, i) -> check_page a i)
+        ops;
+      List.iter (fun a -> List.iter (fun i -> check_page a i) [ "a0"; "a1"; "a2"; "a3" ])
+        (Array.to_list authors);
+      b.Newp.shutdown ();
+      !ok)
+
+let () =
+  Alcotest.run "apps"
+    [
+      ( "social-graph",
+        [
+          Alcotest.test_case "shape" `Quick test_graph_shape;
+          Alcotest.test_case "deterministic" `Quick test_graph_deterministic;
+          Alcotest.test_case "no self-follow" `Quick test_no_self_follow;
+        ] );
+      ("workload", [ Alcotest.test_case "mix" `Quick test_workload_mix ]);
+      ( "baseline-models",
+        [
+          Alcotest.test_case "sorted vec" `Quick test_sorted_vec;
+          Alcotest.test_case "redis" `Quick test_redis_model;
+          Alcotest.test_case "memcached" `Quick test_memcached_model;
+        ] );
+      ( "baseline-props",
+        [ QCheck_alcotest.to_alcotest ~long:false prop_sorted_vec_model ] );
+      ( "twip",
+        [
+          Alcotest.test_case "five backends equivalent" `Slow test_backends_equivalent;
+          Alcotest.test_case "pequod fewer rpcs" `Quick test_pequod_fewer_rpcs_than_client;
+        ] );
+      ( "newp",
+        [
+          Alcotest.test_case "variants equivalent" `Slow test_newp_variants_equivalent;
+          Alcotest.test_case "rpc structure" `Quick test_newp_rpc_structure;
+        ] );
+      ("newp-props", [ QCheck_alcotest.to_alcotest ~long:false prop_newp_page_reference ]);
+    ]

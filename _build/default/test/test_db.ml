@@ -1,0 +1,219 @@
+(* Tests for the mini relational database: relations, indexes, the SPJ
+   query executor, triggers, and notification channels. *)
+
+module Db = Pequod_db.Db
+module Relation = Pequod_db.Relation
+module Query = Pequod_db.Query
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_rows = Alcotest.(check (list (list string)))
+
+let rows_to_list rows = List.map Array.to_list rows
+
+let make_twip_db () =
+  let db = Db.create () in
+  let _ = Db.create_table db ~name:"p" ~columns:[ "poster"; "time"; "tweet" ] ~key:[ "poster"; "time" ] in
+  let _ = Db.create_table db ~name:"s" ~columns:[ "user"; "poster" ] ~key:[ "user"; "poster" ] in
+  Db.add_index db ~table:"s" ~columns:[ "poster" ];
+  db
+
+let test_insert_find_delete () =
+  let db = make_twip_db () in
+  Db.insert db ~table:"p" [ "bob"; "0100"; "hi" ];
+  (match Db.find db ~table:"p" [ "bob"; "0100" ] with
+  | Some row -> Alcotest.(check string) "tweet" "hi" row.(2)
+  | None -> Alcotest.fail "row missing");
+  (* replace on same pk *)
+  Db.insert db ~table:"p" [ "bob"; "0100"; "hi again" ];
+  check_int "one row" 1 (Relation.row_count (Db.table db "p"));
+  check_bool "delete" true (Db.delete db ~table:"p" [ "bob"; "0100" ]);
+  check_bool "delete again" false (Db.delete db ~table:"p" [ "bob"; "0100" ]);
+  check_int "empty" 0 (Relation.row_count (Db.table db "p"))
+
+let test_arity_and_missing_table () =
+  let db = make_twip_db () in
+  check_bool "arity" true
+    (match Db.insert db ~table:"p" [ "bob" ] with exception Invalid_argument _ -> true | _ -> false);
+  check_bool "missing table" true
+    (match Db.insert db ~table:"zzz" [ "x" ] with exception Invalid_argument _ -> true | _ -> false)
+
+let test_secondary_index () =
+  let db = make_twip_db () in
+  Db.insert db ~table:"s" [ "ann"; "bob" ];
+  Db.insert db ~table:"s" [ "cal"; "bob" ];
+  Db.insert db ~table:"s" [ "ann"; "liz" ];
+  let got = ref [] in
+  Relation.scan_index (Db.table db "s") ~columns:[ "poster" ] ~values:[ "bob" ] (fun row ->
+      got := row.(0) :: !got);
+  Alcotest.(check (list string)) "followers of bob" [ "ann"; "cal" ] (List.sort compare !got);
+  (* index stays consistent after delete *)
+  ignore (Db.delete db ~table:"s" [ "ann"; "bob" ]);
+  let got = ref [] in
+  Relation.scan_index (Db.table db "s") ~columns:[ "poster" ] ~values:[ "bob" ] (fun row ->
+      got := row.(0) :: !got);
+  Alcotest.(check (list string)) "after delete" [ "cal" ] !got
+
+let test_index_backfills_existing_rows () =
+  let db = Db.create () in
+  let _ = Db.create_table db ~name:"x" ~columns:[ "a"; "b" ] ~key:[ "a" ] in
+  Db.insert db ~table:"x" [ "1"; "one" ];
+  Db.insert db ~table:"x" [ "2"; "one" ];
+  Db.add_index db ~table:"x" ~columns:[ "b" ];
+  let got = ref 0 in
+  Relation.scan_index (Db.table db "x") ~columns:[ "b" ] ~values:[ "one" ] (fun _ -> incr got);
+  check_int "backfilled" 2 !got
+
+let test_scan_prefix_and_pk () =
+  let db = make_twip_db () in
+  Db.insert db ~table:"p" [ "bob"; "0100"; "a" ];
+  Db.insert db ~table:"p" [ "bob"; "0200"; "b" ];
+  Db.insert db ~table:"p" [ "liz"; "0150"; "c" ];
+  let got = ref [] in
+  Relation.scan_prefix (Db.table db "p") [ "bob" ] (fun row -> got := row.(2) :: !got);
+  Alcotest.(check (list string)) "bob's posts" [ "a"; "b" ] (List.rev !got);
+  let got = ref [] in
+  Relation.scan_pk (Db.table db "p") ~lo:"bob|0150" ~hi:"liz|0200" (fun row -> got := row.(2) :: !got);
+  Alcotest.(check (list string)) "pk range" [ "b"; "c" ] (List.rev !got)
+
+(* the paper's §2 timeline query through the SPJ executor *)
+let test_spj_timeline_query () =
+  let db = make_twip_db () in
+  Db.insert db ~table:"s" [ "ann"; "bob" ];
+  Db.insert db ~table:"s" [ "ann"; "liz" ];
+  Db.insert db ~table:"p" [ "bob"; "0100"; "hello" ];
+  Db.insert db ~table:"p" [ "bob"; "0050"; "too old" ];
+  Db.insert db ~table:"p" [ "liz"; "0150"; "hi" ];
+  Db.insert db ~table:"p" [ "jim"; "0160"; "not followed" ];
+  let q =
+    Query.make
+      ~terms:
+        [ { Query.relation = Db.table db "s"; alias = "s" };
+          { Query.relation = Db.table db "p"; alias = "p" } ]
+      ~preds:
+        [ Query.Const ("s", "user", "ann");
+          Query.Join ("s", "poster", "p", "poster");
+          Query.Ge ("p", "time", "0100") ]
+      ~select:[ ("p", "time"); ("p", "poster"); ("p", "tweet") ]
+  in
+  let rows = Query.exec_list q |> rows_to_list |> List.sort compare in
+  check_rows "timeline query"
+    [ [ "0100"; "bob"; "hello" ]; [ "0150"; "liz"; "hi" ] ]
+    rows
+
+let test_query_range_pred () =
+  let db = make_twip_db () in
+  for i = 0 to 9 do
+    Db.insert db ~table:"p" [ "bob"; Printf.sprintf "%04d" (i * 10); string_of_int i ]
+  done;
+  let q =
+    Query.make
+      ~terms:[ { Query.relation = Db.table db "p"; alias = "p" } ]
+      ~preds:
+        [ Query.Const ("p", "poster", "bob"); Query.Ge ("p", "time", "0030");
+          Query.Lt ("p", "time", "0060") ]
+      ~select:[ ("p", "tweet") ]
+  in
+  check_rows "range" [ [ "3" ]; [ "4" ]; [ "5" ] ] (rows_to_list (Query.exec_list q))
+
+let test_triggers_maintain_view () =
+  (* a trigger-maintained timeline table, as in the PostgreSQL baseline *)
+  let db = make_twip_db () in
+  let _ = Db.create_table db ~name:"tl" ~columns:[ "user"; "time"; "poster"; "tweet" ]
+      ~key:[ "user"; "time"; "poster" ] in
+  Db.create_trigger db ~table:"p" (fun change row ->
+      match change with
+      | Db.Row_insert ->
+        Relation.scan_index (Db.table db "s") ~columns:[ "poster" ] ~values:[ row.(0) ]
+          (fun srow -> Db.insert db ~table:"tl" [ srow.(0); row.(1); row.(0); row.(2) ])
+      | Db.Row_delete ->
+        Relation.scan_index (Db.table db "s") ~columns:[ "poster" ] ~values:[ row.(0) ]
+          (fun srow -> ignore (Db.delete db ~table:"tl" [ srow.(0); row.(1); row.(0) ])));
+  Db.insert db ~table:"s" [ "ann"; "bob" ];
+  Db.insert db ~table:"p" [ "bob"; "0100"; "hi" ];
+  check_int "tl row" 1 (Relation.row_count (Db.table db "tl"));
+  (match Db.find db ~table:"tl" [ "ann"; "0100"; "bob" ] with
+  | Some row -> Alcotest.(check string) "copied tweet" "hi" row.(3)
+  | None -> Alcotest.fail "trigger did not fire");
+  ignore (Db.delete db ~table:"p" [ "bob"; "0100" ]);
+  check_int "tl cleaned" 0 (Relation.row_count (Db.table db "tl"))
+
+let test_notify_listeners () =
+  (* the write-around deployment: a database notification feeds Pequod *)
+  let db = make_twip_db () in
+  let events = ref [] in
+  Db.listen db ~table:"p" (fun change row ->
+      events := (change, Array.to_list row) :: !events);
+  Db.insert db ~table:"p" [ "bob"; "0100"; "hi" ];
+  ignore (Db.delete db ~table:"p" [ "bob"; "0100" ]);
+  Alcotest.(check int) "two events" 2 (List.length !events);
+  check_bool "insert first" true
+    (match List.rev !events with
+    | (Db.Row_insert, [ "bob"; "0100"; "hi" ]) :: _ -> true
+    | _ -> false)
+
+let test_wal_accounting () =
+  let db = make_twip_db () in
+  let w0 = Db.wal_bytes db in
+  Db.insert db ~table:"p" [ "bob"; "0100"; "hello world" ];
+  check_bool "wal grows" true (Db.wal_bytes db > w0);
+  check_int "statements" 1 (Db.statements db)
+
+(* write-around: database -> notify -> Pequod cache stays fresh *)
+let test_write_around_deployment () =
+  let module Server = Pequod_core.Server in
+  let db = make_twip_db () in
+  let cache = Server.create () in
+  Server.add_join_exn cache
+    "t|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time>";
+  let forward table change row =
+    let key =
+      match table with
+      | "p" -> Printf.sprintf "p|%s|%s" row.(0) row.(1)
+      | "s" -> Printf.sprintf "s|%s|%s" row.(0) row.(1)
+      | _ -> assert false
+    in
+    match change with
+    | Db.Row_insert ->
+      Server.put cache key (if table = "p" then row.(2) else "1")
+    | Db.Row_delete -> Server.remove cache key
+  in
+  Db.listen db ~table:"p" (forward "p");
+  Db.listen db ~table:"s" (forward "s");
+  (* application writes go to the database only *)
+  Db.insert db ~table:"s" [ "ann"; "bob" ];
+  Db.insert db ~table:"p" [ "bob"; "0100"; "hello" ];
+  Alcotest.(check (list (pair string string)))
+    "cache sees db writes"
+    [ ("t|ann|0100|bob", "hello") ]
+    (Server.scan cache ~lo:"t|ann|" ~hi:"t|ann}");
+  Db.insert db ~table:"p" [ "bob"; "0200"; "more" ];
+  Alcotest.(check (list (pair string string)))
+    "incremental through notify"
+    [ ("t|ann|0100|bob", "hello"); ("t|ann|0200|bob", "more") ]
+    (Server.scan cache ~lo:"t|ann|" ~hi:"t|ann}")
+
+let () =
+  Alcotest.run "db"
+    [
+      ( "relation",
+        [
+          Alcotest.test_case "insert/find/delete" `Quick test_insert_find_delete;
+          Alcotest.test_case "arity and missing table" `Quick test_arity_and_missing_table;
+          Alcotest.test_case "secondary index" `Quick test_secondary_index;
+          Alcotest.test_case "index backfill" `Quick test_index_backfills_existing_rows;
+          Alcotest.test_case "scan prefix and pk" `Quick test_scan_prefix_and_pk;
+        ] );
+      ( "query",
+        [
+          Alcotest.test_case "timeline SPJ" `Quick test_spj_timeline_query;
+          Alcotest.test_case "range predicates" `Quick test_query_range_pred;
+        ] );
+      ( "triggers",
+        [
+          Alcotest.test_case "view maintenance" `Quick test_triggers_maintain_view;
+          Alcotest.test_case "notify" `Quick test_notify_listeners;
+          Alcotest.test_case "wal accounting" `Quick test_wal_accounting;
+          Alcotest.test_case "write-around deployment" `Quick test_write_around_deployment;
+        ] );
+    ]

@@ -1,0 +1,218 @@
+(* Additional coverage: aggregate operator semantics, the forked server
+   deployment, eviction interacting with pending logs, snapshot+pull
+   interplay, and workload generators. *)
+
+module Server = Pequod_core.Server
+module Config = Pequod_core.Config
+module Operator = Pequod_core.Operator
+module Joinspec = Pequod_pattern.Joinspec
+module Twip = Pequod_apps.Twip
+module Social_graph = Pequod_apps.Social_graph
+module Workload = Pequod_apps.Workload
+module Meter = Pequod_baselines.Meter
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_pairs = Alcotest.(check (list (pair string string)))
+
+(* ------------------------------------------------------------------ *)
+(* Operator semantics                                                  *)
+
+let test_fold_aggregate () =
+  let fold op vs = Operator.fold_aggregate op vs in
+  Alcotest.(check (option string)) "count" (Some "3") (fold Joinspec.Count [ "a"; "b"; "c" ]);
+  Alcotest.(check (option string)) "sum" (Some "60") (fold Joinspec.Sum [ "10"; "20"; "30" ]);
+  Alcotest.(check (option string)) "min" (Some "10") (fold Joinspec.Min [ "30"; "10"; "20" ]);
+  Alcotest.(check (option string)) "max" (Some "30") (fold Joinspec.Max [ "30"; "10"; "20" ]);
+  Alcotest.(check (option string)) "empty" None (fold Joinspec.Count []);
+  check_bool "copy rejected" true
+    (match fold Joinspec.Copy [ "x" ] with exception Invalid_argument _ -> true | _ -> false)
+
+let test_incremental_count () =
+  let inc ~current ~change ~old_value ~new_value =
+    Operator.incremental Joinspec.Count ~current ~change ~old_value ~new_value
+  in
+  check_bool "insert from none" true
+    (inc ~current:None ~change:Operator.Insert ~old_value:None ~new_value:(Some "1")
+    = Operator.Set "1");
+  check_bool "insert increments" true
+    (inc ~current:(Some "4") ~change:Operator.Insert ~old_value:None ~new_value:(Some "1")
+    = Operator.Set "5");
+  check_bool "remove decrements" true
+    (inc ~current:(Some "4") ~change:Operator.Remove ~old_value:(Some "1") ~new_value:None
+    = Operator.Set "3");
+  check_bool "remove to zero deletes" true
+    (inc ~current:(Some "1") ~change:Operator.Remove ~old_value:(Some "1") ~new_value:None
+    = Operator.Delete);
+  check_bool "update is noop" true
+    (inc ~current:(Some "4") ~change:Operator.Update ~old_value:(Some "1") ~new_value:(Some "2")
+    = Operator.Nothing)
+
+let test_incremental_min_max () =
+  let inc op ~current ~change ~old_value ~new_value =
+    Operator.incremental op ~current ~change ~old_value ~new_value
+  in
+  check_bool "lower min wins" true
+    (inc Joinspec.Min ~current:(Some "5") ~change:Operator.Insert ~old_value:None
+       ~new_value:(Some "3")
+    = Operator.Set "3");
+  check_bool "higher min ignored" true
+    (inc Joinspec.Min ~current:(Some "5") ~change:Operator.Insert ~old_value:None
+       ~new_value:(Some "7")
+    = Operator.Nothing);
+  check_bool "removing the min forces recompute" true
+    (inc Joinspec.Min ~current:(Some "5") ~change:Operator.Remove ~old_value:(Some "5")
+       ~new_value:None
+    = Operator.Recompute);
+  check_bool "removing a non-extremum is free" true
+    (inc Joinspec.Max ~current:(Some "9") ~change:Operator.Remove ~old_value:(Some "5")
+       ~new_value:None
+    = Operator.Nothing)
+
+(* ------------------------------------------------------------------ *)
+(* Forked deployment equivalence                                       *)
+
+let test_forked_pequod_equivalent () =
+  let run deployment =
+    let b = Twip.pequod ~deployment () in
+    b.Twip.subscribe ~user:"ann" ~poster:"bob";
+    b.Twip.post ~poster:"bob" ~time:(Strkey.encode_time 100) ~tweet:"hi";
+    b.Twip.post ~poster:"bob" ~time:(Strkey.encode_time 200) ~tweet:"again";
+    let tl = b.Twip.timeline ~user:"ann" ~since:(Strkey.encode_time 0) in
+    let mem = b.Twip.memory_bytes () in
+    b.Twip.shutdown ();
+    (tl, mem > 0)
+  in
+  let local = run Twip.In_process in
+  let forked = run Twip.Separate_process in
+  check_bool "same timelines" true (fst local = fst forked);
+  check_bool "memory over the wire" true (snd forked)
+
+let test_forked_redis_equivalent () =
+  let run deployment =
+    let b = Twip.redis ~deployment () in
+    b.Twip.subscribe ~user:"ann" ~poster:"bob";
+    b.Twip.post ~poster:"bob" ~time:(Strkey.encode_time 100) ~tweet:"hi";
+    let tl = b.Twip.timeline ~user:"ann" ~since:(Strkey.encode_time 0) in
+    b.Twip.shutdown ();
+    tl
+  in
+  check_bool "redis forked == in-process" true
+    (run Twip.In_process = run Twip.Separate_process)
+
+let test_meter_accounting () =
+  let echoes = ref 0 in
+  let meter =
+    Meter.create
+      ~handler:(fun req ->
+        incr echoes;
+        req)
+      ()
+  in
+  let resp = Meter.call meter "hello" in
+  Alcotest.(check string) "echoed" "hello" resp;
+  check_int "rpcs" 1 meter.Meter.rpcs;
+  check_int "sent" 5 meter.Meter.bytes_sent;
+  check_int "received" 5 meter.Meter.bytes_received;
+  check_int "handled" 1 !echoes;
+  Meter.close meter
+
+(* ------------------------------------------------------------------ *)
+(* Eviction interacting with pending logs                              *)
+
+let test_eviction_with_pending_log () =
+  let config = Config.default () in
+  config.Config.memory_limit <- Some 4_000;
+  let s = Server.create ~config () in
+  Server.add_join_exn s Twip.timeline_join;
+  Server.put s "s|ann|bob" "1";
+  for i = 0 to 20 do
+    Server.put s (Printf.sprintf "p|bob|%s" (Strkey.encode_time i)) (String.make 60 'x')
+  done;
+  ignore (Server.scan s ~lo:"t|ann|" ~hi:"t|ann}");
+  (* log a change, then force eviction pressure via other users *)
+  Server.put s "s|ann|liz" "1";
+  Server.put s "p|liz|0000000099" "from liz";
+  for u = 0 to 14 do
+    let user = Printf.sprintf "u%02d" u in
+    Server.put s (Printf.sprintf "s|%s|bob" user) "1";
+    ignore
+      (Server.scan s
+         ~lo:(Printf.sprintf "t|%s|" user)
+         ~hi:(Strkey.prefix_upper (Printf.sprintf "t|%s|" user)))
+  done;
+  (* whatever was evicted, results must still be exact *)
+  let tl = Server.scan s ~lo:"t|ann|" ~hi:"t|ann}" in
+  check_int "21 bob posts + 1 liz post" 22 (List.length tl);
+  check_bool "liz post present" true (List.mem_assoc "t|ann|0000000099|liz" tl);
+  Server.validate s
+
+let test_snapshot_with_pull_sources () =
+  (* a snapshot join reading a push join's output *)
+  let clock = ref 0.0 in
+  let config = Config.default () in
+  config.Config.now <- (fun () -> !clock);
+  let s = Server.create ~config () in
+  Server.add_join_exn s "mid|<x> = copy base|<x>";
+  Server.add_join_exn s "snap|<x> = snapshot 10 copy mid|<x>";
+  Server.put s "base|a" "v1";
+  check_pairs "computed through chain" [ ("snap|a", "v1") ] (Server.scan s ~lo:"snap|" ~hi:"snap}");
+  Server.put s "base|a" "v2";
+  check_pairs "mid updates eagerly" [ ("mid|a", "v2") ] (Server.scan s ~lo:"mid|" ~hi:"mid}");
+  check_pairs "snapshot still stale" [ ("snap|a", "v1") ] (Server.scan s ~lo:"snap|" ~hi:"snap}");
+  clock := 11.0;
+  check_pairs "snapshot refreshed" [ ("snap|a", "v2") ] (Server.scan s ~lo:"snap|" ~hi:"snap}")
+
+(* ------------------------------------------------------------------ *)
+(* Workload generators                                                 *)
+
+let test_checks_and_posts () =
+  let rng = Rng.create 3 in
+  let g = Social_graph.generate ~rng ~nusers:100 ~avg_follows:5 () in
+  let w = Workload.checks_and_posts ~rng ~graph:g ~active_fraction:0.5 ~nchecks:900 ~nposts:100 () in
+  let posts = Array.to_list w.Workload.ops |> List.filter (function Workload.Post _ -> true | _ -> false) in
+  let checks = Array.to_list w.Workload.ops |> List.filter (function Workload.Check _ -> true | _ -> false) in
+  check_int "total" 1000 (Array.length w.Workload.ops);
+  check_bool "post count approx" true (abs (List.length posts - 100) <= 10);
+  check_bool "mostly checks" true (List.length checks >= 890);
+  (* checks target only active users *)
+  let active = Hashtbl.create 64 in
+  Array.iter (function Workload.Check u -> Hashtbl.replace active u () | _ -> ()) w.Workload.ops;
+  check_bool "about half the users" true (Hashtbl.length active <= 55)
+
+let test_preload_no_fanout () =
+  (* preload before the graph is loaded must not fan out in client systems *)
+  let b = Twip.client_pequod () in
+  let rng = Rng.create 4 in
+  let g = Social_graph.generate ~rng ~nusers:20 ~avg_follows:3 () in
+  Twip.preload_posts b g ~rng ~nposts:50;
+  let rpcs_per_post = float_of_int (b.Twip.rpcs ()) /. 50.0 in
+  check_bool "one RPC per preloaded post" true (rpcs_per_post < 2.5);
+  b.Twip.shutdown ()
+
+let () =
+  Alcotest.run "extra"
+    [
+      ( "operators",
+        [
+          Alcotest.test_case "fold" `Quick test_fold_aggregate;
+          Alcotest.test_case "incremental count" `Quick test_incremental_count;
+          Alcotest.test_case "incremental min/max" `Quick test_incremental_min_max;
+        ] );
+      ( "forked-deployment",
+        [
+          Alcotest.test_case "pequod equivalent" `Quick test_forked_pequod_equivalent;
+          Alcotest.test_case "redis equivalent" `Quick test_forked_redis_equivalent;
+          Alcotest.test_case "meter accounting" `Quick test_meter_accounting;
+        ] );
+      ( "engine-edge-cases",
+        [
+          Alcotest.test_case "eviction with pending log" `Quick test_eviction_with_pending_log;
+          Alcotest.test_case "snapshot over chain" `Quick test_snapshot_with_pull_sources;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "checks and posts" `Quick test_checks_and_posts;
+          Alcotest.test_case "preload no fanout" `Quick test_preload_no_fanout;
+        ] );
+    ]

@@ -1,0 +1,138 @@
+(* Integration tests for the network server: the select event loop is
+   driven manually with step(), with real TCP sockets in one process. *)
+
+module Net_server = Pequod_server_lib.Net_server
+module Message = Pequod_proto.Message
+module Frame = Pequod_proto.Frame
+
+let check_bool = Alcotest.(check bool)
+
+let timeline_join = "t|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time>"
+
+let with_server ~joins f =
+  let t = Net_server.create ~port:0 ~joins ~memory_limit:None in
+  Fun.protect ~finally:(fun () -> Net_server.stop t) (fun () -> f t)
+
+let connect t =
+  let port = Net_server.port t in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  fd
+
+(* send a request, pump the server loop, read the response *)
+let rpc t fd req =
+  let wire = Frame.encode (Message.encode_request req) in
+  let sent = ref 0 in
+  while !sent < String.length wire do
+    sent := !sent + Unix.write_substring fd wire !sent (String.length wire - !sent)
+  done;
+  let decoder = Frame.decoder () in
+  let buf = Bytes.create 65536 in
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let rec read_frame () =
+    if Unix.gettimeofday () > deadline then failwith "rpc timeout";
+    Net_server.step ~timeout:0.01 t;
+    match Unix.select [ fd ] [] [] 0.01 with
+    | [ _ ], _, _ -> (
+      let n = Unix.read fd buf 0 (Bytes.length buf) in
+      if n = 0 then failwith "connection closed";
+      match Frame.feed decoder (Bytes.sub_string buf 0 n) with
+      | frame :: _ -> Message.decode_response frame
+      | [] -> read_frame ())
+    | _ -> read_frame ()
+  in
+  read_frame ()
+
+let test_basic_session () =
+  with_server ~joins:[ timeline_join ] (fun t ->
+      let fd = connect t in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          check_bool "put sub" true (rpc t fd (Message.Put ("s|ann|bob", "1")) = Message.Done);
+          check_bool "put post" true
+            (rpc t fd (Message.Put ("p|bob|0000000100", "hi")) = Message.Done);
+          (match rpc t fd (Message.Scan { lo = "t|ann|"; hi = "t|ann}" }) with
+          | Message.Pairs [ ("t|ann|0000000100|bob", "hi") ] -> ()
+          | _ -> Alcotest.fail "timeline over TCP");
+          (match rpc t fd (Message.Get "t|ann|0000000100|bob") with
+          | Message.Value (Some "hi") -> ()
+          | _ -> Alcotest.fail "get over TCP");
+          match rpc t fd Message.Stats with
+          | Message.Stat_list stats -> check_bool "stats" true (stats <> [])
+          | _ -> Alcotest.fail "stats over TCP"))
+
+let test_runtime_join_installation () =
+  with_server ~joins:[] (fun t ->
+      let fd = connect t in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          check_bool "add join" true
+            (rpc t fd (Message.Add_join "m|<x> = copy src|<x>") = Message.Done);
+          (match rpc t fd (Message.Add_join "nonsense") with
+          | Message.Error _ -> ()
+          | _ -> Alcotest.fail "bad join accepted");
+          check_bool "put" true (rpc t fd (Message.Put ("src|a", "v")) = Message.Done);
+          match rpc t fd (Message.Get "m|a") with
+          | Message.Value (Some "v") -> ()
+          | _ -> Alcotest.fail "runtime join not applied"))
+
+let test_two_clients () =
+  with_server ~joins:[ timeline_join ] (fun t ->
+      let fd1 = connect t in
+      let fd2 = connect t in
+      Fun.protect
+        ~finally:(fun () ->
+          Unix.close fd1;
+          Unix.close fd2)
+        (fun () ->
+          check_bool "c1 put" true (rpc t fd1 (Message.Put ("s|ann|bob", "1")) = Message.Done);
+          check_bool "c2 put" true
+            (rpc t fd2 (Message.Put ("p|bob|0000000001", "x")) = Message.Done);
+          (* each client sees the other's writes *)
+          match rpc t fd1 (Message.Scan { lo = "t|ann|"; hi = "t|ann}" }) with
+          | Message.Pairs [ ("t|ann|0000000001|bob", "x") ] -> ()
+          | _ -> Alcotest.fail "cross-client visibility"))
+
+let test_garbage_input () =
+  with_server ~joins:[] (fun t ->
+      let fd = connect t in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          (* a valid frame holding an invalid message must produce an error
+             response, not kill the server *)
+          let wire = Frame.encode "\xff\xff\xff" in
+          ignore (Unix.write_substring fd wire 0 (String.length wire));
+          let decoder = Frame.decoder () in
+          let buf = Bytes.create 4096 in
+          let deadline = Unix.gettimeofday () +. 5.0 in
+          let rec read_frame () =
+            if Unix.gettimeofday () > deadline then failwith "timeout";
+            Net_server.step ~timeout:0.01 t;
+            match Unix.select [ fd ] [] [] 0.01 with
+            | [ _ ], _, _ -> (
+              let n = Unix.read fd buf 0 (Bytes.length buf) in
+              match Frame.feed decoder (Bytes.sub_string buf 0 n) with
+              | frame :: _ -> Message.decode_response frame
+              | [] -> read_frame ())
+            | _ -> read_frame ()
+          in
+          (match read_frame () with
+          | Message.Error _ -> ()
+          | _ -> Alcotest.fail "expected protocol error");
+          (* and the connection still works afterwards *)
+          check_bool "still alive" true (rpc t fd (Message.Put ("k|a", "v")) = Message.Done)))
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "tcp-server",
+        [
+          Alcotest.test_case "basic session" `Quick test_basic_session;
+          Alcotest.test_case "runtime joins" `Quick test_runtime_join_installation;
+          Alcotest.test_case "two clients" `Quick test_two_clients;
+          Alcotest.test_case "garbage input" `Quick test_garbage_input;
+        ] );
+    ]

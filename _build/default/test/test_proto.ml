@@ -1,0 +1,202 @@
+(* Tests for the wire protocol: codec primitives, message round trips,
+   framing, and driving a Pequod engine through the loopback wire. *)
+
+module Codec = Pequod_proto.Codec
+module Message = Pequod_proto.Message
+module Frame = Pequod_proto.Frame
+module Server = Pequod_core.Server
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_varint_roundtrip () =
+  List.iter
+    (fun n ->
+      let buf = Buffer.create 8 in
+      Codec.put_varint buf n;
+      let r = Codec.reader (Buffer.contents buf) in
+      check_int (string_of_int n) n (Codec.get_varint r);
+      check_bool "consumed" true (Codec.at_end r))
+    [ 0; 1; 127; 128; 300; 16384; 1_000_000; max_int / 4 ]
+
+let test_string_roundtrip () =
+  List.iter
+    (fun s ->
+      let buf = Buffer.create 8 in
+      Codec.put_string buf s;
+      let r = Codec.reader (Buffer.contents buf) in
+      Alcotest.(check string) "string" s (Codec.get_string r))
+    [ ""; "x"; "hello|world"; String.make 1000 'a'; "\x00\x01\xfe" ]
+
+let test_decode_errors () =
+  let truncated = "\x05abc" in
+  check_bool "truncated string" true
+    (match Codec.get_string (Codec.reader truncated) with
+    | exception Codec.Decode_error _ -> true
+    | _ -> false);
+  check_bool "empty varint" true
+    (match Codec.get_varint (Codec.reader "") with
+    | exception Codec.Decode_error _ -> true
+    | _ -> false)
+
+let requests =
+  [
+    Message.Get "t|ann|0100|bob";
+    Message.Put ("p|bob|0100", "hello world");
+    Message.Remove "s|ann|bob";
+    Message.Scan { lo = "t|ann|"; hi = "t|ann}" };
+    Message.Add_join "t|<u>|<t> = copy p|<u>|<t>";
+    Message.Fetch { table = "p"; lo = "p|a"; hi = "p|b"; subscriber = 42 };
+    Message.Notify_put ("p|bob|0100", "hi");
+    Message.Notify_remove "p|bob|0100";
+    Message.Stats;
+  ]
+
+let responses =
+  [
+    Message.Done;
+    Message.Value None;
+    Message.Value (Some "payload");
+    Message.Pairs [ ("a", "1"); ("b", "2") ];
+    Message.Pairs [];
+    Message.Stat_list [ ("op.scan", 7); ("store.put", 123) ];
+    Message.Error "boom";
+  ]
+
+let test_message_roundtrip () =
+  List.iter
+    (fun req ->
+      check_bool "request" true (Message.decode_request (Message.encode_request req) = req))
+    requests;
+  List.iter
+    (fun resp ->
+      check_bool "response" true (Message.decode_response (Message.encode_response resp) = resp))
+    responses
+
+let test_bad_tags () =
+  check_bool "bad request tag" true
+    (match Message.decode_request "\xff" with
+    | exception Message.Protocol_error _ -> true
+    | _ -> false);
+  check_bool "trailing bytes" true
+    (match Message.decode_request (Message.encode_request (Message.Get "k") ^ "x") with
+    | exception Message.Protocol_error _ -> true
+    | _ -> false)
+
+let test_frame_roundtrip () =
+  let d = Frame.decoder () in
+  let wire = Frame.encode "hello" ^ Frame.encode "" ^ Frame.encode "world" in
+  Alcotest.(check (list string)) "frames" [ "hello"; ""; "world" ] (Frame.feed d wire)
+
+let test_frame_incremental () =
+  let d = Frame.decoder () in
+  let wire = Frame.encode "hello world" in
+  (* feed one byte at a time: only the final byte completes the frame *)
+  let n = String.length wire in
+  let got = ref [] in
+  String.iteri
+    (fun i c ->
+      let frames = Frame.feed d (String.make 1 c) in
+      if i < n - 1 then check_int "no early frame" 0 (List.length frames)
+      else got := frames)
+    wire;
+  Alcotest.(check (list string)) "assembled" [ "hello world" ] !got;
+  check_int "drained" 0 (Frame.buffered d)
+
+let test_frame_split_across_messages () =
+  let d = Frame.decoder () in
+  let wire = Frame.encode "aaaa" ^ Frame.encode "bbbb" in
+  let mid = String.length wire - 3 in
+  let f1 = Frame.feed d (String.sub wire 0 mid) in
+  let f2 = Frame.feed d (String.sub wire mid 3) in
+  Alcotest.(check (list string)) "first" [ "aaaa" ] f1;
+  Alcotest.(check (list string)) "second" [ "bbbb" ] f2
+
+(* Drive a real engine through the wire: the full client experience. *)
+let test_loopback_server () =
+  let s = Server.create () in
+  let handler = Message.apply_to_server s in
+  let rpc req =
+    let resp, _, _ = Message.loopback handler req in
+    resp
+  in
+  check_bool "add join" true
+    (rpc (Message.Add_join "t|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time>")
+    = Message.Done);
+  check_bool "bad join reported" true
+    (match rpc (Message.Add_join "nonsense") with Message.Error _ -> true | _ -> false);
+  check_bool "put" true (rpc (Message.Put ("s|ann|bob", "1")) = Message.Done);
+  check_bool "put post" true (rpc (Message.Put ("p|bob|0100", "hi")) = Message.Done);
+  (match rpc (Message.Scan { lo = "t|ann|"; hi = "t|ann}" }) with
+  | Message.Pairs [ ("t|ann|0100|bob", "hi") ] -> ()
+  | _ -> Alcotest.fail "scan through the wire");
+  (match rpc (Message.Get "t|ann|0100|bob") with
+  | Message.Value (Some "hi") -> ()
+  | _ -> Alcotest.fail "get through the wire");
+  check_bool "remove" true (rpc (Message.Remove "p|bob|0100") = Message.Done);
+  (match rpc (Message.Scan { lo = "t|ann|"; hi = "t|ann}" }) with
+  | Message.Pairs [] -> ()
+  | _ -> Alcotest.fail "timeline empty after remove");
+  match rpc Message.Stats with
+  | Message.Stat_list stats -> check_bool "stats nonempty" true (stats <> [])
+  | _ -> Alcotest.fail "stats"
+
+let prop_message_roundtrip =
+  let open QCheck2 in
+  let str = Gen.string_size ~gen:Gen.printable (Gen.int_bound 40) in
+  let req_gen =
+    Gen.oneof
+      [
+        Gen.map (fun k -> Message.Get k) str;
+        Gen.map2 (fun k v -> Message.Put (k, v)) str str;
+        Gen.map (fun k -> Message.Remove k) str;
+        Gen.map2 (fun lo hi -> Message.Scan { lo; hi }) str str;
+        Gen.map (fun t -> Message.Add_join t) str;
+        Gen.map2 (fun (t, l) h -> Message.Fetch { table = t; lo = l; hi = h; subscriber = 3 })
+          (Gen.pair str str) str;
+      ]
+  in
+  Test.make ~name:"arbitrary requests round-trip" ~count:500 req_gen (fun req ->
+      Message.decode_request (Message.encode_request req) = req)
+
+let prop_frames =
+  let open QCheck2 in
+  Test.make ~name:"frame stream reassembles under arbitrary chunking" ~count:200
+    Gen.(pair (list_size (int_range 0 10) (string_size ~gen:char (int_bound 50))) (int_range 1 7))
+    (fun (bodies, chunk) ->
+      let wire = String.concat "" (List.map Frame.encode bodies) in
+      let d = Frame.decoder () in
+      let out = ref [] in
+      let i = ref 0 in
+      while !i < String.length wire do
+        let n = min chunk (String.length wire - !i) in
+        out := !out @ Frame.feed d (String.sub wire !i n);
+        i := !i + n
+      done;
+      !out = bodies && Frame.buffered d = 0)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "proto"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "varint" `Quick test_varint_roundtrip;
+          Alcotest.test_case "string" `Quick test_string_roundtrip;
+          Alcotest.test_case "decode errors" `Quick test_decode_errors;
+        ] );
+      ( "message",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_message_roundtrip;
+          Alcotest.test_case "bad tags" `Quick test_bad_tags;
+        ] );
+      ( "frame",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_frame_roundtrip;
+          Alcotest.test_case "incremental" `Quick test_frame_incremental;
+          Alcotest.test_case "split" `Quick test_frame_split_across_messages;
+        ] );
+      ("loopback", [ Alcotest.test_case "engine over wire" `Quick test_loopback_server ]);
+      ("props", qsuite [ prop_message_roundtrip; prop_frames ]);
+    ]

@@ -1,0 +1,344 @@
+(* Tests for the discrete-event simulator and the distributed cluster:
+   fetch + subscribe, push notifications, eventual consistency, replication
+   for load balancing, read-your-own-writes, and work accounting. *)
+
+module Event = Pequod_sim.Event
+module Cluster = Pequod_sim.Cluster
+module Server = Pequod_core.Server
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_pairs = Alcotest.(check (list (pair string string)))
+
+(* ------------------------------------------------------------------ *)
+(* Event queue                                                         *)
+
+let test_event_ordering () =
+  let ev = Event.create () in
+  let log = ref [] in
+  Event.schedule ev ~delay:0.3 (fun () -> log := "c" :: !log);
+  Event.schedule ev ~delay:0.1 (fun () -> log := "a" :: !log);
+  Event.schedule ev ~delay:0.2 (fun () -> log := "b" :: !log);
+  Event.run ev;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !log);
+  Alcotest.(check (float 0.0001)) "clock" 0.3 (Event.now ev)
+
+let test_event_fifo_ties () =
+  let ev = Event.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    Event.schedule_at ev ~time:1.0 (fun () -> log := i :: !log)
+  done;
+  Event.run ev;
+  Alcotest.(check (list int)) "fifo at same time" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] (List.rev !log)
+
+let test_event_cascade () =
+  let ev = Event.create () in
+  let count = ref 0 in
+  let rec chain n =
+    if n > 0 then
+      Event.schedule ev ~delay:0.1 (fun () ->
+          incr count;
+          chain (n - 1))
+  in
+  chain 5;
+  Event.run ev;
+  check_int "cascaded" 5 !count;
+  Alcotest.(check (float 0.001)) "time advanced" 0.5 (Event.now ev)
+
+let prop_event_order =
+  let open QCheck2 in
+  Test.make ~name:"events run in nondecreasing time order" ~count:200
+    Gen.(list_size (int_range 0 50) (float_bound_inclusive 10.0))
+    (fun delays ->
+      let ev = Event.create () in
+      let times = ref [] in
+      List.iter
+        (fun d -> Event.schedule_at ev ~time:d (fun () -> times := Event.now ev :: !times))
+        delays;
+      Event.run ev;
+      let ts = List.rev !times in
+      let rec sorted = function
+        | a :: (b :: _ as rest) -> a <= b && sorted rest
+        | [ _ ] | [] -> true
+      in
+      sorted ts && List.length ts = List.length delays)
+
+(* ------------------------------------------------------------------ *)
+(* Cluster                                                             *)
+
+let timeline_join = "t|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time>"
+
+(* partition p| and s| keys by their second component *)
+let partition ~nbase ~table ~lo =
+  match table with
+  | "p" | "s" -> (
+    match String.split_on_char '|' lo with
+    | _ :: who :: _ -> Some (Hashtbl.hash who mod nbase)
+    | _ -> Some 0)
+  | _ -> None
+
+let make_cluster ?(nbase = 2) ?(ncompute = 2) () =
+  let event = Event.create () in
+  let cluster =
+    Cluster.create ~event ~nbase ~ncompute
+      ~partition:(fun ~table ~lo -> partition ~nbase ~table ~lo)
+      ()
+  in
+  Cluster.add_join cluster timeline_join;
+  (event, cluster)
+
+let scan_tl cluster ~via user =
+  let result = ref None in
+  Cluster.client_scan cluster ~via ~lo:(Printf.sprintf "t|%s|" user)
+    ~hi:(Strkey.prefix_upper (Printf.sprintf "t|%s|" user))
+    (fun pairs -> result := Some pairs);
+  result
+
+let test_cluster_fetch_and_compute () =
+  let event, cluster = make_cluster () in
+  Cluster.client_put cluster "s|ann|bob" "1";
+  Cluster.client_put cluster "p|bob|0100" "hello";
+  Event.run event;
+  let c = List.hd (Cluster.compute_ids cluster) in
+  let result = scan_tl cluster ~via:c "ann" in
+  Event.run event;
+  (match !result with
+  | Some pairs -> check_pairs "computed remotely" [ ("t|ann|0100|bob", "hello") ] pairs
+  | None -> Alcotest.fail "scan never completed");
+  check_bool "fetches happened" true (Cluster.fetch_rounds cluster > 0);
+  check_bool "subscriptions installed" true (Cluster.subscription_count cluster > 0)
+
+let test_cluster_push_notifications () =
+  let event, cluster = make_cluster () in
+  Cluster.client_put cluster "s|ann|bob" "1";
+  Cluster.client_put cluster "p|bob|0100" "first";
+  Event.run event;
+  let c = List.hd (Cluster.compute_ids cluster) in
+  ignore (scan_tl cluster ~via:c "ann");
+  Event.run event;
+  let rounds = Cluster.fetch_rounds cluster in
+  (* a new post flows through the subscription without new fetches *)
+  Cluster.client_put cluster "p|bob|0200" "second";
+  Event.run event;
+  let result = scan_tl cluster ~via:c "ann" in
+  Event.run event;
+  (match !result with
+  | Some pairs ->
+    check_pairs "pushed update arrived"
+      [ ("t|ann|0100|bob", "first"); ("t|ann|0200|bob", "second") ]
+      pairs
+  | None -> Alcotest.fail "scan never completed");
+  check_int "no new fetch rounds" rounds (Cluster.fetch_rounds cluster)
+
+let test_cluster_eventual_consistency () =
+  let event, cluster = make_cluster () in
+  Cluster.client_put cluster "s|ann|bob" "1";
+  Cluster.client_put cluster "p|bob|0100" "first";
+  Event.run event;
+  let c = List.hd (Cluster.compute_ids cluster) in
+  ignore (scan_tl cluster ~via:c "ann");
+  Event.run event;
+  (* issue a write but do not let the network deliver it yet *)
+  Cluster.client_put cluster "p|bob|0200" "second";
+  let stale = scan_tl cluster ~via:c "ann" in
+  (match !stale with
+  | Some pairs -> check_pairs "stale read before delivery" [ ("t|ann|0100|bob", "first") ] pairs
+  | None -> Alcotest.fail "warm scan should complete synchronously");
+  (* after delivery, the update is visible: eventual consistency *)
+  Event.run event;
+  let fresh = scan_tl cluster ~via:c "ann" in
+  Event.run event;
+  match !fresh with
+  | Some pairs ->
+    check_pairs "fresh after delivery"
+      [ ("t|ann|0100|bob", "first"); ("t|ann|0200|bob", "second") ]
+      pairs
+  | None -> Alcotest.fail "scan never completed"
+
+let test_cluster_replication_load_balancing () =
+  (* §2.4: directing reads for popular data to several servers creates
+     incrementally-maintained replicas *)
+  let event, cluster = make_cluster ~ncompute:2 () in
+  Cluster.client_put cluster "s|ann|bob" "1";
+  Cluster.client_put cluster "p|bob|0100" "x";
+  Event.run event;
+  let cs = Cluster.compute_ids cluster in
+  List.iter (fun c -> ignore (scan_tl cluster ~via:c "ann")) cs;
+  Event.run event;
+  (* both replicas receive the update *)
+  Cluster.client_put cluster "p|bob|0200" "y";
+  Event.run event;
+  List.iter
+    (fun c ->
+      let r = scan_tl cluster ~via:c "ann" in
+      Event.run event;
+      match !r with
+      | Some pairs ->
+        check_pairs
+          (Printf.sprintf "replica on node %d" c)
+          [ ("t|ann|0100|bob", "x"); ("t|ann|0200|bob", "y") ]
+          pairs
+      | None -> Alcotest.fail "scan never completed")
+    cs
+
+let test_cluster_read_your_writes () =
+  let event, cluster = make_cluster () in
+  Cluster.client_put cluster "s|ann|bob" "1";
+  Event.run event;
+  let c = List.hd (Cluster.compute_ids cluster) in
+  ignore (scan_tl cluster ~via:c "ann");
+  Event.run event;
+  (* a write through the compute node is visible to its own clients
+     immediately, before the home server even hears about it *)
+  Cluster.client_put ~via:c cluster "p|bob|0100" "mine";
+  let r = scan_tl cluster ~via:c "ann" in
+  (match !r with
+  | Some pairs -> check_pairs "own write visible" [ ("t|ann|0100|bob", "mine") ] pairs
+  | None -> Alcotest.fail "warm scan should complete synchronously");
+  Event.run event
+
+let test_cluster_work_accounting () =
+  let event, cluster = make_cluster () in
+  Cluster.client_put cluster "s|ann|bob" "1";
+  for i = 0 to 9 do
+    Cluster.client_put cluster (Printf.sprintf "p|bob|%04d" i) "x"
+  done;
+  Event.run event;
+  Cluster.mark_epoch cluster;
+  check_int "epoch resets bottleneck" 1 (Cluster.bottleneck_work cluster);
+  let c = List.hd (Cluster.compute_ids cluster) in
+  ignore (scan_tl cluster ~via:c "ann");
+  Event.run event;
+  check_bool "work recorded" true (Cluster.bottleneck_work cluster > 10);
+  check_bool "server bytes counted" true (Cluster.server_bytes cluster > 0);
+  check_bool "client bytes counted" true (Cluster.client_bytes cluster > 0);
+  check_bool "memory accounted" true
+    (Cluster.total_memory cluster (Cluster.compute_ids cluster) > 0)
+
+let test_cluster_partitioned_writes_by_home () =
+  (* different posters may live on different base nodes; computation still
+     assembles a single timeline *)
+  let event, cluster = make_cluster ~nbase:3 () in
+  Cluster.client_put cluster "s|ann|bob" "1";
+  Cluster.client_put cluster "s|ann|liz" "1";
+  Cluster.client_put cluster "s|ann|jim" "1";
+  Cluster.client_put cluster "p|bob|0100" "b";
+  Cluster.client_put cluster "p|liz|0200" "l";
+  Cluster.client_put cluster "p|jim|0300" "j";
+  Event.run event;
+  let c = List.hd (Cluster.compute_ids cluster) in
+  let r = scan_tl cluster ~via:c "ann" in
+  Event.run event;
+  match !r with
+  | Some pairs ->
+    check_pairs "assembled across homes"
+      [ ("t|ann|0100|bob", "b"); ("t|ann|0200|liz", "l"); ("t|ann|0300|jim", "j") ]
+      pairs
+  | None -> Alcotest.fail "scan never completed"
+
+(* The distributed invariant: after the network quiesces, every compute
+   replica answers exactly like a single Pequod server holding the same
+   base data — eventual consistency converges to the centralized
+   semantics. *)
+let prop_cluster_converges_to_single_server =
+  let open QCheck2 in
+  let users = [| "ann"; "bob"; "cal"; "dee"; "eve" |] in
+  let user = Gen.map (fun i -> users.(i)) (Gen.int_bound 4) in
+  let time = Gen.map (fun n -> Strkey.encode_int ~width:4 n) (Gen.int_bound 40) in
+  let op_gen =
+    Gen.oneof
+      [
+        Gen.map2 (fun u p -> `Sub (u, p)) user user;
+        Gen.map2 (fun u p -> `Unsub (u, p)) user user;
+        Gen.map2 (fun p t -> `Post (p, t)) user time;
+        Gen.map2 (fun p t -> `Unpost (p, t)) user time;
+        Gen.map (fun u -> `Scan u) user;
+      ]
+  in
+  Test.make ~name:"cluster converges to single-server semantics" ~count:60
+    (Gen.list_size (Gen.int_range 1 60) op_gen)
+    (fun ops ->
+      let event = Event.create () in
+      let nbase = 2 in
+      let cluster =
+        Cluster.create ~event ~nbase ~ncompute:2
+          ~partition:(fun ~table ~lo -> partition ~nbase ~table ~lo)
+          ()
+      in
+      Cluster.add_join cluster timeline_join;
+      let reference = Server.create () in
+      Server.add_join_exn reference timeline_join;
+      List.iter
+        (fun op ->
+          (match op with
+          | `Sub (u, p) ->
+            let k = Printf.sprintf "s|%s|%s" u p in
+            Cluster.client_put cluster k "1";
+            Server.put reference k "1"
+          | `Unsub (u, p) ->
+            let k = Printf.sprintf "s|%s|%s" u p in
+            Cluster.client_remove cluster k;
+            Server.remove reference k
+          | `Post (p, t) ->
+            let k = Printf.sprintf "p|%s|%s" p t in
+            Cluster.client_put cluster k ("m" ^ t);
+            Server.put reference k ("m" ^ t)
+          | `Unpost (p, t) ->
+            let k = Printf.sprintf "p|%s|%s" p t in
+            Cluster.client_remove cluster k;
+            Server.remove reference k
+          | `Scan u ->
+            List.iter
+              (fun c ->
+                Cluster.client_scan cluster ~via:c ~lo:(Printf.sprintf "t|%s|" u)
+                  ~hi:(Strkey.prefix_upper (Printf.sprintf "t|%s|" u))
+                  (fun _ -> ()))
+              (Cluster.compute_ids cluster));
+          (* quiesce the network between operations *)
+          Event.run event)
+        ops;
+      Event.run event;
+      (* after quiescence, every compute replica agrees with the reference *)
+      Array.for_all
+        (fun u ->
+          let lo = Printf.sprintf "t|%s|" u in
+          let hi = Strkey.prefix_upper lo in
+          let expect = Server.scan reference ~lo ~hi in
+          List.for_all
+            (fun c ->
+              let got = ref None in
+              Cluster.client_scan cluster ~via:c ~lo ~hi (fun pairs -> got := Some pairs);
+              Event.run event;
+              (* the scan may have needed a fetch round; re-issue warm *)
+              let got2 = ref None in
+              Cluster.client_scan cluster ~via:c ~lo ~hi (fun pairs -> got2 := Some pairs);
+              Event.run event;
+              !got2 = Some expect || !got = Some expect)
+            (Cluster.compute_ids cluster))
+        users)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "event",
+        [
+          Alcotest.test_case "ordering" `Quick test_event_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_event_fifo_ties;
+          Alcotest.test_case "cascade" `Quick test_event_cascade;
+        ] );
+      ("event-props", qsuite [ prop_event_order ]);
+      ("cluster-props", qsuite [ prop_cluster_converges_to_single_server ]);
+      ( "cluster",
+        [
+          Alcotest.test_case "fetch and compute" `Quick test_cluster_fetch_and_compute;
+          Alcotest.test_case "push notifications" `Quick test_cluster_push_notifications;
+          Alcotest.test_case "eventual consistency" `Quick test_cluster_eventual_consistency;
+          Alcotest.test_case "replication" `Quick test_cluster_replication_load_balancing;
+          Alcotest.test_case "read your writes" `Quick test_cluster_read_your_writes;
+          Alcotest.test_case "work accounting" `Quick test_cluster_work_accounting;
+          Alcotest.test_case "cross-home assembly" `Quick test_cluster_partitioned_writes_by_home;
+        ] );
+    ]

@@ -1,0 +1,661 @@
+(* Tests for the ordered-store substrate: red-black tree, interval map,
+   range map, tables/subtables, LRU. Property tests check each structure
+   against a naive reference model. *)
+
+module Rbtree = Pequod_store.Rbtree
+module Interval_map = Pequod_store.Interval_map
+module Range_map = Pequod_store.Range_map
+module Table = Pequod_store.Table
+module Store = Pequod_store.Store
+module Lru = Pequod_store.Lru
+module Smap = Map.Make (String)
+
+let check_list = Alcotest.(check (list (pair string int)))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Rbtree unit tests                                                   *)
+
+let tree_of_list pairs =
+  let t = Rbtree.create ~dummy:0 () in
+  List.iter (fun (k, v) -> ignore (Rbtree.insert t k v)) pairs;
+  t
+
+let test_rb_basic () =
+  let t = tree_of_list [ ("b", 2); ("a", 1); ("c", 3) ] in
+  Rbtree.validate t;
+  check_int "size" 3 (Rbtree.size t);
+  check_list "inorder" [ ("a", 1); ("b", 2); ("c", 3) ] (Rbtree.to_list t);
+  check_bool "find" true (Rbtree.find t "b" <> None);
+  check_bool "find missing" true (Rbtree.find t "bb" = None)
+
+let test_rb_overwrite () =
+  let t = tree_of_list [ ("a", 1) ] in
+  let _, old = Rbtree.insert t "a" 9 in
+  Alcotest.(check (option int)) "old value returned" (Some 1) old;
+  check_int "size" 1 (Rbtree.size t);
+  check_list "value" [ ("a", 9) ] (Rbtree.to_list t)
+
+let test_rb_remove () =
+  let t = tree_of_list [ ("a", 1); ("b", 2); ("c", 3); ("d", 4) ] in
+  check_bool "removed" true (Rbtree.remove t "b");
+  check_bool "absent" false (Rbtree.remove t "b");
+  Rbtree.validate t;
+  check_list "after" [ ("a", 1); ("c", 3); ("d", 4) ] (Rbtree.to_list t)
+
+let test_rb_lower_bound () =
+  let t = tree_of_list [ ("b", 2); ("d", 4); ("f", 6) ] in
+  let lb k = Option.map (fun n -> n.Rbtree.key) (Rbtree.lower_bound t k) in
+  Alcotest.(check (option string)) "exact" (Some "b") (lb "b");
+  Alcotest.(check (option string)) "between" (Some "d") (lb "c");
+  Alcotest.(check (option string)) "before" (Some "b") (lb "");
+  Alcotest.(check (option string)) "past end" None (lb "g")
+
+let test_rb_iter_range () =
+  let t = tree_of_list [ ("a", 1); ("b", 2); ("c", 3); ("d", 4) ] in
+  let got = ref [] in
+  Rbtree.iter_range t ~lo:"b" ~hi:"d" (fun n -> got := (n.Rbtree.key, n.Rbtree.value) :: !got);
+  check_list "range" [ ("b", 2); ("c", 3) ] (List.rev !got)
+
+let test_rb_node_identity_after_remove () =
+  (* transplant-based delete must not relocate surviving nodes' contents *)
+  let t = tree_of_list [ ("a", 1); ("b", 2); ("c", 3); ("d", 4); ("e", 5) ] in
+  let c = Option.get (Rbtree.find t "c") in
+  check_bool "live" true (Rbtree.is_live c);
+  ignore (Rbtree.remove t "b");
+  ignore (Rbtree.remove t "d");
+  Rbtree.validate t;
+  check_bool "still live" true (Rbtree.is_live c);
+  Alcotest.(check string) "same key" "c" c.Rbtree.key;
+  let b = Option.get (Rbtree.find t "a") in
+  ignore (Rbtree.remove_node t b);
+  check_bool "dead after removal" false (Rbtree.is_live b)
+
+let test_rb_insert_after_fast_path () =
+  let t = tree_of_list [ ("m|1", 1); ("m|3", 3); ("z", 99) ] in
+  let hint = Option.get (Rbtree.find t "m|3") in
+  (* genuine append-after case *)
+  let n, old = Rbtree.insert_after t ~hint "m|4" 4 in
+  check_bool "fresh" true (old = None);
+  check_bool "live" true (Rbtree.is_live n);
+  Rbtree.validate t;
+  (* bogus hint (not adjacent) falls back to correct insert *)
+  let hint2 = Option.get (Rbtree.find t "m|1") in
+  ignore (Rbtree.insert_after t ~hint:hint2 "m|9" 9);
+  Rbtree.validate t;
+  check_list "order"
+    [ ("m|1", 1); ("m|3", 3); ("m|4", 4); ("m|9", 9); ("z", 99) ]
+    (Rbtree.to_list t);
+  (* hint pointing at a dead node falls back *)
+  let dead = Option.get (Rbtree.find t "m|4") in
+  ignore (Rbtree.remove t "m|4");
+  ignore (Rbtree.insert_after t ~hint:dead "m|5" 5);
+  Rbtree.validate t;
+  check_bool "m|5 present" true (Rbtree.find t "m|5" <> None);
+  (* hint equal to inserted key falls back to overwrite *)
+  let h = Option.get (Rbtree.find t "m|5") in
+  let n2, old2 = Rbtree.insert_after t ~hint:h "m|5" 50 in
+  check_bool "overwrote" true (old2 = Some 5);
+  check_int "value" 50 n2.Rbtree.value;
+  (* insert_after where successor exists in hint's right subtree *)
+  let h3 = Option.get (Rbtree.find t "m|3") in
+  ignore (Rbtree.insert_after t ~hint:h3 "m|35" 35);
+  Rbtree.validate t
+
+let test_rb_sequential_append () =
+  (* the timeline pattern: always append at the end via the last hint *)
+  let t = Rbtree.create ~dummy:0 () in
+  let hint = ref None in
+  for i = 0 to 999 do
+    let k = Printf.sprintf "t|%04d" i in
+    let node, _ =
+      match !hint with
+      | Some h -> Rbtree.insert_after t ~hint:h k i
+      | None -> Rbtree.insert t k i
+    in
+    hint := Some node
+  done;
+  Rbtree.validate t;
+  check_int "size" 1000 (Rbtree.size t);
+  let expect = List.init 1000 (fun i -> (Printf.sprintf "t|%04d" i, i)) in
+  check_list "order" expect (Rbtree.to_list t)
+
+let test_rb_empty () =
+  let t = Rbtree.create ~dummy:0 () in
+  Rbtree.validate t;
+  check_bool "empty" true (Rbtree.is_empty t);
+  check_bool "min" true (Rbtree.min_node t = None);
+  check_bool "max" true (Rbtree.max_node t = None);
+  check_bool "remove" false (Rbtree.remove t "x")
+
+let test_rb_succ_pred () =
+  let t = tree_of_list [ ("a", 1); ("b", 2); ("c", 3) ] in
+  let b = Option.get (Rbtree.find t "b") in
+  Alcotest.(check (option string)) "next" (Some "c")
+    (Option.map (fun n -> n.Rbtree.key) (Rbtree.next t b));
+  Alcotest.(check (option string)) "prev" (Some "a")
+    (Option.map (fun n -> n.Rbtree.key) (Rbtree.prev t b));
+  let c = Option.get (Rbtree.find t "c") in
+  check_bool "next of max" true (Rbtree.next t c = None)
+
+(* Property: random interleaving of inserts/removes matches Map, and
+   red-black invariants hold throughout. *)
+let prop_rb_model =
+  let open QCheck2 in
+  let key_gen = Gen.map (fun n -> Printf.sprintf "k%02d" n) (Gen.int_bound 40) in
+  let op_gen =
+    Gen.oneof
+      [
+        Gen.map (fun k -> `Insert k) key_gen;
+        Gen.map (fun k -> `Remove k) key_gen;
+        Gen.map (fun k -> `InsertAfterHint k) key_gen;
+      ]
+  in
+  Test.make ~name:"rbtree matches Map model" ~count:300 (Gen.list_size (Gen.int_range 0 200) op_gen)
+    (fun ops ->
+      let t = Rbtree.create ~dummy:0 () in
+      let model = ref Smap.empty in
+      let last_node = ref None in
+      let step = ref 0 in
+      List.iter
+        (fun op ->
+          incr step;
+          (match op with
+          | `Insert k ->
+            let node, _ = Rbtree.insert t k !step in
+            model := Smap.add k !step !model;
+            last_node := Some node
+          | `InsertAfterHint k -> (
+            match !last_node with
+            | Some hint ->
+              let node, _ = Rbtree.insert_after t ~hint k !step in
+              model := Smap.add k !step !model;
+              last_node := Some node
+            | None ->
+              let node, _ = Rbtree.insert t k !step in
+              model := Smap.add k !step !model;
+              last_node := Some node)
+          | `Remove k ->
+            let removed = Rbtree.remove t k in
+            if removed <> Smap.mem k !model then failwith "remove result mismatch";
+            model := Smap.remove k !model);
+          Rbtree.validate t)
+        ops;
+      Rbtree.to_list t = Smap.bindings !model)
+
+let prop_rb_range =
+  let open QCheck2 in
+  let key_gen = Gen.map (fun n -> Printf.sprintf "k%02d" n) (Gen.int_bound 40) in
+  Test.make ~name:"rbtree iter_range matches Map filter" ~count:200
+    Gen.(triple (list_size (int_range 0 100) key_gen) key_gen key_gen)
+    (fun (keys, lo, hi) ->
+      let t = Rbtree.create ~dummy:0 () in
+      let model = ref Smap.empty in
+      List.iteri
+        (fun i k ->
+          ignore (Rbtree.insert t k i);
+          model := Smap.add k i !model)
+        keys;
+      let got = ref [] in
+      Rbtree.iter_range t ~lo ~hi (fun n -> got := (n.Rbtree.key, n.Rbtree.value) :: !got);
+      let expect =
+        Smap.bindings !model
+        |> List.filter (fun (k, _) -> String.compare lo k <= 0 && String.compare k hi < 0)
+      in
+      List.rev !got = expect)
+
+(* ------------------------------------------------------------------ *)
+(* Interval map                                                        *)
+
+let test_imap_basic () =
+  let im = Interval_map.create () in
+  let h1 = Interval_map.add im ~lo:"a" ~hi:"m" 1 in
+  let _h2 = Interval_map.add im ~lo:"f" ~hi:"z" 2 in
+  let _h3 = Interval_map.add im ~lo:"a" ~hi:"c" 3 in
+  Interval_map.validate im;
+  let stab k =
+    let acc = ref [] in
+    Interval_map.stab im k (fun e -> acc := Interval_map.handle_data e :: !acc);
+    List.sort compare !acc
+  in
+  check_list "stab b" [] [];
+  Alcotest.(check (list int)) "stab b" [ 1; 3 ] (stab "b");
+  Alcotest.(check (list int)) "stab g" [ 1; 2 ] (stab "g");
+  Alcotest.(check (list int)) "stab x" [ 2 ] (stab "x");
+  Alcotest.(check (list int)) "stab empty" [] (stab "zz");
+  Interval_map.remove im h1;
+  Interval_map.validate im;
+  Alcotest.(check (list int)) "after remove" [ 3 ] (stab "b");
+  check_int "size" 2 (Interval_map.size im)
+
+let test_imap_boundaries () =
+  let im = Interval_map.create () in
+  ignore (Interval_map.add im ~lo:"b" ~hi:"d" 1);
+  let stab k =
+    let acc = ref [] in
+    Interval_map.stab im k (fun e -> acc := Interval_map.handle_data e :: !acc);
+    !acc
+  in
+  Alcotest.(check (list int)) "inclusive lo" [ 1 ] (stab "b");
+  Alcotest.(check (list int)) "exclusive hi" [] (stab "d");
+  Alcotest.check_raises "empty interval rejected" (Invalid_argument "Interval_map.add: empty interval")
+    (fun () -> ignore (Interval_map.add im ~lo:"x" ~hi:"x" 9))
+
+let prop_imap_stab =
+  let open QCheck2 in
+  let key_gen = Gen.map (fun n -> Printf.sprintf "%02d" n) (Gen.int_bound 30) in
+  let ival_gen =
+    Gen.map
+      (fun (a, b) -> if String.compare a b < 0 then (a, b) else (b, a ^ "0"))
+      (Gen.pair key_gen key_gen)
+  in
+  Test.make ~name:"interval stab matches naive" ~count:300
+    Gen.(pair (list_size (int_range 0 60) ival_gen) key_gen)
+    (fun (ivals, probe) ->
+      let im = Interval_map.create () in
+      let naive = ref [] in
+      List.iteri
+        (fun i (lo, hi) ->
+          if String.compare lo hi < 0 then begin
+            ignore (Interval_map.add im ~lo ~hi i);
+            naive := (lo, hi, i) :: !naive
+          end)
+        ivals;
+      Interval_map.validate im;
+      let got = ref [] in
+      Interval_map.stab im probe (fun e -> got := Interval_map.handle_data e :: !got);
+      let expect =
+        List.filter_map
+          (fun (lo, hi, i) ->
+            if String.compare lo probe <= 0 && String.compare probe hi < 0 then Some i else None)
+          !naive
+      in
+      List.sort compare !got = List.sort compare expect)
+
+let prop_imap_overlap =
+  let open QCheck2 in
+  let key_gen = Gen.map (fun n -> Printf.sprintf "%02d" n) (Gen.int_bound 30) in
+  let ival_gen = Gen.pair key_gen key_gen in
+  Test.make ~name:"interval overlap matches naive" ~count:300
+    Gen.(pair (list_size (int_range 0 60) ival_gen) ival_gen)
+    (fun (ivals, (qlo, qhi)) ->
+      let im = Interval_map.create () in
+      let naive = ref [] in
+      List.iteri
+        (fun i (lo, hi) ->
+          if String.compare lo hi < 0 then begin
+            ignore (Interval_map.add im ~lo ~hi i);
+            naive := (lo, hi, i) :: !naive
+          end)
+        ivals;
+      let got = ref [] in
+      Interval_map.iter_overlapping im ~lo:qlo ~hi:qhi (fun e ->
+          got := Interval_map.handle_data e :: !got);
+      let expect =
+        List.filter_map
+          (fun (lo, hi, i) ->
+            if Strkey.range_overlaps (lo, hi) (qlo, qhi) then Some i else None)
+          !naive
+      in
+      List.sort compare !got = List.sort compare expect)
+
+(* removal under load keeps the tree consistent *)
+let prop_imap_remove =
+  let open QCheck2 in
+  let key_gen = Gen.map (fun n -> Printf.sprintf "%02d" n) (Gen.int_bound 20) in
+  Test.make ~name:"interval add/remove keeps invariants" ~count:200
+    Gen.(list_size (int_range 0 80) (pair key_gen key_gen))
+    (fun ivals ->
+      let im = Interval_map.create () in
+      let handles = ref [] in
+      List.iteri
+        (fun i (lo, hi) ->
+          if String.compare lo hi < 0 then handles := Interval_map.add im ~lo ~hi i :: !handles)
+        ivals;
+      (* remove every other handle *)
+      List.iteri (fun i h -> if i mod 2 = 0 then Interval_map.remove im h) !handles;
+      Interval_map.validate im;
+      (* removing again is a no-op *)
+      List.iteri (fun i h -> if i mod 2 = 0 then Interval_map.remove im h) !handles;
+      Interval_map.validate im;
+      let kept = List.filteri (fun i _ -> i mod 2 = 1) !handles in
+      Interval_map.size im = List.length kept)
+
+(* ------------------------------------------------------------------ *)
+(* Range map                                                           *)
+
+let test_rmap_basic () =
+  let rm = Range_map.create () in
+  Range_map.set rm ~lo:"a" ~hi:"m" 1;
+  Range_map.set rm ~lo:"m" ~hi:"z" 2;
+  Range_map.validate rm;
+  let find k = Option.map (fun (_, _, v) -> v) (Range_map.find rm k) in
+  Alcotest.(check (option int)) "in first" (Some 1) (find "b");
+  Alcotest.(check (option int)) "boundary" (Some 2) (find "m");
+  Alcotest.(check (option int)) "outside" None (find "zz")
+
+let test_rmap_split_overwrite () =
+  let rm = Range_map.create () in
+  Range_map.set rm ~lo:"a" ~hi:"z" 1;
+  Range_map.set rm ~lo:"f" ~hi:"m" 2;
+  Range_map.validate rm;
+  Alcotest.(check (list (triple string string int)))
+    "split pieces"
+    [ ("a", "f", 1); ("f", "m", 2); ("m", "z", 1) ]
+    (Range_map.to_list rm)
+
+let test_rmap_iter_cover_gaps () =
+  let rm = Range_map.create () in
+  Range_map.set rm ~lo:"c" ~hi:"f" 1;
+  Range_map.set rm ~lo:"h" ~hi:"k" 2;
+  let pieces = ref [] in
+  Range_map.iter_cover rm ~lo:"a" ~hi:"z" (fun lo hi v -> pieces := (lo, hi, v) :: !pieces);
+  Alcotest.(check (list (triple string string (option int))))
+    "cover with gaps"
+    [ ("a", "c", None); ("c", "f", Some 1); ("f", "h", None); ("h", "k", Some 2); ("k", "z", None) ]
+    (List.rev !pieces)
+
+let test_rmap_clear_range () =
+  let rm = Range_map.create () in
+  Range_map.set rm ~lo:"a" ~hi:"z" 7;
+  Range_map.clear_range rm ~lo:"f" ~hi:"m";
+  Range_map.validate rm;
+  Alcotest.(check (list (triple string string int)))
+    "trimmed" [ ("a", "f", 7); ("m", "z", 7) ] (Range_map.to_list rm)
+
+let test_rmap_update_range () =
+  let rm = Range_map.create () in
+  Range_map.set rm ~lo:"a" ~hi:"m" 1;
+  Range_map.update_range rm ~lo:"f" ~hi:"r" (fun _ _ v ->
+      match v with Some x -> Some (x + 10) | None -> Some 99);
+  Range_map.validate rm;
+  Alcotest.(check (list (triple string string int)))
+    "updated"
+    [ ("a", "f", 1); ("f", "m", 11); ("m", "r", 99) ]
+    (Range_map.to_list rm)
+
+let prop_rmap_model =
+  let open QCheck2 in
+  let key_gen = Gen.map (fun n -> Printf.sprintf "%02d" n) (Gen.int_bound 20) in
+  let op_gen =
+    Gen.oneof
+      [
+        Gen.map (fun (a, b) -> `Set (a, b)) (Gen.pair key_gen key_gen);
+        Gen.map (fun (a, b) -> `Clear (a, b)) (Gen.pair key_gen key_gen);
+      ]
+  in
+  Test.make ~name:"range map matches point-wise model" ~count:300
+    (Gen.list_size (Gen.int_range 0 40) op_gen)
+    (fun ops ->
+      let rm = Range_map.create () in
+      (* model: value at each probe point *)
+      let probes = List.init 22 (fun i -> Printf.sprintf "%02d" i) in
+      let model = Hashtbl.create 32 in
+      List.iteri
+        (fun step op ->
+          match op with
+          | `Set (a, b) when String.compare a b < 0 ->
+            Range_map.set rm ~lo:a ~hi:b step;
+            List.iter
+              (fun p -> if Strkey.in_range ~lo:a ~hi:b p then Hashtbl.replace model p step)
+              probes
+          | `Clear (a, b) ->
+            Range_map.clear_range rm ~lo:a ~hi:b;
+            List.iter
+              (fun p -> if Strkey.in_range ~lo:a ~hi:b p then Hashtbl.remove model p)
+              probes
+          | `Set _ -> ())
+        ops;
+      Range_map.validate rm;
+      List.for_all
+        (fun p ->
+          let got = Option.map (fun (_, _, v) -> v) (Range_map.find rm p) in
+          got = Hashtbl.find_opt model p)
+        probes)
+
+(* splitting a range must duplicate mutable state, not share it *)
+let test_rmap_dup_on_split () =
+  let rm = Range_map.create ~dup:(fun r -> ref !r) () in
+  Range_map.set rm ~lo:"a" ~hi:"z" (ref 1);
+  Range_map.clear_range rm ~lo:"f" ~hi:"m";
+  (match Range_map.to_list rm with
+  | [ (_, _, left); (_, _, right) ] ->
+    left := 42;
+    check_int "right unaffected" 1 !right
+  | _ -> Alcotest.fail "expected two pieces")
+
+(* ------------------------------------------------------------------ *)
+(* Table and Store                                                     *)
+
+let test_table_basic () =
+  let tbl = Table.create ~name:"p" ~dummy:"" () in
+  ignore (Table.put tbl "p|bob|100" "hi");
+  ignore (Table.put tbl "p|ann|120" "yo");
+  Alcotest.(check (option string)) "get" (Some "hi") (Table.get tbl "p|bob|100");
+  check_int "size" 2 (Table.size tbl);
+  Alcotest.(check (option string)) "remove" (Some "yo") (Table.remove tbl "p|ann|120");
+  check_int "size after" 1 (Table.size tbl);
+  check_bool "memory positive" true (Table.memory_bytes tbl > 0)
+
+let test_table_subtables () =
+  let tbl = Table.create ~subtable_depth:2 ~name:"t" ~dummy:"" () in
+  ignore (Table.put tbl "t|ann|100|bob" "x");
+  ignore (Table.put tbl "t|ann|200|liz" "y");
+  ignore (Table.put tbl "t|bob|150|ann" "z");
+  check_int "two subtables" 2 (Table.subtable_count tbl);
+  (* scan within one subtable *)
+  Alcotest.(check (list (pair string string)))
+    "within"
+    [ ("t|ann|100|bob", "x"); ("t|ann|200|liz", "y") ]
+    (Table.range_to_list tbl ~lo:"t|ann|" ~hi:"t|ann}");
+  (* scan crossing subtables stays globally ordered *)
+  Alcotest.(check (list (pair string string)))
+    "across"
+    [ ("t|ann|100|bob", "x"); ("t|ann|200|liz", "y"); ("t|bob|150|ann", "z") ]
+    (Table.range_to_list tbl ~lo:"t|" ~hi:"t}");
+  Table.validate tbl
+
+let prop_table_subtable_scan =
+  let open QCheck2 in
+  let key_gen =
+    Gen.map
+      (fun (a, b, c) -> Printf.sprintf "t|u%d|%02d|p%d" a b c)
+      (Gen.triple (Gen.int_bound 5) (Gen.int_bound 30) (Gen.int_bound 5))
+  in
+  let bound_gen =
+    Gen.oneof
+      [ key_gen; Gen.map (fun a -> Printf.sprintf "t|u%d|" a) (Gen.int_bound 6); Gen.pure "t|" ]
+  in
+  Test.make ~name:"subtable scan equals flat scan" ~count:300
+    Gen.(triple (list_size (int_range 0 80) key_gen) bound_gen bound_gen)
+    (fun (keys, b1, b2) ->
+      let lo = Strkey.min_str b1 b2 and hi = Strkey.max_str b1 b2 in
+      let sub = Table.create ~subtable_depth:2 ~name:"t" ~dummy:0 () in
+      let flat = Table.create ~name:"t" ~dummy:0 () in
+      List.iteri
+        (fun i k ->
+          ignore (Table.put sub k i);
+          ignore (Table.put flat k i))
+        keys;
+      Table.range_to_list sub ~lo ~hi = Table.range_to_list flat ~lo ~hi)
+
+let test_table_put_hint () =
+  let tbl = Table.create ~subtable_depth:2 ~name:"t" ~dummy:"" () in
+  let h1, _ = Table.put tbl "t|ann|100|bob" "a" in
+  let h2, old = Table.put ~hint:h1 tbl "t|ann|120|bob" "b" in
+  check_bool "fresh" true (old = None);
+  (* hint from a different subtable must not corrupt anything *)
+  let _h3, _ = Table.put ~hint:h2 tbl "t|bob|050|ann" "c" in
+  Table.validate tbl;
+  Alcotest.(check (list (pair string string)))
+    "order"
+    [ ("t|ann|100|bob", "a"); ("t|ann|120|bob", "b"); ("t|bob|050|ann", "c") ]
+    (Table.range_to_list tbl ~lo:"t|" ~hi:"t}")
+
+let test_table_remove_range () =
+  let tbl = Table.create ~name:"p" ~dummy:0 () in
+  for i = 0 to 9 do
+    ignore (Table.put tbl (Printf.sprintf "p|u|%d" i) i)
+  done;
+  check_int "removed" 4 (Table.remove_range tbl ~lo:"p|u|3" ~hi:"p|u|7");
+  check_int "left" 6 (Table.size tbl)
+
+let test_store_routing () =
+  let st = Store.create ~dummy:"" () in
+  ignore (Store.put st "p|bob|1" "post");
+  ignore (Store.put st "s|ann|bob" "1");
+  ignore (Store.put st "t|ann|1|bob" "post");
+  check_int "three tables" 3 (List.length (Store.tables st));
+  Alcotest.(check string) "table name" "p" (Store.table_name_of "p|bob|1");
+  (* cross-table scan in global order *)
+  Alcotest.(check (list (pair string string)))
+    "global scan"
+    [ ("p|bob|1", "post"); ("s|ann|bob", "1"); ("t|ann|1|bob", "post") ]
+    (Store.range_to_list st ~lo:"" ~hi:"\xfe");
+  Alcotest.(check (option string)) "get" (Some "1") (Store.get st "s|ann|bob");
+  check_bool "invalid key rejected" true
+    (match Store.put st "bad\xffkey" "v" with
+    | exception Strkey.Invalid_key _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* LRU                                                                 *)
+
+let test_lru_order () =
+  let l = Lru.create () in
+  let a = Lru.add l "a" in
+  let _b = Lru.add l "b" in
+  let _c = Lru.add l "c" in
+  check_int "len" 3 (Lru.length l);
+  Lru.touch l a;
+  Alcotest.(check (option string)) "lru is b" (Some "b") (Lru.pop_lru l);
+  Alcotest.(check (option string)) "then c" (Some "c") (Lru.pop_lru l);
+  Alcotest.(check (option string)) "then a" (Some "a") (Lru.pop_lru l);
+  Alcotest.(check (option string)) "empty" None (Lru.pop_lru l)
+
+let test_lru_remove () =
+  let l = Lru.create () in
+  let a = Lru.add l 1 in
+  let b = Lru.add l 2 in
+  Lru.remove l a;
+  check_bool "unlinked" false (Lru.is_linked a);
+  Lru.remove l a;
+  check_int "len" 1 (Lru.length l);
+  Lru.touch l a;
+  check_int "touch of removed is noop" 1 (Lru.length l);
+  check_bool "b still linked" true (Lru.is_linked b)
+
+(* ------------------------------------------------------------------ *)
+(* Strkey                                                              *)
+
+let test_strkey () =
+  Alcotest.(check string) "prefix_upper" "t|ann}" (Strkey.prefix_upper "t|ann|");
+  check_bool "upper bound works" true (String.compare "t|ann|zzzz" (Strkey.prefix_upper "t|ann|") < 0);
+  (* like the paper's t|ann} bound, non-prefix keys may sort inside the
+     range; pattern matching filters them. What matters is coverage: *)
+  check_bool "all prefixed keys covered" true
+    (String.compare "t|ann|\x00" (Strkey.prefix_upper "t|ann|") < 0);
+  Alcotest.(check string) "prefix_upper bumps last byte" "t|ann\xff" (Strkey.prefix_upper "t|ann\xfe");
+  Alcotest.(check string) "prefix_upper carries past 0xff" "t|ano" (Strkey.prefix_upper "t|ann\xff");
+  Alcotest.(check string) "encode" "0000000042" (Strkey.encode_time 42);
+  check_int "decode" 42 (Strkey.decode_int "0000000042");
+  check_bool "fixed width sorts" true
+    (String.compare (Strkey.encode_time 99) (Strkey.encode_time 100) < 0);
+  check_bool "overlap" true (Strkey.range_overlaps ("a", "c") ("b", "d"));
+  check_bool "no overlap touching" false (Strkey.range_overlaps ("a", "b") ("b", "c"));
+  Alcotest.(check (option (pair string string))) "inter" (Some ("b", "c"))
+    (Strkey.range_inter ("a", "c") ("b", "d"));
+  Alcotest.(check (option (pair string string))) "inter empty" None
+    (Strkey.range_inter ("a", "b") ("c", "d"));
+  Alcotest.(check string) "key_after orders" "a\x00" (Strkey.key_after "a");
+  Alcotest.(check string) "common_prefix" "t|a" (Strkey.common_prefix "t|ann" "t|abe")
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  let xs = List.init 20 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check (list int)) "same seed same stream" xs ys;
+  let c = Rng.create 43 in
+  let zs = List.init 20 (fun _ -> Rng.int c 1000) in
+  check_bool "different seed differs" true (xs <> zs)
+
+let test_rng_zipf_skew () =
+  let rng = Rng.create 7 in
+  let dist = Rng.Zipf.create ~n:1000 ~s:1.0 in
+  let counts = Array.make 1000 0 in
+  for _ = 1 to 20000 do
+    let r = Rng.Zipf.sample dist rng in
+    counts.(r) <- counts.(r) + 1
+  done;
+  check_bool "rank 0 beats rank 100" true (counts.(0) > counts.(100));
+  check_bool "rank 0 well populated" true (counts.(0) > 1000)
+
+let test_rng_alias () =
+  let rng = Rng.create 9 in
+  let dist = Rng.Alias.create [| 0.0; 1.0; 3.0 |] in
+  let counts = Array.make 3 0 in
+  for _ = 1 to 10000 do
+    let i = Rng.Alias.sample dist rng in
+    counts.(i) <- counts.(i) + 1
+  done;
+  check_int "zero weight never drawn" 0 counts.(0);
+  check_bool "3:1 ratio approx" true (counts.(2) > 2 * counts.(1))
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "rbtree",
+        [
+          Alcotest.test_case "basic" `Quick test_rb_basic;
+          Alcotest.test_case "overwrite" `Quick test_rb_overwrite;
+          Alcotest.test_case "remove" `Quick test_rb_remove;
+          Alcotest.test_case "lower_bound" `Quick test_rb_lower_bound;
+          Alcotest.test_case "iter_range" `Quick test_rb_iter_range;
+          Alcotest.test_case "node identity" `Quick test_rb_node_identity_after_remove;
+          Alcotest.test_case "insert_after" `Quick test_rb_insert_after_fast_path;
+          Alcotest.test_case "sequential append" `Quick test_rb_sequential_append;
+          Alcotest.test_case "empty" `Quick test_rb_empty;
+          Alcotest.test_case "succ/pred" `Quick test_rb_succ_pred;
+        ] );
+      ("rbtree-props", qsuite [ prop_rb_model; prop_rb_range ]);
+      ( "interval_map",
+        [
+          Alcotest.test_case "basic" `Quick test_imap_basic;
+          Alcotest.test_case "boundaries" `Quick test_imap_boundaries;
+        ] );
+      ("interval_map-props", qsuite [ prop_imap_stab; prop_imap_overlap; prop_imap_remove ]);
+      ( "range_map",
+        [
+          Alcotest.test_case "basic" `Quick test_rmap_basic;
+          Alcotest.test_case "split overwrite" `Quick test_rmap_split_overwrite;
+          Alcotest.test_case "cover gaps" `Quick test_rmap_iter_cover_gaps;
+          Alcotest.test_case "clear range" `Quick test_rmap_clear_range;
+          Alcotest.test_case "update range" `Quick test_rmap_update_range;
+          Alcotest.test_case "dup on split" `Quick test_rmap_dup_on_split;
+        ] );
+      ("range_map-props", qsuite [ prop_rmap_model ]);
+      ( "table",
+        [
+          Alcotest.test_case "basic" `Quick test_table_basic;
+          Alcotest.test_case "subtables" `Quick test_table_subtables;
+          Alcotest.test_case "put hint" `Quick test_table_put_hint;
+          Alcotest.test_case "remove range" `Quick test_table_remove_range;
+        ] );
+      ("table-props", qsuite [ prop_table_subtable_scan ]);
+      ("store", [ Alcotest.test_case "routing" `Quick test_store_routing ]);
+      ( "lru",
+        [
+          Alcotest.test_case "order" `Quick test_lru_order;
+          Alcotest.test_case "remove" `Quick test_lru_remove;
+        ] );
+      ( "util",
+        [
+          Alcotest.test_case "strkey" `Quick test_strkey;
+          Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "zipf skew" `Quick test_rng_zipf_skew;
+          Alcotest.test_case "alias sampler" `Quick test_rng_alias;
+        ] );
+    ]
