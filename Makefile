@@ -1,0 +1,19 @@
+# One-command tier-1 verification: build everything, then run the full
+# test suite (unit, integration, property-based, and the persist
+# fault-injection tests in test/test_persist.ml).
+
+.PHONY: check build test bench micro clean
+
+check: ; dune build && dune runtest
+
+build: ; dune build
+
+test: ; dune runtest
+
+# regenerate the paper figures / microbenchmarks (micro also writes
+# BENCH_micro.json for cross-PR perf tracking)
+bench: ; dune exec bench/main.exe
+
+micro: ; dune exec bench/main.exe -- micro
+
+clean: ; dune clean

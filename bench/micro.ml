@@ -156,25 +156,71 @@ let all_tests =
     bench_codec_roundtrip;
   ]
 
-let run_and_print () =
+(** Measured ns/run per benchmark, in declaration order ([None] when the
+    OLS fit fails). *)
+let run () =
   let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:(Some 500) () in
   let instances = Instance.[ monotonic_clock ] in
-  let tbl =
-    Tablefmt.create ~title:"Microbenchmarks (store primitives)"
-      ~headers:[ "Benchmark"; "ns/run" ] ~aligns:[ Tablefmt.Left; Right ]
-  in
-  List.iter
+  List.concat_map
     (fun test ->
       let results = Benchmark.all cfg instances test in
       let analyzed =
         Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
           Instance.monotonic_clock results
       in
-      Hashtbl.iter
-        (fun name result ->
+      Hashtbl.fold
+        (fun name result acc ->
           match Analyze.OLS.estimates result with
-          | Some [ est ] -> Tablefmt.add_row tbl [ name; Tablefmt.fmt_float ~decimals:1 est ]
-          | _ -> Tablefmt.add_row tbl [ name; "n/a" ])
-        analyzed)
-    all_tests;
-  Tablefmt.print tbl
+          | Some [ est ] -> (name, Some est) :: acc
+          | _ -> (name, None) :: acc)
+        analyzed [])
+    all_tests
+
+(* Machine-readable trail of the perf trajectory across PRs: one flat
+   JSON object, benchmark name -> ns/run. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json ~path results =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc "{\n";
+      output_string oc "  \"benchmark\": \"micro\",\n";
+      output_string oc "  \"unit\": \"ns/run\",\n";
+      output_string oc "  \"results\": {\n";
+      let n = List.length results in
+      List.iteri
+        (fun i (name, est) ->
+          Printf.fprintf oc "    \"%s\": %s%s\n" (json_escape name)
+            (match est with Some v -> Printf.sprintf "%.1f" v | None -> "null")
+            (if i < n - 1 then "," else ""))
+        results;
+      output_string oc "  }\n}\n")
+
+let run_and_print () =
+  let results = run () in
+  let tbl =
+    Tablefmt.create ~title:"Microbenchmarks (store primitives)"
+      ~headers:[ "Benchmark"; "ns/run" ] ~aligns:[ Tablefmt.Left; Right ]
+  in
+  List.iter
+    (fun (name, est) ->
+      Tablefmt.add_row tbl
+        [ name; (match est with Some v -> Tablefmt.fmt_float ~decimals:1 v | None -> "n/a") ])
+    results;
+  Tablefmt.print tbl;
+  let json = "BENCH_micro.json" in
+  write_json ~path:json results;
+  Printf.printf "(wrote %s)\n" json

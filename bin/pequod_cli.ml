@@ -6,7 +6,7 @@
      pequod_cli.exe scan 't|ann|' 't|ann}'
      pequod_cli.exe get  't|ann|0000000100|bob'
      pequod_cli.exe add-join 't|<u>|<t>|<p> = check s|<u>|<p> copy p|<p>|<t>'
-     pequod_cli.exe stats
+     pequod_cli.exe stats        # or: pequod_cli.exe --stats
 *)
 
 module Message = Pequod_proto.Message
@@ -47,7 +47,12 @@ let print_response = function
     List.iter (fun (k, v) -> Printf.printf "%s\t%s\n" k v) pairs;
     Printf.printf "(%d pairs)\n" (List.length pairs)
   | Message.Stat_list stats ->
-    List.iter (fun (k, n) -> Printf.printf "%-24s %d\n" k n) stats
+    let tbl =
+      Tablefmt.create ~title:"server counters" ~headers:[ "counter"; "value" ]
+        ~aligns:[ Tablefmt.Left; Tablefmt.Right ]
+    in
+    List.iter (fun (k, n) -> Tablefmt.add_row tbl [ k; string_of_int n ]) stats;
+    Tablefmt.print tbl
   | Message.Error msg ->
     Printf.eprintf "error: %s\n" msg;
     exit 1
@@ -106,8 +111,21 @@ let stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc:"Server counters")
     Term.(const (fun host port -> run_command host port Message.Stats) $ host $ port)
 
+(* bare `pequod-cli --stats` works too, as a shorthand for the stats
+   subcommand *)
+let default_term =
+  Term.(
+    const (fun host port stats ->
+        if stats then run_command host port Message.Stats
+        else begin
+          prerr_endline "pequod-cli: missing command (try --help or --stats)";
+          2
+        end)
+    $ host $ port
+    $ Arg.(value & flag & info [ "stats" ] ~doc:"Print the server's counters and exit."))
+
 let cmd =
-  Cmd.group
+  Cmd.group ~default:default_term
     (Cmd.info "pequod-cli" ~doc:"Client for a pequod-server")
     [ get_cmd; put_cmd; remove_cmd; scan_cmd; add_join_cmd; stats_cmd ]
 

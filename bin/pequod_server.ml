@@ -6,12 +6,18 @@
    Pequod_proto. Cache joins can be installed at startup (--join) or by
    clients at runtime (add-join requests).
 
+   With --data-dir the server is durable: every mutation is appended to a
+   CRC-checked write-ahead log, snapshots bound recovery time, and a
+   restart replays its way back to the last durable record.
+
    Usage:
      dune exec bin/pequod_server.exe -- --port 7077 \
+       --data-dir /var/lib/pequod --sync interval --snapshot-every 100000 \
        --join 't|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time>'
 *)
 
 module Net_server = Pequod_server_lib.Net_server
+module Config = Pequod_core.Config
 
 open Cmdliner
 
@@ -29,18 +35,77 @@ let memory_limit =
     & opt (some int) None
     & info [ "memory-limit" ] ~docv:"BYTES" ~doc:"Evict computed ranges above this footprint.")
 
+let data_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "data-dir" ] ~docv:"DIR"
+        ~doc:
+          "Durability directory (write-ahead log + snapshots). Prior state is recovered from \
+           it on startup; without this flag the server is a pure in-memory cache.")
+
+let sync_mode =
+  let parse s =
+    match Config.sync_mode_of_string s with
+    | Some m -> Ok m
+    | None -> Error (`Msg (Printf.sprintf "bad sync mode %S (always|interval|never)" s))
+  in
+  let print ppf m = Format.pp_print_string ppf (Config.sync_mode_to_string m) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) (Config.Sync_interval 1.0)
+    & info [ "sync" ] ~docv:"MODE"
+        ~doc:
+          "When to fsync the write-ahead log: $(b,always) (every record), $(b,interval) (at \
+           most once per --sync-interval seconds), or $(b,never).")
+
+let sync_interval =
+  Arg.(
+    value & opt float 1.0
+    & info [ "sync-interval" ] ~docv:"SECONDS"
+        ~doc:"Seconds between log fsyncs under --sync interval.")
+
+let snapshot_every =
+  Arg.(
+    value & opt int 0
+    & info [ "snapshot-every" ] ~docv:"RECORDS"
+        ~doc:
+          "Take a snapshot (and compact the log) every N logged mutations; 0 snapshots only \
+           when the log exceeds --wal-max-bytes.")
+
+let wal_max_bytes =
+  Arg.(
+    value
+    & opt int (64 * 1024 * 1024)
+    & info [ "wal-max-bytes" ] ~docv:"BYTES"
+        ~doc:"Rotate the log through a snapshot once it exceeds this size.")
+
 let verbose =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log client connections and joins.")
 
-let main port joins memory_limit verbose =
+let main port joins memory_limit data_dir sync sync_interval snapshot_every wal_max_bytes
+    verbose =
   Fmt_tty.setup_std_outputs ();
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Info else Logs.App));
-  match Net_server.create ~port ~joins ~memory_limit with
+  let config = Config.default () in
+  (match data_dir with
+  | None -> ()
+  | Some dir ->
+    let p = Config.default_persist ~dir in
+    p.Config.p_sync <-
+      (match sync with Config.Sync_interval _ -> Config.Sync_interval sync_interval | m -> m);
+    p.Config.p_snapshot_every <- snapshot_every;
+    p.Config.p_wal_max_bytes <- wal_max_bytes;
+    config.Config.persist <- Some p);
+  match Net_server.create ~config ~port ~joins ~memory_limit () with
   | t ->
     Logs.app (fun m ->
-        m "pequod-server listening on port %d with %d joins" (Net_server.port t)
-          (List.length joins));
+        m "pequod-server listening on port %d with %d joins%s" (Net_server.port t)
+          (List.length (Pequod_core.Server.joins (Net_server.engine t)))
+          (match data_dir with
+          | Some dir -> Printf.sprintf " (durable in %s)" dir
+          | None -> ""));
     Net_server.run t;
     0
   | exception Failure msg ->
@@ -50,6 +115,8 @@ let main port joins memory_limit verbose =
 let cmd =
   Cmd.v
     (Cmd.info "pequod-server" ~doc:"A Pequod cache server speaking the binary wire protocol")
-    Term.(const main $ port $ joins $ memory_limit $ verbose)
+    Term.(
+      const main $ port $ joins $ memory_limit $ data_dir $ sync_mode $ sync_interval
+      $ snapshot_every $ wal_max_bytes $ verbose)
 
 let () = if not !Sys.interactive then exit (Cmd.eval' cmd)

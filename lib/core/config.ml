@@ -6,6 +6,38 @@
     check-source maintenance policy (§3.2). Production use keeps the
     defaults, which match the paper's prototype. *)
 
+(** When to force the write-ahead log to stable storage. *)
+type sync_mode =
+  | Sync_always (* fsync after every appended record *)
+  | Sync_interval of float (* fsync at most every [n] seconds *)
+  | Sync_never (* leave it to the OS page cache *)
+
+(** Durability knobs consumed by [Pequod_persist.Persist] (the engine
+    itself never reads them; they live here so one [Config.t] describes a
+    whole server). *)
+type persist = {
+  p_dir : string; (* data directory: wal-*.pql + snap-*.pqs *)
+  mutable p_sync : sync_mode;
+  mutable p_snapshot_every : int; (* log records between snapshots; 0 = only
+                                     when the log outgrows [p_wal_max_bytes] *)
+  mutable p_wal_max_bytes : int; (* rotate + compact past this log size *)
+}
+
+let default_persist ~dir =
+  { p_dir = dir; p_sync = Sync_interval 1.0; p_snapshot_every = 0;
+    p_wal_max_bytes = 64 * 1024 * 1024 }
+
+let sync_mode_of_string = function
+  | "always" -> Some Sync_always
+  | "interval" -> Some (Sync_interval 1.0)
+  | "never" -> Some Sync_never
+  | _ -> None
+
+let sync_mode_to_string = function
+  | Sync_always -> "always"
+  | Sync_interval _ -> "interval"
+  | Sync_never -> "never"
+
 type t = {
   mutable output_hints : bool; (* O(1) appends via last-update pointer *)
   mutable value_sharing : bool; (* copy joins share the source string *)
@@ -16,6 +48,7 @@ type t = {
   mutable memory_limit : int option; (* eviction high-water mark, bytes *)
   mutable now : unit -> float; (* clock, for snapshot joins *)
   mutable table_config : string -> int option; (* table -> subtable depth *)
+  mutable persist : persist option; (* durability; None = pure in-memory *)
 }
 
 let default () =
@@ -28,4 +61,5 @@ let default () =
     memory_limit = None;
     now = Unix.gettimeofday;
     table_config = (fun _ -> None);
+    persist = None;
   }

@@ -103,6 +103,16 @@ type resolve_result =
 
 type resolver = table:string -> lo:string -> hi:string -> resolve_result
 
+(* Client-level state transitions, as seen by the durability subsystem
+   (lib/persist). Only API-level mutations are reported: writes the engine
+   derives itself (join materialization) are recomputed on recovery, not
+   replayed. *)
+type mutation =
+  | M_put of string * string
+  | M_remove of string
+  | M_add_join of string (* canonical join text *)
+  | M_present of string * string * string (* table, lo, hi now locally owned *)
+
 exception Need_fetch of (string * string * string) (* table, lo, hi *)
 exception Join_cycle of string
 
@@ -121,6 +131,7 @@ type t = {
   mutable next_jid : int;
   counters : Stats.Counters.t;
   mutable resolver : resolver option;
+  mutable on_mutation : (mutation -> unit) option; (* durability hook *)
 }
 
 let create ?config () =
@@ -141,11 +152,15 @@ let create ?config () =
     next_jid = 0;
     counters = Stats.Counters.create ();
     resolver = None;
+    on_mutation = None;
   }
 
 let config t = t.config
 let counters t = t.counters
 let set_resolver t r = t.resolver <- Some r
+let set_mutation_hook t f = t.on_mutation <- Some f
+let clear_mutation_hook t = t.on_mutation <- None
+let emit t m = match t.on_mutation with Some f -> f m | None -> ()
 
 let meta t name =
   match Hashtbl.find_opt t.meta name with
@@ -208,6 +223,7 @@ let add_join t spec =
     let join = { jid = t.next_jid; spec } in
     t.next_jid <- t.next_jid + 1;
     t.joins <- t.joins @ [ join ];
+    emit t (M_add_join (Joinspec.to_string spec));
     Ok ()
   end
 
@@ -647,11 +663,18 @@ and ensure_source_ready t ~active table ~lo ~hi =
     List.iter
       (fun (plo, phi) ->
         match resolve ~table ~lo:plo ~hi:phi with
-        | Local -> Range_map.set present ~lo:plo ~hi:phi ()
+        | Local ->
+          Range_map.set present ~lo:plo ~hi:phi ();
+          emit t (M_present (table, plo, phi))
         | Resolved pairs ->
           bump t "resolver.fetch";
           Range_map.set present ~lo:plo ~hi:phi ();
-          List.iter (fun (k, v) -> ignore (apply_put t k v)) pairs
+          emit t (M_present (table, plo, phi));
+          List.iter
+            (fun (k, v) ->
+              ignore (apply_put t k v);
+              emit t (M_put (k, v)))
+            pairs
         | Deferred ->
           bump t "resolver.deferred";
           raise (Need_fetch (table, plo, phi)))
@@ -926,9 +949,12 @@ and evict_cover t c =
 
 let put t key value =
   ignore (apply_put t key value);
-  maybe_evict t
+  maybe_evict t;
+  emit t (M_put (key, value))
 
-let remove t key = apply_remove t key
+let remove t key =
+  apply_remove t key;
+  emit t (M_remove key)
 
 (* Pull joins are recomputed on every query and never cached (§3.4). *)
 let pull_results t ~lo ~hi =
@@ -1032,7 +1058,12 @@ let feed_base t ~table ~lo ~hi pairs =
       p
   in
   Range_map.set present ~lo ~hi ();
-  List.iter (fun (k, v) -> ignore (apply_put t k v)) pairs
+  emit t (M_present (table, lo, hi));
+  List.iter
+    (fun (k, v) ->
+      ignore (apply_put t k v);
+      emit t (M_put (k, v)))
+    pairs
 
 (** Mark a base range as locally owned (home-server partitions). *)
 let mark_present t ~table ~lo ~hi =
@@ -1045,10 +1076,46 @@ let mark_present t ~table ~lo ~hi =
       m.present <- Some p;
       p
   in
-  Range_map.set present ~lo ~hi ()
+  Range_map.set present ~lo ~hi ();
+  emit t (M_present (table, lo, hi))
 
 (** Number of key-value pairs resident (all tables). *)
 let size t = Store.size t.store
+
+(* ------------------------------------------------------------------ *)
+(* Durability exports (lib/persist)                                    *)
+
+(** Every resident pair, in table order. Includes materialized join
+    output; snapshot writers skip {!sink_tables} to store base data
+    only. *)
+let iter_pairs t f =
+  List.iter (fun tbl -> Table.iter tbl (fun k cell -> f k cell.data)) (Store.tables t.store)
+
+(** Output tables of the installed push/snapshot joins — the tables whose
+    contents are derived state, recomputable on demand after recovery. *)
+let sink_tables t =
+  List.sort_uniq String.compare
+    (List.filter_map
+       (fun j ->
+         if Joinspec.maintenance j.spec = Joinspec.Pull then None
+         else Some (Pattern.table (Joinspec.output j.spec)))
+       t.joins)
+
+(** Base ranges marked locally present (resolver bookkeeping, §3.3); a
+    recovered server that restores these never refetches them from the
+    backing store. *)
+let present_ranges t =
+  let acc = ref [] in
+  Hashtbl.iter
+    (fun name m ->
+      match m.present with
+      | None -> ()
+      | Some p -> Range_map.iter p (fun lo hi () -> acc := (name, lo, hi) :: !acc))
+    t.meta;
+  List.sort compare !acc
+
+(** Installed joins as canonical re-parsable text, in install order. *)
+let join_texts t = List.map (fun j -> Joinspec.to_string j.spec) t.joins
 
 let stats_snapshot t =
   [ ("store.put", t.c_puts); ("updater.run", t.c_updater_runs); ("op.scan", t.c_scans);

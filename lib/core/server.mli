@@ -24,6 +24,16 @@ type resolve_result =
 
 type resolver = table:string -> lo:string -> hi:string -> resolve_result
 
+(** Client-level state transitions, as reported to the durability
+    subsystem ({!set_mutation_hook}). Only API-level mutations appear;
+    engine-derived writes (join materialization) are recomputed on
+    recovery, never replayed. *)
+type mutation =
+  | M_put of string * string
+  | M_remove of string
+  | M_add_join of string  (** canonical join text *)
+  | M_present of string * string * string  (** table, lo, hi now locally owned *)
+
 (** Raised (through {!scan}) when an asynchronous resolver defers a fetch;
     use {!scan_nb} in asynchronous deployments. *)
 exception Need_fetch of (string * string * string)
@@ -86,6 +96,29 @@ val store_ops : t -> int
 
 val counters : t -> Stats.Counters.t
 val stats_snapshot : t -> (string * int) list
+
+(** {2 Durability hooks (lib/persist)} *)
+
+(** Observe every client-level mutation, after it is applied. One hook at
+    a time; the write-ahead log is the intended subscriber. *)
+val set_mutation_hook : t -> (mutation -> unit) -> unit
+
+val clear_mutation_hook : t -> unit
+
+(** Every resident pair in table order (includes materialized join
+    output; snapshot writers skip {!sink_tables}). *)
+val iter_pairs : t -> (string -> string -> unit) -> unit
+
+(** Output tables of installed push/snapshot joins: derived state,
+    recomputed on demand after recovery. *)
+val sink_tables : t -> string list
+
+(** Base ranges marked locally present (§3.3 bookkeeping); restoring
+    them on recovery avoids backing-store refetches. *)
+val present_ranges : t -> (string * string * string) list
+
+(** Installed joins as canonical re-parsable text, in install order. *)
+val join_texts : t -> string list
 
 (** Structural invariant checks (trees, range maps); for tests. *)
 val validate : t -> unit

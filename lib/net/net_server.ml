@@ -10,6 +10,7 @@ module Server = Pequod_core.Server
 module Config = Pequod_core.Config
 module Message = Pequod_proto.Message
 module Frame = Pequod_proto.Frame
+module Persist = Pequod_persist.Persist
 
 let src = Logs.Src.create "pequod.server"
 
@@ -28,28 +29,48 @@ type t = {
   mutable clients : client list;
   buf : Bytes.t;
   mutable shutdown : bool;
+  persist : Persist.t option; (* durability manager, when --data-dir is set *)
+  mutable c_rpcs : int; (* requests handled *)
+  mutable c_bytes_in : int; (* bytes read off client sockets *)
+  mutable c_bytes_out : int; (* response bytes enqueued *)
 }
 
 (** Create a server listening on [port] (0 picks a free port; see {!port})
-    with the given cache joins installed. *)
-let create ~port ~joins ~memory_limit =
-  let config = Config.default () in
+    with the given cache joins installed. When [config.persist] names a
+    data directory, prior state is recovered from it first and every
+    mutation is logged; [joins] already present after recovery are not
+    re-installed. *)
+let create ?config ~port ~joins ~memory_limit () =
+  let config = match config with Some c -> c | None -> Config.default () in
   config.Config.memory_limit <- memory_limit;
   let engine = Server.create ~config () in
+  let persist = Option.map (Persist.attach engine) config.Config.persist in
+  let recovered = Server.join_texts engine in
   List.iter
     (fun j ->
-      match Server.add_join_text engine j with
-      | Ok () -> Log.info (fun m -> m "installed join: %s" j)
-      | Error msg -> failwith msg)
+      (* compare canonical forms so a recovered join is not duplicated *)
+      let canonical =
+        match Pequod_pattern.Joinspec.parse j with
+        | Ok spec -> Pequod_pattern.Joinspec.to_string spec
+        | Error msg -> failwith msg
+      in
+      if List.mem canonical recovered then
+        Log.info (fun m -> m "join already recovered: %s" j)
+      else
+        match Server.add_join_text engine j with
+        | Ok () -> Log.info (fun m -> m "installed join: %s" j)
+        | Error msg -> failwith msg)
     joins;
   let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt listener Unix.SO_REUSEADDR true;
   Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_any, port));
   Unix.listen listener 64;
   Unix.set_nonblock listener;
-  { engine; listener; clients = []; buf = Bytes.create 65_536; shutdown = false }
+  { engine; listener; clients = []; buf = Bytes.create 65_536; shutdown = false;
+    persist; c_rpcs = 0; c_bytes_in = 0; c_bytes_out = 0 }
 
 let engine t = t.engine
+let persist t = t.persist
 
 (** The port actually bound (useful with [~port:0]). *)
 let port t =
@@ -78,7 +99,17 @@ let flush_output t client =
   end
 
 let handle_request t request =
+  t.c_rpcs <- t.c_rpcs + 1;
   match Message.decode_request request with
+  | Message.Stats ->
+    (* fold the transport's and the durability manager's counters into the
+       engine's snapshot so one RPC reports the whole server *)
+    let extra =
+      [ ("net.rpcs", t.c_rpcs); ("net.bytes_in", t.c_bytes_in);
+        ("net.bytes_out", t.c_bytes_out) ]
+      @ (match t.persist with Some p -> Persist.stats p | None -> [])
+    in
+    Message.Stat_list (List.sort compare (Server.stats_snapshot t.engine @ extra))
   | req -> Message.apply_to_server t.engine req
   | exception Message.Protocol_error msg -> Message.Error ("protocol error: " ^ msg)
   | exception e -> Message.Error (Printexc.to_string e)
@@ -87,12 +118,15 @@ let handle_readable t client =
   match Unix.read client.fd t.buf 0 (Bytes.length t.buf) with
   | 0 -> drop t client
   | n -> (
+    t.c_bytes_in <- t.c_bytes_in + n;
     match Frame.feed client.decoder (Bytes.sub_string t.buf 0 n) with
     | frames ->
       List.iter
         (fun request ->
           let response = handle_request t request in
-          client.outbuf <- client.outbuf ^ Frame.encode (Message.encode_response response);
+          let wire = Frame.encode (Message.encode_response response) in
+          t.c_bytes_out <- t.c_bytes_out + String.length wire;
+          client.outbuf <- client.outbuf ^ wire;
           flush_output t client)
         frames
     | exception Frame.Frame_too_large _ -> drop t client)
@@ -118,12 +152,13 @@ let accept_clients t =
 let step ?(timeout = 1.0) t =
   let reads = t.listener :: List.map (fun c -> c.fd) t.clients in
   let writes = List.filter_map (fun c -> if c.outbuf <> "" then Some c.fd else None) t.clients in
-  match Unix.select reads writes [] timeout with
+  (match Unix.select reads writes [] timeout with
   | readable, writable, _ ->
     if List.memq t.listener readable then accept_clients t;
     List.iter (fun c -> if List.memq c.fd readable then handle_readable t c) t.clients;
     List.iter (fun c -> if List.memq c.fd writable then flush_output t c) t.clients
-  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+  Option.iter Persist.tick t.persist
 
 (** Serve until {!stop}. *)
 let run t =
@@ -131,9 +166,11 @@ let run t =
     step t
   done
 
-(** Close the listener and every client connection. *)
+(** Close the listener, every client connection, and (after a final log
+    sync) the durability manager. *)
 let stop t =
   t.shutdown <- true;
   List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) t.clients;
   t.clients <- [];
+  Option.iter Persist.close t.persist;
   try Unix.close t.listener with Unix.Unix_error _ -> ()

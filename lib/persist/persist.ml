@@ -1,0 +1,241 @@
+(** The durability manager: glues the engine's mutation hook to the
+    write-ahead log ({!Wal}), takes periodic {!Snapshot}s, and recovers a
+    fresh engine from the data directory.
+
+    Recovery loads the newest snapshot that fully verifies (falling back
+    to older ones — up to two are retained — and to nothing), then
+    replays every log record with a higher sequence number, in order,
+    stopping at the first torn or corrupt record: that record is the
+    durable horizon; everything before it is served, everything after it
+    was never acknowledged as durable. A new log file is always started
+    after recovery so appends never land beyond a torn tail.
+
+    Compaction runs whenever a snapshot is taken (explicitly, after
+    [p_snapshot_every] log records, or when the log outgrows
+    [p_wal_max_bytes]): log files wholly covered by the older retained
+    snapshot are deleted, as are snapshots older than the two newest. *)
+
+module Config = Pequod_core.Config
+module Server = Pequod_core.Server
+
+let src = Logs.Src.create "pequod.persist"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type t = {
+  server : Server.t;
+  cfg : Config.persist;
+  mutable seq : int; (* last assigned sequence number *)
+  mutable writer : Wal.writer;
+  mutable records_since_snapshot : int;
+  mutable last_sync : float;
+  mutable closed : bool;
+  (* recovery + runtime statistics, surfaced through [stats] *)
+  mutable st_snapshot_seq : int; (* seq restored from snapshot; 0 = none *)
+  mutable st_replayed : int; (* log records applied during recovery *)
+  mutable st_tail_lost : bool; (* replay stopped at a torn/corrupt record *)
+  mutable st_logged : int; (* records appended since attach *)
+  mutable st_snapshots : int; (* snapshots written since attach *)
+}
+
+let list_dir dir =
+  match Sys.readdir dir with
+  | names -> Array.to_list names
+  | exception Sys_error _ -> []
+
+let snapshots_in dir =
+  List.filter_map
+    (fun n -> Option.map (fun seq -> (seq, Filename.concat dir n)) (Snapshot.parse_file_name n))
+    (list_dir dir)
+  |> List.sort (fun (a, _) (b, _) -> compare b a) (* newest first *)
+
+let wals_in dir =
+  List.filter_map
+    (fun n -> Option.map (fun seq -> (seq, Filename.concat dir n)) (Wal.parse_file_name n))
+    (list_dir dir)
+  |> List.sort compare (* oldest first *)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let apply_op server = function
+  | Wal.Put (k, v) -> Server.put server k v
+  | Wal.Remove k -> Server.remove server k
+  | Wal.Add_join text -> (
+    match Server.add_join_text server text with
+    | Ok () -> ()
+    | Error msg -> Log.warn (fun m -> m "recovery: skipping join %S: %s" text msg))
+  | Wal.Present (table, lo, hi) -> Server.mark_present server ~table ~lo ~hi
+
+(* Load the newest verifiable snapshot into [server]; [0] when starting
+   empty. *)
+let recover_snapshot ~server ~dir =
+  let rec try_load = function
+    | [] -> 0
+    | (seq, path) :: rest -> (
+      match Snapshot.load path with
+      | Error msg ->
+        Log.warn (fun m -> m "recovery: snapshot %s invalid (%s); trying older" path msg);
+        try_load rest
+      | Ok c ->
+        List.iter (fun text -> apply_op server (Wal.Add_join text)) c.Snapshot.joins;
+        List.iter (fun (k, v) -> Server.put server k v) c.Snapshot.pairs;
+        List.iter
+          (fun (table, lo, hi) -> Server.mark_present server ~table ~lo ~hi)
+          c.Snapshot.presents;
+        Log.info (fun m ->
+            m "recovery: snapshot %s restored %d pairs, %d joins (seq %d)" path
+              (List.length c.Snapshot.pairs) (List.length c.Snapshot.joins) c.Snapshot.seq);
+        seq)
+  in
+  try_load (snapshots_in dir)
+
+(* Replay every log record newer than [base]; returns the last applied
+   sequence number, how many records were applied, and whether any
+   torn/corrupt record was hit. A bad record ends its own file's replay
+   (the decoder cannot resynchronise past it), but later files still
+   apply as long as their records continue exactly at [last + 1]: a log
+   rotated after an earlier recovery observed the tear legitimately
+   resumes the sequence. A sequence gap means durably-lost records, so
+   replay stops there — applying anything beyond the gap could resurrect
+   state the lost records had overwritten. *)
+let recover_wal ~server ~dir ~base =
+  let last = ref base in
+  let replayed = ref 0 in
+  let tail_lost = ref false in
+  let stop = ref false in
+  List.iter
+    (fun (_, path) ->
+      if not !stop then begin
+        let entries, ending = Wal.read_file path in
+        List.iter
+          (fun (seq, op) ->
+            if not !stop then
+              if seq > !last + 1 then begin
+                stop := true;
+                tail_lost := true;
+                Log.warn (fun m ->
+                    m "recovery: %s jumps from seq %d to %d; stopping at the gap" path !last
+                      seq)
+              end
+              else if seq > !last then begin
+                apply_op server op;
+                incr replayed;
+                last := seq
+              end)
+          entries;
+        match ending with
+        | Record.Clean -> ()
+        | Record.Torn | Record.Corrupt ->
+          tail_lost := true;
+          Log.warn (fun m ->
+              m "recovery: log %s ends %s after seq %d; rest of the file discarded" path
+                (if ending = Record.Torn then "torn" else "corrupt")
+                !last)
+      end)
+    (wals_in dir);
+  (!last, !replayed, !tail_lost)
+
+let now () = Unix.gettimeofday ()
+
+let sync t =
+  Wal.sync t.writer;
+  t.last_sync <- now ()
+
+(* Delete snapshots beyond the two newest, and log files wholly covered
+   by the older retained snapshot. *)
+let compact t =
+  let dir = t.cfg.Config.p_dir in
+  let snaps = snapshots_in dir in
+  let retained, doomed_snaps =
+    match snaps with a :: b :: rest -> ([ a; b ], rest) | l -> (l, [])
+  in
+  List.iter (fun (_, path) -> try Sys.remove path with Sys_error _ -> ()) doomed_snaps;
+  let keep_seq = match List.rev retained with (seq, _) :: _ -> seq | [] -> 0 in
+  (* a log file's records all precede the next file's first sequence
+     number, so it is deletable when that bound is covered by [keep_seq];
+     the file backing the live writer is never deleted *)
+  let wals = wals_in dir in
+  let rec doom = function
+    | (_, path) :: ((next_first, _) :: _ as rest) ->
+      if next_first - 1 <= keep_seq && path <> t.writer.Wal.path then begin
+        (try Sys.remove path with Sys_error _ -> ());
+        doom rest
+      end
+    | _ -> ()
+  in
+  doom wals
+
+(** Write a snapshot covering everything logged so far, rotate to a fresh
+    log file, and compact. *)
+let snapshot_now t =
+  sync t;
+  let path = Snapshot.write ~dir:t.cfg.Config.p_dir ~seq:t.seq t.server in
+  t.st_snapshots <- t.st_snapshots + 1;
+  t.records_since_snapshot <- 0;
+  Log.info (fun m -> m "snapshot %s written at seq %d" path t.seq);
+  Wal.close t.writer;
+  t.writer <- Wal.create_writer ~dir:t.cfg.Config.p_dir ~first_seq:(t.seq + 1);
+  compact t
+
+let on_mutation t m =
+  if not t.closed then begin
+    t.seq <- t.seq + 1;
+    Wal.append t.writer ~seq:t.seq (Wal.op_of_mutation m);
+    t.st_logged <- t.st_logged + 1;
+    t.records_since_snapshot <- t.records_since_snapshot + 1;
+    (match t.cfg.Config.p_sync with
+    | Config.Sync_always -> sync t
+    | Config.Sync_interval secs -> if now () -. t.last_sync >= secs then sync t
+    | Config.Sync_never -> ());
+    if
+      t.writer.Wal.bytes > t.cfg.Config.p_wal_max_bytes
+      || (t.cfg.Config.p_snapshot_every > 0
+         && t.records_since_snapshot >= t.cfg.Config.p_snapshot_every)
+    then snapshot_now t
+  end
+
+(** Recover [server] from [cfg.p_dir] (creating it if needed), then
+    subscribe to the engine's mutation hook so every client-level write
+    is logged. The server must be freshly created (empty). *)
+let attach server cfg =
+  let dir = cfg.Config.p_dir in
+  mkdir_p dir;
+  let base = recover_snapshot ~server ~dir in
+  let seq, replayed, tail_lost = recover_wal ~server ~dir ~base in
+  (* always start a fresh log: never append beyond a torn tail *)
+  let writer = Wal.create_writer ~dir ~first_seq:(seq + 1) in
+  let t =
+    { server; cfg; seq; writer; records_since_snapshot = 0; last_sync = now ();
+      closed = false; st_snapshot_seq = base; st_replayed = replayed;
+      st_tail_lost = tail_lost; st_logged = 0; st_snapshots = 0 }
+  in
+  Server.set_mutation_hook server (fun m -> on_mutation t m);
+  t
+
+(** Periodic maintenance from the host's event loop: flushes an overdue
+    interval-mode sync. *)
+let tick t =
+  if not t.closed then
+    match t.cfg.Config.p_sync with
+    | Config.Sync_interval secs ->
+      if t.writer.Wal.dirty && now () -. t.last_sync >= secs then sync t
+    | Config.Sync_always | Config.Sync_never -> ()
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Server.clear_mutation_hook t.server;
+    Wal.close t.writer
+  end
+
+(** Counters for the server's stats snapshot. *)
+let stats t =
+  [ ("persist.seq", t.seq); ("persist.logged", t.st_logged);
+    ("persist.replayed", t.st_replayed); ("persist.snapshots", t.st_snapshots);
+    ("persist.snapshot_seq", t.st_snapshot_seq);
+    ("persist.wal_bytes", t.writer.Wal.bytes);
+    ("persist.tail_lost", if t.st_tail_lost then 1 else 0) ]

@@ -1,0 +1,54 @@
+(** On-disk record layer shared by the write-ahead log and snapshots.
+
+    Each record is the wire protocol's frame ({!Pequod_proto.Frame}: a
+    4-byte big-endian length prefix) whose body is a 4-byte big-endian
+    CRC-32 of the payload followed by the payload itself. The reader is a
+    forgiving scan of a whole file image: it yields every verified payload
+    up to the first problem and reports how the file ends — cleanly, in a
+    torn (incomplete) trailing record, or at a corrupt record. Recovery
+    treats [`Torn] on the newest log as the expected result of a crash
+    mid-append and anything [`Corrupt] as the durable horizon. *)
+
+module Frame = Pequod_proto.Frame
+
+let encode payload =
+  let buf = Buffer.create (String.length payload + 8) in
+  Crc32.add_be buf (Crc32.string payload);
+  Buffer.add_string buf payload;
+  Frame.encode (Buffer.contents buf)
+
+type ending =
+  | Clean (* file ends exactly at a record boundary *)
+  | Torn (* trailing record incomplete (crash mid-append) *)
+  | Corrupt (* CRC mismatch or impossible length *)
+
+(** All verified payloads in order, and how the scan ended. *)
+let read_all data =
+  let n = String.length data in
+  let rec go acc pos =
+    if pos = n then (List.rev acc, Clean)
+    else if pos + 4 > n then (List.rev acc, Torn)
+    else begin
+      let len =
+        (Char.code data.[pos] lsl 24)
+        lor (Char.code data.[pos + 1] lsl 16)
+        lor (Char.code data.[pos + 2] lsl 8)
+        lor Char.code data.[pos + 3]
+      in
+      if len < 4 || len > Frame.max_frame then (List.rev acc, Corrupt)
+      else if pos + 4 + len > n then (List.rev acc, Torn)
+      else begin
+        let crc = Crc32.get_be data (pos + 4) in
+        let payload = String.sub data (pos + 8) (len - 4) in
+        if Crc32.string payload = crc then go (payload :: acc) (pos + 4 + len)
+        else (List.rev acc, Corrupt)
+      end
+    end
+  in
+  go [] 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> read_all (really_input_string ic (in_channel_length ic)))

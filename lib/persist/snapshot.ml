@@ -1,0 +1,165 @@
+(** Full-state snapshots: one file ([snap-%016d.pqs], named by the last
+    log sequence number it covers) holding the engine's base tables and
+    join-source metadata.
+
+    The file is a stream of {!Record}-framed, CRC-checked payloads:
+    a header (magic + format version + covered sequence number), the
+    installed joins as canonical text, every base-table pair, the
+    present-range bookkeeping, and a footer carrying the three counts so
+    a truncated stream is detected even when it tears exactly between
+    records. Materialized sink ranges are deliberately {e not} stored:
+    dropping them leaves their status Unknown after recovery, so the
+    first scan lazily revalidates (recomputes) them from the restored
+    base data — the "marked for lazy revalidation" design.
+
+    Writes go to a temp file that is fsynced and renamed into place, so a
+    crash mid-snapshot leaves the previous snapshot untouched. *)
+
+module Codec = Pequod_proto.Codec
+module Server = Pequod_core.Server
+module Store = Pequod_store.Store
+
+let magic = "PQSNAP"
+let version = 1
+
+let file_name ~seq = Printf.sprintf "snap-%016d.pqs" seq
+
+(** [Some seq] when the basename looks like a snapshot file. *)
+let parse_file_name name =
+  if String.length name = 25 && String.sub name 0 5 = "snap-" && Filename.check_suffix name ".pqs"
+  then int_of_string_opt (String.sub name 5 16)
+  else None
+
+type contents = {
+  seq : int; (* every log record with seq <= this is reflected *)
+  joins : string list; (* canonical join text, install order *)
+  pairs : (string * string) list; (* base-table data, store order *)
+  presents : (string * string * string) list; (* table, lo, hi *)
+}
+
+(* record payload tags *)
+let tag_header = '\x10'
+let tag_join = '\x11'
+let tag_pair = '\x12'
+let tag_present = '\x13'
+let tag_footer = '\x1F'
+
+let payload tag f =
+  let buf = Buffer.create 64 in
+  Buffer.add_char buf tag;
+  f buf;
+  Buffer.contents buf
+
+(** Serialize the durable part of [server] (everything except sink-table
+    output) covering log records up to [seq], atomically replacing any
+    same-named file. *)
+let write ~dir ~seq server =
+  let sinks = Server.sink_tables server in
+  let is_sink key = List.mem (Store.table_name_of key) sinks in
+  let tmp = Filename.concat dir (Printf.sprintf ".snap-%016d.tmp" seq) in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let emit p =
+    let wire = Record.encode p in
+    let n = String.length wire in
+    let written = ref 0 in
+    while !written < n do
+      written := !written + Unix.write_substring fd wire !written (n - !written)
+    done
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      emit
+        (payload tag_header (fun buf ->
+             Codec.put_string buf magic;
+             Codec.put_varint buf version;
+             Codec.put_varint buf seq));
+      let njoins = ref 0 and npairs = ref 0 and npresents = ref 0 in
+      List.iter
+        (fun text ->
+          incr njoins;
+          emit (payload tag_join (fun buf -> Codec.put_string buf text)))
+        (Server.join_texts server);
+      Server.iter_pairs server (fun k v ->
+          if not (is_sink k) then begin
+            incr npairs;
+            emit
+              (payload tag_pair (fun buf ->
+                   Codec.put_string buf k;
+                   Codec.put_string buf v))
+          end);
+      List.iter
+        (fun (table, lo, hi) ->
+          incr npresents;
+          emit
+            (payload tag_present (fun buf ->
+                 Codec.put_string buf table;
+                 Codec.put_string buf lo;
+                 Codec.put_string buf hi)))
+        (Server.present_ranges server);
+      emit
+        (payload tag_footer (fun buf ->
+             Codec.put_varint buf !njoins;
+             Codec.put_varint buf !npairs;
+             Codec.put_varint buf !npresents));
+      Unix.fsync fd);
+  let path = Filename.concat dir (file_name ~seq) in
+  Unix.rename tmp path;
+  path
+
+(** Parse and fully verify one snapshot file: framing, CRCs, header
+    magic/version, and footer counts must all check out, else [Error]
+    (recovery then falls back to an older snapshot). *)
+let load path =
+  match Record.read_file path with
+  | exception Sys_error msg -> Error msg
+  | payloads, ending -> (
+    try
+      if ending <> Record.Clean then failwith "snapshot not cleanly terminated";
+      let seq = ref 0 in
+      let joins = ref [] and pairs = ref [] and presents = ref [] in
+      let saw_header = ref false and saw_footer = ref false in
+      List.iter
+        (fun p ->
+          if !saw_footer then failwith "records after snapshot footer";
+          let r = Codec.reader p in
+          let tag = Char.chr (Codec.get_byte r) in
+          if (not !saw_header) && tag <> tag_header then failwith "missing snapshot header";
+          if tag = tag_header then begin
+            if !saw_header then failwith "duplicate snapshot header";
+            saw_header := true;
+            if Codec.get_string r <> magic then failwith "bad snapshot magic";
+            let v = Codec.get_varint r in
+            if v <> version then failwith (Printf.sprintf "unsupported snapshot version %d" v);
+            seq := Codec.get_varint r
+          end
+          else if tag = tag_join then joins := Codec.get_string r :: !joins
+          else if tag = tag_pair then begin
+            let k = Codec.get_string r in
+            let v = Codec.get_string r in
+            pairs := (k, v) :: !pairs
+          end
+          else if tag = tag_present then begin
+            let table = Codec.get_string r in
+            let lo = Codec.get_string r in
+            let hi = Codec.get_string r in
+            presents := (table, lo, hi) :: !presents
+          end
+          else if tag = tag_footer then begin
+            saw_footer := true;
+            let nj = Codec.get_varint r in
+            let np = Codec.get_varint r in
+            let npr = Codec.get_varint r in
+            if nj <> List.length !joins || np <> List.length !pairs
+               || npr <> List.length !presents
+            then failwith "snapshot footer counts mismatch"
+          end
+          else failwith (Printf.sprintf "bad snapshot tag %#x" (Char.code tag));
+          if not (Codec.at_end r) then failwith "trailing snapshot bytes")
+        payloads;
+      if not !saw_footer then failwith "snapshot missing footer";
+      Ok { seq = !seq; joins = List.rev !joins; pairs = List.rev !pairs;
+           presents = List.rev !presents }
+    with
+    | Failure msg -> Error msg
+    | Codec.Decode_error msg -> Error msg)

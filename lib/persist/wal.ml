@@ -1,0 +1,135 @@
+(** The append-only write-ahead log of client-level store mutations.
+
+    One log file holds a run of {!Record}-framed entries with strictly
+    increasing sequence numbers; the file name ([wal-%016d.pql]) carries
+    the sequence number of its first entry, so recovery can order files
+    and compaction can tell when a whole file is behind a snapshot.
+
+    Entry payloads use the wire codec ({!Pequod_proto.Codec}): a tag
+    byte, the varint sequence number, then the operation's strings. *)
+
+module Codec = Pequod_proto.Codec
+module Server = Pequod_core.Server
+
+type op =
+  | Put of string * string
+  | Remove of string
+  | Add_join of string
+  | Present of string * string * string (* table, lo, hi *)
+
+let op_of_mutation = function
+  | Server.M_put (k, v) -> Put (k, v)
+  | Server.M_remove k -> Remove k
+  | Server.M_add_join text -> Add_join text
+  | Server.M_present (table, lo, hi) -> Present (table, lo, hi)
+
+let encode_entry ~seq op =
+  let buf = Buffer.create 64 in
+  (match op with
+  | Put (k, v) ->
+    Buffer.add_char buf '\x01';
+    Codec.put_varint buf seq;
+    Codec.put_string buf k;
+    Codec.put_string buf v
+  | Remove k ->
+    Buffer.add_char buf '\x02';
+    Codec.put_varint buf seq;
+    Codec.put_string buf k
+  | Add_join text ->
+    Buffer.add_char buf '\x03';
+    Codec.put_varint buf seq;
+    Codec.put_string buf text
+  | Present (table, lo, hi) ->
+    Buffer.add_char buf '\x04';
+    Codec.put_varint buf seq;
+    Codec.put_string buf table;
+    Codec.put_string buf lo;
+    Codec.put_string buf hi);
+  Buffer.contents buf
+
+(** Raises [Codec.Decode_error] on malformed payloads (recovery treats
+    that like a corrupt record). *)
+let decode_entry payload =
+  let r = Codec.reader payload in
+  let tag = Codec.get_byte r in
+  let seq = Codec.get_varint r in
+  let op =
+    match tag with
+    | 0x01 ->
+      let k = Codec.get_string r in
+      let v = Codec.get_string r in
+      Put (k, v)
+    | 0x02 -> Remove (Codec.get_string r)
+    | 0x03 -> Add_join (Codec.get_string r)
+    | 0x04 ->
+      let table = Codec.get_string r in
+      let lo = Codec.get_string r in
+      let hi = Codec.get_string r in
+      Present (table, lo, hi)
+    | t -> raise (Codec.Decode_error (Printf.sprintf "bad wal tag %#x" t))
+  in
+  if not (Codec.at_end r) then raise (Codec.Decode_error "trailing wal bytes");
+  (seq, op)
+
+(* ------------------------------------------------------------------ *)
+(* File naming                                                         *)
+
+let file_name ~first_seq = Printf.sprintf "wal-%016d.pql" first_seq
+
+(** [Some first_seq] when the basename looks like a log file. *)
+let parse_file_name name =
+  if String.length name = 24 && String.sub name 0 4 = "wal-" && Filename.check_suffix name ".pql"
+  then int_of_string_opt (String.sub name 4 16)
+  else None
+
+(* ------------------------------------------------------------------ *)
+(* Appending                                                           *)
+
+type writer = {
+  path : string;
+  fd : Unix.file_descr;
+  mutable bytes : int; (* file size, for the rotation threshold *)
+  mutable dirty : bool; (* bytes written since the last fsync *)
+}
+
+let create_writer ~dir ~first_seq =
+  let path = Filename.concat dir (file_name ~first_seq) in
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644 in
+  let bytes = (Unix.fstat fd).Unix.st_size in
+  { path; fd; bytes; dirty = false }
+
+let append w ~seq op =
+  let wire = Record.encode (encode_entry ~seq op) in
+  let n = String.length wire in
+  let written = ref 0 in
+  while !written < n do
+    written := !written + Unix.write_substring w.fd wire !written (n - !written)
+  done;
+  w.bytes <- w.bytes + n;
+  w.dirty <- true
+
+let sync w =
+  if w.dirty then begin
+    Unix.fsync w.fd;
+    w.dirty <- false
+  end
+
+let close w =
+  sync w;
+  (try Unix.close w.fd with Unix.Unix_error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+
+(** Every decodable entry of one log file in order, plus how the file
+    ends ([Record.Corrupt] also covers a payload the codec rejects). *)
+let read_file path =
+  let payloads, ending = Record.read_file path in
+  let rec go acc = function
+    | [] -> (List.rev acc, ending)
+    | p :: rest -> (
+      match decode_entry p with
+      | entry -> go (entry :: acc) rest
+      | exception Codec.Decode_error _ -> (List.rev acc, Record.Corrupt))
+  in
+  go [] payloads

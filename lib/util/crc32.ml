@@ -1,0 +1,38 @@
+(* CRC-32 (IEEE), table-driven, one byte per step. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let string ?(pos = 0) ?len s =
+  let len = match len with Some n -> n | None -> String.length s - pos in
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Crc32.string";
+  let table = Lazy.force table in
+  let crc = ref 0xFFFFFFFFl in
+  for i = pos to pos + len - 1 do
+    let idx = Int32.to_int (Int32.logand (Int32.logxor !crc (Int32.of_int (Char.code s.[i]))) 0xFFl) in
+    crc := Int32.logxor table.(idx) (Int32.shift_right_logical !crc 8)
+  done;
+  Int32.logxor !crc 0xFFFFFFFFl
+
+let add_be buf v =
+  let b shift = Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical v shift) 0xFFl)) in
+  Buffer.add_char buf (b 24);
+  Buffer.add_char buf (b 16);
+  Buffer.add_char buf (b 8);
+  Buffer.add_char buf (b 0)
+
+let get_be s pos =
+  if pos < 0 || pos + 4 > String.length s then invalid_arg "Crc32.get_be";
+  let b i = Int32.of_int (Char.code s.[pos + i]) in
+  Int32.logor
+    (Int32.shift_left (b 0) 24)
+    (Int32.logor (Int32.shift_left (b 1) 16) (Int32.logor (Int32.shift_left (b 2) 8) (b 3)))

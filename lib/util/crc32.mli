@@ -1,0 +1,13 @@
+(** CRC-32 (IEEE 802.3, reflected, polynomial [0xEDB88320]) — the checksum
+    guarding every durability-log and snapshot record against torn writes
+    and bit rot. *)
+
+(** Checksum of a substring. [pos] defaults to 0, [len] to the rest. *)
+val string : ?pos:int -> ?len:int -> string -> int32
+
+(** Big-endian 4-byte encoding, appended to [Buffer.t] record payloads. *)
+val add_be : Buffer.t -> int32 -> unit
+
+(** Read a big-endian [int32] at [pos]; raises [Invalid_argument] when
+    fewer than 4 bytes remain. *)
+val get_be : string -> int -> int32

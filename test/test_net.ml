@@ -10,7 +10,7 @@ let check_bool = Alcotest.(check bool)
 let timeline_join = "t|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time>"
 
 let with_server ~joins f =
-  let t = Net_server.create ~port:0 ~joins ~memory_limit:None in
+  let t = Net_server.create ~port:0 ~joins ~memory_limit:None () in
   Fun.protect ~finally:(fun () -> Net_server.stop t) (fun () -> f t)
 
 let connect t =

@@ -141,6 +141,67 @@ let test_loopback_server () =
   | Message.Stat_list stats -> check_bool "stats nonempty" true (stats <> [])
   | _ -> Alcotest.fail "stats"
 
+(* Deterministic randomized coverage of EVERY message variant (the qcheck
+   generator below skips some), seeded from lib/util's Rng so failures
+   reproduce: each random message must round-trip exactly, and every
+   strict prefix of its encoding must raise — a truncated buffer can
+   never silently decode. *)
+let test_rng_all_variants () =
+  let rng = Rng.create 0xC0DEC in
+  let rand_string ?(maxlen = 24) () =
+    String.init (Rng.int rng (maxlen + 1)) (fun _ -> Char.chr (Rng.int rng 256))
+  in
+  let rand_pairs () =
+    List.init (Rng.int rng 4) (fun _ -> (rand_string (), rand_string ()))
+  in
+  let rand_request variant =
+    match variant with
+    | 0 -> Message.Get (rand_string ())
+    | 1 -> Message.Put (rand_string (), rand_string ())
+    | 2 -> Message.Remove (rand_string ())
+    | 3 -> Message.Scan { lo = rand_string (); hi = rand_string () }
+    | 4 -> Message.Add_join (rand_string ())
+    | 5 ->
+      Message.Fetch
+        { table = rand_string (); lo = rand_string (); hi = rand_string ();
+          subscriber = Rng.int rng 10_000 }
+    | 6 -> Message.Notify_put (rand_string (), rand_string ())
+    | 7 -> Message.Notify_remove (rand_string ())
+    | _ -> Message.Stats
+  in
+  let rand_response variant =
+    match variant with
+    | 0 -> Message.Done
+    | 1 -> Message.Value None
+    | 2 -> Message.Value (Some (rand_string ()))
+    | 3 -> Message.Pairs (rand_pairs ())
+    | 4 ->
+      Message.Stat_list
+        (List.init (Rng.int rng 4) (fun _ -> (rand_string (), Rng.int rng 1_000_000)))
+    | _ -> Message.Error (rand_string ())
+  in
+  let truncations_raise what wire decode =
+    for cut = 0 to String.length wire - 1 do
+      match decode (String.sub wire 0 cut) with
+      | exception Message.Protocol_error _ -> ()
+      | _ -> Alcotest.failf "%s: prefix of %d/%d bytes decoded" what cut (String.length wire)
+    done
+  in
+  for round = 1 to 50 do
+    for variant = 0 to 8 do
+      let req = rand_request variant in
+      let wire = Message.encode_request req in
+      check_bool "request round-trips" true (Message.decode_request wire = req);
+      if round <= 5 then truncations_raise "request" wire Message.decode_request
+    done;
+    for variant = 0 to 5 do
+      let resp = rand_response variant in
+      let wire = Message.encode_response resp in
+      check_bool "response round-trips" true (Message.decode_response wire = resp);
+      if round <= 5 then truncations_raise "response" wire Message.decode_response
+    done
+  done
+
 let prop_message_roundtrip =
   let open QCheck2 in
   let str = Gen.string_size ~gen:Gen.printable (Gen.int_bound 40) in
@@ -190,6 +251,7 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_message_roundtrip;
           Alcotest.test_case "bad tags" `Quick test_bad_tags;
+          Alcotest.test_case "all variants + truncation (rng)" `Quick test_rng_all_variants;
         ] );
       ( "frame",
         [
