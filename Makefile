@@ -2,7 +2,7 @@
 # test suite (unit, integration, property-based, and the persist
 # fault-injection tests in test/test_persist.ml).
 
-.PHONY: check build test bench micro clean
+.PHONY: check build test bench micro fuzz fuzz-replay clean
 
 check: ; dune build && dune runtest
 
@@ -15,5 +15,18 @@ test: ; dune runtest
 bench: ; dune exec bench/main.exe
 
 micro: ; dune exec bench/main.exe -- micro
+
+# model-based differential fuzzing: replay seeded op sequences against
+# the engine and the naive oracle (test/fuzz/).  Deterministic given
+# FUZZ_SEED; on divergence a shrunk repro file is written, replayable
+# with `make fuzz-replay REPRO=fuzz-repro-N.txt`.
+FUZZ_SEED ?= 42
+FUZZ_ITERS ?= 1000
+FUZZ_OPS ?= 40
+
+fuzz: ; dune exec test/fuzz/fuzz_main.exe -- \
+	--seed $(FUZZ_SEED) --iters $(FUZZ_ITERS) --max-ops $(FUZZ_OPS)
+
+fuzz-replay: ; dune exec test/fuzz/fuzz_main.exe -- --verbose --replay $(REPRO)
 
 clean: ; dune clean

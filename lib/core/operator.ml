@@ -59,11 +59,13 @@ let incremental (op : Joinspec.operator) ~current ~change ~old_value ~new_value 
     match (current, change) with
     | None, Remove -> Nothing
     | None, _ -> Set (string_of_int delta)
-    | Some _, Remove when current = None -> Nothing
-    | Some c, _ ->
-      (* a sum with no remaining inputs cannot be detected from the value
-         alone; keep 0 sums rather than guessing *)
-      Set (string_of_int (as_int (Some c) + delta)))
+    | Some c, Remove ->
+      (* a running total of 0 is ambiguous: the group may be empty (the
+         output key must go) or hold inputs summing to zero (keep "0");
+         only a from-scratch fold can tell the two apart *)
+      let n = as_int (Some c) + delta in
+      if n = 0 then Recompute else Set (string_of_int n)
+    | Some c, _ -> Set (string_of_int (as_int (Some c) + delta)))
   | Joinspec.Min -> (
     match (change, current, new_value) with
     | Insert, None, Some v -> Set v

@@ -1124,12 +1124,28 @@ let stats_snapshot t =
   @ Stats.Counters.to_list t.counters
   |> List.sort compare
 
-(** Invariant checks for tests. *)
-let validate t =
+(** Whole-engine invariant checks, cheap enough to run after every
+    operation of a model-based test: every store-layer structure
+    revalidates (red-black trees, range maps, interval trees), including
+    the §3.3 present-range bookkeeping, and the value-bytes ledger must
+    agree with a fresh walk of the resident cells. Raises [Failure] on
+    the first violation. *)
+let check_invariants t =
   Store.validate t.store;
   Hashtbl.iter
     (fun _ m ->
       Range_map.validate m.status;
-      Interval_map.validate m.updaters)
+      Interval_map.validate m.updaters;
+      match m.present with Some p -> Range_map.validate p | None -> ())
     t.meta;
-  Hashtbl.iter (fun _ cm -> Range_map.validate cm) t.covers
+  Hashtbl.iter (fun _ cm -> Range_map.validate cm) t.covers;
+  let resident = ref 0 in
+  List.iter
+    (fun tbl -> Table.iter tbl (fun _ c -> resident := !resident + c.charged))
+    (Store.tables t.store);
+  if !resident <> t.value_bytes then
+    failwith
+      (Printf.sprintf "Server.check_invariants: value ledger %d bytes <> resident %d bytes"
+         t.value_bytes !resident)
+
+let validate = check_invariants

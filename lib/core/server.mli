@@ -120,5 +120,11 @@ val present_ranges : t -> (string * string * string) list
 (** Installed joins as canonical re-parsable text, in install order. *)
 val join_texts : t -> string list
 
-(** Structural invariant checks (trees, range maps); for tests. *)
+(** Whole-engine invariant checks: store-layer [validate]s on every
+    table (trees, range maps, interval trees, present-range maps) plus
+    the value-bytes ledger. Cheap enough that model-based tests run it
+    after every operation; raises [Failure] on the first violation. *)
+val check_invariants : t -> unit
+
+(** Historical name for {!check_invariants}. *)
 val validate : t -> unit

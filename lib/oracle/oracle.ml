@@ -1,0 +1,140 @@
+(** The reference oracle: a deliberately naive model of the Pequod
+    client API. See the interface for the contract.
+
+    Evaluation strategy, chosen for obviousness over speed:
+
+    - one [Map.Make(String)] holds the base pairs;
+    - a read rebuilds the whole derived view: starting from the base
+      map, every non-pull join is re-evaluated by nested loops over the
+      current view and its outputs merged in, repeated until the view
+      stops changing (chained joins converge because installation
+      rejects cycles);
+    - aggregates are folded from scratch over their group's inputs;
+    - pull joins are evaluated last, against the settled view, and
+      contribute only keys the view does not already hold (the engine
+      prefers materialized values on collision).
+
+    Nothing here is incremental, so the model cannot share a
+    maintenance bug with the engine. *)
+
+module Pattern = Pequod_pattern.Pattern
+module Joinspec = Pequod_pattern.Joinspec
+module Smap = Map.Make (String)
+
+type t = {
+  mutable base : string Smap.t;
+  mutable joins : Joinspec.t list; (* install order *)
+}
+
+let create () = { base = Smap.empty; joins = [] }
+
+let put t key value =
+  Strkey.validate key;
+  t.base <- Smap.add key value t.base
+
+let remove t key = t.base <- Smap.remove key t.base
+let add_join t spec = t.joins <- t.joins @ [ spec ]
+
+let add_join_text t text =
+  match Joinspec.parse text with
+  | Error msg -> Error msg
+  | Ok spec ->
+    add_join t spec;
+    Ok ()
+
+let joins t = t.joins
+
+(* From-scratch aggregate folds, independent of the engine's
+   [Operator]: count of inputs, integer sum, lexicographic extrema. *)
+let fold_aggregate op values =
+  match (op, values) with
+  | _, [] -> None
+  | Joinspec.Count, vs -> Some (string_of_int (List.length vs))
+  | Joinspec.Sum, vs ->
+    let add acc v = acc + (match int_of_string_opt v with Some n -> n | None -> 0) in
+    Some (string_of_int (List.fold_left add 0 vs))
+  | Joinspec.Min, v :: vs -> Some (List.fold_left Strkey.min_str v vs)
+  | Joinspec.Max, v :: vs -> Some (List.fold_left Strkey.max_str v vs)
+  | (Joinspec.Copy | Joinspec.Check), _ -> invalid_arg "Oracle.fold_aggregate"
+
+(* Evaluate one join over [view] by nested loops in source order,
+   binding slots as the paper's Fig 3 does; returns the join's complete
+   output map. *)
+let eval_join spec view =
+  let sources = Joinspec.sources_array spec in
+  let nsources = Array.length sources in
+  let out = Joinspec.output spec in
+  let vs_idx = Joinspec.value_source_index spec in
+  let vop = Joinspec.value_op spec in
+  let groups = Hashtbl.create 16 in (* output key -> source values, reversed *)
+  let emit b value =
+    match Pattern.build_key out b with
+    | exception Invalid_argument _ -> ()
+    | okey ->
+      let prev = match Hashtbl.find_opt groups okey with Some vs -> vs | None -> [] in
+      Hashtbl.replace groups okey (value :: prev)
+  in
+  let rec loop i b value =
+    if i >= nsources then (match value with Some v -> emit b v | None -> ())
+    else
+      Smap.iter
+        (fun k v ->
+          match Pattern.match_key sources.(i).Joinspec.pattern k ~bindings:b with
+          | Some b' -> loop (i + 1) b' (if i = vs_idx then Some v else value)
+          | None -> ())
+        view
+  in
+  loop 0 (Array.make (Joinspec.nslots spec) None) None;
+  Hashtbl.fold
+    (fun okey values acc ->
+      match vop with
+      | Joinspec.Copy -> (
+        (* unambiguous joins produce one tuple per output key *)
+        match values with v :: _ -> Smap.add okey v acc | [] -> acc)
+      | _ -> (
+        match fold_aggregate vop (List.rev values) with
+        | Some v -> Smap.add okey v acc
+        | None -> acc))
+    groups Smap.empty
+
+let is_pull spec = Joinspec.maintenance spec = Joinspec.Pull
+
+(* The fully fresh view: base plus non-pull join outputs to fixpoint,
+   then pull outputs for keys still absent. *)
+let full_view t =
+  let cached = List.filter (fun j -> not (is_pull j)) t.joins in
+  let step view =
+    List.fold_left
+      (fun acc j -> Smap.union (fun _ _ derived -> Some derived) acc (eval_join j view))
+      t.base cached
+  in
+  let view = ref t.base in
+  let settled = ref false in
+  (* cycle-free chains of n joins settle in <= n rounds; the +1 pass
+     just observes the fixpoint *)
+  let rounds = List.length cached + 1 in
+  for _ = 1 to rounds do
+    if not !settled then begin
+      let next = step !view in
+      if Smap.equal String.equal next !view then settled := true else view := next
+    end
+  done;
+  List.fold_left
+    (fun acc j ->
+      if is_pull j then
+        Smap.union (fun _ stored _pulled -> Some stored) acc (eval_join j acc)
+      else acc)
+    !view t.joins
+
+let scan t ~lo ~hi =
+  full_view t |> Smap.bindings
+  |> List.filter (fun (k, _) -> Strkey.in_range ~lo ~hi k)
+
+let count t ~lo ~hi = List.length (scan t ~lo ~hi)
+
+let get t key =
+  match scan t ~lo:key ~hi:(Strkey.key_after key) with
+  | (k, v) :: _ when String.equal k key -> Some v
+  | _ -> None
+
+let base_pairs t = Smap.bindings t.base

@@ -1,0 +1,46 @@
+(** The reference oracle: a deliberately naive model of the Pequod
+    client API against which the optimized engine is differentially
+    tested.
+
+    Base pairs live in one plain sorted map. Nothing is ever cached,
+    invalidated, or maintained: every read recomputes every installed
+    join from scratch by nested-loop evaluation over the current base
+    data, to a fixpoint for chained joins. The implementation shares
+    only the pattern/joinspec vocabulary with the engine — none of the
+    engine's execution, maintenance, or storage code — so an agreement
+    bug requires the same mistake twice in two very different shapes.
+
+    Semantics notes (mirrored by the fuzzer, see [test/fuzz/fuzz.ml]):
+    - [push] and [pull] joins are always fresh here. The engine matches
+      this by construction ([push]) or by recomputing per read ([pull]).
+    - [snapshot T] joins are modelled as always-fresh too; a driver
+      comparing against the engine must advance the engine's logical
+      clock past [T] before each read so expired snapshots recompute.
+    - Writing base data into a join's output table is out of scope
+      (undefined results in the paper); generators must avoid it. *)
+
+module Joinspec = Pequod_pattern.Joinspec
+
+type t
+
+val create : unit -> t
+
+(** Re-validates the key like the engine does.
+    @raise Strkey.Invalid_key on keys containing [0xff]. *)
+val put : t -> string -> string -> unit
+
+val remove : t -> string -> unit
+val add_join : t -> Joinspec.t -> unit
+val add_join_text : t -> string -> (unit, string) result
+val joins : t -> Joinspec.t list
+
+(** Ordered pairs of [\[lo, hi)] over the fully fresh view: base data
+    plus every join's from-scratch output (pull joins included, losing
+    to stored keys on collision, as in the engine). *)
+val scan : t -> lo:string -> hi:string -> (string * string) list
+
+val count : t -> lo:string -> hi:string -> int
+val get : t -> string -> string option
+
+(** The base pairs only, as last written. *)
+val base_pairs : t -> (string * string) list

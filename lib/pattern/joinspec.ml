@@ -77,6 +77,19 @@ let to_string t = t.text
 (** Operator of the join's value source. *)
 let value_op t = (value_source t).op
 
+(** Table the join writes into. *)
+let output_table t = Pattern.table t.output
+
+(** Tables the join reads from, deduplicated, in source order. The
+    reference oracle and the fuzzer's op generator use this to tell base
+    tables from derived ones without walking patterns themselves. *)
+let source_tables t =
+  List.fold_left
+    (fun acc s ->
+      let tbl = Pattern.table s.pattern in
+      if List.mem tbl acc then acc else acc @ [ tbl ])
+    [] t.sources
+
 let parse text =
   let fail msg = Error (Printf.sprintf "cache join %S: %s" text msg) in
   let tokens =

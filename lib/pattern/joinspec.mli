@@ -52,6 +52,12 @@ val value_source : t -> source
 val value_source_index : t -> int
 val value_op : t -> operator
 
+(** Table the join writes into. *)
+val output_table : t -> string
+
+(** Tables the join reads from, deduplicated, in source order. *)
+val source_tables : t -> string list
+
 (** True when the join may collapse distinct source tuples into one
     output key (§3's undefined-results caveat). *)
 val is_ambiguous : t -> bool

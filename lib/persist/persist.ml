@@ -232,6 +232,18 @@ let close t =
     Wal.close t.writer
   end
 
+(** Simulate a crash, for fault-injection tests: detach from the engine
+    and abandon the log writer {e without} the final sync that {!close}
+    performs, so anything the sync policy had not yet flushed is lost
+    exactly as it would be when the process dies. The data directory is
+    left as-is for a subsequent {!attach} to recover from. *)
+let crash t =
+  if not t.closed then begin
+    t.closed <- true;
+    Server.clear_mutation_hook t.server;
+    try Unix.close t.writer.Wal.fd with Unix.Unix_error _ -> ()
+  end
+
 (** Counters for the server's stats snapshot. *)
 let stats t =
   [ ("persist.seq", t.seq); ("persist.logged", t.st_logged);

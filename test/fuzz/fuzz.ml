@@ -1,0 +1,741 @@
+(** Model-based fuzz harness: replay deterministic op sequences against
+    both the optimized engine ({!Pequod_core.Server}) and the naive
+    reference model ({!Pequod_oracle.Oracle}) under a sweep of
+    {!Config.t} variants, asserting result equality on every read and
+    re-checking every structural invariant after every op.
+
+    One {e case} is (scenario, variant, op sequence):
+
+    - a {e scenario} fixes the installed joins and the op generator's
+      key vocabulary (timelines, aggregates, chained joins, pull,
+      snapshot, the Newp page, ...);
+    - a {e variant} fixes the engine configuration (each §3/§4
+      optimization toggled, subtables, eviction pressure, durability
+      with crash-recovery);
+    - the op sequence is derived from one root seed via {!derive_seed},
+      so every run, failure, and shrink is reproducible byte-for-byte.
+
+    [Crash] ops (meaningful under the persist variants) kill the engine
+    through {!Persist.crash}, recover a fresh one from the data
+    directory, and keep going — the oracle never crashes, so recovered
+    state is differentially checked like any other.
+
+    On divergence the driver greedily shrinks the sequence (ddmin-style
+    chunk removal) and writes a replayable repro file; see
+    [fuzz_main.ml] or `make fuzz` / `make fuzz-replay`. *)
+
+module Server = Pequod_core.Server
+module Config = Pequod_core.Config
+module Persist = Pequod_persist.Persist
+module Oracle = Pequod_oracle.Oracle
+
+(* ------------------------------------------------------------------ *)
+(* Seed derivation                                                     *)
+
+(** Stream [i] of root seed [root], by splitmix64 finalization of
+    [root + (i+1) * golden-gamma]. Every randomized component derives
+    its stream this way (see also [test/test_util.ml]), so op sequence
+    [i] of a fuzz run is regenerable from the root seed alone and
+    neighbouring streams are statistically independent. *)
+let derive_seed root i =
+  let open Int64 in
+  let z = add (of_int root) (mul 0x9E3779B97F4A7C15L (of_int (i + 1))) in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = logxor z (shift_right_logical z 31) in
+  to_int (logand z 0x3FFFFFFFFFFFFFFFL)
+
+(* ------------------------------------------------------------------ *)
+(* Ops                                                                 *)
+
+type op =
+  | Put of string * string
+  | Remove of string
+  | Scan of string * string (* compare engine vs oracle over [lo, hi) *)
+  | Count of string * string (* compare result cardinality only *)
+  | Add_join of int (* install scenario.sc_extra.(i), once *)
+  | Tick (* advance the logical clock by 1s *)
+  | Crash (* persist variants: kill + recover the engine *)
+
+let op_to_line = function
+  | Put (k, v) -> Printf.sprintf "op put %S %S" k v
+  | Remove k -> Printf.sprintf "op remove %S" k
+  | Scan (lo, hi) -> Printf.sprintf "op scan %S %S" lo hi
+  | Count (lo, hi) -> Printf.sprintf "op count %S %S" lo hi
+  | Add_join i -> Printf.sprintf "op addjoin %d" i
+  | Tick -> "op tick"
+  | Crash -> "op crash"
+
+let op_of_line line =
+  let try_scan fmt build = try Some (Scanf.sscanf line fmt build) with _ -> None in
+  match String.trim line with
+  | "op tick" -> Some Tick
+  | "op crash" -> Some Crash
+  | _ -> (
+    match try_scan "op put %S %S" (fun k v -> Put (k, v)) with
+    | Some _ as r -> r
+    | None -> (
+      match try_scan "op remove %S" (fun k -> Remove k) with
+      | Some _ as r -> r
+      | None -> (
+        match try_scan "op scan %S %S" (fun lo hi -> Scan (lo, hi)) with
+        | Some _ as r -> r
+        | None -> (
+          match try_scan "op count %S %S" (fun lo hi -> Count (lo, hi)) with
+          | Some _ as r -> r
+          | None -> try_scan "op addjoin %d" (fun i -> Add_join i)))))
+
+(* ------------------------------------------------------------------ *)
+(* Scenarios: joins + an op generator over a small key vocabulary      *)
+
+type scenario = {
+  sc_name : string;
+  sc_joins : string list; (* installed before the first op *)
+  sc_extra : string list; (* pool for Add_join ops *)
+  sc_tick : float; (* clock advance before every compared read; snapshot
+                      scenarios set it past the period so staleness never
+                      enters the comparison (the oracle is always fresh) *)
+  sc_gen : Rng.t -> op;
+}
+
+let users = [| "ann"; "bob"; "cal"; "dee" |]
+let tm n = Strkey.encode_int ~width:4 n
+let ordered a b = if a <= b then (a, b) else (b, a)
+let prefix_range p = (p, Strkey.prefix_upper p)
+let exact_range k = (k, Strkey.key_after k)
+
+let timeline_join =
+  "t|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time>"
+
+let karma_join = "karma|<author> = count vote|<author>|<id>|<voter>"
+
+let twip_scenario =
+  let sub rng = Printf.sprintf "s|%s|%s" (Rng.pick rng users) (Rng.pick rng users) in
+  let post rng = Printf.sprintf "p|%s|%s" (Rng.pick rng users) (tm (Rng.int rng 25)) in
+  let read rng =
+    match Rng.int rng 4 with
+    | 0 -> ("", "\xfe")
+    | 1 -> prefix_range (Printf.sprintf "t|%s|" (Rng.pick rng users))
+    | 2 ->
+      let u = Rng.pick rng users in
+      let a, b = ordered (Rng.int rng 25) (Rng.int rng 25) in
+      (Printf.sprintf "t|%s|%s" u (tm a), Printf.sprintf "t|%s|%s" u (tm (b + 1)))
+    | _ -> ("t|", "t}")
+  in
+  { sc_name = "twip";
+    sc_joins = [ timeline_join ];
+    sc_extra = [];
+    sc_tick = 1.0;
+    sc_gen =
+      (fun rng ->
+        match Rng.int rng 100 with
+        | n when n < 22 -> Put (sub rng, "1")
+        | n when n < 32 -> Remove (sub rng)
+        | n when n < 52 -> Put (post rng, Printf.sprintf "m%d" (Rng.int rng 100))
+        | n when n < 60 -> Remove (post rng)
+        | n when n < 84 -> let lo, hi = read rng in Scan (lo, hi)
+        | n when n < 92 -> let lo, hi = read rng in Count (lo, hi)
+        | n when n < 97 -> Tick
+        | _ -> Crash) }
+
+let karma_scenario =
+  let authors = [| "ann"; "bob" |] and ids = [| "01"; "02"; "03" |] in
+  let voters = [| "x"; "y"; "z" |] in
+  let vote rng =
+    Printf.sprintf "vote|%s|%s|%s" (Rng.pick rng authors) (Rng.pick rng ids)
+      (Rng.pick rng voters)
+  in
+  let read rng =
+    match Rng.int rng 3 with
+    | 0 -> prefix_range "karma|"
+    | 1 -> exact_range ("karma|" ^ Rng.pick rng authors)
+    | _ -> ("", "\xfe")
+  in
+  { sc_name = "karma";
+    sc_joins = [ karma_join ];
+    sc_extra = [];
+    sc_tick = 1.0;
+    sc_gen =
+      (fun rng ->
+        match Rng.int rng 100 with
+        | n when n < 38 -> Put (vote rng, "1")
+        | n when n < 60 -> Remove (vote rng)
+        | n when n < 80 -> let lo, hi = read rng in Scan (lo, hi)
+        | n when n < 92 -> let lo, hi = read rng in Count (lo, hi)
+        | n when n < 97 -> Tick
+        | _ -> Crash) }
+
+let agg_scenario =
+  (* min, max and sum over one numeric source; values are fixed-width so
+     lexicographic min/max equals numeric min/max *)
+  let ids = [| "a"; "b"; "c"; "d" |] in
+  let score rng =
+    Printf.sprintf "score|%s|%s" (Rng.pick rng users) (Rng.pick rng ids)
+  in
+  let read rng =
+    match Rng.int rng 4 with
+    | 0 -> prefix_range "low|"
+    | 1 -> prefix_range "high|"
+    | 2 -> exact_range ("total|" ^ Rng.pick rng users)
+    | _ -> ("", "\xfe")
+  in
+  { sc_name = "agg";
+    sc_joins =
+      [ "low|<user> = min score|<user>|<id>";
+        "high|<user> = max score|<user>|<id>";
+        "total|<user> = sum score|<user>|<id>" ];
+    sc_extra = [];
+    sc_tick = 1.0;
+    sc_gen =
+      (fun rng ->
+        match Rng.int rng 100 with
+        | n when n < 36 -> Put (score rng, Strkey.encode_int ~width:2 (Rng.int rng 100))
+        | n when n < 58 -> Remove (score rng)
+        | n when n < 80 -> let lo, hi = read rng in Scan (lo, hi)
+        | n when n < 92 -> let lo, hi = read rng in Count (lo, hi)
+        | n when n < 97 -> Tick
+        | _ -> Crash) }
+
+let chain_scenario =
+  let xs = [| "a"; "b"; "c" |] and ys = [| "1"; "2"; "3" |] in
+  let base rng = Printf.sprintf "base|%s|%s" (Rng.pick rng xs) (Rng.pick rng ys) in
+  let read rng =
+    match Rng.int rng 4 with
+    | 0 -> prefix_range "topp|"
+    | 1 -> prefix_range "mid|"
+    | 2 -> exact_range (Printf.sprintf "topp|%s|%s" (Rng.pick rng ys) (Rng.pick rng xs))
+    | _ -> ("", "\xfe")
+  in
+  { sc_name = "chain";
+    sc_joins = [ "mid|<x>|<y> = copy base|<x>|<y>"; "topp|<y>|<x> = copy mid|<x>|<y>" ];
+    sc_extra = [];
+    sc_tick = 1.0;
+    sc_gen =
+      (fun rng ->
+        match Rng.int rng 100 with
+        | n when n < 34 -> Put (base rng, Printf.sprintf "v%d" (Rng.int rng 50))
+        | n when n < 52 -> Remove (base rng)
+        | n when n < 78 -> let lo, hi = read rng in Scan (lo, hi)
+        | n when n < 92 -> let lo, hi = read rng in Count (lo, hi)
+        | n when n < 97 -> Tick
+        | _ -> Crash) }
+
+let newp_scenario =
+  let authors = [| "ann"; "bob" |] and aids = [| "101"; "102" |] in
+  let cids = [| "c1"; "c2" |] and people = [| "ann"; "bob"; "liz" |] in
+  let article rng = Printf.sprintf "article|%s|%s" (Rng.pick rng authors) (Rng.pick rng aids) in
+  let comment rng =
+    Printf.sprintf "comment|%s|%s|%s|%s" (Rng.pick rng authors) (Rng.pick rng aids)
+      (Rng.pick rng cids) (Rng.pick rng people)
+  in
+  let vote rng =
+    Printf.sprintf "vote|%s|%s|%s" (Rng.pick rng authors) (Rng.pick rng aids)
+      (Rng.pick rng people)
+  in
+  let read rng =
+    match Rng.int rng 4 with
+    | 0 ->
+      prefix_range (Printf.sprintf "page|%s|%s|" (Rng.pick rng authors) (Rng.pick rng aids))
+    | 1 -> prefix_range "karma|"
+    | 2 -> prefix_range "page|"
+    | _ -> ("", "\xfe")
+  in
+  { sc_name = "newp";
+    sc_joins =
+      [ karma_join;
+        "rank|<author>|<id> = count vote|<author>|<id>|<voter>";
+        "page|<author>|<id>|a = copy article|<author>|<id>";
+        "page|<author>|<id>|r = copy rank|<author>|<id>";
+        "page|<author>|<id>|c|<cid>|<commenter> = copy comment|<author>|<id>|<cid>|<commenter>";
+        "page|<author>|<id>|k|<cid>|<commenter> = check \
+         comment|<author>|<id>|<cid>|<commenter> copy karma|<commenter>" ];
+    sc_extra = [];
+    sc_tick = 1.0;
+    sc_gen =
+      (fun rng ->
+        match Rng.int rng 100 with
+        | n when n < 12 -> Put (article rng, Printf.sprintf "art%d" (Rng.int rng 10))
+        | n when n < 26 -> Put (comment rng, Printf.sprintf "c%d" (Rng.int rng 10))
+        | n when n < 32 -> Remove (comment rng)
+        | n when n < 48 -> Put (vote rng, "1")
+        | n when n < 58 -> Remove (vote rng)
+        | n when n < 82 -> let lo, hi = read rng in Scan (lo, hi)
+        | n when n < 92 -> let lo, hi = read rng in Count (lo, hi)
+        | n when n < 97 -> Tick
+        | _ -> Crash) }
+
+let pull_scenario =
+  (* the celebrity split (§2.3): a push helper range in time order and a
+     per-user pull filter over it *)
+  let sub rng = Printf.sprintf "s|%s|%s" (Rng.pick rng users) (Rng.pick rng users) in
+  let cpost rng = Printf.sprintf "cp|%s|%s" (Rng.pick rng users) (tm (Rng.int rng 25)) in
+  let read rng =
+    match Rng.int rng 4 with
+    | 0 -> prefix_range (Printf.sprintf "t|%s|" (Rng.pick rng users))
+    | 1 -> prefix_range "ct|"
+    | 2 -> ("t|", "t}")
+    | _ -> ("", "\xfe")
+  in
+  { sc_name = "pull";
+    sc_joins =
+      [ "ct|<time>|<poster> = copy cp|<poster>|<time>";
+        "t|<user>|<time>|<poster> = pull copy ct|<time>|<poster> check s|<user>|<poster>" ];
+    sc_extra = [];
+    sc_tick = 1.0;
+    sc_gen =
+      (fun rng ->
+        match Rng.int rng 100 with
+        | n when n < 22 -> Put (sub rng, "1")
+        | n when n < 32 -> Remove (sub rng)
+        | n when n < 50 -> Put (cpost rng, Printf.sprintf "c%d" (Rng.int rng 50))
+        | n when n < 58 -> Remove (cpost rng)
+        | n when n < 82 -> let lo, hi = read rng in Scan (lo, hi)
+        | n when n < 92 -> let lo, hi = read rng in Count (lo, hi)
+        | n when n < 97 -> Tick
+        | _ -> Crash) }
+
+let snapshot_scenario =
+  let xs = [| "a"; "b"; "c"; "d" |] in
+  let live rng = "live|" ^ Rng.pick rng xs in
+  let read rng =
+    match Rng.int rng 3 with
+    | 0 -> prefix_range "snap|"
+    | 1 -> exact_range ("snap|" ^ Rng.pick rng xs)
+    | _ -> ("", "\xfe")
+  in
+  { sc_name = "snapshot";
+    sc_joins = [ "snap|<x> = snapshot 30 copy live|<x>" ];
+    sc_extra = [];
+    (* past the 30s period: every compared read sees an expired snapshot
+       and must recompute, which is the semantics the oracle models *)
+    sc_tick = 31.0;
+    sc_gen =
+      (fun rng ->
+        match Rng.int rng 100 with
+        | n when n < 36 -> Put (live rng, Printf.sprintf "m%d" (Rng.int rng 50))
+        | n when n < 54 -> Remove (live rng)
+        | n when n < 80 -> let lo, hi = read rng in Scan (lo, hi)
+        | n when n < 92 -> let lo, hi = read rng in Count (lo, hi)
+        | n when n < 97 -> Tick
+        | _ -> Crash) }
+
+let mixed_scenario =
+  (* timelines up front, aggregates installed mid-sequence over both a
+     dedicated source table and the timeline's own check table *)
+  let sub rng = Printf.sprintf "s|%s|%s" (Rng.pick rng users) (Rng.pick rng users) in
+  let post rng = Printf.sprintf "p|%s|%s" (Rng.pick rng users) (tm (Rng.int rng 25)) in
+  let vote rng =
+    Printf.sprintf "vote|%s|%s|%s" (Rng.pick rng users) (Rng.pick rng [| "01"; "02" |])
+      (Rng.pick rng users)
+  in
+  let read rng =
+    match Rng.int rng 4 with
+    | 0 -> prefix_range (Printf.sprintf "t|%s|" (Rng.pick rng users))
+    | 1 -> prefix_range "karma|"
+    | 2 -> prefix_range "fcount|"
+    | _ -> ("", "\xfe")
+  in
+  { sc_name = "mixed";
+    sc_joins = [ timeline_join ];
+    sc_extra = [ karma_join; "fcount|<user> = count s|<user>|<poster>" ];
+    sc_tick = 1.0;
+    sc_gen =
+      (fun rng ->
+        match Rng.int rng 100 with
+        | n when n < 18 -> Put (sub rng, "1")
+        | n when n < 26 -> Remove (sub rng)
+        | n when n < 40 -> Put (post rng, Printf.sprintf "m%d" (Rng.int rng 100))
+        | n when n < 46 -> Remove (post rng)
+        | n when n < 56 -> Put (vote rng, "1")
+        | n when n < 62 -> Remove (vote rng)
+        | n when n < 68 -> Add_join (Rng.int rng 2)
+        | n when n < 84 -> let lo, hi = read rng in Scan (lo, hi)
+        | n when n < 92 -> let lo, hi = read rng in Count (lo, hi)
+        | n when n < 97 -> Tick
+        | _ -> Crash) }
+
+let scenarios =
+  [| twip_scenario; karma_scenario; agg_scenario; chain_scenario; newp_scenario;
+     pull_scenario; snapshot_scenario; mixed_scenario |]
+
+(* ------------------------------------------------------------------ *)
+(* Config variants                                                     *)
+
+type persist_kind = No_persist | Persist_always of { snapshot_every : int }
+
+type variant = {
+  va_name : string;
+  va_tweak : Config.t -> unit;
+  va_persist : persist_kind;
+}
+
+let variants =
+  [| { va_name = "default"; va_tweak = (fun _ -> ()); va_persist = No_persist };
+     { va_name = "no-hints";
+       va_tweak = (fun c -> c.Config.output_hints <- false);
+       va_persist = No_persist };
+     { va_name = "no-sharing";
+       va_tweak = (fun c -> c.Config.value_sharing <- false);
+       va_persist = No_persist };
+     { va_name = "no-combine";
+       va_tweak = (fun c -> c.Config.combine_updaters <- false);
+       va_persist = No_persist };
+     { va_name = "eager-checks";
+       va_tweak = (fun c -> c.Config.lazy_checks <- false);
+       va_persist = No_persist };
+     { va_name = "log-limit-1";
+       va_tweak = (fun c -> c.Config.pending_log_limit <- 1);
+       va_persist = No_persist };
+     { va_name = "subtables";
+       va_tweak = (fun c -> c.Config.table_config <- (fun _ -> Some 2));
+       va_persist = No_persist };
+     { va_name = "evict";
+       va_tweak = (fun c -> c.Config.memory_limit <- Some 8192);
+       va_persist = No_persist };
+     { va_name = "evict-no-combine";
+       va_tweak =
+         (fun c ->
+           c.Config.memory_limit <- Some 8192;
+           c.Config.combine_updaters <- false);
+       va_persist = No_persist };
+     { va_name = "persist";
+       va_tweak = (fun _ -> ());
+       va_persist = Persist_always { snapshot_every = 0 } };
+     { va_name = "persist-snap";
+       va_tweak = (fun _ -> ());
+       va_persist = Persist_always { snapshot_every = 7 } } |]
+
+let find_scenario name = Array.find_opt (fun s -> s.sc_name = name) scenarios
+let find_variant name = Array.find_opt (fun v -> v.va_name = name) variants
+
+(* ------------------------------------------------------------------ *)
+(* Case execution                                                      *)
+
+type failure = { f_step : int; f_reason : string }
+
+exception Case_failed of failure
+
+(* cumulative across the process; reported by the sweep summary *)
+let stat_cases = ref 0
+let stat_ops = ref 0
+let stat_compares = ref 0
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      try Unix.rmdir path with Unix.Unix_error _ -> ()
+    end
+    else try Sys.remove path with Sys_error _ -> ()
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun ~prefix () ->
+    incr counter;
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "%s-%d-%d" prefix (Unix.getpid ()) !counter)
+    in
+    rm_rf dir;
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    dir
+
+let show_pairs pairs =
+  let shown = List.filteri (fun i _ -> i < 6) pairs in
+  let body = String.concat "; " (List.map (fun (k, v) -> Printf.sprintf "%S=%S" k v) shown) in
+  Printf.sprintf "[%s%s] (%d)" body (if List.length pairs > 6 then "; ..." else "")
+    (List.length pairs)
+
+let first_diff got want =
+  let rec go i g w =
+    match (g, w) with
+    | [], [] -> "(equal?)"
+    | (k, v) :: _, [] -> Printf.sprintf "index %d: engine has extra %S=%S" i k v
+    | [], (k, v) :: _ -> Printf.sprintf "index %d: engine misses %S=%S" i k v
+    | (gk, gv) :: g', (wk, wv) :: w' ->
+      if gk = wk && gv = wv then go (i + 1) g' w'
+      else Printf.sprintf "index %d: engine %S=%S, oracle %S=%S" i gk gv wk wv
+  in
+  go 0 got want
+
+(** Run one (scenario, variant, ops) case from scratch. [Ok ()] when
+    every compared read agreed, every invariant held, and the final
+    whole-keyspace scan matched; [Error f] pinpoints the first bad
+    step. Always cleans up its persist directory. *)
+let run_case scenario variant ops =
+  incr stat_cases;
+  let clock = ref 1_000_000.0 in
+  let config = Config.default () in
+  variant.va_tweak config;
+  config.Config.now <- (fun () -> !clock);
+  let dir =
+    match variant.va_persist with
+    | No_persist -> None
+    | Persist_always _ -> Some (fresh_dir ~prefix:"pequod-fuzz" ())
+  in
+  let server = ref (Server.create ~config ()) in
+  let persist = ref None in
+  let attach () =
+    match (variant.va_persist, dir) with
+    | Persist_always { snapshot_every }, Some d ->
+      let p = Config.default_persist ~dir:d in
+      p.Config.p_sync <- Config.Sync_always;
+      p.Config.p_snapshot_every <- snapshot_every;
+      p.Config.p_wal_max_bytes <- 1 lsl 20;
+      persist := Some (Persist.attach !server p)
+    | _ -> persist := None
+  in
+  let oracle = Oracle.create () in
+  let step = ref (-1) in
+  let fail fmt =
+    Printf.ksprintf
+      (fun reason -> raise (Case_failed { f_step = !step; f_reason = reason }))
+      fmt
+  in
+  let install_join text =
+    (match Server.add_join_text !server text with
+    | Ok () -> ()
+    | Error msg -> fail "engine rejected join %S: %s" text msg);
+    match Oracle.add_join_text oracle text with
+    | Ok () -> ()
+    | Error msg -> fail "oracle rejected join %S: %s" text msg
+  in
+  let compare_scan lo hi =
+    incr stat_compares;
+    clock := !clock +. scenario.sc_tick;
+    let got = Server.scan !server ~lo ~hi in
+    let want = Oracle.scan oracle ~lo ~hi in
+    if got <> want then
+      fail "scan [%S, %S) diverges — %s\n    engine %s\n    oracle %s" lo hi
+        (first_diff got want) (show_pairs got) (show_pairs want)
+  in
+  let extra = Array.of_list scenario.sc_extra in
+  let installed = Array.map (fun _ -> false) extra in
+  (* writes into a join's output table have undefined semantics (the
+     oracle documents them out of scope), so a generator producing one
+     is a scenario bug — fail loudly rather than report a divergence *)
+  let guard_sink k =
+    let table =
+      match String.index_opt k '|' with Some i -> String.sub k 0 i | None -> k
+    in
+    List.iter
+      (fun j ->
+        if Pequod_pattern.Joinspec.output_table j = table then
+          fail "scenario bug: base write %S targets sink table %S" k table)
+      (Oracle.joins oracle)
+  in
+  let apply op =
+    incr stat_ops;
+    match op with
+    | Put (k, v) ->
+      guard_sink k;
+      Server.put !server k v;
+      Oracle.put oracle k v
+    | Remove k ->
+      guard_sink k;
+      Server.remove !server k;
+      Oracle.remove oracle k
+    | Scan (lo, hi) -> compare_scan lo hi
+    | Count (lo, hi) ->
+      incr stat_compares;
+      clock := !clock +. scenario.sc_tick;
+      let got = List.length (Server.scan !server ~lo ~hi) in
+      let want = Oracle.count oracle ~lo ~hi in
+      if got <> want then fail "count [%S, %S): engine %d, oracle %d" lo hi got want
+    | Tick -> clock := !clock +. 1.0
+    | Add_join i ->
+      if i < Array.length extra && not installed.(i) then begin
+        installed.(i) <- true;
+        install_join extra.(i)
+      end
+    | Crash -> (
+      match !persist with
+      | None -> () (* no durability: crashing is out of scope *)
+      | Some p ->
+        Persist.crash p;
+        server := Server.create ~config ();
+        attach ())
+  in
+  let body () =
+    attach ();
+    List.iter install_join scenario.sc_joins;
+    List.iteri
+      (fun i op ->
+        step := i;
+        (try apply op with
+        | Case_failed _ as e -> raise e
+        | e -> fail "op %s raised %s" (op_to_line op) (Printexc.to_string e));
+        try Server.check_invariants !server with
+        | Case_failed _ as e -> raise e
+        | e -> fail "invariants after %s: %s" (op_to_line op) (Printexc.to_string e))
+      ops;
+    step := List.length ops;
+    compare_scan "" "\xfe"
+  in
+  let finish () =
+    (match !persist with Some p -> (try Persist.close p with _ -> ()) | None -> ());
+    match dir with Some d -> rm_rf d | None -> ()
+  in
+  match body () with
+  | () ->
+    finish ();
+    Ok ()
+  | exception Case_failed f ->
+    finish ();
+    Error f
+  | exception e ->
+    finish ();
+    Error { f_step = !step; f_reason = "harness exception: " ^ Printexc.to_string e }
+
+(* ------------------------------------------------------------------ *)
+(* Generation and shrinking                                            *)
+
+let gen_ops scenario rng ~max_ops =
+  let base = min 8 max_ops in
+  let n = base + if max_ops > base then Rng.int rng (max_ops - base + 1) else 0 in
+  let rec go acc k = if k = 0 then List.rev acc else go (scenario.sc_gen rng :: acc) (k - 1) in
+  go [] n
+
+(** Greedy ddmin-style shrink: repeatedly delete the largest op chunks
+    that keep [still_fails] true, halving the chunk size down to single
+    ops, until a whole pass removes nothing. Deterministic, and every
+    probe replays from scratch, so the result is a genuine minimal-ish
+    failing sequence, not an artifact of stale state. *)
+let shrink ~still_fails ops =
+  let current = ref (Array.of_list ops) in
+  let try_without lo len =
+    let a = !current in
+    let n = Array.length a in
+    if lo >= n || len = 0 then false
+    else begin
+      let len = min len (n - lo) in
+      let cand = Array.append (Array.sub a 0 lo) (Array.sub a (lo + len) (n - lo - len)) in
+      if still_fails (Array.to_list cand) then begin
+        current := cand;
+        true
+      end
+      else false
+    end
+  in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let chunk = ref (max 1 (Array.length !current / 2)) in
+    while !chunk >= 1 do
+      let i = ref 0 in
+      while !i < Array.length !current do
+        if try_without !i !chunk then progress := true else i := !i + !chunk
+      done;
+      chunk := (if !chunk = 1 then 0 else !chunk / 2)
+    done
+  done;
+  Array.to_list !current
+
+(* ------------------------------------------------------------------ *)
+(* Repro files                                                         *)
+
+let write_repro ~path ~seed ~iter scenario variant ops =
+  let oc = open_out path in
+  Printf.fprintf oc "# pequod fuzz repro: seed=%d iter=%d\n" seed iter;
+  Printf.fprintf oc "scenario %S\n" scenario.sc_name;
+  Printf.fprintf oc "variant %S\n" variant.va_name;
+  List.iter (fun op -> output_string oc (op_to_line op ^ "\n")) ops;
+  close_out oc
+
+let load_repro path =
+  let ic = open_in path in
+  let scenario = ref None and variant = ref None and ops = ref [] in
+  let bad = ref None in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line = "" || line.[0] = '#' then ()
+       else if String.length line > 9 && String.sub line 0 9 = "scenario " then
+         Scanf.sscanf line "scenario %S" (fun n -> scenario := find_scenario n)
+       else if String.length line > 8 && String.sub line 0 8 = "variant " then
+         Scanf.sscanf line "variant %S" (fun n -> variant := find_variant n)
+       else
+         match op_of_line line with
+         | Some op -> ops := op :: !ops
+         | None -> if !bad = None then bad := Some line
+     done
+   with End_of_file -> ());
+  close_in ic;
+  match (!bad, !scenario, !variant) with
+  | Some line, _, _ -> Error (Printf.sprintf "unparsable line %S" line)
+  | None, None, _ -> Error "missing or unknown scenario"
+  | None, _, None -> Error "missing or unknown variant"
+  | None, Some s, Some v -> Ok (s, v, List.rev !ops)
+
+let replay_file ~verbose path =
+  match load_repro path with
+  | Error msg -> Error { f_step = -1; f_reason = "bad repro file: " ^ msg }
+  | Ok (scenario, variant, ops) ->
+    Printf.printf "replaying %d ops: scenario %s, variant %s\n%!" (List.length ops)
+      scenario.sc_name variant.va_name;
+    if verbose then List.iter (fun op -> print_endline ("  " ^ op_to_line op)) ops;
+    run_case scenario variant ops
+
+(* ------------------------------------------------------------------ *)
+(* The sweep driver                                                    *)
+
+(** Run [iters] cases from [seed]: case [i] pairs scenario [i mod |S|]
+    with variant [(i / |S|) mod |V|] and replays ops generated from
+    stream {!derive_seed}[ seed i], so every (scenario, variant) pair
+    recurs with fresh sequences. Stops at the first divergence, shrinks
+    it, writes a repro under [repro_dir], and returns the failure count
+    (0 on a clean sweep). *)
+let run_sweep ?(verbose = false) ?scenario_filter ?variant_filter ?(repro_dir = ".")
+    ~seed ~iters ~max_ops () =
+  let failures = ref 0 in
+  let ran = ref 0 in
+  let stop = ref false in
+  let i = ref 0 in
+  while (not !stop) && !i < iters do
+    let idx = !i in
+    let scenario = scenarios.(idx mod Array.length scenarios) in
+    let variant = variants.(idx / Array.length scenarios mod Array.length variants) in
+    let skip =
+      (match scenario_filter with Some n -> n <> scenario.sc_name | None -> false)
+      || match variant_filter with Some n -> n <> variant.va_name | None -> false
+    in
+    if not skip then begin
+      incr ran;
+      let rng = Rng.create (derive_seed seed idx) in
+      let ops = gen_ops scenario rng ~max_ops in
+      if verbose then
+        Printf.printf "iter %d: %s x %s (%d ops)\n%!" idx scenario.sc_name variant.va_name
+          (List.length ops);
+      match run_case scenario variant ops with
+      | Ok () -> ()
+      | Error f ->
+        incr failures;
+        stop := true;
+        Printf.printf "FAIL iter %d (scenario %s, variant %s, seed %d) at step %d:\n  %s\n%!"
+          idx scenario.sc_name variant.va_name seed f.f_step f.f_reason;
+        Printf.printf "shrinking %d ops...\n%!" (List.length ops);
+        let still_fails ops' = Result.is_error (run_case scenario variant ops') in
+        let small = shrink ~still_fails ops in
+        let path = Filename.concat repro_dir (Printf.sprintf "fuzz-repro-%d.txt" idx) in
+        write_repro ~path ~seed ~iter:idx scenario variant small;
+        (match run_case scenario variant small with
+        | Error f' ->
+          Printf.printf "shrunk to %d ops, failing at step %d:\n  %s\n" (List.length small)
+            f'.f_step f'.f_reason;
+          List.iter (fun op -> print_endline ("    " ^ op_to_line op)) small
+        | Ok () -> ());
+        Printf.printf "repro written to %s; replay with:\n  make fuzz-replay REPRO=%s\n%!" path
+          path
+    end;
+    if (idx + 1) mod 200 = 0 && not !stop then
+      Printf.printf "  ... %d/%d sequences, %d ops, %d comparisons\n%!" (idx + 1) iters
+        !stat_ops !stat_compares;
+    incr i
+  done;
+  if !failures = 0 then
+    Printf.printf
+      "fuzz: %d sequences over %d scenarios x %d config variants, %d ops, %d compared \
+       reads, 0 divergences\n\
+       %!"
+      !ran (Array.length scenarios) (Array.length variants) !stat_ops !stat_compares;
+  !failures

@@ -1,0 +1,38 @@
+(* CLI driver for the model-based fuzzer; see fuzz.ml and `make fuzz`. *)
+
+let () =
+  let seed = ref 42 in
+  let iters = ref 1000 in
+  let max_ops = ref 40 in
+  let scenario = ref "" in
+  let variant = ref "" in
+  let replay = ref "" in
+  let verbose = ref false in
+  let spec =
+    [ ("--seed", Arg.Set_int seed, "N  root seed (default 42)");
+      ("--iters", Arg.Set_int iters, "N  number of op sequences (default 1000)");
+      ("--max-ops", Arg.Set_int max_ops, "N  max ops per sequence (default 40)");
+      ("--scenario", Arg.Set_string scenario, "NAME  run only this scenario");
+      ("--variant", Arg.Set_string variant, "NAME  run only this config variant");
+      ("--replay", Arg.Set_string replay, "FILE  replay a repro file instead of sweeping");
+      ("--verbose", Arg.Set verbose, "  print per-iteration / per-op detail") ]
+  in
+  let usage = "fuzz_main [options]\nDifferential fuzzer: engine vs oracle." in
+  Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  let module F = Pequod_fuzz.Fuzz in
+  if !replay <> "" then
+    match F.replay_file ~verbose:!verbose !replay with
+    | Ok () ->
+      print_endline "replay: no divergence";
+      exit 0
+    | Error f ->
+      Printf.printf "replay: FAILED at step %d:\n  %s\n" f.F.f_step f.F.f_reason;
+      exit 1
+  else begin
+    let opt s = if s = "" then None else Some s in
+    let failures =
+      F.run_sweep ~verbose:!verbose ?scenario_filter:(opt !scenario)
+        ?variant_filter:(opt !variant) ~seed:!seed ~iters:!iters ~max_ops:!max_ops ()
+    in
+    exit (if failures = 0 then 0 else 1)
+  end

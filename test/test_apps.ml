@@ -10,8 +10,8 @@ module Redis = Pequod_baselines.Redis_model
 module Memcached = Pequod_baselines.Memcached_model
 module Sorted_vec = Pequod_baselines.Sorted_vec
 
-let check_bool = Alcotest.(check bool)
-let check_int = Alcotest.(check int)
+let check_bool = Test_util.check_bool
+let check_int = Test_util.check_int
 
 (* ------------------------------------------------------------------ *)
 (* Social graph                                                        *)

@@ -1,0 +1,180 @@
+(* Tests for the model-based correctness harness itself: the reference
+   oracle against hand-computed values, the repro file format, the
+   greedy shrinker, the seed-derivation scheme, and a bounded
+   differential sweep covering every scenario x config-variant pair. *)
+
+module F = Pequod_fuzz.Fuzz
+module Oracle = Pequod_oracle.Oracle
+
+let check_bool = Test_util.check_bool
+let check_int = Test_util.check_int
+let check_pairs = Test_util.check_pairs
+
+let oracle_with joins =
+  let o = Oracle.create () in
+  List.iter
+    (fun j ->
+      match Oracle.add_join_text o j with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "join %S rejected: %s" j msg)
+    joins;
+  o
+
+(* ------------------------------------------------------------------ *)
+(* Oracle vs hand-computed values                                      *)
+
+let test_oracle_timeline () =
+  let o =
+    oracle_with [ "t|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time>" ]
+  in
+  Oracle.put o "s|ann|bob" "1";
+  Oracle.put o "p|bob|0005" "hi";
+  Oracle.put o "p|bob|0010" "yo";
+  Oracle.put o "p|liz|0002" "unsubscribed";
+  check_pairs "timeline"
+    [ ("t|ann|0005|bob", "hi"); ("t|ann|0010|bob", "yo") ]
+    (Oracle.scan o ~lo:"t|" ~hi:"t}");
+  Oracle.remove o "s|ann|bob";
+  check_pairs "unsubscribe drops everything" [] (Oracle.scan o ~lo:"t|" ~hi:"t}");
+  check_int "base untouched" 3 (List.length (Oracle.base_pairs o))
+
+let test_oracle_count () =
+  let o = oracle_with [ "karma|<author> = count vote|<author>|<id>|<voter>" ] in
+  List.iter
+    (fun k -> Oracle.put o k "1")
+    [ "vote|ann|01|x"; "vote|ann|01|y"; "vote|ann|02|z"; "vote|bob|01|x" ];
+  check_pairs "karma counts"
+    [ ("karma|ann", "3"); ("karma|bob", "1") ]
+    (Oracle.scan o ~lo:"karma|" ~hi:"karma}");
+  Oracle.remove o "vote|bob|01|x";
+  check_bool "empty group disappears" true (Oracle.get o "karma|bob" = None)
+
+let test_oracle_chain () =
+  let o =
+    oracle_with [ "mid|<x>|<y> = copy base|<x>|<y>"; "topp|<y>|<x> = copy mid|<x>|<y>" ]
+  in
+  Oracle.put o "base|a|1" "v";
+  Oracle.put o "base|b|2" "w";
+  check_pairs "second hop sees first"
+    [ ("topp|1|a", "v"); ("topp|2|b", "w") ]
+    (Oracle.scan o ~lo:"topp|" ~hi:"topp}")
+
+let test_oracle_pull () =
+  let o =
+    oracle_with
+      [ "ct|<time>|<poster> = copy cp|<poster>|<time>";
+        "t|<user>|<time>|<poster> = pull copy ct|<time>|<poster> check s|<user>|<poster>" ]
+  in
+  Oracle.put o "s|ann|bob" "1";
+  Oracle.put o "cp|bob|0004" "celeb post";
+  Oracle.put o "cp|liz|0009" "not followed";
+  check_pairs "pull over pushed helper"
+    [ ("t|ann|0004|bob", "celeb post") ]
+    (Oracle.scan o ~lo:"t|" ~hi:"t}")
+
+let test_join_tables () =
+  let module Joinspec = Pequod_pattern.Joinspec in
+  let spec =
+    match
+      Joinspec.parse "t|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time>"
+    with
+    | Ok s -> s
+    | Error msg -> Alcotest.fail msg
+  in
+  check_bool "output table" true (Joinspec.output_table spec = "t");
+  check_bool "source tables in order" true (Joinspec.source_tables spec = [ "s"; "p" ])
+
+(* ------------------------------------------------------------------ *)
+(* Seed derivation                                                     *)
+
+let test_derive_seed () =
+  check_int "deterministic" (F.derive_seed 42 7) (F.derive_seed 42 7);
+  check_bool "streams differ" true (F.derive_seed 42 0 <> F.derive_seed 42 1);
+  check_bool "roots differ" true (F.derive_seed 42 0 <> F.derive_seed 43 0);
+  for i = 0 to 99 do
+    check_bool "non-negative" true (F.derive_seed 42 i >= 0)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Repro file roundtrip                                                *)
+
+let test_repro_roundtrip () =
+  let dir = Test_util.fresh_dir ~prefix:"pequod-fuzz-test" () in
+  let path = Filename.concat dir "repro.txt" in
+  let ops =
+    [ F.Put ("a|b", "v with \"quotes\" and \xfe bytes");
+      F.Remove "a|b";
+      F.Scan ("", "\xfe");
+      F.Count ("a|", "a}");
+      F.Add_join 1;
+      F.Tick;
+      F.Crash ]
+  in
+  let scenario = Option.get (F.find_scenario "mixed") in
+  let variant = Option.get (F.find_variant "persist") in
+  F.write_repro ~path ~seed:1 ~iter:2 scenario variant ops;
+  (match F.load_repro path with
+  | Error msg -> Alcotest.fail msg
+  | Ok (s, v, ops') ->
+    check_bool "scenario name" true (s.F.sc_name = "mixed");
+    check_bool "variant name" true (v.F.va_name = "persist");
+    check_bool "ops roundtrip" true (ops = ops'));
+  let bogus = Filename.concat dir "bogus.txt" in
+  let oc = open_out bogus in
+  output_string oc "scenario \"no-such-scenario\"\nvariant \"default\"\nop tick\n";
+  close_out oc;
+  check_bool "unknown scenario rejected" true (Result.is_error (F.load_repro bogus))
+
+let test_gen_determinism () =
+  (* the same (root, stream) regenerates the same op sequence *)
+  let scenario = Option.get (F.find_scenario "twip") in
+  let gen () = F.gen_ops scenario (Rng.create (F.derive_seed 7 3)) ~max_ops:40 in
+  check_bool "same stream, same ops" true (gen () = gen ())
+
+(* ------------------------------------------------------------------ *)
+(* Shrinker                                                            *)
+
+let test_shrinker () =
+  (* synthetic predicate: "fails" iff both culprit ops are present; the
+     greedy pass must strip all 18 bystanders *)
+  let ops = List.init 20 (fun i -> F.Put (Printf.sprintf "k|%02d" i, "v")) in
+  let has k ops = List.exists (function F.Put (k', _) -> k' = k | _ -> false) ops in
+  let still_fails ops = has "k|03" ops && has "k|13" ops in
+  let small = F.shrink ~still_fails ops in
+  check_int "shrunk to the culprits" 2 (List.length small);
+  check_bool "culprits kept in order" true
+    (small = [ F.Put ("k|03", "v"); F.Put ("k|13", "v") ])
+
+(* ------------------------------------------------------------------ *)
+(* Bounded differential sweep                                          *)
+
+let test_bounded_sweep () =
+  (* two full laps over every scenario x variant pair; any divergence
+     fails the test (run `make fuzz` for the long version) *)
+  let pairs = Array.length F.scenarios * Array.length F.variants in
+  let dir = Test_util.fresh_dir ~prefix:"pequod-fuzz-test" () in
+  let failures =
+    F.run_sweep ~repro_dir:dir ~seed:20260806 ~iters:(2 * pairs) ~max_ops:25 ()
+  in
+  check_int "no divergences" 0 failures
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "oracle",
+        [
+          Alcotest.test_case "timeline join" `Quick test_oracle_timeline;
+          Alcotest.test_case "count aggregate" `Quick test_oracle_count;
+          Alcotest.test_case "chained joins" `Quick test_oracle_chain;
+          Alcotest.test_case "pull join" `Quick test_oracle_pull;
+          Alcotest.test_case "join table accessors" `Quick test_join_tables;
+        ] );
+      ( "harness",
+        [
+          Alcotest.test_case "seed derivation" `Quick test_derive_seed;
+          Alcotest.test_case "repro roundtrip" `Quick test_repro_roundtrip;
+          Alcotest.test_case "generator determinism" `Quick test_gen_determinism;
+          Alcotest.test_case "shrinker" `Quick test_shrinker;
+        ] );
+      ("sweep", [ Alcotest.test_case "all pairs, twice" `Quick test_bounded_sweep ]);
+    ]

@@ -7,13 +7,12 @@ module Server = Pequod_core.Server
 module Config = Pequod_core.Config
 module Joinspec = Pequod_pattern.Joinspec
 
-let check_bool = Alcotest.(check bool)
-let check_int = Alcotest.(check int)
-let check_pairs = Alcotest.(check (list (pair string string)))
+let check_bool = Test_util.check_bool
+let check_int = Test_util.check_int
+let check_pairs = Test_util.check_pairs
+let tm = Test_util.tm
 
 let timeline_join = "t|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time>"
-
-let tm i = Strkey.encode_int ~width:4 i
 
 let make_twip ?config () =
   let s = Server.create ?config () in
@@ -386,6 +385,46 @@ let test_eviction_and_recovery () =
   check_pairs "first entry" [ ("t|u00|0000|bob", "tweet 0") ] [ List.hd tl ];
   Server.validate s
 
+let test_eviction_join_interplay () =
+  (* evicting a materialized join range must be invisible to readers:
+     the next scan recomputes the range and returns identical pairs,
+     matching a from-scratch oracle evaluation of the same base data *)
+  let module Oracle = Pequod_oracle.Oracle in
+  let config = Config.default () in
+  config.Config.memory_limit <- Some 6_000;
+  let s = Server.create ~config () in
+  Server.add_join_exn s timeline_join;
+  let oracle = Oracle.create () in
+  (match Oracle.add_join_text oracle timeline_join with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  let put k v =
+    Server.put s k v;
+    Oracle.put oracle k v
+  in
+  let users = List.init 10 (fun u -> Printf.sprintf "u%02d" u) in
+  List.iter (fun u -> put (Printf.sprintf "s|%s|bob" u) "1") users;
+  for i = 0 to 19 do
+    put (Printf.sprintf "p|bob|%s" (tm i)) (Printf.sprintf "tweet %d" i)
+  done;
+  (* materializing every timeline overruns the limit and evicts ranges *)
+  let before = List.map (fun u -> timeline s u) users in
+  check_bool "eviction happened" true
+    (Stats.Counters.get (Server.counters s) "evict.cover" > 0);
+  let recomputes = Stats.Counters.get (Server.counters s) "exec.recompute_region" in
+  let after = List.map (fun u -> timeline s u) users in
+  List.iter2 (fun b a -> check_pairs "identical after eviction" b a) before after;
+  check_bool "re-scan recomputed evicted ranges" true
+    (Stats.Counters.get (Server.counters s) "exec.recompute_region" > recomputes);
+  List.iter
+    (fun u ->
+      let lo = Printf.sprintf "t|%s|" u in
+      check_pairs "oracle agrees"
+        (Oracle.scan oracle ~lo ~hi:(Strkey.prefix_upper lo))
+        (timeline s u))
+    users;
+  Server.check_invariants s
+
 (* ------------------------------------------------------------------ *)
 (* Resolver / missing data (§3.3)                                      *)
 
@@ -682,7 +721,11 @@ let () =
           Alcotest.test_case "cycles rejected" `Quick test_cycle_rejected;
           Alcotest.test_case "ambiguous collapses" `Quick test_ambiguous_join_last_wins;
         ] );
-      ("eviction", [ Alcotest.test_case "evict and recover" `Quick test_eviction_and_recovery ]);
+      ( "eviction",
+        [
+          Alcotest.test_case "evict and recover" `Quick test_eviction_and_recovery;
+          Alcotest.test_case "evict x join interplay" `Quick test_eviction_join_interplay;
+        ] );
       ( "resolver",
         [
           Alcotest.test_case "sync" `Quick test_sync_resolver;

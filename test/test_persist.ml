@@ -10,28 +10,9 @@ module Wal = Pequod_persist.Wal
 module Snapshot = Pequod_persist.Snapshot
 module Record = Pequod_persist.Record
 
-let check_bool = Alcotest.(check bool)
-let check_int = Alcotest.(check int)
-
-let fresh_dir =
-  let counter = ref 0 in
-  fun () ->
-    incr counter;
-    let dir =
-      Filename.concat (Filename.get_temp_dir_name ())
-        (Printf.sprintf "pequod-persist-%d-%d" (Unix.getpid ()) !counter)
-    in
-    let rec rm path =
-      if Sys.file_exists path then
-        if Sys.is_directory path then begin
-          Array.iter (fun n -> rm (Filename.concat path n)) (Sys.readdir path);
-          Unix.rmdir path
-        end
-        else Sys.remove path
-    in
-    rm dir;
-    Unix.mkdir dir 0o755;
-    dir
+let check_bool = Test_util.check_bool
+let check_int = Test_util.check_int
+let fresh_dir () = Test_util.fresh_dir ~prefix:"pequod-persist" ()
 
 let timeline_join = "t|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time>"
 

@@ -11,8 +11,8 @@ module Lru = Pequod_store.Lru
 module Smap = Map.Make (String)
 
 let check_list = Alcotest.(check (list (pair string int)))
-let check_int = Alcotest.(check int)
-let check_bool = Alcotest.(check bool)
+let check_int = Test_util.check_int
+let check_bool = Test_util.check_bool
 
 (* ------------------------------------------------------------------ *)
 (* Rbtree unit tests                                                   *)
