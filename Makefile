@@ -2,7 +2,7 @@
 # test suite (unit, integration, property-based, and the persist
 # fault-injection tests in test/test_persist.ml).
 
-.PHONY: check build test bench micro fuzz fuzz-replay clean
+.PHONY: check build test bench micro fuzz fuzz-replay doc linkcheck clean
 
 check: ; dune build && dune runtest
 
@@ -28,5 +28,14 @@ fuzz: ; dune exec test/fuzz/fuzz_main.exe -- \
 	--seed $(FUZZ_SEED) --iters $(FUZZ_ITERS) --max-ops $(FUZZ_OPS)
 
 fuzz-replay: ; dune exec test/fuzz/fuzz_main.exe -- --verbose --replay $(REPRO)
+
+# API documentation from the .mli odoc comments. The libraries are
+# internal (no public_name), so the private-doc alias is the one that
+# covers them; odoc warnings are fatal (see the root `dune` env stanza).
+# Requires odoc on the switch (CI installs it).
+doc: ; dune build @doc-private
+
+# check that every relative markdown link in *.md / docs/*.md resolves
+linkcheck: ; sh tools/check_md_links.sh
 
 clean: ; dune clean

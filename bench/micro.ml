@@ -191,7 +191,36 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_json ~path results =
+(* A small canned engine workload (the paper's Twip shape) whose registry
+   snapshot is embedded in BENCH_micro.json: the perf trajectory then
+   carries op/maintenance counts alongside ns/run figures, so a regression
+   can be attributed (more work? or slower work?). Deterministic, so the
+   counts are comparable across runs. *)
+let registry_snapshot () =
+  let module Server = Pequod_core.Server in
+  let s = Server.create () in
+  Server.add_join_exn s "t|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time>";
+  for u = 0 to 19 do
+    for v = 0 to 4 do
+      Server.put s
+        (Printf.sprintf "s|u%03d|u%03d" u ((u + v) mod 20))
+        "1"
+    done
+  done;
+  for p = 0 to 19 do
+    for i = 0 to 9 do
+      Server.put s (Printf.sprintf "p|u%03d|%010d" p i) (Printf.sprintf "post %d by %d" i p)
+    done
+  done;
+  for u = 0 to 19 do
+    ignore (Server.scan s ~lo:(Printf.sprintf "t|u%03d|" u) ~hi:(Printf.sprintf "t|u%03d}" u))
+  done;
+  for p = 0 to 19 do
+    Server.put s (Printf.sprintf "p|u%03d|%010d" p 10) "fresh post"
+  done;
+  Obs.json_of_snapshot (Server.metrics_snapshot s)
+
+let write_json ~path ?registry results =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
@@ -207,7 +236,11 @@ let write_json ~path results =
             (match est with Some v -> Printf.sprintf "%.1f" v | None -> "null")
             (if i < n - 1 then "," else ""))
         results;
-      output_string oc "  }\n}\n")
+      output_string oc "  }";
+      (match registry with
+      | Some json -> Printf.fprintf oc ",\n  \"registry\": %s\n" json
+      | None -> output_string oc "\n");
+      output_string oc "}\n")
 
 let run_and_print () =
   let results = run () in
@@ -222,5 +255,5 @@ let run_and_print () =
     results;
   Tablefmt.print tbl;
   let json = "BENCH_micro.json" in
-  write_json ~path:json results;
+  write_json ~path:json ~registry:(registry_snapshot ()) results;
   Printf.printf "(wrote %s)\n" json

@@ -53,6 +53,28 @@ let print_response = function
     in
     List.iter (fun (k, n) -> Tablefmt.add_row tbl [ k; string_of_int n ]) stats;
     Tablefmt.print tbl
+  | Message.Metrics metrics ->
+    (* the full registry: histograms render their quantile summary *)
+    let tbl =
+      Tablefmt.create ~title:"server metrics"
+        ~headers:[ "metric"; "kind"; "value"; "p50"; "p95"; "p99"; "max" ]
+        ~aligns:
+          [ Tablefmt.Left; Tablefmt.Left; Tablefmt.Right; Tablefmt.Right; Tablefmt.Right;
+            Tablefmt.Right; Tablefmt.Right ]
+    in
+    List.iter
+      (fun (name, v) ->
+        match v with
+        | Obs.Counter n ->
+          Tablefmt.add_row tbl [ name; "counter"; string_of_int n; ""; ""; ""; "" ]
+        | Obs.Gauge n -> Tablefmt.add_row tbl [ name; "gauge"; string_of_int n; ""; ""; ""; "" ]
+        | Obs.Histogram h ->
+          Tablefmt.add_row tbl
+            [ name; "histogram"; string_of_int h.Obs.Histogram.count;
+              string_of_int h.Obs.Histogram.p50; string_of_int h.Obs.Histogram.p95;
+              string_of_int h.Obs.Histogram.p99; string_of_int h.Obs.Histogram.max ])
+      metrics;
+    Tablefmt.print tbl
   | Message.Error msg ->
     Printf.eprintf "error: %s\n" msg;
     exit 1
@@ -108,21 +130,21 @@ let add_join_cmd =
       $ Arg.(required & pos 0 (some string) None & info [] ~docv:"JOIN" ~doc:"Join text."))
 
 let stats_cmd =
-  Cmd.v (Cmd.info "stats" ~doc:"Server counters")
-    Term.(const (fun host port -> run_command host port Message.Stats) $ host $ port)
+  Cmd.v (Cmd.info "stats" ~doc:"Full server metrics registry (counters, gauges, histograms)")
+    Term.(const (fun host port -> run_command host port Message.Stats_full) $ host $ port)
 
 (* bare `pequod-cli --stats` works too, as a shorthand for the stats
    subcommand *)
 let default_term =
   Term.(
     const (fun host port stats ->
-        if stats then run_command host port Message.Stats
+        if stats then run_command host port Message.Stats_full
         else begin
           prerr_endline "pequod-cli: missing command (try --help or --stats)";
           2
         end)
     $ host $ port
-    $ Arg.(value & flag & info [ "stats" ] ~doc:"Print the server's counters and exit."))
+    $ Arg.(value & flag & info [ "stats" ] ~doc:"Print the server's full metrics registry and exit."))
 
 let cmd =
   Cmd.group ~default:default_term

@@ -80,11 +80,20 @@ let wal_max_bytes =
     & info [ "wal-max-bytes" ] ~docv:"BYTES"
         ~doc:"Rotate the log through a snapshot once it exceeds this size.")
 
+let metrics_dump =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "metrics-dump" ] ~docv:"SECONDS"
+        ~doc:
+          "Print the full metrics registry as one JSON line on stdout every $(docv) seconds \
+           (counters and gauges as integers, histograms as objects with p50/p95/p99).")
+
 let verbose =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log client connections and joins.")
 
 let main port joins memory_limit data_dir sync sync_interval snapshot_every wal_max_bytes
-    verbose =
+    metrics_dump verbose =
   Fmt_tty.setup_std_outputs ();
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Info else Logs.App));
@@ -98,7 +107,7 @@ let main port joins memory_limit data_dir sync sync_interval snapshot_every wal_
     p.Config.p_snapshot_every <- snapshot_every;
     p.Config.p_wal_max_bytes <- wal_max_bytes;
     config.Config.persist <- Some p);
-  match Net_server.create ~config ~port ~joins ~memory_limit () with
+  match Net_server.create ~config ?metrics_every:metrics_dump ~port ~joins ~memory_limit () with
   | t ->
     Logs.app (fun m ->
         m "pequod-server listening on port %d with %d joins%s" (Net_server.port t)
@@ -117,6 +126,6 @@ let cmd =
     (Cmd.info "pequod-server" ~doc:"A Pequod cache server speaking the binary wire protocol")
     Term.(
       const main $ port $ joins $ memory_limit $ data_dir $ sync_mode $ sync_interval
-      $ snapshot_every $ wal_max_bytes $ verbose)
+      $ snapshot_every $ wal_max_bytes $ metrics_dump $ verbose)
 
 let () = if not !Sys.interactive then exit (Cmd.eval' cmd)

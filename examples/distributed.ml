@@ -56,7 +56,8 @@ let () =
   Printf.printf "\ninter-server traffic: %d bytes in %d messages; %d scans served\n"
     (Cluster.server_bytes cluster)
     (let total = ref 0 in
-     List.iter (fun id -> total := !total + (Cluster.node cluster id).Cluster.msgs_sent)
+     List.iter
+       (fun id -> total := !total + Cluster.node_msgs_sent (Cluster.node cluster id))
        (Cluster.base_ids cluster @ Cluster.compute_ids cluster);
      !total)
     (Cluster.scans_done cluster)

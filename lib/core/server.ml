@@ -116,12 +116,64 @@ type mutation =
 exception Need_fetch of (string * string * string) (* table, lo, hi *)
 exception Join_cycle of string
 
+(* Pre-resolved registry handles for the engine's hot paths: recording an
+   event is one field load and one gated store, never a name lookup. The
+   counter names are the registry's public catalogue (docs/OBSERVABILITY.md). *)
+type metrics = {
+  puts : Obs.Counter.t; (* store.put *)
+  removes : Obs.Counter.t; (* store.remove *)
+  updater_runs : Obs.Counter.t; (* updater.run *)
+  scans : Obs.Counter.t; (* op.scan *)
+  scans_fast : Obs.Counter.t; (* op.scan_fast *)
+  gets : Obs.Counter.t; (* op.get *)
+  invalidations : Obs.Counter.t; (* updater.invalidate *)
+  eager_value : Obs.Counter.t; (* updater.eager_value *)
+  eager_check : Obs.Counter.t; (* updater.eager_check *)
+  agg_recompute : Obs.Counter.t; (* aggregate.recompute *)
+  combined : Obs.Counter.t; (* updater.combined *)
+  installed : Obs.Counter.t; (* updater.installed *)
+  exec_runs : Obs.Counter.t; (* exec.run *)
+  resolver_fetch : Obs.Counter.t; (* resolver.fetch *)
+  resolver_deferred : Obs.Counter.t; (* resolver.deferred *)
+  recomputes : Obs.Counter.t; (* exec.recompute_region *)
+  apply_logs : Obs.Counter.t; (* exec.apply_log *)
+  evictions : Obs.Counter.t; (* evict.cover *)
+  pulls : Obs.Counter.t; (* exec.pull *)
+  scan_ns : Obs.Histogram.t; (* op.scan.ns *)
+  scan_pairs : Obs.Histogram.t; (* op.scan.pairs *)
+  put_bytes : Obs.Histogram.t; (* store.put.bytes *)
+}
+
+let make_metrics obs =
+  {
+    puts = Obs.counter obs "store.put";
+    removes = Obs.counter obs "store.remove";
+    updater_runs = Obs.counter obs "updater.run";
+    scans = Obs.counter obs "op.scan";
+    scans_fast = Obs.counter obs "op.scan_fast";
+    gets = Obs.counter obs "op.get";
+    invalidations = Obs.counter obs "updater.invalidate";
+    eager_value = Obs.counter obs "updater.eager_value";
+    eager_check = Obs.counter obs "updater.eager_check";
+    agg_recompute = Obs.counter obs "aggregate.recompute";
+    combined = Obs.counter obs "updater.combined";
+    installed = Obs.counter obs "updater.installed";
+    exec_runs = Obs.counter obs "exec.run";
+    resolver_fetch = Obs.counter obs "resolver.fetch";
+    resolver_deferred = Obs.counter obs "resolver.deferred";
+    recomputes = Obs.counter obs "exec.recompute_region";
+    apply_logs = Obs.counter obs "exec.apply_log";
+    evictions = Obs.counter obs "evict.cover";
+    pulls = Obs.counter obs "exec.pull";
+    scan_ns = Obs.histogram obs "op.scan.ns";
+    scan_pairs = Obs.histogram obs "op.scan.pairs";
+    put_bytes = Obs.histogram obs "store.put.bytes";
+  }
+
 type t = {
   store : cell Store.t;
-  mutable c_puts : int; (* hot-path counters; folded into stats_snapshot *)
-  mutable c_updater_runs : int;
-  mutable c_scans : int;
-  mutable c_scans_fast : int;
+  obs : Obs.t; (* per-server metrics registry + trace ring *)
+  hot : metrics;
   config : Config.t;
   mutable joins : join list; (* install order *)
   meta : (string, tbl_meta) Hashtbl.t;
@@ -129,20 +181,18 @@ type t = {
   lru : cover Lru.t;
   mutable value_bytes : int;
   mutable next_jid : int;
-  counters : Stats.Counters.t;
   mutable resolver : resolver option;
   mutable on_mutation : (mutation -> unit) option; (* durability hook *)
 }
 
 let create ?config () =
   let config = match config with Some c -> c | None -> Config.default () in
+  let obs = Obs.create () in
   {
     store = Store.create ~table_config:(fun name -> config.Config.table_config name)
         ~dummy:{ data = ""; charged = 0 } ();
-    c_puts = 0;
-    c_updater_runs = 0;
-    c_scans = 0;
-    c_scans_fast = 0;
+    obs;
+    hot = make_metrics obs;
     config;
     joins = [];
     meta = Hashtbl.create 16;
@@ -150,13 +200,13 @@ let create ?config () =
     lru = Lru.create ();
     value_bytes = 0;
     next_jid = 0;
-    counters = Stats.Counters.create ();
     resolver = None;
     on_mutation = None;
   }
 
 let config t = t.config
-let counters t = t.counters
+let obs t = t.obs
+let counter t name = Obs.counter_value t.obs name
 let set_resolver t r = t.resolver <- Some r
 let set_mutation_hook t f = t.on_mutation <- Some f
 let clear_mutation_hook t = t.on_mutation <- None
@@ -240,8 +290,6 @@ let joins t = List.map (fun j -> j.spec) t.joins
 (* ------------------------------------------------------------------ *)
 (* The mutually recursive engine core                                  *)
 
-let bump ?n t name = Stats.Counters.bump ?n t.counters name
-
 let source_array spec = Joinspec.sources_array spec
 
 (* Union of two binding arrays; [None] on any conflicting slot. *)
@@ -281,7 +329,8 @@ let coalesce_valid m ~lo ~hi =
       | _ -> false)
 
 let rec apply_put ?hint ?(shared = false) t key data =
-  t.c_puts <- t.c_puts + 1;
+  Obs.Counter.incr t.hot.puts;
+  Obs.Histogram.observe t.hot.put_bytes (String.length data);
   Strkey.validate key;
   let tbl = Store.table_of_key t.store key in
   let charged =
@@ -300,7 +349,7 @@ and apply_remove t key =
   match Table.remove tbl key with
   | None -> ()
   | Some cell ->
-    bump t "store.remove";
+    Obs.Counter.incr t.hot.removes;
     t.value_bytes <- t.value_bytes - cell.charged;
     notify t key ~old_value:(Some cell.data) ~new_value:None ~change:Remove
 
@@ -319,7 +368,7 @@ and notify t key ~old_value ~new_value ~change =
   end
 
 and run_context t up cx key ~old_value ~new_value ~change =
-  t.c_updater_runs <- t.c_updater_runs + 1;
+  Obs.Counter.incr t.hot.updater_runs;
   let src = (source_array up.up_join.spec).(up.up_source) in
   match Pattern.match_key src.Joinspec.pattern key ~bindings:cx.cx_bindings with
   | None -> ()
@@ -333,6 +382,7 @@ and run_context t up cx key ~old_value ~new_value ~change =
 
 (* Eager reaction on the value source: copy or adjust an aggregate. *)
 and eager_value_apply t up cx b ~old_value ~new_value ~change =
+  Obs.Counter.incr t.hot.eager_value;
   let join = up.up_join in
   let out = Joinspec.output join.spec in
   match Pattern.build_key out b with
@@ -361,6 +411,7 @@ and eager_value_apply t up cx b ~old_value ~new_value ~change =
 (* Eager reaction on a check source (the non-default policy, used by the
    maintenance-policy ablation): recompute the binding immediately. *)
 and eager_check_apply t up cx b ~change =
+  Obs.Counter.incr t.hot.eager_check;
   match change with
   | Update -> () (* check values are not interesting *)
   | Insert ->
@@ -381,7 +432,7 @@ and invalidate_apply t up cx b key ~change =
     match Strkey.range_inter (clo, chi) (cx.cx_cover.co_lo, cx.cx_cover.co_hi) with
     | None -> ()
     | Some (lo, hi) ->
-      bump t "updater.invalidate";
+      Obs.Counter.incr t.hot.invalidations;
       let m = meta t (Pattern.table out) in
       let entry =
         { le_join = join; le_source = up.up_source; le_key = key; le_change = change;
@@ -464,7 +515,7 @@ and put_output t cover okey data ~shared =
 
 (* Recompute one aggregate group from scratch (min/max retraction). *)
 and recompute_aggregate t join cx b okey =
-  bump t "aggregate.recompute";
+  Obs.Counter.incr t.hot.agg_recompute;
   let vs = Joinspec.value_source join.spec in
   (* restrict to the group key's slots: the aggregate refolds over every
      source key of the group, not just the one that changed *)
@@ -523,12 +574,12 @@ and install_updater t join ~source_idx ~kind ~slo ~shi ~cx =
       in
       match existing with
       | Some e ->
-        bump t "updater.combined";
+        Obs.Counter.incr t.hot.combined;
         let up = Interval_map.handle_data e in
         up.up_contexts <- cx :: up.up_contexts;
         register e
       | None ->
-        bump t "updater.installed";
+        Obs.Counter.incr t.hot.installed;
         let up = { up_join = join; up_source = source_idx; up_kind = kind; up_contexts = [ cx ] } in
         let e = Interval_map.add m.updaters ~lo:slo ~hi:shi up in
         if t.config.Config.combine_updaters then Hashtbl.replace m.combine_index ckey e;
@@ -541,7 +592,7 @@ and install_updater t join ~source_idx ~kind ~slo ~shi ~cx =
    [mode] is [`Materialize cover] (install results, updaters, hints) or
    [`Collect acc] (pull joins: just produce pairs). *)
 and exec_sources t ~active join ~bindings ~residual ~out_range ~mode ~skip_source =
-  bump t "exec.run";
+  Obs.Counter.incr t.hot.exec_runs;
   let spec = join.spec in
   let sources = source_array spec in
   let nsources = Array.length sources in
@@ -667,7 +718,7 @@ and ensure_source_ready t ~active table ~lo ~hi =
           Range_map.set present ~lo:plo ~hi:phi ();
           emit t (M_present (table, plo, phi))
         | Resolved pairs ->
-          bump t "resolver.fetch";
+          Obs.Counter.incr t.hot.resolver_fetch;
           Range_map.set present ~lo:plo ~hi:phi ();
           emit t (M_present (table, plo, phi));
           List.iter
@@ -676,7 +727,7 @@ and ensure_source_ready t ~active table ~lo ~hi =
               emit t (M_put (k, v)))
             pairs
         | Deferred ->
-          bump t "resolver.deferred";
+          Obs.Counter.incr t.hot.resolver_deferred;
           raise (Need_fetch (table, plo, phi)))
       (List.rev !missing)
 
@@ -750,7 +801,8 @@ and touch_covers t involved =
    down, clear their outputs, re-execute every overlapping join, and mark
    the region valid. *)
 and recompute_region t ~active m table ~plo ~phi =
-  bump t "exec.recompute_region";
+  Obs.Counter.incr t.hot.recomputes;
+  let t0 = Obs.tick () in
   (* expand to cover boundaries (fixpoint) so updater teardown is whole *)
   let lo = ref plo and hi = ref phi in
   let changed = ref true in
@@ -831,7 +883,8 @@ and recompute_region t ~active m table ~plo ~phi =
         | Joinspec.Push | Joinspec.Pull -> ()))
     involved;
   Range_map.set m.status ~lo ~hi { state = Valid { expires = !expiry } };
-  coalesce_valid m ~lo ~hi
+  coalesce_valid m ~lo ~hi;
+  Obs.trace t.obs ~kind:"recompute" ~table ~lo ~hi ~dur_ns:(Obs.tock t0) ()
 
 (* Release one cover's stake in an updater entry: combined updaters
    (§3.2) carry contexts from several covers, so only this cover's
@@ -861,7 +914,7 @@ and teardown_covers t j ~lo ~hi =
    logged check-source change is joined against the other sources,
    restricted to the piece. *)
 and apply_log t ~active m ~plo ~phi entries =
-  bump t "exec.apply_log";
+  Obs.Counter.incr t.hot.apply_logs;
   List.iter
     (fun e ->
       let join = e.le_join in
@@ -923,13 +976,16 @@ and maybe_evict t =
       match Lru.pop_lru t.lru with
       | None -> ()
       | Some c ->
-        bump t "evict.cover";
+        Obs.Counter.incr t.hot.evictions;
         c.co_lru <- None;
         evict_cover t c
     done
 
 and evict_cover t c =
   let j = c.co_join in
+  Obs.trace t.obs ~kind:"evict"
+    ~table:(Pattern.table (Joinspec.output j.spec))
+    ~lo:c.co_lo ~hi:c.co_hi ();
   List.iter (fun h -> remove_handle t c h) c.co_handles;
   c.co_handles <- [];
   Range_map.clear_range (covers_of t j.jid) ~lo:c.co_lo ~hi:c.co_hi;
@@ -970,7 +1026,7 @@ let pull_results t ~lo ~hi =
           (match Strkey.range_inter (clo, chi) (lo, hi) with
           | None -> ()
           | Some (covlo, covhi) ->
-            bump t "exec.pull";
+            Obs.Counter.incr t.hot.pulls;
             exec_sources t ~active:[ j.jid ] j ~bindings:b0 ~residual
               ~out_range:(covlo, covhi) ~mode:(`Collect acc) ~skip_source:(-1))
       end)
@@ -1001,10 +1057,22 @@ let warm_fast_path t ~lo ~hi =
     are discovered one at a time but completed covers stay valid, so the
     retry never recomputes finished work. *)
 let scan_nb t ~lo ~hi =
-  t.c_scans <- t.c_scans + 1;
+  Obs.Counter.incr t.hot.scans;
+  let t0 = Obs.tick () in
+  (* duration/size recording and tracing, skipped entirely when recording
+     is off (the [List.length] below must not run on the disabled path) *)
+  let finish pairs =
+    if !Obs.enabled then begin
+      let d = Obs.tock t0 in
+      Obs.Histogram.observe t.hot.scan_ns d;
+      Obs.Histogram.observe t.hot.scan_pairs (List.length pairs);
+      Obs.trace t.obs ~kind:"scan" ~table:(Store.table_name_of lo) ~lo ~hi ~dur_ns:d ()
+    end;
+    `Ok pairs
+  in
   if warm_fast_path t ~lo ~hi then begin
-    t.c_scans_fast <- t.c_scans_fast + 1;
-    `Ok (List.rev (Store.fold_range t.store ~lo ~hi ~init:[] (fun acc k c -> (k, c.data) :: acc)))
+    Obs.Counter.incr t.hot.scans_fast;
+    finish (List.rev (Store.fold_range t.store ~lo ~hi ~init:[] (fun acc k c -> (k, c.data) :: acc)))
   end
   else
   match
@@ -1026,7 +1094,7 @@ let scan_nb t ~lo ~hi =
     (* evict only after the response is assembled: a cover computed for
        this very scan must not vanish under the read *)
     maybe_evict t;
-    `Ok merged
+    finish merged
   | exception Need_fetch (table, flo, fhi) -> `Missing [ (table, flo, fhi) ]
 
 (** Ordered scan of [\[lo, hi)], computing and freshening any overlapping
@@ -1040,7 +1108,7 @@ let scan t ~lo ~hi =
   | `Missing [] -> assert false
 
 let get t key =
-  bump t "op.get";
+  Obs.Counter.incr t.hot.gets;
   match scan t ~lo:key ~hi:(Strkey.key_after key) with
   | (k, v) :: _ when String.equal k key -> Some v
   | _ -> None
@@ -1117,19 +1185,43 @@ let present_ranges t =
 (** Installed joins as canonical re-parsable text, in install order. *)
 let join_texts t = List.map (fun j -> Joinspec.to_string j.spec) t.joins
 
+(* Mirror values maintained outside the registry (memory ledgers, store
+   layer statistics) into it. Gauge.set / Counter.set are not gated on
+   [Obs.enabled], so measurement-critical figures (memory.bytes drives the
+   paper's Fig 8 experiment) survive with recording off. *)
+let sync_registry t =
+  let g name v = Obs.Gauge.set (Obs.gauge t.obs name) v in
+  g "memory.bytes" (memory_bytes t);
+  g "memory.value_bytes" t.value_bytes;
+  g "memory.store_bytes" (Store.memory_bytes t.store);
+  g "store.size" (size t);
+  g "store.tables" (List.length (Store.tables t.store));
+  g "lru.covers" (Lru.length t.lru);
+  let s = Store.stats_totals t.store in
+  let c name v = Obs.Counter.set (Obs.counter t.obs name) v in
+  c "table.lookups" s.Table.lookups;
+  c "table.inserts" s.Table.inserts;
+  c "table.removes" s.Table.removes;
+  c "table.steps" s.Table.steps
+
+(** Full registry snapshot (counters, gauges, histograms), with the
+    mirrored gauges freshly synced. *)
+let metrics_snapshot t =
+  sync_registry t;
+  Obs.snapshot t.obs
+
 let stats_snapshot t =
-  [ ("store.put", t.c_puts); ("updater.run", t.c_updater_runs); ("op.scan", t.c_scans);
-    ("op.scan_fast", t.c_scans_fast); ("memory.bytes", memory_bytes t);
-    ("store.size", size t) ]
-  @ Stats.Counters.to_list t.counters
-  |> List.sort compare
+  sync_registry t;
+  Obs.int_snapshot t.obs
 
 (** Whole-engine invariant checks, cheap enough to run after every
     operation of a model-based test: every store-layer structure
     revalidates (red-black trees, range maps, interval trees), including
-    the §3.3 present-range bookkeeping, and the value-bytes ledger must
-    agree with a fresh walk of the resident cells. Raises [Failure] on
-    the first violation. *)
+    the §3.3 present-range bookkeeping, and every memory ledger must
+    agree with a fresh walk of the resident pairs — the value-bytes
+    ledger and each table's key-bytes/pair-count ledger (the figures
+    {!memory_bytes}, and therefore [--stats], report). Raises [Failure]
+    on the first violation. *)
 let check_invariants t =
   Store.validate t.store;
   Hashtbl.iter
@@ -1141,7 +1233,22 @@ let check_invariants t =
   Hashtbl.iter (fun _ cm -> Range_map.validate cm) t.covers;
   let resident = ref 0 in
   List.iter
-    (fun tbl -> Table.iter tbl (fun _ c -> resident := !resident + c.charged))
+    (fun tbl ->
+      let key_bytes = ref 0 and pairs = ref 0 in
+      Table.iter tbl (fun k c ->
+          resident := !resident + c.charged;
+          key_bytes := !key_bytes + String.length k;
+          incr pairs);
+      if !pairs <> Table.size tbl then
+        failwith
+          (Printf.sprintf "Server.check_invariants: table %s counts %d pairs, walk found %d"
+             (Table.name tbl) (Table.size tbl) !pairs);
+      let expected = !key_bytes + (!pairs * Table.node_overhead) in
+      if Table.memory_bytes tbl <> expected then
+        failwith
+          (Printf.sprintf
+             "Server.check_invariants: table %s key ledger reports %d bytes, walk expects %d"
+             (Table.name tbl) (Table.memory_bytes tbl) expected))
     (Store.tables t.store);
   if !resident <> t.value_bytes then
     failwith

@@ -41,7 +41,9 @@ exception Need_fetch of (string * string * string)
 (** Raised when chained joins evaluate cyclically at runtime. *)
 exception Join_cycle of string
 
+(** A fresh engine; [config] defaults to {!Config.default}[ ()]. *)
 val create : ?config:Config.t -> unit -> t
+
 val config : t -> Config.t
 
 (** Install a cache join. Rejects joins that would make the dependency
@@ -94,7 +96,29 @@ val size : t -> int
     the distributed simulator's CPU cost model. *)
 val store_ops : t -> int
 
-val counters : t -> Stats.Counters.t
+(** {2 Observability}
+
+    Each server owns a metrics registry ({!Obs.t}); every subsystem
+    attached to it (persist, net, sim node) records into the same one,
+    so one snapshot covers the whole process. The catalogue of metric
+    names lives in [docs/OBSERVABILITY.md]. *)
+
+(** This server's metrics registry and trace ring. *)
+val obs : t -> Obs.t
+
+(** Current total of one registry counter by name; 0 when absent.
+    Convenience for tests and tools — hot paths use pre-resolved
+    handles. *)
+val counter : t -> string -> int
+
+(** Full typed registry snapshot (counters, gauges, histograms), with
+    the mirrored gauges — memory ledgers, store-layer op totals —
+    freshly synced. The [Stats_full] RPC returns exactly this. *)
+val metrics_snapshot : t -> (string * Obs.value) list
+
+(** {!metrics_snapshot} flattened to integers (histograms expand to
+    [.count]/[.sum]/[.min]/[.max]/[.p50]/[.p95]/[.p99] entries), for
+    the legacy [Stats] RPC and text tables. *)
 val stats_snapshot : t -> (string * int) list
 
 (** {2 Durability hooks (lib/persist)} *)

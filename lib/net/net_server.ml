@@ -30,17 +30,24 @@ type t = {
   buf : Bytes.t;
   mutable shutdown : bool;
   persist : Persist.t option; (* durability manager, when --data-dir is set *)
-  mutable c_rpcs : int; (* requests handled *)
-  mutable c_bytes_in : int; (* bytes read off client sockets *)
-  mutable c_bytes_out : int; (* response bytes enqueued *)
+  (* transport metrics, recorded into the engine's registry so one
+     snapshot covers the whole server *)
+  m_rpcs : Obs.Counter.t; (* net.rpcs *)
+  m_bytes_in : Obs.Counter.t; (* net.bytes_in *)
+  m_bytes_out : Obs.Counter.t; (* net.bytes_out *)
+  m_req_bytes : Obs.Histogram.t; (* rpc.request.bytes *)
+  m_resp_bytes : Obs.Histogram.t; (* rpc.response.bytes *)
+  metrics_every : float option; (* --metrics-dump period *)
+  mutable next_dump : float;
 }
 
 (** Create a server listening on [port] (0 picks a free port; see {!port})
     with the given cache joins installed. When [config.persist] names a
     data directory, prior state is recovered from it first and every
     mutation is logged; [joins] already present after recovery are not
-    re-installed. *)
-let create ?config ~port ~joins ~memory_limit () =
+    re-installed. [metrics_every] makes {!step} print one JSON metrics
+    snapshot line to stdout every that-many seconds ([--metrics-dump]). *)
+let create ?config ?metrics_every ~port ~joins ~memory_limit () =
   let config = match config with Some c -> c | None -> Config.default () in
   config.Config.memory_limit <- memory_limit;
   let engine = Server.create ~config () in
@@ -66,8 +73,17 @@ let create ?config ~port ~joins ~memory_limit () =
   Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_any, port));
   Unix.listen listener 64;
   Unix.set_nonblock listener;
+  let obs = Server.obs engine in
   { engine; listener; clients = []; buf = Bytes.create 65_536; shutdown = false;
-    persist; c_rpcs = 0; c_bytes_in = 0; c_bytes_out = 0 }
+    persist;
+    m_rpcs = Obs.counter obs "net.rpcs";
+    m_bytes_in = Obs.counter obs "net.bytes_in";
+    m_bytes_out = Obs.counter obs "net.bytes_out";
+    m_req_bytes = Obs.histogram obs "rpc.request.bytes";
+    m_resp_bytes = Obs.histogram obs "rpc.response.bytes";
+    metrics_every;
+    next_dump =
+      (match metrics_every with Some s -> Unix.gettimeofday () +. s | None -> infinity) }
 
 let engine t = t.engine
 let persist t = t.persist
@@ -99,18 +115,20 @@ let flush_output t client =
   end
 
 let handle_request t request =
-  t.c_rpcs <- t.c_rpcs + 1;
+  Obs.Counter.incr t.m_rpcs;
+  Obs.Histogram.observe t.m_req_bytes (String.length request);
   match Message.decode_request request with
-  | Message.Stats ->
-    (* fold the transport's and the durability manager's counters into the
-       engine's snapshot so one RPC reports the whole server *)
-    let extra =
-      [ ("net.rpcs", t.c_rpcs); ("net.bytes_in", t.c_bytes_in);
-        ("net.bytes_out", t.c_bytes_out) ]
-      @ (match t.persist with Some p -> Persist.stats p | None -> [])
-    in
-    Message.Stat_list (List.sort compare (Server.stats_snapshot t.engine @ extra))
-  | req -> Message.apply_to_server t.engine req
+  | req ->
+    (* per-kind RPC tally; pequod's whole evaluation counts messages *)
+    if !Obs.enabled then
+      Obs.Counter.incr (Obs.counter (Server.obs t.engine) ("rpc." ^ Message.request_kind req));
+    (match req with
+    | Message.Stats ->
+      (* fold the durability manager's counters into the engine's snapshot
+         so the legacy integer RPC still reports the whole server *)
+      let extra = match t.persist with Some p -> Persist.stats p | None -> [] in
+      Message.Stat_list (List.sort compare (Server.stats_snapshot t.engine @ extra))
+    | req -> Message.apply_to_server t.engine req)
   | exception Message.Protocol_error msg -> Message.Error ("protocol error: " ^ msg)
   | exception e -> Message.Error (Printexc.to_string e)
 
@@ -118,14 +136,15 @@ let handle_readable t client =
   match Unix.read client.fd t.buf 0 (Bytes.length t.buf) with
   | 0 -> drop t client
   | n -> (
-    t.c_bytes_in <- t.c_bytes_in + n;
+    Obs.Counter.add t.m_bytes_in n;
     match Frame.feed client.decoder (Bytes.sub_string t.buf 0 n) with
     | frames ->
       List.iter
         (fun request ->
           let response = handle_request t request in
           let wire = Frame.encode (Message.encode_response response) in
-          t.c_bytes_out <- t.c_bytes_out + String.length wire;
+          Obs.Counter.add t.m_bytes_out (String.length wire);
+          Obs.Histogram.observe t.m_resp_bytes (String.length wire);
           client.outbuf <- client.outbuf ^ wire;
           flush_output t client)
         frames
@@ -147,6 +166,24 @@ let accept_clients t =
   in
   go ()
 
+(* One metrics snapshot as a single JSON line on stdout, timestamped so
+   dump streams can be correlated with external logs. *)
+let dump_metrics t =
+  let now = Unix.gettimeofday () in
+  let extra = [ ("ts", Printf.sprintf "%.3f" now) ] in
+  print_endline (Obs.json_of_snapshot ~extra (Server.metrics_snapshot t.engine));
+  flush stdout
+
+let maybe_dump_metrics t =
+  match t.metrics_every with
+  | None -> ()
+  | Some every ->
+    let now = Unix.gettimeofday () in
+    if now >= t.next_dump then begin
+      t.next_dump <- now +. every;
+      dump_metrics t
+    end
+
 (** One iteration of the event loop: wait up to [timeout] seconds for
     readiness, then accept/read/write whatever is ready. *)
 let step ?(timeout = 1.0) t =
@@ -158,7 +195,8 @@ let step ?(timeout = 1.0) t =
     List.iter (fun c -> if List.memq c.fd readable then handle_readable t c) t.clients;
     List.iter (fun c -> if List.memq c.fd writable then flush_output t c) t.clients
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
-  Option.iter Persist.tick t.persist
+  Option.iter Persist.tick t.persist;
+  maybe_dump_metrics t
 
 (** Serve until {!stop}. *)
 let run t =

@@ -1,0 +1,440 @@
+(** Metrics registry + operation trace. See obs.mli for the contract.
+
+    Everything here is designed for a single-threaded server: metric
+    handles are records with mutable fields, so a pre-resolved handle
+    makes recording one load, one branch, and one store. *)
+
+let enabled =
+  ref
+    (match Sys.getenv_opt "PEQUOD_OBS" with
+    | Some ("0" | "false" | "off") -> false
+    | _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Metric cells                                                        *)
+
+module Counter = struct
+  type t = { c_name : string; mutable c_value : int }
+
+  let incr c = if !enabled then c.c_value <- c.c_value + 1
+  let add c n = if !enabled then c.c_value <- c.c_value + n
+  let force_add c n = c.c_value <- c.c_value + n
+  let set c n = c.c_value <- n
+  let value c = c.c_value
+  let name c = c.c_name
+end
+
+module Gauge = struct
+  type t = { g_name : string; mutable g_value : int }
+
+  let set g n = g.g_value <- n
+  let add g n = g.g_value <- g.g_value + n
+  let value g = g.g_value
+  let name g = g.g_name
+end
+
+module Histogram = struct
+  (* Log-scaled buckets: 0..15 hold their value exactly; from 16 up,
+     four sub-buckets per power of two, so bucket width / lower bound
+     <= 1/4 and a midpoint representative is within ~12% of any sample
+     in the bucket. 256 slots cover the whole 63-bit range. *)
+  let nbuckets = 256
+
+  type t = {
+    h_name : string;
+    h_buckets : int array;
+    mutable h_count : int;
+    mutable h_sum : int;
+    mutable h_min : int;
+    mutable h_max : int;
+  }
+
+  let make name =
+    { h_name = name; h_buckets = Array.make nbuckets 0; h_count = 0; h_sum = 0;
+      h_min = 0; h_max = 0 }
+
+  let bucket_of v =
+    if v < 16 then if v < 0 then 0 else v
+    else begin
+      (* m = position of the highest set bit (>= 4 here) *)
+      let m = ref 4 and x = ref (v lsr 5) in
+      while !x > 0 do
+        incr m;
+        x := !x lsr 1
+      done;
+      16 + ((!m - 4) * 4) + ((v lsr (!m - 2)) land 3)
+    end
+
+  (* inclusive [lo, hi] of one bucket *)
+  let bounds_of idx =
+    if idx < 16 then (idx, idx)
+    else begin
+      let k = idx - 16 in
+      let m = 4 + (k / 4) and sub = k mod 4 in
+      let step = 1 lsl (m - 2) in
+      let lo = (1 lsl m) + (sub * step) in
+      (lo, lo + step - 1)
+    end
+
+  let observe h v =
+    if !enabled then begin
+      let v = if v < 0 then 0 else v in
+      h.h_buckets.(bucket_of v) <- h.h_buckets.(bucket_of v) + 1;
+      h.h_count <- h.h_count + 1;
+      h.h_sum <- h.h_sum + v;
+      if h.h_count = 1 || v < h.h_min then h.h_min <- v;
+      if v > h.h_max then h.h_max <- v
+    end
+
+  let quantile h q =
+    if h.h_count = 0 then 0
+    else begin
+      let rank =
+        let r = int_of_float (Float.ceil (q *. float_of_int h.h_count)) in
+        if r < 1 then 1 else if r > h.h_count then h.h_count else r
+      in
+      let idx = ref 0 and cum = ref 0 in
+      (try
+         for i = 0 to nbuckets - 1 do
+           cum := !cum + h.h_buckets.(i);
+           if !cum >= rank then begin
+             idx := i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      let lo, hi = bounds_of !idx in
+      let mid = lo + ((hi - lo) / 2) in
+      (* never report outside the observed extremes *)
+      if mid < h.h_min then h.h_min else if mid > h.h_max then h.h_max else mid
+    end
+
+  type snapshot = {
+    count : int;
+    sum : int;
+    min : int;
+    max : int;
+    p50 : int;
+    p95 : int;
+    p99 : int;
+  }
+
+  let snapshot h =
+    { count = h.h_count; sum = h.h_sum; min = h.h_min; max = h.h_max;
+      p50 = quantile h 0.50; p95 = quantile h 0.95; p99 = quantile h 0.99 }
+
+  let reset h =
+    Array.fill h.h_buckets 0 nbuckets 0;
+    h.h_count <- 0;
+    h.h_sum <- 0;
+    h.h_min <- 0;
+    h.h_max <- 0
+
+  let name h = h.h_name
+end
+
+(* ------------------------------------------------------------------ *)
+(* Trace events                                                        *)
+
+type event = {
+  ev_seq : int;
+  ev_kind : string;
+  ev_table : string;
+  ev_lo : string;
+  ev_hi : string;
+  ev_dur_ns : int;
+  ev_bytes : int;
+}
+
+let null_event =
+  { ev_seq = -1; ev_kind = ""; ev_table = ""; ev_lo = ""; ev_hi = ""; ev_dur_ns = 0;
+    ev_bytes = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+
+type metric =
+  | M_counter of Counter.t
+  | M_gauge of Gauge.t
+  | M_histogram of Histogram.t
+
+type t = {
+  metrics : (string, metric) Hashtbl.t;
+  mutable ring : event array;
+  mutable recorded : int; (* total events ever recorded *)
+}
+
+let default_trace_capacity = 256
+
+let create () =
+  { metrics = Hashtbl.create 64; ring = Array.make default_trace_capacity null_event;
+    recorded = 0 }
+
+let default = create ()
+
+let kind_name = function
+  | M_counter _ -> "counter"
+  | M_gauge _ -> "gauge"
+  | M_histogram _ -> "histogram"
+
+let clash name m want =
+  invalid_arg
+    (Printf.sprintf "Obs: metric %S is a %s, requested as a %s" name (kind_name m) want)
+
+let counter t name =
+  match Hashtbl.find_opt t.metrics name with
+  | Some (M_counter c) -> c
+  | Some m -> clash name m "counter"
+  | None ->
+    let c = { Counter.c_name = name; c_value = 0 } in
+    Hashtbl.add t.metrics name (M_counter c);
+    c
+
+let gauge t name =
+  match Hashtbl.find_opt t.metrics name with
+  | Some (M_gauge g) -> g
+  | Some m -> clash name m "gauge"
+  | None ->
+    let g = { Gauge.g_name = name; g_value = 0 } in
+    Hashtbl.add t.metrics name (M_gauge g);
+    g
+
+let histogram t name =
+  match Hashtbl.find_opt t.metrics name with
+  | Some (M_histogram h) -> h
+  | Some m -> clash name m "histogram"
+  | None ->
+    let h = Histogram.make name in
+    Hashtbl.add t.metrics name (M_histogram h);
+    h
+
+let counter_value t name =
+  match Hashtbl.find_opt t.metrics name with
+  | Some (M_counter c) -> Counter.value c
+  | _ -> 0
+
+type value =
+  | Counter of int
+  | Gauge of int
+  | Histogram of Histogram.snapshot
+
+let snapshot t =
+  Hashtbl.fold
+    (fun name m acc ->
+      let v =
+        match m with
+        | M_counter c -> Counter (Counter.value c)
+        | M_gauge g -> Gauge (Gauge.value g)
+        | M_histogram h -> Histogram (Histogram.snapshot h)
+      in
+      (name, v) :: acc)
+    t.metrics []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let int_snapshot t =
+  List.concat_map
+    (fun (name, v) ->
+      match v with
+      | Counter n | Gauge n -> [ (name, n) ]
+      | Histogram h ->
+        [ (name ^ ".count", h.Histogram.count); (name ^ ".sum", h.Histogram.sum);
+          (name ^ ".min", h.Histogram.min); (name ^ ".max", h.Histogram.max);
+          (name ^ ".p50", h.Histogram.p50); (name ^ ".p95", h.Histogram.p95);
+          (name ^ ".p99", h.Histogram.p99) ])
+    (snapshot t)
+
+let reset t =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | M_counter c -> Counter.set c 0
+      | M_gauge g -> Gauge.set g 0
+      | M_histogram h -> Histogram.reset h)
+    t.metrics;
+  Array.fill t.ring 0 (Array.length t.ring) null_event;
+  t.recorded <- 0
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_of_snapshot ?(extra = []) snap =
+  let buf = Buffer.create 512 in
+  Buffer.add_char buf '{';
+  let first = ref true in
+  let member name raw =
+    if not !first then Buffer.add_char buf ',';
+    first := false;
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (json_escape name);
+    Buffer.add_string buf "\":";
+    Buffer.add_string buf raw
+  in
+  List.iter (fun (name, raw) -> member name raw) extra;
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Counter n | Gauge n -> member name (string_of_int n)
+      | Histogram h ->
+        member name
+          (Printf.sprintf
+             "{\"count\":%d,\"sum\":%d,\"min\":%d,\"max\":%d,\"p50\":%d,\"p95\":%d,\"p99\":%d}"
+             h.Histogram.count h.Histogram.sum h.Histogram.min h.Histogram.max
+             h.Histogram.p50 h.Histogram.p95 h.Histogram.p99))
+    snap;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+(* A parser for exactly the subset json_of_snapshot emits: one object
+   whose members are integers or flat objects of integer members. *)
+let snapshot_of_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = failwith (Printf.sprintf "Obs.snapshot_of_json: %s at byte %d" msg !pos) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      incr pos
+    done
+  in
+  let expect c =
+    skip_ws ();
+    match peek () with
+    | Some x when x = c -> incr pos
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+          incr pos;
+          (if !pos >= n then fail "dangling escape"
+           else
+             match s.[!pos] with
+             | '"' -> Buffer.add_char buf '"'
+             | '\\' -> Buffer.add_char buf '\\'
+             | '/' -> Buffer.add_char buf '/'
+             | 'n' -> Buffer.add_char buf '\n'
+             | 't' -> Buffer.add_char buf '\t'
+             | 'r' -> Buffer.add_char buf '\r'
+             | 'u' ->
+               if !pos + 4 >= n then fail "short \\u escape";
+               let hex = String.sub s (!pos + 1) 4 in
+               (match int_of_string_opt ("0x" ^ hex) with
+               | Some code when code < 256 -> Buffer.add_char buf (Char.chr code)
+               | Some _ -> Buffer.add_char buf '?'
+               | None -> fail "bad \\u escape");
+               pos := !pos + 4
+             | c -> fail (Printf.sprintf "bad escape \\%c" c));
+          incr pos;
+          go ()
+        | c ->
+          Buffer.add_char buf c;
+          incr pos;
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_int () =
+    skip_ws ();
+    let start = !pos in
+    if peek () = Some '-' then incr pos;
+    while !pos < n && (match s.[!pos] with '0' .. '9' -> true | _ -> false) do
+      incr pos
+    done;
+    if !pos = start then fail "expected integer";
+    match int_of_string_opt (String.sub s start (!pos - start)) with
+    | Some v -> v
+    | None -> fail "bad integer"
+  in
+  let parse_members parse_value =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then begin
+      incr pos;
+      []
+    end
+    else begin
+      let acc = ref [] in
+      let rec go () =
+        skip_ws ();
+        let name = parse_string () in
+        expect ':';
+        acc := (name, parse_value ()) :: !acc;
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+          incr pos;
+          go ()
+        | Some '}' -> incr pos
+        | _ -> fail "expected , or }"
+      in
+      go ();
+      List.rev !acc
+    end
+  in
+  let parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      let members = parse_members (fun () -> parse_int ()) in
+      let field f = match List.assoc_opt f members with Some v -> v | None -> 0 in
+      Histogram
+        { Histogram.count = field "count"; sum = field "sum"; min = field "min";
+          max = field "max"; p50 = field "p50"; p95 = field "p95"; p99 = field "p99" }
+    | _ -> Gauge (parse_int ())
+  in
+  let members = parse_members parse_value in
+  skip_ws ();
+  if !pos <> n then fail "trailing bytes";
+  members
+
+(* ------------------------------------------------------------------ *)
+(* Trace ring                                                          *)
+
+let set_trace_capacity t cap =
+  if cap < 1 then invalid_arg "Obs.set_trace_capacity: capacity must be positive";
+  t.ring <- Array.make cap null_event;
+  t.recorded <- 0
+
+let trace t ~kind ?(table = "") ?(lo = "") ?(hi = "") ?(dur_ns = 0) ?(bytes = 0) () =
+  if !enabled then begin
+    let cap = Array.length t.ring in
+    t.ring.(t.recorded mod cap) <-
+      { ev_seq = t.recorded; ev_kind = kind; ev_table = table; ev_lo = lo; ev_hi = hi;
+        ev_dur_ns = dur_ns; ev_bytes = bytes };
+    t.recorded <- t.recorded + 1
+  end
+
+let recent_events ?n t =
+  let cap = Array.length t.ring in
+  let available = min t.recorded cap in
+  let wanted = match n with Some n -> min n available | None -> available in
+  List.init wanted (fun i -> t.ring.((t.recorded - 1 - i) mod cap))
+
+let events_recorded t = t.recorded
+
+(* ------------------------------------------------------------------ *)
+(* Timing                                                              *)
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+let tick () = if !enabled then now_ns () else 0
+let tock t0 = if t0 = 0 then 0 else now_ns () - t0

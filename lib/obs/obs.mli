@@ -1,0 +1,224 @@
+(** Observability: a metrics registry and an operation trace.
+
+    Every layer of the system records its work here — store operations,
+    join maintenance, durability, RPCs, simulated cluster traffic — so
+    that one snapshot describes a whole server, the way [stats] does for
+    memcached or [INFO] for Redis. The paper's evaluation (§5) is driven
+    entirely by counted work; this module is its runtime substrate.
+
+    A {e registry} ({!t}) holds named metrics of three kinds:
+
+    - {e counters}: monotonically increasing event tallies;
+    - {e gauges}: instantaneous values, overwritten at will (resident
+      bytes, queue depths);
+    - {e histograms}: log-scaled frequency distributions of durations or
+      sizes, with p50/p95/p99 estimates in the snapshot.
+
+    and a fixed-size ring buffer of structured {e trace events} (op kind,
+    table, key range, duration, bytes) recording the most recent
+    operations in order.
+
+    {2 The [enabled] switch}
+
+    Hot-path recording ({!Counter.incr}, {!Counter.add},
+    {!Histogram.observe}, {!trace}, {!tick}) is gated on the global
+    {!enabled} flag: when it is [false] each call is a load and a branch,
+    so fuzzing and benchmark loops pay ~zero. Cold-path mirroring
+    ({!Counter.set}, {!Counter.force_add}, {!Gauge.set}) is {e not}
+    gated: values that feed the evaluation harness itself (memory
+    footprints, simulated wire bytes) stay correct even with recording
+    off. [enabled] starts [false] only when the [PEQUOD_OBS] environment
+    variable is ["0"], ["false"] or ["off"].
+
+    Metrics never change engine results: with [enabled] forced off, a
+    fuzz scenario produces byte-identical output (tested in
+    [test/test_obs.ml]). *)
+
+(** Global hot-path recording switch; see the module preamble. *)
+val enabled : bool ref
+
+(** A metrics registry. Each server ([Server.t]) owns one;
+    every subsystem attached to that server (persist, net, sim node)
+    records into it, so one snapshot covers the whole process. *)
+type t
+
+(** A fresh, empty registry with the default trace capacity (256
+    events). *)
+val create : unit -> t
+
+(** A process-global registry for code with no server at hand
+    (benchmarks, scratch tooling). The engine does not use it. *)
+val default : t
+
+(** Monotonic event counters. *)
+module Counter : sig
+  type t
+
+  (** Add one; no-op while {!enabled} is false. *)
+  val incr : t -> unit
+
+  (** Add [n] (n >= 0); no-op while {!enabled} is false. *)
+  val add : t -> int -> unit
+
+  (** Add [n] regardless of {!enabled} — for tallies that feed the
+      evaluation harness (e.g. simulated wire bytes), not just
+      observability. *)
+  val force_add : t -> int -> unit
+
+  (** Overwrite the total regardless of {!enabled} — for mirroring a
+      monotonic count maintained elsewhere (e.g. the store layer's
+      per-table operation statistics) into the registry at snapshot
+      time. *)
+  val set : t -> int -> unit
+
+  val value : t -> int
+  val name : t -> string
+end
+
+(** Instantaneous values; {!Gauge.set} is never gated on {!enabled}. *)
+module Gauge : sig
+  type t
+
+  val set : t -> int -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val name : t -> string
+end
+
+(** Log-scaled histograms of non-negative integer samples (durations in
+    nanoseconds, sizes in bytes or pairs).
+
+    Values below 16 are bucketed exactly; above that, four sub-buckets
+    per power of two bound the relative quantile error by ~12%. *)
+module Histogram : sig
+  type t
+
+  (** Record one sample (negative samples clamp to 0); no-op while
+      {!enabled} is false. *)
+  val observe : t -> int -> unit
+
+  (** A histogram as frozen for a snapshot. Quantiles are bucket
+      midpoints clamped to [\[min, max\]]; all fields are 0 when
+      [count] is 0. *)
+  type snapshot = {
+    count : int;
+    sum : int;
+    min : int;
+    max : int;
+    p50 : int;
+    p95 : int;
+    p99 : int;
+  }
+
+  val snapshot : t -> snapshot
+
+  (** Quantile estimate for [q] in [\[0, 1\]]; 0 when empty. *)
+  val quantile : t -> float -> int
+
+  val name : t -> string
+end
+
+(** [counter t name] returns the counter registered under [name],
+    creating it at zero if absent.
+    @raise Invalid_argument if [name] is registered as another kind. *)
+val counter : t -> string -> Counter.t
+
+(** Like {!counter}, for gauges. *)
+val gauge : t -> string -> Gauge.t
+
+(** Like {!counter}, for histograms. *)
+val histogram : t -> string -> Histogram.t
+
+(** Current total of the counter named [name]; 0 when absent (does not
+    create it). *)
+val counter_value : t -> string -> int
+
+(** {2 Snapshots} *)
+
+(** One metric's value as frozen for a snapshot. *)
+type value =
+  | Counter of int
+  | Gauge of int
+  | Histogram of Histogram.snapshot
+
+(** Every registered metric, sorted by name. *)
+val snapshot : t -> (string * value) list
+
+(** {!snapshot} flattened to integers for the legacy [Stats] RPC and
+    text tables: counters and gauges map to one entry; a histogram [h]
+    expands to [h.count], [h.sum], [h.min], [h.max], [h.p50], [h.p95]
+    and [h.p99]. *)
+val int_snapshot : t -> (string * int) list
+
+(** Zero every counter and histogram, clear every gauge, and empty the
+    trace ring. Registered names survive. *)
+val reset : t -> unit
+
+(** {2 JSON}
+
+    The [--metrics-dump] wire format: one single-line JSON object per
+    snapshot, counters/gauges as integers and histograms as nested
+    objects, e.g.
+    [{"op.scan":12,"op.scan.ns":{"count":12,"sum":..,"min":..,"max":..,"p50":..,"p95":..,"p99":..}}]. *)
+
+(** Render a snapshot as one JSON line. [extra] prepends raw
+    (name, already-encoded-value) members, e.g. a timestamp. *)
+val json_of_snapshot : ?extra:(string * string) list -> (string * value) list -> string
+
+(** Parse a {!json_of_snapshot} line back (members from [extra] are
+    returned as [Gauge]s when integers). Accepts exactly the subset
+    {!json_of_snapshot} emits.
+    @raise Failure on malformed input. *)
+val snapshot_of_json : string -> (string * value) list
+
+(** {2 Tracing} *)
+
+(** One traced operation. Unused string fields are [""]; unused numeric
+    fields are 0. *)
+type event = {
+  ev_seq : int;  (** 0-based position in the recording order *)
+  ev_kind : string;  (** e.g. ["scan"], ["evict"], ["wal.sync"] *)
+  ev_table : string;
+  ev_lo : string;
+  ev_hi : string;
+  ev_dur_ns : int;
+  ev_bytes : int;
+}
+
+(** Resize the trace ring (discarding current contents). Capacity must
+    be positive. *)
+val set_trace_capacity : t -> int -> unit
+
+(** Record a trace event; no-op while {!enabled} is false. The ring
+    keeps the most recent [capacity] events. *)
+val trace :
+  t ->
+  kind:string ->
+  ?table:string ->
+  ?lo:string ->
+  ?hi:string ->
+  ?dur_ns:int ->
+  ?bytes:int ->
+  unit ->
+  unit
+
+(** The most recent (up to) [n] events, newest first. Default: the whole
+    ring. *)
+val recent_events : ?n:int -> t -> event list
+
+(** Total events ever recorded, including those overwritten. *)
+val events_recorded : t -> int
+
+(** {2 Timing} *)
+
+(** Wall-clock nanoseconds (for [dur_ns] arithmetic; not related to the
+    engine's logical clock). *)
+val now_ns : unit -> int
+
+(** Start a duration measurement: a timestamp while {!enabled}, else 0.
+    Pair with {!tock}. *)
+val tick : unit -> int
+
+(** Elapsed nanoseconds since [tick ()]'s result; 0 if recording was
+    off at tick time. *)
+val tock : int -> int

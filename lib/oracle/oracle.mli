@@ -23,6 +23,7 @@ module Joinspec = Pequod_pattern.Joinspec
 
 type t
 
+(** A fresh, empty oracle. *)
 val create : unit -> t
 
 (** Re-validates the key like the engine does.

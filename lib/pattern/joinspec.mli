@@ -17,7 +17,9 @@
 
 type operator = Copy | Check | Count | Sum | Min | Max
 
+(** The grammar keyword for an operator ([Copy] is ["copy"], ...). *)
 val operator_to_string : operator -> string
+
 val operator_of_string : string -> operator option
 val is_aggregate : operator -> bool
 
@@ -31,7 +33,10 @@ type source = { op : operator; pattern : Pattern.t }
 
 type t
 
+(** Parse and validate a join in the Fig 2 grammar; [Error] carries a
+    human-readable reason. *)
 val parse : string -> (t, string) result
+
 val parse_exn : string -> t
 
 val output : t -> Pattern.t

@@ -36,6 +36,13 @@ type t = {
   mutable st_tail_lost : bool; (* replay stopped at a torn/corrupt record *)
   mutable st_logged : int; (* records appended since attach *)
   mutable st_snapshots : int; (* snapshots written since attach *)
+  (* registry handles into the engine's metrics registry *)
+  m_appends : Obs.Counter.t; (* wal.appends *)
+  m_append_bytes : Obs.Histogram.t; (* wal.append.bytes *)
+  m_syncs : Obs.Counter.t; (* wal.syncs *)
+  m_sync_ns : Obs.Histogram.t; (* wal.sync.ns *)
+  m_snapshots : Obs.Counter.t; (* snapshot.writes *)
+  m_snapshot_ns : Obs.Histogram.t; (* snapshot.write.ns *)
 }
 
 let list_dir dir =
@@ -142,8 +149,15 @@ let recover_wal ~server ~dir ~base =
 let now () = Unix.gettimeofday ()
 
 let sync t =
+  let t0 = Obs.tick () in
   Wal.sync t.writer;
-  t.last_sync <- now ()
+  t.last_sync <- now ();
+  Obs.Counter.incr t.m_syncs;
+  if !Obs.enabled then begin
+    let d = Obs.tock t0 in
+    Obs.Histogram.observe t.m_sync_ns d;
+    Obs.trace (Server.obs t.server) ~kind:"wal.sync" ~dur_ns:d ()
+  end
 
 (* Delete snapshots beyond the two newest, and log files wholly covered
    by the older retained snapshot. *)
@@ -173,8 +187,15 @@ let compact t =
     log file, and compact. *)
 let snapshot_now t =
   sync t;
+  let t0 = Obs.tick () in
   let path = Snapshot.write ~dir:t.cfg.Config.p_dir ~seq:t.seq t.server in
   t.st_snapshots <- t.st_snapshots + 1;
+  Obs.Counter.incr t.m_snapshots;
+  if !Obs.enabled then begin
+    let d = Obs.tock t0 in
+    Obs.Histogram.observe t.m_snapshot_ns d;
+    Obs.trace (Server.obs t.server) ~kind:"snapshot" ~dur_ns:d ()
+  end;
   t.records_since_snapshot <- 0;
   Log.info (fun m -> m "snapshot %s written at seq %d" path t.seq);
   Wal.close t.writer;
@@ -184,8 +205,11 @@ let snapshot_now t =
 let on_mutation t m =
   if not t.closed then begin
     t.seq <- t.seq + 1;
+    let bytes_before = t.writer.Wal.bytes in
     Wal.append t.writer ~seq:t.seq (Wal.op_of_mutation m);
     t.st_logged <- t.st_logged + 1;
+    Obs.Counter.incr t.m_appends;
+    Obs.Histogram.observe t.m_append_bytes (t.writer.Wal.bytes - bytes_before);
     t.records_since_snapshot <- t.records_since_snapshot + 1;
     (match t.cfg.Config.p_sync with
     | Config.Sync_always -> sync t
@@ -208,11 +232,22 @@ let attach server cfg =
   let seq, replayed, tail_lost = recover_wal ~server ~dir ~base in
   (* always start a fresh log: never append beyond a torn tail *)
   let writer = Wal.create_writer ~dir ~first_seq:(seq + 1) in
+  let obs = Server.obs server in
   let t =
     { server; cfg; seq; writer; records_since_snapshot = 0; last_sync = now ();
       closed = false; st_snapshot_seq = base; st_replayed = replayed;
-      st_tail_lost = tail_lost; st_logged = 0; st_snapshots = 0 }
+      st_tail_lost = tail_lost; st_logged = 0; st_snapshots = 0;
+      m_appends = Obs.counter obs "wal.appends";
+      m_append_bytes = Obs.histogram obs "wal.append.bytes";
+      m_syncs = Obs.counter obs "wal.syncs";
+      m_sync_ns = Obs.histogram obs "wal.sync.ns";
+      m_snapshots = Obs.counter obs "snapshot.writes";
+      m_snapshot_ns = Obs.histogram obs "snapshot.write.ns" }
   in
+  (* recovery figures are facts, not hot-path tallies: record them
+     regardless of the [Obs.enabled] switch *)
+  Obs.Counter.set (Obs.counter obs "recovery.replayed") replayed;
+  Obs.Counter.set (Obs.counter obs "recovery.tail_lost") (if tail_lost then 1 else 0);
   Server.set_mutation_hook server (fun m -> on_mutation t m);
   t
 

@@ -6,10 +6,12 @@ val max_frame : int
 
 exception Frame_too_large of int
 
+(** Prefix a payload with its length. *)
 val encode : string -> string
 
 type decoder
 
+(** A fresh decoder with an empty reassembly buffer. *)
 val decoder : unit -> decoder
 
 (** Feed arriving bytes; returns every completed frame, keeping the

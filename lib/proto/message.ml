@@ -16,13 +16,29 @@ type request =
   | Notify_put of string * string
   | Notify_remove of string
   | Stats
+  | Stats_full
 
 type response =
   | Done
   | Value of string option
   | Pairs of (string * string) list
   | Stat_list of (string * int) list
+  | Metrics of (string * Obs.value) list
   | Error of string
+
+(** Short name of a request's kind, for per-kind RPC counters
+    ([rpc.get], [rpc.scan], ...). *)
+let request_kind = function
+  | Get _ -> "get"
+  | Put _ -> "put"
+  | Remove _ -> "remove"
+  | Scan _ -> "scan"
+  | Add_join _ -> "add_join"
+  | Fetch _ -> "fetch"
+  | Notify_put _ -> "notify_put"
+  | Notify_remove _ -> "notify_remove"
+  | Stats -> "stats"
+  | Stats_full -> "stats_full"
 
 exception Protocol_error = Codec.Decode_error
 
@@ -59,7 +75,8 @@ let encode_request req =
   | Notify_remove k ->
     Buffer.add_char buf '\x08';
     Codec.put_string buf k
-  | Stats -> Buffer.add_char buf '\x09');
+  | Stats -> Buffer.add_char buf '\x09'
+  | Stats_full -> Buffer.add_char buf '\x0a');
   Buffer.contents buf
 
 let decode_request data =
@@ -89,6 +106,7 @@ let decode_request data =
       Notify_put (k, v)
     | 0x08 -> Notify_remove (Codec.get_string r)
     | 0x09 -> Stats
+    | 0x0a -> Stats_full
     | tag -> raise (Codec.Decode_error (Printf.sprintf "bad request tag %#x" tag))
   in
   if not (Codec.at_end r) then raise (Codec.Decode_error "trailing bytes");
@@ -113,6 +131,29 @@ let encode_response resp =
         Codec.put_string buf k;
         Codec.put_varint buf n)
       stats
+  | Metrics metrics ->
+    Buffer.add_char buf '\x87';
+    Codec.put_varint buf (List.length metrics);
+    List.iter
+      (fun (name, v) ->
+        Codec.put_string buf name;
+        match v with
+        | Obs.Counter n ->
+          Buffer.add_char buf '\x00';
+          Codec.put_varint buf n
+        | Obs.Gauge n ->
+          Buffer.add_char buf '\x01';
+          Codec.put_varint buf n
+        | Obs.Histogram h ->
+          Buffer.add_char buf '\x02';
+          Codec.put_varint buf h.Obs.Histogram.count;
+          Codec.put_varint buf h.Obs.Histogram.sum;
+          Codec.put_varint buf h.Obs.Histogram.min;
+          Codec.put_varint buf h.Obs.Histogram.max;
+          Codec.put_varint buf h.Obs.Histogram.p50;
+          Codec.put_varint buf h.Obs.Histogram.p95;
+          Codec.put_varint buf h.Obs.Histogram.p99)
+      metrics
   | Error msg ->
     Buffer.add_char buf '\x86';
     Codec.put_string buf msg);
@@ -134,6 +175,28 @@ let decode_response data =
              let v = Codec.get_varint r in
              (k, v)))
     | 0x86 -> Error (Codec.get_string r)
+    | 0x87 ->
+      let n = Codec.get_varint r in
+      Metrics
+        (List.init n (fun _ ->
+             let name = Codec.get_string r in
+             let v =
+               match Codec.get_byte r with
+               | 0x00 -> Obs.Counter (Codec.get_varint r)
+               | 0x01 -> Obs.Gauge (Codec.get_varint r)
+               | 0x02 ->
+                 let count = Codec.get_varint r in
+                 let sum = Codec.get_varint r in
+                 let min = Codec.get_varint r in
+                 let max = Codec.get_varint r in
+                 let p50 = Codec.get_varint r in
+                 let p95 = Codec.get_varint r in
+                 let p99 = Codec.get_varint r in
+                 Obs.Histogram { Obs.Histogram.count; sum; min; max; p50; p95; p99 }
+               | tag ->
+                 raise (Codec.Decode_error (Printf.sprintf "bad metric kind %#x" tag))
+             in
+             (name, v)))
     | tag -> raise (Codec.Decode_error (Printf.sprintf "bad response tag %#x" tag))
   in
   if not (Codec.at_end r) then raise (Codec.Decode_error "trailing bytes");
@@ -172,4 +235,5 @@ let apply_to_server server req =
     Server.remove server k;
     Done
   | Stats -> Stat_list (Server.stats_snapshot server)
+  | Stats_full -> Metrics (Server.metrics_snapshot server)
   | Fetch _ -> Error "fetch is handled by the cluster layer"

@@ -28,9 +28,12 @@ type node = {
   server : Server.t;
   (* home-server subscriptions: source range -> subscriber node id *)
   subs : (string, int Interval_map.t) Hashtbl.t;
-  mutable msgs_sent : int;
-  mutable server_bytes : int; (* inter-server traffic *)
-  mutable client_bytes : int; (* client-facing traffic *)
+  (* traffic tallies live in the node's own registry (one per server, so
+     per-node figures come for free); recorded with [force_add] because
+     they feed the Fig 10 measurements, not just observability *)
+  m_msgs : Obs.Counter.t; (* sim.msgs_sent *)
+  m_server_bytes : Obs.Counter.t; (* sim.server_bytes: inter-server traffic *)
+  m_client_bytes : Obs.Counter.t; (* sim.client_bytes: client-facing traffic *)
   mutable work_epoch : int; (* store-op snapshot at epoch start *)
   mutable msg_work : int; (* message-handling work units since epoch *)
 }
@@ -58,14 +61,16 @@ let byte_units_per_kb = 2
 let node t id = t.nodes.(id)
 
 let make_node ~id ~kind ?config () =
+  let server = Server.create ?config () in
+  let obs = Server.obs server in
   {
     id;
     kind;
-    server = Server.create ?config ();
+    server;
     subs = Hashtbl.create 8;
-    msgs_sent = 0;
-    server_bytes = 0;
-    client_bytes = 0;
+    m_msgs = Obs.counter obs "sim.msgs_sent";
+    m_server_bytes = Obs.counter obs "sim.server_bytes";
+    m_client_bytes = Obs.counter obs "sim.client_bytes";
     work_epoch = 0;
     msg_work = 0;
   }
@@ -119,9 +124,9 @@ let add_join t text =
 (* account one message from [src] to [dst]; returns the wire size *)
 let account_msg t ~src ~dst wire =
   let n = String.length wire in
-  t.nodes.(src).msgs_sent <- t.nodes.(src).msgs_sent + 1;
-  t.nodes.(src).server_bytes <- t.nodes.(src).server_bytes + n;
-  t.nodes.(dst).server_bytes <- t.nodes.(dst).server_bytes + n;
+  Obs.Counter.force_add t.nodes.(src).m_msgs 1;
+  Obs.Counter.force_add t.nodes.(src).m_server_bytes n;
+  Obs.Counter.force_add t.nodes.(dst).m_server_bytes n;
   let units = msg_units + (n * byte_units_per_kb / 1024) in
   t.nodes.(src).msg_work <- t.nodes.(src).msg_work + units;
   t.nodes.(dst).msg_work <- t.nodes.(dst).msg_work + units;
@@ -173,7 +178,7 @@ let client_put ?via t key value =
   | Some c when c <> home -> Server.put t.nodes.(c).server key value
   | _ -> ());
   let n = t.nodes.(home) in
-  n.client_bytes <- n.client_bytes + String.length key + String.length value + 16;
+  Obs.Counter.force_add n.m_client_bytes (String.length key + String.length value + 16);
   Event.schedule t.event ~delay:t.latency (fun () ->
       Server.put n.server key value;
       push_notifications t home key (Some value))
@@ -223,9 +228,8 @@ let client_scan t ~via ~lo ~hi callback =
     match Server.scan_nb n.server ~lo ~hi with
     | `Ok pairs ->
       t.scans_done <- t.scans_done + 1;
-      n.client_bytes <-
-        n.client_bytes + 24
-        + List.fold_left (fun acc (k, v) -> acc + String.length k + String.length v) 0 pairs;
+      Obs.Counter.force_add n.m_client_bytes
+        (24 + List.fold_left (fun acc (k, v) -> acc + String.length k + String.length v) 0 pairs);
       callback pairs
     | `Missing missing ->
       List.iter
@@ -258,10 +262,17 @@ let bottleneck_work t =
 let total_memory t ids =
   List.fold_left (fun acc id -> acc + Server.memory_bytes t.nodes.(id).server) 0 ids
 
-let server_bytes t =
-  Array.fold_left (fun acc n -> acc + n.server_bytes) 0 t.nodes / 2 (* counted at both ends *)
+(** One node's traffic tallies (also visible in its registry snapshot as
+    [sim.msgs_sent] / [sim.server_bytes] / [sim.client_bytes]). *)
+let node_msgs_sent n = Obs.Counter.value n.m_msgs
 
-let client_bytes t = Array.fold_left (fun acc n -> acc + n.client_bytes) 0 t.nodes
+let node_server_bytes n = Obs.Counter.value n.m_server_bytes
+let node_client_bytes n = Obs.Counter.value n.m_client_bytes
+
+let server_bytes t =
+  Array.fold_left (fun acc n -> acc + node_server_bytes n) 0 t.nodes / 2 (* counted at both ends *)
+
+let client_bytes t = Array.fold_left (fun acc n -> acc + node_client_bytes n) 0 t.nodes
 
 let subscription_count t =
   Array.fold_left

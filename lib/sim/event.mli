@@ -4,6 +4,7 @@
 
 type t
 
+(** An empty event queue at simulated time 0. *)
 val create : unit -> t
 val now : t -> float
 val pending : t -> int

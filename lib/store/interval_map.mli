@@ -5,6 +5,7 @@
 type 'a t
 type 'a handle
 
+(** An empty interval map. *)
 val create : unit -> 'a t
 val size : 'a t -> int
 val handle_data : 'a handle -> 'a

@@ -5,6 +5,7 @@
 type 'a t
 type 'a entry
 
+(** An empty LRU list. *)
 val create : unit -> 'a t
 val length : 'a t -> int
 val data : 'a entry -> 'a

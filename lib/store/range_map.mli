@@ -5,6 +5,7 @@
 
 type 'a t
 
+(** An empty map (no key is covered). *)
 val create : ?dup:('a -> 'a) -> unit -> 'a t
 val is_empty : 'a t -> bool
 val cardinal : 'a t -> int

@@ -85,4 +85,18 @@ let tables t = Smap.bindings t.ordered |> List.map snd
 let total_ops t =
   Hashtbl.fold (fun _ tbl acc -> acc + Table.total_ops (Table.stats tbl)) t.by_name 0
 
+(** Aggregate of every table's operation statistics (a fresh record; the
+    per-table records keep accumulating independently). *)
+let stats_totals t =
+  let acc = { Table.lookups = 0; inserts = 0; removes = 0; steps = 0 } in
+  Hashtbl.iter
+    (fun _ tbl ->
+      let s = Table.stats tbl in
+      acc.Table.lookups <- acc.Table.lookups + s.Table.lookups;
+      acc.Table.inserts <- acc.Table.inserts + s.Table.inserts;
+      acc.Table.removes <- acc.Table.removes + s.Table.removes;
+      acc.Table.steps <- acc.Table.steps + s.Table.steps)
+    t.by_name;
+  acc
+
 let validate t = Hashtbl.iter (fun _ tbl -> Table.validate tbl) t.by_name

@@ -5,6 +5,8 @@
 
 type 'v t
 
+(** An empty store; [table_config] maps a table name to its subtable
+    depth ([None] for a single tree). *)
 val create : ?table_config:(string -> int option) -> dummy:'v -> unit -> 'v t
 
 (** Table name of a key: everything before the first ['|']. *)
@@ -32,5 +34,10 @@ val tables : 'v t -> 'v Table.t list
 (** Summed operation statistics across tables (the simulator's CPU cost
     model). *)
 val total_ops : 'v t -> int
+
+(** Aggregate of every table's {!Table.stats} as a fresh record; the
+    per-table records keep accumulating independently. The engine mirrors
+    this into its metrics registry at snapshot time. *)
+val stats_totals : 'v t -> Table.stats
 
 val validate : 'v t -> unit

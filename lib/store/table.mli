@@ -11,6 +11,8 @@ type stats = {
   mutable steps : int;
 }
 
+(** [lookups + inserts + removes + steps]: the store-op work measure the
+    Fig 10 throughput model divides by. *)
 val total_ops : stats -> int
 
 type 'v t
@@ -29,8 +31,13 @@ val stats : 'v t -> stats
 val size : 'v t -> int
 
 (** Approximate resident bytes for keys and nodes (values are accounted by
-    the engine, which knows about sharing). *)
+    the engine, which knows about sharing). Equals the summed key lengths
+    plus {!node_overhead} per resident pair. *)
 val memory_bytes : 'v t -> int
+
+(** Bytes charged per stored pair on top of its key (tree node, pointers,
+    headers) when estimating {!memory_bytes}. *)
+val node_overhead : int
 
 val subtable_count : 'v t -> int
 val get : 'v t -> string -> 'v option

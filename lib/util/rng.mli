@@ -4,6 +4,7 @@
 
 type t
 
+(** A generator seeded from one integer (via splitmix64). *)
 val create : int -> t
 
 (** Derive an independent stream. *)

@@ -58,13 +58,13 @@ let test_incremental_post () =
   subscribe s "ann" "bob";
   post s "bob" 100 "first";
   ignore (timeline s "ann");
-  let execs_before = Stats.Counters.get (Server.counters s) "exec.recompute_region" in
+  let execs_before = Server.counter s "exec.recompute_region" in
   (* a new post must flow into the materialized timeline eagerly *)
   post s "bob" 120 "second";
   check_pairs "updated"
     [ ("t|ann|0100|bob", "first"); ("t|ann|0120|bob", "second") ]
     (timeline s "ann");
-  let execs_after = Stats.Counters.get (Server.counters s) "exec.recompute_region" in
+  let execs_after = Server.counter s "exec.recompute_region" in
   check_int "no recompute needed" execs_before execs_after;
   Server.validate s
 
@@ -378,7 +378,7 @@ let test_eviction_and_recovery () =
     ignore (timeline s (Printf.sprintf "u%02d" u))
   done;
   check_bool "eviction happened" true
-    (Stats.Counters.get (Server.counters s) "evict.cover" > 0);
+    (Server.counter s "evict.cover" > 0);
   (* evicted timelines recompute correctly on demand *)
   let tl = timeline s "u00" in
   check_int "complete timeline" 20 (List.length tl);
@@ -410,12 +410,12 @@ let test_eviction_join_interplay () =
   (* materializing every timeline overruns the limit and evicts ranges *)
   let before = List.map (fun u -> timeline s u) users in
   check_bool "eviction happened" true
-    (Stats.Counters.get (Server.counters s) "evict.cover" > 0);
-  let recomputes = Stats.Counters.get (Server.counters s) "exec.recompute_region" in
+    (Server.counter s "evict.cover" > 0);
+  let recomputes = Server.counter s "exec.recompute_region" in
   let after = List.map (fun u -> timeline s u) users in
   List.iter2 (fun b a -> check_pairs "identical after eviction" b a) before after;
   check_bool "re-scan recomputed evicted ranges" true
-    (Stats.Counters.get (Server.counters s) "exec.recompute_region" > recomputes);
+    (Server.counter s "exec.recompute_region" > recomputes);
   List.iter
     (fun u ->
       let lo = Printf.sprintf "t|%s|" u in

@@ -1,0 +1,283 @@
+(* Tests for the observability layer: registry primitive semantics,
+   log-bucket quantile accuracy against a sorted reference, trace-ring
+   wraparound, snapshot JSON and wire round trips, and the differential
+   guarantee that disabling [Obs.enabled] cannot change engine results. *)
+
+module Server = Pequod_core.Server
+module Config = Pequod_core.Config
+module Message = Pequod_proto.Message
+module Fuzz = Pequod_fuzz.Fuzz
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* run [f] with [Obs.enabled] forced to [v], restoring it afterward so
+   later tests (and other suites in the process) see recording on *)
+let with_enabled v f =
+  let saved = !Obs.enabled in
+  Obs.enabled := v;
+  Fun.protect ~finally:(fun () -> Obs.enabled := saved) f
+
+(* ------------------------------------------------------------------ *)
+(* Counter / gauge semantics                                           *)
+
+let test_counter () =
+  let t = Obs.create () in
+  let c = Obs.counter t "c" in
+  check_int "starts at zero" 0 (Obs.Counter.value c);
+  Obs.Counter.incr c;
+  Obs.Counter.add c 4;
+  check_int "incr+add" 5 (Obs.Counter.value c);
+  check_string "name" "c" (Obs.Counter.name c);
+  (* get-or-create returns the same counter *)
+  Obs.Counter.incr (Obs.counter t "c");
+  check_int "same handle" 6 (Obs.Counter.value c);
+  check_int "counter_value" 6 (Obs.counter_value t "c");
+  check_int "unknown counter reads zero" 0 (Obs.counter_value t "nope");
+  (* hot-path mutators are gated; set/force_add are not *)
+  with_enabled false (fun () ->
+      Obs.Counter.incr c;
+      Obs.Counter.add c 100;
+      check_int "gated while disabled" 6 (Obs.Counter.value c);
+      Obs.Counter.force_add c 10;
+      check_int "force_add ignores gate" 16 (Obs.Counter.value c);
+      Obs.Counter.set c 3;
+      check_int "set ignores gate" 3 (Obs.Counter.value c));
+  (* kind clash is an error, not a silent aliasing *)
+  check_bool "kind clash raises" true
+    (match Obs.gauge t "c" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_gauge () =
+  let t = Obs.create () in
+  let g = Obs.gauge t "g" in
+  Obs.Gauge.set g 42;
+  Obs.Gauge.add g (-2);
+  check_int "set+add" 40 (Obs.Gauge.value g);
+  check_string "name" "g" (Obs.Gauge.name g);
+  (* gauges mirror measurement-critical state: never gated *)
+  with_enabled false (fun () ->
+      Obs.Gauge.set g 7;
+      check_int "set while disabled" 7 (Obs.Gauge.value g))
+
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+
+let test_histogram_small () =
+  let t = Obs.create () in
+  let h = Obs.histogram t "h" in
+  for v = 1 to 10 do
+    Obs.Histogram.observe h v
+  done;
+  let s = Obs.Histogram.snapshot h in
+  check_int "count" 10 s.Obs.Histogram.count;
+  check_int "sum" 55 s.Obs.Histogram.sum;
+  check_int "min" 1 s.Obs.Histogram.min;
+  check_int "max" 10 s.Obs.Histogram.max;
+  (* values below 16 land in exact buckets: quantiles are exact *)
+  check_int "p50 exact" 5 s.Obs.Histogram.p50;
+  check_int "p99 exact" 10 s.Obs.Histogram.p99;
+  check_int "quantile 0.1" 1 (Obs.Histogram.quantile h 0.1);
+  with_enabled false (fun () ->
+      Obs.Histogram.observe h 1000;
+      check_int "observe gated" 10 (Obs.Histogram.snapshot h).Obs.Histogram.count)
+
+(* Log-scaled buckets quantize to 4 sub-buckets per power of two, so a
+   reported quantile is the midpoint of a bucket whose width is at most
+   lo/4: relative error <= ~12.5%. Check that bound against an exact
+   sorted-reference quantile on seeded random samples. *)
+let test_quantile_reference () =
+  let rng = Rng.create 0xBEEF in
+  let n = 5000 in
+  let samples = Array.init n (fun _ -> 1 + Rng.int rng 1_000_000) in
+  let t = Obs.create () in
+  let h = Obs.histogram t "lat" in
+  Array.iter (Obs.Histogram.observe h) samples;
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  let exact q =
+    let rank = max 1 (min n (int_of_float (ceil (q *. float_of_int n)))) in
+    sorted.(rank - 1)
+  in
+  List.iter
+    (fun q ->
+      let want = exact q in
+      let got = Obs.Histogram.quantile h q in
+      let err = abs (got - want) in
+      let tol = max 1 (int_of_float (0.13 *. float_of_int want)) in
+      if err > tol then
+        Alcotest.failf "quantile %.2f: got %d, exact %d (err %d > tol %d)" q got want err tol)
+    [ 0.5; 0.9; 0.95; 0.99 ];
+  check_int "min exact" sorted.(0) (Obs.Histogram.snapshot h).Obs.Histogram.min;
+  check_int "max exact" sorted.(n - 1) (Obs.Histogram.snapshot h).Obs.Histogram.max
+
+(* ------------------------------------------------------------------ *)
+(* Trace ring                                                          *)
+
+let test_ring_wraparound () =
+  let t = Obs.create () in
+  Obs.set_trace_capacity t 4;
+  for i = 0 to 9 do
+    Obs.trace t ~kind:(Printf.sprintf "k%d" i) ~bytes:i ()
+  done;
+  check_int "events_recorded counts overwritten" 10 (Obs.events_recorded t);
+  let recent = Obs.recent_events t in
+  check_int "ring keeps capacity" 4 (List.length recent);
+  check_string "newest first"
+    "k9 k8 k7 k6"
+    (String.concat " " (List.map (fun e -> e.Obs.ev_kind) recent));
+  (* sequence numbers keep counting across wraps *)
+  List.iteri (fun i e -> check_int "seq" (9 - i) e.Obs.ev_seq) recent;
+  check_int "recent_events ~n" 2 (List.length (Obs.recent_events ~n:2 t));
+  with_enabled false (fun () ->
+      Obs.trace t ~kind:"dropped" ();
+      check_int "trace gated" 10 (Obs.events_recorded t))
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot round trips                                                *)
+
+(* JSON cannot distinguish a counter from a gauge (both are plain
+   integers), so the parsed form maps Counter -> Gauge. *)
+let as_parsed = function
+  | name, Obs.Counter n -> (name, Obs.Gauge n)
+  | entry -> entry
+
+let test_json_roundtrip () =
+  let t = Obs.create () in
+  Obs.Counter.add (Obs.counter t "ops.total") 12345;
+  Obs.Gauge.set (Obs.gauge t "memory.bytes") 987654321;
+  Obs.Gauge.set (Obs.gauge t "zero") 0;
+  let h = Obs.histogram t "lat.ns" in
+  List.iter (Obs.Histogram.observe h) [ 1; 3; 17; 250; 100_000 ];
+  let snap = Obs.snapshot t in
+  let json = Obs.json_of_snapshot snap in
+  let parsed = Obs.snapshot_of_json json in
+  check_int "entry count" (List.length snap) (List.length parsed);
+  List.iter2
+    (fun want got ->
+      let wname, wval = as_parsed want in
+      let gname, gval = got in
+      check_string "name" wname gname;
+      check_bool (Printf.sprintf "value of %s" wname) true (wval = gval))
+    snap parsed;
+  (* empty registry round-trips too *)
+  check_bool "empty" true (Obs.snapshot_of_json (Obs.json_of_snapshot []) = [])
+
+let test_wire_metrics_roundtrip () =
+  let metrics =
+    [ ("net.rpcs", Obs.Counter 42);
+      ("memory.bytes", Obs.Gauge 123456);
+      ( "op.scan.ns",
+        Obs.Histogram
+          { Obs.Histogram.count = 7; sum = 700; min = 10; max = 300; p50 = 80; p95 = 290;
+            p99 = 300 } ) ]
+  in
+  match Message.decode_response (Message.encode_response (Message.Metrics metrics)) with
+  | Message.Metrics got ->
+    check_int "entries" (List.length metrics) (List.length got);
+    check_bool "round trip" true (got = metrics)
+  | _ -> Alcotest.fail "expected Metrics response"
+
+(* ------------------------------------------------------------------ *)
+(* Engine integration                                                  *)
+
+let timeline_join =
+  "t|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time>"
+
+let test_server_registry () =
+  let s = Server.create () in
+  Server.add_join_exn s timeline_join;
+  Server.put s "s|ann|bob" "1";
+  Server.put s "p|bob|0000000100" "hi";
+  Server.put s "p|bob|0000000200" "again";
+  let pairs = Server.scan s ~lo:"t|ann|" ~hi:"t|ann}" in
+  check_int "timeline" 2 (List.length pairs);
+  (* store.put is store-level: 3 base writes + 2 derived timeline pairs *)
+  check_int "store.put" 5 (Server.counter s "store.put");
+  check_int "op.scan" 1 (Server.counter s "op.scan");
+  (* the first scan materializes the range by recomputation... *)
+  check_bool "executor ran" true (Server.counter s "exec.run" > 0);
+  (* ...and installs updaters, so a later post is applied eagerly *)
+  Server.put s "p|bob|0000000300" "fresh";
+  check_bool "updater ran" true (Server.counter s "updater.run" > 0);
+  (* the resident-bytes gauge comes from the same ledger the invariant
+     checker audits *)
+  let stats = Server.stats_snapshot s in
+  check_int "memory.bytes gauge" (Server.memory_bytes s) (List.assoc "memory.bytes" stats);
+  Server.check_invariants s;
+  (* scans leave both a histogram sample and a trace event *)
+  (match List.assoc "op.scan.ns" (Server.metrics_snapshot s) with
+  | Obs.Histogram h -> check_int "scan histogram count" 1 h.Obs.Histogram.count
+  | _ -> Alcotest.fail "op.scan.ns should be a histogram");
+  check_bool "scan trace recorded" true
+    (List.exists (fun e -> e.Obs.ev_kind = "scan") (Obs.recent_events (Server.obs s)))
+
+(* ------------------------------------------------------------------ *)
+(* Differential: Obs.enabled=false must not change engine results       *)
+
+(* replay a fuzz op sequence on a fresh engine (no oracle) and build a
+   byte-exact transcript of every read result *)
+let run_transcript scenario ops =
+  let clock = ref 1_000_000.0 in
+  let config = Config.default () in
+  config.Config.now <- (fun () -> !clock);
+  let server = Server.create ~config () in
+  List.iter (fun j -> Server.add_join_exn server j) scenario.Fuzz.sc_joins;
+  let extra = Array.of_list scenario.Fuzz.sc_extra in
+  let installed = Array.map (fun _ -> false) extra in
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun op ->
+      match op with
+      | Fuzz.Put (k, v) -> Server.put server k v
+      | Fuzz.Remove k -> Server.remove server k
+      | Fuzz.Scan (lo, hi) | Fuzz.Count (lo, hi) ->
+        clock := !clock +. scenario.Fuzz.sc_tick;
+        List.iter
+          (fun (k, v) -> Printf.bprintf buf "%S=%S\n" k v)
+          (Server.scan server ~lo ~hi)
+      | Fuzz.Tick -> clock := !clock +. 1.0
+      | Fuzz.Add_join i ->
+        if i < Array.length extra && not installed.(i) then begin
+          installed.(i) <- true;
+          Server.add_join_exn server extra.(i)
+        end
+      | Fuzz.Crash -> ())
+    ops;
+  Printf.bprintf buf "memory=%d size=%d\n" (Server.memory_bytes server) (Server.size server);
+  Server.check_invariants server;
+  Buffer.contents buf
+
+let test_disabled_is_inert () =
+  let scenario =
+    match Fuzz.find_scenario "twip" with
+    | Some s -> s
+    | None -> Alcotest.fail "twip scenario missing"
+  in
+  let ops =
+    let rng = Rng.create (Fuzz.derive_seed 0xC0FFEE 1) in
+    Fuzz.gen_ops scenario rng ~max_ops:400
+  in
+  let on = with_enabled true (fun () -> run_transcript scenario ops) in
+  let off = with_enabled false (fun () -> run_transcript scenario ops) in
+  check_bool "transcript non-trivial" true (String.length on > 0);
+  check_string "enabled=false is byte-identical" on off
+
+let () =
+  Alcotest.run "obs"
+    [ ( "registry",
+        [ Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "histogram small" `Quick test_histogram_small;
+          Alcotest.test_case "quantile vs sorted reference" `Quick test_quantile_reference ] );
+      ( "trace",
+        [ Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound ] );
+      ( "snapshots",
+        [ Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "wire Metrics roundtrip" `Quick test_wire_metrics_roundtrip ] );
+      ( "engine",
+        [ Alcotest.test_case "server registry" `Quick test_server_registry;
+          Alcotest.test_case "disabled observability is inert" `Quick test_disabled_is_inert ] )
+    ]

@@ -1,0 +1,52 @@
+#!/bin/sh
+# Check that every relative markdown link in the repo's documentation
+# resolves to an existing file. External (http/https/mailto) links and
+# pure #fragment links are skipped; a #fragment on a relative link is
+# stripped before the existence check. Zero dependencies beyond POSIX
+# sh + grep + sed.
+#
+# Usage: sh tools/check_md_links.sh [files...]
+# With no arguments, checks *.md and docs/*.md from the repo root.
+
+set -u
+cd "$(dirname "$0")/.." || exit 2
+
+if [ "$#" -gt 0 ]; then
+  files="$*"
+else
+  files=$(ls ./*.md docs/*.md 2>/dev/null)
+fi
+
+status=0
+for f in $files; do
+  [ -f "$f" ] || { echo "linkcheck: no such file: $f" >&2; status=1; continue; }
+  dir=$(dirname "$f")
+  # inline links: [text](target). One match per line is enough to catch
+  # doc rot; multi-link lines are split on ")(" boundaries first.
+  grep -n -o '\[[^]]*\]([^)]*)' "$f" | while IFS= read -r hit; do
+    line=${hit%%:*}
+    target=$(printf '%s' "$hit" | sed 's/^[0-9]*:\[[^]]*\](\([^)]*\))$/\1/')
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path=${target%%#*}
+    [ -n "$path" ] || continue
+    case "$path" in
+      /*) resolved=".$path" ;;
+      *) resolved="$dir/$path" ;;
+    esac
+    if [ ! -e "$resolved" ]; then
+      echo "$f:$line: broken link -> $target"
+    fi
+  done
+done > /tmp/linkcheck.$$ 2>&1
+
+if [ -s /tmp/linkcheck.$$ ]; then
+  cat /tmp/linkcheck.$$
+  rm -f /tmp/linkcheck.$$
+  echo "linkcheck: FAILED" >&2
+  exit 1
+fi
+rm -f /tmp/linkcheck.$$
+echo "linkcheck: all relative markdown links resolve"
+exit $status
