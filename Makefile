@@ -2,7 +2,7 @@
 # test suite (unit, integration, property-based, and the persist
 # fault-injection tests in test/test_persist.ml).
 
-.PHONY: check build test bench micro fuzz fuzz-replay doc linkcheck clean
+.PHONY: check build test bench micro micro-smoke fuzz fuzz-replay doc linkcheck clean
 
 check: ; dune build && dune runtest
 
@@ -15,6 +15,11 @@ test: ; dune runtest
 bench: ; dune exec bench/main.exe
 
 micro: ; dune exec bench/main.exe -- micro
+
+# CI smoke: same benchmarks with a tiny per-case quota, so the bench
+# harness (and its BENCH_micro.json emitter) is exercised on every push
+# without burning minutes on statistical quality
+micro-smoke: ; PEQUOD_MICRO_QUOTA=0.02 dune exec bench/main.exe -- micro
 
 # model-based differential fuzzing: replay seeded op sequences against
 # the engine and the naive oracle (test/fuzz/).  Deterministic given

@@ -141,6 +141,59 @@ let bench_codec_roundtrip =
   Test.make ~name:"message encode+decode"
     (Staged.stage (fun () -> ignore (Message.decode_request (Message.encode_request req))))
 
+(* The batched write pipeline, measured at the engine level: sequential
+   puts pay table resolution, a full tree descent and an updater stab per
+   key; put_batch sorts once, threads insertion hints across each run and
+   coalesces the stabs. Sorted vs shuffled separates the hint win from
+   the stab/resolution win; the updater variants add a live copy join so
+   the coalesced-stab path is on the measured path. *)
+module Engine = Pequod_core.Server
+
+let batch_pairs n = List.init n (fun i -> (Printf.sprintf "b|u%03d|%010d" (i / 256) i, "v"))
+
+let shuffled_pairs n =
+  let a = Array.of_list (batch_pairs n) in
+  let rng = Rng.create 0xBA7C4 in
+  for i = n - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a
+
+let bench_put_path ~name ~batched ~updater pairs =
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let s = Engine.create () in
+         if updater then begin
+           Engine.add_join_exn s "bb|<u>|<i> = copy b|<u>|<i>";
+           (* materialize the (empty) output range so its updater is
+              installed before the writes arrive *)
+           ignore (Engine.scan s ~lo:"bb|" ~hi:"bb}")
+         end;
+         if batched then Engine.put_batch s pairs
+         else List.iter (fun (k, v) -> Engine.put s k v) pairs))
+
+let put_seq_10k_sorted = "server put 10k sequential (sorted)"
+let put_batch_10k_sorted = "server put 10k batched (sorted)"
+
+let batch_tests =
+  let p1k = batch_pairs 1_000 in
+  let p10k = batch_pairs 10_000 in
+  let s10k = shuffled_pairs 10_000 in
+  [
+    bench_put_path ~name:"server put 1k sequential (sorted)" ~batched:false ~updater:false p1k;
+    bench_put_path ~name:"server put 1k batched (sorted)" ~batched:true ~updater:false p1k;
+    bench_put_path ~name:put_seq_10k_sorted ~batched:false ~updater:false p10k;
+    bench_put_path ~name:put_batch_10k_sorted ~batched:true ~updater:false p10k;
+    bench_put_path ~name:"server put 10k sequential (shuffled)" ~batched:false ~updater:false s10k;
+    bench_put_path ~name:"server put 10k batched (shuffled)" ~batched:true ~updater:false s10k;
+    bench_put_path ~name:"server put 1k sequential (sorted, updater)" ~batched:false ~updater:true
+      p1k;
+    bench_put_path ~name:"server put 1k batched (sorted, updater)" ~batched:true ~updater:true p1k;
+  ]
+
 let all_tests =
   [
     bench_rbtree_insert;
@@ -155,11 +208,19 @@ let all_tests =
     bench_pattern_match;
     bench_codec_roundtrip;
   ]
+  @ batch_tests
 
 (** Measured ns/run per benchmark, in declaration order ([None] when the
     OLS fit fails). *)
 let run () =
-  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:(Some 500) () in
+  (* PEQUOD_MICRO_QUOTA (seconds per benchmark) lets CI run a smoke pass
+     in a few seconds; unset keeps the full-fidelity default *)
+  let quota =
+    match Sys.getenv_opt "PEQUOD_MICRO_QUOTA" with
+    | Some s -> ( match float_of_string_opt s with Some q when q > 0.0 -> q | _ -> 0.25)
+    | None -> 0.25
+  in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second quota) ~kde:(Some 500) () in
   let instances = Instance.[ monotonic_clock ] in
   List.concat_map
     (fun test ->
@@ -220,6 +281,30 @@ let registry_snapshot () =
   done;
   Obs.json_of_snapshot (Server.metrics_snapshot s)
 
+(* provenance stamps: which commit produced these numbers, and when *)
+let git_commit () =
+  match Unix.open_process_in "git describe --always --dirty 2>/dev/null" with
+  | exception _ -> "unknown"
+  | ic ->
+    let line = try input_line ic with End_of_file -> "unknown" in
+    (match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown")
+
+let iso_date () =
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+    tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+
+(* ratios worth tracking as first-class numbers, recomputed from the
+   measured results so the JSON carries the claim, not just the inputs *)
+let derived_of results =
+  let find name = match List.assoc_opt name results with Some (Some v) -> Some v | _ -> None in
+  match (find put_seq_10k_sorted, find put_batch_10k_sorted) with
+  | Some seq, Some batch when batch > 0.0 ->
+    [ ("put_batch 10k sorted speedup", seq /. batch) ]
+  | _ -> []
+
 let write_json ~path ?registry results =
   let oc = open_out path in
   Fun.protect
@@ -227,7 +312,20 @@ let write_json ~path ?registry results =
     (fun () ->
       output_string oc "{\n";
       output_string oc "  \"benchmark\": \"micro\",\n";
+      Printf.fprintf oc "  \"commit\": \"%s\",\n" (json_escape (git_commit ()));
+      Printf.fprintf oc "  \"date\": \"%s\",\n" (iso_date ());
       output_string oc "  \"unit\": \"ns/run\",\n";
+      (match derived_of results with
+      | [] -> ()
+      | derived ->
+        output_string oc "  \"derived\": {\n";
+        let n = List.length derived in
+        List.iteri
+          (fun i (name, v) ->
+            Printf.fprintf oc "    \"%s\": %.2f%s\n" (json_escape name) v
+              (if i < n - 1 then "," else ""))
+          derived;
+        output_string oc "  },\n");
       output_string oc "  \"results\": {\n";
       let n = List.length results in
       List.iteri

@@ -133,22 +133,101 @@ let stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc:"Full server metrics registry (counters, gauges, histograms)")
     Term.(const (fun host port -> run_command host port Message.Stats_full) $ host $ port)
 
-(* bare `pequod-cli --stats` works too, as a shorthand for the stats
-   subcommand *)
+(* Bulk load: KEY<TAB>VALUE lines, framed as Put_batch chunks so the
+   server pays its per-batch costs (sort, stab, fsync) once per chunk
+   instead of once per key. *)
+let run_load host port path batch =
+  if batch < 1 then begin
+    prerr_endline "pequod-cli: --batch must be at least 1";
+    exit 2
+  end;
+  let ic = if path = "-" then stdin else open_in path in
+  Fun.protect
+    ~finally:(fun () -> if path <> "-" then close_in ic)
+    (fun () ->
+      let fd = connect ~host ~port in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          let total = ref 0 and batches = ref 0 in
+          let send = function
+            | [] -> ()
+            | rev_pairs -> (
+              let pairs = List.rev rev_pairs in
+              match rpc fd (Message.Put_batch pairs) with
+              | Message.Done ->
+                total := !total + List.length pairs;
+                incr batches
+              | Message.Error msg ->
+                Printf.eprintf "error: %s\n" msg;
+                exit 1
+              | _ ->
+                prerr_endline "error: unexpected response to Put_batch";
+                exit 1)
+          in
+          let pending = ref [] and n = ref 0 in
+          (try
+             while true do
+               let line = input_line ic in
+               if line <> "" then
+                 match String.index_opt line '\t' with
+                 | None -> Printf.eprintf "skipping line without a TAB: %s\n" line
+                 | Some i ->
+                   let key = String.sub line 0 i in
+                   let value = String.sub line (i + 1) (String.length line - i - 1) in
+                   pending := (key, value) :: !pending;
+                   incr n;
+                   if !n >= batch then begin
+                     send !pending;
+                     pending := [];
+                     n := 0
+                   end
+             done
+           with End_of_file -> ());
+          send !pending;
+          Printf.printf "loaded %d pairs in %d batches\n" !total !batches;
+          0))
+
+let batch_size =
+  Arg.(
+    value & opt int 1000
+    & info [ "batch" ] ~docv:"N" ~doc:"Pairs per Put_batch frame (default 1000).")
+
+let load_cmd =
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:"Bulk-load KEY<TAB>VALUE lines from FILE (or stdin) using batched writes")
+    Term.(
+      const run_load $ host $ port
+      $ Arg.(
+          value & pos 0 string "-"
+          & info [] ~docv:"FILE" ~doc:"Input file of KEY<TAB>VALUE lines; - reads stdin.")
+      $ batch_size)
+
+(* bare `pequod-cli --stats` and `pequod-cli --load FILE` work too, as
+   shorthands for the subcommands *)
 let default_term =
   Term.(
-    const (fun host port stats ->
-        if stats then run_command host port Message.Stats_full
-        else begin
-          prerr_endline "pequod-cli: missing command (try --help or --stats)";
-          2
-        end)
+    const (fun host port stats load batch ->
+        match load with
+        | Some path -> run_load host port path batch
+        | None ->
+          if stats then run_command host port Message.Stats_full
+          else begin
+            prerr_endline "pequod-cli: missing command (try --help or --stats)";
+            2
+          end)
     $ host $ port
-    $ Arg.(value & flag & info [ "stats" ] ~doc:"Print the server's full metrics registry and exit."))
+    $ Arg.(value & flag & info [ "stats" ] ~doc:"Print the server's full metrics registry and exit.")
+    $ Arg.(
+        value & opt (some string) None
+        & info [ "load" ] ~docv:"FILE"
+            ~doc:"Bulk-load KEY<TAB>VALUE lines from FILE (- for stdin) with batched writes.")
+    $ batch_size)
 
 let cmd =
   Cmd.group ~default:default_term
     (Cmd.info "pequod-cli" ~doc:"Client for a pequod-server")
-    [ get_cmd; put_cmd; remove_cmd; scan_cmd; add_join_cmd; stats_cmd ]
+    [ get_cmd; put_cmd; remove_cmd; scan_cmd; add_join_cmd; stats_cmd; load_cmd ]
 
 let () = if not !Sys.interactive then exit (Cmd.eval' cmd)

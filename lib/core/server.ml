@@ -93,6 +93,10 @@ type tbl_meta = {
   (* O(1) updater-combining lookup: "jid/src/kind/lo/hi" -> entry *)
   combine_index : (string, updater Interval_map.handle) Hashtbl.t;
   mutable present : unit Range_map.t option; (* Some when a resolver governs this table *)
+  (* bumped whenever an entry enters or leaves [updaters]: put_batch
+     prefetches one overlap list per key run and must notice when firing
+     an updater installs or retracts entries mid-run *)
+  mutable gen : int;
 }
 
 (* Resolver answers for a missing base range (§3.3). *)
@@ -110,6 +114,7 @@ type resolver = table:string -> lo:string -> hi:string -> resolve_result
 type mutation =
   | M_put of string * string
   | M_remove of string
+  | M_put_batch of (string * string) list (* one client batch, argument order *)
   | M_add_join of string (* canonical join text *)
   | M_present of string * string * string (* table, lo, hi now locally owned *)
 
@@ -139,9 +144,12 @@ type metrics = {
   apply_logs : Obs.Counter.t; (* exec.apply_log *)
   evictions : Obs.Counter.t; (* evict.cover *)
   pulls : Obs.Counter.t; (* exec.pull *)
+  put_batches : Obs.Counter.t; (* op.put_batch *)
+  coalesced_stabs : Obs.Counter.t; (* updater.coalesced_stabs *)
   scan_ns : Obs.Histogram.t; (* op.scan.ns *)
   scan_pairs : Obs.Histogram.t; (* op.scan.pairs *)
   put_bytes : Obs.Histogram.t; (* store.put.bytes *)
+  put_batch_size : Obs.Histogram.t; (* op.put_batch.size *)
 }
 
 let make_metrics obs =
@@ -165,9 +173,12 @@ let make_metrics obs =
     apply_logs = Obs.counter obs "exec.apply_log";
     evictions = Obs.counter obs "evict.cover";
     pulls = Obs.counter obs "exec.pull";
+    put_batches = Obs.counter obs "op.put_batch";
+    coalesced_stabs = Obs.counter obs "updater.coalesced_stabs";
     scan_ns = Obs.histogram obs "op.scan.ns";
     scan_pairs = Obs.histogram obs "op.scan.pairs";
     put_bytes = Obs.histogram obs "store.put.bytes";
+    put_batch_size = Obs.histogram obs "op.put_batch.size";
   }
 
 type t = {
@@ -219,7 +230,8 @@ let meta t name =
     let m = { status = Range_map.create ~dup:(fun st -> { state = st.state }) ();
               updaters = Interval_map.create ();
               combine_index = Hashtbl.create 64;
-              present = None }
+              present = None;
+              gen = 0 }
     in
     Hashtbl.add t.meta name m;
     m
@@ -500,6 +512,7 @@ and retract_binding t join b ~lo ~hi =
    index (which must never point at a removed entry) *)
 and delete_updater_entry t m e =
   ignore t;
+  m.gen <- m.gen + 1;
   Interval_map.remove m.updaters e;
   let up = Interval_map.handle_data e in
   let slo, shi = Interval_map.handle_range e in
@@ -581,6 +594,7 @@ and install_updater t join ~source_idx ~kind ~slo ~shi ~cx =
       | None ->
         Obs.Counter.incr t.hot.installed;
         let up = { up_join = join; up_source = source_idx; up_kind = kind; up_contexts = [ cx ] } in
+        m.gen <- m.gen + 1;
         let e = Interval_map.add m.updaters ~lo:slo ~hi:shi up in
         if t.config.Config.combine_updaters then Hashtbl.replace m.combine_index ckey e;
         register e
@@ -1012,6 +1026,101 @@ let remove t key =
   apply_remove t key;
   emit t (M_remove key)
 
+(* One contiguous run of a batch: every key lives in table [tname],
+   ascending. The table and its meta are resolved once; insertion hints
+   thread from each put to the next (sorted runs hit the §4.2 O(1)
+   append path); and instead of stabbing the updater interval tree per
+   key, the overlap list for the whole run is fetched once and filtered
+   by containment per key. Filtering an in-order [iter_overlapping] list
+   reproduces [notify]'s stab order exactly; [m.gen] detects updater
+   installs/retractions caused by the firing itself, forcing a refetch
+   so no key fires against a stale list. *)
+let apply_batch_run t tname run =
+  let tbl = Store.table t.store tname in
+  let m = meta t tname in
+  let run_lo = fst (List.hd run) in
+  let run_hi =
+    Strkey.key_after (List.fold_left (fun _ (k, _) -> k) run_lo run)
+  in
+  let snap_gen = ref (-1) in
+  let overlaps = ref [] in
+  let refetch () =
+    snap_gen := m.gen;
+    let acc = ref [] in
+    Interval_map.iter_overlapping m.updaters ~lo:run_lo ~hi:run_hi (fun e -> acc := e :: !acc);
+    overlaps := List.rev !acc
+  in
+  let hint = ref None in
+  List.iter
+    (fun (key, data) ->
+      Obs.Counter.incr t.hot.puts;
+      Obs.Histogram.observe t.hot.put_bytes (String.length data);
+      let handle, old = Table.put ?hint:!hint tbl key { data; charged = String.length data } in
+      hint := Some handle;
+      (match old with Some oc -> t.value_bytes <- t.value_bytes - oc.charged | None -> ());
+      t.value_bytes <- t.value_bytes + String.length data;
+      if Interval_map.size m.updaters > 0 then begin
+        if !snap_gen = m.gen then Obs.Counter.incr t.hot.coalesced_stabs else refetch ();
+        let change = if old = None then Insert else Update in
+        let old_value = Option.map (fun c -> c.data) old in
+        let hits = ref [] in
+        List.iter
+          (fun e ->
+            let elo, ehi = Interval_map.handle_range e in
+            if String.compare elo key <= 0 && String.compare key ehi < 0 then
+              hits := Interval_map.handle_data e :: !hits)
+          !overlaps;
+        List.iter
+          (fun up ->
+            List.iter
+              (fun cx -> run_context t up cx key ~old_value ~new_value:(Some data) ~change)
+              up.up_contexts)
+          !hits
+      end)
+    run
+
+(** Batched write. Equivalent to the same puts applied one at a time in
+    ascending key order (duplicate keys keep their argument order, so the
+    last occurrence wins), but pays the per-key costs once per contiguous
+    run: table resolution, updater stabs, insertion descents, and — at
+    the callers' layers — wire framing and WAL fsyncs. Eviction runs once
+    after the whole batch. Atomic with respect to validation: every key
+    is checked before any store mutation. *)
+let put_batch t pairs =
+  if pairs <> [] then begin
+    List.iter (fun (k, _) -> Strkey.validate k) pairs;
+    Obs.Counter.incr t.hot.put_batches;
+    Obs.Histogram.observe t.hot.put_batch_size (List.length pairs);
+    (* bulk loads usually arrive presorted: a linear check then costs
+       n-1 compares where the merge sort would pay n log n (comparable
+       to the tree descents the batch exists to avoid). [<=] keeps
+       duplicate keys in argument order, exactly like the stable sort. *)
+    let rec is_sorted = function
+      | (a, _) :: ((b, _) :: _ as rest) -> String.compare a b <= 0 && is_sorted rest
+      | _ -> true
+    in
+    let sorted =
+      if is_sorted pairs then pairs
+      else List.stable_sort (fun (a, _) (b, _) -> String.compare a b) pairs
+    in
+    let rec split_run tname acc = function
+      | ((k, _) as p) :: rest when String.equal (Store.table_name_of k) tname ->
+        split_run tname (p :: acc) rest
+      | rest -> (List.rev acc, rest)
+    in
+    let rec by_table = function
+      | [] -> ()
+      | (k, _) :: _ as l ->
+        let tname = Store.table_name_of k in
+        let run, rest = split_run tname [] l in
+        apply_batch_run t tname run;
+        by_table rest
+    in
+    by_table sorted;
+    maybe_evict t;
+    emit t (M_put_batch pairs)
+  end
+
 (* Pull joins are recomputed on every query and never cached (§3.4). *)
 let pull_results t ~lo ~hi =
   let acc = ref [] in
@@ -1056,7 +1165,11 @@ let warm_fast_path t ~lo ~hi =
     the base ranges that must be fetched before retrying (§3.3). Fetches
     are discovered one at a time but completed covers stay valid, so the
     retry never recomputes finished work. *)
-let scan_nb t ~lo ~hi =
+(* first [n] elements of [l] (all of [l] when shorter) *)
+let rec take n l =
+  match l with x :: rest when n > 0 -> x :: take (n - 1) rest | _ -> []
+
+let scan_nb ?limit t ~lo ~hi =
   Obs.Counter.incr t.hot.scans;
   let t0 = Obs.tick () in
   (* duration/size recording and tracing, skipped entirely when recording
@@ -1070,9 +1183,24 @@ let scan_nb t ~lo ~hi =
     end;
     `Ok pairs
   in
+  (* resident pairs in [lo, hi), stopping the tree walk at [limit] rather
+     than materializing the full range *)
+  let bounded_stored () =
+    match limit with
+    | None ->
+      List.rev (Store.fold_range t.store ~lo ~hi ~init:[] (fun acc k c -> (k, c.data) :: acc))
+    | Some n when n <= 0 -> []
+    | Some n ->
+      let _, acc =
+        Store.fold_range_stop t.store ~lo ~hi ~init:(0, []) (fun (cnt, acc) k c ->
+            let st = (cnt + 1, (k, c.data) :: acc) in
+            if cnt + 1 >= n then `Stop st else `Continue st)
+      in
+      List.rev acc
+  in
   if warm_fast_path t ~lo ~hi then begin
     Obs.Counter.incr t.hot.scans_fast;
-    finish (List.rev (Store.fold_range t.store ~lo ~hi ~init:[] (fun acc k c -> (k, c.data) :: acc)))
+    finish (bounded_stored ())
   end
   else
   match
@@ -1080,15 +1208,18 @@ let scan_nb t ~lo ~hi =
     pull_results t ~lo ~hi
   with
   | pulled ->
-    let stored = Store.fold_range t.store ~lo ~hi ~init:[] (fun acc k c -> (k, c.data) :: acc) in
-    let stored = List.rev stored in
-    (* merge, preferring materialized values on key collisions *)
+    let stored = bounded_stored () in
+    (* merge, preferring materialized values on key collisions. The
+       truncated stored list is safe under a limit: the n smallest stored
+       keys are all present, so after the merged sort the first n
+       elements are exactly the true bounded result. *)
     let merged =
       if pulled = [] then stored
       else begin
         let stored_keys = List.map fst stored in
         let extra = List.filter (fun (k, _) -> not (List.mem k stored_keys)) pulled in
-        List.sort (fun (a, _) (b, _) -> String.compare a b) (stored @ extra)
+        let all = List.sort (fun (a, _) (b, _) -> String.compare a b) (stored @ extra) in
+        match limit with None -> all | Some n -> take n all
       end
     in
     (* evict only after the response is assembled: a cover computed for
@@ -1100,8 +1231,8 @@ let scan_nb t ~lo ~hi =
 (** Ordered scan of [\[lo, hi)], computing and freshening any overlapping
     cache-join output first. Raises [Need_fetch] only under an
     asynchronous resolver; use {!scan_nb} there. *)
-let scan t ~lo ~hi =
-  match scan_nb t ~lo ~hi with
+let scan ?limit t ~lo ~hi =
+  match scan_nb ?limit t ~lo ~hi with
   | `Ok pairs -> pairs
   | `Missing ((table, flo, fhi) :: _) ->
     failwith (Printf.sprintf "Pequod.scan: unresolved fetch %s [%s, %s)" table flo fhi)

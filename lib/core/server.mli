@@ -31,6 +31,9 @@ type resolver = table:string -> lo:string -> hi:string -> resolve_result
 type mutation =
   | M_put of string * string
   | M_remove of string
+  | M_put_batch of (string * string) list
+      (** one client batch, in argument order; recovery replays it through
+          {!put_batch} *)
   | M_add_join of string  (** canonical join text *)
   | M_present of string * string * string  (** table, lo, hi now locally owned *)
 
@@ -58,6 +61,16 @@ val joins : t -> Joinspec.t list
 (** Store a pair; every applicable updater runs (§3.2). *)
 val put : t -> string -> string -> unit
 
+(** Batched write — the hot path for bulk loads and grouped client
+    traffic. Equivalent to the same puts applied one at a time in
+    ascending key order (duplicate keys keep their argument order, so
+    the last occurrence wins), but pays the per-key costs once per
+    contiguous same-table key run: table resolution, updater interval
+    stabs (see the [updater.coalesced_stabs] counter), and tree descents
+    (insertion hints thread across the run). Every key is validated
+    before any store mutation; eviction runs once after the batch. *)
+val put_batch : t -> (string * string) list -> unit
+
 val remove : t -> string -> unit
 
 (** Fetch one key, computing and freshening overlapping join output
@@ -66,14 +79,22 @@ val get : t -> string -> string option
 
 (** Ordered scan of [\[lo, hi)], computing and freshening any overlapping
     cache-join output first. Pull-join results are merged in without
-    being cached. *)
-val scan : t -> lo:string -> hi:string -> (string * string) list
+    being cached. [limit] bounds the result to its first [limit] pairs;
+    the store walk stops there instead of materializing the whole range
+    (maintenance of the range still runs in full, so freshness
+    bookkeeping is identical with and without a limit). *)
+val scan : ?limit:int -> t -> lo:string -> hi:string -> (string * string) list
 
 (** Non-blocking scan for asynchronous deployments: either the results,
     or the base ranges to fetch ([`Missing]) before retrying. Completed
-    covers stay valid across retries (§3.3 restart behaviour). *)
+    covers stay valid across retries (§3.3 restart behaviour). [limit]
+    as in {!scan}. *)
 val scan_nb :
-  t -> lo:string -> hi:string -> [ `Ok of (string * string) list | `Missing of (string * string * string) list ]
+  ?limit:int ->
+  t ->
+  lo:string ->
+  hi:string ->
+  [ `Ok of (string * string) list | `Missing of (string * string * string) list ]
 
 (** Hook consulted when a base range is first needed (§3.3): a database
     backing store or a remote home server. *)

@@ -139,15 +139,22 @@ let handle_readable t client =
     Obs.Counter.add t.m_bytes_in n;
     match Frame.feed client.decoder (Bytes.sub_string t.buf 0 n) with
     | frames ->
+      (* all responses for one read are accumulated and written with one
+         buffer append and one flush: a pipelined batch (e.g. the CLI's
+         --load chunks) costs one syscall out, not one per frame *)
+      let out = Buffer.create 256 in
       List.iter
         (fun request ->
           let response = handle_request t request in
           let wire = Frame.encode (Message.encode_response response) in
           Obs.Counter.add t.m_bytes_out (String.length wire);
           Obs.Histogram.observe t.m_resp_bytes (String.length wire);
-          client.outbuf <- client.outbuf ^ wire;
-          flush_output t client)
-        frames
+          Buffer.add_string out wire)
+        frames;
+      if Buffer.length out > 0 then begin
+        client.outbuf <- client.outbuf ^ Buffer.contents out;
+        flush_output t client
+      end
     | exception Frame.Frame_too_large _ -> drop t client)
   | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) -> ()
   | exception Unix.Unix_error _ -> drop t client

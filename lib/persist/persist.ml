@@ -71,6 +71,7 @@ let rec mkdir_p dir =
 let apply_op server = function
   | Wal.Put (k, v) -> Server.put server k v
   | Wal.Remove k -> Server.remove server k
+  | Wal.Put_batch pairs -> Server.put_batch server pairs
   | Wal.Add_join text -> (
     match Server.add_join_text server text with
     | Ok () -> ()

@@ -16,10 +16,13 @@ type op =
   | Remove of string
   | Add_join of string
   | Present of string * string * string (* table, lo, hi *)
+  | Put_batch of (string * string) list
+      (* one client batch = one record = one fsync under Sync_always *)
 
 let op_of_mutation = function
   | Server.M_put (k, v) -> Put (k, v)
   | Server.M_remove k -> Remove k
+  | Server.M_put_batch pairs -> Put_batch pairs
   | Server.M_add_join text -> Add_join text
   | Server.M_present (table, lo, hi) -> Present (table, lo, hi)
 
@@ -44,7 +47,11 @@ let encode_entry ~seq op =
     Codec.put_varint buf seq;
     Codec.put_string buf table;
     Codec.put_string buf lo;
-    Codec.put_string buf hi);
+    Codec.put_string buf hi
+  | Put_batch pairs ->
+    Buffer.add_char buf '\x05';
+    Codec.put_varint buf seq;
+    Codec.put_pair_list buf pairs);
   Buffer.contents buf
 
 (** Raises [Codec.Decode_error] on malformed payloads (recovery treats
@@ -66,6 +73,7 @@ let decode_entry payload =
       let lo = Codec.get_string r in
       let hi = Codec.get_string r in
       Present (table, lo, hi)
+    | 0x05 -> Put_batch (Codec.get_pair_list r)
     | t -> raise (Codec.Decode_error (Printf.sprintf "bad wal tag %#x" t))
   in
   if not (Codec.at_end r) then raise (Codec.Decode_error "trailing wal bytes");

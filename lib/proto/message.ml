@@ -9,12 +9,16 @@ type request =
   | Get of string
   | Put of string * string
   | Remove of string
+  | Put_batch of (string * string) list (* one framed batch, argument order *)
   | Scan of { lo : string; hi : string }
   | Add_join of string
   (* server-to-server *)
   | Fetch of { table : string; lo : string; hi : string; subscriber : int }
   | Notify_put of string * string
   | Notify_remove of string
+  | Notify_batch of (string * string option) list
+      (* subscription traffic coalesced per flush: [Some v] is a put,
+         [None] a remove, in source-write order *)
   | Stats
   | Stats_full
 
@@ -32,11 +36,13 @@ let request_kind = function
   | Get _ -> "get"
   | Put _ -> "put"
   | Remove _ -> "remove"
+  | Put_batch _ -> "put_batch"
   | Scan _ -> "scan"
   | Add_join _ -> "add_join"
   | Fetch _ -> "fetch"
   | Notify_put _ -> "notify_put"
   | Notify_remove _ -> "notify_remove"
+  | Notify_batch _ -> "notify_batch"
   | Stats -> "stats"
   | Stats_full -> "stats_full"
 
@@ -76,7 +82,22 @@ let encode_request req =
     Buffer.add_char buf '\x08';
     Codec.put_string buf k
   | Stats -> Buffer.add_char buf '\x09'
-  | Stats_full -> Buffer.add_char buf '\x0a');
+  | Stats_full -> Buffer.add_char buf '\x0a'
+  | Put_batch pairs ->
+    Buffer.add_char buf '\x0b';
+    Codec.put_pair_list buf pairs
+  | Notify_batch items ->
+    Buffer.add_char buf '\x0c';
+    Codec.put_varint buf (List.length items);
+    List.iter
+      (fun (k, v) ->
+        Codec.put_string buf k;
+        match v with
+        | Some v ->
+          Buffer.add_char buf '\x01';
+          Codec.put_string buf v
+        | None -> Buffer.add_char buf '\x00')
+      items);
   Buffer.contents buf
 
 let decode_request data =
@@ -107,6 +128,16 @@ let decode_request data =
     | 0x08 -> Notify_remove (Codec.get_string r)
     | 0x09 -> Stats
     | 0x0a -> Stats_full
+    | 0x0b -> Put_batch (Codec.get_pair_list r)
+    | 0x0c ->
+      let n = Codec.get_varint r in
+      Notify_batch
+        (List.init n (fun _ ->
+             let k = Codec.get_string r in
+             match Codec.get_byte r with
+             | 0x01 -> (k, Some (Codec.get_string r))
+             | 0x00 -> (k, None)
+             | b -> raise (Codec.Decode_error (Printf.sprintf "bad notify item %#x" b))))
     | tag -> raise (Codec.Decode_error (Printf.sprintf "bad request tag %#x" tag))
   in
   if not (Codec.at_end r) then raise (Codec.Decode_error "trailing bytes");
@@ -228,11 +259,31 @@ let apply_to_server server req =
     match Server.add_join_text server text with
     | Ok () -> Done
     | Error msg -> Error msg)
+  | Put_batch pairs ->
+    Server.put_batch server pairs;
+    Done
   | Notify_put (k, v) ->
     Server.put server k v;
     Done
   | Notify_remove k ->
     Server.remove server k;
+    Done
+  | Notify_batch items ->
+    (* apply in source-write order; consecutive puts take the engine's
+       batched path *)
+    let flush acc = if acc <> [] then Server.put_batch server (List.rev acc) in
+    let acc =
+      List.fold_left
+        (fun acc (k, v) ->
+          match v with
+          | Some v -> (k, v) :: acc
+          | None ->
+            flush acc;
+            Server.remove server k;
+            [])
+        [] items
+    in
+    flush acc;
     Done
   | Stats -> Stat_list (Server.stats_snapshot server)
   | Stats_full -> Metrics (Server.metrics_snapshot server)

@@ -36,6 +36,12 @@ type node = {
   m_client_bytes : Obs.Counter.t; (* sim.client_bytes: client-facing traffic *)
   mutable work_epoch : int; (* store-op snapshot at epoch start *)
   mutable msg_work : int; (* message-handling work units since epoch *)
+  (* outgoing subscription updates, coalesced per destination until the
+     end of the current simulated instant: one Notify_batch per
+     (destination, flush) instead of one message per key *)
+  pending_notify : (int, (string * string option) list) Hashtbl.t; (* dst -> rev items *)
+  mutable pending_order : int list; (* destinations, reverse first-enqueue order *)
+  mutable flush_scheduled : bool;
 }
 
 (* Which base node is home for a key range of a partitioned table;
@@ -73,6 +79,9 @@ let make_node ~id ~kind ?config () =
     m_client_bytes = Obs.counter obs "sim.client_bytes";
     work_epoch = 0;
     msg_work = 0;
+    pending_notify = Hashtbl.create 8;
+    pending_order = [];
+    flush_scheduled = false;
   }
 
 let create ~event ~nbase ~ncompute ~partition ?(latency = 0.0001) ?config () =
@@ -140,7 +149,50 @@ let subs_for node table =
     Hashtbl.add node.subs table im;
     im
 
-(* push an update to every subscriber of [key]'s range (§2.4) *)
+(* Send one buffered Notify_batch to every destination with pending
+   updates. Consecutive puts at the receiver take the engine's batched
+   path; removes keep their place so same-key put/remove order is
+   preserved. *)
+let flush_notifications t home =
+  let n = t.nodes.(home) in
+  n.flush_scheduled <- false;
+  let order = List.rev n.pending_order in
+  n.pending_order <- [];
+  List.iter
+    (fun dst ->
+      match Hashtbl.find_opt n.pending_notify dst with
+      | None | Some [] -> ()
+      | Some rev_items ->
+        Hashtbl.remove n.pending_notify dst;
+        let items = List.rev rev_items in
+        let wire = Message.encode_request (Message.Notify_batch items) in
+        ignore (account_msg t ~src:home ~dst wire);
+        Event.schedule t.event ~delay:t.latency (fun () ->
+            match Message.decode_request wire with
+            | Message.Notify_batch items ->
+              let srv = t.nodes.(dst).server in
+              let apply acc = if acc <> [] then Server.put_batch srv (List.rev acc) in
+              let acc =
+                List.fold_left
+                  (fun acc (k, v) ->
+                    match v with
+                    | Some v -> (k, v) :: acc
+                    | None ->
+                      apply acc;
+                      Server.remove srv k;
+                      [])
+                  [] items
+              in
+              apply acc
+            | _ -> assert false))
+    order
+
+(* Push an update to every subscriber of [key]'s range (§2.4). Updates
+   are buffered per (home, destination) and flushed at the end of the
+   current simulated instant — events at equal times run in scheduling
+   order, so the flush sees every notification this instant produced,
+   and delivery still lands one latency after the write, exactly as the
+   unbatched protocol's did. *)
 let push_notifications t home key value_opt =
   let table = Pequod_store.Store.table_name_of key in
   match Hashtbl.find_opt t.nodes.(home).subs table with
@@ -148,21 +200,22 @@ let push_notifications t home key value_opt =
   | Some im ->
     let targets = ref [] in
     Interval_map.stab im key (fun e -> targets := Interval_map.handle_data e :: !targets);
+    let n = t.nodes.(home) in
     List.iter
       (fun dst ->
-        let req =
-          match value_opt with
-          | Some v -> Message.Notify_put (key, v)
-          | None -> Message.Notify_remove key
+        let prev =
+          match Hashtbl.find_opt n.pending_notify dst with
+          | Some items -> items
+          | None ->
+            n.pending_order <- dst :: n.pending_order;
+            []
         in
-        let wire = Message.encode_request req in
-        ignore (account_msg t ~src:home ~dst wire);
-        Event.schedule t.event ~delay:t.latency (fun () ->
-            match Message.decode_request wire with
-            | Message.Notify_put (k, v) -> Server.put t.nodes.(dst).server k v
-            | Message.Notify_remove k -> Server.remove t.nodes.(dst).server k
-            | _ -> assert false))
-      (List.sort_uniq compare !targets)
+        Hashtbl.replace n.pending_notify dst ((key, value_opt) :: prev))
+      (List.sort_uniq compare !targets);
+    if (not n.flush_scheduled) && n.pending_order <> [] then begin
+      n.flush_scheduled <- true;
+      Event.schedule t.event ~delay:0.0 (fun () -> flush_notifications t home)
+    end
 
 (** Write a base pair: routed to its home server, then pushed to
     subscribers. [via] applies the write at a compute node first

@@ -70,6 +70,21 @@ let fold_range t ~lo ~hi ~init f =
   iter_range t ~lo ~hi (fun k v -> acc := f !acc k v);
   !acc
 
+exception Stopped
+
+(* Early-terminating fold across tables; see Table.fold_range_stop. *)
+let fold_range_stop t ~lo ~hi ~init f =
+  let acc = ref init in
+  (try
+     iter_range t ~lo ~hi (fun k v ->
+         match f !acc k v with
+         | `Continue a -> acc := a
+         | `Stop a ->
+           acc := a;
+           raise_notrace Stopped)
+   with Stopped -> ());
+  !acc
+
 let range_to_list t ~lo ~hi =
   List.rev (fold_range t ~lo ~hi ~init:[] (fun acc k v -> (k, v) :: acc))
 

@@ -25,6 +25,16 @@ val remove : 'v t -> string -> 'v option
 val iter_range : 'v t -> lo:string -> hi:string -> (string -> 'v -> unit) -> unit
 
 val fold_range : 'v t -> lo:string -> hi:string -> init:'a -> ('a -> string -> 'v -> 'a) -> 'a
+
+(** Early-terminating fold over [\[lo, hi)] across tables: return
+    [`Stop acc] to cut the walk short. *)
+val fold_range_stop :
+  'v t ->
+  lo:string ->
+  hi:string ->
+  init:'a ->
+  ('a -> string -> 'v -> [ `Continue of 'a | `Stop of 'a ]) ->
+  'a
 val range_to_list : 'v t -> lo:string -> hi:string -> (string * 'v) list
 val count_range : 'v t -> lo:string -> hi:string -> int
 val size : 'v t -> int

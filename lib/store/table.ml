@@ -224,6 +224,23 @@ let fold_range t ~lo ~hi ~init f =
   iter_range t ~lo ~hi (fun k v -> acc := f !acc k v);
   !acc
 
+exception Stopped
+
+(* Early-terminating fold: the callback decides per pair whether to keep
+   going, so bounded scans stop walking the tree at their limit instead
+   of materializing the whole range. *)
+let fold_range_stop t ~lo ~hi ~init f =
+  let acc = ref init in
+  (try
+     iter_range t ~lo ~hi (fun k v ->
+         match f !acc k v with
+         | `Continue a -> acc := a
+         | `Stop a ->
+           acc := a;
+           raise_notrace Stopped)
+   with Stopped -> ());
+  !acc
+
 let count_range t ~lo ~hi = fold_range t ~lo ~hi ~init:0 (fun acc _ _ -> acc + 1)
 
 let range_to_list t ~lo ~hi =

@@ -53,6 +53,17 @@ val remove : 'v t -> string -> 'v option
 val iter_range : 'v t -> lo:string -> hi:string -> (string -> 'v -> unit) -> unit
 
 val fold_range : 'v t -> lo:string -> hi:string -> init:'a -> ('a -> string -> 'v -> 'a) -> 'a
+
+(** Early-terminating fold over [\[lo, hi)]: return [`Stop acc] to cut
+    the walk short (bounded scans stop at their limit instead of
+    materializing the whole range). *)
+val fold_range_stop :
+  'v t ->
+  lo:string ->
+  hi:string ->
+  init:'a ->
+  ('a -> string -> 'v -> [ `Continue of 'a | `Stop of 'a ]) ->
+  'a
 val count_range : 'v t -> lo:string -> hi:string -> int
 val range_to_list : 'v t -> lo:string -> hi:string -> (string * 'v) list
 

@@ -50,6 +50,7 @@ let derive_seed root i =
 
 type op =
   | Put of string * string
+  | Put_batch of (string * string) list (* Server.put_batch, argument order *)
   | Remove of string
   | Scan of string * string (* compare engine vs oracle over [lo, hi) *)
   | Count of string * string (* compare result cardinality only *)
@@ -59,6 +60,11 @@ type op =
 
 let op_to_line = function
   | Put (k, v) -> Printf.sprintf "op put %S %S" k v
+  | Put_batch pairs ->
+    let buf = Buffer.create 64 in
+    Buffer.add_string buf "op putbatch";
+    List.iter (fun (k, v) -> Buffer.add_string buf (Printf.sprintf " %S %S" k v)) pairs;
+    Buffer.contents buf
   | Remove k -> Printf.sprintf "op remove %S" k
   | Scan (lo, hi) -> Printf.sprintf "op scan %S %S" lo hi
   | Count (lo, hi) -> Printf.sprintf "op count %S %S" lo hi
@@ -66,11 +72,25 @@ let op_to_line = function
   | Tick -> "op tick"
   | Crash -> "op crash"
 
+(* "op putbatch" followed by any number of %S %S pairs on one line *)
+let parse_putbatch rest =
+  let sc = Scanf.Scanning.from_string rest in
+  let acc = ref [] in
+  let bad = ref false in
+  (try
+     while not (Scanf.Scanning.end_of_input sc) do
+       Scanf.bscanf sc " %S %S" (fun k v -> acc := (k, v) :: !acc)
+     done
+   with Scanf.Scan_failure _ | End_of_file | Failure _ -> bad := true);
+  if !bad then None else Some (Put_batch (List.rev !acc))
+
 let op_of_line line =
   let try_scan fmt build = try Some (Scanf.sscanf line fmt build) with _ -> None in
   match String.trim line with
   | "op tick" -> Some Tick
   | "op crash" -> Some Crash
+  | line when String.length line >= 11 && String.sub line 0 11 = "op putbatch" ->
+    parse_putbatch (String.sub line 11 (String.length line - 11))
   | _ -> (
     match try_scan "op put %S %S" (fun k v -> Put (k, v)) with
     | Some _ as r -> r
@@ -531,6 +551,14 @@ let run_case scenario variant ops =
       guard_sink k;
       Server.put !server k v;
       Oracle.put oracle k v
+    | Put_batch pairs ->
+      List.iter (fun (k, _) -> guard_sink k) pairs;
+      Server.put_batch !server pairs;
+      (* put_batch is specified as equivalent to sequential puts; the
+         oracle applies the same pairs one at a time (argument order —
+         the batch's stable sort keeps duplicate keys in argument order,
+         so last-write-wins agrees) *)
+      List.iter (fun (k, v) -> Oracle.put oracle k v) pairs
     | Remove k ->
       guard_sink k;
       Server.remove !server k;
@@ -593,7 +621,41 @@ let run_case scenario variant ops =
 let gen_ops scenario rng ~max_ops =
   let base = min 8 max_ops in
   let n = base + if max_ops > base then Rng.int rng (max_ops - base + 1) else 0 in
-  let rec go acc k = if k = 0 then List.rev acc else go (scenario.sc_gen rng :: acc) (k - 1) in
+  (* one in eight generated Puts becomes a Put_batch of 2-8 Puts drawn
+     from the same generator, so batches inherit the scenario's key
+     shapes (and span source tables wherever the scenario has several);
+     a quarter of batches repeat one key — with a value taken from
+     another pair, keeping values scenario-shaped — to exercise the
+     batch's last-write-wins rule *)
+  let gen_batch rng first =
+    let target = 2 + Rng.int rng 7 in
+    let pairs = ref [ first ] and count = ref 1 and tries = ref 0 in
+    while !count < target && !tries < 64 do
+      incr tries;
+      match scenario.sc_gen rng with
+      | Put (k, v) ->
+        pairs := (k, v) :: !pairs;
+        incr count
+      | _ -> ()
+    done;
+    let pairs = List.rev !pairs in
+    let pairs =
+      if List.length pairs >= 2 && Rng.int rng 4 = 0 then begin
+        let arr = Array.of_list pairs in
+        let k, _ = arr.(Rng.int rng (Array.length arr)) in
+        let _, v = arr.(Rng.int rng (Array.length arr)) in
+        pairs @ [ (k, v) ]
+      end
+      else pairs
+    in
+    Put_batch pairs
+  in
+  let gen_one rng =
+    match scenario.sc_gen rng with
+    | Put _ as p when Rng.int rng 8 = 0 -> gen_batch rng (match p with Put (k, v) -> (k, v) | _ -> assert false)
+    | op -> op
+  in
+  let rec go acc k = if k = 0 then List.rev acc else go (gen_one rng :: acc) (k - 1) in
   go [] n
 
 (** Greedy ddmin-style shrink: repeatedly delete the largest op chunks

@@ -125,6 +125,50 @@ let test_garbage_input () =
           (* and the connection still works afterwards *)
           check_bool "still alive" true (rpc t fd (Message.Put ("k|a", "v")) = Message.Done)))
 
+let test_put_batch_pipelined () =
+  with_server ~joins:[ timeline_join ] (fun t ->
+      let fd = connect t in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          (* two batch frames written back-to-back: the server answers both
+             from one read with one buffered write, and the batch's puts
+             fire the timeline updater like sequential puts would *)
+          let reqs =
+            [
+              Message.Put_batch [ ("s|ann|bob", "1"); ("p|bob|0000000200", "b") ];
+              Message.Put_batch [ ("p|bob|0000000100", "a") ];
+            ]
+          in
+          let wire =
+            String.concat "" (List.map (fun r -> Frame.encode (Message.encode_request r)) reqs)
+          in
+          let sent = ref 0 in
+          while !sent < String.length wire do
+            sent := !sent + Unix.write_substring fd wire !sent (String.length wire - !sent)
+          done;
+          let decoder = Frame.decoder () in
+          let buf = Bytes.create 65536 in
+          let deadline = Unix.gettimeofday () +. 5.0 in
+          let responses = ref [] in
+          while List.length !responses < 2 do
+            if Unix.gettimeofday () > deadline then failwith "pipeline timeout";
+            Net_server.step ~timeout:0.01 t;
+            match Unix.select [ fd ] [] [] 0.01 with
+            | [ _ ], _, _ ->
+              let n = Unix.read fd buf 0 (Bytes.length buf) in
+              if n = 0 then failwith "connection closed";
+              List.iter
+                (fun frame -> responses := Message.decode_response frame :: !responses)
+                (Frame.feed decoder (Bytes.sub_string buf 0 n))
+            | _ -> ()
+          done;
+          check_bool "both batches acknowledged" true
+            (List.for_all (fun r -> r = Message.Done) !responses);
+          match rpc t fd (Message.Scan { lo = "t|ann|"; hi = "t|ann}" }) with
+          | Message.Pairs [ ("t|ann|0000000100|bob", "a"); ("t|ann|0000000200|bob", "b") ] -> ()
+          | _ -> Alcotest.fail "timeline after pipelined batches"))
+
 let () =
   Alcotest.run "net"
     [
@@ -134,5 +178,6 @@ let () =
           Alcotest.test_case "runtime joins" `Quick test_runtime_join_installation;
           Alcotest.test_case "two clients" `Quick test_two_clients;
           Alcotest.test_case "garbage input" `Quick test_garbage_input;
+          Alcotest.test_case "put_batch pipelined" `Quick test_put_batch_pipelined;
         ] );
     ]

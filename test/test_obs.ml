@@ -232,6 +232,7 @@ let run_transcript scenario ops =
     (fun op ->
       match op with
       | Fuzz.Put (k, v) -> Server.put server k v
+      | Fuzz.Put_batch pairs -> Server.put_batch server pairs
       | Fuzz.Remove k -> Server.remove server k
       | Fuzz.Scan (lo, hi) | Fuzz.Count (lo, hi) ->
         clock := !clock +. scenario.Fuzz.sc_tick;

@@ -49,6 +49,10 @@ let requests =
     Message.Fetch { table = "p"; lo = "p|a"; hi = "p|b"; subscriber = 42 };
     Message.Notify_put ("p|bob|0100", "hi");
     Message.Notify_remove "p|bob|0100";
+    Message.Put_batch [ ("p|bob|0100", "hello"); ("s|ann|bob", "1") ];
+    Message.Put_batch [];
+    Message.Notify_batch [ ("p|bob|0100", Some "hi"); ("s|ann|bob", None) ];
+    Message.Notify_batch [];
     Message.Stats;
   ]
 
@@ -137,6 +141,20 @@ let test_loopback_server () =
   (match rpc (Message.Scan { lo = "t|ann|"; hi = "t|ann}" }) with
   | Message.Pairs [] -> ()
   | _ -> Alcotest.fail "timeline empty after remove");
+  (* a batch through the wire lands in source tables AND fires updaters *)
+  check_bool "put_batch" true
+    (rpc (Message.Put_batch [ ("p|bob|0200", "yo"); ("p|bob|0150", "lo"); ("s|ann|cal", "1") ])
+    = Message.Done);
+  (match rpc (Message.Scan { lo = "t|ann|"; hi = "t|ann}" }) with
+  | Message.Pairs [ ("t|ann|0150|bob", "lo"); ("t|ann|0200|bob", "yo") ] -> ()
+  | _ -> Alcotest.fail "timeline after put_batch");
+  (* notify batches interleave puts and removes in source-write order *)
+  check_bool "notify_batch" true
+    (rpc (Message.Notify_batch [ ("p|bob|0150", None); ("p|bob|0150", Some "re") ])
+    = Message.Done);
+  (match rpc (Message.Get "t|ann|0150|bob") with
+  | Message.Value (Some "re") -> ()
+  | _ -> Alcotest.fail "notify_batch remove-then-put order");
   match rpc Message.Stats with
   | Message.Stat_list stats -> check_bool "stats nonempty" true (stats <> [])
   | _ -> Alcotest.fail "stats"
@@ -167,6 +185,12 @@ let test_rng_all_variants () =
           subscriber = Rng.int rng 10_000 }
     | 6 -> Message.Notify_put (rand_string (), rand_string ())
     | 7 -> Message.Notify_remove (rand_string ())
+    | 8 -> Message.Put_batch (rand_pairs ())
+    | 9 ->
+      Message.Notify_batch
+        (List.init (Rng.int rng 4) (fun _ ->
+             ( rand_string (),
+               if Rng.int rng 2 = 0 then Some (rand_string ()) else None )))
     | _ -> Message.Stats
   in
   let rand_response variant =
@@ -188,7 +212,7 @@ let test_rng_all_variants () =
     done
   in
   for round = 1 to 50 do
-    for variant = 0 to 8 do
+    for variant = 0 to 10 do
       let req = rand_request variant in
       let wire = Message.encode_request req in
       check_bool "request round-trips" true (Message.decode_request wire = req);

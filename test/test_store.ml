@@ -519,6 +519,50 @@ let test_store_routing () =
     | exception Strkey.Invalid_key _ -> true
     | _ -> false)
 
+let test_fold_range_stop () =
+  (* early-exit fold at both layers, including ranges that cross
+     subtable and table boundaries *)
+  let tbl = Table.create ~subtable_depth:2 ~name:"t" ~dummy:"" () in
+  ignore (Table.put tbl "t|ann|100" "a");
+  ignore (Table.put tbl "t|ann|200" "b");
+  ignore (Table.put tbl "t|bob|100" "c");
+  ignore (Table.put tbl "t|bob|200" "d");
+  let visited = ref 0 in
+  let first n =
+    visited := 0;
+    List.rev
+      (snd
+         (Table.fold_range_stop tbl ~lo:"t|" ~hi:"t}" ~init:(0, []) (fun (c, acc) k _ ->
+              incr visited;
+              let st = (c + 1, k :: acc) in
+              if c + 1 >= n then `Stop st else `Continue st)))
+  in
+  Alcotest.(check (list string)) "limit 1" [ "t|ann|100" ] (first 1);
+  check_int "stop visits nothing extra" 1 !visited;
+  (* limit 3 crosses the ann/bob subtable boundary *)
+  Alcotest.(check (list string))
+    "limit 3 across subtables"
+    [ "t|ann|100"; "t|ann|200"; "t|bob|100" ]
+    (first 3);
+  check_int "visited exactly 3" 3 !visited;
+  Alcotest.(check (list string))
+    "limit past end returns all"
+    [ "t|ann|100"; "t|ann|200"; "t|bob|100"; "t|bob|200" ]
+    (first 10);
+  let st = Store.create ~dummy:"" () in
+  List.iter
+    (fun (k, v) -> ignore (Store.put st k v))
+    [ ("a|1", "1"); ("a|2", "2"); ("b|1", "3"); ("b|2", "4") ];
+  (* limit 3 crosses the a/b table boundary at the facade *)
+  Alcotest.(check (list string))
+    "store limit across tables"
+    [ "a|1"; "a|2"; "b|1" ]
+    (List.rev
+       (snd
+          (Store.fold_range_stop st ~lo:"" ~hi:"\xfe" ~init:(0, []) (fun (c, acc) k _ ->
+               let s = (c + 1, k :: acc) in
+               if c + 1 >= 3 then `Stop s else `Continue s))))
+
 (* ------------------------------------------------------------------ *)
 (* LRU                                                                 *)
 
@@ -645,7 +689,11 @@ let () =
           Alcotest.test_case "remove range" `Quick test_table_remove_range;
         ] );
       ("table-props", qsuite [ prop_table_subtable_scan ]);
-      ("store", [ Alcotest.test_case "routing" `Quick test_store_routing ]);
+      ( "store",
+        [
+          Alcotest.test_case "routing" `Quick test_store_routing;
+          Alcotest.test_case "fold_range_stop" `Quick test_fold_range_stop;
+        ] );
       ( "lru",
         [
           Alcotest.test_case "order" `Quick test_lru_order;
