@@ -2,7 +2,7 @@
 # test suite (unit, integration, property-based, and the persist
 # fault-injection tests in test/test_persist.ml).
 
-.PHONY: check build test bench micro micro-smoke fuzz fuzz-replay doc linkcheck clean
+.PHONY: check build test bench micro micro-smoke net-smoke fuzz fuzz-replay doc linkcheck clean
 
 check: ; dune build && dune runtest
 
@@ -20,6 +20,11 @@ micro: ; dune exec bench/main.exe -- micro
 # harness (and its BENCH_micro.json emitter) is exercised on every push
 # without burning minutes on statistical quality
 micro-smoke: ; PEQUOD_MICRO_QUOTA=0.02 dune exec bench/main.exe -- micro
+
+# live-cluster smoke: the forked 3-process integration test (2 home
+# servers + 1 compute server over real TCP, kill/respawn included),
+# bounded so a wedged process cannot hang CI
+net-smoke: ; timeout 120 dune exec test/test_net_cluster.exe
 
 # model-based differential fuzzing: replay seeded op sequences against
 # the engine and the naive oracle (test/fuzz/).  Deterministic given

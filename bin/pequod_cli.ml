@@ -10,49 +10,28 @@
 *)
 
 module Message = Pequod_proto.Message
-module Frame = Pequod_proto.Frame
+module Net_client = Pequod_server_lib.Net_client
 
-let connect ~host ~port =
-  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  let addr =
-    try Unix.inet_addr_of_string host
-    with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
-  in
-  Unix.connect fd (Unix.ADDR_INET (addr, port));
-  (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
-  fd
-
-let rpc fd req =
-  let wire = Frame.encode (Message.encode_request req) in
-  let sent = ref 0 in
-  while !sent < String.length wire do
-    sent := !sent + Unix.write_substring fd wire !sent (String.length wire - !sent)
-  done;
-  let decoder = Frame.decoder () in
-  let buf = Bytes.create 65_536 in
-  let rec read_frame () =
-    let n = Unix.read fd buf 0 (Bytes.length buf) in
-    if n = 0 then failwith "server closed the connection";
-    match Frame.feed decoder (Bytes.sub_string buf 0 n) with
-    | [] -> read_frame ()
-    | frame :: _ -> Message.decode_response frame
-  in
-  read_frame ()
+(* all traffic goes through the typed client: connection management,
+   the protocol handshake, timeouts, and retries live there, not here *)
+let with_client ~host ~port f =
+  let client = Net_client.create ~host ~port () in
+  Fun.protect
+    ~finally:(fun () -> Net_client.close client)
+    (fun () ->
+      try f client
+      with Net_client.Net_error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1)
 
 let print_response = function
   | Message.Done -> print_endline "ok"
   | Message.Value None -> print_endline "(nil)"
   | Message.Value (Some v) -> print_endline v
-  | Message.Pairs pairs ->
+  | Message.Pairs pairs | Message.Subscribed pairs ->
     List.iter (fun (k, v) -> Printf.printf "%s\t%s\n" k v) pairs;
     Printf.printf "(%d pairs)\n" (List.length pairs)
-  | Message.Stat_list stats ->
-    let tbl =
-      Tablefmt.create ~title:"server counters" ~headers:[ "counter"; "value" ]
-        ~aligns:[ Tablefmt.Left; Tablefmt.Right ]
-    in
-    List.iter (fun (k, n) -> Tablefmt.add_row tbl [ k; string_of_int n ]) stats;
-    Tablefmt.print tbl
+  | Message.Welcome { version } -> Printf.printf "protocol v%d\n" version
   | Message.Metrics metrics ->
     (* the full registry: histograms render their quantile summary *)
     let tbl =
@@ -87,10 +66,7 @@ let host =
 let port = Arg.(value & opt int 7077 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Server port.")
 
 let run_command host port req =
-  let fd = connect ~host ~port in
-  Fun.protect
-    ~finally:(fun () -> Unix.close fd)
-    (fun () -> print_response (rpc fd req));
+  with_client ~host ~port (fun client -> print_response (Net_client.call client req));
   0
 
 let key_arg n doc = Arg.(required & pos n (some string) None & info [] ~docv:"KEY" ~doc)
@@ -145,16 +121,13 @@ let run_load host port path batch =
   Fun.protect
     ~finally:(fun () -> if path <> "-" then close_in ic)
     (fun () ->
-      let fd = connect ~host ~port in
-      Fun.protect
-        ~finally:(fun () -> Unix.close fd)
-        (fun () ->
+      with_client ~host ~port (fun client ->
           let total = ref 0 and batches = ref 0 in
           let send = function
             | [] -> ()
             | rev_pairs -> (
               let pairs = List.rev rev_pairs in
-              match rpc fd (Message.Put_batch pairs) with
+              match Net_client.call client (Message.Put_batch pairs) with
               | Message.Done ->
                 total := !total + List.length pairs;
                 incr batches

@@ -14,9 +14,19 @@
      dune exec bin/pequod_server.exe -- --port 7077 \
        --data-dir /var/lib/pequod --sync interval --snapshot-every 100000 \
        --join 't|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time>'
+
+   Distributed: --partition routes declare which server is the home for
+   each base-table range; a compute server fetches missing ranges from
+   the owning peer and subscribes to updates (see DESIGN.md):
+     pequod_server --port 7001                                # home for s
+     pequod_server --port 7002                                # home for p
+     pequod_server --port 7077 \
+       --partition 's@127.0.0.1:7001' --partition 'p@127.0.0.1:7002' \
+       --join 't|<u>|<t>|<p> = check s|<u>|<p> copy p|<p>|<t>'
 *)
 
 module Net_server = Pequod_server_lib.Net_server
+module Remote = Pequod_server_lib.Remote
 module Config = Pequod_core.Config
 
 open Cmdliner
@@ -92,8 +102,33 @@ let metrics_dump =
 let verbose =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log client connections and joins.")
 
+let peers =
+  Arg.(
+    value & opt_all string []
+    & info [ "peer" ] ~docv:"HOST:PORT"
+        ~doc:
+          "A peer pequod-server (repeatable). A $(b,--partition) without an explicit owner \
+           is fetched from the single peer when exactly one is given.")
+
+let partitions =
+  Arg.(
+    value & opt_all string []
+    & info [ "partition" ] ~docv:"TABLE[:LO:HI][@HOST:PORT]"
+        ~doc:
+          "Base-table partition route (repeatable). Bare $(b,TABLE) covers the whole table. \
+           With $(b,@HOST:PORT) (or a single $(b,--peer)) the range is owned by that home \
+           server and fetched+subscribed on first need; otherwise this process is its home.")
+
+let advertise =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "advertise" ] ~docv:"HOST"
+        ~doc:
+          "Host peers use to push subscription updates back to this server (with the bound \
+           port); set it when 127.0.0.1 is not reachable from the peers.")
+
 let main port joins memory_limit data_dir sync sync_interval snapshot_every wal_max_bytes
-    metrics_dump verbose =
+    metrics_dump verbose peers partitions advertise =
   Fmt_tty.setup_std_outputs ();
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Info else Logs.App));
@@ -107,25 +142,37 @@ let main port joins memory_limit data_dir sync sync_interval snapshot_every wal_
     p.Config.p_snapshot_every <- snapshot_every;
     p.Config.p_wal_max_bytes <- wal_max_bytes;
     config.Config.persist <- Some p);
-  match Net_server.create ~config ?metrics_every:metrics_dump ~port ~joins ~memory_limit () with
-  | t ->
-    Logs.app (fun m ->
-        m "pequod-server listening on port %d with %d joins%s" (Net_server.port t)
-          (List.length (Pequod_core.Server.joins (Net_server.engine t)))
-          (match data_dir with
-          | Some dir -> Printf.sprintf " (durable in %s)" dir
-          | None -> ""));
-    Net_server.run t;
-    0
-  | exception Failure msg ->
+  match Remote.routes_of_specs ~peers partitions with
+  | Error msg ->
     Logs.err (fun m -> m "%s" msg);
     1
+  | Ok routes -> (
+    match
+      Net_server.create ~config ?metrics_every:metrics_dump ~port ~joins ~memory_limit ()
+    with
+    | t ->
+      let self_addr = Printf.sprintf "%s:%d" advertise (Net_server.port t) in
+      Remote.attach ~engine:(Net_server.engine t) ~self_addr ~routes;
+      Logs.app (fun m ->
+          m "pequod-server listening on port %d with %d joins, %d partition routes%s"
+            (Net_server.port t)
+            (List.length (Pequod_core.Server.joins (Net_server.engine t)))
+            (List.length routes)
+            (match data_dir with
+            | Some dir -> Printf.sprintf " (durable in %s)" dir
+            | None -> ""));
+      Net_server.run t;
+      0
+    | exception Failure msg ->
+      Logs.err (fun m -> m "%s" msg);
+      1)
 
 let cmd =
   Cmd.v
     (Cmd.info "pequod-server" ~doc:"A Pequod cache server speaking the binary wire protocol")
     Term.(
       const main $ port $ joins $ memory_limit $ data_dir $ sync_mode $ sync_interval
-      $ snapshot_every $ wal_max_bytes $ metrics_dump $ verbose)
+      $ snapshot_every $ wal_max_bytes $ metrics_dump $ verbose $ peers $ partitions
+      $ advertise)
 
 let () = if not !Sys.interactive then exit (Cmd.eval' cmd)

@@ -136,9 +136,11 @@ let make ~interleaved ?config ?(deployment = In_process) () =
     wire_bytes = (fun () -> meter.Meter.bytes_sent + meter.Meter.bytes_received);
     memory_bytes =
       (fun () ->
-        match rpc Message.Stats with
-        | Message.Stat_list stats ->
-          (match List.assoc_opt "memory.bytes" stats with Some n -> n | None -> 0)
+        match rpc Message.Stats_full with
+        | Message.Metrics metrics -> (
+          match List.assoc_opt "memory.bytes" metrics with
+          | Some (Obs.Gauge n) | Some (Obs.Counter n) -> n
+          | _ -> 0)
         | _ -> 0);
     shutdown = (fun () -> Meter.close meter);
   }

@@ -78,9 +78,11 @@ let pequod_channel ?config ~deployment ~joins () =
   make_channel deployment (serve ())
 
 let engine_backend ~name ~meter ~subscribe ~bulk_subscribe ~post ~timeline =
-  let stats_of meter =
-    match Message.decode_response (Meter.call meter (Message.encode_request Message.Stats)) with
-    | Message.Stat_list stats -> stats
+  let metrics_of meter =
+    match
+      Message.decode_response (Meter.call meter (Message.encode_request Message.Stats_full))
+    with
+    | Message.Metrics metrics -> metrics
     | _ -> []
   in
   {
@@ -93,7 +95,9 @@ let engine_backend ~name ~meter ~subscribe ~bulk_subscribe ~post ~timeline =
     wire_bytes = (fun () -> meter.Meter.bytes_sent + meter.Meter.bytes_received);
     memory_bytes =
       (fun () ->
-        match List.assoc_opt "memory.bytes" (stats_of meter) with Some n -> n | None -> 0);
+        match List.assoc_opt "memory.bytes" (metrics_of meter) with
+        | Some (Obs.Gauge n) | Some (Obs.Counter n) -> n
+        | _ -> 0);
     shutdown = (fun () -> Meter.close meter);
   }
 

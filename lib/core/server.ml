@@ -107,6 +107,12 @@ type resolve_result =
 
 type resolver = table:string -> lo:string -> hi:string -> resolve_result
 
+(* Every scan produces one of these: pairs, or the base ranges to fetch
+   before retrying. *)
+type scan_result =
+  [ `Ok of (string * string) list
+  | `Missing of (string * string * string) list ]
+
 (* Client-level state transitions, as seen by the durability subsystem
    (lib/persist). Only API-level mutations are reported: writes the engine
    derives itself (join materialization) are recomputed on recovery, not
@@ -1169,7 +1175,7 @@ let warm_fast_path t ~lo ~hi =
 let rec take n l =
   match l with x :: rest when n > 0 -> x :: take (n - 1) rest | _ -> []
 
-let scan_nb ?limit t ~lo ~hi =
+let scan_result ?limit t ~lo ~hi =
   Obs.Counter.incr t.hot.scans;
   let t0 = Obs.tick () in
   (* duration/size recording and tracing, skipped entirely when recording
@@ -1229,10 +1235,10 @@ let scan_nb ?limit t ~lo ~hi =
   | exception Need_fetch (table, flo, fhi) -> `Missing [ (table, flo, fhi) ]
 
 (** Ordered scan of [\[lo, hi)], computing and freshening any overlapping
-    cache-join output first. Raises [Need_fetch] only under an
-    asynchronous resolver; use {!scan_nb} there. *)
+    cache-join output first. Thin wrapper over {!scan_result} for callers
+    that know every needed range is local or synchronously resolvable. *)
 let scan ?limit t ~lo ~hi =
-  match scan_nb ?limit t ~lo ~hi with
+  match scan_result ?limit t ~lo ~hi with
   | `Ok pairs -> pairs
   | `Missing ((table, flo, fhi) :: _) ->
     failwith (Printf.sprintf "Pequod.scan: unresolved fetch %s [%s, %s)" table flo fhi)

@@ -19,7 +19,7 @@ type t
 (** Resolver answers for a missing base range (§3.3). *)
 type resolve_result =
   | Resolved of (string * string) list  (** pairs now available *)
-  | Deferred  (** fetch started; retry later via {!scan_nb} *)
+  | Deferred  (** fetch started (or failed); retry later via {!scan_result} *)
   | Local  (** this table is not backed; treat as present *)
 
 type resolver = table:string -> lo:string -> hi:string -> resolve_result
@@ -36,10 +36,6 @@ type mutation =
           {!put_batch} *)
   | M_add_join of string  (** canonical join text *)
   | M_present of string * string * string  (** table, lo, hi now locally owned *)
-
-(** Raised (through {!scan}) when an asynchronous resolver defers a fetch;
-    use {!scan_nb} in asynchronous deployments. *)
-exception Need_fetch of (string * string * string)
 
 (** Raised when chained joins evaluate cyclically at runtime. *)
 exception Join_cycle of string
@@ -77,24 +73,27 @@ val remove : t -> string -> unit
     first. *)
 val get : t -> string -> string option
 
+(** Every scan produces one of these: the ordered pairs, or the base
+    ranges ([table, lo, hi] triples) that must be fetched — via
+    {!feed_base} or a retried resolver — before the scan can complete.
+    Completed covers stay valid across retries (§3.3 restart
+    behaviour), so a retry never recomputes finished work. *)
+type scan_result =
+  [ `Ok of (string * string) list
+  | `Missing of (string * string * string) list ]
+
 (** Ordered scan of [\[lo, hi)], computing and freshening any overlapping
     cache-join output first. Pull-join results are merged in without
     being cached. [limit] bounds the result to its first [limit] pairs;
     the store walk stops there instead of materializing the whole range
     (maintenance of the range still runs in full, so freshness
     bookkeeping is identical with and without a limit). *)
-val scan : ?limit:int -> t -> lo:string -> hi:string -> (string * string) list
+val scan_result : ?limit:int -> t -> lo:string -> hi:string -> scan_result
 
-(** Non-blocking scan for asynchronous deployments: either the results,
-    or the base ranges to fetch ([`Missing]) before retrying. Completed
-    covers stay valid across retries (§3.3 restart behaviour). [limit]
-    as in {!scan}. *)
-val scan_nb :
-  ?limit:int ->
-  t ->
-  lo:string ->
-  hi:string ->
-  [ `Ok of (string * string) list | `Missing of (string * string * string) list ]
+(** Thin convenience wrapper over {!scan_result} for callers that know
+    every needed range is local or synchronously resolvable; fails on
+    [`Missing]. [limit] as in {!scan_result}. *)
+val scan : ?limit:int -> t -> lo:string -> hi:string -> (string * string) list
 
 (** Hook consulted when a base range is first needed (§3.3): a database
     backing store or a remote home server. *)
@@ -139,7 +138,8 @@ val metrics_snapshot : t -> (string * Obs.value) list
 
 (** {!metrics_snapshot} flattened to integers (histograms expand to
     [.count]/[.sum]/[.min]/[.max]/[.p50]/[.p95]/[.p99] entries), for
-    the legacy [Stats] RPC and text tables. *)
+    text tables and in-process consumers. Not on the wire: the RPC
+    surface carries only the typed {!metrics_snapshot} ([Stats_full]). *)
 val stats_snapshot : t -> (string * int) list
 
 (** {2 Durability hooks (lib/persist)} *)

@@ -11,6 +11,7 @@ module Config = Pequod_core.Config
 module Message = Pequod_proto.Message
 module Frame = Pequod_proto.Frame
 module Persist = Pequod_persist.Persist
+module Interval_map = Pequod_store.Interval_map
 
 let src = Logs.Src.create "pequod.server"
 
@@ -30,6 +31,16 @@ type t = {
   buf : Bytes.t;
   mutable shutdown : bool;
   persist : Persist.t option; (* durability manager, when --data-dir is set *)
+  (* home-server subscriptions (§2.4): source table -> subscriber
+     callback address per fetched range. Installed by [Fetch], stabbed
+     on every client-origin write, dropped when pushes to the address
+     stop getting through. *)
+  subs : (string, string Interval_map.t) Hashtbl.t;
+  peers : (string, Net_client.t) Hashtbl.t; (* subscriber addr -> push client *)
+  (* outgoing pushes, coalesced per destination within one read batch:
+     one Notify_batch per subscriber per batch, as in the simulator *)
+  pending_notify : (string, (string * string option) list) Hashtbl.t; (* dst -> rev items *)
+  mutable pending_order : string list; (* destinations, reverse first-enqueue order *)
   (* transport metrics, recorded into the engine's registry so one
      snapshot covers the whole server *)
   m_rpcs : Obs.Counter.t; (* net.rpcs *)
@@ -37,6 +48,9 @@ type t = {
   m_bytes_out : Obs.Counter.t; (* net.bytes_out *)
   m_req_bytes : Obs.Histogram.t; (* rpc.request.bytes *)
   m_resp_bytes : Obs.Histogram.t; (* rpc.response.bytes *)
+  m_fetch_in : Obs.Counter.t; (* peer.fetch.in *)
+  m_notify_in : Obs.Counter.t; (* peer.notify.in *)
+  m_notify_out : Obs.Counter.t; (* peer.notify.out *)
   metrics_every : float option; (* --metrics-dump period *)
   mutable next_dump : float;
 }
@@ -76,11 +90,18 @@ let create ?config ?metrics_every ~port ~joins ~memory_limit () =
   let obs = Server.obs engine in
   { engine; listener; clients = []; buf = Bytes.create 65_536; shutdown = false;
     persist;
+    subs = Hashtbl.create 8;
+    peers = Hashtbl.create 8;
+    pending_notify = Hashtbl.create 8;
+    pending_order = [];
     m_rpcs = Obs.counter obs "net.rpcs";
     m_bytes_in = Obs.counter obs "net.bytes_in";
     m_bytes_out = Obs.counter obs "net.bytes_out";
     m_req_bytes = Obs.histogram obs "rpc.request.bytes";
     m_resp_bytes = Obs.histogram obs "rpc.response.bytes";
+    m_fetch_in = Obs.counter obs "peer.fetch.in";
+    m_notify_in = Obs.counter obs "peer.notify.in";
+    m_notify_out = Obs.counter obs "peer.notify.out";
     metrics_every;
     next_dump =
       (match metrics_every with Some s -> Unix.gettimeofday () +. s | None -> infinity) }
@@ -114,6 +135,104 @@ let flush_output t client =
     | exception Unix.Unix_error _ -> drop t client
   end
 
+(* ------------------------------------------------------------------ *)
+(* Subscription push (§2.4): the live-cluster version of the
+   simulator's coalesced Notify_batch protocol.                        *)
+
+let subs_for t table =
+  match Hashtbl.find_opt t.subs table with
+  | Some im -> im
+  | None ->
+    let im = Interval_map.create () in
+    Hashtbl.add t.subs table im;
+    im
+
+let split_addr addr =
+  match String.rindex_opt addr ':' with
+  | Some i -> (
+    match int_of_string_opt (String.sub addr (i + 1) (String.length addr - i - 1)) with
+    | Some port -> (String.sub addr 0 i, port)
+    | None -> invalid_arg ("bad peer address: " ^ addr))
+  | None -> invalid_arg ("bad peer address: " ^ addr)
+
+(* push client for a subscriber address; short fuse — a home server must
+   not stall its event loop long on a dead subscriber *)
+let peer_client t addr =
+  match Hashtbl.find_opt t.peers addr with
+  | Some c -> c
+  | None ->
+    let chost, cport = split_addr addr in
+    let config =
+      { Net_client.connect_timeout = 2.0; call_timeout = 5.0; max_retries = 2;
+        backoff = 0.05 }
+    in
+    let c = Net_client.create ~obs:(Server.obs t.engine) ~config ~host:chost ~port:cport () in
+    Hashtbl.add t.peers addr c;
+    c
+
+(* a subscriber stopped taking pushes: forget every subscription it held
+   and its client, so one dead peer costs bounded retries once, not per
+   write forever *)
+let drop_subscriber t addr =
+  Hashtbl.iter
+    (fun _ im ->
+      let doomed = ref [] in
+      Interval_map.iter im (fun h ->
+          if String.equal (Interval_map.handle_data h) addr then doomed := h :: !doomed);
+      List.iter (Interval_map.remove im) !doomed)
+    t.subs;
+  match Hashtbl.find_opt t.peers addr with
+  | Some c ->
+    Net_client.close c;
+    Hashtbl.remove t.peers addr
+  | None -> ()
+
+(* queue one update for every subscriber whose fetched range contains
+   [key]; flushed once per read batch *)
+let buffer_notify t key value_opt =
+  if Hashtbl.length t.subs > 0 then
+    match Hashtbl.find_opt t.subs (Pequod_store.Store.table_name_of key) with
+    | None -> ()
+    | Some im ->
+      let targets = ref [] in
+      Interval_map.stab im key (fun h -> targets := Interval_map.handle_data h :: !targets);
+      List.iter
+        (fun dst ->
+          let prev =
+            match Hashtbl.find_opt t.pending_notify dst with
+            | Some items -> items
+            | None ->
+              t.pending_order <- dst :: t.pending_order;
+              []
+          in
+          Hashtbl.replace t.pending_notify dst ((key, value_opt) :: prev))
+        (List.sort_uniq compare !targets)
+
+(* one Notify_batch per destination with pending updates, pushed one-way
+   (a response-awaiting push could deadlock two servers fetching from
+   each other). A push that fails after the client's bounded retries
+   drops that subscriber. *)
+let flush_notifications t =
+  let order = List.rev t.pending_order in
+  t.pending_order <- [];
+  List.iter
+    (fun dst ->
+      match Hashtbl.find_opt t.pending_notify dst with
+      | None | Some [] -> ()
+      | Some rev_items ->
+        Hashtbl.remove t.pending_notify dst;
+        let items = List.rev rev_items in
+        (match Net_client.post (peer_client t dst) (Message.Notify_batch items) with
+        | () -> Obs.Counter.incr t.m_notify_out
+        | exception Net_client.Net_error msg ->
+          Log.warn (fun m -> m "dropping subscriber %s: %s" dst msg);
+          drop_subscriber t dst))
+    order
+
+(* ------------------------------------------------------------------ *)
+(* Request handling                                                    *)
+
+(* [None] for one-way requests: they produce no response frame *)
 let handle_request t request =
   Obs.Counter.incr t.m_rpcs;
   Obs.Histogram.observe t.m_req_bytes (String.length request);
@@ -122,15 +241,58 @@ let handle_request t request =
     (* per-kind RPC tally; pequod's whole evaluation counts messages *)
     if !Obs.enabled then
       Obs.Counter.incr (Obs.counter (Server.obs t.engine) ("rpc." ^ Message.request_kind req));
-    (match req with
-    | Message.Stats ->
-      (* fold the durability manager's counters into the engine's snapshot
-         so the legacy integer RPC still reports the whole server *)
-      let extra = match t.persist with Some p -> Persist.stats p | None -> [] in
-      Message.Stat_list (List.sort compare (Server.stats_snapshot t.engine @ extra))
-    | req -> Message.apply_to_server t.engine req)
-  | exception Message.Protocol_error msg -> Message.Error ("protocol error: " ^ msg)
-  | exception e -> Message.Error (Printexc.to_string e)
+    let resp =
+      match req with
+      | Message.Fetch { table; lo; hi; subscriber } -> (
+        Obs.Counter.incr t.m_fetch_in;
+        (* install the subscription before snapshotting: a write landing
+           in between is pushed as well, and the duplicate application
+           at the subscriber is idempotent *)
+        let handle =
+          if subscriber = "" then None
+          else Some (Interval_map.add (subs_for t table) ~lo ~hi subscriber)
+        in
+        match Server.scan_result t.engine ~lo ~hi with
+        | `Ok pairs -> Some (Message.Subscribed pairs)
+        | `Missing _ ->
+          (* this server does not own the range; rescind the subscription *)
+          Option.iter (Interval_map.remove (subs_for t table)) handle;
+          Some (Message.Error (Printf.sprintf "not the home for %s[%s,%s)" table lo hi))
+        | exception e ->
+          Option.iter (Interval_map.remove (subs_for t table)) handle;
+          Some (Message.Error (Printexc.to_string e)))
+      | Message.Notify_put (k, v) ->
+        ignore (Message.apply_to_server t.engine req);
+        Obs.Counter.incr t.m_notify_in;
+        buffer_notify t k (Some v);
+        None
+      | Message.Notify_remove k ->
+        ignore (Message.apply_to_server t.engine req);
+        Obs.Counter.incr t.m_notify_in;
+        buffer_notify t k None;
+        None
+      | Message.Notify_batch items ->
+        ignore (Message.apply_to_server t.engine req);
+        Obs.Counter.incr t.m_notify_in;
+        List.iter (fun (k, v) -> buffer_notify t k v) items;
+        None
+      | Message.Put (k, v) ->
+        let resp = Message.apply_to_server t.engine req in
+        buffer_notify t k (Some v);
+        Some resp
+      | Message.Remove k ->
+        let resp = Message.apply_to_server t.engine req in
+        buffer_notify t k None;
+        Some resp
+      | Message.Put_batch pairs ->
+        let resp = Message.apply_to_server t.engine req in
+        List.iter (fun (k, v) -> buffer_notify t k (Some v)) pairs;
+        Some resp
+      | req -> Some (Message.apply_to_server t.engine req)
+    in
+    resp
+  | exception Message.Protocol_error msg -> Some (Message.Error ("protocol error: " ^ msg))
+  | exception e -> Some (Message.Error (Printexc.to_string e))
 
 let handle_readable t client =
   match Unix.read client.fd t.buf 0 (Bytes.length t.buf) with
@@ -145,16 +307,20 @@ let handle_readable t client =
       let out = Buffer.create 256 in
       List.iter
         (fun request ->
-          let response = handle_request t request in
-          let wire = Frame.encode (Message.encode_response response) in
-          Obs.Counter.add t.m_bytes_out (String.length wire);
-          Obs.Histogram.observe t.m_resp_bytes (String.length wire);
-          Buffer.add_string out wire)
+          match handle_request t request with
+          | None -> ()
+          | Some response ->
+            let wire = Frame.encode (Message.encode_response response) in
+            Obs.Counter.add t.m_bytes_out (String.length wire);
+            Obs.Histogram.observe t.m_resp_bytes (String.length wire);
+            Buffer.add_string out wire)
         frames;
       if Buffer.length out > 0 then begin
         client.outbuf <- client.outbuf ^ Buffer.contents out;
         flush_output t client
-      end
+      end;
+      (* after the whole batch: one coalesced push per subscriber *)
+      flush_notifications t
     | exception Frame.Frame_too_large _ -> drop t client)
   | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) -> ()
   | exception Unix.Unix_error _ -> drop t client
@@ -217,5 +383,7 @@ let stop t =
   t.shutdown <- true;
   List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) t.clients;
   t.clients <- [];
+  Hashtbl.iter (fun _ c -> Net_client.close c) t.peers;
+  Hashtbl.reset t.peers;
   Option.iter Persist.close t.persist;
   try Unix.close t.listener with Unix.Unix_error _ -> ()

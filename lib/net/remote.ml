@@ -1,0 +1,130 @@
+(* Wires Net_client into a cache engine as its missing-range resolver:
+   the compute-server half of the §2.4 fetch/subscribe protocol. *)
+
+module Server = Pequod_core.Server
+module Message = Pequod_proto.Message
+
+let src = Logs.Src.create "pequod.remote"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type route = {
+  r_table : string;
+  r_lo : string;
+  r_hi : string;
+  r_addr : string option;
+}
+
+(* TABLE[:LO:HI][@HOST:PORT]; a bare TABLE covers the whole table,
+   [T|, T}) in the repo's key order *)
+let parse_spec ~peers spec =
+  let body, addr =
+    match String.index_opt spec '@' with
+    | Some i ->
+      ( String.sub spec 0 i,
+        Some (String.sub spec (i + 1) (String.length spec - i - 1)) )
+    | None -> (spec, None)
+  in
+  let addr =
+    match (addr, peers) with
+    | Some a, _ -> Ok (Some a)
+    | None, [] -> Ok None (* no peers: this process is the home *)
+    | None, [ p ] -> Ok (Some p)
+    | None, _ :: _ :: _ ->
+      Error
+        (Printf.sprintf
+           "partition %S: several --peer addresses; say which owns it with @HOST:PORT"
+           spec)
+  in
+  match addr with
+  | Error _ as e -> e
+  | Ok r_addr -> (
+    match String.split_on_char ':' body with
+    | [ table ] when table <> "" ->
+      Ok { r_table = table; r_lo = table ^ "|"; r_hi = table ^ "}"; r_addr }
+    | [ table; lo; hi ] when table <> "" && String.compare lo hi < 0 ->
+      Ok { r_table = table; r_lo = lo; r_hi = hi; r_addr }
+    | _ -> Error (Printf.sprintf "partition %S: expected TABLE or TABLE:LO:HI" spec))
+
+let routes_of_specs ~peers specs =
+  List.fold_left
+    (fun acc spec ->
+      match (acc, parse_spec ~peers spec) with
+      | (Error _ as e), _ -> e
+      | _, (Error _ as e) -> e
+      | Ok rs, Ok r -> Ok (r :: rs))
+    (Ok []) specs
+  |> Result.map List.rev
+
+(* peer clients, one per owning address, created lazily and registered
+   in the engine's own metrics registry ([net.client.retries] etc.) *)
+let client_cache obs =
+  let cache : (string, Net_client.t) Hashtbl.t = Hashtbl.create 4 in
+  fun addr ->
+    match Hashtbl.find_opt cache addr with
+    | Some c -> c
+    | None ->
+      let chost, cport =
+        match String.rindex_opt addr ':' with
+        | Some i -> (
+          match
+            int_of_string_opt (String.sub addr (i + 1) (String.length addr - i - 1))
+          with
+          | Some p -> (String.sub addr 0 i, p)
+          | None -> invalid_arg ("bad peer address: " ^ addr))
+        | None -> invalid_arg ("bad peer address: " ^ addr)
+      in
+      let c = Net_client.create ~obs ~host:chost ~port:cport () in
+      Hashtbl.add cache addr c;
+      c
+
+let attach ~engine ~self_addr ~routes =
+  List.iter
+    (fun r ->
+      match r.r_addr with
+      | None -> Server.mark_present engine ~table:r.r_table ~lo:r.r_lo ~hi:r.r_hi
+      | Some _ -> ())
+    routes;
+  let remote = List.filter (fun r -> r.r_addr <> None) routes in
+  if remote <> [] then begin
+    let client_for = client_cache (Server.obs engine) in
+    Server.set_resolver engine (fun ~table ~lo ~hi ->
+        let overlapping =
+          List.filter
+            (fun r ->
+              String.equal r.r_table table
+              && String.compare r.r_lo hi < 0
+              && String.compare lo r.r_hi < 0)
+            remote
+        in
+        if overlapping = [] then Server.Local
+        else
+          (* fetch each owning peer's clamp of the missing range; all
+             must answer for the range to resolve *)
+          let rec fetch acc = function
+            | [] -> Server.Resolved (List.concat (List.rev acc))
+            | r :: rest -> (
+              let flo = if String.compare lo r.r_lo < 0 then r.r_lo else lo in
+              let fhi = if String.compare hi r.r_hi < 0 then hi else r.r_hi in
+              let addr = Option.get r.r_addr in
+              match
+                Net_client.call (client_for addr)
+                  (Message.Fetch
+                     { table; lo = flo; hi = fhi; subscriber = self_addr })
+              with
+              | Message.Subscribed pairs -> fetch (pairs :: acc) rest
+              | Message.Error msg ->
+                Log.warn (fun m ->
+                    m "fetch %s[%s,%s) from %s refused: %s" table flo fhi addr msg);
+                Server.Deferred
+              | _ ->
+                Log.warn (fun m ->
+                    m "fetch %s[%s,%s) from %s: unexpected response" table flo fhi addr);
+                Server.Deferred
+              | exception Net_client.Net_error msg ->
+                Log.warn (fun m ->
+                    m "fetch %s[%s,%s) from %s failed: %s" table flo fhi addr msg);
+                Server.Deferred)
+          in
+          fetch [] overlapping)
+  end

@@ -1,0 +1,41 @@
+(** Live distributed deployment (§2.4/§3.3): wires a {!Net_client} into
+    a cache engine as its missing-range resolver.
+
+    A server started with [--partition] routes learns which peer is the
+    {e home} for each base-table range. Ranges routed to this process are
+    marked present (home ownership). Ranges routed to a peer are fetched
+    on first need: the resolver sends [Fetch] naming this server's own
+    address as the subscriber, the home replies [Subscribed] with a
+    snapshot and starts pushing [Notify_batch] frames for every later
+    write in the range — the protocol the simulator models, between live
+    processes.
+
+    A fetch that fails (peer down, after the client's bounded retries)
+    resolves as [Deferred]: the scan reports the range as missing and the
+    server answers that client with an [Error] instead of crashing; the
+    next scan retries, so a respawned peer heals the route. *)
+
+(** One partition route. [r_addr = None] means this process is the home
+    (the range is marked present); [Some "host:port"] names the owning
+    peer. *)
+type route = {
+  r_table : string;
+  r_lo : string;
+  r_hi : string;
+  r_addr : string option;
+}
+
+(** Parse [--partition] specs, [TABLE\[:LO:HI\]\[@HOST:PORT\]], against
+    the [--peer] list: an explicit [@HOST:PORT] wins; a bare spec is
+    owned by the single [--peer] when exactly one is given, is local
+    when none is, and is an error (ambiguous) with several. A bare
+    [TABLE] covers the whole table. *)
+val routes_of_specs :
+  peers:string list -> string list -> (route list, string) result
+
+(** Install the routes on [engine]: local routes are marked present;
+    if any remote routes exist, a resolver is set that fetches from the
+    owning peers and subscribes as [self_addr]. Call once, before
+    serving. *)
+val attach :
+  engine:Pequod_core.Server.t -> self_addr:string -> routes:route list -> unit

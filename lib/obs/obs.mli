@@ -144,8 +144,9 @@ type value =
 (** Every registered metric, sorted by name. *)
 val snapshot : t -> (string * value) list
 
-(** {!snapshot} flattened to integers for the legacy [Stats] RPC and
-    text tables: counters and gauges map to one entry; a histogram [h]
+(** {!snapshot} flattened to integers for in-process consumers and
+    text tables (the wire carries only the typed {!snapshot}, via
+    [Stats_full]): counters and gauges map to one entry; a histogram [h]
     expands to [h.count], [h.sum], [h.min], [h.max], [h.p50], [h.p95]
     and [h.p99]. *)
 val int_snapshot : t -> (string * int) list

@@ -5,7 +5,21 @@
     the evaluation harness routes every system's operations through it so
     per-RPC CPU cost is real work rather than a modeled constant. *)
 
+(** Wire protocol version, negotiated by the [Hello] handshake.
+
+    v1 (unversioned): no handshake; [Stats] request (tag [0x09]) and
+    [Stat_list] response (tag [0x85]) carried a flattened integer
+    snapshot; [Fetch.subscriber] was a numeric simulator node id.
+
+    v2: [Hello]/[Welcome] handshake carries the version; [Fetch] replies
+    [Subscribed] and names the subscriber by an opaque callback address
+    (["host:port"] on TCP, a stringified node id in the simulator);
+    tags [0x09]/[0x85] are retired — still reserved, but decoding them
+    fails loudly with a versioned error instead of misparsing. *)
+let protocol_version = 2
+
 type request =
+  | Hello of { version : int } (* first request on a connection *)
   | Get of string
   | Put of string * string
   | Remove of string
@@ -13,26 +27,30 @@ type request =
   | Scan of { lo : string; hi : string }
   | Add_join of string
   (* server-to-server *)
-  | Fetch of { table : string; lo : string; hi : string; subscriber : int }
+  | Fetch of { table : string; lo : string; hi : string; subscriber : string }
+      (* [subscriber] is the callback address the home server pushes
+         notifications to after granting the subscription *)
   | Notify_put of string * string
   | Notify_remove of string
   | Notify_batch of (string * string option) list
       (* subscription traffic coalesced per flush: [Some v] is a put,
          [None] a remove, in source-write order *)
-  | Stats
   | Stats_full
 
 type response =
   | Done
   | Value of string option
   | Pairs of (string * string) list
-  | Stat_list of (string * int) list
   | Metrics of (string * Obs.value) list
+  | Welcome of { version : int } (* handshake accepted *)
+  | Subscribed of (string * string) list
+      (* Fetch granted: the range snapshot, with a subscription installed *)
   | Error of string
 
 (** Short name of a request's kind, for per-kind RPC counters
     ([rpc.get], [rpc.scan], ...). *)
 let request_kind = function
+  | Hello _ -> "hello"
   | Get _ -> "get"
   | Put _ -> "put"
   | Remove _ -> "remove"
@@ -43,10 +61,26 @@ let request_kind = function
   | Notify_put _ -> "notify_put"
   | Notify_remove _ -> "notify_remove"
   | Notify_batch _ -> "notify_batch"
-  | Stats -> "stats"
   | Stats_full -> "stats_full"
 
+(** One-way requests are applied without sending a response frame.
+    Subscription pushes must be one-way: a home server that waited for
+    an acknowledgement could deadlock against a compute server blocked
+    in a synchronous [Fetch] back to it. *)
+let is_oneway = function
+  | Notify_put _ | Notify_remove _ | Notify_batch _ -> true
+  | Hello _ | Get _ | Put _ | Remove _ | Put_batch _ | Scan _ | Add_join _
+  | Fetch _ | Stats_full ->
+    false
+
 exception Protocol_error = Codec.Decode_error
+
+let retired tag what =
+  raise
+    (Protocol_error
+       (Printf.sprintf
+          "tag %#x (%s) was retired in protocol v%d; use stats_full" tag what
+          protocol_version))
 
 let encode_request req =
   let buf = Buffer.create 64 in
@@ -73,7 +107,7 @@ let encode_request req =
     Codec.put_string buf table;
     Codec.put_string buf lo;
     Codec.put_string buf hi;
-    Codec.put_varint buf subscriber
+    Codec.put_string buf subscriber
   | Notify_put (k, v) ->
     Buffer.add_char buf '\x07';
     Codec.put_string buf k;
@@ -81,7 +115,6 @@ let encode_request req =
   | Notify_remove k ->
     Buffer.add_char buf '\x08';
     Codec.put_string buf k
-  | Stats -> Buffer.add_char buf '\x09'
   | Stats_full -> Buffer.add_char buf '\x0a'
   | Put_batch pairs ->
     Buffer.add_char buf '\x0b';
@@ -97,7 +130,10 @@ let encode_request req =
           Buffer.add_char buf '\x01';
           Codec.put_string buf v
         | None -> Buffer.add_char buf '\x00')
-      items);
+      items
+  | Hello { version } ->
+    Buffer.add_char buf '\x0d';
+    Codec.put_varint buf version);
   Buffer.contents buf
 
 let decode_request data =
@@ -119,14 +155,14 @@ let decode_request data =
       let table = Codec.get_string r in
       let lo = Codec.get_string r in
       let hi = Codec.get_string r in
-      let subscriber = Codec.get_varint r in
+      let subscriber = Codec.get_string r in
       Fetch { table; lo; hi; subscriber }
     | 0x07 ->
       let k = Codec.get_string r in
       let v = Codec.get_string r in
       Notify_put (k, v)
     | 0x08 -> Notify_remove (Codec.get_string r)
-    | 0x09 -> Stats
+    | 0x09 -> retired 0x09 "stats"
     | 0x0a -> Stats_full
     | 0x0b -> Put_batch (Codec.get_pair_list r)
     | 0x0c ->
@@ -138,6 +174,7 @@ let decode_request data =
              | 0x01 -> (k, Some (Codec.get_string r))
              | 0x00 -> (k, None)
              | b -> raise (Codec.Decode_error (Printf.sprintf "bad notify item %#x" b))))
+    | 0x0d -> Hello { version = Codec.get_varint r }
     | tag -> raise (Codec.Decode_error (Printf.sprintf "bad request tag %#x" tag))
   in
   if not (Codec.at_end r) then raise (Codec.Decode_error "trailing bytes");
@@ -154,14 +191,12 @@ let encode_response resp =
   | Pairs pairs ->
     Buffer.add_char buf '\x84';
     Codec.put_pair_list buf pairs
-  | Stat_list stats ->
-    Buffer.add_char buf '\x85';
-    Codec.put_varint buf (List.length stats);
-    List.iter
-      (fun (k, n) ->
-        Codec.put_string buf k;
-        Codec.put_varint buf n)
-      stats
+  | Welcome { version } ->
+    Buffer.add_char buf '\x88';
+    Codec.put_varint buf version
+  | Subscribed pairs ->
+    Buffer.add_char buf '\x89';
+    Codec.put_pair_list buf pairs
   | Metrics metrics ->
     Buffer.add_char buf '\x87';
     Codec.put_varint buf (List.length metrics);
@@ -198,13 +233,7 @@ let decode_response data =
     | 0x82 -> Value None
     | 0x83 -> Value (Some (Codec.get_string r))
     | 0x84 -> Pairs (Codec.get_pair_list r)
-    | 0x85 ->
-      let n = Codec.get_varint r in
-      Stat_list
-        (List.init n (fun _ ->
-             let k = Codec.get_string r in
-             let v = Codec.get_varint r in
-             (k, v)))
+    | 0x85 -> retired 0x85 "stat_list"
     | 0x86 -> Error (Codec.get_string r)
     | 0x87 ->
       let n = Codec.get_varint r in
@@ -228,6 +257,8 @@ let decode_response data =
                  raise (Codec.Decode_error (Printf.sprintf "bad metric kind %#x" tag))
              in
              (name, v)))
+    | 0x88 -> Welcome { version = Codec.get_varint r }
+    | 0x89 -> Subscribed (Codec.get_pair_list r)
     | tag -> raise (Codec.Decode_error (Printf.sprintf "bad response tag %#x" tag))
   in
   if not (Codec.at_end r) then raise (Codec.Decode_error "trailing bytes");
@@ -247,6 +278,12 @@ let loopback handler req =
 let apply_to_server server req =
   let module Server = Pequod_core.Server in
   match req with
+  | Hello { version } ->
+    if version = protocol_version then Welcome { version = protocol_version }
+    else
+      Error
+        (Printf.sprintf "protocol version mismatch: server speaks v%d, client sent v%d"
+           protocol_version version)
   | Get k -> Value (Server.get server k)
   | Put (k, v) ->
     Server.put server k v;
@@ -254,7 +291,14 @@ let apply_to_server server req =
   | Remove k ->
     Server.remove server k;
     Done
-  | Scan { lo; hi } -> Pairs (Server.scan server ~lo ~hi)
+  | Scan { lo; hi } -> (
+    match Server.scan_result server ~lo ~hi with
+    | `Ok pairs -> Pairs pairs
+    | `Missing ranges ->
+      let (t, mlo, mhi) = List.hd ranges in
+      Error
+        (Printf.sprintf "missing base range %s[%s,%s): owning peer unreachable" t
+           mlo mhi))
   | Add_join text -> (
     match Server.add_join_text server text with
     | Ok () -> Done
@@ -285,6 +329,5 @@ let apply_to_server server req =
     in
     flush acc;
     Done
-  | Stats -> Stat_list (Server.stats_snapshot server)
   | Stats_full -> Metrics (Server.metrics_snapshot server)
   | Fetch _ -> Error "fetch is handled by the cluster layer"

@@ -253,21 +253,24 @@ let fetch_range t ~requester ~table ~lo ~hi k =
     | Some h -> h
     | None -> invalid_arg ("fetch: no home for table " ^ table)
   in
-  let req = Message.Fetch { table; lo; hi; subscriber = requester } in
+  let req = Message.Fetch { table; lo; hi; subscriber = string_of_int requester } in
   let wire = Message.encode_request req in
   ignore (account_msg t ~src:requester ~dst:home wire);
   Event.schedule t.event ~delay:t.latency (fun () ->
       match Message.decode_request wire with
       | Message.Fetch { table; lo; hi; subscriber } ->
+        let subscriber = int_of_string subscriber in
         let hnode = t.nodes.(home) in
-        let pairs = Server.scan hnode.server ~lo ~hi in
-        (* §2.4: the home server installs a subscription for the range *)
+        (* §2.4: the home server installs the subscription first, then
+           snapshots — a write landing in between is pushed as well, and
+           the duplicate application is idempotent *)
         ignore (Interval_map.add (subs_for hnode table) ~lo ~hi subscriber);
-        let resp_wire = Message.encode_response (Message.Pairs pairs) in
+        let pairs = Server.scan hnode.server ~lo ~hi in
+        let resp_wire = Message.encode_response (Message.Subscribed pairs) in
         ignore (account_msg t ~src:home ~dst:subscriber resp_wire);
         Event.schedule t.event ~delay:t.latency (fun () ->
             match Message.decode_response resp_wire with
-            | Message.Pairs pairs ->
+            | Message.Subscribed pairs ->
               Server.feed_base t.nodes.(subscriber).server ~table ~lo ~hi pairs;
               k ()
             | _ -> assert false)
@@ -278,7 +281,7 @@ let fetch_range t ~requester ~table ~lo ~hi k =
 let client_scan t ~via ~lo ~hi callback =
   let n = t.nodes.(via) in
   let rec attempt () =
-    match Server.scan_nb n.server ~lo ~hi with
+    match Server.scan_result n.server ~lo ~hi with
     | `Ok pairs ->
       t.scans_done <- t.scans_done + 1;
       Obs.Counter.force_add n.m_client_bytes

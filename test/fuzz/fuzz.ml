@@ -11,7 +11,8 @@
       snapshot, the Newp page, ...);
     - a {e variant} fixes the engine configuration (each §3/§4
       optimization toggled, subtables, eviction pressure, durability
-      with crash-recovery);
+      with crash-recovery, or remote mode, where a second in-process
+      engine plays the home server behind the resolver);
     - the op sequence is derived from one root seed via {!derive_seed},
       so every run, failure, and shrink is reproducible byte-for-byte.
 
@@ -387,43 +388,53 @@ type variant = {
   va_name : string;
   va_tweak : Config.t -> unit;
   va_persist : persist_kind;
+  va_remote : bool;
+      (** a second plain engine plays the home server for every base
+          table; the engine under test resolves missing ranges from it
+          (§3.3), with writes forwarded only for subscribed ranges *)
 }
 
 let variants =
-  [| { va_name = "default"; va_tweak = (fun _ -> ()); va_persist = No_persist };
+  [| { va_name = "default"; va_tweak = (fun _ -> ()); va_persist = No_persist;
+       va_remote = false };
      { va_name = "no-hints";
        va_tweak = (fun c -> c.Config.output_hints <- false);
-       va_persist = No_persist };
+       va_persist = No_persist; va_remote = false };
      { va_name = "no-sharing";
        va_tweak = (fun c -> c.Config.value_sharing <- false);
-       va_persist = No_persist };
+       va_persist = No_persist; va_remote = false };
      { va_name = "no-combine";
        va_tweak = (fun c -> c.Config.combine_updaters <- false);
-       va_persist = No_persist };
+       va_persist = No_persist; va_remote = false };
      { va_name = "eager-checks";
        va_tweak = (fun c -> c.Config.lazy_checks <- false);
-       va_persist = No_persist };
+       va_persist = No_persist; va_remote = false };
      { va_name = "log-limit-1";
        va_tweak = (fun c -> c.Config.pending_log_limit <- 1);
-       va_persist = No_persist };
+       va_persist = No_persist; va_remote = false };
      { va_name = "subtables";
        va_tweak = (fun c -> c.Config.table_config <- (fun _ -> Some 2));
-       va_persist = No_persist };
+       va_persist = No_persist; va_remote = false };
      { va_name = "evict";
        va_tweak = (fun c -> c.Config.memory_limit <- Some 8192);
-       va_persist = No_persist };
+       va_persist = No_persist; va_remote = false };
      { va_name = "evict-no-combine";
        va_tweak =
          (fun c ->
            c.Config.memory_limit <- Some 8192;
            c.Config.combine_updaters <- false);
-       va_persist = No_persist };
+       va_persist = No_persist; va_remote = false };
      { va_name = "persist";
        va_tweak = (fun _ -> ());
-       va_persist = Persist_always { snapshot_every = 0 } };
+       va_persist = Persist_always { snapshot_every = 0 }; va_remote = false };
      { va_name = "persist-snap";
        va_tweak = (fun _ -> ());
-       va_persist = Persist_always { snapshot_every = 7 } } |]
+       va_persist = Persist_always { snapshot_every = 7 }; va_remote = false };
+     { va_name = "remote"; va_tweak = (fun _ -> ()); va_persist = No_persist;
+       va_remote = true };
+     { va_name = "remote-evict";
+       va_tweak = (fun c -> c.Config.memory_limit <- Some 8192);
+       va_persist = No_persist; va_remote = true } |]
 
 let find_scenario name = Array.find_opt (fun s -> s.sc_name = name) scenarios
 let find_variant name = Array.find_opt (fun v -> v.va_name = name) variants
@@ -520,10 +531,64 @@ let run_case scenario variant ops =
     | Ok () -> ()
     | Error msg -> fail "oracle rejected join %S: %s" text msg
   in
+  (* remote mode: [home] is the home server for every base table; the
+     engine under test is the compute side. Its resolver alternates
+     between the synchronous fast path (Resolved, as over a healthy TCP
+     peer) and Deferred, which forces the read loop below through the
+     feed_base-and-retry restart path (§3.3). Every resolved range is a
+     subscription: later writes land on the home first and are forwarded
+     only when subscribed, modelling the Notify push. *)
+  let home = if variant.va_remote then Some (Server.create ()) else None in
+  let subs = ref [] in
+  let defer_next = ref false in
+  (match home with
+  | None -> ()
+  | Some h ->
+    Server.set_resolver !server (fun ~table:_ ~lo ~hi ->
+        subs := (lo, hi) :: !subs;
+        defer_next := not !defer_next;
+        if !defer_next then Server.Deferred
+        else Server.Resolved (Server.scan h ~lo ~hi)))
+  ;
+  let subscribed k =
+    List.exists
+      (fun (lo, hi) -> String.compare lo k <= 0 && String.compare k hi < 0)
+      !subs
+  in
+  let table_of k =
+    match String.index_opt k '|' with Some i -> String.sub k 0 i | None -> k
+  in
+  let engine_scan lo hi =
+    match home with
+    | None -> Server.scan !server ~lo ~hi
+    | Some h ->
+      let rec converge attempts =
+        match Server.scan_result !server ~lo ~hi with
+        | `Ok pairs -> pairs
+        | `Missing ranges ->
+          if attempts >= 32 then
+            fail "remote scan [%S, %S) still missing ranges after %d feeds" lo hi attempts;
+          List.iter
+            (fun (table, mlo, mhi) ->
+              Server.feed_base !server ~table ~lo:mlo ~hi:mhi (Server.scan h ~lo:mlo ~hi:mhi))
+            ranges;
+          converge (attempts + 1)
+      in
+      (* route by table, like a deployed client: join outputs are
+         materialized on the compute engine (which pulls any missing
+         source ranges first), base tables live on their home *)
+      let sinks =
+        List.map Pequod_pattern.Joinspec.output_table (Oracle.joins oracle)
+      in
+      let is_sink k = List.mem (table_of k) sinks in
+      let front = List.filter (fun (k, _) -> is_sink k) (converge 0) in
+      let base = List.filter (fun (k, _) -> not (is_sink k)) (Server.scan h ~lo ~hi) in
+      List.merge (fun (a, _) (b, _) -> String.compare a b) front base
+  in
   let compare_scan lo hi =
     incr stat_compares;
     clock := !clock +. scenario.sc_tick;
-    let got = Server.scan !server ~lo ~hi in
+    let got = engine_scan lo hi in
     let want = Oracle.scan oracle ~lo ~hi in
     if got <> want then
       fail "scan [%S, %S) diverges — %s\n    engine %s\n    oracle %s" lo hi
@@ -547,27 +612,41 @@ let run_case scenario variant ops =
   let apply op =
     incr stat_ops;
     match op with
-    | Put (k, v) ->
+    | Put (k, v) -> (
       guard_sink k;
-      Server.put !server k v;
-      Oracle.put oracle k v
+      (match home with
+      | None -> Server.put !server k v
+      | Some h ->
+        Server.put h k v;
+        if subscribed k then Server.put !server k v);
+      Oracle.put oracle k v)
     | Put_batch pairs ->
       List.iter (fun (k, _) -> guard_sink k) pairs;
-      Server.put_batch !server pairs;
+      (match home with
+      | None -> Server.put_batch !server pairs
+      | Some h ->
+        Server.put_batch h pairs;
+        (match List.filter (fun (k, _) -> subscribed k) pairs with
+        | [] -> ()
+        | fwd -> Server.put_batch !server fwd));
       (* put_batch is specified as equivalent to sequential puts; the
          oracle applies the same pairs one at a time (argument order —
          the batch's stable sort keeps duplicate keys in argument order,
          so last-write-wins agrees) *)
       List.iter (fun (k, v) -> Oracle.put oracle k v) pairs
-    | Remove k ->
+    | Remove k -> (
       guard_sink k;
-      Server.remove !server k;
-      Oracle.remove oracle k
+      (match home with
+      | None -> Server.remove !server k
+      | Some h ->
+        Server.remove h k;
+        if subscribed k then Server.remove !server k);
+      Oracle.remove oracle k)
     | Scan (lo, hi) -> compare_scan lo hi
     | Count (lo, hi) ->
       incr stat_compares;
       clock := !clock +. scenario.sc_tick;
-      let got = List.length (Server.scan !server ~lo ~hi) in
+      let got = List.length (engine_scan lo hi) in
       let want = Oracle.count oracle ~lo ~hi in
       if got <> want then fail "count [%S, %S): engine %d, oracle %d" lo hi got want
     | Tick -> clock := !clock +. 1.0
@@ -593,7 +672,10 @@ let run_case scenario variant ops =
         (try apply op with
         | Case_failed _ as e -> raise e
         | e -> fail "op %s raised %s" (op_to_line op) (Printexc.to_string e));
-        try Server.check_invariants !server with
+        try
+          Server.check_invariants !server;
+          match home with Some h -> Server.check_invariants h | None -> ()
+        with
         | Case_failed _ as e -> raise e
         | e -> fail "invariants after %s: %s" (op_to_line op) (Printexc.to_string e))
       ops;

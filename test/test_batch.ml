@@ -156,9 +156,9 @@ let test_scan_limit () =
   Alcotest.(check (list (pair string string)))
     "cold limited scan" [ ("t|ann|0001|bob", "b1") ]
     (Server.scan ~limit:1 cold ~lo:"t|ann|" ~hi:"t|ann}");
-  match Server.scan_nb ~limit:2 cold ~lo:"t|ann|" ~hi:"t|ann}" with
+  match Server.scan_result ~limit:2 cold ~lo:"t|ann|" ~hi:"t|ann}" with
   | `Ok [ ("t|ann|0001|bob", "b1"); ("t|ann|0002|bob", "b2") ] -> ()
-  | _ -> Alcotest.fail "scan_nb limit"
+  | _ -> Alcotest.fail "scan_result limit"
 
 (* ------------------------------------------------------------------ *)
 (* the fuzzer's batch generator really exercises the interesting cases *)

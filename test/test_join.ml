@@ -449,8 +449,8 @@ let test_sync_resolver () =
   check_int "no refetch when present" f1 !fetches
 
 let test_deferred_resolver () =
-  (* asynchronous backing store: scan_nb reports what to fetch; the host
-     feeds it and retries without recomputing completed work *)
+  (* asynchronous backing store: scan_result reports what to fetch; the
+     host feeds it and retries without recomputing completed work *)
   let pending = ref None in
   let s = make_twip () in
   Server.set_resolver s (fun ~table ~lo ~hi ->
@@ -460,14 +460,14 @@ let test_deferred_resolver () =
       end
       else Server.Local);
   subscribe s "ann" "bob";
-  (match Server.scan_nb s ~lo:"t|ann|" ~hi:(Strkey.prefix_upper "t|ann|") with
+  (match Server.scan_result s ~lo:"t|ann|" ~hi:(Strkey.prefix_upper "t|ann|") with
   | `Missing [ (table, _, _) ] -> Alcotest.(check string) "missing table" "p" table
   | `Missing _ | `Ok _ -> Alcotest.fail "expected one missing range");
   (match !pending with
   | Some (table, lo, hi) ->
     Server.feed_base s ~table ~lo ~hi [ ("p|bob|0100", "hello") ]
   | None -> Alcotest.fail "resolver not consulted");
-  (match Server.scan_nb s ~lo:"t|ann|" ~hi:(Strkey.prefix_upper "t|ann|") with
+  (match Server.scan_result s ~lo:"t|ann|" ~hi:(Strkey.prefix_upper "t|ann|") with
   | `Ok pairs -> check_pairs "after feed" [ ("t|ann|0100|bob", "hello") ] pairs
   | `Missing _ -> Alcotest.fail "should be resolved now");
   Server.validate s

@@ -49,6 +49,12 @@ let test_basic_session () =
       Fun.protect
         ~finally:(fun () -> Unix.close fd)
         (fun () ->
+          (match rpc t fd (Message.Hello { version = Message.protocol_version }) with
+          | Message.Welcome { version } when version = Message.protocol_version -> ()
+          | _ -> Alcotest.fail "handshake over TCP");
+          (match rpc t fd (Message.Hello { version = Message.protocol_version + 7 }) with
+          | Message.Error _ -> ()
+          | _ -> Alcotest.fail "version mismatch accepted over TCP");
           check_bool "put sub" true (rpc t fd (Message.Put ("s|ann|bob", "1")) = Message.Done);
           check_bool "put post" true
             (rpc t fd (Message.Put ("p|bob|0000000100", "hi")) = Message.Done);
@@ -58,9 +64,46 @@ let test_basic_session () =
           (match rpc t fd (Message.Get "t|ann|0000000100|bob") with
           | Message.Value (Some "hi") -> ()
           | _ -> Alcotest.fail "get over TCP");
-          match rpc t fd Message.Stats with
-          | Message.Stat_list stats -> check_bool "stats" true (stats <> [])
-          | _ -> Alcotest.fail "stats over TCP"))
+          match rpc t fd Message.Stats_full with
+          | Message.Metrics metrics -> check_bool "metrics" true (metrics <> [])
+          | _ -> Alcotest.fail "stats_full over TCP"))
+
+(* One-way requests produce no response frame: a Notify_put followed by a
+   Get must answer the Get first (and only) — the notify is applied, not
+   acknowledged. *)
+let test_oneway_notify () =
+  with_server ~joins:[] (fun t ->
+      let fd = connect t in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          let wire =
+            Frame.encode (Message.encode_request (Message.Notify_put ("k|a", "pushed")))
+            ^ Frame.encode (Message.encode_request (Message.Get "k|a"))
+          in
+          let sent = ref 0 in
+          while !sent < String.length wire do
+            sent := !sent + Unix.write_substring fd wire !sent (String.length wire - !sent)
+          done;
+          let decoder = Frame.decoder () in
+          let buf = Bytes.create 4096 in
+          let deadline = Unix.gettimeofday () +. 5.0 in
+          let responses = ref [] in
+          while !responses = [] do
+            if Unix.gettimeofday () > deadline then failwith "timeout";
+            Net_server.step ~timeout:0.01 t;
+            match Unix.select [ fd ] [] [] 0.01 with
+            | [ _ ], _, _ ->
+              let n = Unix.read fd buf 0 (Bytes.length buf) in
+              if n = 0 then failwith "connection closed";
+              List.iter
+                (fun frame -> responses := Message.decode_response frame :: !responses)
+                (Frame.feed decoder (Bytes.sub_string buf 0 n))
+            | _ -> ()
+          done;
+          match List.rev !responses with
+          | [ Message.Value (Some "pushed") ] -> ()
+          | _ -> Alcotest.fail "notify must be one-way and applied before the get"))
 
 let test_runtime_join_installation () =
   with_server ~joins:[] (fun t ->
@@ -175,6 +218,7 @@ let () =
       ( "tcp-server",
         [
           Alcotest.test_case "basic session" `Quick test_basic_session;
+          Alcotest.test_case "one-way notify" `Quick test_oneway_notify;
           Alcotest.test_case "runtime joins" `Quick test_runtime_join_installation;
           Alcotest.test_case "two clients" `Quick test_two_clients;
           Alcotest.test_case "garbage input" `Quick test_garbage_input;

@@ -1,0 +1,205 @@
+(* Multi-process integration test: a live 3-process cluster — two home
+   servers owning one base table each, one compute server running the
+   Twip timeline join — started from the real pequod_server binary with
+   --partition routes, talked to through Net_client.
+
+   Checks the §2.4 protocol end to end over real TCP:
+   - a put on a home server is readable via a scan on the compute server
+     (Fetch + Subscribed snapshot),
+   - later writes reach the compute server without rescanning from
+     scratch (Notify_batch push),
+   - a killed home triggers bounded client retries surfaced in
+     net.client.retries and an Error response, not a crash,
+   - a respawned home (same port) heals the route on the next scan. *)
+
+module Message = Pequod_proto.Message
+module Net_client = Pequod_server_lib.Net_client
+
+let check_bool = Alcotest.(check bool)
+
+let timeline_join = "t|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time>"
+
+let server_exe () =
+  let candidates =
+    [ "../bin/pequod_server.exe"; "bin/pequod_server.exe";
+      "_build/default/bin/pequod_server.exe" ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some exe -> exe
+  | None -> Alcotest.fail "pequod_server.exe not built"
+
+(* start a server process with its stdout piped back, so the parent can
+   read the "listening on port N" line (the only stdout line it emits) *)
+let spawn args =
+  let exe = server_exe () in
+  let r, w = Unix.pipe () in
+  let pid = Unix.create_process exe (Array.of_list (exe :: args)) Unix.stdin w Unix.stderr in
+  Unix.close w;
+  (pid, r)
+
+let digits_after s prefix =
+  let rec find i =
+    if i + String.length prefix > String.length s then None
+    else if String.sub s i (String.length prefix) = prefix then Some (i + String.length prefix)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+    let stop = ref start in
+    while
+      !stop < String.length s && match s.[!stop] with '0' .. '9' -> true | _ -> false
+    do
+      incr stop
+    done;
+    if !stop > start then int_of_string_opt (String.sub s start (!stop - start)) else None
+
+let read_port fd =
+  let acc = Buffer.create 256 in
+  let b = Bytes.create 1024 in
+  let deadline = Unix.gettimeofday () +. 20.0 in
+  let rec go () =
+    match digits_after (Buffer.contents acc) "listening on port " with
+    | Some port -> port
+    | None ->
+      if Unix.gettimeofday () > deadline then
+        Alcotest.fail "server did not report its port";
+      (match Unix.select [ fd ] [] [] 1.0 with
+      | [ _ ], _, _ ->
+        let n = Unix.read fd b 0 (Bytes.length b) in
+        if n = 0 then Alcotest.fail "server exited before reporting its port";
+        Buffer.add_subbytes acc b 0 n
+      | _ -> ());
+      go ()
+  in
+  go ()
+
+let poll ~timeout ~what f =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    if f () then ()
+    else if Unix.gettimeofday () > deadline then Alcotest.failf "timed out waiting for %s" what
+    else begin
+      Unix.sleepf 0.05;
+      go ()
+    end
+  in
+  go ()
+
+let counter_of client name =
+  match Net_client.call client Message.Stats_full with
+  | Message.Metrics metrics -> (
+    match List.assoc_opt name metrics with
+    | Some (Obs.Counter n) | Some (Obs.Gauge n) -> n
+    | _ -> 0)
+  | _ -> 0
+
+let scan_pairs client lo hi =
+  match Net_client.call client (Message.Scan { lo; hi }) with
+  | Message.Pairs pairs -> Ok pairs
+  | Message.Error msg -> Error msg
+  | _ -> Alcotest.fail "unexpected scan response"
+
+let put_ok client k v =
+  match Net_client.call client (Message.Put (k, v)) with
+  | Message.Done -> ()
+  | Message.Error msg -> Alcotest.failf "put %s failed: %s" k msg
+  | _ -> Alcotest.fail "unexpected put response"
+
+let test_cluster () =
+  let pids = ref [] in
+  let clients = ref [] in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun c -> try Net_client.close c with _ -> ()) !clients;
+      List.iter
+        (fun pid ->
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+        !pids)
+    (fun () ->
+      let start args =
+        let pid, out = spawn args in
+        pids := pid :: !pids;
+        let port = read_port out in
+        (pid, port)
+      in
+      let client port =
+        let c = Net_client.create ~host:"127.0.0.1" ~port () in
+        clients := c :: !clients;
+        c
+      in
+      (* two homes (plain stores) + one compute server running the join,
+         each base table routed to its owning home *)
+      let _, port_a = start [ "--port"; "0" ] in
+      let _, port_b = start [ "--port"; "0" ] in
+      let pid_b = List.hd !pids in
+      let _, port_c =
+        start
+          [ "--port"; "0"; "--join"; timeline_join;
+            "--partition"; Printf.sprintf "s@127.0.0.1:%d" port_a;
+            "--partition"; Printf.sprintf "p@127.0.0.1:%d" port_b ]
+      in
+      let home_a = client port_a in
+      let home_b = client port_b in
+      let compute = client port_c in
+
+      (* write through the homes, read through the compute server: the
+         first scan fetches both base ranges and subscribes *)
+      put_ok home_a "s|ann|bob" "1";
+      put_ok home_b "p|bob|0000000100" "hi";
+      (match scan_pairs compute "t|ann|" "t|ann}" with
+      | Ok [ ("t|ann|0000000100|bob", "hi") ] -> ()
+      | Ok pairs -> Alcotest.failf "first scan: %d pairs" (List.length pairs)
+      | Error msg -> Alcotest.failf "first scan failed: %s" msg);
+      check_bool "home A served a fetch" true (counter_of home_a "peer.fetch.in" >= 1);
+
+      (* freshness: a later post on home B must reach the compute
+         server's materialized timeline via the subscription push,
+         without the compute server refetching *)
+      put_ok home_b "p|bob|0000000200" "yo";
+      poll ~timeout:10.0 ~what:"notify push to reach the compute timeline" (fun () ->
+          match scan_pairs compute "t|ann|" "t|ann}" with
+          | Ok [ ("t|ann|0000000100|bob", "hi"); ("t|ann|0000000200|bob", "yo") ] -> true
+          | Ok _ -> false
+          | Error msg -> Alcotest.failf "scan during push wait: %s" msg);
+      check_bool "push arrived as Notify_batch" true
+        (counter_of compute "peer.notify.in" >= 1);
+
+      (* kill home B: a scan needing a new p range gets a bounded-retry
+         Error, already-fetched data stays readable, nothing crashes *)
+      Unix.kill pid_b Sys.sigkill;
+      ignore (Unix.waitpid [] pid_b);
+      put_ok home_a "s|dee|liz" "1";
+      (* first scan finds the cached connection dead; the second goes
+         through the bounded-backoff reconnect path *)
+      (match scan_pairs compute "t|dee|" "t|dee}" with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "scan through a dead home must report an error");
+      (match scan_pairs compute "t|dee|" "t|dee}" with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "second scan through a dead home must report an error");
+      check_bool "retries surfaced in net.client.retries" true
+        (counter_of compute "net.client.retries" >= 1);
+      (match scan_pairs compute "t|ann|" "t|ann}" with
+      | Ok (_ :: _) -> ()
+      | Ok [] -> Alcotest.fail "present ranges lost after peer death"
+      | Error msg -> Alcotest.failf "old timeline unreadable after peer death: %s" msg);
+
+      (* respawn home B on the same port: the next scan refetches the
+         missing range from the new process and heals the route *)
+      let _, port_b2 = start [ "--port"; string_of_int port_b ] in
+      check_bool "respawned on the same port" true (port_b2 = port_b);
+      (* the old client's cached connection is stale; the call after the
+         failure reconnects to the new process *)
+      (try put_ok home_b "p|liz|0000000300" "back"
+       with Net_client.Net_error _ -> put_ok home_b "p|liz|0000000300" "back");
+      poll ~timeout:10.0 ~what:"recovery through the respawned home" (fun () ->
+          match scan_pairs compute "t|dee|" "t|dee}" with
+          | Ok [ ("t|dee|0000000300|liz", "back") ] -> true
+          | Ok _ -> false
+          | Error _ -> false))
+
+let () =
+  Alcotest.run "net-cluster"
+    [ ("three-process", [ Alcotest.test_case "fetch/subscribe/push" `Quick test_cluster ]) ]

@@ -41,19 +41,21 @@ let test_decode_errors () =
 
 let requests =
   [
+    Message.Hello { version = Message.protocol_version };
+    Message.Hello { version = 0 };
     Message.Get "t|ann|0100|bob";
     Message.Put ("p|bob|0100", "hello world");
     Message.Remove "s|ann|bob";
     Message.Scan { lo = "t|ann|"; hi = "t|ann}" };
     Message.Add_join "t|<u>|<t> = copy p|<u>|<t>";
-    Message.Fetch { table = "p"; lo = "p|a"; hi = "p|b"; subscriber = 42 };
+    Message.Fetch { table = "p"; lo = "p|a"; hi = "p|b"; subscriber = "10.0.0.7:7077" };
     Message.Notify_put ("p|bob|0100", "hi");
     Message.Notify_remove "p|bob|0100";
     Message.Put_batch [ ("p|bob|0100", "hello"); ("s|ann|bob", "1") ];
     Message.Put_batch [];
     Message.Notify_batch [ ("p|bob|0100", Some "hi"); ("s|ann|bob", None) ];
     Message.Notify_batch [];
-    Message.Stats;
+    Message.Stats_full;
   ]
 
 let responses =
@@ -63,7 +65,9 @@ let responses =
     Message.Value (Some "payload");
     Message.Pairs [ ("a", "1"); ("b", "2") ];
     Message.Pairs [];
-    Message.Stat_list [ ("op.scan", 7); ("store.put", 123) ];
+    Message.Welcome { version = Message.protocol_version };
+    Message.Subscribed [ ("p|bob|0100", "hi") ];
+    Message.Subscribed [];
     Message.Error "boom";
   ]
 
@@ -86,6 +90,37 @@ let test_bad_tags () =
     (match Message.decode_request (Message.encode_request (Message.Get "k") ^ "x") with
     | exception Message.Protocol_error _ -> true
     | _ -> false)
+
+(* The v1 integer-stats tags stay reserved: decoding them must fail
+   loudly with a message naming the protocol version, never misparse. *)
+let test_retired_tags () =
+  let versioned what f =
+    match f () with
+    | exception Message.Protocol_error msg ->
+      check_bool (what ^ " names the version") true
+        (let needle = Printf.sprintf "v%d" Message.protocol_version in
+         let rec find i =
+           i + String.length needle <= String.length msg
+           && (String.sub msg i (String.length needle) = needle || find (i + 1))
+         in
+         find 0)
+    | _ -> Alcotest.failf "%s: retired tag decoded" what
+  in
+  versioned "stats request (0x09)" (fun () -> Message.decode_request "\x09");
+  versioned "stat_list response (0x85)" (fun () -> Message.decode_response "\x85\x00")
+
+(* Version negotiation: the handshake accepts only an exact match, and
+   the rejection is an [Error] the v2 client can still decode. *)
+let test_handshake () =
+  let s = Server.create () in
+  (match Message.apply_to_server s (Message.Hello { version = Message.protocol_version }) with
+  | Message.Welcome { version } -> check_int "welcome version" Message.protocol_version version
+  | _ -> Alcotest.fail "matching hello not welcomed");
+  match Message.apply_to_server s (Message.Hello { version = Message.protocol_version + 1 }) with
+  | Message.Error msg ->
+    let resp = Message.decode_response (Message.encode_response (Message.Error msg)) in
+    check_bool "mismatch rejected through the wire" true (resp = Message.Error msg)
+  | _ -> Alcotest.fail "version mismatch accepted"
 
 let test_frame_roundtrip () =
   let d = Frame.decoder () in
@@ -155,9 +190,9 @@ let test_loopback_server () =
   (match rpc (Message.Get "t|ann|0150|bob") with
   | Message.Value (Some "re") -> ()
   | _ -> Alcotest.fail "notify_batch remove-then-put order");
-  match rpc Message.Stats with
-  | Message.Stat_list stats -> check_bool "stats nonempty" true (stats <> [])
-  | _ -> Alcotest.fail "stats"
+  match rpc Message.Stats_full with
+  | Message.Metrics metrics -> check_bool "metrics nonempty" true (metrics <> [])
+  | _ -> Alcotest.fail "stats_full"
 
 (* Deterministic randomized coverage of EVERY message variant (the qcheck
    generator below skips some), seeded from lib/util's Rng so failures
@@ -182,7 +217,7 @@ let test_rng_all_variants () =
     | 5 ->
       Message.Fetch
         { table = rand_string (); lo = rand_string (); hi = rand_string ();
-          subscriber = Rng.int rng 10_000 }
+          subscriber = rand_string () }
     | 6 -> Message.Notify_put (rand_string (), rand_string ())
     | 7 -> Message.Notify_remove (rand_string ())
     | 8 -> Message.Put_batch (rand_pairs ())
@@ -191,7 +226,8 @@ let test_rng_all_variants () =
         (List.init (Rng.int rng 4) (fun _ ->
              ( rand_string (),
                if Rng.int rng 2 = 0 then Some (rand_string ()) else None )))
-    | _ -> Message.Stats
+    | 10 -> Message.Hello { version = Rng.int rng 1_000 }
+    | _ -> Message.Stats_full
   in
   let rand_response variant =
     match variant with
@@ -199,9 +235,8 @@ let test_rng_all_variants () =
     | 1 -> Message.Value None
     | 2 -> Message.Value (Some (rand_string ()))
     | 3 -> Message.Pairs (rand_pairs ())
-    | 4 ->
-      Message.Stat_list
-        (List.init (Rng.int rng 4) (fun _ -> (rand_string (), Rng.int rng 1_000_000)))
+    | 4 -> Message.Welcome { version = Rng.int rng 1_000 }
+    | 5 -> Message.Subscribed (rand_pairs ())
     | _ -> Message.Error (rand_string ())
   in
   let truncations_raise what wire decode =
@@ -212,13 +247,13 @@ let test_rng_all_variants () =
     done
   in
   for round = 1 to 50 do
-    for variant = 0 to 10 do
+    for variant = 0 to 11 do
       let req = rand_request variant in
       let wire = Message.encode_request req in
       check_bool "request round-trips" true (Message.decode_request wire = req);
       if round <= 5 then truncations_raise "request" wire Message.decode_request
     done;
-    for variant = 0 to 5 do
+    for variant = 0 to 6 do
       let resp = rand_response variant in
       let wire = Message.encode_response resp in
       check_bool "response round-trips" true (Message.decode_response wire = resp);
@@ -237,8 +272,10 @@ let prop_message_roundtrip =
         Gen.map (fun k -> Message.Remove k) str;
         Gen.map2 (fun lo hi -> Message.Scan { lo; hi }) str str;
         Gen.map (fun t -> Message.Add_join t) str;
-        Gen.map2 (fun (t, l) h -> Message.Fetch { table = t; lo = l; hi = h; subscriber = 3 })
+        Gen.map2
+          (fun (t, l) h -> Message.Fetch { table = t; lo = l; hi = h; subscriber = "cb:3" })
           (Gen.pair str str) str;
+        Gen.map (fun v -> Message.Hello { version = String.length v }) str;
       ]
   in
   Test.make ~name:"arbitrary requests round-trip" ~count:500 req_gen (fun req ->
@@ -275,6 +312,8 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_message_roundtrip;
           Alcotest.test_case "bad tags" `Quick test_bad_tags;
+          Alcotest.test_case "retired v1 tags rejected" `Quick test_retired_tags;
+          Alcotest.test_case "version handshake" `Quick test_handshake;
           Alcotest.test_case "all variants + truncation (rng)" `Quick test_rng_all_variants;
         ] );
       ( "frame",
