@@ -32,6 +32,9 @@ let print_response = function
     List.iter (fun (k, v) -> Printf.printf "%s\t%s\n" k v) pairs;
     Printf.printf "(%d pairs)\n" (List.length pairs)
   | Message.Welcome { version } -> Printf.printf "protocol v%d\n" version
+  | Message.Sub_ranges ranges ->
+    List.iter (fun (table, lo, hi) -> Printf.printf "%s\t%s\t%s\n" table lo hi) ranges;
+    Printf.printf "(%d subscriptions)\n" (List.length ranges)
   | Message.Metrics metrics ->
     (* the full registry: histograms render their quantile summary *)
     let tbl =

@@ -152,7 +152,8 @@ let main port joins memory_limit data_dir sync sync_interval snapshot_every wal_
     with
     | t ->
       let self_addr = Printf.sprintf "%s:%d" advertise (Net_server.port t) in
-      Remote.attach ~engine:(Net_server.engine t) ~self_addr ~routes;
+      let heal = Remote.attach ~engine:(Net_server.engine t) ~self_addr ~routes () in
+      Net_server.add_ticker t heal;
       Logs.app (fun m ->
           m "pequod-server listening on port %d with %d joins, %d partition routes%s"
             (Net_server.port t)

@@ -93,6 +93,11 @@ type tbl_meta = {
   (* O(1) updater-combining lookup: "jid/src/kind/lo/hi" -> entry *)
   combine_index : (string, updater Interval_map.handle) Hashtbl.t;
   mutable present : unit Range_map.t option; (* Some when a resolver governs this table *)
+  (* the subset of [present] installed by [mark_present] (home-partition
+     ownership). Only these ranges are durable: resolver-fetched presence
+     is cache state, refetchable, and must NOT survive a restart — a
+     recovered range without its subscription would serve frozen data *)
+  mutable owned : unit Range_map.t option;
   (* bumped whenever an entry enters or leaves [updaters]: put_batch
      prefetches one overlap list per key run and must notice when firing
      an updater installs or retracts entries mid-run *)
@@ -237,6 +242,7 @@ let meta t name =
               updaters = Interval_map.create ();
               combine_index = Hashtbl.create 64;
               present = None;
+              owned = None;
               gen = 0 }
     in
     Hashtbl.add t.meta name m;
@@ -734,18 +740,14 @@ and ensure_source_ready t ~active table ~lo ~hi =
     List.iter
       (fun (plo, phi) ->
         match resolve ~table ~lo:plo ~hi:phi with
-        | Local ->
-          Range_map.set present ~lo:plo ~hi:phi ();
-          emit t (M_present (table, plo, phi))
+        (* resolver-fetched presence and pairs are cache, not client
+           state: nothing is emitted to the durability hook, so recovery
+           refetches (and re-subscribes) instead of serving a frozen copy *)
+        | Local -> Range_map.set present ~lo:plo ~hi:phi ()
         | Resolved pairs ->
           Obs.Counter.incr t.hot.resolver_fetch;
           Range_map.set present ~lo:plo ~hi:phi ();
-          emit t (M_present (table, plo, phi));
-          List.iter
-            (fun (k, v) ->
-              ignore (apply_put t k v);
-              emit t (M_put (k, v)))
-            pairs
+          List.iter (fun (k, v) -> ignore (apply_put t k v)) pairs
         | Deferred ->
           Obs.Counter.incr t.hot.resolver_deferred;
           raise (Need_fetch (table, plo, phi)))
@@ -1250,39 +1252,70 @@ let get t key =
   | (k, v) :: _ when String.equal k key -> Some v
   | _ -> None
 
-(** Feed base data fetched by the host (distributed mode): installs the
-    pairs, marks the range present, and lets updaters react. *)
-let feed_base t ~table ~lo ~hi pairs =
-  let m = meta t table in
-  let present =
-    match m.present with
-    | Some p -> p
-    | None ->
-      let p = Range_map.create () in
-      m.present <- Some p;
-      p
-  in
-  Range_map.set present ~lo ~hi ();
-  emit t (M_present (table, lo, hi));
-  List.iter
-    (fun (k, v) ->
-      ignore (apply_put t k v);
-      emit t (M_put (k, v)))
-    pairs
+let present_map m =
+  match m.present with
+  | Some p -> p
+  | None ->
+    let p = Range_map.create () in
+    m.present <- Some p;
+    p
 
-(** Mark a base range as locally owned (home-server partitions). *)
+(** Feed base data fetched by the host (distributed mode): installs the
+    pairs as the authoritative content of [\[lo, hi)] — any resident key
+    the feed no longer contains is removed through the updaters, so a
+    refetch after recovery or a lost subscription heals stale state and
+    the joins computed from it — and marks the range present. Fetched
+    presence and pairs are cache, not client state: nothing reaches the
+    durability hook (recovery refetches instead). *)
+let feed_base t ~table ~lo ~hi pairs =
+  Range_map.set (present_map (meta t table)) ~lo ~hi ();
+  (* reconcile only pure base tables: a table some local join outputs
+     into (a chained join's middle table) mixes fetched pairs with
+     locally derived ones, which a backing copy must not delete *)
+  let join_fed =
+    List.exists
+      (fun j ->
+        Joinspec.maintenance j.spec <> Joinspec.Pull
+        && String.equal (Pattern.table (Joinspec.output j.spec)) table)
+      t.joins
+  in
+  if not join_fed then begin
+    let incoming = Hashtbl.create (max 16 (List.length pairs)) in
+    List.iter (fun (k, _) -> Hashtbl.replace incoming k ()) pairs;
+    let stale =
+      Store.fold_range t.store ~lo ~hi ~init:[] (fun acc k _ ->
+          if Hashtbl.mem incoming k then acc else k :: acc)
+    in
+    List.iter (fun k -> apply_remove t k) stale
+  end;
+  List.iter (fun (k, v) -> ignore (apply_put t k v)) pairs
+
+(** Mark a base range as locally owned (home-server partitions). Unlike
+    fetched presence, ownership is durable: it reaches the mutation hook
+    and {!present_ranges}. *)
 let mark_present t ~table ~lo ~hi =
   let m = meta t table in
-  let present =
-    match m.present with
-    | Some p -> p
+  Range_map.set (present_map m) ~lo ~hi ();
+  let owned =
+    match m.owned with
+    | Some o -> o
     | None ->
-      let p = Range_map.create () in
-      m.present <- Some p;
-      p
+      let o = Range_map.create () in
+      m.owned <- Some o;
+      o
   in
-  Range_map.set present ~lo ~hi ();
+  Range_map.set owned ~lo ~hi ();
   emit t (M_present (table, lo, hi))
+
+(** Forget any presence of [\[lo, hi)] (fetched or owned): the next scan
+    needing the range consults the resolver again. The healing path for a
+    compute server whose subscription the home dropped. *)
+let unmark_present t ~table ~lo ~hi =
+  match Hashtbl.find_opt t.meta table with
+  | None -> ()
+  | Some m ->
+    Option.iter (fun p -> Range_map.clear_range p ~lo ~hi) m.present;
+    Option.iter (fun o -> Range_map.clear_range o ~lo ~hi) m.owned
 
 (** Number of key-value pairs resident (all tables). *)
 let size t = Store.size t.store
@@ -1306,16 +1339,17 @@ let sink_tables t =
          else Some (Pattern.table (Joinspec.output j.spec)))
        t.joins)
 
-(** Base ranges marked locally present (resolver bookkeeping, §3.3); a
-    recovered server that restores these never refetches them from the
-    backing store. *)
+(** Base ranges {e owned} by this server ({!mark_present} home-partition
+    ownership). Restoring these on recovery is safe; fetched presence is
+    deliberately excluded — a restored fetched range would have no live
+    subscription behind it and would serve frozen data. *)
 let present_ranges t =
   let acc = ref [] in
   Hashtbl.iter
     (fun name m ->
-      match m.present with
+      match m.owned with
       | None -> ()
-      | Some p -> Range_map.iter p (fun lo hi () -> acc := (name, lo, hi) :: !acc))
+      | Some o -> Range_map.iter o (fun lo hi () -> acc := (name, lo, hi) :: !acc))
     t.meta;
   List.sort compare !acc
 
@@ -1365,7 +1399,8 @@ let check_invariants t =
     (fun _ m ->
       Range_map.validate m.status;
       Interval_map.validate m.updaters;
-      match m.present with Some p -> Range_map.validate p | None -> ())
+      (match m.present with Some p -> Range_map.validate p | None -> ());
+      match m.owned with Some o -> Range_map.validate o | None -> ())
     t.meta;
   Hashtbl.iter (fun _ cm -> Range_map.validate cm) t.covers;
   let resident = ref 0 in

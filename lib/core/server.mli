@@ -35,7 +35,10 @@ type mutation =
       (** one client batch, in argument order; recovery replays it through
           {!put_batch} *)
   | M_add_join of string  (** canonical join text *)
-  | M_present of string * string * string  (** table, lo, hi now locally owned *)
+  | M_present of string * string * string
+      (** table, lo, hi now locally owned ({!mark_present} only — presence
+          installed by {!feed_base} or a resolver is refetchable cache and
+          is never reported, so it cannot be persisted) *)
 
 (** Raised when chained joins evaluate cyclically at runtime. *)
 exception Join_cycle of string
@@ -99,12 +102,23 @@ val scan : ?limit:int -> t -> lo:string -> hi:string -> (string * string) list
     backing store or a remote home server. *)
 val set_resolver : t -> resolver -> unit
 
-(** Install fetched base data and mark its range present (distributed
-    deployments feed [Fetch] responses through this). *)
+(** Install fetched base data as the authoritative content of
+    [\[lo, hi)] and mark the range present (distributed deployments feed
+    [Fetch] responses through this). Resident keys the feed no longer
+    contains are removed through the updaters, so refetching a range —
+    after recovery, eviction, or a lost subscription — heals stale base
+    data and the join output computed from it. *)
 val feed_base : t -> table:string -> lo:string -> hi:string -> (string * string) list -> unit
 
-(** Mark a base range as locally owned (home-server partitions). *)
+(** Mark a base range as locally owned (home-server partitions). Unlike
+    fetched presence, ownership reaches the mutation hook and
+    {!present_ranges}, so it survives recovery. *)
 val mark_present : t -> table:string -> lo:string -> hi:string -> unit
+
+(** Forget any presence of [\[lo, hi)]: the next scan needing the range
+    consults the resolver again. Healing path for a compute server whose
+    subscription the home dropped. *)
+val unmark_present : t -> table:string -> lo:string -> hi:string -> unit
 
 (** Approximate resident bytes: keys, nodes, values (§4.3-aware). *)
 val memory_bytes : t -> int
@@ -158,8 +172,10 @@ val iter_pairs : t -> (string -> string -> unit) -> unit
     recomputed on demand after recovery. *)
 val sink_tables : t -> string list
 
-(** Base ranges marked locally present (§3.3 bookkeeping); restoring
-    them on recovery avoids backing-store refetches. *)
+(** Base ranges {e owned} via {!mark_present}. Fetched presence is
+    excluded deliberately: restoring it on recovery would serve a frozen
+    copy with no subscription keeping it fresh — recovery refetches
+    instead. *)
 val present_ranges : t -> (string * string * string) list
 
 (** Installed joins as canonical re-parsable text, in install order. *)

@@ -37,6 +37,12 @@ type t = {
   chost : string;
   cport : int;
   config : config;
+  (* [false] = push mode: the [Hello] is pipelined and the [Welcome] is
+     never awaited, so establishing the connection cannot block on the
+     peer's event loop (a home server pushing to a subscriber that is
+     itself blocked in a synchronous [Fetch] back to this process must
+     not deadlock). Push-mode clients are {!post}-only. *)
+  handshake : bool;
   mutable conn : conn option;
   buf : Bytes.t;
   m_rpcs : Obs.Counter.t; (* net.client.rpcs *)
@@ -44,12 +50,13 @@ type t = {
   m_timeouts : Obs.Counter.t; (* net.client.timeouts *)
 }
 
-let create ?obs ?(config = default_config) ~host ~port () =
+let create ?obs ?(config = default_config) ?(handshake = true) ~host ~port () =
   let obs = match obs with Some o -> o | None -> Obs.create () in
   {
     chost = host;
     cport = port;
     config;
+    handshake;
     conn = None;
     buf = Bytes.create 65_536;
     m_rpcs = Obs.counter obs "net.client.rpcs";
@@ -150,9 +157,43 @@ let handshake t conn =
   | _ -> raise (Handshake_failed "unexpected handshake response")
   | exception Message.Protocol_error msg -> raise (Handshake_failed msg)
 
+(* push mode: the server's answer to our pipelined [Hello] (and nothing
+   else — push connections carry only one-way requests) arrives whenever
+   its loop gets to it. Consume whatever is already buffered without ever
+   blocking; a rejection or version mismatch surfaces on the next post. *)
+let drain_push t conn =
+  let rec pump () =
+    match Unix.select [ conn.fd ] [] [] 0.0 with
+    | [], _, _ -> ()
+    | _ -> (
+      match Unix.read conn.fd t.buf 0 (Bytes.length t.buf) with
+      | 0 -> raise (Net_error "connection closed by server")
+      | n ->
+        conn.inbox <- conn.inbox @ Frame.feed conn.decoder (Bytes.sub_string t.buf 0 n);
+        pump ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> pump ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  in
+  pump ();
+  let frames = conn.inbox in
+  conn.inbox <- [];
+  List.iter
+    (fun f ->
+      match Message.decode_response f with
+      | Message.Welcome { version } when version = Message.protocol_version -> ()
+      | Message.Welcome { version } ->
+        raise
+          (Net_error
+             (Printf.sprintf "server speaks protocol v%d, this client v%d" version
+                Message.protocol_version))
+      | Message.Error msg -> raise (Net_error ("push handshake rejected: " ^ msg))
+      | _ -> ())
+    frames
+
 (* the connection, establishing (and handshaking) it if needed, with
    bounded backed-off retries. Version mismatches are permanent: they
-   surface immediately, without burning retries on a hopeless peer. *)
+   surface immediately, without burning retries on a hopeless peer. In
+   push mode the [Hello] is written but its answer is not awaited. *)
 let ensure_conn t =
   match t.conn with
   | Some c -> c
@@ -160,7 +201,13 @@ let ensure_conn t =
     let rec attempt n =
       match
         let c = connect_once t in
-        (try handshake t c
+        (try
+           if t.handshake then handshake t c
+           else
+             write_all c.fd
+               (Frame.encode
+                  (Message.encode_request
+                     (Message.Hello { version = Message.protocol_version })))
          with e ->
            (try Unix.close c.fd with Unix.Unix_error _ -> ());
            raise e);
@@ -208,6 +255,7 @@ let broken t e =
 let call ?timeout t req =
   if Message.is_oneway req then
     invalid_arg "Net_client.call: one-way request (use post)";
+  if not t.handshake then invalid_arg "Net_client.call: push-mode client (post only)";
   let timeout = match timeout with Some s -> s | None -> t.config.call_timeout in
   let conn = ensure_conn t in
   Obs.Counter.incr t.m_rpcs;
@@ -224,12 +272,18 @@ let post t req =
     invalid_arg "Net_client.post: request expects a response (use call)";
   let conn = ensure_conn t in
   Obs.Counter.incr t.m_rpcs;
-  try write_all conn.fd (Frame.encode (Message.encode_request req))
-  with e -> broken t e
+  match
+    if not t.handshake then drain_push t conn;
+    write_all conn.fd (Frame.encode (Message.encode_request req))
+  with
+  | () -> ()
+  | exception e -> broken t e
 
 let pipeline ?timeout t reqs =
   if List.exists Message.is_oneway reqs then
     invalid_arg "Net_client.pipeline: one-way request (use post)";
+  if not t.handshake then
+    invalid_arg "Net_client.pipeline: push-mode client (post only)";
   let timeout = match timeout with Some s -> s | None -> t.config.call_timeout in
   let conn = ensure_conn t in
   Obs.Counter.add t.m_rpcs (List.length reqs);

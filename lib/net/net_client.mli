@@ -36,8 +36,19 @@ type t
     first request. [obs] is the registry receiving the client's metrics
     ([net.client.rpcs], [net.client.retries], [net.client.timeouts]) —
     pass the engine's registry when the client serves an engine (the
-    [Remote] resolver does), omit it for standalone tools. *)
-val create : ?obs:Obs.t -> ?config:config -> host:string -> port:int -> unit -> t
+    [Remote] resolver does), omit it for standalone tools.
+
+    [handshake:false] creates a {e push-mode} client (the home-server
+    notify path): the [Hello] is pipelined and the [Welcome] never
+    awaited, so establishing the connection cannot block on the peer's
+    event loop — a home pushing to a subscriber that is itself blocked
+    in a synchronous [Fetch] back to it must not deadlock. The peer's
+    handshake answer is drained without blocking on each {!post}; a
+    rejection or version mismatch surfaces there as {!Net_error}.
+    Push-mode clients are {!post}-only: {!call} and {!pipeline} raise
+    [Invalid_argument]. *)
+val create :
+  ?obs:Obs.t -> ?config:config -> ?handshake:bool -> host:string -> port:int -> unit -> t
 
 val host : t -> string
 val port : t -> int

@@ -53,6 +53,10 @@ type t = {
   m_notify_out : Obs.Counter.t; (* peer.notify.out *)
   metrics_every : float option; (* --metrics-dump period *)
   mutable next_dump : float;
+  (* background work run once per event-loop iteration (after I/O), e.g.
+     the Remote subscription-healing heartbeat; each callback rate-limits
+     itself *)
+  mutable tickers : (unit -> unit) list;
 }
 
 (** Create a server listening on [port] (0 picks a free port; see {!port})
@@ -104,10 +108,15 @@ let create ?config ?metrics_every ~port ~joins ~memory_limit () =
     m_notify_out = Obs.counter obs "peer.notify.out";
     metrics_every;
     next_dump =
-      (match metrics_every with Some s -> Unix.gettimeofday () +. s | None -> infinity) }
+      (match metrics_every with Some s -> Unix.gettimeofday () +. s | None -> infinity);
+    tickers = [] }
 
 let engine t = t.engine
 let persist t = t.persist
+
+(** Register background work to run once per {!step} (after I/O); the
+    callback is responsible for its own rate limiting. *)
+let add_ticker t f = t.tickers <- t.tickers @ [ f ]
 
 (** The port actually bound (useful with [~port:0]). *)
 let port t =
@@ -155,8 +164,12 @@ let split_addr addr =
     | None -> invalid_arg ("bad peer address: " ^ addr))
   | None -> invalid_arg ("bad peer address: " ^ addr)
 
-(* push client for a subscriber address; short fuse — a home server must
-   not stall its event loop long on a dead subscriber *)
+(* push client for a subscriber address; push mode ([handshake:false])
+   and a short fuse — a home server must never stall its event loop on a
+   subscriber, not even for the handshake round-trip: a subscriber
+   blocked in a synchronous Fetch back to this home cannot answer a
+   Welcome until we answer the Fetch. Connecting stays bounded (the OS
+   accepts for a busy-but-alive peer without its loop running). *)
 let peer_client t addr =
   match Hashtbl.find_opt t.peers addr with
   | Some c -> c
@@ -166,13 +179,18 @@ let peer_client t addr =
       { Net_client.connect_timeout = 2.0; call_timeout = 5.0; max_retries = 2;
         backoff = 0.05 }
     in
-    let c = Net_client.create ~obs:(Server.obs t.engine) ~config ~host:chost ~port:cport () in
+    let c =
+      Net_client.create ~obs:(Server.obs t.engine) ~config ~handshake:false ~host:chost
+        ~port:cport ()
+    in
     Hashtbl.add t.peers addr c;
     c
 
 (* a subscriber stopped taking pushes: forget every subscription it held
    and its client, so one dead peer costs bounded retries once, not per
-   write forever *)
+   write forever. Not silent for a subscriber that is in fact alive: its
+   periodic Sub_check no longer lists the dropped ranges, so it refetches
+   and resubscribes instead of serving a frozen copy. *)
 let drop_subscriber t addr =
   Hashtbl.iter
     (fun _ im ->
@@ -245,12 +263,24 @@ let handle_request t request =
       match req with
       | Message.Fetch { table; lo; hi; subscriber } -> (
         Obs.Counter.incr t.m_fetch_in;
+        (* refetches of the same range by the same subscriber (eviction
+           pressure, subscription healing) are idempotent on the subs
+           table: an identical live entry is reused, never duplicated,
+           so a long-lived subscriber cannot grow it without bound *)
+        let im = subs_for t table in
+        let already = ref false in
+        Interval_map.iter_overlapping im ~lo ~hi (fun h ->
+            if
+              (not !already)
+              && Interval_map.handle_range h = (lo, hi)
+              && String.equal (Interval_map.handle_data h) subscriber
+            then already := true);
         (* install the subscription before snapshotting: a write landing
            in between is pushed as well, and the duplicate application
            at the subscriber is idempotent *)
         let handle =
-          if subscriber = "" then None
-          else Some (Interval_map.add (subs_for t table) ~lo ~hi subscriber)
+          if subscriber = "" || !already then None
+          else Some (Interval_map.add im ~lo ~hi subscriber)
         in
         match Server.scan_result t.engine ~lo ~hi with
         | `Ok pairs -> Some (Message.Subscribed pairs)
@@ -261,6 +291,19 @@ let handle_request t request =
         | exception e ->
           Option.iter (Interval_map.remove (subs_for t table)) handle;
           Some (Message.Error (Printexc.to_string e)))
+      | Message.Sub_check { subscriber } ->
+        (* subscription heartbeat: report every range still pushed to
+           this subscriber, so it can detect (and heal) a drop *)
+        let ranges = ref [] in
+        Hashtbl.iter
+          (fun table im ->
+            Interval_map.iter im (fun h ->
+                if String.equal (Interval_map.handle_data h) subscriber then begin
+                  let lo, hi = Interval_map.handle_range h in
+                  ranges := (table, lo, hi) :: !ranges
+                end))
+          t.subs;
+        Some (Message.Sub_ranges (List.sort compare !ranges))
       | Message.Notify_put (k, v) ->
         ignore (Message.apply_to_server t.engine req);
         Obs.Counter.incr t.m_notify_in;
@@ -369,6 +412,7 @@ let step ?(timeout = 1.0) t =
     List.iter (fun c -> if List.memq c.fd writable then flush_output t c) t.clients
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
   Option.iter Persist.tick t.persist;
+  List.iter (fun f -> f ()) t.tickers;
   maybe_dump_metrics t
 
 (** Serve until {!stop}. *)

@@ -78,53 +78,146 @@ let client_cache obs =
       Hashtbl.add cache addr c;
       c
 
-let attach ~engine ~self_addr ~routes =
+(* Which routes serve a missing [lo, hi) of [table]?
+   [`Unrouted]: no route mentions the table — it is purely local.
+   [`Gap]: routes mention the table but leave part of the range
+   uncovered — a partition misconfiguration; treating the gap as
+   present-and-empty would silently serve wrong answers.
+   [`Fetch clamps]: the (route, clamp_lo, clamp_hi) fetches that cover
+   the range, one per overlapping remotely-owned route. *)
+let plan ~routes ~table ~lo ~hi =
+  let mine = List.filter (fun r -> String.equal r.r_table table) routes in
+  if mine = [] then `Unrouted
+  else begin
+    let overlapping =
+      List.filter
+        (fun r -> String.compare r.r_lo hi < 0 && String.compare lo r.r_hi < 0)
+        mine
+      |> List.sort (fun a b -> String.compare a.r_lo b.r_lo)
+    in
+    let cursor = ref lo in
+    let gap = ref false in
+    List.iter
+      (fun r ->
+        if String.compare !cursor r.r_lo < 0 then gap := true;
+        if String.compare !cursor r.r_hi < 0 then cursor := r.r_hi)
+      overlapping;
+    if !gap || String.compare !cursor hi < 0 then `Gap
+    else
+      `Fetch
+        (List.filter_map
+           (fun r ->
+             match r.r_addr with
+             | None -> None (* locally owned; already present *)
+             | Some _ ->
+               let flo = if String.compare lo r.r_lo < 0 then r.r_lo else lo in
+               let fhi = if String.compare hi r.r_hi < 0 then hi else r.r_hi in
+               Some (r, flo, fhi))
+           overlapping)
+  end
+
+let attach ?(check_every = 2.0) ~engine ~self_addr ~routes () =
   List.iter
     (fun r ->
       match r.r_addr with
       | None -> Server.mark_present engine ~table:r.r_table ~lo:r.r_lo ~hi:r.r_hi
       | Some _ -> ())
     routes;
-  let remote = List.filter (fun r -> r.r_addr <> None) routes in
-  if remote <> [] then begin
+  if List.for_all (fun r -> r.r_addr = None) routes then fun () -> ()
+  else begin
     let client_for = client_cache (Server.obs engine) in
+    (* live subscriptions this server believes it holds: exactly the
+       (table, clamp) ranges whose Fetch was granted, keyed to the home
+       that granted them. The healing heartbeat audits this against the
+       home's own Sub_check answer. *)
+    let tracked : (string * string * string, string) Hashtbl.t = Hashtbl.create 16 in
+    let fetch_one ~table ~lo ~hi addr =
+      match
+        Net_client.call (client_for addr)
+          (Message.Fetch { table; lo; hi; subscriber = self_addr })
+      with
+      | Message.Subscribed pairs ->
+        Hashtbl.replace tracked (table, lo, hi) addr;
+        Some pairs
+      | Message.Error msg ->
+        Log.warn (fun m -> m "fetch %s[%s,%s) from %s refused: %s" table lo hi addr msg);
+        None
+      | _ ->
+        Log.warn (fun m -> m "fetch %s[%s,%s) from %s: unexpected response" table lo hi addr);
+        None
+      | exception Net_client.Net_error msg ->
+        Log.warn (fun m -> m "fetch %s[%s,%s) from %s failed: %s" table lo hi addr msg);
+        None
+    in
     Server.set_resolver engine (fun ~table ~lo ~hi ->
-        let overlapping =
-          List.filter
-            (fun r ->
-              String.equal r.r_table table
-              && String.compare r.r_lo hi < 0
-              && String.compare lo r.r_hi < 0)
-            remote
-        in
-        if overlapping = [] then Server.Local
-        else
-          (* fetch each owning peer's clamp of the missing range; all
-             must answer for the range to resolve *)
+        match plan ~routes ~table ~lo ~hi with
+        | `Unrouted -> Server.Local
+        | `Gap ->
+          (* surface the misconfiguration instead of serving the gap as
+             present-and-empty: the scan reports the range missing *)
+          Log.warn (fun m ->
+              m "partition routes leave a gap inside %s[%s,%s); check --partition" table lo
+                hi);
+          Server.Deferred
+        | `Fetch [] -> Server.Local
+        | `Fetch clamps ->
+          (* fetch each owning peer's clamp; all must answer for the
+             range to resolve *)
           let rec fetch acc = function
             | [] -> Server.Resolved (List.concat (List.rev acc))
-            | r :: rest -> (
-              let flo = if String.compare lo r.r_lo < 0 then r.r_lo else lo in
-              let fhi = if String.compare hi r.r_hi < 0 then hi else r.r_hi in
-              let addr = Option.get r.r_addr in
-              match
-                Net_client.call (client_for addr)
-                  (Message.Fetch
-                     { table; lo = flo; hi = fhi; subscriber = self_addr })
-              with
-              | Message.Subscribed pairs -> fetch (pairs :: acc) rest
-              | Message.Error msg ->
-                Log.warn (fun m ->
-                    m "fetch %s[%s,%s) from %s refused: %s" table flo fhi addr msg);
-                Server.Deferred
-              | _ ->
-                Log.warn (fun m ->
-                    m "fetch %s[%s,%s) from %s: unexpected response" table flo fhi addr);
-                Server.Deferred
-              | exception Net_client.Net_error msg ->
-                Log.warn (fun m ->
-                    m "fetch %s[%s,%s) from %s failed: %s" table flo fhi addr msg);
-                Server.Deferred)
+            | (r, flo, fhi) :: rest -> (
+              match fetch_one ~table ~lo:flo ~hi:fhi (Option.get r.r_addr) with
+              | Some pairs -> fetch (pairs :: acc) rest
+              | None -> Server.Deferred)
           in
-          fetch [] overlapping)
+          fetch [] clamps);
+    (* The healing heartbeat, run from the host's event loop: every
+       [check_every] seconds ask each home which of our subscriptions it
+       still holds. A range the home dropped (failed push while we were
+       blocked or down, home restart) is refetched — feed_base reconciles
+       the data and the Fetch re-subscribes — or, if the home is
+       unreachable, un-marked present so the next scan goes back through
+       the resolver. Without this, a dropped subscription would freeze
+       the fetched copy forever with no error. *)
+    let m_sub_lost = Obs.counter (Server.obs engine) "peer.sub.lost" in
+    let last_check = ref neg_infinity in
+    fun () ->
+      let now = Unix.gettimeofday () in
+      if Hashtbl.length tracked > 0 && now -. !last_check >= check_every then begin
+        last_check := now;
+        let by_addr = Hashtbl.create 4 in
+        Hashtbl.iter
+          (fun key addr ->
+            let prev = Option.value ~default:[] (Hashtbl.find_opt by_addr addr) in
+            Hashtbl.replace by_addr addr (key :: prev))
+          tracked;
+        Hashtbl.iter
+          (fun addr keys ->
+            match
+              Net_client.call ~timeout:2.0 (client_for addr)
+                (Message.Sub_check { subscriber = self_addr })
+            with
+            | Message.Sub_ranges live ->
+              List.iter
+                (fun ((table, lo, hi) as key) ->
+                  if not (List.mem key live) then begin
+                    Obs.Counter.force_add m_sub_lost 1;
+                    Log.warn (fun m ->
+                        m "subscription %s[%s,%s) lost at %s; refetching" table lo hi addr);
+                    Hashtbl.remove tracked key;
+                    match fetch_one ~table ~lo ~hi addr with
+                    | Some pairs -> Server.feed_base engine ~table ~lo ~hi pairs
+                    | None ->
+                      (* cannot re-establish now: forget the presence so
+                         the next scan retries through the resolver *)
+                      Server.unmark_present engine ~table ~lo ~hi
+                  end)
+                keys
+            | _ -> ()
+            | exception Net_client.Net_error _ ->
+              (* home unreachable: scans surface it; the next heartbeat
+                 retries once it returns *)
+              ())
+          by_addr
+      end
   end

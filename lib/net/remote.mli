@@ -13,7 +13,15 @@
     A fetch that fails (peer down, after the client's bounded retries)
     resolves as [Deferred]: the scan reports the range as missing and the
     server answers that client with an [Error] instead of crashing; the
-    next scan retries, so a respawned peer heals the route. *)
+    next scan retries, so a respawned peer heals the route.
+
+    Subscriptions self-heal: the tick returned by {!attach} periodically
+    sends [Sub_check] to every home this server fetched from and compares
+    the answer against the subscriptions it believes it holds. A range
+    the home dropped (a failed push, a home restart) is refetched —
+    [feed_base] reconciles the data and the [Fetch] re-subscribes — or,
+    if the home is unreachable, un-marked present so the next scan goes
+    back through the resolver. Losses are counted in [peer.sub.lost]. *)
 
 (** One partition route. [r_addr = None] means this process is the home
     (the range is marked present); [Some "host:port"] names the owning
@@ -33,9 +41,25 @@ type route = {
 val routes_of_specs :
   peers:string list -> string list -> (route list, string) result
 
-(** Install the routes on [engine]: local routes are marked present;
-    if any remote routes exist, a resolver is set that fetches from the
-    owning peers and subscribes as [self_addr]. Call once, before
-    serving. *)
+(** How a missing [\[lo, hi)] of [table] maps onto the routes.
+    [`Unrouted]: no route mentions the table — it is purely local.
+    [`Gap]: routes mention the table but leave part of the range
+    uncovered — a partition misconfiguration, surfaced as [Deferred]
+    rather than silently served as present-and-empty.
+    [`Fetch clamps]: the per-route clamps to fetch (remotely-owned
+    overlapping routes only). Exposed for tests. *)
+val plan :
+  routes:route list -> table:string -> lo:string -> hi:string ->
+  [ `Unrouted | `Gap | `Fetch of (route * string * string) list ]
+
+(** Install the routes on [engine]: local routes are marked present; if
+    any remote routes exist, a resolver is set that fetches from the
+    owning peers and subscribes as [self_addr]. Returns the
+    subscription-healing tick — run it from the serving event loop
+    ({!Net_server.add_ticker}); it rate-limits itself to one [Sub_check]
+    round per [check_every] seconds (default 2) and is a no-op when
+    there are no remote routes. Call once, before serving. *)
 val attach :
-  engine:Pequod_core.Server.t -> self_addr:string -> routes:route list -> unit
+  ?check_every:float ->
+  engine:Pequod_core.Server.t -> self_addr:string -> routes:route list -> unit ->
+  unit -> unit

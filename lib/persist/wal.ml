@@ -15,7 +15,11 @@ type op =
   | Put of string * string
   | Remove of string
   | Add_join of string
-  | Present of string * string * string (* table, lo, hi *)
+  | Present of string * string * string
+      (* table, lo, hi owned via mark_present (home partitions). The
+         engine never reports resolver-fetched presence, so a recovered
+         compute server refetches — and re-subscribes — instead of
+         serving a frozen copy of a remote range. *)
   | Put_batch of (string * string) list
       (* one client batch = one record = one fsync under Sync_always *)
 

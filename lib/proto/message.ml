@@ -14,8 +14,10 @@
     v2: [Hello]/[Welcome] handshake carries the version; [Fetch] replies
     [Subscribed] and names the subscriber by an opaque callback address
     (["host:port"] on TCP, a stringified node id in the simulator);
-    tags [0x09]/[0x85] are retired — still reserved, but decoding them
-    fails loudly with a versioned error instead of misparsing. *)
+    [Sub_check]/[Sub_ranges] let a subscriber audit (and heal) its
+    subscriptions against the home; tags [0x09]/[0x85] are retired —
+    still reserved, but decoding them fails loudly with a versioned
+    error instead of misparsing. *)
 let protocol_version = 2
 
 type request =
@@ -35,6 +37,11 @@ type request =
   | Notify_batch of (string * string option) list
       (* subscription traffic coalesced per flush: [Some v] is a put,
          [None] a remove, in source-write order *)
+  | Sub_check of { subscriber : string }
+      (* subscription heartbeat: which ranges does this home still push
+         to [subscriber]? A compute server compares the answer against
+         what it believes subscribed and refetches anything the home
+         dropped (e.g. after a failed push or a home restart). *)
   | Stats_full
 
 type response =
@@ -45,6 +52,9 @@ type response =
   | Welcome of { version : int } (* handshake accepted *)
   | Subscribed of (string * string) list
       (* Fetch granted: the range snapshot, with a subscription installed *)
+  | Sub_ranges of (string * string * string) list
+      (* Sub_check answer: (table, lo, hi) ranges live for the asking
+         subscriber, sorted *)
   | Error of string
 
 (** Short name of a request's kind, for per-kind RPC counters
@@ -61,6 +71,7 @@ let request_kind = function
   | Notify_put _ -> "notify_put"
   | Notify_remove _ -> "notify_remove"
   | Notify_batch _ -> "notify_batch"
+  | Sub_check _ -> "sub_check"
   | Stats_full -> "stats_full"
 
 (** One-way requests are applied without sending a response frame.
@@ -70,7 +81,7 @@ let request_kind = function
 let is_oneway = function
   | Notify_put _ | Notify_remove _ | Notify_batch _ -> true
   | Hello _ | Get _ | Put _ | Remove _ | Put_batch _ | Scan _ | Add_join _
-  | Fetch _ | Stats_full ->
+  | Fetch _ | Sub_check _ | Stats_full ->
     false
 
 exception Protocol_error = Codec.Decode_error
@@ -133,7 +144,10 @@ let encode_request req =
       items
   | Hello { version } ->
     Buffer.add_char buf '\x0d';
-    Codec.put_varint buf version);
+    Codec.put_varint buf version
+  | Sub_check { subscriber } ->
+    Buffer.add_char buf '\x0e';
+    Codec.put_string buf subscriber);
   Buffer.contents buf
 
 let decode_request data =
@@ -175,6 +189,7 @@ let decode_request data =
              | 0x00 -> (k, None)
              | b -> raise (Codec.Decode_error (Printf.sprintf "bad notify item %#x" b))))
     | 0x0d -> Hello { version = Codec.get_varint r }
+    | 0x0e -> Sub_check { subscriber = Codec.get_string r }
     | tag -> raise (Codec.Decode_error (Printf.sprintf "bad request tag %#x" tag))
   in
   if not (Codec.at_end r) then raise (Codec.Decode_error "trailing bytes");
@@ -220,6 +235,15 @@ let encode_response resp =
           Codec.put_varint buf h.Obs.Histogram.p95;
           Codec.put_varint buf h.Obs.Histogram.p99)
       metrics
+  | Sub_ranges ranges ->
+    Buffer.add_char buf '\x8a';
+    Codec.put_varint buf (List.length ranges);
+    List.iter
+      (fun (table, lo, hi) ->
+        Codec.put_string buf table;
+        Codec.put_string buf lo;
+        Codec.put_string buf hi)
+      ranges
   | Error msg ->
     Buffer.add_char buf '\x86';
     Codec.put_string buf msg);
@@ -259,6 +283,14 @@ let decode_response data =
              (name, v)))
     | 0x88 -> Welcome { version = Codec.get_varint r }
     | 0x89 -> Subscribed (Codec.get_pair_list r)
+    | 0x8a ->
+      let n = Codec.get_varint r in
+      Sub_ranges
+        (List.init n (fun _ ->
+             let table = Codec.get_string r in
+             let lo = Codec.get_string r in
+             let hi = Codec.get_string r in
+             (table, lo, hi)))
     | tag -> raise (Codec.Decode_error (Printf.sprintf "bad response tag %#x" tag))
   in
   if not (Codec.at_end r) then raise (Codec.Decode_error "trailing bytes");
@@ -331,3 +363,4 @@ let apply_to_server server req =
     Done
   | Stats_full -> Metrics (Server.metrics_snapshot server)
   | Fetch _ -> Error "fetch is handled by the cluster layer"
+  | Sub_check _ -> Error "sub_check is handled by the cluster layer"

@@ -2,6 +2,9 @@
    driven manually with step(), with real TCP sockets in one process. *)
 
 module Net_server = Pequod_server_lib.Net_server
+module Net_client = Pequod_server_lib.Net_client
+module Remote = Pequod_server_lib.Remote
+module Server = Pequod_core.Server
 module Message = Pequod_proto.Message
 module Frame = Pequod_proto.Frame
 
@@ -212,6 +215,99 @@ let test_put_batch_pipelined () =
           | Message.Pairs [ ("t|ann|0000000100|bob", "a"); ("t|ann|0000000200|bob", "b") ] -> ()
           | _ -> Alcotest.fail "timeline after pipelined batches"))
 
+(* A push-mode client (handshake:false) never blocks on the Welcome:
+   its posts are applied while call/pipeline are rejected outright. The
+   server's own notification pushes rely on this to stay deadlock-free. *)
+let test_push_mode_client () =
+  with_server ~joins:[] (fun t ->
+      let client =
+        Net_client.create ~handshake:false ~host:"127.0.0.1" ~port:(Net_server.port t) ()
+      in
+      Fun.protect
+        ~finally:(fun () -> Net_client.close client)
+        (fun () ->
+          (match Net_client.call client (Message.Get "k|a") with
+          | exception Invalid_argument _ -> ()
+          | _ -> Alcotest.fail "call on a push-mode client must be rejected");
+          (match Net_client.pipeline client [ Message.Get "k|a" ] with
+          | exception Invalid_argument _ -> ()
+          | _ -> Alcotest.fail "pipeline on a push-mode client must be rejected");
+          let posted k v =
+            Net_client.post client (Message.Notify_put (k, v));
+            let deadline = Unix.gettimeofday () +. 5.0 in
+            while Server.get (Net_server.engine t) k <> Some v do
+              if Unix.gettimeofday () > deadline then Alcotest.failf "push of %s not applied" k;
+              Net_server.step ~timeout:0.01 t
+            done
+          in
+          posted "k|a" "pushed";
+          (* the second post opportunistically drains the buffered
+             Welcome; the connection keeps working *)
+          posted "k|b" "again"))
+
+(* Refetching the same range as the same subscriber must reuse the live
+   subscription entry, not stack a duplicate (finding: unbounded subs
+   growth under eviction-driven refetch). Sub_check reports the table. *)
+let test_fetch_dedup () =
+  with_server ~joins:[] (fun t ->
+      let fd = connect t in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          (* populate before subscribing: later writes in the range would
+             trigger a real push to the (unreachable) subscriber address *)
+          check_bool "seed put" true (rpc t fd (Message.Put ("p|a|1", "v")) = Message.Done);
+          let fetch () =
+            rpc t fd (Message.Fetch { table = "p"; lo = "p|"; hi = "p}"; subscriber = "198.51.100.9:9" })
+          in
+          (match fetch () with
+          | Message.Subscribed [ ("p|a|1", "v") ] -> ()
+          | _ -> Alcotest.fail "first fetch");
+          (match fetch () with
+          | Message.Subscribed [ ("p|a|1", "v") ] -> ()
+          | _ -> Alcotest.fail "refetch");
+          (match rpc t fd (Message.Sub_check { subscriber = "198.51.100.9:9" }) with
+          | Message.Sub_ranges [ ("p", "p|", "p}") ] -> ()
+          | Message.Sub_ranges ranges ->
+            Alcotest.failf "expected one deduplicated subscription, got %d" (List.length ranges)
+          | _ -> Alcotest.fail "sub_check response");
+          (* an anonymous fetch (empty subscriber) installs nothing *)
+          (match rpc t fd (Message.Fetch { table = "p"; lo = "p|"; hi = "p}"; subscriber = "" }) with
+          | Message.Subscribed _ -> ()
+          | _ -> Alcotest.fail "anonymous fetch");
+          match rpc t fd (Message.Sub_check { subscriber = "" }) with
+          | Message.Sub_ranges [] -> ()
+          | _ -> Alcotest.fail "anonymous fetch must not subscribe"))
+
+(* Route-coverage planning: unrouted tables stay local, partial route
+   coverage is a surfaced gap (never silently present-and-empty), and
+   fetch clamps carry only the remotely-owned intersections. *)
+let test_remote_plan () =
+  let route table lo hi addr = { Remote.r_table = table; r_lo = lo; r_hi = hi; r_addr = addr } in
+  let split =
+    [ route "p" "p|" "p|m" (Some "h1:1"); route "p" "p|m" "p}" (Some "h2:1") ]
+  in
+  (match Remote.plan ~routes:split ~table:"q" ~lo:"q|" ~hi:"q}" with
+  | `Unrouted -> ()
+  | _ -> Alcotest.fail "unrouted table");
+  (match Remote.plan ~routes:split ~table:"p" ~lo:"p|a" ~hi:"p|z" with
+  | `Fetch [ (r1, "p|a", "p|m"); (r2, "p|m", "p|z") ]
+    when r1.Remote.r_addr = Some "h1:1" && r2.Remote.r_addr = Some "h2:1" ->
+    ()
+  | _ -> Alcotest.fail "split fetch clamps");
+  let gappy = [ route "p" "p|" "p|m" (Some "h1:1"); route "p" "p|n" "p}" (Some "h2:1") ] in
+  (match Remote.plan ~routes:gappy ~table:"p" ~lo:"p|a" ~hi:"p|z" with
+  | `Gap -> ()
+  | _ -> Alcotest.fail "uncovered middle must be a gap");
+  (match Remote.plan ~routes:gappy ~table:"p" ~lo:"p|a" ~hi:"p|b" with
+  | `Fetch [ (_, "p|a", "p|b") ] -> ()
+  | _ -> Alcotest.fail "fully covered prefix");
+  (* a locally-owned route covers its part but yields no clamp *)
+  let mixed = [ route "p" "p|" "p|m" None; route "p" "p|m" "p}" (Some "h2:1") ] in
+  match Remote.plan ~routes:mixed ~table:"p" ~lo:"p|a" ~hi:"p|z" with
+  | `Fetch [ (r, "p|m", "p|z") ] when r.Remote.r_addr = Some "h2:1" -> ()
+  | _ -> Alcotest.fail "local coverage must not be fetched"
+
 let () =
   Alcotest.run "net"
     [
@@ -223,5 +319,8 @@ let () =
           Alcotest.test_case "two clients" `Quick test_two_clients;
           Alcotest.test_case "garbage input" `Quick test_garbage_input;
           Alcotest.test_case "put_batch pipelined" `Quick test_put_batch_pipelined;
+          Alcotest.test_case "push-mode client" `Quick test_push_mode_client;
+          Alcotest.test_case "fetch dedup" `Quick test_fetch_dedup;
         ] );
+      ("routes", [ Alcotest.test_case "plan coverage" `Quick test_remote_plan ]);
     ]

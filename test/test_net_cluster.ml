@@ -10,7 +10,9 @@
      scratch (Notify_batch push),
    - a killed home triggers bounded client retries surfaced in
      net.client.retries and an Error response, not a crash,
-   - a respawned home (same port) heals the route on the next scan. *)
+   - a respawned home (same port) heals the route on the next scan,
+   - the Sub_check heartbeat detects the subscription lost with the old
+     process and re-subscribes, unfreezing already-present ranges. *)
 
 module Message = Pequod_proto.Message
 module Net_client = Pequod_server_lib.Net_client
@@ -198,7 +200,20 @@ let test_cluster () =
           match scan_pairs compute "t|dee|" "t|dee}" with
           | Ok [ ("t|dee|0000000300|liz", "back") ] -> true
           | Ok _ -> false
-          | Error _ -> false))
+          | Error _ -> false);
+
+      (* subscription healing: the compute server's p|bob subscription
+         died with the old home B process, yet the range is still marked
+         present — without repair, t|ann would serve its frozen copy
+         forever. The periodic Sub_check notices the respawned home does
+         not know this subscriber, refetches, and re-subscribes, so a
+         write to the NEW process reaches the timeline. *)
+      put_ok home_b "p|bob|0000000400" "anew";
+      poll ~timeout:15.0 ~what:"sub_check healing after the home respawn" (fun () ->
+          match scan_pairs compute "t|ann|" "t|ann}" with
+          | Ok pairs -> List.mem_assoc "t|ann|0000000400|bob" pairs
+          | Error _ -> false);
+      check_bool "loss detected and counted" true (counter_of compute "peer.sub.lost" >= 1))
 
 let () =
   Alcotest.run "net-cluster"

@@ -1,7 +1,7 @@
 (* Fault-injection tests for the durability subsystem (lib/persist):
    log replay, snapshots, torn tails, corrupt records, stale snapshots
-   with newer logs, rotation/compaction, and resolver bookkeeping
-   (zero backing-store refetches after recovery). *)
+   with newer logs, rotation/compaction, and presence bookkeeping
+   (owned ranges survive recovery; fetched ranges refetch). *)
 
 module Server = Pequod_core.Server
 module Config = Pequod_core.Config
@@ -258,10 +258,12 @@ let test_size_rotation () =
   check_int "all pairs recovered" 60 (Server.size s2);
   Persist.close p2
 
-(* Resolver bookkeeping: base ranges fetched from a backing store before
-   the restart are marked present in the snapshot/log, so the restarted
-   server serves them with zero refetches. *)
-let test_zero_refetch_after_recovery () =
+(* Resolver bookkeeping: presence of resolver-fetched ranges is NOT
+   durable. A restarted server no longer holds the subscription that
+   kept the fetched copy fresh, so recovery leaves the range missing
+   and the first scan refetches — serving the backing store's current
+   contents, never a frozen pre-crash copy. *)
+let test_refetch_after_recovery () =
   let dir = fresh_dir () in
   let fetches = ref 0 in
   let backing ~table ~lo:_ ~hi:_ =
@@ -283,11 +285,39 @@ let test_zero_refetch_after_recovery () =
   Persist.close p;
   let s2, p2 = durable_server dir in
   let refetches = ref 0 in
-  Server.set_resolver s2 (fun ~table:_ ~lo:_ ~hi:_ ->
-      incr refetches;
-      Server.Resolved []);
-  check_bool "warm scan after restart" true (timeline s2 "ann" = expect);
-  check_int "zero backing refetches" 0 !refetches;
+  (* the backing store moved on while this server was down: the scan
+     after restart must reflect that, not the pre-crash fetch *)
+  Server.set_resolver s2 (fun ~table ~lo:_ ~hi:_ ->
+      if table = "p" then begin
+        incr refetches;
+        Server.Resolved [ ("p|bob|0000000100", "fresh") ]
+      end
+      else Server.Local);
+  check_bool "warm scan refetches current data" true
+    (timeline s2 "ann" = [ ("t|ann|0000000100|bob", "fresh") ]);
+  check_bool "resolver consulted after restart" true (!refetches >= 1);
+  Persist.close p2
+
+(* Home ownership IS durable: mark_present ranges survive a restart, so
+   a recovered home keeps serving its partitions without a resolver. *)
+let test_ownership_survives_recovery () =
+  let dir = fresh_dir () in
+  let s, p = durable_server dir in
+  Server.add_join_exn s timeline_join;
+  Server.mark_present s ~table:"p" ~lo:"p|" ~hi:"p}";
+  Server.put s "s|ann|bob" "1";
+  Server.put s "p|bob|0000000100" "hello";
+  Persist.close p;
+  let s2, p2 = durable_server dir in
+  check_bool "owned range recovered" true
+    (List.mem ("p", "p|", "p}") (Server.present_ranges s2));
+  let consulted = ref 0 in
+  Server.set_resolver s2 (fun ~table ~lo:_ ~hi:_ ->
+      if table = "p" then incr consulted;
+      Server.Local);
+  check_bool "owned scan" true
+    (timeline s2 "ann" = [ ("t|ann|0000000100|bob", "hello") ]);
+  check_int "no resolver call for the owned source" 0 !consulted;
   Persist.close p2
 
 (* The CLI-configured join must not be installed twice when it was
@@ -326,8 +356,10 @@ let () =
           Alcotest.test_case "wal replay" `Quick test_wal_replay;
           Alcotest.test_case "snapshot + log tail" `Quick test_snapshot_plus_tail;
           Alcotest.test_case "snapshot skips sink tables" `Quick test_snapshot_skips_sinks;
-          Alcotest.test_case "zero refetch after recovery" `Quick
-            test_zero_refetch_after_recovery;
+          Alcotest.test_case "fetched ranges refetch after recovery" `Quick
+            test_refetch_after_recovery;
+          Alcotest.test_case "owned ranges survive recovery" `Quick
+            test_ownership_survives_recovery;
         ] );
       ( "faults",
         [

@@ -56,6 +56,8 @@ let requests =
     Message.Notify_batch [ ("p|bob|0100", Some "hi"); ("s|ann|bob", None) ];
     Message.Notify_batch [];
     Message.Stats_full;
+    Message.Sub_check { subscriber = "10.0.0.7:7077" };
+    Message.Sub_check { subscriber = "" };
   ]
 
 let responses =
@@ -68,6 +70,8 @@ let responses =
     Message.Welcome { version = Message.protocol_version };
     Message.Subscribed [ ("p|bob|0100", "hi") ];
     Message.Subscribed [];
+    Message.Sub_ranges [ ("p", "p|a", "p|b"); ("s", "s|", "s}") ];
+    Message.Sub_ranges [];
     Message.Error "boom";
   ]
 
@@ -227,6 +231,7 @@ let test_rng_all_variants () =
              ( rand_string (),
                if Rng.int rng 2 = 0 then Some (rand_string ()) else None )))
     | 10 -> Message.Hello { version = Rng.int rng 1_000 }
+    | 11 -> Message.Sub_check { subscriber = rand_string () }
     | _ -> Message.Stats_full
   in
   let rand_response variant =
@@ -237,6 +242,9 @@ let test_rng_all_variants () =
     | 3 -> Message.Pairs (rand_pairs ())
     | 4 -> Message.Welcome { version = Rng.int rng 1_000 }
     | 5 -> Message.Subscribed (rand_pairs ())
+    | 6 ->
+      Message.Sub_ranges
+        (List.init (Rng.int rng 4) (fun _ -> (rand_string (), rand_string (), rand_string ())))
     | _ -> Message.Error (rand_string ())
   in
   let truncations_raise what wire decode =
@@ -247,13 +255,13 @@ let test_rng_all_variants () =
     done
   in
   for round = 1 to 50 do
-    for variant = 0 to 11 do
+    for variant = 0 to 12 do
       let req = rand_request variant in
       let wire = Message.encode_request req in
       check_bool "request round-trips" true (Message.decode_request wire = req);
       if round <= 5 then truncations_raise "request" wire Message.decode_request
     done;
-    for variant = 0 to 6 do
+    for variant = 0 to 7 do
       let resp = rand_response variant in
       let wire = Message.encode_response resp in
       check_bool "response round-trips" true (Message.decode_response wire = resp);
