@@ -2,7 +2,7 @@
 # test suite (unit, integration, property-based, and the persist
 # fault-injection tests in test/test_persist.ml).
 
-.PHONY: check build test bench micro micro-smoke net-smoke fuzz fuzz-replay doc linkcheck clean
+.PHONY: check build test bench micro micro-smoke net-smoke cluster-bench cluster-smoke fuzz fuzz-replay doc linkcheck clean
 
 check: ; dune build && dune runtest
 
@@ -25,6 +25,30 @@ micro-smoke: ; PEQUOD_MICRO_QUOTA=0.02 dune exec bench/main.exe -- micro
 # servers + 1 compute server over real TCP, kill/respawn included),
 # bounded so a wedged process cannot hang CI
 net-smoke: ; timeout 120 dune exec test/test_net_cluster.exe
+
+# full-scale cluster benchmark: a million-user Zipf graph driven
+# through a live multi-process server cluster over TCP; writes the
+# stamped BENCH_cluster.json (see docs/BENCHMARKS.md). Variables are
+# overridable: make cluster-bench LOAD_OPS=5000000 LOAD_RATE=20000
+LOAD_USERS ?= 1000000
+LOAD_OPS ?= 1000000
+LOAD_WORKERS ?= 4
+LOAD_HOMES ?= 2
+LOAD_COMPUTES ?= 2
+LOAD_RATE ?= 0
+
+cluster-bench: ; dune exec bin/pequod_load.exe -- \
+	--users $(LOAD_USERS) --ops $(LOAD_OPS) --workers $(LOAD_WORKERS) \
+	--homes $(LOAD_HOMES) --computes $(LOAD_COMPUTES) --rate $(LOAD_RATE)
+
+# CI smoke for the same path: a tiny graph and op quota through a real
+# 3-server cluster (2 homes + 1 compute) and 2 worker processes, then
+# assert BENCH_cluster.json came out whole; timeout-bounded so a wedged
+# server cannot hang CI
+cluster-smoke:
+	PEQUOD_LOAD_QUOTA=2000 timeout 180 dune exec bin/pequod_load.exe -- \
+		--users 10000 --ops 1000000 --workers 2 --homes 2 --computes 1
+	sh tools/check_bench_cluster.sh BENCH_cluster.json
 
 # model-based differential fuzzing: replay seeded op sequences against
 # the engine and the naive oracle (test/fuzz/).  Deterministic given

@@ -237,21 +237,6 @@ let run () =
         analyzed [])
     all_tests
 
-(* Machine-readable trail of the perf trajectory across PRs: one flat
-   JSON object, benchmark name -> ns/run. *)
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
 (* A small canned engine workload (the paper's Twip shape) whose registry
    snapshot is embedded in BENCH_micro.json: the perf trajectory then
    carries op/maintenance counts alongside ns/run figures, so a regression
@@ -281,21 +266,6 @@ let registry_snapshot () =
   done;
   Obs.json_of_snapshot (Server.metrics_snapshot s)
 
-(* provenance stamps: which commit produced these numbers, and when *)
-let git_commit () =
-  match Unix.open_process_in "git describe --always --dirty 2>/dev/null" with
-  | exception _ -> "unknown"
-  | ic ->
-    let line = try input_line ic with End_of_file -> "unknown" in
-    (match Unix.close_process_in ic with
-    | Unix.WEXITED 0 when line <> "" -> line
-    | _ -> "unknown")
-
-let iso_date () =
-  let tm = Unix.gmtime (Unix.gettimeofday ()) in
-  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
-    tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
-
 (* ratios worth tracking as first-class numbers, recomputed from the
    measured results so the JSON carries the claim, not just the inputs *)
 let derived_of results =
@@ -305,40 +275,19 @@ let derived_of results =
     [ ("put_batch 10k sorted speedup", seq /. batch) ]
   | _ -> []
 
+(* provenance stamping (commit + ISO date + derived entries) is shared
+   with BENCH_cluster.json through Benchstamp, so the files cannot
+   drift in schema *)
 let write_json ~path ?registry results =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      output_string oc "{\n";
-      output_string oc "  \"benchmark\": \"micro\",\n";
-      Printf.fprintf oc "  \"commit\": \"%s\",\n" (json_escape (git_commit ()));
-      Printf.fprintf oc "  \"date\": \"%s\",\n" (iso_date ());
-      output_string oc "  \"unit\": \"ns/run\",\n";
-      (match derived_of results with
-      | [] -> ()
-      | derived ->
-        output_string oc "  \"derived\": {\n";
-        let n = List.length derived in
-        List.iteri
-          (fun i (name, v) ->
-            Printf.fprintf oc "    \"%s\": %.2f%s\n" (json_escape name) v
-              (if i < n - 1 then "," else ""))
-          derived;
-        output_string oc "  },\n");
-      output_string oc "  \"results\": {\n";
-      let n = List.length results in
-      List.iteri
-        (fun i (name, est) ->
-          Printf.fprintf oc "    \"%s\": %s%s\n" (json_escape name)
-            (match est with Some v -> Printf.sprintf "%.1f" v | None -> "null")
-            (if i < n - 1 then "," else ""))
-        results;
-      output_string oc "  }";
-      (match registry with
-      | Some json -> Printf.fprintf oc ",\n  \"registry\": %s\n" json
-      | None -> output_string oc "\n");
-      output_string oc "}\n")
+  Benchstamp.write_file ~path ~benchmark:"micro" ~derived:(derived_of results)
+    ([ ("unit", Benchstamp.String "ns/run");
+       ( "results",
+         Benchstamp.Obj
+           (List.map
+              (fun (name, est) ->
+                (name, match est with Some v -> Benchstamp.Float v | None -> Benchstamp.Null))
+              results) ) ]
+    @ match registry with Some json -> [ ("registry", Benchstamp.Raw json) ] | None -> [])
 
 let run_and_print () =
   let results = run () in

@@ -1,0 +1,147 @@
+(* pequod-load: the live-cluster load harness.
+
+   Generates a Zipf-skewed social graph (a million users fit — the graph
+   is flat CSR arrays), forks a real pequod_server cluster (home servers
+   owning the base-table slices, compute servers running the timeline
+   join over --partition routes), preloads the subscriptions, then
+   drives the Twip op mix (5% login / 9% subscribe / 85% check / 1%
+   post) from deadline-paced multi-process workers over TCP. Per-op
+   latencies land in log histograms that are merged across workers, and
+   the run is emitted as a provenance-stamped BENCH_cluster.json.
+
+   Usage:
+     dune exec bin/pequod_load.exe -- \
+       --users 1000000 --ops 2000000 --workers 4 --homes 2 --computes 2
+
+   CI runs the same path tiny via `make cluster-smoke`, clamping the op
+   count with PEQUOD_LOAD_QUOTA. *)
+
+module Coord = Pequod_load_lib.Coord
+
+open Cmdliner
+
+let users =
+  Arg.(
+    value
+    & opt int Coord.default.users
+    & info [ "u"; "users" ] ~docv:"N" ~doc:"Users in the generated social graph.")
+
+let ops =
+  Arg.(
+    value
+    & opt int Coord.default.ops
+    & info [ "n"; "ops" ] ~docv:"N"
+        ~doc:
+          "Total ops across all workers ($(b,PEQUOD_LOAD_QUOTA) clamps this from the \
+           environment).")
+
+let workers =
+  Arg.(
+    value
+    & opt int Coord.default.workers
+    & info [ "w"; "workers" ] ~docv:"N" ~doc:"Load-generating worker processes.")
+
+let homes =
+  Arg.(
+    value
+    & opt int Coord.default.homes
+    & info [ "homes" ] ~docv:"N" ~doc:"Home servers (base-table owners).")
+
+let computes =
+  Arg.(
+    value
+    & opt int Coord.default.computes
+    & info [ "computes" ] ~docv:"N" ~doc:"Compute servers (timeline join).")
+
+let avg_follows =
+  Arg.(
+    value
+    & opt int Coord.default.avg_follows
+    & info [ "avg-follows" ] ~docv:"N" ~doc:"Mean out-degree of the generated graph.")
+
+let active =
+  Arg.(
+    value
+    & opt float Coord.default.active
+    & info [ "active" ] ~docv:"FRAC" ~doc:"Fraction of users that log in and check.")
+
+let rate =
+  Arg.(
+    value
+    & opt float Coord.default.rate
+    & info [ "rate" ] ~docv:"OPS_PER_SEC"
+        ~doc:
+          "Total open-loop arrival rate across workers; 0 runs closed-loop at pipeline \
+           depth.")
+
+let window =
+  Arg.(
+    value
+    & opt int Coord.default.window
+    & info [ "pipeline" ] ~docv:"N" ~doc:"Per-worker pipeline depth.")
+
+let login_window =
+  Arg.(
+    value
+    & opt int Coord.default.login_window
+    & info [ "login-window" ] ~docv:"TICKS"
+        ~doc:"Logical time a login's timeline scan reaches back.")
+
+let seed =
+  Arg.(
+    value
+    & opt int Coord.default.seed
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:"Root seed; graph and every worker's op stream derive from it.")
+
+let preload_posts =
+  Arg.(
+    value
+    & opt int Coord.default.preload_posts
+    & info [ "preload-posts" ] ~docv:"N"
+        ~doc:"Posts to bulk-load before the timed run (times 0..N-1).")
+
+let memory_limit =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "memory-limit" ] ~docv:"BYTES"
+        ~doc:"Eviction cap handed to the compute servers.")
+
+let out =
+  Arg.(
+    value
+    & opt string Coord.default.out
+    & info [ "o"; "out" ] ~docv:"PATH" ~doc:"Where to write the stamped result JSON.")
+
+let server_exe =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "server-exe" ] ~docv:"PATH"
+        ~doc:"pequod_server binary (default: found beside this binary or in _build).")
+
+let run users ops workers homes computes avg_follows active rate window login_window seed
+    preload_posts memory_limit out server_exe =
+  if users < 1 then `Error (false, "--users must be positive")
+  else if workers < 1 then `Error (false, "--workers must be positive")
+  else if homes < 1 || computes < 1 then
+    `Error (false, "need at least one home and one compute server")
+  else if window < 1 then `Error (false, "--pipeline must be positive")
+  else
+    let cfg =
+      { Coord.users; ops; workers; homes; computes; avg_follows; active; rate; window;
+        login_window; seed; preload_posts; memory_limit; out; server_exe }
+    in
+    `Ok (Coord.run cfg)
+
+let cmd =
+  let doc = "drive a live Pequod cluster with the Twip workload" in
+  Cmd.v
+    (Cmd.info "pequod-load" ~doc)
+    Term.(
+      ret
+        (const run $ users $ ops $ workers $ homes $ computes $ avg_follows $ active $ rate
+       $ window $ login_window $ seed $ preload_posts $ memory_limit $ out $ server_exe))
+
+let () = exit (Cmd.eval' cmd)

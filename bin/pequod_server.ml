@@ -127,8 +127,17 @@ let advertise =
           "Host peers use to push subscription updates back to this server (with the bound \
            port); set it when 127.0.0.1 is not reachable from the peers.")
 
+let sub_check_every =
+  Arg.(
+    value & opt float 2.0
+    & info [ "sub-check-every" ] ~docv:"SECONDS"
+        ~doc:
+          "Seconds between subscription-healing heartbeats to the homes. Each round costs \
+           the homes a walk of this server's live subscriptions, so large deployments \
+           should slow it down.")
+
 let main port joins memory_limit data_dir sync sync_interval snapshot_every wal_max_bytes
-    metrics_dump verbose peers partitions advertise =
+    metrics_dump verbose peers partitions advertise sub_check_every =
   Fmt_tty.setup_std_outputs ();
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Info else Logs.App));
@@ -152,7 +161,10 @@ let main port joins memory_limit data_dir sync sync_interval snapshot_every wal_
     with
     | t ->
       let self_addr = Printf.sprintf "%s:%d" advertise (Net_server.port t) in
-      let heal = Remote.attach ~engine:(Net_server.engine t) ~self_addr ~routes () in
+      let heal =
+        Remote.attach ~check_every:sub_check_every ~engine:(Net_server.engine t) ~self_addr
+          ~routes ()
+      in
       Net_server.add_ticker t heal;
       Logs.app (fun m ->
           m "pequod-server listening on port %d with %d joins, %d partition routes%s"
@@ -174,6 +186,6 @@ let cmd =
     Term.(
       const main $ port $ joins $ memory_limit $ data_dir $ sync_mode $ sync_interval
       $ snapshot_every $ wal_max_bytes $ metrics_dump $ verbose $ peers $ partitions
-      $ advertise)
+      $ advertise $ sub_check_every)
 
 let () = if not !Sys.interactive then exit (Cmd.eval' cmd)

@@ -5,59 +5,137 @@
     a long tail of small accounts), and each user follows a dispersed,
     popularity-biased set of accounts. Generation is deterministic in the
     seed, so experiments are reproducible and all backends see the same
-    graph. *)
+    graph.
+
+    The representation is CSR (compressed sparse row): both directions of
+    the graph live in four flat int arrays — an offset index of length
+    [nusers + 1] and a packed edge array per direction — with no per-user
+    boxes. A million-user graph with ~e edges costs [2e + 2(nusers + 1)]
+    words, which is what lets the cluster load harness drive 1M+ users
+    from one coordinator process. *)
 
 type t = {
   nusers : int;
-  following : int array array; (* user -> sorted posters they follow *)
-  followers : int array array; (* poster -> sorted followers *)
+  f_idx : int array;  (* user u follows f_edges.[f_idx.(u) .. f_idx.(u+1)) *)
+  f_edges : int array;  (* sorted within each user's segment *)
+  r_idx : int array;  (* poster p is followed by r_edges.[r_idx.(p) .. r_idx.(p+1)) *)
+  r_edges : int array;  (* sorted within each poster's segment *)
 }
 
 let nusers t = t.nusers
-let following t u = t.following.(u)
-let followers t p = t.followers.(p)
-let follower_count t p = Array.length t.followers.(p)
+let edge_count t = t.f_idx.(t.nusers)
+let follow_count t u = t.f_idx.(u + 1) - t.f_idx.(u)
+let follower_count t p = t.r_idx.(p + 1) - t.r_idx.(p)
 
-(** Canonical user name: fixed width so names sort like ids. *)
+(* materialized segment copies, for small-graph callers; the load path
+   uses the iterators below and never allocates *)
+let following t u = Array.sub t.f_edges t.f_idx.(u) (follow_count t u)
+let followers t p = Array.sub t.r_edges t.r_idx.(p) (follower_count t p)
+
+let iter_following t u f =
+  for i = t.f_idx.(u) to t.f_idx.(u + 1) - 1 do
+    f t.f_edges.(i)
+  done
+
+let iter_followers t p f =
+  for i = t.r_idx.(p) to t.r_idx.(p + 1) - 1 do
+    f t.r_edges.(i)
+  done
+
+(** Words of live heap the CSR arrays hold (headers included): the
+    memory contract the scale tests assert against. *)
+let memory_words t =
+  let arr a = Array.length a + 1 in
+  arr t.f_idx + arr t.f_edges + arr t.r_idx + arr t.r_edges + 6 (* record + fields *)
+
+(** Canonical user name: fixed width so names sort like ids (valid for
+    ids below 1e6; the generator refuses larger graphs). *)
 let user_name u = Printf.sprintf "u%06d" u
+
+let max_users = 1_000_000
+
+(* in-place insertion sort of a.[lo, hi) — segments are tiny (a user's
+   follow list), so no allocation beats Array.sort's closure *)
+let sort_segment a lo hi =
+  for i = lo + 1 to hi - 1 do
+    let v = a.(i) in
+    let j = ref i in
+    while !j > lo && a.(!j - 1) > v do
+      a.(!j) <- a.(!j - 1);
+      decr j
+    done;
+    a.(!j) <- v
+  done
+
+let segment_mem a lo hi v =
+  let found = ref false in
+  for i = lo to hi - 1 do
+    if a.(i) = v then found := true
+  done;
+  !found
 
 let generate ~rng ~nusers ~avg_follows ?(zipf_s = 1.0) () =
   if nusers <= 1 then invalid_arg "Social_graph.generate: need at least 2 users";
+  if nusers > max_users then
+    invalid_arg "Social_graph.generate: user names are fixed-width below 1e6";
   let popularity = Rng.Zipf.create ~n:nusers ~s:zipf_s in
-  let following = Array.make nusers [||] in
-  let follower_lists = Array.make nusers [] in
-  for u = 0 to nusers - 1 do
-    (* skewed out-degree: most users follow a few, some follow many *)
-    let k = max 1 (int_of_float (float_of_int avg_follows *. (0.25 +. (1.5 *. Rng.float rng)))) in
-    let seen = Hashtbl.create (2 * k) in
-    let rec draw remaining guard =
-      if remaining > 0 && guard < 20 * k then begin
-        let p = Rng.Zipf.sample popularity rng in
-        if p <> u && not (Hashtbl.mem seen p) then begin
-          Hashtbl.add seen p ();
-          follower_lists.(p) <- u :: follower_lists.(p);
-          draw (remaining - 1) guard
-        end
-        else draw remaining (guard + 1)
-      end
-    in
-    draw k 0;
-    let fs = Hashtbl.fold (fun p () acc -> p :: acc) seen [] in
-    let fs = Array.of_list fs in
-    Array.sort compare fs;
-    following.(u) <- fs
-  done;
-  let followers =
-    Array.map
-      (fun l ->
-        let a = Array.of_list l in
-        Array.sort compare a;
-        a)
-      follower_lists
+  (* pass 1: target out-degrees (skewed: most users follow a few, some
+     follow many), prefix-summed into the forward index *)
+  let degrees =
+    Array.init nusers (fun _ ->
+        max 1 (int_of_float (float_of_int avg_follows *. (0.25 +. (1.5 *. Rng.float rng)))))
   in
-  { nusers; following; followers }
-
-let edge_count t = Array.fold_left (fun acc f -> acc + Array.length f) 0 t.following
+  let f_idx = Array.make (nusers + 1) 0 in
+  for u = 0 to nusers - 1 do
+    f_idx.(u + 1) <- f_idx.(u) + degrees.(u)
+  done;
+  let f_edges = Array.make f_idx.(nusers) 0 in
+  (* pass 2: popularity-biased distinct targets, drawn straight into
+     each user's segment; a duplicate-heavy user may fall short of its
+     target degree once the rejection guard runs out *)
+  for u = 0 to nusers - 1 do
+    let base = f_idx.(u) and k = degrees.(u) in
+    let filled = ref 0 and guard = ref 0 in
+    while !filled < k && !guard < 20 * k do
+      let p = Rng.Zipf.sample popularity rng in
+      if p <> u && not (segment_mem f_edges base (base + !filled) p) then begin
+        f_edges.(base + !filled) <- p;
+        incr filled
+      end
+      else incr guard
+    done;
+    degrees.(u) <- !filled
+  done;
+  (* compact away the shortfall (forward shift keeps segment order) *)
+  let write = ref 0 in
+  for u = 0 to nusers - 1 do
+    let base = f_idx.(u) in
+    for i = 0 to degrees.(u) - 1 do
+      f_edges.(!write + i) <- f_edges.(base + i)
+    done;
+    f_idx.(u) <- !write;
+    write := !write + degrees.(u);
+    sort_segment f_edges f_idx.(u) !write
+  done;
+  f_idx.(nusers) <- !write;
+  let f_edges = if !write = Array.length f_edges then f_edges else Array.sub f_edges 0 !write in
+  (* reverse CSR by counting sort; scanning users in order leaves every
+     follower segment sorted for free *)
+  let r_idx = Array.make (nusers + 1) 0 in
+  Array.iter (fun p -> r_idx.(p + 1) <- r_idx.(p + 1) + 1) f_edges;
+  for p = 0 to nusers - 1 do
+    r_idx.(p + 1) <- r_idx.(p + 1) + r_idx.(p)
+  done;
+  let r_edges = Array.make !write 0 in
+  let cursor = Array.init nusers (fun p -> r_idx.(p)) in
+  for u = 0 to nusers - 1 do
+    for i = f_idx.(u) to f_idx.(u + 1) - 1 do
+      let p = f_edges.(i) in
+      r_edges.(cursor.(p)) <- u;
+      cursor.(p) <- cursor.(p) + 1
+    done
+  done;
+  { nusers; f_idx; f_edges; r_idx; r_edges }
 
 (** Per-user posting weight: proportional to log(follower count), as in
     §5.1 ("more popular users tweet more often"). *)

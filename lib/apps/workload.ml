@@ -5,7 +5,13 @@
     1% posts. A fraction of users is active; each active user logs in,
     repeatedly checks, and posts with probability proportional to the log
     of their follower count. Times are a global logical counter encoded
-    fixed-width so they sort correctly. *)
+    fixed-width so they sort correctly.
+
+    Ops come from a {e streaming} iterator ({!stream}/{!next}): state is
+    one Rng, the active-user sample and the posting alias table, so a
+    million-user, ten-million-op run needs no op array. {!generate}
+    materializes a stream into the classic [op array] for the in-process
+    benchmarks; both produce the identical sequence for equal seeds. *)
 
 type op =
   | Login of int (* initial timeline scan: everything recent *)
@@ -23,51 +29,84 @@ type t = {
 
 let mix_default = (0.05, 0.09, 0.85, 0.01)
 
-(** Generate [total_ops] operations over [active] users of the graph.
-    [mix] is (login, subscribe, check, post) and defaults to the paper's
+(* ------------------------------------------------------------------ *)
+(* Streaming iterator                                                  *)
+
+type stream = {
+  st_rng : Rng.t;
+  st_active : int array;
+  st_posting : Rng.Alias.dist;
+  st_nusers : int;
+  st_mix : float * float * float * float;
+  st_stride : int;
+  mutable st_time : int;
+  st_logged_in : (int, unit) Hashtbl.t;
+  mutable st_nposts : int;
+  mutable st_nchecks : int;
+  mutable st_nlogins : int;
+  mutable st_nsubs : int;
+}
+
+(** An unbounded op stream over [active_fraction] of the graph's users.
+    [mix] is (login, subscribe, check, post), default the paper's
     5/9/85/1. Posts receive strictly increasing times starting at
-    [first_time]. *)
-let generate ~rng ~graph ?(active_fraction = 0.7) ?(mix = mix_default) ~total_ops
-    ?(first_time = 1_000_000) () =
+    [first_time + time_stride]; a multi-worker driver gives worker [i]
+    of [n] [~first_time:(base + i) ~time_stride:n] so concurrent
+    workers never collide on a post key. *)
+let stream ~rng ~graph ?(active_fraction = 0.7) ?(mix = mix_default)
+    ?(first_time = 1_000_000) ?(time_stride = 1) () =
+  if time_stride < 1 then invalid_arg "Workload.stream: time_stride < 1";
   let nusers = Social_graph.nusers graph in
   let nactive = max 1 (int_of_float (float_of_int nusers *. active_fraction)) in
   (* active users are a random sample *)
   let ids = Array.init nusers (fun i -> i) in
   Rng.shuffle rng ids;
   let active = Array.sub ids 0 nactive in
-  let posting = Rng.Alias.create (Array.map (fun u -> (Social_graph.posting_weights graph).(u))
-                                    (Array.init nusers (fun i -> i))) in
-  let l, s, c, _p = mix in
-  let time = ref first_time in
-  let nposts = ref 0 and nchecks = ref 0 and nlogins = ref 0 and nsubs = ref 0 in
-  let logged_in = Hashtbl.create nactive in
-  let ops =
-    Array.init total_ops (fun _ ->
-        let r = Rng.float rng in
-        if r < l then begin
-          incr nlogins;
-          let u = active.(Rng.int rng nactive) in
-          Hashtbl.replace logged_in u ();
-          Login u
-        end
-        else if r < l +. s then begin
-          incr nsubs;
-          let u = active.(Rng.int rng nactive) in
-          let p = Rng.Alias.sample posting rng in
-          let p = if p = u then (p + 1) mod nusers else p in
-          Subscribe (u, p)
-        end
-        else if r < l +. s +. c then begin
-          incr nchecks;
-          Check (active.(Rng.int rng nactive))
-        end
-        else begin
-          incr nposts;
-          incr time;
-          Post (Rng.Alias.sample posting rng, !time)
-        end)
-  in
-  { ops; nposts = !nposts; nchecks = !nchecks; nlogins = !nlogins; nsubs = !nsubs }
+  let posting = Rng.Alias.create (Social_graph.posting_weights graph) in
+  { st_rng = rng; st_active = active; st_posting = posting; st_nusers = nusers;
+    st_mix = mix; st_stride = time_stride; st_time = first_time;
+    st_logged_in = Hashtbl.create nactive; st_nposts = 0; st_nchecks = 0; st_nlogins = 0;
+    st_nsubs = 0 }
+
+let next st =
+  let rng = st.st_rng in
+  let nactive = Array.length st.st_active in
+  let l, s, c, _p = st.st_mix in
+  let r = Rng.float rng in
+  if r < l then begin
+    st.st_nlogins <- st.st_nlogins + 1;
+    let u = st.st_active.(Rng.int rng nactive) in
+    Hashtbl.replace st.st_logged_in u ();
+    Login u
+  end
+  else if r < l +. s then begin
+    st.st_nsubs <- st.st_nsubs + 1;
+    let u = st.st_active.(Rng.int rng nactive) in
+    let p = Rng.Alias.sample st.st_posting rng in
+    let p = if p = u then (p + 1) mod st.st_nusers else p in
+    Subscribe (u, p)
+  end
+  else if r < l +. s +. c then begin
+    st.st_nchecks <- st.st_nchecks + 1;
+    Check (st.st_active.(Rng.int rng nactive))
+  end
+  else begin
+    st.st_nposts <- st.st_nposts + 1;
+    st.st_time <- st.st_time + st.st_stride;
+    Post (Rng.Alias.sample st.st_posting rng, st.st_time)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Materialized workloads (the in-process benchmarks)                  *)
+
+(** Generate [total_ops] operations over [active] users of the graph:
+    the stream above, materialized. *)
+let generate ~rng ~graph ?(active_fraction = 0.7) ?(mix = mix_default) ~total_ops
+    ?(first_time = 1_000_000) () =
+  let st = stream ~rng ~graph ~active_fraction ~mix ~first_time () in
+  let ops = Array.init total_ops (fun _ -> next st) in
+  { ops; nposts = st.st_nposts; nchecks = st.st_nchecks; nlogins = st.st_nlogins;
+    nsubs = st.st_nsubs }
 
 (** A check+post-only workload for the materialization experiment (Fig 8):
     [nchecks] timeline checks spread uniformly over the active users,

@@ -1,0 +1,322 @@
+(** The load-harness coordinator: owns the cluster, the graph, the
+    worker fleet and the aggregation, and emits [BENCH_cluster.json].
+
+    Phases:
+
+    + generate the CSR social graph (1M+ users fit: flat int arrays);
+    + spawn the [homes + computes] server cluster ({!Spawn});
+    + preload the subscription table (and optionally a post corpus)
+      into the homes with pipelined [Put_batch] frames;
+    + fork [workers] driver processes ({!Driver}), each with an
+      independent [Rng.stream] substream and a report pipe;
+    + reap the workers, merge their counter totals and full-resolution
+      latency histograms ({!Obs.Histogram.merge}) into one registry;
+    + read the servers' [peer.*] counters over [Stats_full] to compute
+      the subscription-traffic share;
+    + stamp and write [BENCH_cluster.json] ({!Benchstamp}) and print a
+      summary table.
+
+    The op quota can be clamped by the [PEQUOD_LOAD_QUOTA] environment
+    variable, which is how CI runs the whole path in seconds
+    ([make cluster-smoke]) while [make cluster-bench] runs the full
+    configured scale. *)
+
+module Social_graph = Pequod_apps.Social_graph
+module Message = Pequod_proto.Message
+module Net_client = Pequod_server_lib.Net_client
+
+type config = {
+  users : int;
+  ops : int;  (** total, split across workers; PEQUOD_LOAD_QUOTA overrides *)
+  workers : int;
+  homes : int;
+  computes : int;
+  avg_follows : int;
+  active : float;
+  rate : float;  (** total target ops/sec; 0 = closed loop *)
+  window : int;  (** per-worker pipeline depth *)
+  login_window : int;
+  seed : int;
+  preload_posts : int;
+  memory_limit : int option;  (** compute-server eviction cap *)
+  out : string;
+  server_exe : string option;
+}
+
+let default =
+  { users = 1_000_000; ops = 1_000_000; workers = 4; homes = 2; computes = 2;
+    avg_follows = 8; active = 0.7; rate = 0.0; window = 16; login_window = 1_000;
+    seed = 42; preload_posts = 0; memory_limit = None; out = "BENCH_cluster.json";
+    server_exe = None }
+
+let quota_env = "PEQUOD_LOAD_QUOTA"
+
+let effective_ops cfg =
+  match Sys.getenv_opt quota_env with
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some q when q > 0 -> min q cfg.ops
+    | _ -> cfg.ops)
+  | None -> cfg.ops
+
+let client_of ?obs addr =
+  match String.rindex_opt addr ':' with
+  | Some i ->
+    Net_client.create ?obs ~host:(String.sub addr 0 i)
+      ~port:(int_of_string (String.sub addr (i + 1) (String.length addr - i - 1)))
+      ()
+  | None -> invalid_arg ("bad server address " ^ addr)
+
+(* ------------------------------------------------------------------ *)
+(* Preload                                                             *)
+
+let batch_size = 1_000
+
+(** Bulk-load the social graph's subscription rows (and an optional
+    pre-experiment post corpus with times [0..preload_posts)) into the
+    owning homes, one pipelined [Put_batch] per [batch_size] rows.
+    Returns total rows loaded. *)
+let preload cfg ~(topo : Spawn.topology) ~graph =
+  let clients = Array.map (fun a -> client_of a) topo.home_addrs in
+  let pending = Array.make topo.nhomes [] in
+  let counts = Array.make topo.nhomes 0 in
+  let total = ref 0 in
+  let flush h =
+    if counts.(h) > 0 then begin
+      (match Net_client.call clients.(h) (Message.Put_batch (List.rev pending.(h))) with
+      | Message.Done -> ()
+      | Message.Error msg -> failwith ("preload put_batch failed: " ^ msg)
+      | _ -> failwith "preload: unexpected put_batch response");
+      total := !total + counts.(h);
+      pending.(h) <- [];
+      counts.(h) <- 0
+    end
+  in
+  let put h k v =
+    pending.(h) <- (k, v) :: pending.(h);
+    counts.(h) <- counts.(h) + 1;
+    if counts.(h) >= batch_size then flush h
+  in
+  for u = 0 to Social_graph.nusers graph - 1 do
+    let user = Social_graph.user_name u in
+    let h = Spawn.home_of topo u in
+    Social_graph.iter_following graph u (fun p ->
+        put h (Printf.sprintf "s|%s|%s" user (Social_graph.user_name p)) "1")
+  done;
+  if cfg.preload_posts > 0 then begin
+    let rng = Rng.stream ~seed:cfg.seed ~index:(max_int asr 1) in
+    let posting = Rng.Alias.create (Social_graph.posting_weights graph) in
+    for time = 0 to cfg.preload_posts - 1 do
+      let p = Rng.Alias.sample posting rng in
+      let poster = Social_graph.user_name p in
+      put (Spawn.home_of topo p)
+        (Printf.sprintf "p|%s|%s" poster (Strkey.encode_time time))
+        (Pequod_apps.Twip.tweet_text poster time)
+    done
+  end;
+  Array.iteri (fun h _ -> flush h) clients;
+  Array.iter Net_client.close clients;
+  !total
+
+(* ------------------------------------------------------------------ *)
+(* Worker fleet                                                        *)
+
+let fork_workers cfg ~ops ~topo ~graph =
+  let per = ops / cfg.workers in
+  List.init cfg.workers (fun i ->
+      let quota = if i = 0 then per + (ops mod cfg.workers) else per in
+      let wcfg =
+        { Driver.w_index = i; w_nworkers = cfg.workers; w_seed = cfg.seed; w_quota = quota;
+          w_rate = cfg.rate /. float_of_int cfg.workers; w_window = cfg.window;
+          w_login_window = cfg.login_window; w_active = cfg.active }
+      in
+      let r, w = Unix.pipe () in
+      match Unix.fork () with
+      | 0 ->
+        Unix.close r;
+        let obs = Obs.create () in
+        (try
+           let elapsed = Driver.run wcfg ~topo ~graph obs in
+           Report.write w ~elapsed obs
+         with e -> Report.write_error w (Printexc.to_string e));
+        (try Unix.close w with Unix.Unix_error _ -> ());
+        Unix._exit 0
+      | pid ->
+        Unix.close w;
+        (pid, r))
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation                                                         *)
+
+let peer_counters addrs =
+  List.concat_map
+    (fun addr ->
+      let c = client_of addr in
+      Fun.protect
+        ~finally:(fun () -> try Net_client.close c with _ -> ())
+        (fun () ->
+          match Net_client.call c Message.Stats_full with
+          | Message.Metrics metrics ->
+            List.filter_map
+              (fun (name, v) ->
+                match v with
+                | Obs.Counter n when String.length name >= 5 && String.sub name 0 5 = "peer."
+                  ->
+                  Some (name, n)
+                | _ -> None)
+              metrics
+          | _ -> []))
+    (Array.to_list addrs)
+
+let sum_counter name pairs =
+  List.fold_left (fun acc (n, v) -> if n = name then acc + v else acc) 0 pairs
+
+(* ------------------------------------------------------------------ *)
+(* Run                                                                 *)
+
+let hist_json snap =
+  let open Obs.Histogram in
+  Benchstamp.Obj
+    [ ("count", Benchstamp.Int snap.count); ("min", Benchstamp.Int snap.min);
+      ("max", Benchstamp.Int snap.max); ("p50", Benchstamp.Int snap.p50);
+      ("p95", Benchstamp.Int snap.p95); ("p99", Benchstamp.Int snap.p99) ]
+
+let run cfg =
+  let ops = effective_ops cfg in
+  let log fmt = Printf.eprintf (fmt ^^ "\n%!") in
+  log "pequod-load: generating %d-user graph (seed %d)..." cfg.users cfg.seed;
+  let graph =
+    Social_graph.generate ~rng:(Rng.create cfg.seed) ~nusers:cfg.users
+      ~avg_follows:cfg.avg_follows ()
+  in
+  log "pequod-load: %d users, %d edges (%d KiB CSR)" cfg.users (Social_graph.edge_count graph)
+    (Social_graph.memory_words graph * Sys.word_size / 8 / 1024);
+  let cluster =
+    Spawn.start ?server_exe:cfg.server_exe ?memory_limit:cfg.memory_limit ~nusers:cfg.users
+      ~nhomes:cfg.homes ~ncomputes:cfg.computes ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Spawn.shutdown cluster)
+    (fun () ->
+      let topo = cluster.Spawn.topology in
+      log "pequod-load: cluster up (%d homes, %d computes); preloading graph..." cfg.homes
+        cfg.computes;
+      let t_pre = Unix.gettimeofday () in
+      let preload_rows = preload cfg ~topo ~graph in
+      log "pequod-load: preloaded %d rows in %.1fs; driving %d ops over %d workers%s..."
+        preload_rows
+        (Unix.gettimeofday () -. t_pre)
+        ops cfg.workers
+        (if cfg.rate > 0.0 then Printf.sprintf " at %.0f ops/s" cfg.rate else " (closed loop)");
+      let t0 = Unix.gettimeofday () in
+      let workers = fork_workers cfg ~ops ~topo ~graph in
+      let reports =
+        List.map
+          (fun (pid, r) ->
+            let report = Report.read r in
+            Unix.close r;
+            ignore (Unix.waitpid [] pid);
+            report)
+          workers
+      in
+      let wall = Unix.gettimeofday () -. t0 in
+      List.iter
+        (fun rp ->
+          match rp.Report.rp_error with
+          | Some msg -> failwith ("load worker failed: " ^ msg)
+          | None -> ())
+        reports;
+      (* merge: counters sum; histograms pool at bucket resolution *)
+      let agg = Obs.create () in
+      List.iter
+        (fun rp ->
+          List.iter
+            (fun (name, v) -> Obs.Counter.force_add (Obs.counter agg name) v)
+            rp.Report.rp_counters;
+          List.iter
+            (fun (name, d) -> Obs.Histogram.absorb (Obs.histogram agg name) d)
+            rp.Report.rp_hists)
+        reports;
+      let total_ops = Obs.counter_value agg "load.ops" in
+      let qps = if wall > 0.0 then float_of_int total_ops /. wall else 0.0 in
+      (* subscription traffic share, off the servers' peer.* counters:
+         the §2.4 protocol work (fetches served + notifications pushed)
+         as a fraction of all answered work *)
+      let peers = peer_counters (Array.append topo.home_addrs topo.compute_addrs) in
+      let fetch_in = sum_counter "peer.fetch.in" peers in
+      let notify_out = sum_counter "peer.notify.out" peers in
+      let notify_in = sum_counter "peer.notify.in" peers in
+      let sub_lost = sum_counter "peer.sub.lost" peers in
+      let peer_msgs = fetch_in + notify_out in
+      let share =
+        if peer_msgs + total_ops = 0 then 0.0
+        else float_of_int peer_msgs /. float_of_int (peer_msgs + total_ops)
+      in
+      let class_snaps =
+        List.map
+          (fun name ->
+            let short =
+              (* "load.login.us" -> "login" *)
+              match String.split_on_char '.' name with
+              | [ _; cls; _ ] -> cls
+              | _ -> name
+            in
+            (short, Obs.Histogram.snapshot (Obs.histogram agg name)))
+          (Array.to_list Driver.classes)
+      in
+      let max_elapsed =
+        List.fold_left (fun acc rp -> Float.max acc rp.Report.rp_elapsed) 0.0 reports
+      in
+      Benchstamp.write_file ~path:cfg.out ~benchmark:"cluster"
+        ~derived:[ ("qps", qps); ("subscription_share", share) ]
+        [ ( "config",
+            Benchstamp.Obj
+              [ ("users", Benchstamp.Int cfg.users); ("ops", Benchstamp.Int ops);
+                ("workers", Benchstamp.Int cfg.workers); ("homes", Benchstamp.Int cfg.homes);
+                ("computes", Benchstamp.Int cfg.computes);
+                ("avg_follows", Benchstamp.Int cfg.avg_follows);
+                ("active_fraction", Benchstamp.Float cfg.active);
+                ("rate", Benchstamp.Float cfg.rate); ("pipeline", Benchstamp.Int cfg.window);
+                ("seed", Benchstamp.Int cfg.seed);
+                ("edges", Benchstamp.Int (Social_graph.edge_count graph));
+                ("preload_rows", Benchstamp.Int preload_rows) ] );
+          ( "results",
+            Benchstamp.Obj
+              [ ("qps", Benchstamp.Float qps); ("wall_s", Benchstamp.Float wall);
+                ("worker_max_s", Benchstamp.Float max_elapsed);
+                ("ops_completed", Benchstamp.Int total_ops);
+                ("errors", Benchstamp.Int (Obs.counter_value agg "load.errors"));
+                ("failed", Benchstamp.Int (Obs.counter_value agg "load.failed"));
+                ("entries_read", Benchstamp.Int (Obs.counter_value agg "load.entries"));
+                ("subscription_share", Benchstamp.Float share);
+                ("peer_fetch_in", Benchstamp.Int fetch_in);
+                ("peer_notify_out", Benchstamp.Int notify_out);
+                ("peer_notify_in", Benchstamp.Int notify_in);
+                ("peer_sub_lost", Benchstamp.Int sub_lost) ] );
+          ( "latency_us",
+            Benchstamp.Obj (List.map (fun (cls, snap) -> (cls, hist_json snap)) class_snaps)
+          ) ];
+      (* human summary *)
+      let tbl =
+        Tablefmt.create
+          ~title:
+            (Printf.sprintf "Cluster load: %d users, %d ops, %d servers, %d workers"
+               cfg.users total_ops (cfg.homes + cfg.computes) cfg.workers)
+          ~headers:[ "op class"; "count"; "p50 us"; "p95 us"; "p99 us" ]
+          ~aligns:[ Tablefmt.Left; Right; Right; Right; Right ]
+      in
+      List.iter
+        (fun (cls, snap) ->
+          let open Obs.Histogram in
+          Tablefmt.add_row tbl
+            [ cls; string_of_int snap.count; string_of_int snap.p50; string_of_int snap.p95;
+              string_of_int snap.p99 ])
+        class_snaps;
+      Tablefmt.print tbl;
+      Printf.printf
+        "qps %.1f  subscription share %.3f (peer msgs %d / client ops %d)  errors %d\n\
+         (wrote %s)\n"
+        qps share peer_msgs total_ops
+        (Obs.counter_value agg "load.errors")
+        cfg.out;
+      0)

@@ -1,0 +1,163 @@
+(** One load worker: an open-loop, deadline-paced client of the live
+    cluster.
+
+    The worker draws ops on demand from a seeded {!Workload.stream}
+    (worker [i] of [n] uses [Rng.stream ~seed ~index:i], so the fleet's
+    op sequence is a pure function of [seed] and [n]) and maps each op
+    onto the wire:
+
+    - [Login]/[Check] → [Scan] of the user's timeline on the compute
+      server owning that user ([u mod computes]);
+    - [Subscribe]/[Post] → [Put] on the home server owning the written
+      key's user slice.
+
+    Pacing is open-loop: op [i]'s send deadline is [t0 + i/rate], fixed
+    in advance; when the cluster falls behind, the backlog shows up as
+    latency instead of silently slowing the arrival process (no
+    coordinated omission). Consecutive due ops are pipelined per
+    destination, bounded by [w_window]. With [w_rate = 0] the worker is
+    closed-loop at pipeline depth [w_window] — as fast as the cluster
+    will answer.
+
+    Latency per op is measured from its deadline (or from the pipeline
+    write, when unpaced) to the arrival of its response batch, into the
+    per-class log histograms [load.login.us], [load.check.us],
+    [load.subscribe.us] and [load.post.us] of the worker's registry.
+    [load.ops] counts answered ops, [load.errors] [Error] responses
+    (e.g. a scan across a dead home's range), [load.failed] ops lost to
+    connection failures. *)
+
+module Social_graph = Pequod_apps.Social_graph
+module Workload = Pequod_apps.Workload
+module Twip = Pequod_apps.Twip
+module Message = Pequod_proto.Message
+module Net_client = Pequod_server_lib.Net_client
+
+type config = {
+  w_index : int;  (** this worker's rank *)
+  w_nworkers : int;
+  w_seed : int;
+  w_quota : int;  (** ops this worker must complete *)
+  w_rate : float;  (** target ops/sec for this worker; 0 = closed-loop *)
+  w_window : int;  (** pipeline depth *)
+  w_login_window : int;  (** logical time a Login scans back *)
+  w_active : float;
+}
+
+let base_time = 1_000_000
+
+let classes = [| "load.login.us"; "load.check.us"; "load.subscribe.us"; "load.post.us" |]
+
+let class_of = function
+  | Workload.Login _ -> 0
+  | Workload.Check _ -> 1
+  | Workload.Subscribe _ -> 2
+  | Workload.Post _ -> 3
+
+let run cfg ~(topo : Spawn.topology) ~graph obs =
+  let nusers = Social_graph.nusers graph in
+  let rng = Rng.stream ~seed:cfg.w_seed ~index:cfg.w_index in
+  let st =
+    Workload.stream ~rng ~graph ~active_fraction:cfg.w_active
+      ~first_time:(base_time + cfg.w_index) ~time_stride:cfg.w_nworkers ()
+  in
+  let client_of addr =
+    match String.rindex_opt addr ':' with
+    | Some i ->
+      Net_client.create ~obs ~host:(String.sub addr 0 i)
+        ~port:(int_of_string (String.sub addr (i + 1) (String.length addr - i - 1)))
+        ()
+    | None -> invalid_arg ("bad server address " ^ addr)
+  in
+  (* destination table: homes first, computes after *)
+  let clients = Array.map client_of (Array.append topo.home_addrs topo.compute_addrs) in
+  let ndests = Array.length clients in
+  let hists = Array.map (Obs.histogram obs) classes in
+  let ops_done = Obs.counter obs "load.ops" in
+  let errors = Obs.counter obs "load.errors" in
+  let failed = Obs.counter obs "load.failed" in
+  let entries = Obs.counter obs "load.entries" in
+  let last_seen = Array.make nusers 0 in
+  let clock = ref base_time in
+  let scan_user u ~since =
+    let user = Social_graph.user_name u in
+    let lo = Printf.sprintf "t|%s|%s" user (Strkey.encode_time since) in
+    (topo.nhomes + Spawn.compute_of topo u, Message.Scan { lo; hi = Printf.sprintf "t|%s}" user })
+  in
+  let request_of op =
+    match op with
+    | Workload.Login u -> scan_user u ~since:(max 0 (!clock - cfg.w_login_window))
+    | Workload.Check u ->
+      let r = scan_user u ~since:(last_seen.(u) + 1) in
+      last_seen.(u) <- !clock;
+      r
+    | Workload.Subscribe (u, p) ->
+      ( Spawn.home_of topo u,
+        Message.Put
+          (Printf.sprintf "s|%s|%s" (Social_graph.user_name u) (Social_graph.user_name p), "1")
+      )
+    | Workload.Post (p, time) ->
+      clock := max !clock time;
+      let poster = Social_graph.user_name p in
+      ( Spawn.home_of topo p,
+        Message.Put
+          ( Printf.sprintf "p|%s|%s" poster (Strkey.encode_time time),
+            Twip.tweet_text poster time ) )
+  in
+  (* per-destination batch buffers, reused across rounds *)
+  let dest_reqs = Array.make ndests [] in
+  let dest_meta = Array.make ndests [] in
+  let t0 = Unix.gettimeofday () in
+  let issued = ref 0 in
+  while !issued < cfg.w_quota do
+    (* sleep to the next deadline, then gather everything already due *)
+    let due i = t0 +. (float_of_int i /. cfg.w_rate) in
+    if cfg.w_rate > 0.0 then begin
+      let wait = due !issued -. Unix.gettimeofday () in
+      if wait > 0.0 then Unix.sleepf wait
+    end;
+    let now = Unix.gettimeofday () in
+    Array.fill dest_reqs 0 ndests [];
+    Array.fill dest_meta 0 ndests [];
+    let n = ref 0 in
+    while
+      !issued < cfg.w_quota && !n < cfg.w_window
+      && (!n = 0 || cfg.w_rate <= 0.0 || due !issued <= now)
+    do
+      let op = Workload.next st in
+      let dest, req = request_of op in
+      let deadline = if cfg.w_rate > 0.0 then due !issued else now in
+      dest_reqs.(dest) <- req :: dest_reqs.(dest);
+      dest_meta.(dest) <- (class_of op, deadline) :: dest_meta.(dest);
+      incr issued;
+      incr n
+    done;
+    for dest = 0 to ndests - 1 do
+      match List.rev dest_reqs.(dest) with
+      | [] -> ()
+      | reqs -> (
+        let meta = List.rev dest_meta.(dest) in
+        let t_send = Unix.gettimeofday () in
+        match Net_client.pipeline clients.(dest) reqs with
+        | responses ->
+          let t_resp = Unix.gettimeofday () in
+          List.iter2
+            (fun (cls, deadline) resp ->
+              let start = if cfg.w_rate > 0.0 then deadline else t_send in
+              Obs.Histogram.observe hists.(cls)
+                (int_of_float ((t_resp -. start) *. 1e6));
+              Obs.Counter.incr ops_done;
+              match resp with
+              | Message.Error _ -> Obs.Counter.incr errors
+              | Message.Pairs pairs -> Obs.Counter.add entries (List.length pairs)
+              | _ -> ())
+            meta responses
+        | exception Net_client.Net_error _ ->
+          (* connection-level loss: the ops got no answer; the client
+             reconnects with backoff on the next round *)
+          Obs.Counter.add failed (List.length reqs))
+    done
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Array.iter Net_client.close clients;
+  elapsed

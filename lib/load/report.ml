@@ -1,0 +1,107 @@
+(** Worker → coordinator result channel.
+
+    Each load worker is a forked process; when its op quota is done it
+    writes one plain-text report down its inherited pipe and exits. The
+    format is line-oriented and self-delimiting:
+
+    {v
+    elapsed <seconds>
+    counter <name> <total>
+    hist <name> <dense histogram, Obs.Histogram.dense_to_string>
+    end
+    v}
+
+    Counters are summed across workers; histograms are shipped at full
+    bucket resolution so the coordinator's merge yields the percentiles
+    of the pooled samples ({!Obs.Histogram.merge}). *)
+
+type t = {
+  rp_elapsed : float;  (** worker wall time over its op loop, seconds *)
+  rp_counters : (string * int) list;
+  rp_hists : (string * Obs.Histogram.dense) list;
+  rp_error : string option;  (** a worker that died reports why *)
+}
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+(** Serialize the worker's registry (counters and histograms; gauges
+    are point-in-time noise for a finished worker) plus its elapsed
+    wall time. *)
+let write fd ~elapsed obs =
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "elapsed %.6f\n" elapsed;
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Obs.Counter n -> Printf.bprintf buf "counter %s %d\n" name n
+      | Obs.Gauge _ | Obs.Histogram _ -> ())
+    (Obs.snapshot obs);
+  List.iter
+    (fun (name, h) ->
+      Printf.bprintf buf "hist %s %s\n" name
+        (Obs.Histogram.dense_to_string (Obs.Histogram.dense h)))
+    (Obs.histograms obs);
+  Buffer.add_string buf "end\n";
+  write_all fd (Buffer.contents buf)
+
+(** Report a worker that failed outright. *)
+let write_error fd msg =
+  write_all fd
+    (Printf.sprintf "error %s\nend\n" (String.map (fun c -> if c = '\n' then ' ' else c) msg))
+
+(** Read one worker's report (to EOF or the [end] marker). Malformed
+    lines fail loudly — a truncated report means a worker crashed
+    mid-write and the run's numbers would be silently wrong. *)
+let read fd =
+  let buf = Buffer.create 1024 in
+  let b = Bytes.create 4096 in
+  let rec drain () =
+    match Unix.read fd b 0 (Bytes.length b) with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes buf b 0 n;
+      drain ()
+  in
+  drain ();
+  let elapsed = ref 0.0 in
+  let counters = ref [] in
+  let hists = ref [] in
+  let error = ref None in
+  let seen_end = ref false in
+  List.iter
+    (fun line ->
+      if line <> "" && not !seen_end then
+        match String.index_opt line ' ' with
+        | None when line = "end" -> seen_end := true
+        | None -> failwith (Printf.sprintf "Load report: bad line %S" line)
+        | Some sp -> (
+          let tag = String.sub line 0 sp in
+          let rest = String.sub line (sp + 1) (String.length line - sp - 1) in
+          match tag with
+          | "elapsed" -> elapsed := float_of_string rest
+          | "error" -> error := Some rest
+          | "counter" -> (
+            match String.split_on_char ' ' rest with
+            | [ name; v ] -> counters := (name, int_of_string v) :: !counters
+            | _ -> failwith (Printf.sprintf "Load report: bad counter %S" line))
+          | "hist" -> (
+            match String.index_opt rest ' ' with
+            | Some i ->
+              let name = String.sub rest 0 i in
+              let dense =
+                Obs.Histogram.dense_of_string
+                  (String.sub rest (i + 1) (String.length rest - i - 1))
+              in
+              hists := (name, dense) :: !hists
+            | None -> failwith (Printf.sprintf "Load report: bad hist %S" line))
+          | _ -> failwith (Printf.sprintf "Load report: bad tag %S" line)))
+    (String.split_on_char '\n' (Buffer.contents buf));
+  if not !seen_end then failwith "Load report: truncated (worker died mid-write?)";
+  { rp_elapsed = !elapsed; rp_counters = List.rev !counters; rp_hists = List.rev !hists;
+    rp_error = !error }

@@ -1,0 +1,154 @@
+(** Live-cluster topology for the load harness.
+
+    The harness owns its cluster: it forks [homes] plain [pequod_server]
+    processes each owning a contiguous user-id slice of the base tables
+    ([s] subscriptions, [p] posts), plus [computes] servers running the
+    Twip timeline join with [--partition] routes at the homes. Ports are
+    ephemeral ([--port 0], read back from the server's "listening on
+    port N" line), so any number of harness runs coexist on one box.
+
+    Key routing mirrors the servers' range routes arithmetically: user
+    [u] of [n] lives on home [u*homes/n], and reads for [u]'s timeline
+    go to compute [u mod computes], so every compute materializes a
+    disjoint slice of timelines. *)
+
+module Social_graph = Pequod_apps.Social_graph
+
+type topology = {
+  nusers : int;
+  nhomes : int;
+  ncomputes : int;
+  chunk : int array;  (** home h owns users [chunk.(h), chunk.(h+1)) *)
+  home_addrs : string array;
+  compute_addrs : string array;
+}
+
+let chunk_bounds ~nusers ~nhomes = Array.init (nhomes + 1) (fun h -> h * nusers / nhomes)
+
+let home_of topo u = min (topo.nhomes - 1) (u * topo.nhomes / topo.nusers)
+let compute_of topo u = u mod topo.ncomputes
+
+(** [--partition] specs for one compute server: each home's user slice
+    of tables [s] and [p]; the first slice opens at [T|] and the last
+    closes at [T}] so the routes cover the whole table (a gap would
+    surface as [Deferred] scans). *)
+let partition_specs ~nusers ~home_addrs =
+  let nhomes = Array.length home_addrs in
+  let chunk = chunk_bounds ~nusers ~nhomes in
+  List.concat_map
+    (fun table ->
+      List.init nhomes (fun h ->
+          let lo =
+            if h = 0 then table ^ "|" else table ^ "|" ^ Social_graph.user_name chunk.(h)
+          in
+          let hi =
+            if h = nhomes - 1 then table ^ "}"
+            else table ^ "|" ^ Social_graph.user_name chunk.(h + 1)
+          in
+          Printf.sprintf "%s:%s:%s@%s" table lo hi home_addrs.(h)))
+    [ "s"; "p" ]
+
+(* ------------------------------------------------------------------ *)
+(* Server processes                                                    *)
+
+type cluster = {
+  topology : topology;
+  procs : (int * Unix.file_descr) list;  (* pid, stdout pipe *)
+}
+
+let default_server_exe () =
+  (* pequod_load and pequod_server are built into the same bin/ dir *)
+  let beside = Filename.concat (Filename.dirname Sys.executable_name) "pequod_server.exe" in
+  let candidates =
+    [ beside; "_build/default/bin/pequod_server.exe"; "bin/pequod_server.exe" ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some exe -> exe
+  | None -> failwith "pequod_server.exe not found; build it or pass --server-exe"
+
+let spawn_server exe args =
+  let r, w = Unix.pipe () in
+  let pid = Unix.create_process exe (Array.of_list (exe :: args)) Unix.stdin w Unix.stderr in
+  Unix.close w;
+  (pid, r)
+
+let digits_after s prefix =
+  let rec find i =
+    if i + String.length prefix > String.length s then None
+    else if String.sub s i (String.length prefix) = prefix then Some (i + String.length prefix)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+    let stop = ref start in
+    while !stop < String.length s && (match s.[!stop] with '0' .. '9' -> true | _ -> false) do
+      incr stop
+    done;
+    if !stop > start then int_of_string_opt (String.sub s start (!stop - start)) else None
+
+let read_port fd =
+  let acc = Buffer.create 256 in
+  let b = Bytes.create 1024 in
+  let deadline = Unix.gettimeofday () +. 20.0 in
+  let rec go () =
+    match digits_after (Buffer.contents acc) "listening on port " with
+    | Some port -> port
+    | None ->
+      if Unix.gettimeofday () > deadline then failwith "server did not report its port";
+      (match Unix.select [ fd ] [] [] 1.0 with
+      | [ _ ], _, _ ->
+        let n = Unix.read fd b 0 (Bytes.length b) in
+        if n = 0 then failwith "server exited before reporting its port";
+        Buffer.add_subbytes acc b 0 n
+      | _ -> ());
+      go ()
+  in
+  go ()
+
+let timeline_join =
+  "t|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time>"
+
+(** Fork the cluster and wait for every server to report its port.
+    [memory_limit] is passed to the compute servers only (homes are the
+    system of record for this run). *)
+let start ?server_exe ?memory_limit ~nusers ~nhomes ~ncomputes () =
+  if nhomes < 1 || ncomputes < 1 then failwith "need at least one home and one compute";
+  let exe = match server_exe with Some e -> e | None -> default_server_exe () in
+  let procs = ref [] in
+  let boot args =
+    let pid, out = spawn_server exe args in
+    procs := (pid, out) :: !procs;
+    read_port out
+  in
+  let home_addrs =
+    Array.init nhomes (fun _ -> Printf.sprintf "127.0.0.1:%d" (boot [ "--port"; "0" ]))
+  in
+  let specs = partition_specs ~nusers ~home_addrs in
+  let compute_addrs =
+    Array.init ncomputes (fun _ ->
+        let args =
+          [ "--port"; "0"; "--join"; timeline_join;
+            (* the heartbeat costs the homes a walk of the compute's
+               live subscriptions, which grow with the working set *)
+            "--sub-check-every"; "10" ]
+          @ List.concat_map (fun spec -> [ "--partition"; spec ]) specs
+          @ (match memory_limit with
+            | Some b -> [ "--memory-limit"; string_of_int b ]
+            | None -> [])
+        in
+        Printf.sprintf "127.0.0.1:%d" (boot args))
+  in
+  let topology =
+    { nusers; nhomes; ncomputes; chunk = chunk_bounds ~nusers ~nhomes; home_addrs;
+      compute_addrs }
+  in
+  { topology; procs = !procs }
+
+let shutdown cluster =
+  List.iter
+    (fun (pid, out) ->
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+      try Unix.close out with Unix.Unix_error _ -> ())
+    cluster.procs

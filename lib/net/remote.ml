@@ -198,9 +198,14 @@ let attach ?(check_every = 2.0) ~engine ~self_addr ~routes () =
                 (Message.Sub_check { subscriber = self_addr })
             with
             | Message.Sub_ranges live ->
+              (* hash the home's answer: a compute tracks one range per
+                 fetched timeline piece, so [keys] and [live] both grow
+                 with the working set and a List.mem join is quadratic *)
+              let live_set = Hashtbl.create (1 + List.length live) in
+              List.iter (fun k -> Hashtbl.replace live_set k ()) live;
               List.iter
                 (fun ((table, lo, hi) as key) ->
-                  if not (List.mem key live) then begin
+                  if not (Hashtbl.mem live_set key) then begin
                     Obs.Counter.force_add m_sub_lost 1;
                     Log.warn (fun m ->
                         m "subscription %s[%s,%s) lost at %s; refetching" table lo hi addr);

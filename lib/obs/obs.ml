@@ -131,6 +131,83 @@ module Histogram = struct
     h.h_max <- 0
 
   let name h = h.h_name
+
+  (* ---------------------------------------------------------------- *)
+  (* Dense snapshots: the full bucket-resolution state, as shipped
+     between processes and merged for cluster-wide percentiles. The
+     p50/p95/p99 in [snapshot] cannot be combined after the fact;
+     bucket counts can — merging is exact at bucket resolution. *)
+
+  type dense = {
+    d_buckets : int array;
+    d_count : int;
+    d_sum : int;
+    d_min : int;
+    d_max : int;
+  }
+
+  let dense h =
+    { d_buckets = Array.copy h.h_buckets; d_count = h.h_count; d_sum = h.h_sum;
+      d_min = h.h_min; d_max = h.h_max }
+
+  let merge a b =
+    if a.d_count = 0 then b
+    else if b.d_count = 0 then a
+    else
+      { d_buckets = Array.init nbuckets (fun i -> a.d_buckets.(i) + b.d_buckets.(i));
+        d_count = a.d_count + b.d_count;
+        d_sum = a.d_sum + b.d_sum;
+        d_min = min a.d_min b.d_min;
+        d_max = max a.d_max b.d_max }
+
+  (* aggregation is harness work, never gated on [enabled] *)
+  let absorb h d =
+    if d.d_count > 0 then begin
+      Array.iteri (fun i c -> h.h_buckets.(i) <- h.h_buckets.(i) + c) d.d_buckets;
+      if h.h_count = 0 || d.d_min < h.h_min then h.h_min <- d.d_min;
+      if d.d_max > h.h_max then h.h_max <- d.d_max;
+      h.h_count <- h.h_count + d.d_count;
+      h.h_sum <- h.h_sum + d.d_sum
+    end
+
+  (* compact single-line wire form for worker->coordinator pipes:
+     "count sum min max idx:n,idx:n,..." with empty buckets elided *)
+  let dense_to_string d =
+    let buf = Buffer.create 128 in
+    Printf.bprintf buf "%d %d %d %d " d.d_count d.d_sum d.d_min d.d_max;
+    let first = ref true in
+    Array.iteri
+      (fun i c ->
+        if c > 0 then begin
+          if not !first then Buffer.add_char buf ',';
+          first := false;
+          Printf.bprintf buf "%d:%d" i c
+        end)
+      d.d_buckets;
+    Buffer.contents buf
+
+  let dense_of_string s =
+    let fail () = failwith ("Obs.Histogram.dense_of_string: malformed " ^ s) in
+    let int_of x = match int_of_string_opt x with Some v -> v | None -> fail () in
+    match String.split_on_char ' ' (String.trim s) with
+    | count :: sum :: mn :: mx :: rest ->
+      let buckets = Array.make nbuckets 0 in
+      (match rest with
+      | [] | [ "" ] -> ()
+      | [ spec ] ->
+        List.iter
+          (fun pair ->
+            match String.split_on_char ':' pair with
+            | [ i; c ] ->
+              let i = int_of i in
+              if i < 0 || i >= nbuckets then fail ();
+              buckets.(i) <- int_of c
+            | _ -> fail ())
+          (String.split_on_char ',' spec)
+      | _ -> fail ());
+      { d_buckets = buckets; d_count = int_of count; d_sum = int_of sum;
+        d_min = int_of mn; d_max = int_of mx }
+    | _ -> fail ()
 end
 
 (* ------------------------------------------------------------------ *)
@@ -212,6 +289,12 @@ let counter_value t name =
   match Hashtbl.find_opt t.metrics name with
   | Some (M_counter c) -> Counter.value c
   | _ -> 0
+
+let histograms t =
+  Hashtbl.fold
+    (fun name m acc -> match m with M_histogram h -> (name, h) :: acc | _ -> acc)
+    t.metrics []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 type value =
   | Counter of int

@@ -116,6 +116,39 @@ module Histogram : sig
   val quantile : t -> float -> int
 
   val name : t -> string
+
+  (** {2 Cross-process aggregation}
+
+      The p50/p95/p99 of a {!snapshot} cannot be combined across
+      processes; bucket counts can. A [dense] value is the full
+      bucket-resolution state of a histogram: workers ship theirs over
+      a pipe ({!dense_to_string}/{!dense_of_string}), the coordinator
+      {!merge}s them and {!absorb}s the result into a registry
+      histogram, whose {!snapshot} then reports percentiles of the
+      pooled samples, exact at bucket resolution. *)
+
+  (** A mergeable full-resolution histogram snapshot. *)
+  type dense
+
+  (** Freeze the current state (copies the buckets). *)
+  val dense : t -> dense
+
+  (** Pool two dense snapshots: bucket counts, counts and sums add;
+      min/max combine. Exact — merging then reading quantiles equals
+      reading quantiles of the pooled samples, at bucket resolution. *)
+  val merge : dense -> dense -> dense
+
+  (** Add every sample summarized by the dense snapshot into the
+      histogram. Aggregation is harness work: never gated on
+      {!enabled}. *)
+  val absorb : t -> dense -> unit
+
+  (** Compact single-line encoding (for worker pipes). *)
+  val dense_to_string : dense -> string
+
+  (** Inverse of {!dense_to_string}.
+      @raise Failure on malformed input. *)
+  val dense_of_string : string -> dense
 end
 
 (** [counter t name] returns the counter registered under [name],
@@ -132,6 +165,11 @@ val histogram : t -> string -> Histogram.t
 (** Current total of the counter named [name]; 0 when absent (does not
     create it). *)
 val counter_value : t -> string -> int
+
+(** Every registered histogram, sorted by name — the aggregation
+    surface: a worker walks this to ship dense snapshots to its
+    coordinator. *)
+val histograms : t -> (string * Histogram.t) list
 
 (** {2 Snapshots} *)
 

@@ -1,0 +1,118 @@
+(* Stamped benchmark JSON: shared by bench/micro.ml (BENCH_micro.json)
+   and the cluster load harness (BENCH_cluster.json). See the .mli. *)
+
+let git_commit () =
+  match Unix.open_process_in "git describe --always --dirty 2>/dev/null" with
+  | exception _ -> "unknown"
+  | ic ->
+    let line = try input_line ic with End_of_file -> "unknown" in
+    (match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown")
+
+let iso_date () =
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | Obj of (string * json) list
+  | Arr of json list
+  | Raw of string
+
+let float_str v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.6g" v
+
+let rec add_json buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float v -> Buffer.add_string buf (float_str v)
+  | String s ->
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (json_escape s);
+    Buffer.add_char buf '"'
+  | Raw s -> Buffer.add_string buf s
+  | Arr items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ',';
+        add_json buf item)
+      items;
+    Buffer.add_char buf ']'
+  | Obj members ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (name, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (json_escape name);
+        Buffer.add_string buf "\":";
+        add_json buf v)
+      members;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  add_json buf v;
+  Buffer.contents buf
+
+(* top level is pretty-printed one member per line, nested values are
+   compact: the files stay diffable without a JSON reformatter *)
+let write_file ~path ~benchmark ?(derived = []) members =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc "{\n";
+      let all =
+        [ ("benchmark", String benchmark); ("commit", String (git_commit ()));
+          ("date", String (iso_date ())) ]
+        @ (if derived = [] then []
+           else [ ("derived", Obj (List.map (fun (n, v) -> (n, Float v)) derived)) ])
+        @ members
+      in
+      let n = List.length all in
+      List.iteri
+        (fun i (name, v) ->
+          let pretty =
+            (* one nested level expanded for the big members (results,
+               per-class latencies); deeper values stay compact *)
+            match v with
+            | Obj inner when inner <> [] ->
+              let m = List.length inner in
+              "{\n"
+              ^ String.concat ""
+                  (List.mapi
+                     (fun j (k, iv) ->
+                       Printf.sprintf "    \"%s\": %s%s\n" (json_escape k) (to_string iv)
+                         (if j < m - 1 then "," else ""))
+                     inner)
+              ^ "  }"
+            | v -> to_string v
+          in
+          Printf.fprintf oc "  \"%s\": %s%s\n" (json_escape name) pretty
+            (if i < n - 1 then "," else ""))
+        all;
+      output_string oc "}\n")

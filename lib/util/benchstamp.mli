@@ -1,0 +1,43 @@
+(** Provenance-stamped benchmark JSON files.
+
+    Every recorded perf artifact ([BENCH_micro.json] from the
+    microbenchmarks, [BENCH_cluster.json] from the live-cluster load
+    harness) goes through this one writer, so they share a schema spine
+    that cannot drift: a ["benchmark"] name, the ["commit"] that
+    produced the numbers, an ISO-8601 ["date"], an optional ["derived"]
+    object of headline ratios, and then benchmark-specific members.
+    Regression tooling can diff any two stamped files knowing where the
+    provenance lives. *)
+
+(** [git describe --always --dirty] of the working tree, or ["unknown"]
+    outside a repository. *)
+val git_commit : unit -> string
+
+(** Current UTC time, ISO 8601 ([2026-01-31T12:34:56Z]). *)
+val iso_date : unit -> string
+
+(** Escape a string for inclusion inside JSON quotes. *)
+val json_escape : string -> string
+
+(** The JSON subset benchmark files need. [Raw] splices an
+    already-encoded value verbatim (e.g. an {!Obs.json_of_snapshot}
+    line). *)
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | Obj of (string * json) list
+  | Arr of json list
+  | Raw of string
+
+(** Render a value, floats as shortest-faithful [%.6g]. *)
+val to_string : json -> string
+
+(** Write [{"benchmark": name, "commit": .., "date": .., "derived":
+    {..}, members..}] to [path], pretty-printed two-space-indented at
+    the top level. [derived] is omitted when empty. *)
+val write_file :
+  path:string -> benchmark:string -> ?derived:(string * float) list ->
+  (string * json) list -> unit

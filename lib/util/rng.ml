@@ -24,6 +24,27 @@ let create seed =
   let s3 = splitmix64 state in
   { s0; s1; s2; s3 }
 
+(** [stream ~seed ~index] is the [index]-th member of a family of
+    independent generators derived from one seed — a pure function of
+    [(seed, index)], unlike {!split}, which advances the parent. The
+    load harness gives worker [i] of [n] the stream [~index:i]; the same
+    seed and worker count therefore reproduce identical per-worker op
+    sequences across runs and machines. *)
+let stream ~seed ~index =
+  if index < 0 then invalid_arg "Rng.stream: negative index";
+  let state = ref (Int64.of_int seed) in
+  let hashed = splitmix64 state in
+  (* jump the splitmix sequence by a per-index multiple of the golden
+     gamma so distinct indices land in well-separated subsequences *)
+  let state =
+    ref (Int64.add hashed (Int64.mul (Int64.of_int (index + 1)) 0x9E3779B97F4A7C15L))
+  in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
 (** Derive an independent stream: used to give each workload component its
     own generator so adding draws to one does not perturb another. *)
 let split t =

@@ -7,8 +7,15 @@ type t
 (** A generator seeded from one integer (via splitmix64). *)
 val create : int -> t
 
-(** Derive an independent stream. *)
+(** Derive an independent stream (advances the parent). *)
 val split : t -> t
+
+(** [stream ~seed ~index] is the [index]-th of a family of independent
+    generators derived from one seed — a pure function of the pair, so
+    per-worker streams are reproducible across runs regardless of the
+    order workers start in. Raises [Invalid_argument] on a negative
+    index. *)
+val stream : seed:int -> index:int -> t
 
 val next_int64 : t -> int64
 

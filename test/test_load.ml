@@ -1,0 +1,238 @@
+(* Load-harness correctness: deterministic per-worker streams, exact
+   histogram pooling, and the generator's scaling contract (a 1M-user
+   graph is four flat CSR arrays, Zipf-skewed). *)
+
+module Social_graph = Pequod_apps.Social_graph
+module Workload = Pequod_apps.Workload
+
+let check_bool = Test_util.check_bool
+let check_int = Test_util.check_int
+
+(* ------------------------------------------------------------------ *)
+(* Rng.stream: pure per-worker substream derivation                    *)
+
+let draws rng n = List.init n (fun _ -> Rng.int rng 1_000_000)
+
+let test_stream_deterministic () =
+  let a = draws (Rng.stream ~seed:42 ~index:3) 1000 in
+  let b = draws (Rng.stream ~seed:42 ~index:3) 1000 in
+  check_bool "same (seed, index) => same stream" true (a = b)
+
+let test_stream_independent () =
+  let a = draws (Rng.stream ~seed:42 ~index:0) 1000 in
+  let b = draws (Rng.stream ~seed:42 ~index:1) 1000 in
+  let c = draws (Rng.stream ~seed:43 ~index:0) 1000 in
+  check_bool "neighbouring workers differ" true (a <> b);
+  check_bool "different roots differ" true (a <> c);
+  (* unlike Rng.split, derivation is order-free: drawing from worker 0
+     first must not perturb worker 1's stream *)
+  let r0 = Rng.stream ~seed:42 ~index:0 in
+  ignore (draws r0 17);
+  check_bool "index 1 unaffected by index 0 usage" true
+    (draws (Rng.stream ~seed:42 ~index:1) 1000 = b)
+
+(* A whole worker fleet's op sequence is a function of (seed, nworkers)
+   alone — the property the cluster harness leans on for reproducible
+   runs. *)
+let test_fleet_deterministic () =
+  let graph = Social_graph.generate ~rng:(Rng.create 7) ~nusers:500 ~avg_follows:5 () in
+  let worker_ops ~seed ~index ~nworkers n =
+    let st =
+      Workload.stream
+        ~rng:(Rng.stream ~seed ~index)
+        ~graph ~first_time:(1_000_000 + index) ~time_stride:nworkers ()
+    in
+    List.init n (fun _ -> Workload.next st)
+  in
+  for i = 0 to 2 do
+    check_bool
+      (Printf.sprintf "worker %d replays identically" i)
+      true
+      (worker_ops ~seed:11 ~index:i ~nworkers:3 500 = worker_ops ~seed:11 ~index:i ~nworkers:3 500)
+  done;
+  check_bool "workers draw distinct streams" true
+    (worker_ops ~seed:11 ~index:0 ~nworkers:3 500 <> worker_ops ~seed:11 ~index:1 ~nworkers:3 500)
+
+(* ------------------------------------------------------------------ *)
+(* Histogram merge                                                     *)
+
+(* skewed sample: mostly small with a heavy tail, like latencies *)
+let sample rng = let v = Rng.int rng 1_000 in 10 + (v * v / 37)
+
+let test_hist_merge_pooled () =
+  Obs.enabled := true;
+  let obs = Obs.create () in
+  let a = Obs.histogram obs "a" in
+  let b = Obs.histogram obs "b" in
+  let pooled = Obs.histogram obs "pooled" in
+  let rng = Rng.create 99 in
+  let all = ref [] in
+  for i = 0 to 9_999 do
+    let v = sample rng in
+    all := v :: !all;
+    Obs.Histogram.observe (if i land 1 = 0 then a else b) v;
+    Obs.Histogram.observe pooled v
+  done;
+  let merged = Obs.Histogram.merge (Obs.Histogram.dense a) (Obs.Histogram.dense b) in
+  let m = Obs.histogram obs "merged" in
+  Obs.Histogram.absorb m merged;
+  (* merged-then-read must equal pooled-then-read, exactly: the two
+     histograms saw the same multiset of samples *)
+  let sm = Obs.Histogram.snapshot m and sp = Obs.Histogram.snapshot pooled in
+  check_int "count" sp.Obs.Histogram.count sm.Obs.Histogram.count;
+  check_int "sum" sp.Obs.Histogram.sum sm.Obs.Histogram.sum;
+  check_int "min" sp.Obs.Histogram.min sm.Obs.Histogram.min;
+  check_int "max" sp.Obs.Histogram.max sm.Obs.Histogram.max;
+  check_int "p50" sp.Obs.Histogram.p50 sm.Obs.Histogram.p50;
+  check_int "p95" sp.Obs.Histogram.p95 sm.Obs.Histogram.p95;
+  check_int "p99" sp.Obs.Histogram.p99 sm.Obs.Histogram.p99;
+  (* ... and both must sit within bucket resolution (~12% relative
+     error above 16, exact below) of the true sample percentiles *)
+  let sorted = Array.of_list !all in
+  Array.sort compare sorted;
+  let true_q q = sorted.(min (Array.length sorted - 1) (int_of_float (q *. 10_000.))) in
+  let within name est truth =
+    let tol = if truth < 16 then 0 else 3 + (truth / 6) in
+    check_bool
+      (Printf.sprintf "%s %d within %d of true %d" name est tol truth)
+      true
+      (abs (est - truth) <= tol)
+  in
+  within "p50" sm.Obs.Histogram.p50 (true_q 0.50);
+  within "p95" sm.Obs.Histogram.p95 (true_q 0.95);
+  within "p99" sm.Obs.Histogram.p99 (true_q 0.99)
+
+let test_hist_merge_empty () =
+  Obs.enabled := true;
+  let obs = Obs.create () in
+  let a = Obs.histogram obs "a" in
+  Obs.Histogram.observe a 5;
+  Obs.Histogram.observe a 500;
+  let empty = Obs.Histogram.dense (Obs.histogram obs "empty") in
+  let d = Obs.Histogram.dense a in
+  let out = Obs.histogram obs "out" in
+  Obs.Histogram.absorb out (Obs.Histogram.merge d empty);
+  Obs.Histogram.absorb out (Obs.Histogram.merge empty empty);
+  let s = Obs.Histogram.snapshot out in
+  check_int "merge with empty keeps count" 2 s.Obs.Histogram.count;
+  check_int "merge with empty keeps sum" 505 s.Obs.Histogram.sum
+
+let test_dense_roundtrip () =
+  Obs.enabled := true;
+  let obs = Obs.create () in
+  let h = Obs.histogram obs "h" in
+  let rng = Rng.create 5 in
+  for _ = 1 to 1000 do
+    Obs.Histogram.observe h (sample rng)
+  done;
+  let d = Obs.Histogram.dense h in
+  let s = Obs.Histogram.dense_to_string d in
+  check_bool "dense encoding round-trips" true
+    (Obs.Histogram.dense_to_string (Obs.Histogram.dense_of_string s) = s);
+  check_bool "malformed dense rejected" true
+    (match Obs.Histogram.dense_of_string "not a histogram" with
+    | exception Failure _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Streaming workload vs materialized                                  *)
+
+let test_stream_matches_generate () =
+  let mkgraph () = Social_graph.generate ~rng:(Rng.create 3) ~nusers:800 ~avg_follows:6 () in
+  let total_ops = 5_000 in
+  let w =
+    Workload.generate ~rng:(Rng.create 21) ~graph:(mkgraph ()) ~active_fraction:0.6
+      ~total_ops ()
+  in
+  let st =
+    Workload.stream ~rng:(Rng.create 21) ~graph:(mkgraph ()) ~active_fraction:0.6 ()
+  in
+  let streamed = Array.init total_ops (fun _ -> Workload.next st) in
+  check_bool "stream and generate agree op-for-op" true (w.Workload.ops = streamed);
+  (* the materialized op-class tallies come from the same counters *)
+  check_int "posts counted" w.Workload.nposts
+    (Array.fold_left
+       (fun n op -> match op with Workload.Post _ -> n + 1 | _ -> n)
+       0 streamed);
+  check_int "checks counted" w.Workload.nchecks
+    (Array.fold_left
+       (fun n op -> match op with Workload.Check _ -> n + 1 | _ -> n)
+       0 streamed)
+
+(* ------------------------------------------------------------------ *)
+(* Generator at scale                                                  *)
+
+let test_million_user_memory () =
+  let nusers = 1_000_000 and avg_follows = 4 in
+  Gc.compact ();
+  let live0 = (Gc.stat ()).Gc.live_words in
+  let g = Social_graph.generate ~rng:(Rng.create 1) ~nusers ~avg_follows () in
+  Gc.compact ();
+  let live1 = (Gc.stat ()).Gc.live_words in
+  let edges = Social_graph.edge_count g in
+  check_bool "graph has ~avg_follows * nusers edges" true
+    (edges > 3 * nusers && edges < 7 * nusers);
+  (* the CSR contract: the whole graph is 2 edge arrays + 2 index
+     arrays, nothing per-user *)
+  check_int "memory model is exactly the four arrays"
+    ((2 * (nusers + 1 + 1)) + (2 * (edges + 1)) + 6)
+    (Social_graph.memory_words g);
+  let delta = live1 - live0 in
+  let slack = 262_144 (* test scaffolding, closures, Gc noise *) in
+  check_bool
+    (Printf.sprintf "live heap grew by %d words for a %d-word graph" delta
+       (Social_graph.memory_words g))
+    true
+    (delta <= Social_graph.memory_words g + slack);
+  (* O(1) accessors agree with the materialized views *)
+  check_int "follow_count matches slice" (Array.length (Social_graph.following g 0))
+    (Social_graph.follow_count g 0);
+  ignore (Sys.opaque_identity g)
+
+let test_zipf_tail () =
+  let nusers = 100_000 in
+  let g = Social_graph.generate ~rng:(Rng.create 2) ~nusers ~avg_follows:8 () in
+  let edges = Social_graph.edge_count g in
+  (* low ids are high Zipf ranks: audience decays along the id axis *)
+  let fc = Social_graph.follower_count g in
+  check_bool
+    (Printf.sprintf "rank 0 (%d) >> rank 1000 (%d)" (fc 0) (fc 1000))
+    true
+    (fc 0 > 4 * fc 1000 && fc 1000 > fc 50_000);
+  (* top 1% of users hold the majority of the audience: for Zipf s=1,
+     H(n/100)/H(n) ~ 0.6 of all in-edges at this scale *)
+  let top = ref 0 in
+  for p = 0 to (nusers / 100) - 1 do
+    top := !top + fc p
+  done;
+  let share = float_of_int !top /. float_of_int edges in
+  check_bool
+    (Printf.sprintf "top-1%% audience share %.3f in [0.40, 0.85]" share)
+    true
+    (share >= 0.40 && share <= 0.85);
+  (* every reverse edge mirrors a forward edge *)
+  let ok = ref true in
+  for u = 0 to 499 do
+    Social_graph.iter_following g u (fun p ->
+        let found = ref false in
+        Social_graph.iter_followers g p (fun f -> if f = u then found := true);
+        if not !found then ok := false)
+  done;
+  check_bool "reverse CSR mirrors forward edges" true !ok
+
+let () =
+  Alcotest.run "load"
+    [ ( "rng-stream",
+        [ Alcotest.test_case "deterministic" `Quick test_stream_deterministic;
+          Alcotest.test_case "independent" `Quick test_stream_independent;
+          Alcotest.test_case "fleet-deterministic" `Quick test_fleet_deterministic ] );
+      ( "histogram-merge",
+        [ Alcotest.test_case "pooled" `Quick test_hist_merge_pooled;
+          Alcotest.test_case "empty" `Quick test_hist_merge_empty;
+          Alcotest.test_case "dense-roundtrip" `Quick test_dense_roundtrip ] );
+      ( "workload",
+        [ Alcotest.test_case "stream-matches-generate" `Quick test_stream_matches_generate ]
+      );
+      ( "graph-scale",
+        [ Alcotest.test_case "million-user-memory" `Slow test_million_user_memory;
+          Alcotest.test_case "zipf-tail" `Quick test_zipf_tail ] ) ]

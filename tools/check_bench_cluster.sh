@@ -1,0 +1,31 @@
+#!/bin/sh
+# Assert that a pequod_load run produced a complete BENCH_cluster.json:
+# non-empty, provenance-stamped, and carrying every key the cross-PR
+# tracking reads (qps, per-op-class latency percentiles, subscription
+# traffic share). Usage: check_bench_cluster.sh [path]
+set -eu
+
+f="${1:-BENCH_cluster.json}"
+
+if [ ! -s "$f" ]; then
+  echo "FAIL: $f missing or empty" >&2
+  exit 1
+fi
+
+status=0
+for key in '"benchmark"' '"cluster"' '"commit"' '"date"' '"qps"' \
+  '"ops_completed"' '"subscription_share"' '"latency_us"' \
+  '"login"' '"check"' '"subscribe"' '"post"' '"p50"' '"p95"' '"p99"'; do
+  if ! grep -q "$key" "$f"; then
+    echo "FAIL: $f lacks $key" >&2
+    status=1
+  fi
+done
+
+if grep -q '"ops_completed": 0' "$f"; then
+  echo "FAIL: $f reports zero completed ops" >&2
+  status=1
+fi
+
+[ "$status" -eq 0 ] && echo "OK: $f has all expected keys"
+exit "$status"
