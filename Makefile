@@ -35,20 +35,32 @@ LOAD_OPS ?= 1000000
 LOAD_WORKERS ?= 4
 LOAD_HOMES ?= 2
 LOAD_COMPUTES ?= 2
+LOAD_SHARDS ?= 0
 LOAD_RATE ?= 0
 
 cluster-bench: ; dune exec bin/pequod_load.exe -- \
 	--users $(LOAD_USERS) --ops $(LOAD_OPS) --workers $(LOAD_WORKERS) \
-	--homes $(LOAD_HOMES) --computes $(LOAD_COMPUTES) --rate $(LOAD_RATE)
+	--homes $(LOAD_HOMES) --computes $(LOAD_COMPUTES) --shards $(LOAD_SHARDS) \
+	--rate $(LOAD_RATE)
 
 # CI smoke for the same path: a tiny graph and op quota through a real
 # 3-server cluster (2 homes + 1 compute) and 2 worker processes, then
-# assert BENCH_cluster.json came out whole; timeout-bounded so a wedged
-# server cannot hang CI
+# the same workload against the shard-per-core server at every point of
+# the shard matrix (a --shards N run >= 2 also measures its --shards 1
+# baseline pass); each BENCH json is asserted whole, and each run is
+# timeout-bounded so a wedged server cannot hang CI
 cluster-smoke:
 	PEQUOD_LOAD_QUOTA=2000 timeout 180 dune exec bin/pequod_load.exe -- \
 		--users 10000 --ops 1000000 --workers 2 --homes 2 --computes 1
 	sh tools/check_bench_cluster.sh BENCH_cluster.json
+	for n in 1 2 4; do \
+		PEQUOD_LOAD_QUOTA=2000 timeout 180 dune exec bin/pequod_load.exe -- \
+			--users 10000 --ops 1000000 --workers 2 --shards $$n \
+			--out BENCH_cluster_shards$$n.json \
+		&& sh tools/check_bench_cluster.sh BENCH_cluster_shards$$n.json \
+		|| exit 1; \
+	done
+	rm -f BENCH_cluster_shards1.json BENCH_cluster_shards2.json BENCH_cluster_shards4.json
 
 # model-based differential fuzzing: replay seeded op sequences against
 # the engine and the naive oracle (test/fuzz/).  Deterministic given

@@ -53,6 +53,16 @@ let computes =
     & opt int Coord.default.computes
     & info [ "computes" ] ~docv:"N" ~doc:"Compute servers (timeline join).")
 
+let shards =
+  Arg.(
+    value
+    & opt int Coord.default.shards
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Drive one shard-per-core server ($(b,pequod_server --shards) $(docv)) instead of \
+           the homes+computes cluster; 2 or more also measures a $(b,--shards 1) baseline \
+           pass for the speedup comparison. 0 (the default) keeps the classic topology.")
+
 let avg_follows =
   Arg.(
     value
@@ -121,17 +131,19 @@ let server_exe =
     & info [ "server-exe" ] ~docv:"PATH"
         ~doc:"pequod_server binary (default: found beside this binary or in _build).")
 
-let run users ops workers homes computes avg_follows active rate window login_window seed
-    preload_posts memory_limit out server_exe =
+let run users ops workers homes computes shards avg_follows active rate window login_window
+    seed preload_posts memory_limit out server_exe =
   if users < 1 then `Error (false, "--users must be positive")
   else if workers < 1 then `Error (false, "--workers must be positive")
   else if homes < 1 || computes < 1 then
     `Error (false, "need at least one home and one compute server")
+  else if shards < 0 || shards > users then
+    `Error (false, "--shards must be between 0 and --users")
   else if window < 1 then `Error (false, "--pipeline must be positive")
   else
     let cfg =
-      { Coord.users; ops; workers; homes; computes; avg_follows; active; rate; window;
-        login_window; seed; preload_posts; memory_limit; out; server_exe }
+      { Coord.users; ops; workers; homes; computes; shards; avg_follows; active; rate;
+        window; login_window; seed; preload_posts; memory_limit; out; server_exe }
     in
     `Ok (Coord.run cfg)
 
@@ -141,7 +153,8 @@ let cmd =
     (Cmd.info "pequod-load" ~doc)
     Term.(
       ret
-        (const run $ users $ ops $ workers $ homes $ computes $ avg_follows $ active $ rate
-       $ window $ login_window $ seed $ preload_posts $ memory_limit $ out $ server_exe))
+        (const run $ users $ ops $ workers $ homes $ computes $ shards $ avg_follows
+       $ active $ rate $ window $ login_window $ seed $ preload_posts $ memory_limit $ out
+       $ server_exe))
 
 let () = exit (Cmd.eval' cmd)

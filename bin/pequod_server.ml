@@ -27,6 +27,7 @@
 
 module Net_server = Pequod_server_lib.Net_server
 module Remote = Pequod_server_lib.Remote
+module Shard = Pequod_server_lib.Shard
 module Config = Pequod_core.Config
 
 open Cmdliner
@@ -127,6 +128,26 @@ let advertise =
           "Host peers use to push subscription updates back to this server (with the bound \
            port); set it when 127.0.0.1 is not reachable from the peers.")
 
+let shards =
+  Arg.(
+    value & opt int 0
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Shard-per-core mode: run $(docv) shared-nothing engine shards, each in its own \
+           domain with its own event loop and a disjoint slice of the keyspace, behind one \
+           acceptor on --port. 0 (the default) runs the classic single-loop server. \
+           Incompatible with --partition/--peer.")
+
+let shard_cuts =
+  Arg.(
+    value & opt_all string []
+    & info [ "shard-cut" ] ~docv:"CUT"
+        ~doc:
+          "Keyspace cut point between consecutive shards, in component space (the part of \
+           every key after \"TABLE|\"); give exactly $(b,--shards) minus one, strictly \
+           increasing (repeatable). Defaults interpolate evenly over printable strings — \
+           pass cuts matched to your key population for balanced shards.")
+
 let sub_check_every =
   Arg.(
     value & opt float 2.0
@@ -137,10 +158,12 @@ let sub_check_every =
            should slow it down.")
 
 let main port joins memory_limit data_dir sync sync_interval snapshot_every wal_max_bytes
-    metrics_dump verbose peers partitions advertise sub_check_every =
+    metrics_dump verbose peers partitions advertise sub_check_every shards shard_cuts =
   Fmt_tty.setup_std_outputs ();
   Logs.set_reporter (Logs_fmt.reporter ());
-  Logs.set_level (Some (if verbose then Logs.Info else Logs.App));
+  (* Warning, not App: Some App would filter out Logs.err itself, and a
+     server that refuses to start must say why *)
+  Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning));
   let config = Config.default () in
   (match data_dir with
   | None -> ()
@@ -151,6 +174,32 @@ let main port joins memory_limit data_dir sync sync_interval snapshot_every wal_
     p.Config.p_snapshot_every <- snapshot_every;
     p.Config.p_wal_max_bytes <- wal_max_bytes;
     config.Config.persist <- Some p);
+  if shards > 0 then begin
+    if partitions <> [] || peers <> [] then begin
+      Logs.err (fun m -> m "--shards is incompatible with --partition/--peer");
+      1
+    end
+    else
+      match
+        Shard.create ~config ?metrics_every:metrics_dump ~sub_check_every ~advertise
+          ?cuts:(match shard_cuts with [] -> None | cs -> Some cs)
+          ~port ~joins ~memory_limit ~shards ()
+      with
+      | t ->
+        Logs.app (fun m ->
+            m "pequod-server listening on port %d with %d joins, %d shards on ports [%s]%s"
+              (Shard.port t) (List.length joins) shards
+              (String.concat "; " (List.map string_of_int (Shard.shard_ports t)))
+              (match data_dir with
+              | Some dir -> Printf.sprintf " (durable in %s)" dir
+              | None -> ""));
+        Shard.run t;
+        0
+      | exception (Failure msg | Invalid_argument msg) ->
+        Logs.err (fun m -> m "%s" msg);
+        1
+  end
+  else
   match Remote.routes_of_specs ~peers partitions with
   | Error msg ->
     Logs.err (fun m -> m "%s" msg);
@@ -186,6 +235,6 @@ let cmd =
     Term.(
       const main $ port $ joins $ memory_limit $ data_dir $ sync_mode $ sync_interval
       $ snapshot_every $ wal_max_bytes $ metrics_dump $ verbose $ peers $ partitions
-      $ advertise $ sub_check_every)
+      $ advertise $ sub_check_every $ shards $ shard_cuts)
 
 let () = if not !Sys.interactive then exit (Cmd.eval' cmd)

@@ -31,6 +31,10 @@ type config = {
   workers : int;
   homes : int;
   computes : int;
+  shards : int;
+      (** > 0 replaces the homes+computes topology with one
+          shard-per-core server ([pequod_server --shards N]); >= 2 also
+          runs a [--shards 1] pass first for the speedup baseline *)
   avg_follows : int;
   active : float;
   rate : float;  (** total target ops/sec; 0 = closed loop *)
@@ -44,7 +48,7 @@ type config = {
 }
 
 let default =
-  { users = 1_000_000; ops = 1_000_000; workers = 4; homes = 2; computes = 2;
+  { users = 1_000_000; ops = 1_000_000; workers = 4; homes = 2; computes = 2; shards = 0;
     avg_follows = 8; active = 0.7; rate = 0.0; window = 16; login_window = 1_000;
     seed = 42; preload_posts = 0; memory_limit = None; out = "BENCH_cluster.json";
     server_exe = None }
@@ -148,28 +152,27 @@ let fork_workers cfg ~ops ~topo ~graph =
 (* ------------------------------------------------------------------ *)
 (* Aggregation                                                         *)
 
-let peer_counters addrs =
-  List.concat_map
-    (fun addr ->
-      let c = client_of addr in
-      Fun.protect
-        ~finally:(fun () -> try Net_client.close c with _ -> ())
-        (fun () ->
-          match Net_client.call c Message.Stats_full with
-          | Message.Metrics metrics ->
-            List.filter_map
-              (fun (name, v) ->
-                match v with
-                | Obs.Counter n when String.length name >= 5 && String.sub name 0 5 = "peer."
-                  ->
-                  Some (name, n)
-                | _ -> None)
-              metrics
-          | _ -> []))
-    (Array.to_list addrs)
+let full_metrics addr =
+  let c = client_of addr in
+  Fun.protect
+    ~finally:(fun () -> try Net_client.close c with _ -> ())
+    (fun () ->
+      match Net_client.call c Message.Stats_full with
+      | Message.Metrics metrics -> metrics
+      | _ -> [])
 
-let sum_counter name pairs =
-  List.fold_left (fun acc (n, v) -> if n = name then acc + v else acc) 0 pairs
+let counter_value metrics name =
+  List.fold_left
+    (fun acc (n, v) -> match v with Obs.Counter c when n = name -> acc + c | _ -> acc)
+    0 metrics
+
+(* requests each shard's loop dispatched, off the sharded server's
+   merged Stats_full (shard.<i>.ops). A single shard runs no router and
+   publishes no shard.* split, so its whole net.rpcs is the one entry. *)
+let per_shard_ops metrics ~shards =
+  if shards <= 0 then [||]
+  else if shards = 1 then [| counter_value metrics "net.rpcs" |]
+  else Array.init shards (fun i -> counter_value metrics (Printf.sprintf "shard.%d.ops" i))
 
 (* ------------------------------------------------------------------ *)
 (* Run                                                                 *)
@@ -181,26 +184,42 @@ let hist_json snap =
       ("max", Benchstamp.Int snap.max); ("p50", Benchstamp.Int snap.p50);
       ("p95", Benchstamp.Int snap.p95); ("p99", Benchstamp.Int snap.p99) ]
 
-let run cfg =
-  let ops = effective_ops cfg in
-  let log fmt = Printf.eprintf (fmt ^^ "\n%!") in
-  log "pequod-load: generating %d-user graph (seed %d)..." cfg.users cfg.seed;
-  let graph =
-    Social_graph.generate ~rng:(Rng.create cfg.seed) ~nusers:cfg.users
-      ~avg_follows:cfg.avg_follows ()
-  in
-  log "pequod-load: %d users, %d edges (%d KiB CSR)" cfg.users (Social_graph.edge_count graph)
-    (Social_graph.memory_words graph * Sys.word_size / 8 / 1024);
+let log fmt = Printf.eprintf (fmt ^^ "\n%!")
+
+(* everything one measured pass produces; [run] compares passes *)
+type pass = {
+  ps_preload_rows : int;
+  ps_wall : float;
+  ps_worker_max : float;
+  ps_qps : float;
+  ps_agg : Obs.t;  (* merged worker registries *)
+  ps_fetch_in : int;
+  ps_notify_out : int;
+  ps_notify_in : int;
+  ps_sub_lost : int;
+  ps_share : float;
+  ps_per_shard_ops : int array;  (* empty outside shard-per-core mode *)
+}
+
+(** One measured pass: spawn the topology ([shards = 0] is the classic
+    homes+computes cluster, [> 0] one shard-per-core server), preload,
+    drive the op quota, merge the worker reports and read the servers'
+    counters back. The cluster is torn down before returning, so passes
+    never share cache state. *)
+let run_pass cfg ~graph ~ops ~shards =
   let cluster =
-    Spawn.start ?server_exe:cfg.server_exe ?memory_limit:cfg.memory_limit ~nusers:cfg.users
-      ~nhomes:cfg.homes ~ncomputes:cfg.computes ()
+    Spawn.start ?server_exe:cfg.server_exe ?memory_limit:cfg.memory_limit ~shards
+      ~nusers:cfg.users ~nhomes:cfg.homes ~ncomputes:cfg.computes ()
   in
   Fun.protect
     ~finally:(fun () -> Spawn.shutdown cluster)
     (fun () ->
       let topo = cluster.Spawn.topology in
-      log "pequod-load: cluster up (%d homes, %d computes); preloading graph..." cfg.homes
-        cfg.computes;
+      if shards > 0 then
+        log "pequod-load: shard-per-core server up (%d shards); preloading graph..." shards
+      else
+        log "pequod-load: cluster up (%d homes, %d computes); preloading graph..." cfg.homes
+          cfg.computes;
       let t_pre = Unix.gettimeofday () in
       let preload_rows = preload cfg ~topo ~graph in
       log "pequod-load: preloaded %d rows in %.1fs; driving %d ops over %d workers%s..."
@@ -239,84 +258,145 @@ let run cfg =
         reports;
       let total_ops = Obs.counter_value agg "load.ops" in
       let qps = if wall > 0.0 then float_of_int total_ops /. wall else 0.0 in
-      (* subscription traffic share, off the servers' peer.* counters:
-         the §2.4 protocol work (fetches served + notifications pushed)
-         as a fraction of all answered work *)
-      let peers = peer_counters (Array.append topo.home_addrs topo.compute_addrs) in
-      let fetch_in = sum_counter "peer.fetch.in" peers in
-      let notify_out = sum_counter "peer.notify.out" peers in
-      let notify_in = sum_counter "peer.notify.in" peers in
-      let sub_lost = sum_counter "peer.sub.lost" peers in
+      (* server-side counters: one Stats_full per distinct server (the
+         sharded server's reply is already merged across its shards).
+         peer.* is the §2.4 protocol work — fetches served +
+         notifications pushed — between homes and computes, or between
+         sibling shards *)
+      let stats_addrs =
+        if shards > 0 then Array.to_list topo.compute_addrs
+        else Array.to_list (Array.append topo.home_addrs topo.compute_addrs)
+      in
+      let metrics = List.concat_map full_metrics stats_addrs in
+      let fetch_in = counter_value metrics "peer.fetch.in" in
+      let notify_out = counter_value metrics "peer.notify.out" in
       let peer_msgs = fetch_in + notify_out in
       let share =
         if peer_msgs + total_ops = 0 then 0.0
         else float_of_int peer_msgs /. float_of_int (peer_msgs + total_ops)
       in
-      let class_snaps =
-        List.map
-          (fun name ->
-            let short =
-              (* "load.login.us" -> "login" *)
-              match String.split_on_char '.' name with
-              | [ _; cls; _ ] -> cls
-              | _ -> name
-            in
-            (short, Obs.Histogram.snapshot (Obs.histogram agg name)))
-          (Array.to_list Driver.classes)
-      in
       let max_elapsed =
         List.fold_left (fun acc rp -> Float.max acc rp.Report.rp_elapsed) 0.0 reports
       in
-      Benchstamp.write_file ~path:cfg.out ~benchmark:"cluster"
-        ~derived:[ ("qps", qps); ("subscription_share", share) ]
-        [ ( "config",
+      { ps_preload_rows = preload_rows; ps_wall = wall; ps_worker_max = max_elapsed;
+        ps_qps = qps; ps_agg = agg; ps_fetch_in = fetch_in; ps_notify_out = notify_out;
+        ps_notify_in = counter_value metrics "peer.notify.in";
+        ps_sub_lost = counter_value metrics "peer.sub.lost"; ps_share = share;
+        ps_per_shard_ops = per_shard_ops metrics ~shards })
+
+let run cfg =
+  let ops = effective_ops cfg in
+  log "pequod-load: generating %d-user graph (seed %d)..." cfg.users cfg.seed;
+  let graph =
+    Social_graph.generate ~rng:(Rng.create cfg.seed) ~nusers:cfg.users
+      ~avg_follows:cfg.avg_follows ()
+  in
+  log "pequod-load: %d users, %d edges (%d KiB CSR)" cfg.users (Social_graph.edge_count graph)
+    (Social_graph.memory_words graph * Sys.word_size / 8 / 1024);
+  (* a multi-shard run earns its headline as a speedup over the same
+     binary at --shards 1, measured back to back on the same box *)
+  let baseline =
+    if cfg.shards >= 2 then begin
+      log "pequod-load: measuring the --shards 1 baseline first...";
+      Some (run_pass cfg ~graph ~ops ~shards:1)
+    end
+    else None
+  in
+  let p = run_pass cfg ~graph ~ops ~shards:cfg.shards in
+  let total_ops = Obs.counter_value p.ps_agg "load.ops" in
+  let peer_msgs = p.ps_fetch_in + p.ps_notify_out in
+  let class_snaps =
+    List.map
+      (fun name ->
+        let short =
+          (* "load.login.us" -> "login" *)
+          match String.split_on_char '.' name with
+          | [ _; cls; _ ] -> cls
+          | _ -> name
+        in
+        (short, Obs.Histogram.snapshot (Obs.histogram p.ps_agg name)))
+      (Array.to_list Driver.classes)
+  in
+  let derived =
+    [ ("qps", p.ps_qps); ("subscription_share", p.ps_share) ]
+    @
+    match baseline with
+    | Some b when b.ps_qps > 0.0 -> [ ("shard_speedup", p.ps_qps /. b.ps_qps) ]
+    | _ -> []
+  in
+  Benchstamp.write_file ~path:cfg.out ~benchmark:"cluster" ~derived
+    ([ ( "config",
+         Benchstamp.Obj
+           [ ("users", Benchstamp.Int cfg.users); ("ops", Benchstamp.Int ops);
+             ("workers", Benchstamp.Int cfg.workers); ("homes", Benchstamp.Int cfg.homes);
+             ("computes", Benchstamp.Int cfg.computes);
+             ("shards", Benchstamp.Int cfg.shards);
+             ("nproc", Benchstamp.Int (Domain.recommended_domain_count ()));
+             ("avg_follows", Benchstamp.Int cfg.avg_follows);
+             ("active_fraction", Benchstamp.Float cfg.active);
+             ("rate", Benchstamp.Float cfg.rate); ("pipeline", Benchstamp.Int cfg.window);
+             ("seed", Benchstamp.Int cfg.seed);
+             ("edges", Benchstamp.Int (Social_graph.edge_count graph));
+             ("preload_rows", Benchstamp.Int p.ps_preload_rows) ] );
+       ( "results",
+         Benchstamp.Obj
+           ([ ("qps", Benchstamp.Float p.ps_qps); ("wall_s", Benchstamp.Float p.ps_wall);
+              ("worker_max_s", Benchstamp.Float p.ps_worker_max);
+              ("ops_completed", Benchstamp.Int total_ops);
+              ("errors", Benchstamp.Int (Obs.counter_value p.ps_agg "load.errors"));
+              ("failed", Benchstamp.Int (Obs.counter_value p.ps_agg "load.failed"));
+              ("entries_read", Benchstamp.Int (Obs.counter_value p.ps_agg "load.entries"));
+              ("subscription_share", Benchstamp.Float p.ps_share);
+              ("peer_fetch_in", Benchstamp.Int p.ps_fetch_in);
+              ("peer_notify_out", Benchstamp.Int p.ps_notify_out);
+              ("peer_notify_in", Benchstamp.Int p.ps_notify_in);
+              ("peer_sub_lost", Benchstamp.Int p.ps_sub_lost) ]
+           @
+           if cfg.shards > 0 then
+             [ ( "per_shard_ops",
+                 Benchstamp.Arr
+                   (List.map (fun n -> Benchstamp.Int n)
+                      (Array.to_list p.ps_per_shard_ops)) ) ]
+           else []) ) ]
+    @ (match baseline with
+      | Some b ->
+        [ ( "baseline_shards1",
             Benchstamp.Obj
-              [ ("users", Benchstamp.Int cfg.users); ("ops", Benchstamp.Int ops);
-                ("workers", Benchstamp.Int cfg.workers); ("homes", Benchstamp.Int cfg.homes);
-                ("computes", Benchstamp.Int cfg.computes);
-                ("avg_follows", Benchstamp.Int cfg.avg_follows);
-                ("active_fraction", Benchstamp.Float cfg.active);
-                ("rate", Benchstamp.Float cfg.rate); ("pipeline", Benchstamp.Int cfg.window);
-                ("seed", Benchstamp.Int cfg.seed);
-                ("edges", Benchstamp.Int (Social_graph.edge_count graph));
-                ("preload_rows", Benchstamp.Int preload_rows) ] );
-          ( "results",
-            Benchstamp.Obj
-              [ ("qps", Benchstamp.Float qps); ("wall_s", Benchstamp.Float wall);
-                ("worker_max_s", Benchstamp.Float max_elapsed);
-                ("ops_completed", Benchstamp.Int total_ops);
-                ("errors", Benchstamp.Int (Obs.counter_value agg "load.errors"));
-                ("failed", Benchstamp.Int (Obs.counter_value agg "load.failed"));
-                ("entries_read", Benchstamp.Int (Obs.counter_value agg "load.entries"));
-                ("subscription_share", Benchstamp.Float share);
-                ("peer_fetch_in", Benchstamp.Int fetch_in);
-                ("peer_notify_out", Benchstamp.Int notify_out);
-                ("peer_notify_in", Benchstamp.Int notify_in);
-                ("peer_sub_lost", Benchstamp.Int sub_lost) ] );
-          ( "latency_us",
-            Benchstamp.Obj (List.map (fun (cls, snap) -> (cls, hist_json snap)) class_snaps)
-          ) ];
-      (* human summary *)
-      let tbl =
-        Tablefmt.create
-          ~title:
-            (Printf.sprintf "Cluster load: %d users, %d ops, %d servers, %d workers"
-               cfg.users total_ops (cfg.homes + cfg.computes) cfg.workers)
-          ~headers:[ "op class"; "count"; "p50 us"; "p95 us"; "p99 us" ]
-          ~aligns:[ Tablefmt.Left; Right; Right; Right; Right ]
-      in
-      List.iter
-        (fun (cls, snap) ->
-          let open Obs.Histogram in
-          Tablefmt.add_row tbl
-            [ cls; string_of_int snap.count; string_of_int snap.p50; string_of_int snap.p95;
-              string_of_int snap.p99 ])
-        class_snaps;
-      Tablefmt.print tbl;
-      Printf.printf
-        "qps %.1f  subscription share %.3f (peer msgs %d / client ops %d)  errors %d\n\
-         (wrote %s)\n"
-        qps share peer_msgs total_ops
-        (Obs.counter_value agg "load.errors")
-        cfg.out;
-      0)
+              [ ("qps", Benchstamp.Float b.ps_qps); ("wall_s", Benchstamp.Float b.ps_wall);
+                ("ops_completed", Benchstamp.Int (Obs.counter_value b.ps_agg "load.ops"));
+                ("subscription_share", Benchstamp.Float b.ps_share) ] ) ]
+      | None -> [])
+    @ [ ( "latency_us",
+          Benchstamp.Obj (List.map (fun (cls, snap) -> (cls, hist_json snap)) class_snaps) )
+      ]);
+  (* human summary *)
+  let nservers = if cfg.shards > 0 then 1 else cfg.homes + cfg.computes in
+  let tbl =
+    Tablefmt.create
+      ~title:
+        (Printf.sprintf "Cluster load: %d users, %d ops, %d servers%s, %d workers"
+           cfg.users total_ops nservers
+           (if cfg.shards > 0 then Printf.sprintf " (%d shards)" cfg.shards else "")
+           cfg.workers)
+      ~headers:[ "op class"; "count"; "p50 us"; "p95 us"; "p99 us" ]
+      ~aligns:[ Tablefmt.Left; Right; Right; Right; Right ]
+  in
+  List.iter
+    (fun (cls, snap) ->
+      let open Obs.Histogram in
+      Tablefmt.add_row tbl
+        [ cls; string_of_int snap.count; string_of_int snap.p50; string_of_int snap.p95;
+          string_of_int snap.p99 ])
+    class_snaps;
+  Tablefmt.print tbl;
+  Printf.printf
+    "qps %.1f  subscription share %.3f (peer msgs %d / client ops %d)  errors %d\n"
+    p.ps_qps p.ps_share peer_msgs total_ops
+    (Obs.counter_value p.ps_agg "load.errors");
+  (match baseline with
+  | Some b when b.ps_qps > 0.0 ->
+    Printf.printf "shards=%d qps %.1f vs shards=1 qps %.1f: speedup %.2fx\n" cfg.shards
+      p.ps_qps b.ps_qps (p.ps_qps /. b.ps_qps)
+  | _ -> ());
+  Printf.printf "(wrote %s)\n" cfg.out;
+  0

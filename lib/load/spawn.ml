@@ -109,11 +109,26 @@ let read_port fd =
 let timeline_join =
   "t|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time>"
 
+(** [--shard-cut] points for a shard-per-core server: the same per-user
+    arithmetic that slices the homes, expressed in component space (the
+    fixed-width user-name format sorts lexicographically like the ids,
+    and every table keyed by user shares the cut). *)
+let shard_cuts ~nusers ~shards =
+  List.init (shards - 1) (fun i -> Social_graph.user_name ((i + 1) * nusers / shards))
+
 (** Fork the cluster and wait for every server to report its port.
     [memory_limit] is passed to the compute servers only (homes are the
-    system of record for this run). *)
-let start ?server_exe ?memory_limit ~nusers ~nhomes ~ncomputes () =
+    system of record for this run).
+
+    With [~shards:n > 0] the topology is one shard-per-core server
+    instead: a single [pequod_server --shards n] owning the whole
+    keyspace and running the timeline join, with cut points derived
+    from the user-name format so user slices balance. [nhomes] and
+    [ncomputes] are ignored — the public port is both the write and the
+    read destination ([--shards] is incompatible with [--partition]). *)
+let start ?server_exe ?memory_limit ?(shards = 0) ~nusers ~nhomes ~ncomputes () =
   if nhomes < 1 || ncomputes < 1 then failwith "need at least one home and one compute";
+  if shards > nusers then failwith "--shards must not exceed --users";
   let exe = match server_exe with Some e -> e | None -> default_server_exe () in
   let procs = ref [] in
   let boot args =
@@ -121,6 +136,22 @@ let start ?server_exe ?memory_limit ~nusers ~nhomes ~ncomputes () =
     procs := (pid, out) :: !procs;
     read_port out
   in
+  if shards > 0 then begin
+    let args =
+      [ "--port"; "0"; "--join"; timeline_join; "--shards"; string_of_int shards ]
+      @ List.concat_map (fun c -> [ "--shard-cut"; c ]) (shard_cuts ~nusers ~shards)
+      @ (match memory_limit with
+        | Some b -> [ "--memory-limit"; string_of_int b ]
+        | None -> [])
+    in
+    let addr = Printf.sprintf "127.0.0.1:%d" (boot args) in
+    let topology =
+      { nusers; nhomes = 1; ncomputes = 1; chunk = chunk_bounds ~nusers ~nhomes:1;
+        home_addrs = [| addr |]; compute_addrs = [| addr |] }
+    in
+    { topology; procs = !procs }
+  end
+  else begin
   let home_addrs =
     Array.init nhomes (fun _ -> Printf.sprintf "127.0.0.1:%d" (boot [ "--port"; "0" ]))
   in
@@ -144,6 +175,7 @@ let start ?server_exe ?memory_limit ~nusers ~nhomes ~ncomputes () =
       compute_addrs }
   in
   { topology; procs = !procs }
+  end
 
 let shutdown cluster =
   List.iter

@@ -43,6 +43,14 @@ type t = {
      itself blocked in a synchronous [Fetch] back to this process must
      not deadlock). Push-mode clients are {!post}-only. *)
   handshake : bool;
+  (* run between short waiting slices while blocked on a response: a
+     shard parks here to serve its own event loop (nested step), which is
+     what keeps symmetric shard-to-shard calls deadlock-free *)
+  on_wait : (unit -> unit) option;
+  (* a response wait is on the stack: re-entrant calls (the [on_wait]
+     serving path needing the same peer) take a one-shot connection
+     instead of interleaving frames on this one *)
+  mutable in_flight : bool;
   mutable conn : conn option;
   buf : Bytes.t;
   m_rpcs : Obs.Counter.t; (* net.client.rpcs *)
@@ -50,13 +58,15 @@ type t = {
   m_timeouts : Obs.Counter.t; (* net.client.timeouts *)
 }
 
-let create ?obs ?(config = default_config) ?(handshake = true) ~host ~port () =
+let create ?obs ?(config = default_config) ?(handshake = true) ?on_wait ~host ~port () =
   let obs = match obs with Some o -> o | None -> Obs.create () in
   {
     chost = host;
     cport = port;
     config;
     handshake;
+    on_wait;
+    in_flight = false;
     conn = None;
     buf = Bytes.create 65_536;
     m_rpcs = Obs.counter obs "net.client.rpcs";
@@ -118,7 +128,11 @@ let write_all fd s =
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done
 
-(* next response frame, waiting until [deadline] *)
+(* next response frame, waiting until [deadline]. With [on_wait], the
+   wait is chopped into short slices and the hook runs between them, so
+   the caller's own event loop keeps turning while this call blocks. The
+   hook is only safe between reads: by then every received byte has been
+   copied into the decoder, so re-entrant work may reuse [t.buf]. *)
 let read_frame t conn ~deadline =
   let rec go () =
     match conn.inbox with
@@ -128,8 +142,18 @@ let read_frame t conn ~deadline =
     | [] ->
       let remaining = deadline -. Unix.gettimeofday () in
       if remaining <= 0.0 then raise Timeout;
-      (match Unix.select [ conn.fd ] [] [] remaining with
-      | [], _, _ -> raise Timeout
+      let slice =
+        match t.on_wait with
+        | None -> remaining
+        | Some _ -> Float.min remaining 0.002
+      in
+      (match Unix.select [ conn.fd ] [] [] slice with
+      | [], _, _ ->
+        if t.on_wait = None then raise Timeout
+        else begin
+          (Option.get t.on_wait) ();
+          go ()
+        end
       | _ -> (
         match Unix.read conn.fd t.buf 0 (Bytes.length t.buf) with
         | 0 -> raise (Net_error "connection closed by server")
@@ -252,20 +276,53 @@ let broken t e =
   | Net_error msg -> raise (Net_error msg)
   | e -> raise e
 
-let call ?timeout t req =
-  if Message.is_oneway req then
-    invalid_arg "Net_client.call: one-way request (use post)";
-  if not t.handshake then invalid_arg "Net_client.call: push-mode client (post only)";
-  let timeout = match timeout with Some s -> s | None -> t.config.call_timeout in
-  let conn = ensure_conn t in
-  Obs.Counter.incr t.m_rpcs;
+(* re-entrant call while the main connection has a response pending: a
+   fresh connection for just this exchange, so the two request/response
+   streams cannot interleave. Failures close only the one-shot socket. *)
+let one_shot_call t ~timeout req =
+  let conn = connect_once t in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close conn.fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
   match
+    if t.handshake then handshake t conn
+    else
+      write_all conn.fd
+        (Frame.encode
+           (Message.encode_request (Message.Hello { version = Message.protocol_version })));
     write_all conn.fd (Frame.encode (Message.encode_request req));
     let deadline = Unix.gettimeofday () +. timeout in
     Message.decode_response (read_frame t conn ~deadline)
   with
   | resp -> resp
-  | exception e -> broken t e
+  | exception Timeout ->
+    Obs.Counter.force_add t.m_timeouts 1;
+    raise (Net_error "request timed out")
+  | exception Handshake_failed msg ->
+    raise (Net_error ("handshake with " ^ t.chost ^ " failed: " ^ msg))
+  | exception Unix.Unix_error (err, _, _) ->
+    raise (Net_error ("i/o error: " ^ Unix.error_message err))
+  | exception Message.Protocol_error msg -> raise (Net_error ("protocol error: " ^ msg))
+
+let call ?timeout t req =
+  if Message.is_oneway req then
+    invalid_arg "Net_client.call: one-way request (use post)";
+  if not t.handshake then invalid_arg "Net_client.call: push-mode client (post only)";
+  let timeout = match timeout with Some s -> s | None -> t.config.call_timeout in
+  Obs.Counter.incr t.m_rpcs;
+  if t.in_flight then one_shot_call t ~timeout req
+  else begin
+    let conn = ensure_conn t in
+    t.in_flight <- true;
+    Fun.protect ~finally:(fun () -> t.in_flight <- false) @@ fun () ->
+    match
+      write_all conn.fd (Frame.encode (Message.encode_request req));
+      let deadline = Unix.gettimeofday () +. timeout in
+      Message.decode_response (read_frame t conn ~deadline)
+    with
+    | resp -> resp
+    | exception e -> broken t e
+  end
 
 let post t req =
   if not (Message.is_oneway req) then
@@ -285,7 +342,13 @@ let pipeline ?timeout t reqs =
   if not t.handshake then
     invalid_arg "Net_client.pipeline: push-mode client (post only)";
   let timeout = match timeout with Some s -> s | None -> t.config.call_timeout in
+  if t.in_flight then
+    (* re-entrant: serial one-shot exchanges; correctness over batching *)
+    List.map (one_shot_call t ~timeout) reqs
+  else begin
   let conn = ensure_conn t in
+  t.in_flight <- true;
+  Fun.protect ~finally:(fun () -> t.in_flight <- false) @@ fun () ->
   Obs.Counter.add t.m_rpcs (List.length reqs);
   match
     let out = Buffer.create 256 in
@@ -303,3 +366,4 @@ let pipeline ?timeout t reqs =
   with
   | resps -> resps
   | exception e -> broken t e
+  end

@@ -46,9 +46,24 @@ type t
     handshake answer is drained without blocking on each {!post}; a
     rejection or version mismatch surfaces there as {!Net_error}.
     Push-mode clients are {!post}-only: {!call} and {!pipeline} raise
-    [Invalid_argument]. *)
+    [Invalid_argument].
+
+    [on_wait] runs repeatedly (every couple of milliseconds) while a
+    {!call} or {!pipeline} waits for its response, so an event-loop
+    owner can keep serving while blocked — the shard layer passes a
+    nested server step here. The hook must not issue a request on
+    {e this} client's main connection; if re-entrant work does call back
+    into the same client, that inner exchange transparently runs on a
+    dedicated one-shot connection so response streams never interleave. *)
 val create :
-  ?obs:Obs.t -> ?config:config -> ?handshake:bool -> host:string -> port:int -> unit -> t
+  ?obs:Obs.t ->
+  ?config:config ->
+  ?handshake:bool ->
+  ?on_wait:(unit -> unit) ->
+  host:string ->
+  port:int ->
+  unit ->
+  t
 
 val host : t -> string
 val port : t -> int

@@ -1,10 +1,28 @@
 (** The network-facing Pequod server: a single-threaded, event-driven
     loop (as in the paper's implementation) multiplexing any number of
-    client connections over TCP with [Unix.select].
+    client connections over TCP behind the {!Poller} abstraction —
+    epoll(7) where the platform has it, [Unix.select] elsewhere.
 
     Clients speak the length-prefixed binary protocol of
     {!Pequod_proto.Message}. The loop is exposed as [step] so tests (and
-    embedding applications) can drive it manually; [run] loops forever. *)
+    embedding applications) can drive it manually; [run] loops forever.
+
+    One instance is owned by exactly one domain. The only cross-domain
+    entry points are {!inject} (the shard acceptor handing over an
+    accepted connection) and {!request_stop}; both go through a mutex
+    and a wakeup pipe. Everything else — including {!step} — must be
+    called from the owning domain.
+
+    In shard mode ({!set_router}) a request arriving on a connection
+    handed over by the acceptor is routed by key ownership: reads and
+    writes whose key belongs to a sibling shard are forwarded over the
+    sibling's own protocol port, scans and fetches are served locally
+    through the engine's resolver (which fetches+subscribes sibling
+    slices exactly like a compute server fetches from a home), and
+    [Add_join]/[Stats_full] fan out to every shard. Requests arriving on
+    this shard's own listener (sibling forwards, sibling fetches,
+    subscription pushes) are always applied locally — forwarding them
+    again could loop. *)
 
 module Server = Pequod_core.Server
 module Config = Pequod_core.Config
@@ -17,19 +35,105 @@ let src = Logs.Src.create "pequod.server"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+(* Reusable output buffer: the live span slides ([off] advances as the
+   socket accepts bytes) and compacts, so backpressure costs a blit at
+   worst — never the O(n^2) string rebuild of [outbuf ^ more]. *)
+module Outbuf = struct
+  type t = { mutable b : Bytes.t; mutable off : int; mutable len : int }
+
+  let create () = { b = Bytes.create 4096; off = 0; len = 0 }
+  let length t = t.len
+
+  let reserve t extra =
+    if t.off + t.len + extra > Bytes.length t.b then begin
+      if t.off > 0 then begin
+        Bytes.blit t.b t.off t.b 0 t.len;
+        t.off <- 0
+      end;
+      if t.len + extra > Bytes.length t.b then begin
+        let cap = ref (Bytes.length t.b * 2) in
+        while t.len + extra > !cap do
+          cap := !cap * 2
+        done;
+        let bigger = Bytes.create !cap in
+        Bytes.blit t.b 0 bigger 0 t.len;
+        t.b <- bigger
+      end
+    end
+
+  (* append a length-prefixed frame around [body] *)
+  let add_frame t body =
+    let n = String.length body in
+    if n > Frame.max_frame then raise (Frame.Frame_too_large n);
+    reserve t (4 + n);
+    let p = t.off + t.len in
+    Bytes.unsafe_set t.b p (Char.unsafe_chr ((n lsr 24) land 0xff));
+    Bytes.unsafe_set t.b (p + 1) (Char.unsafe_chr ((n lsr 16) land 0xff));
+    Bytes.unsafe_set t.b (p + 2) (Char.unsafe_chr ((n lsr 8) land 0xff));
+    Bytes.unsafe_set t.b (p + 3) (Char.unsafe_chr (n land 0xff));
+    Bytes.blit_string body 0 t.b (p + 4) n;
+    t.len <- t.len + 4 + n
+
+  (* the socket took [n] bytes *)
+  let consumed t n =
+    t.off <- t.off + n;
+    t.len <- t.len - n;
+    if t.len = 0 then begin
+      t.off <- 0;
+      (* a burst that ballooned the buffer should not pin the memory *)
+      if Bytes.length t.b > 1 lsl 20 then t.b <- Bytes.create 4096
+    end
+
+  let write t fd = Unix.write fd t.b t.off t.len
+end
+
 type client = {
   fd : Unix.file_descr;
   peer : string;
   decoder : Frame.decoder;
-  mutable outbuf : string; (* bytes waiting for the socket to accept them *)
+  out : Outbuf.t;
+  mutable want_write : bool; (* current poller write interest *)
+  mutable busy : bool; (* mid-request: nested steps must not read from it *)
+  injected : bool; (* handed over by the shard acceptor (public traffic) *)
+}
+
+(* Shard routing, installed by the shard layer (see shard.ml). [rt_call]
+   and [rt_post] speak to sibling shard [i] over its own protocol port;
+   [rt_stats] aggregates Stats_full across every shard. *)
+type router = {
+  rt_self : int;
+  rt_owner : string -> int;
+  rt_route_scan : lo:string -> hi:string -> int option;
+      (* Some shard when the whole range lives in one slice; None =
+         scatter to every shard and merge *)
+  rt_call : int -> Message.request -> Message.response;
+  rt_post : int -> Message.request -> unit;
+  rt_siblings : int list;
+  rt_stats : unit -> (string * Obs.value) list;
+  rm_ops : Obs.Counter.t; (* shard.ops: requests handled by this shard *)
+  rm_client_ops : Obs.Counter.t; (* shard.client.ops: acceptor-handed requests *)
+  rm_forward_out : Obs.Counter.t; (* shard.forward.out: requests sent to siblings *)
+  rm_forward_in : Obs.Counter.t; (* shard.forward.in: forwards received *)
 }
 
 type t = {
   engine : Server.t;
   listener : Unix.file_descr;
-  mutable clients : client list;
-  buf : Bytes.t;
-  mutable shutdown : bool;
+  poller : Poller.t;
+  conns : (Unix.file_descr, client) Hashtbl.t;
+  (* free receive buffers: nested steps (serving while blocked on a
+     sibling) pop their own so a zero-copy frame view into the outer
+     step's buffer is never overwritten mid-decode *)
+  mutable read_bufs : Bytes.t list;
+  shutdown : bool Atomic.t;
+  (* cross-domain handoff: the shard acceptor enqueues accepted fds and
+     wakes the loop through the pipe *)
+  inj_mu : Mutex.t;
+  inj_q : Unix.file_descr Queue.t;
+  wakeup_r : Unix.file_descr;
+  wakeup_w : Unix.file_descr;
+  mutable stepping : bool; (* a step is on the stack: nested steps skip housekeeping *)
+  mutable router : router option;
   persist : Persist.t option; (* durability manager, when --data-dir is set *)
   (* home-server subscriptions (§2.4): source table -> subscriber
      callback address per fetched range. Installed by [Fetch], stabbed
@@ -51,6 +155,8 @@ type t = {
   m_fetch_in : Obs.Counter.t; (* peer.fetch.in *)
   m_notify_in : Obs.Counter.t; (* peer.notify.in *)
   m_notify_out : Obs.Counter.t; (* peer.notify.out *)
+  m_queue_depth : Obs.Gauge.t; (* shard.queue.depth *)
+  m_conns : Obs.Gauge.t; (* shard.conns *)
   metrics_every : float option; (* --metrics-dump period *)
   mutable next_dump : float;
   (* background work run once per event-loop iteration (after I/O), e.g.
@@ -64,8 +170,9 @@ type t = {
     data directory, prior state is recovered from it first and every
     mutation is logged; [joins] already present after recovery are not
     re-installed. [metrics_every] makes {!step} print one JSON metrics
-    snapshot line to stdout every that-many seconds ([--metrics-dump]). *)
-let create ?config ?metrics_every ~port ~joins ~memory_limit () =
+    snapshot line to stdout every that-many seconds ([--metrics-dump]).
+    [backend] forces the poller backend (tests exercise both). *)
+let create ?config ?metrics_every ?backend ~port ~joins ~memory_limit () =
   let config = match config with Some c -> c | None -> Config.default () in
   config.Config.memory_limit <- memory_limit;
   let engine = Server.create ~config () in
@@ -91,8 +198,22 @@ let create ?config ?metrics_every ~port ~joins ~memory_limit () =
   Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_any, port));
   Unix.listen listener 64;
   Unix.set_nonblock listener;
+  let poller = Poller.create ?backend () in
+  Poller.set poller listener ~read:true ~write:false;
+  let wakeup_r, wakeup_w = Unix.pipe () in
+  Unix.set_nonblock wakeup_r;
+  Unix.set_nonblock wakeup_w;
+  Poller.set poller wakeup_r ~read:true ~write:false;
   let obs = Server.obs engine in
-  { engine; listener; clients = []; buf = Bytes.create 65_536; shutdown = false;
+  { engine; listener; poller;
+    conns = Hashtbl.create 16;
+    read_bufs = [];
+    shutdown = Atomic.make false;
+    inj_mu = Mutex.create ();
+    inj_q = Queue.create ();
+    wakeup_r; wakeup_w;
+    stepping = false;
+    router = None;
     persist;
     subs = Hashtbl.create 8;
     peers = Hashtbl.create 8;
@@ -106,6 +227,8 @@ let create ?config ?metrics_every ~port ~joins ~memory_limit () =
     m_fetch_in = Obs.counter obs "peer.fetch.in";
     m_notify_in = Obs.counter obs "peer.notify.in";
     m_notify_out = Obs.counter obs "peer.notify.out";
+    m_queue_depth = Obs.gauge obs "shard.queue.depth";
+    m_conns = Obs.gauge obs "shard.conns";
     metrics_every;
     next_dump =
       (match metrics_every with Some s -> Unix.gettimeofday () +. s | None -> infinity);
@@ -113,10 +236,24 @@ let create ?config ?metrics_every ~port ~joins ~memory_limit () =
 
 let engine t = t.engine
 let persist t = t.persist
+let poller_backend t = Poller.backend t.poller
 
 (** Register background work to run once per {!step} (after I/O); the
     callback is responsible for its own rate limiting. *)
 let add_ticker t f = t.tickers <- t.tickers @ [ f ]
+
+(** Install shard routing (see shard.ml); call once, before serving. *)
+let set_router t ~self ~owner ~route_scan ~call ~post ~siblings ~stats =
+  let obs = Server.obs t.engine in
+  t.router <-
+    Some
+      { rt_self = self; rt_owner = owner; rt_route_scan = route_scan;
+        rt_call = call; rt_post = post;
+        rt_siblings = siblings; rt_stats = stats;
+        rm_ops = Obs.counter obs "shard.ops";
+        rm_client_ops = Obs.counter obs "shard.client.ops";
+        rm_forward_out = Obs.counter obs "shard.forward.out";
+        rm_forward_in = Obs.counter obs "shard.forward.in" }
 
 (** The port actually bound (useful with [~port:0]). *)
 let port t =
@@ -132,15 +269,28 @@ let peer_name fd =
 
 let drop t client =
   Log.info (fun m -> m "client %s disconnected" client.peer);
-  (try Unix.close client.fd with Unix.Unix_error _ -> ());
-  t.clients <- List.filter (fun c -> c != client) t.clients
+  Poller.remove t.poller client.fd;
+  Hashtbl.remove t.conns client.fd;
+  Obs.Gauge.set t.m_conns (Hashtbl.length t.conns);
+  try Unix.close client.fd with Unix.Unix_error _ -> ()
+
+(* keep the poller's write interest in sync with pending output *)
+let update_interest t client =
+  let want = Outbuf.length client.out > 0 in
+  if want <> client.want_write then begin
+    client.want_write <- want;
+    Poller.set t.poller client.fd ~read:true ~write:want
+  end
 
 (* try to flush buffered output; keep the rest for the next round *)
 let flush_output t client =
-  if client.outbuf <> "" then begin
-    match Unix.write_substring client.fd client.outbuf 0 (String.length client.outbuf) with
-    | n -> client.outbuf <- String.sub client.outbuf n (String.length client.outbuf - n)
-    | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) -> ()
+  if Outbuf.length client.out > 0 then begin
+    match Outbuf.write client.out client.fd with
+    | n ->
+      Outbuf.consumed client.out n;
+      update_interest t client
+    | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _) ->
+      update_interest t client
     | exception Unix.Unix_error _ -> drop t client
   end
 
@@ -251,136 +401,395 @@ let flush_notifications t =
 (* Request handling                                                    *)
 
 (* [None] for one-way requests: they produce no response frame *)
-let handle_request t request =
-  Obs.Counter.incr t.m_rpcs;
-  Obs.Histogram.observe t.m_req_bytes (String.length request);
-  match Message.decode_request request with
-  | req ->
-    (* per-kind RPC tally; pequod's whole evaluation counts messages *)
-    if !Obs.enabled then
-      Obs.Counter.incr (Obs.counter (Server.obs t.engine) ("rpc." ^ Message.request_kind req));
-    let resp =
-      match req with
-      | Message.Fetch { table; lo; hi; subscriber } -> (
-        Obs.Counter.incr t.m_fetch_in;
-        (* refetches of the same range by the same subscriber (eviction
-           pressure, subscription healing) are idempotent on the subs
-           table: an identical live entry is reused, never duplicated,
-           so a long-lived subscriber cannot grow it without bound *)
-        let im = subs_for t table in
-        let already = ref false in
-        Interval_map.iter_overlapping im ~lo ~hi (fun h ->
-            if
-              (not !already)
-              && Interval_map.handle_range h = (lo, hi)
-              && String.equal (Interval_map.handle_data h) subscriber
-            then already := true);
-        (* install the subscription before snapshotting: a write landing
-           in between is pushed as well, and the duplicate application
-           at the subscriber is idempotent *)
-        let handle =
-          if subscriber = "" || !already then None
-          else Some (Interval_map.add im ~lo ~hi subscriber)
-        in
-        match Server.scan_result t.engine ~lo ~hi with
-        | `Ok pairs -> Some (Message.Subscribed pairs)
-        | `Missing _ ->
-          (* this server does not own the range; rescind the subscription *)
-          Option.iter (Interval_map.remove (subs_for t table)) handle;
-          Some (Message.Error (Printf.sprintf "not the home for %s[%s,%s)" table lo hi))
-        | exception e ->
-          Option.iter (Interval_map.remove (subs_for t table)) handle;
-          Some (Message.Error (Printexc.to_string e)))
-      | Message.Sub_check { subscriber } ->
-        (* subscription heartbeat: report every range still pushed to
-           this subscriber, so it can detect (and heal) a drop *)
-        let ranges = ref [] in
-        Hashtbl.iter
-          (fun table im ->
-            Interval_map.iter im (fun h ->
-                if String.equal (Interval_map.handle_data h) subscriber then begin
-                  let lo, hi = Interval_map.handle_range h in
-                  ranges := (table, lo, hi) :: !ranges
-                end))
-          t.subs;
-        Some (Message.Sub_ranges (List.sort compare !ranges))
-      | Message.Notify_put (k, v) ->
-        ignore (Message.apply_to_server t.engine req);
-        Obs.Counter.incr t.m_notify_in;
-        buffer_notify t k (Some v);
-        None
-      | Message.Notify_remove k ->
-        ignore (Message.apply_to_server t.engine req);
-        Obs.Counter.incr t.m_notify_in;
-        buffer_notify t k None;
-        None
-      | Message.Notify_batch items ->
-        ignore (Message.apply_to_server t.engine req);
-        Obs.Counter.incr t.m_notify_in;
-        List.iter (fun (k, v) -> buffer_notify t k v) items;
-        None
-      | Message.Put (k, v) ->
-        let resp = Message.apply_to_server t.engine req in
-        buffer_notify t k (Some v);
-        Some resp
-      | Message.Remove k ->
-        let resp = Message.apply_to_server t.engine req in
-        buffer_notify t k None;
-        Some resp
-      | Message.Put_batch pairs ->
-        let resp = Message.apply_to_server t.engine req in
-        List.iter (fun (k, v) -> buffer_notify t k (Some v)) pairs;
-        Some resp
-      | req -> Some (Message.apply_to_server t.engine req)
+let handle_local t req =
+  match req with
+  | Message.Fetch { table; lo; hi; subscriber } -> (
+    Obs.Counter.incr t.m_fetch_in;
+    (* refetches of the same range by the same subscriber (eviction
+       pressure, subscription healing) are idempotent on the subs
+       table: an identical live entry is reused, never duplicated,
+       so a long-lived subscriber cannot grow it without bound *)
+    let im = subs_for t table in
+    let already = ref false in
+    Interval_map.iter_overlapping im ~lo ~hi (fun h ->
+        if
+          (not !already)
+          && Interval_map.handle_range h = (lo, hi)
+          && String.equal (Interval_map.handle_data h) subscriber
+        then already := true);
+    (* install the subscription before snapshotting: a write landing
+       in between is pushed as well, and the duplicate application
+       at the subscriber is idempotent *)
+    let handle =
+      if subscriber = "" || !already then None
+      else Some (Interval_map.add im ~lo ~hi subscriber)
     in
-    resp
-  | exception Message.Protocol_error msg -> Some (Message.Error ("protocol error: " ^ msg))
-  | exception e -> Some (Message.Error (Printexc.to_string e))
+    match Server.scan_result t.engine ~lo ~hi with
+    | `Ok pairs -> Some (Message.Subscribed pairs)
+    | `Missing _ ->
+      (* this server does not own the range; rescind the subscription *)
+      Option.iter (Interval_map.remove (subs_for t table)) handle;
+      Some (Message.Error (Printf.sprintf "not the home for %s[%s,%s)" table lo hi))
+    | exception e ->
+      Option.iter (Interval_map.remove (subs_for t table)) handle;
+      Some (Message.Error (Printexc.to_string e)))
+  | Message.Sub_check { subscriber } ->
+    (* subscription heartbeat: report every range still pushed to
+       this subscriber, so it can detect (and heal) a drop *)
+    let ranges = ref [] in
+    Hashtbl.iter
+      (fun table im ->
+        Interval_map.iter im (fun h ->
+            if String.equal (Interval_map.handle_data h) subscriber then begin
+              let lo, hi = Interval_map.handle_range h in
+              ranges := (table, lo, hi) :: !ranges
+            end))
+      t.subs;
+    Some (Message.Sub_ranges (List.sort compare !ranges))
+  | Message.Notify_put (k, v) ->
+    ignore (Message.apply_to_server t.engine req);
+    Obs.Counter.incr t.m_notify_in;
+    buffer_notify t k (Some v);
+    None
+  | Message.Notify_remove k ->
+    ignore (Message.apply_to_server t.engine req);
+    Obs.Counter.incr t.m_notify_in;
+    buffer_notify t k None;
+    None
+  | Message.Notify_batch items ->
+    ignore (Message.apply_to_server t.engine req);
+    Obs.Counter.incr t.m_notify_in;
+    List.iter (fun (k, v) -> buffer_notify t k v) items;
+    None
+  | Message.Put (k, v) ->
+    let resp = Message.apply_to_server t.engine req in
+    buffer_notify t k (Some v);
+    Some resp
+  | Message.Remove k ->
+    let resp = Message.apply_to_server t.engine req in
+    buffer_notify t k None;
+    Some resp
+  | Message.Put_batch pairs ->
+    let resp = Message.apply_to_server t.engine req in
+    List.iter (fun (k, v) -> buffer_notify t k (Some v)) pairs;
+    Some resp
+  | req -> Some (Message.apply_to_server t.engine req)
+
+(* requests whose kind only reaches a shard's own listener as a sibling
+   forward (never as fetch/subscription/heartbeat traffic): the
+   conservation invariant sum(shard.forward.in) == sum(shard.forward.out)
+   across shards counts exactly these *)
+let forward_kind = function
+  | Message.Get _ | Message.Put _ | Message.Remove _ | Message.Put_batch _
+  | Message.Add_join _ | Message.Scan _ ->
+    true
+  | _ -> false
+
+let sibling_error e =
+  match e with
+  | Net_client.Net_error msg -> Message.Error ("sibling shard: " ^ msg)
+  | e -> Message.Error (Printexc.to_string e)
+
+(* merge two key-sorted pair lists, dropping duplicate keys (a fetched
+   copy on one shard duplicates the owner's pair; a join output is
+   computed identically on every shard that materialized it). Left
+   wins on ties, so the serving shard's freshly computed value is kept. *)
+let merge_dedup a b =
+  let rec go acc a b =
+    match (a, b) with
+    | [], l | l, [] -> List.rev_append acc l
+    | ((ka, _) as x) :: a', ((kb, _) as y) :: b' ->
+      let c = String.compare ka kb in
+      if c < 0 then go (x :: acc) a' b
+      else if c > 0 then go (y :: acc) a b'
+      else go (x :: acc) a' b'
+  in
+  go [] a b
+
+(* Split [items] by owning shard, preserving per-owner order; returns the
+   groups in first-appearance order as (owner, items) pairs. *)
+let split_by_owner rt key_of items =
+  let groups : (int, 'a list) Hashtbl.t = Hashtbl.create 4 in
+  let order = ref [] in
+  List.iter
+    (fun item ->
+      let o = rt.rt_owner (key_of item) in
+      match Hashtbl.find_opt groups o with
+      | Some l -> Hashtbl.replace groups o (item :: l)
+      | None ->
+        order := o :: !order;
+        Hashtbl.add groups o [ item ])
+    items;
+  List.rev_map (fun o -> (o, List.rev (Hashtbl.find groups o))) !order
+
+(* route one decoded request: only acceptor-handed connections are
+   routed; everything arriving on this shard's own listener is local *)
+let dispatch t client req =
+  match t.router with
+  | None -> handle_local t req
+  | Some rt ->
+    Obs.Counter.incr rt.rm_ops;
+    if not client.injected then begin
+      if forward_kind req then Obs.Counter.incr rt.rm_forward_in;
+      handle_local t req
+    end
+    else begin
+      Obs.Counter.incr rt.rm_client_ops;
+      match req with
+      | Message.Get k | Message.Put (k, _) | Message.Remove k ->
+        let o = rt.rt_owner k in
+        if o = rt.rt_self then handle_local t req
+        else begin
+          Obs.Counter.incr rt.rm_forward_out;
+          match rt.rt_call o req with
+          | resp -> Some resp
+          | exception e -> Some (sibling_error e)
+        end
+      | Message.Notify_put (k, _) | Message.Notify_remove k ->
+        let o = rt.rt_owner k in
+        if o = rt.rt_self then handle_local t req
+        else begin
+          (try rt.rt_post o req
+           with Net_client.Net_error msg ->
+             Log.warn (fun m -> m "notify forward to shard %d failed: %s" o msg));
+          None
+        end
+      | Message.Put_batch pairs ->
+        let err = ref None in
+        List.iter
+          (fun (o, sub) ->
+            if o = rt.rt_self then ignore (handle_local t (Message.Put_batch sub))
+            else begin
+              Obs.Counter.incr rt.rm_forward_out;
+              match rt.rt_call o (Message.Put_batch sub) with
+              | Message.Done -> ()
+              | Message.Error m -> if !err = None then err := Some m
+              | _ -> if !err = None then err := Some "unexpected forward response"
+              | exception e -> (
+                if !err = None then
+                  match sibling_error e with
+                  | Message.Error m -> err := Some m
+                  | _ -> ())
+            end)
+          (split_by_owner rt fst pairs);
+        Some (match !err with None -> Message.Done | Some m -> Message.Error m)
+      | Message.Notify_batch items ->
+        List.iter
+          (fun (o, sub) ->
+            if o = rt.rt_self then ignore (handle_local t (Message.Notify_batch sub))
+            else
+              try rt.rt_post o (Message.Notify_batch sub)
+              with Net_client.Net_error msg ->
+                Log.warn (fun m -> m "notify forward to shard %d failed: %s" o msg))
+          (split_by_owner rt fst items);
+        None
+      | Message.Add_join _ -> (
+        (* install on every shard: each materializes the join for the
+           timeline slices its clients scan *)
+        match handle_local t req with
+        | Some Message.Done ->
+          let err = ref None in
+          List.iter
+            (fun o ->
+              Obs.Counter.incr rt.rm_forward_out;
+              match rt.rt_call o req with
+              | Message.Done -> ()
+              | Message.Error m -> if !err = None then err := Some m
+              | _ -> if !err = None then err := Some "unexpected forward response"
+              | exception e -> (
+                if !err = None then
+                  match sibling_error e with
+                  | Message.Error m -> err := Some m
+                  | _ -> ()))
+            rt.rt_siblings;
+          Some (match !err with None -> Message.Done | Some m -> Message.Error m)
+        | other -> other)
+      | Message.Stats_full -> (
+        match rt.rt_stats () with
+        | metrics -> Some (Message.Metrics metrics)
+        | exception e -> Some (sibling_error e))
+      | Message.Scan { lo; hi } -> (
+        (* a range confined to one shard's slice is served entirely by
+           its owner: the join outputs it covers are computed there from
+           source slices that resolve through the engine's resolver
+           (fetch+subscribe), so the data arrives — and stays fresh —
+           over the same §2.4 path a compute server uses. A range that
+           spans slices (or tables) is scattered: every shard reports
+           the keys it holds — its owned slice of every table plus any
+           fetched copies and computed outputs — and the union, deduped
+           by key, is the full answer *)
+        match rt.rt_route_scan ~lo ~hi with
+        | Some o ->
+          if o = rt.rt_self then handle_local t req
+          else begin
+            Obs.Counter.incr rt.rm_forward_out;
+            match rt.rt_call o req with
+            | resp -> Some resp
+            | exception e -> Some (sibling_error e)
+          end
+        | None -> (
+          match handle_local t req with
+          | Some (Message.Pairs local) ->
+            let err = ref None in
+            let remote =
+              List.map
+                (fun o ->
+                  Obs.Counter.incr rt.rm_forward_out;
+                  match rt.rt_call o req with
+                  | Message.Pairs ps -> ps
+                  | Message.Error m ->
+                    if !err = None then err := Some m;
+                    []
+                  | _ ->
+                    if !err = None then err := Some "unexpected scan response";
+                    []
+                  | exception e ->
+                    (if !err = None then
+                       match sibling_error e with
+                       | Message.Error m -> err := Some m
+                       | _ -> ());
+                    [])
+                rt.rt_siblings
+            in
+            (match !err with
+            | Some m -> Some (Message.Error m)
+            | None -> Some (Message.Pairs (List.fold_left merge_dedup local remote)))
+          | other -> other))
+      | Message.Hello _ | Message.Fetch _ | Message.Sub_check _ ->
+        (* fetches and subscription checks are the intra-cluster
+           protocol itself: always against this shard's own slice *)
+        handle_local t req
+    end
+
+(* one frame, decoded straight out of the receive buffer (no copy) *)
+let handle_frame t client buf ~off ~len =
+  Obs.Counter.incr t.m_rpcs;
+  Obs.Histogram.observe t.m_req_bytes len;
+  let resp =
+    match Message.decode_request_view buf ~off ~len with
+    | req ->
+      (* per-kind RPC tally; pequod's whole evaluation counts messages *)
+      if !Obs.enabled then
+        Obs.Counter.incr
+          (Obs.counter (Server.obs t.engine) ("rpc." ^ Message.request_kind req));
+      dispatch t client req
+    | exception Message.Protocol_error msg ->
+      Some (Message.Error ("protocol error: " ^ msg))
+    | exception e -> Some (Message.Error (Printexc.to_string e))
+  in
+  match resp with
+  | None -> ()
+  | Some response ->
+    let wire = Message.encode_response response in
+    Obs.Counter.add t.m_bytes_out (String.length wire + 4);
+    Obs.Histogram.observe t.m_resp_bytes (String.length wire + 4);
+    Outbuf.add_frame client.out wire
+
+(* receive buffers for [handle_readable]: a pool rather than one shared
+   buffer because a nested step (serving while blocked on a sibling
+   call) must not overwrite the outer step's in-flight frame views *)
+let pop_read_buf t =
+  match t.read_bufs with
+  | b :: rest ->
+    t.read_bufs <- rest;
+    b
+  | [] -> Bytes.create 65_536
+
+let push_read_buf t b = t.read_bufs <- b :: t.read_bufs
 
 let handle_readable t client =
-  match Unix.read client.fd t.buf 0 (Bytes.length t.buf) with
+  let buf = pop_read_buf t in
+  Fun.protect ~finally:(fun () -> push_read_buf t buf) @@ fun () ->
+  match Unix.read client.fd buf 0 (Bytes.length buf) with
   | 0 -> drop t client
   | n -> (
     Obs.Counter.add t.m_bytes_in n;
-    match Frame.feed client.decoder (Bytes.sub_string t.buf 0 n) with
-    | frames ->
-      (* all responses for one read are accumulated and written with one
-         buffer append and one flush: a pipelined batch (e.g. the CLI's
-         --load chunks) costs one syscall out, not one per frame *)
-      let out = Buffer.create 256 in
-      List.iter
-        (fun request ->
-          match handle_request t request with
-          | None -> ()
-          | Some response ->
-            let wire = Frame.encode (Message.encode_response response) in
-            Obs.Counter.add t.m_bytes_out (String.length wire);
-            Obs.Histogram.observe t.m_resp_bytes (String.length wire);
-            Buffer.add_string out wire)
-        frames;
-      if Buffer.length out > 0 then begin
-        client.outbuf <- client.outbuf ^ Buffer.contents out;
-        flush_output t client
-      end;
+    client.busy <- true;
+    match
+      Fun.protect
+        ~finally:(fun () -> client.busy <- false)
+        (fun () ->
+          (* all responses for one read are accumulated in the client's
+             output buffer and flushed once: a pipelined batch (e.g. the
+             CLI's --load chunks) costs one syscall out, not one per
+             frame *)
+          Frame.feed_bytes client.decoder buf 0 n ~frame:(handle_frame t client))
+    with
+    | () ->
+      if Outbuf.length client.out > 0 then flush_output t client;
       (* after the whole batch: one coalesced push per subscriber *)
       flush_notifications t
     | exception Frame.Frame_too_large _ -> drop t client)
-  | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) -> ()
+  | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _) -> ()
   | exception Unix.Unix_error _ -> drop t client
+
+let register t fd ~injected =
+  Unix.set_nonblock fd;
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+  let client =
+    { fd; peer = peer_name fd; decoder = Frame.decoder (); out = Outbuf.create ();
+      want_write = false; busy = false; injected }
+  in
+  Log.info (fun m -> m "client %s connected%s" client.peer
+      (if injected then " (via acceptor)" else ""));
+  Hashtbl.replace t.conns fd client;
+  Obs.Gauge.set t.m_conns (Hashtbl.length t.conns);
+  Poller.set t.poller fd ~read:true ~write:false
 
 let accept_clients t =
   let rec go () =
     match Unix.accept t.listener with
     | fd, _ ->
-      Unix.set_nonblock fd;
-      (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
-      let client = { fd; peer = peer_name fd; decoder = Frame.decoder (); outbuf = "" } in
-      Log.info (fun m -> m "client %s connected" client.peer);
-      t.clients <- client :: t.clients;
+      register t fd ~injected:false;
       go ()
     | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
   in
   go ()
+
+(* ------------------------------------------------------------------ *)
+(* Cross-domain entry points                                           *)
+
+let wake t =
+  try ignore (Unix.write_substring t.wakeup_w "x" 0 1)
+  with Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EPIPE | Unix.EBADF), _, _) ->
+    ()
+
+(** Hand an accepted connection to this server's loop (thread-safe; the
+    shard acceptor domain calls this). The loop adopts the fd on its
+    next step. *)
+let inject t fd =
+  Mutex.lock t.inj_mu;
+  Queue.add fd t.inj_q;
+  Mutex.unlock t.inj_mu;
+  wake t
+
+(** Ask the loop to exit (thread-safe): {!run} returns after the current
+    step. Resource teardown stays with the owning domain ({!stop}). *)
+let request_stop t =
+  Atomic.set t.shutdown true;
+  wake t
+
+let drain_wakeup t =
+  let b = Bytes.create 64 in
+  let rec go () =
+    match Unix.read t.wakeup_r b 0 (Bytes.length b) with
+    | n when n > 0 -> go ()
+    | _ -> ()
+    | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _) -> ()
+  in
+  go ()
+
+let drain_injected t =
+  Mutex.lock t.inj_mu;
+  Obs.Gauge.set t.m_queue_depth (Queue.length t.inj_q);
+  let fds = Queue.fold (fun acc fd -> fd :: acc) [] t.inj_q in
+  Queue.clear t.inj_q;
+  Mutex.unlock t.inj_mu;
+  List.iter (fun fd -> register t fd ~injected:true) (List.rev fds)
+
+(* ------------------------------------------------------------------ *)
+(* The loop                                                            *)
 
 (* One metrics snapshot as a single JSON line on stdout, timestamped so
    dump streams can be correlated with external logs. *)
@@ -401,33 +810,72 @@ let maybe_dump_metrics t =
     end
 
 (** One iteration of the event loop: wait up to [timeout] seconds for
-    readiness, then accept/read/write whatever is ready. *)
-let step ?(timeout = 1.0) t =
-  let reads = t.listener :: List.map (fun c -> c.fd) t.clients in
-  let writes = List.filter_map (fun c -> if c.outbuf <> "" then Some c.fd else None) t.clients in
-  (match Unix.select reads writes [] timeout with
-  | readable, writable, _ ->
-    if List.memq t.listener readable then accept_clients t;
-    List.iter (fun c -> if List.memq c.fd readable then handle_readable t c) t.clients;
-    List.iter (fun c -> if List.memq c.fd writable then flush_output t c) t.clients
-  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
-  Option.iter Persist.tick t.persist;
-  List.iter (fun f -> f ()) t.tickers;
-  maybe_dump_metrics t
+    readiness, then accept/read/write whatever is ready.
 
-(** Serve until {!stop}. *)
+    Re-entrant by design: a shard blocked in a synchronous sibling call
+    serves its own connections through nested steps (the Net_client
+    [on_wait] hook), which is what makes symmetric cross-shard calls
+    deadlock-free. A nested step skips accepting, adopting injected
+    connections, tickers and persistence housekeeping — and never reads
+    from a connection whose request is already on the stack ([busy]) or
+    from acceptor-handed (public) connections, so while blocked a shard
+    only advances sibling/peer traffic. *)
+let step ?(timeout = 1.0) t =
+  let nested = t.stepping in
+  t.stepping <- true;
+  Fun.protect ~finally:(fun () -> t.stepping <- nested) @@ fun () ->
+  let events = Poller.wait t.poller ~timeout in
+  List.iter
+    (fun (fd, readable, writable) ->
+      if fd = t.wakeup_r then (if readable then drain_wakeup t)
+      else if fd = t.listener then begin
+        (* accepted even while nested: connections to a shard's own
+           listener are always cluster-internal (a sibling's fetch or
+           forward client connecting lazily) — refusing them while
+           blocked on that very sibling would deadlock the pair. Public
+           traffic only ever arrives through [inject], which nested
+           steps do skip. *)
+        if readable then accept_clients t
+      end
+      else
+        match Hashtbl.find_opt t.conns fd with
+        | None -> () (* dropped earlier in this very event batch *)
+        | Some client ->
+          if writable then flush_output t client;
+          if readable && not client.busy && not (nested && client.injected) then (
+            (* [client] may have been dropped by the flush above *)
+            match Hashtbl.find_opt t.conns fd with
+            | Some c when c == client -> handle_readable t client
+            | _ -> ()))
+    events;
+  if not nested then begin
+    drain_injected t;
+    Option.iter Persist.tick t.persist;
+    List.iter (fun f -> f ()) t.tickers;
+    maybe_dump_metrics t
+  end
+
+(** Serve until {!stop} or {!request_stop}. *)
 let run t =
-  while not t.shutdown do
+  while not (Atomic.get t.shutdown) do
     step t
   done
 
 (** Close the listener, every client connection, and (after a final log
-    sync) the durability manager. *)
+    sync) the durability manager. Must be called from the owning domain
+    (after {!request_stop} + join when the loop runs elsewhere). *)
 let stop t =
-  t.shutdown <- true;
-  List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) t.clients;
-  t.clients <- [];
+  Atomic.set t.shutdown true;
+  Hashtbl.iter (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) t.conns;
+  Hashtbl.reset t.conns;
   Hashtbl.iter (fun _ c -> Net_client.close c) t.peers;
   Hashtbl.reset t.peers;
   Option.iter Persist.close t.persist;
+  Poller.close t.poller;
+  (try Unix.close t.wakeup_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.wakeup_w with Unix.Unix_error _ -> ());
+  Mutex.lock t.inj_mu;
+  Queue.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) t.inj_q;
+  Queue.clear t.inj_q;
+  Mutex.unlock t.inj_mu;
   try Unix.close t.listener with Unix.Unix_error _ -> ()

@@ -1,0 +1,126 @@
+(* Readiness polling: epoll(7) via C stubs on Linux, Unix.select
+   elsewhere (or under PEQUOD_POLLER=select). See poller.mli. *)
+
+external ep_create : unit -> int = "pequod_epoll_create" [@@noalloc]
+external ep_close : int -> unit = "pequod_epoll_close" [@@noalloc]
+
+external ep_ctl : int -> int -> Unix.file_descr -> int -> int = "pequod_epoll_ctl"
+  [@@noalloc]
+
+external ep_wait : int -> int array -> int -> int = "pequod_epoll_wait"
+
+type backend = [ `Epoll | `Select ]
+
+(* both backends keep the registered-interest table in OCaml: epoll needs
+   it to pick add-vs-modify (and to make [set]/[remove] idempotent);
+   select builds its fd lists from it *)
+type t = {
+  kind : [ `Epoll of int | `Select ];
+  interest : (Unix.file_descr, bool * bool) Hashtbl.t;
+  events : int array; (* epoll scratch: fd,flags pairs *)
+}
+
+let fd_int : Unix.file_descr -> int = Obj.magic (* an immediate int on Unix *)
+
+let backend t = match t.kind with `Epoll _ -> `Epoll | `Select -> `Select
+
+let create ?backend () =
+  let wanted =
+    match backend with
+    | Some b -> b
+    | None -> (
+      match Sys.getenv_opt "PEQUOD_POLLER" with
+      | Some ("select" | "SELECT") -> `Select
+      | _ -> `Epoll)
+  in
+  let kind =
+    match wanted with
+    | `Select -> `Select
+    | `Epoll -> (
+      match ep_create () with
+      | -1 ->
+        if backend = Some `Epoll then failwith "Poller.create: epoll unavailable"
+        else `Select (* non-Linux platform: quiet fallback *)
+      | ep -> `Epoll ep)
+  in
+  { kind; interest = Hashtbl.create 16; events = Array.make 512 0 }
+
+let flags_of ~read ~write = (if read then 1 else 0) lor if write then 2 else 0
+
+let ctl_check op ep fd flags =
+  match ep_ctl ep op fd flags with
+  | 0 -> ()
+  | errno -> failwith (Printf.sprintf "Poller: epoll_ctl failed (errno %d)" errno)
+
+let remove t fd =
+  if Hashtbl.mem t.interest fd then begin
+    Hashtbl.remove t.interest fd;
+    match t.kind with `Epoll ep -> ctl_check 2 ep fd 0 | `Select -> ()
+  end
+
+let set t fd ~read ~write =
+  if (not read) && not write then remove t fd
+  else begin
+    let known = Hashtbl.find_opt t.interest fd in
+    if known <> Some (read, write) then begin
+      Hashtbl.replace t.interest fd (read, write);
+      match t.kind with
+      | `Select -> ()
+      | `Epoll ep ->
+        let op = if known = None then 0 else 1 in
+        ctl_check op ep fd (flags_of ~read ~write)
+    end
+  end
+
+let wait t ~timeout =
+  match t.kind with
+  | `Epoll ep -> (
+    let ms =
+      if timeout < 0.0 then -1
+      else
+        let ms = int_of_float (timeout *. 1000.0) in
+        if ms = 0 && timeout > 0.0 then 1 else ms
+    in
+    match ep_wait ep t.events ms with
+    | n when n >= 0 ->
+      let acc = ref [] in
+      for i = n - 1 downto 0 do
+        let flags = t.events.((2 * i) + 1) in
+        acc :=
+          ((Obj.magic t.events.(2 * i) : Unix.file_descr), flags land 1 <> 0,
+            flags land 2 <> 0)
+          :: !acc
+      done;
+      !acc
+    | _ -> failwith "Poller: epoll_wait failed")
+  | `Select -> (
+    let reads = Hashtbl.fold (fun fd (r, _) acc -> if r then fd :: acc else acc) t.interest [] in
+    let writes =
+      Hashtbl.fold (fun fd (_, w) acc -> if w then fd :: acc else acc) t.interest []
+    in
+    if reads = [] && writes = [] then begin
+      (* select with three empty sets returns immediately on some
+         systems; honor the timeout without spinning *)
+      if timeout > 0.0 then Unix.sleepf timeout;
+      []
+    end
+    else
+      match Unix.select reads writes [] timeout with
+      | readable, writable, _ ->
+        let merged : (Unix.file_descr, bool * bool) Hashtbl.t = Hashtbl.create 8 in
+        List.iter (fun fd -> Hashtbl.replace merged fd (true, false)) readable;
+        List.iter
+          (fun fd ->
+            let r = match Hashtbl.find_opt merged fd with Some (r, _) -> r | None -> false in
+            Hashtbl.replace merged fd (r, true))
+          writable;
+        Hashtbl.fold (fun fd (r, w) acc -> (fd, r, w) :: acc) merged []
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> [])
+
+let close t =
+  Hashtbl.reset t.interest;
+  match t.kind with `Epoll ep -> ep_close ep | `Select -> ()
+
+(* keep the unused warning away on platforms where fd_int is not needed
+   elsewhere; it documents the representation assumption the stubs rely on *)
+let _ = fd_int

@@ -1,0 +1,44 @@
+(** Readiness polling behind one interface: epoll(7) where the platform
+    has it, [Unix.select] everywhere else.
+
+    The select loops this replaces carry two scaling hazards: every wait
+    is O(registered fds), and any fd number at or above [FD_SETSIZE]
+    (1024 almost everywhere) silently corrupts or rejects the set. The
+    epoll backend is O(ready) per wait and has no fd-number ceiling, so
+    a server can hold thousands of idle connections for the cost of the
+    active ones.
+
+    Interest is level-triggered under both backends: a registered fd is
+    reported ready on every {!wait} until the condition is consumed, so
+    a handler may read less than everything buffered without losing the
+    wakeup. Closing a registered fd without {!remove}ing it first is a
+    bug (epoll drops it silently; select raises [EBADF]). *)
+
+type t
+
+type backend = [ `Epoll | `Select ]
+
+(** A fresh poller. The backend defaults to epoll when the platform
+    provides it, unless the [PEQUOD_POLLER] environment variable says
+    [select]; pass [backend] to force one (forcing [`Epoll] on a
+    platform without it raises [Failure]). *)
+val create : ?backend:backend -> unit -> t
+
+val backend : t -> backend
+
+(** Register interest, or update it for an already-registered fd.
+    [read:false write:false] is equivalent to {!remove}. *)
+val set : t -> Unix.file_descr -> read:bool -> write:bool -> unit
+
+(** Forget an fd (idempotent). Must happen before the fd is closed. *)
+val remove : t -> Unix.file_descr -> unit
+
+(** Wait up to [timeout] seconds (0 polls, negative waits forever) and
+    return the ready fds with their readiness. Error/hang-up conditions
+    are reported as readable so the owner's next read sees the EOF or
+    error. Interrupted waits ([EINTR]) return the empty list. *)
+val wait : t -> timeout:float -> (Unix.file_descr * bool * bool) list
+
+(** Release the backend's own resources (the epoll instance); the
+    registered fds themselves are untouched. *)
+val close : t -> unit

@@ -1,0 +1,103 @@
+/* epoll(7) bindings for the poller abstraction (lib/net/poller.ml).
+ *
+ * The OCaml side treats every function as infallible and falls back to
+ * the select backend when epoll is unavailable: pequod_epoll_create
+ * returns -1 on any non-Linux platform (the whole file compiles to
+ * stubs there) or when epoll_create1 itself fails.
+ *
+ * Unix.file_descr is an immediate int on Unix, so fds cross the FFI as
+ * plain Val_int/Int_val with no conversion.
+ */
+
+#include <caml/mlvalues.h>
+#include <caml/threads.h>
+
+#ifdef __linux__
+
+#include <errno.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <unistd.h>
+
+CAMLprim value pequod_epoll_create(value vunit)
+{
+  (void)vunit;
+  return Val_int(epoll_create1(0));
+}
+
+CAMLprim value pequod_epoll_close(value vep)
+{
+  close(Int_val(vep));
+  return Val_unit;
+}
+
+/* op: 0 = add, 1 = modify, 2 = delete; flags: 1 = read, 2 = write.
+ * Returns 0 on success, the errno otherwise. */
+CAMLprim value pequod_epoll_ctl(value vep, value vop, value vfd, value vflags)
+{
+  struct epoll_event ev;
+  int op, flags = Int_val(vflags);
+  memset(&ev, 0, sizeof ev);
+  if (flags & 1) ev.events |= EPOLLIN;
+  if (flags & 2) ev.events |= EPOLLOUT;
+  ev.data.fd = Int_val(vfd);
+  switch (Int_val(vop)) {
+  case 0: op = EPOLL_CTL_ADD; break;
+  case 1: op = EPOLL_CTL_MOD; break;
+  default: op = EPOLL_CTL_DEL; break;
+  }
+  if (epoll_ctl(Int_val(vep), op, Int_val(vfd), &ev) == 0) return Val_int(0);
+  return Val_int(errno);
+}
+
+/* Fill [varr] (a flat int array of fd,flags pairs) with up to
+ * Wosize/2 ready events; returns the event count, 0 on EINTR, -1 on
+ * any other failure. Releases the runtime lock around the blocking
+ * wait so sibling shard Domains keep running. */
+CAMLprim value pequod_epoll_wait(value vep, value varr, value vtimeout_ms)
+{
+  struct epoll_event evs[256];
+  int ep = Int_val(vep), timeout = Int_val(vtimeout_ms);
+  int max = Wosize_val(varr) / 2, n, i;
+  if (max > 256) max = 256;
+  caml_release_runtime_system();
+  n = epoll_wait(ep, evs, max, timeout);
+  caml_acquire_runtime_system();
+  if (n < 0) return Val_int(errno == EINTR ? 0 : -1);
+  for (i = 0; i < n; i++) {
+    int flags = 0;
+    if (evs[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) flags |= 1;
+    if (evs[i].events & EPOLLOUT) flags |= 2;
+    Field(varr, 2 * i) = Val_int(evs[i].data.fd);
+    Field(varr, 2 * i + 1) = Val_int(flags);
+  }
+  return Val_int(n);
+}
+
+#else /* !__linux__ */
+
+CAMLprim value pequod_epoll_create(value vunit)
+{
+  (void)vunit;
+  return Val_int(-1);
+}
+
+CAMLprim value pequod_epoll_close(value vep)
+{
+  (void)vep;
+  return Val_unit;
+}
+
+CAMLprim value pequod_epoll_ctl(value vep, value vop, value vfd, value vflags)
+{
+  (void)vep; (void)vop; (void)vfd; (void)vflags;
+  return Val_int(-1);
+}
+
+CAMLprim value pequod_epoll_wait(value vep, value varr, value vtimeout_ms)
+{
+  (void)vep; (void)varr; (void)vtimeout_ms;
+  return Val_int(-1);
+}
+
+#endif

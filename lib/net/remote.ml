@@ -58,7 +58,7 @@ let routes_of_specs ~peers specs =
 
 (* peer clients, one per owning address, created lazily and registered
    in the engine's own metrics registry ([net.client.retries] etc.) *)
-let client_cache obs =
+let client_cache ?config ?on_wait obs =
   let cache : (string, Net_client.t) Hashtbl.t = Hashtbl.create 4 in
   fun addr ->
     match Hashtbl.find_opt cache addr with
@@ -74,7 +74,7 @@ let client_cache obs =
           | None -> invalid_arg ("bad peer address: " ^ addr))
         | None -> invalid_arg ("bad peer address: " ^ addr)
       in
-      let c = Net_client.create ~obs ~host:chost ~port:cport () in
+      let c = Net_client.create ~obs ?config ?on_wait ~host:chost ~port:cport () in
       Hashtbl.add cache addr c;
       c
 
@@ -85,8 +85,31 @@ let client_cache obs =
    present-and-empty would silently serve wrong answers.
    [`Fetch clamps]: the (route, clamp_lo, clamp_hi) fetches that cover
    the range, one per overlapping remotely-owned route. *)
+(* A wildcard route ([r_table = "*"]) covers a slice of {e every} table:
+   its bounds live in component space (the part of the key after "T|"),
+   with [r_lo = ""] meaning the table's start and [r_hi = ""] its end.
+   The shard layer partitions the whole keyspace this way — one cut
+   vector, every table. Instantiating against a concrete table maps the
+   bounds back into key space. *)
+let instantiate table r =
+  if not (String.equal r.r_table "*") then r
+  else
+    { r with
+      r_table = table;
+      r_lo = table ^ "|" ^ r.r_lo;
+      r_hi = (if r.r_hi = "" then table ^ "}" else table ^ "|" ^ r.r_hi) }
+
 let plan ~routes ~table ~lo ~hi =
-  let mine = List.filter (fun r -> String.equal r.r_table table) routes in
+  (* a table named by a specific route is governed only by specific
+     routes; wildcards partition the tables nothing else claims *)
+  let mine =
+    match List.filter (fun r -> String.equal r.r_table table) routes with
+    | _ :: _ as specific -> specific
+    | [] ->
+      List.filter_map
+        (fun r -> if String.equal r.r_table "*" then Some (instantiate table r) else None)
+        routes
+  in
   if mine = [] then `Unrouted
   else begin
     let overlapping =
@@ -116,22 +139,28 @@ let plan ~routes ~table ~lo ~hi =
            overlapping)
   end
 
-let attach ?(check_every = 2.0) ~engine ~self_addr ~routes () =
+let attach ?(check_every = 2.0) ?client_config ?on_wait ?(local_tables = fun _ -> false)
+    ~engine ~self_addr ~routes () =
   List.iter
     (fun r ->
       match r.r_addr with
-      | None -> Server.mark_present engine ~table:r.r_table ~lo:r.r_lo ~hi:r.r_hi
-      | Some _ -> ())
+      (* local wildcard slices cannot be pre-marked (no concrete table);
+         they resolve as `Fetch with no remote clamps -> Local instead *)
+      | None when not (String.equal r.r_table "*") ->
+        Server.mark_present engine ~table:r.r_table ~lo:r.r_lo ~hi:r.r_hi
+      | _ -> ())
     routes;
   if List.for_all (fun r -> r.r_addr = None) routes then fun () -> ()
   else begin
-    let client_for = client_cache (Server.obs engine) in
+    let client_for = client_cache ?config:client_config ?on_wait (Server.obs engine) in
+    let m_fetch_out = Obs.counter (Server.obs engine) "peer.fetch.out" in
     (* live subscriptions this server believes it holds: exactly the
        (table, clamp) ranges whose Fetch was granted, keyed to the home
        that granted them. The healing heartbeat audits this against the
        home's own Sub_check answer. *)
     let tracked : (string * string * string, string) Hashtbl.t = Hashtbl.create 16 in
     let fetch_one ~table ~lo ~hi addr =
+      Obs.Counter.incr m_fetch_out;
       match
         Net_client.call (client_for addr)
           (Message.Fetch { table; lo; hi; subscriber = self_addr })
@@ -150,6 +179,13 @@ let attach ?(check_every = 2.0) ~engine ~self_addr ~routes () =
         None
     in
     Server.set_resolver engine (fun ~table ~lo ~hi ->
+        (* tables the caller declares always-local — the shard layer's
+           join outputs, which every shard recomputes from (fetched,
+           subscription-fresh) sources rather than fetching: a fetched
+           copy of a join output would freeze, because join-derived
+           writes are not client-origin and are never pushed *)
+        if local_tables table then Server.Local
+        else
         match plan ~routes ~table ~lo ~hi with
         | `Unrouted -> Server.Local
         | `Gap ->

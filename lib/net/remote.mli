@@ -25,7 +25,15 @@
 
 (** One partition route. [r_addr = None] means this process is the home
     (the range is marked present); [Some "host:port"] names the owning
-    peer. *)
+    peer.
+
+    A {e wildcard} route has [r_table = "*"] and covers the same slice
+    of every table not named by a specific route: its bounds are in
+    component space — the part of the key after ["T|"] — with
+    [r_lo = ""] meaning each table's start and [r_hi = ""] its end. The
+    shard layer partitions the whole keyspace with one cut vector this
+    way. Specific routes always win: a table any specific route names is
+    governed only by specific routes. *)
 type route = {
   r_table : string;
   r_lo : string;
@@ -47,7 +55,9 @@ val routes_of_specs :
     uncovered — a partition misconfiguration, surfaced as [Deferred]
     rather than silently served as present-and-empty.
     [`Fetch clamps]: the per-route clamps to fetch (remotely-owned
-    overlapping routes only). Exposed for tests. *)
+    overlapping routes only — an empty list means every overlapping
+    route is local, so the range resolves [Local]). Wildcard routes are
+    instantiated against [table] first. Exposed for tests. *)
 val plan :
   routes:route list -> table:string -> lo:string -> hi:string ->
   [ `Unrouted | `Gap | `Fetch of (route * string * string) list ]
@@ -58,8 +68,21 @@ val plan :
     subscription-healing tick — run it from the serving event loop
     ({!Net_server.add_ticker}); it rate-limits itself to one [Sub_check]
     round per [check_every] seconds (default 2) and is a no-op when
-    there are no remote routes. Call once, before serving. *)
+    there are no remote routes. Call once, before serving.
+
+    [client_config] overrides the per-peer {!Net_client} retry/timeout
+    policy; [on_wait] is threaded into every peer client (see
+    {!Net_client.create}) so the owning event loop keeps serving while a
+    fetch blocks — the shard layer passes a nested server step.
+    [local_tables] names tables the resolver must treat as always-local
+    regardless of routes: the shard layer's join outputs, which each
+    shard recomputes from subscription-fresh sources (a fetched copy of
+    a join output would freeze — join-derived writes are never pushed).
+    Outbound fetches are counted in [peer.fetch.out]. *)
 val attach :
   ?check_every:float ->
+  ?client_config:Net_client.config ->
+  ?on_wait:(unit -> unit) ->
+  ?local_tables:(string -> bool) ->
   engine:Pequod_core.Server.t -> self_addr:string -> routes:route list -> unit ->
   unit -> unit

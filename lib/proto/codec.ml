@@ -16,14 +16,22 @@ let put_string buf s =
   put_varint buf (String.length s);
   Buffer.add_string buf s
 
-type reader = { data : string; mutable pos : int }
+type reader = { data : string; mutable pos : int; limit : int }
 
 exception Decode_error of string
 
-let reader data = { data; pos = 0 }
+let reader data = { data; pos = 0; limit = String.length data }
+
+(* A reader over the sub-range [pos, pos+len) of [data]: the zero-copy
+   decode path hands the framing layer's receive buffer straight to the
+   message decoder without a per-frame String.sub. *)
+let reader_view data ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length data then
+    invalid_arg "Codec.reader_view";
+  { data; pos; limit = pos + len }
 
 let get_byte r =
-  if r.pos >= String.length r.data then raise (Decode_error "truncated");
+  if r.pos >= r.limit then raise (Decode_error "truncated");
   let c = Char.code r.data.[r.pos] in
   r.pos <- r.pos + 1;
   c
@@ -39,12 +47,12 @@ let get_varint r =
 
 let get_string r =
   let n = get_varint r in
-  if r.pos + n > String.length r.data then raise (Decode_error "truncated string");
+  if n > r.limit - r.pos then raise (Decode_error "truncated string");
   let s = String.sub r.data r.pos n in
   r.pos <- r.pos + n;
   s
 
-let at_end r = r.pos >= String.length r.data
+let at_end r = r.pos >= r.limit
 
 let put_pair_list buf pairs =
   put_varint buf (List.length pairs);

@@ -3,7 +3,15 @@
     Each frame is a 4-byte big-endian length followed by the message body.
     The decoder is incremental: feed it whatever bytes arrived and it
     yields every completed frame, keeping the remainder buffered — exactly
-    what a readiness-driven ([select]) event loop needs. *)
+    what a readiness-driven event loop needs.
+
+    Two feed paths share one decoder. {!feed} returns frames as fresh
+    strings (one copy per frame). {!feed_bytes} is the zero-copy fast
+    path: when no partial frame is pending, complete frames are handed to
+    the callback as views straight into the caller's receive buffer, and
+    only a trailing partial is retained — steady-state pipelined traffic
+    (the [Put_batch]/[Notify_batch] firehose) never copies a frame body
+    between the socket read and the message decoder. *)
 
 let max_frame = 64 * 1024 * 1024
 
@@ -19,30 +27,103 @@ let encode body =
   Bytes.set_uint8 header 3 (n land 0xff);
   Bytes.to_string header ^ body
 
-type decoder = { mutable pending : string }
+let add_frame out body =
+  let n = String.length body in
+  if n > max_frame then raise (Frame_too_large n);
+  Buffer.add_char out (Char.chr ((n lsr 24) land 0xff));
+  Buffer.add_char out (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char out (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char out (Char.chr (n land 0xff));
+  Buffer.add_string out body
 
-let decoder () = { pending = "" }
+(* the pending partial frame lives in buf.[start, stop); both bounds move
+   so a long run of partial arrivals compacts instead of concatenating *)
+type decoder = { mutable buf : Bytes.t; mutable start : int; mutable stop : int }
+
+let decoder () = { buf = Bytes.create 4096; start = 0; stop = 0 }
+
+let buffered t = t.stop - t.start
+
+let header_at b off =
+  (Char.code (Bytes.unsafe_get b off) lsl 24)
+  lor (Char.code (Bytes.unsafe_get b (off + 1)) lsl 16)
+  lor (Char.code (Bytes.unsafe_get b (off + 2)) lsl 8)
+  lor Char.code (Bytes.unsafe_get b (off + 3))
+
+(* room for [extra] more bytes at [stop]: compact first (the live span
+   slides to offset 0), grow only when compaction is not enough *)
+let reserve t extra =
+  let live = buffered t in
+  if t.start > 0 then begin
+    Bytes.blit t.buf t.start t.buf 0 live;
+    t.start <- 0;
+    t.stop <- live
+  end;
+  if live + extra > Bytes.length t.buf then begin
+    let cap = ref (Bytes.length t.buf * 2) in
+    while live + extra > !cap do
+      cap := !cap * 2
+    done;
+    let bigger = Bytes.create !cap in
+    Bytes.blit t.buf 0 bigger 0 live;
+    t.buf <- bigger
+  end
+
+let feed_bytes t src off len ~frame =
+  if buffered t = 0 then begin
+    (* fast path: complete frames are views into [src]; no copying *)
+    let pos = ref off in
+    let stop = off + len in
+    let continue = ref true in
+    while !continue do
+      if stop - !pos < 4 then continue := false
+      else begin
+        let n = header_at src !pos in
+        if n > max_frame then raise (Frame_too_large n);
+        if stop - !pos < 4 + n then continue := false
+        else begin
+          frame src ~off:(!pos + 4) ~len:n;
+          pos := !pos + 4 + n
+        end
+      end
+    done;
+    let rest = stop - !pos in
+    if rest > 0 then begin
+      t.start <- 0;
+      t.stop <- 0;
+      reserve t rest;
+      Bytes.blit src !pos t.buf 0 rest;
+      t.stop <- rest
+    end
+  end
+  else begin
+    reserve t len;
+    Bytes.blit src off t.buf t.stop len;
+    t.stop <- t.stop + len;
+    let continue = ref true in
+    while !continue do
+      if buffered t < 4 then continue := false
+      else begin
+        let n = header_at t.buf t.start in
+        if n > max_frame then raise (Frame_too_large n);
+        if buffered t < 4 + n then continue := false
+        else begin
+          let body_off = t.start + 4 in
+          t.start <- t.start + 4 + n;
+          frame t.buf ~off:body_off ~len:n
+        end
+      end
+    done;
+    if buffered t = 0 then begin
+      t.start <- 0;
+      t.stop <- 0
+    end
+  end
 
 let feed t chunk =
-  t.pending <- t.pending ^ chunk;
   let frames = ref [] in
-  let continue = ref true in
-  while !continue do
-    let buf = t.pending in
-    if String.length buf < 4 then continue := false
-    else begin
-      let n =
-        (Char.code buf.[0] lsl 24) lor (Char.code buf.[1] lsl 16) lor (Char.code buf.[2] lsl 8)
-        lor Char.code buf.[3]
-      in
-      if n > max_frame then raise (Frame_too_large n);
-      if String.length buf < 4 + n then continue := false
-      else begin
-        frames := String.sub buf 4 n :: !frames;
-        t.pending <- String.sub buf (4 + n) (String.length buf - 4 - n)
-      end
-    end
-  done;
+  feed_bytes t
+    (Bytes.unsafe_of_string chunk)
+    0 (String.length chunk)
+    ~frame:(fun b ~off ~len -> frames := Bytes.sub_string b off len :: !frames);
   List.rev !frames
-
-let buffered t = String.length t.pending

@@ -9,6 +9,10 @@ exception Frame_too_large of int
 (** Prefix a payload with its length. *)
 val encode : string -> string
 
+(** Append the length header and [body] directly to [out] — one frame,
+    no intermediate [header ^ body] string. *)
+val add_frame : Buffer.t -> string -> unit
+
 type decoder
 
 (** A fresh decoder with an empty reassembly buffer. *)
@@ -17,6 +21,17 @@ val decoder : unit -> decoder
 (** Feed arriving bytes; returns every completed frame, keeping the
     remainder buffered. *)
 val feed : decoder -> string -> string list
+
+(** Zero-copy feed: [feed_bytes t src off len ~frame] calls
+    [frame buf ~off ~len] once per completed frame, in arrival order.
+    When the decoder holds no partial frame, the views point straight
+    into [src]; otherwise into the decoder's own compacting reassembly
+    buffer. Either way a view is valid only for the duration of the
+    callback — the buffer is reused as soon as [feed_bytes] is called
+    again (in particular, the callback must not trigger a re-entrant
+    feed of the same decoder). *)
+val feed_bytes :
+  decoder -> Bytes.t -> int -> int -> frame:(Bytes.t -> off:int -> len:int -> unit) -> unit
 
 (** Bytes currently buffered awaiting completion. *)
 val buffered : decoder -> int

@@ -150,8 +150,7 @@ let encode_request req =
     Codec.put_string buf subscriber);
   Buffer.contents buf
 
-let decode_request data =
-  let r = Codec.reader data in
+let decode_request_r r =
   let req =
     match Codec.get_byte r with
     | 0x01 -> Get (Codec.get_string r)
@@ -194,6 +193,15 @@ let decode_request data =
   in
   if not (Codec.at_end r) then raise (Codec.Decode_error "trailing bytes");
   req
+
+let decode_request data = decode_request_r (Codec.reader data)
+
+(** Decode a request straight out of a framing-layer receive buffer
+    ([Frame.feed_bytes] view) with no per-frame copy. The decoded value
+    shares nothing with [buf] (keys and values are extracted as fresh
+    strings), so it stays valid after the buffer is reused. *)
+let decode_request_view buf ~off ~len =
+  decode_request_r (Codec.reader_view (Bytes.unsafe_to_string buf) ~pos:off ~len)
 
 let encode_response resp =
   let buf = Buffer.create 64 in

@@ -29,6 +29,8 @@ module Server = Pequod_core.Server
 module Config = Pequod_core.Config
 module Persist = Pequod_persist.Persist
 module Oracle = Pequod_oracle.Oracle
+module Shard = Pequod_server_lib.Shard
+module Net_server = Pequod_server_lib.Net_server
 
 (* ------------------------------------------------------------------ *)
 (* Seed derivation                                                     *)
@@ -392,49 +394,63 @@ type variant = {
       (** a second plain engine plays the home server for every base
           table; the engine under test resolves missing ranges from it
           (§3.3), with writes forwarded only for subscribed ranges *)
+  va_shards : int;
+      (** 0 = off; k >= 2 models the shard-per-core server: k engines,
+          each owning a component-space slice of every base table (the
+          same cut semantics as [Shard.owner_of_cuts]), writes routed to
+          the owner and forwarded to subscribed siblings, sink tables
+          computed by whichever engine serves the scan from fetched,
+          subscription-fresh source slices *)
 }
 
 let variants =
   [| { va_name = "default"; va_tweak = (fun _ -> ()); va_persist = No_persist;
-       va_remote = false };
+       va_remote = false; va_shards = 0 };
      { va_name = "no-hints";
        va_tweak = (fun c -> c.Config.output_hints <- false);
-       va_persist = No_persist; va_remote = false };
+       va_persist = No_persist; va_remote = false; va_shards = 0 };
      { va_name = "no-sharing";
        va_tweak = (fun c -> c.Config.value_sharing <- false);
-       va_persist = No_persist; va_remote = false };
+       va_persist = No_persist; va_remote = false; va_shards = 0 };
      { va_name = "no-combine";
        va_tweak = (fun c -> c.Config.combine_updaters <- false);
-       va_persist = No_persist; va_remote = false };
+       va_persist = No_persist; va_remote = false; va_shards = 0 };
      { va_name = "eager-checks";
        va_tweak = (fun c -> c.Config.lazy_checks <- false);
-       va_persist = No_persist; va_remote = false };
+       va_persist = No_persist; va_remote = false; va_shards = 0 };
      { va_name = "log-limit-1";
        va_tweak = (fun c -> c.Config.pending_log_limit <- 1);
-       va_persist = No_persist; va_remote = false };
+       va_persist = No_persist; va_remote = false; va_shards = 0 };
      { va_name = "subtables";
        va_tweak = (fun c -> c.Config.table_config <- (fun _ -> Some 2));
-       va_persist = No_persist; va_remote = false };
+       va_persist = No_persist; va_remote = false; va_shards = 0 };
      { va_name = "evict";
        va_tweak = (fun c -> c.Config.memory_limit <- Some 8192);
-       va_persist = No_persist; va_remote = false };
+       va_persist = No_persist; va_remote = false; va_shards = 0 };
      { va_name = "evict-no-combine";
        va_tweak =
          (fun c ->
            c.Config.memory_limit <- Some 8192;
            c.Config.combine_updaters <- false);
-       va_persist = No_persist; va_remote = false };
+       va_persist = No_persist; va_remote = false; va_shards = 0 };
      { va_name = "persist";
        va_tweak = (fun _ -> ());
-       va_persist = Persist_always { snapshot_every = 0 }; va_remote = false };
+       va_persist = Persist_always { snapshot_every = 0 }; va_remote = false; va_shards = 0 };
      { va_name = "persist-snap";
        va_tweak = (fun _ -> ());
-       va_persist = Persist_always { snapshot_every = 7 }; va_remote = false };
+       va_persist = Persist_always { snapshot_every = 7 }; va_remote = false; va_shards = 0 };
      { va_name = "remote"; va_tweak = (fun _ -> ()); va_persist = No_persist;
-       va_remote = true };
+       va_remote = true; va_shards = 0 };
      { va_name = "remote-evict";
        va_tweak = (fun c -> c.Config.memory_limit <- Some 8192);
-       va_persist = No_persist; va_remote = true } |]
+       va_persist = No_persist; va_remote = true; va_shards = 0 };
+     { va_name = "shards-2"; va_tweak = (fun _ -> ()); va_persist = No_persist;
+       va_remote = false; va_shards = 2 };
+     { va_name = "shards-3"; va_tweak = (fun _ -> ()); va_persist = No_persist;
+       va_remote = false; va_shards = 3 };
+     { va_name = "shards-2-evict";
+       va_tweak = (fun c -> c.Config.memory_limit <- Some 8192);
+       va_persist = No_persist; va_remote = false; va_shards = 2 } |]
 
 let find_scenario name = Array.find_opt (fun s -> s.sc_name = name) scenarios
 let find_variant name = Array.find_opt (fun v -> v.va_name = name) variants
@@ -523,10 +539,85 @@ let run_case scenario variant ops =
       (fun reason -> raise (Case_failed { f_step = !step; f_reason = reason }))
       fmt
   in
+  (* shard mode: [va_shards] sibling engines each own a disjoint
+     component-space slice of every table — the shard layer's wildcard
+     routes, modelled in-process and synchronously. Each engine's
+     resolver serves missing source ranges from the sibling stores,
+     clamped to each sibling's slice; a range inside the engine's own
+     slice — and any join-output table, which every shard recomputes
+     from subscription-fresh sources — is Local, which terminates the
+     recursion (sibling scans are always slice-clamped, so they resolve
+     Local on the sibling). Every resolved range is a subscription:
+     writes land on the owner and are forwarded to subscribed siblings,
+     modelling the Notify push. Uses the real [Shard.owner_of_cuts] and
+     [Shard.route_scan] so the fuzzer exercises the shipped routing. *)
+  let shards_arr =
+    if variant.va_shards < 2 then None
+    else begin
+      (* component-space cuts sized to the generators' vocabulary:
+         users ann..dee, digit-led timestamps, voters x/y/z *)
+      let cuts =
+        match variant.va_shards with 2 -> [| "c" |] | _ -> [| "b"; "d" |]
+      in
+      Some (Array.init variant.va_shards (fun _ -> Server.create ~config ()), cuts)
+    end
+  in
+  let shard_subs =
+    match shards_arr with
+    | None -> [||]
+    | Some (arr, _) -> Array.map (fun _ -> ref []) arr
+  in
+  let shard_subscribed j k =
+    List.exists
+      (fun (lo, hi) -> String.compare lo k <= 0 && String.compare k hi < 0)
+      !(shard_subs.(j))
+  in
+  (match shards_arr with
+  | None -> ()
+  | Some (arr, cuts) ->
+    let n = Array.length arr in
+    let slice_lo j table = if j = 0 then table ^ "|" else table ^ "|" ^ cuts.(j - 1) in
+    let slice_hi j table = if j = n - 1 then table ^ "}" else table ^ "|" ^ cuts.(j) in
+    let smax a b = if String.compare a b >= 0 then a else b in
+    let smin a b = if String.compare a b <= 0 then a else b in
+    Array.iteri
+      (fun k _ ->
+        Server.set_resolver arr.(k) (fun ~table ~lo ~hi ->
+            let sink =
+              List.exists
+                (fun sp -> Pequod_pattern.Joinspec.output_table sp = table)
+                (Server.joins arr.(k))
+            in
+            if sink then Server.Local
+            else if
+              String.compare (slice_lo k table) lo <= 0
+              && String.compare hi (slice_hi k table) <= 0
+            then Server.Local
+            else begin
+              shard_subs.(k) := (lo, hi) :: !(shard_subs.(k));
+              (* [Resolved] pairs are applied additively over the range,
+                 so the engine's own slice survives the feed *)
+              let pairs = ref [] in
+              for j = n - 1 downto 0 do
+                if j <> k then begin
+                  let clo = smax lo (slice_lo j table)
+                  and chi = smin hi (slice_hi j table) in
+                  if String.compare clo chi < 0 then
+                    pairs := Server.scan arr.(j) ~lo:clo ~hi:chi @ !pairs
+                end
+              done;
+              Server.Resolved !pairs
+            end))
+      arr);
   let install_join text =
-    (match Server.add_join_text !server text with
-    | Ok () -> ()
-    | Error msg -> fail "engine rejected join %S: %s" text msg);
+    let on_engine srv =
+      match Server.add_join_text srv text with
+      | Ok () -> ()
+      | Error msg -> fail "engine rejected join %S: %s" text msg
+    in
+    (match shards_arr with
+    | Some (arr, _) -> Array.iter on_engine arr
+    | None -> on_engine !server);
     match Oracle.add_join_text oracle text with
     | Ok () -> ()
     | Error msg -> fail "oracle rejected join %S: %s" text msg
@@ -558,7 +649,29 @@ let run_case scenario variant ops =
   let table_of k =
     match String.index_opt k '|' with Some i -> String.sub k 0 i | None -> k
   in
+  let scan_rr = ref 0 in
   let engine_scan lo hi =
+    match shards_arr with
+    | Some (arr, cuts) -> (
+      let n = Array.length arr in
+      (* mirror the net layer's dispatch: a single-slice range is served
+         entirely by its owner; anything wider is scattered — a rotating
+         shard serves first (so successive reads exercise different
+         fetch/subscription states), merged with every sibling's slice
+         through the shipped dedup *)
+      match Shard.route_scan cuts ~shards:n ~lo ~hi with
+      | Some o -> Server.scan arr.(o) ~lo ~hi
+      | None ->
+        let s = !scan_rr mod n in
+        incr scan_rr;
+        let rec gather acc j =
+          if j >= n then acc
+          else if j = s then gather acc (j + 1)
+          else
+            gather (Net_server.merge_dedup acc (Server.scan arr.(j) ~lo ~hi)) (j + 1)
+        in
+        gather (Server.scan arr.(s) ~lo ~hi) 0)
+    | None -> (
     match home with
     | None -> Server.scan !server ~lo ~hi
     | Some h ->
@@ -583,7 +696,7 @@ let run_case scenario variant ops =
       let is_sink k = List.mem (table_of k) sinks in
       let front = List.filter (fun (k, _) -> is_sink k) (converge 0) in
       let base = List.filter (fun (k, _) -> not (is_sink k)) (Server.scan h ~lo ~hi) in
-      List.merge (fun (a, _) (b, _) -> String.compare a b) front base
+      List.merge (fun (a, _) (b, _) -> String.compare a b) front base)
   in
   let compare_scan lo hi =
     incr stat_compares;
@@ -614,21 +727,44 @@ let run_case scenario variant ops =
     match op with
     | Put (k, v) -> (
       guard_sink k;
-      (match home with
-      | None -> Server.put !server k v
-      | Some h ->
-        Server.put h k v;
-        if subscribed k then Server.put !server k v);
+      (match shards_arr with
+      | Some (arr, cuts) ->
+        let o = Shard.owner_of_cuts cuts k in
+        Server.put arr.(o) k v;
+        Array.iteri
+          (fun j eng -> if j <> o && shard_subscribed j k then Server.put eng k v)
+          arr
+      | None -> (
+        match home with
+        | None -> Server.put !server k v
+        | Some h ->
+          Server.put h k v;
+          if subscribed k then Server.put !server k v));
       Oracle.put oracle k v)
     | Put_batch pairs ->
       List.iter (fun (k, _) -> guard_sink k) pairs;
-      (match home with
+      (match shards_arr with
+      | Some (arr, cuts) ->
+        (* split like the net layer's dispatch: each shard sees, in
+           argument order, the pairs it owns plus those it subscribes to *)
+        Array.iteri
+          (fun j eng ->
+            match
+              List.filter
+                (fun (k, _) -> Shard.owner_of_cuts cuts k = j || shard_subscribed j k)
+                pairs
+            with
+            | [] -> ()
+            | mine -> Server.put_batch eng mine)
+          arr
+      | None -> (
+      match home with
       | None -> Server.put_batch !server pairs
       | Some h ->
         Server.put_batch h pairs;
         (match List.filter (fun (k, _) -> subscribed k) pairs with
         | [] -> ()
-        | fwd -> Server.put_batch !server fwd));
+        | fwd -> Server.put_batch !server fwd)));
       (* put_batch is specified as equivalent to sequential puts; the
          oracle applies the same pairs one at a time (argument order —
          the batch's stable sort keeps duplicate keys in argument order,
@@ -636,11 +772,19 @@ let run_case scenario variant ops =
       List.iter (fun (k, v) -> Oracle.put oracle k v) pairs
     | Remove k -> (
       guard_sink k;
-      (match home with
-      | None -> Server.remove !server k
-      | Some h ->
-        Server.remove h k;
-        if subscribed k then Server.remove !server k);
+      (match shards_arr with
+      | Some (arr, cuts) ->
+        let o = Shard.owner_of_cuts cuts k in
+        Server.remove arr.(o) k;
+        Array.iteri
+          (fun j eng -> if j <> o && shard_subscribed j k then Server.remove eng k)
+          arr
+      | None -> (
+        match home with
+        | None -> Server.remove !server k
+        | Some h ->
+          Server.remove h k;
+          if subscribed k then Server.remove !server k));
       Oracle.remove oracle k)
     | Scan (lo, hi) -> compare_scan lo hi
     | Count (lo, hi) ->
@@ -673,8 +817,11 @@ let run_case scenario variant ops =
         | Case_failed _ as e -> raise e
         | e -> fail "op %s raised %s" (op_to_line op) (Printexc.to_string e));
         try
-          Server.check_invariants !server;
-          match home with Some h -> Server.check_invariants h | None -> ()
+          match shards_arr with
+          | Some (arr, _) -> Array.iter Server.check_invariants arr
+          | None -> (
+            Server.check_invariants !server;
+            match home with Some h -> Server.check_invariants h | None -> ())
         with
         | Case_failed _ as e -> raise e
         | e -> fail "invariants after %s: %s" (op_to_line op) (Printexc.to_string e))

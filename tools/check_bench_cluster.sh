@@ -15,7 +15,8 @@ fi
 status=0
 for key in '"benchmark"' '"cluster"' '"commit"' '"date"' '"qps"' \
   '"ops_completed"' '"subscription_share"' '"latency_us"' \
-  '"login"' '"check"' '"subscribe"' '"post"' '"p50"' '"p95"' '"p99"'; do
+  '"login"' '"check"' '"subscribe"' '"post"' '"p50"' '"p95"' '"p99"' \
+  '"shards"' '"nproc"'; do
   if ! grep -q "$key" "$f"; then
     echo "FAIL: $f lacks $key" >&2
     status=1
@@ -25,6 +26,25 @@ done
 if grep -q '"ops_completed": 0' "$f"; then
   echo "FAIL: $f reports zero completed ops" >&2
   status=1
+fi
+
+# shard-per-core runs additionally carry the per-shard op split, and a
+# multi-shard run its measured --shards 1 comparison
+if grep -q '"shards": 0' "$f"; then
+  :
+else
+  if ! grep -q '"per_shard_ops"' "$f"; then
+    echo "FAIL: $f is a --shards run but lacks per_shard_ops" >&2
+    status=1
+  fi
+  if ! grep -q '"shards": 1' "$f"; then
+    for key in '"baseline_shards1"' '"shard_speedup"'; do
+      if ! grep -q "$key" "$f"; then
+        echo "FAIL: $f is a multi-shard run but lacks $key" >&2
+        status=1
+      fi
+    done
+  fi
 fi
 
 [ "$status" -eq 0 ] && echo "OK: $f has all expected keys"
