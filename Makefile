@@ -21,10 +21,11 @@ micro: ; dune exec bench/main.exe -- micro
 # without burning minutes on statistical quality
 micro-smoke: ; PEQUOD_MICRO_QUOTA=0.02 dune exec bench/main.exe -- micro
 
-# live-cluster smoke: the forked 3-process integration test (2 home
-# servers + 1 compute server over real TCP, kill/respawn included),
-# bounded so a wedged process cannot hang CI
-net-smoke: ; timeout 120 dune exec test/test_net_cluster.exe
+# live-cluster smoke: the forked multi-process integration tests (home
+# + compute servers over real TCP: kill/respawn, directory-routed
+# migrate-then-verify, and the kill -9-mid-migration crash-safety
+# case), bounded so a wedged process cannot hang CI
+net-smoke: ; timeout 240 dune exec test/test_net_cluster.exe
 
 # full-scale cluster benchmark: a million-user Zipf graph driven
 # through a live multi-process server cluster over TCP; writes the
@@ -61,6 +62,13 @@ cluster-smoke:
 		|| exit 1; \
 	done
 	rm -f BENCH_cluster_shards1.json BENCH_cluster_shards2.json BENCH_cluster_shards4.json
+	PEQUOD_LOAD_QUOTA=2000 timeout 300 dune exec bin/pequod_load.exe -- \
+		--users 10000 --ops 1000000 --workers 2 --homes 2 --computes 1 \
+		--preload-posts 5000 --migrate-mid-run --out BENCH_cluster_migrate.json
+	sh tools/check_bench_cluster.sh BENCH_cluster_migrate.json
+	grep -q '"keys_moved"' BENCH_cluster_migrate.json \
+		|| { echo "FAIL: migrate run lacks keys_moved" >&2; exit 1; }
+	rm -f BENCH_cluster_migrate.json
 
 # model-based differential fuzzing: replay seeded op sequences against
 # the engine and the naive oracle (test/fuzz/).  Deterministic given

@@ -57,6 +57,15 @@ let print_response = function
               string_of_int h.Obs.Histogram.p99; string_of_int h.Obs.Histogram.max ])
       metrics;
     Tablefmt.print tbl
+  | Message.Dir_state { epoch; entries } ->
+    Printf.printf "directory epoch %d\n" epoch;
+    List.iter
+      (fun (e : Message.dir_entry) ->
+        Printf.printf "%s\t[%s,%s)\t%s%s\n" e.de_table e.de_lo e.de_hi e.de_home
+          (match e.de_replicas with
+          | [] -> ""
+          | rs -> "\treplicas " ^ String.concat "," rs))
+      entries
   | Message.Error msg ->
     Printf.eprintf "error: %s\n" msg;
     exit 1

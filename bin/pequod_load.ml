@@ -111,6 +111,16 @@ let preload_posts =
     & info [ "preload-posts" ] ~docv:"N"
         ~doc:"Posts to bulk-load before the timed run (times 0..N-1).")
 
+let migrate_mid_run =
+  Arg.(
+    value & flag
+    & info [ "migrate-mid-run" ]
+        ~doc:
+          "Boot the cluster directory-routed (home 0 seeds the partition directory), then \
+           live-migrate home 0's $(b,p) slice to home 1 while the workers drive load, \
+           probing read latency of the moving range before/during/after the handoff. \
+           Needs $(b,--homes) >= 2; incompatible with $(b,--shards).")
+
 let memory_limit =
   Arg.(
     value
@@ -132,7 +142,7 @@ let server_exe =
         ~doc:"pequod_server binary (default: found beside this binary or in _build).")
 
 let run users ops workers homes computes shards avg_follows active rate window login_window
-    seed preload_posts memory_limit out server_exe =
+    seed preload_posts memory_limit migrate_mid_run out server_exe =
   if users < 1 then `Error (false, "--users must be positive")
   else if workers < 1 then `Error (false, "--workers must be positive")
   else if homes < 1 || computes < 1 then
@@ -140,10 +150,15 @@ let run users ops workers homes computes shards avg_follows active rate window l
   else if shards < 0 || shards > users then
     `Error (false, "--shards must be between 0 and --users")
   else if window < 1 then `Error (false, "--pipeline must be positive")
+  else if migrate_mid_run && shards > 0 then
+    `Error (false, "--migrate-mid-run is incompatible with --shards")
+  else if migrate_mid_run && homes < 2 then
+    `Error (false, "--migrate-mid-run needs at least two home servers")
   else
     let cfg =
       { Coord.users; ops; workers; homes; computes; shards; avg_follows; active; rate;
-        window; login_window; seed; preload_posts; memory_limit; out; server_exe }
+        window; login_window; seed; preload_posts; memory_limit; migrate_mid_run; out;
+        server_exe }
     in
     `Ok (Coord.run cfg)
 
@@ -154,7 +169,7 @@ let cmd =
     Term.(
       ret
         (const run $ users $ ops $ workers $ homes $ computes $ shards $ avg_follows
-       $ active $ rate $ window $ login_window $ seed $ preload_posts $ memory_limit $ out
-       $ server_exe))
+       $ active $ rate $ window $ login_window $ seed $ preload_posts $ memory_limit
+       $ migrate_mid_run $ out $ server_exe))
 
 let () = exit (Cmd.eval' cmd)

@@ -148,6 +148,44 @@ let shard_cuts =
            increasing (repeatable). Defaults interpolate evenly over printable strings — \
            pass cuts matched to your key population for balanced shards.")
 
+let dir_host =
+  Arg.(
+    value & flag
+    & info [ "dir-host" ]
+        ~doc:
+          "Serve the authoritative partition directory (the $(b,seed) role). The directory \
+           is seeded at epoch 1 from this process's $(b,--partition) specs (each spec must \
+           name its home with @HOST:PORT, or defaults to this server); an empty spec list \
+           starts at epoch 0, waiting for $(b,pequod_ctl dir-seed). Incompatible with \
+           $(b,--directory) and $(b,--shards).")
+
+let directory =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "directory" ] ~docv:"HOST:PORT"
+        ~doc:
+          "Join a directory-routed cluster as a follower of the given seed server: fetch \
+           the partition directory at startup, poll it for epoch changes, and route \
+           reads/writes by it instead of by static $(b,--partition) flags. Incompatible \
+           with $(b,--dir-host), $(b,--partition) and $(b,--shards).")
+
+let dir_poll_every =
+  Arg.(
+    value & opt float 1.0
+    & info [ "dir-poll-every" ] ~docv:"SECONDS"
+        ~doc:"Seconds between directory polls to the seed (followers only).")
+
+let hot_threshold =
+  Arg.(
+    value & opt float 0.
+    & info [ "hot-threshold" ] ~docv:"READS_PER_SEC"
+        ~doc:
+          "Directory mode: flag an owned range as a hotspot when its read rate crosses \
+           $(docv) (measured over 5-second windows), counting it in $(b,hotspot.detected) \
+           and logging the $(b,pequod_ctl replicate) command that would stand up a read \
+           replica. 0 disables detection.")
+
 let sub_check_every =
   Arg.(
     value & opt float 2.0
@@ -157,8 +195,51 @@ let sub_check_every =
            the homes a walk of this server's live subscriptions, so large deployments \
            should slow it down.")
 
+(* follower bootstrap: one blocking directory fetch from the seed, with
+   a short retry budget. Failure is not fatal — the server starts at
+   epoch 0 (every range deferred) and the poll tick keeps trying. *)
+let initial_dir_fetch dir seed_addr =
+  let module Net_client = Pequod_server_lib.Net_client in
+  let module Message = Pequod_proto.Message in
+  match String.rindex_opt seed_addr ':' with
+  | None -> Logs.err (fun m -> m "bad --directory address %S" seed_addr)
+  | Some i -> (
+    match
+      int_of_string_opt (String.sub seed_addr (i + 1) (String.length seed_addr - i - 1))
+    with
+    | None -> Logs.err (fun m -> m "bad --directory address %S" seed_addr)
+    | Some cport ->
+      let chost = String.sub seed_addr 0 i in
+      let client =
+        Net_client.create
+          ~config:
+            { Net_client.connect_timeout = 1.0; call_timeout = 3.0; max_retries = 3;
+              backoff = 0.2 }
+          ~host:chost ~port:cport ()
+      in
+      Fun.protect
+        ~finally:(fun () -> Net_client.close client)
+        (fun () ->
+          match Net_client.call client Message.Dir_get with
+          | Message.Dir_state { epoch; entries } -> (
+            if epoch = 0 then
+              Logs.warn (fun m ->
+                  m "directory seed %s has no entries yet (epoch 0)" seed_addr)
+            else
+              match Pequod_server_lib.Directory.install dir ~epoch ~entries with
+              | Ok () -> ()
+              | Error msg ->
+                Logs.err (fun m -> m "directory from seed %s rejected: %s" seed_addr msg))
+          | Message.Error msg ->
+            Logs.warn (fun m -> m "directory seed %s refused Dir_get: %s" seed_addr msg)
+          | _ -> Logs.warn (fun m -> m "directory seed %s: unexpected response" seed_addr)
+          | exception Net_client.Net_error msg ->
+            Logs.warn (fun m ->
+                m "directory seed %s unreachable (%s); starting at epoch 0" seed_addr msg)))
+
 let main port joins memory_limit data_dir sync sync_interval snapshot_every wal_max_bytes
-    metrics_dump verbose peers partitions advertise sub_check_every shards shard_cuts =
+    metrics_dump verbose peers partitions advertise sub_check_every shards shard_cuts
+    dir_host directory dir_poll_every hot_threshold =
   Fmt_tty.setup_std_outputs ();
   Logs.set_reporter (Logs_fmt.reporter ());
   (* Warning, not App: Some App would filter out Logs.err itself, and a
@@ -177,6 +258,10 @@ let main port joins memory_limit data_dir sync sync_interval snapshot_every wal_
   if shards > 0 then begin
     if partitions <> [] || peers <> [] then begin
       Logs.err (fun m -> m "--shards is incompatible with --partition/--peer");
+      1
+    end
+    else if dir_host || directory <> None then begin
+      Logs.err (fun m -> m "--shards is incompatible with --dir-host/--directory");
       1
     end
     else
@@ -198,6 +283,76 @@ let main port joins memory_limit data_dir sync sync_interval snapshot_every wal_
       | exception (Failure msg | Invalid_argument msg) ->
         Logs.err (fun m -> m "%s" msg);
         1
+  end
+  else if dir_host && directory <> None then begin
+    Logs.err (fun m -> m "--dir-host and --directory are mutually exclusive");
+    1
+  end
+  else if directory <> None && (partitions <> [] || peers <> []) then begin
+    Logs.err (fun m ->
+        m "--directory followers take all routes from the seed; drop --partition/--peer");
+    1
+  end
+  else if dir_host || directory <> None then begin
+    (* directory mode: routing truth lives in the partition directory,
+       seeded here (--dir-host) or polled from the seed (--directory) *)
+    let module Directory = Pequod_server_lib.Directory in
+    let module Message = Pequod_proto.Message in
+    match
+      Net_server.create ~config ?metrics_every:metrics_dump ~port ~joins ~memory_limit ()
+    with
+    | t -> (
+      let self_addr = Printf.sprintf "%s:%d" advertise (Net_server.port t) in
+      let dir = Directory.create () in
+      let seeded =
+        if not dir_host then Ok ()
+        else
+          match Remote.routes_of_specs ~peers partitions with
+          | Error _ as e -> e
+          | Ok [] -> Ok () (* epoch 0 until pequod_ctl dir-seed *)
+          | Ok routes ->
+            if List.exists (fun r -> String.equal r.Remote.r_table "*") routes then
+              Error "wildcard --partition specs cannot seed the directory"
+            else
+              let entries =
+                List.map
+                  (fun (r : Remote.route) ->
+                    { Message.de_table = r.r_table; de_lo = r.r_lo; de_hi = r.r_hi;
+                      de_home = Option.value r.r_addr ~default:self_addr;
+                      de_replicas = [] })
+                  routes
+              in
+              Directory.install dir ~epoch:1 ~entries
+      in
+      match seeded with
+      | Error msg ->
+        Logs.err (fun m -> m "%s" msg);
+        1
+      | Ok () ->
+        Option.iter (initial_dir_fetch dir) directory;
+        Net_server.set_directory t ?seed:directory ~hot_threshold ~dir ~self_addr ();
+        let tick =
+          Remote.attach_directory ~check_every:sub_check_every
+            ~poll_every:dir_poll_every ~on_wait:(Net_server.on_wait t) ?seed:directory
+            ~engine:(Net_server.engine t) ~self_addr ~dir ()
+        in
+        Net_server.add_ticker t tick;
+        Logs.app (fun m ->
+            m "pequod-server listening on port %d with %d joins, directory %s (epoch %d)%s"
+              (Net_server.port t)
+              (List.length (Pequod_core.Server.joins (Net_server.engine t)))
+              (match directory with
+              | None -> "seed"
+              | Some s -> "follower of " ^ s)
+              (Directory.epoch dir)
+              (match data_dir with
+              | Some dir -> Printf.sprintf " (durable in %s)" dir
+              | None -> ""));
+        Net_server.run t;
+        0)
+    | exception Failure msg ->
+      Logs.err (fun m -> m "%s" msg);
+      1
   end
   else
   match Remote.routes_of_specs ~peers partitions with
@@ -235,6 +390,7 @@ let cmd =
     Term.(
       const main $ port $ joins $ memory_limit $ data_dir $ sync_mode $ sync_interval
       $ snapshot_every $ wal_max_bytes $ metrics_dump $ verbose $ peers $ partitions
-      $ advertise $ sub_check_every $ shards $ shard_cuts)
+      $ advertise $ sub_check_every $ shards $ shard_cuts $ dir_host $ directory
+      $ dir_poll_every $ hot_threshold)
 
 let () = if not !Sys.interactive then exit (Cmd.eval' cmd)

@@ -43,6 +43,10 @@ type config = {
   seed : int;
   preload_posts : int;
   memory_limit : int option;  (** compute-server eviction cap *)
+  migrate_mid_run : bool;
+      (** spawn the cluster directory-routed and live-migrate home 0's
+          [p] slice to home 1 mid-run, probing read latency through the
+          handoff (needs [homes >= 2], incompatible with [shards]) *)
   out : string;
   server_exe : string option;
 }
@@ -50,8 +54,8 @@ type config = {
 let default =
   { users = 1_000_000; ops = 1_000_000; workers = 4; homes = 2; computes = 2; shards = 0;
     avg_follows = 8; active = 0.7; rate = 0.0; window = 16; login_window = 1_000;
-    seed = 42; preload_posts = 0; memory_limit = None; out = "BENCH_cluster.json";
-    server_exe = None }
+    seed = 42; preload_posts = 0; memory_limit = None; migrate_mid_run = false;
+    out = "BENCH_cluster.json"; server_exe = None }
 
 let quota_env = "PEQUOD_LOAD_QUOTA"
 
@@ -63,10 +67,10 @@ let effective_ops cfg =
     | _ -> cfg.ops)
   | None -> cfg.ops
 
-let client_of ?obs addr =
+let client_of ?obs ?config addr =
   match String.rindex_opt addr ':' with
   | Some i ->
-    Net_client.create ?obs ~host:(String.sub addr 0 i)
+    Net_client.create ?obs ?config ~host:(String.sub addr 0 i)
       ~port:(int_of_string (String.sub addr (i + 1) (String.length addr - i - 1)))
       ()
   | None -> invalid_arg ("bad server address " ^ addr)
@@ -150,6 +154,124 @@ let fork_workers cfg ~ops ~topo ~graph =
         (pid, r))
 
 (* ------------------------------------------------------------------ *)
+(* Mid-run migration                                                   *)
+
+type migrate_stats = {
+  mg_keys_moved : int;
+  mg_delta_replayed : int;
+  mg_probe_errors : int;
+  mg_phases : (string * Obs.Histogram.snapshot) list;
+      (** probe-latency snapshots keyed ["before"], ["during"], ["after"] *)
+}
+
+(* probes bracketing the handoff on each side, and their spacing *)
+let probes_per_phase = 50
+let probe_gap = 0.01
+let migrate_deadline = 600.0
+
+let mlog fmt = Printf.eprintf ("pequod-load: " ^^ fmt ^^ "\n%!")
+
+(** Live-migrate home 0's [p] slice to home 1 while the workers drive
+    load, measuring what a reader of the moving range sees. Probes are
+    short-timeout [Scan]s of user 0's posts sent to the {e source} home
+    — the worst-cased reader: during the copy it talks to the blocked
+    owner, and after the epoch flip it pays the forward to the
+    destination. The migration itself is a blocking [Migrate] call (it
+    returns only once the handoff completes) run in a forked child so
+    probing continues; the child ships [keys_moved]/[delta_replayed]
+    back over a pipe. *)
+let run_migration ~(topo : Spawn.topology) =
+  let cut = Social_graph.user_name topo.chunk.(1) in
+  let probe_lo = "p|" ^ Social_graph.user_name 0 ^ "|" in
+  let probe_hi = "p|" ^ Social_graph.user_name 0 ^ "}" in
+  let source = topo.home_addrs.(0) and dest = topo.home_addrs.(1) in
+  let obs = Obs.create () in
+  let errors = ref 0 in
+  let probec = client_of source in
+  let probe hist =
+    let t0 = Unix.gettimeofday () in
+    (match
+       Net_client.call ~timeout:5.0 probec (Message.Scan { lo = probe_lo; hi = probe_hi })
+     with
+    | Message.Pairs _ ->
+      Obs.Histogram.observe hist (int_of_float ((Unix.gettimeofday () -. t0) *. 1_000_000.))
+    | _ -> incr errors
+    | exception Net_client.Net_error _ -> incr errors);
+    Unix.sleepf probe_gap
+  in
+  let phase name n =
+    let hist = Obs.histogram obs (Printf.sprintf "probe.%s.us" name) in
+    for _ = 1 to n do
+      probe hist
+    done
+  in
+  phase "before" probes_per_phase;
+  mlog "migrating p slice [p| .. p|%s) from %s to %s mid-run..." cut source dest;
+  let r, w = Unix.pipe () in
+  let mig_pid = Unix.fork () in
+  if mig_pid = 0 then begin
+    Unix.close r;
+    let reply =
+      try
+        let c =
+          client_of
+            ~config:{ Net_client.default_config with call_timeout = migrate_deadline }
+            source
+        in
+        match
+          Net_client.call c (Message.Migrate { table = "p"; lo = "p|"; hi = "p|" ^ cut; dest })
+        with
+        | Message.Pairs stats ->
+          Printf.sprintf "ok %s %s"
+            (Option.value (List.assoc_opt "keys_moved" stats) ~default:"0")
+            (Option.value (List.assoc_opt "delta_replayed" stats) ~default:"0")
+        | Message.Error msg -> "err " ^ msg
+        | _ -> "err unexpected migrate response"
+      with e -> "err " ^ Printexc.to_string e
+    in
+    (try ignore (Unix.write_substring w reply 0 (String.length reply))
+     with Unix.Unix_error _ -> ());
+    Unix._exit 0
+  end;
+  Unix.close w;
+  let during = Obs.histogram obs "probe.during.us" in
+  let deadline = Unix.gettimeofday () +. migrate_deadline in
+  let rec pump () =
+    match Unix.waitpid [ Unix.WNOHANG ] mig_pid with
+    | 0, _ ->
+      if Unix.gettimeofday () > deadline then begin
+        (try Unix.kill mig_pid Sys.sigkill with Unix.Unix_error _ -> ());
+        ignore (Unix.waitpid [] mig_pid);
+        failwith "mid-run migration did not complete in time"
+      end;
+      probe during;
+      pump ()
+    | _ -> ()
+  in
+  pump ();
+  let buf = Bytes.create 4096 in
+  let n = try Unix.read r buf 0 (Bytes.length buf) with Unix.Unix_error _ -> 0 in
+  Unix.close r;
+  let reply = Bytes.sub_string buf 0 n in
+  let keys_moved, delta_replayed =
+    match String.split_on_char ' ' reply with
+    | [ "ok"; km; dr ] ->
+      ( Option.value (int_of_string_opt km) ~default:0,
+        Option.value (int_of_string_opt dr) ~default:0 )
+    | _ -> failwith ("mid-run migration failed: " ^ reply)
+  in
+  mlog "migration done: %d keys moved, %d delta notifications replayed" keys_moved
+    delta_replayed;
+  phase "after" probes_per_phase;
+  Net_client.close probec;
+  { mg_keys_moved = keys_moved; mg_delta_replayed = delta_replayed;
+    mg_probe_errors = !errors;
+    mg_phases =
+      List.map
+        (fun ph -> (ph, Obs.Histogram.snapshot (Obs.histogram obs ("probe." ^ ph ^ ".us"))))
+        [ "before"; "during"; "after" ] }
+
+(* ------------------------------------------------------------------ *)
 (* Aggregation                                                         *)
 
 let full_metrics addr =
@@ -199,6 +321,7 @@ type pass = {
   ps_sub_lost : int;
   ps_share : float;
   ps_per_shard_ops : int array;  (* empty outside shard-per-core mode *)
+  ps_migrate : migrate_stats option;  (* set by [migrate_mid_run] passes *)
 }
 
 (** One measured pass: spawn the topology ([shards = 0] is the classic
@@ -207,8 +330,9 @@ type pass = {
     counters back. The cluster is torn down before returning, so passes
     never share cache state. *)
 let run_pass cfg ~graph ~ops ~shards =
+  let directory = cfg.migrate_mid_run && shards = 0 in
   let cluster =
-    Spawn.start ?server_exe:cfg.server_exe ?memory_limit:cfg.memory_limit ~shards
+    Spawn.start ?server_exe:cfg.server_exe ?memory_limit:cfg.memory_limit ~shards ~directory
       ~nusers:cfg.users ~nhomes:cfg.homes ~ncomputes:cfg.computes ()
   in
   Fun.protect
@@ -218,8 +342,9 @@ let run_pass cfg ~graph ~ops ~shards =
       if shards > 0 then
         log "pequod-load: shard-per-core server up (%d shards); preloading graph..." shards
       else
-        log "pequod-load: cluster up (%d homes, %d computes); preloading graph..." cfg.homes
-          cfg.computes;
+        log "pequod-load: cluster up (%d homes, %d computes%s); preloading graph..." cfg.homes
+          cfg.computes
+          (if directory then ", directory-routed" else "");
       let t_pre = Unix.gettimeofday () in
       let preload_rows = preload cfg ~topo ~graph in
       log "pequod-load: preloaded %d rows in %.1fs; driving %d ops over %d workers%s..."
@@ -229,6 +354,7 @@ let run_pass cfg ~graph ~ops ~shards =
         (if cfg.rate > 0.0 then Printf.sprintf " at %.0f ops/s" cfg.rate else " (closed loop)");
       let t0 = Unix.gettimeofday () in
       let workers = fork_workers cfg ~ops ~topo ~graph in
+      let migrate = if directory then Some (run_migration ~topo) else None in
       let reports =
         List.map
           (fun (pid, r) ->
@@ -282,7 +408,7 @@ let run_pass cfg ~graph ~ops ~shards =
         ps_qps = qps; ps_agg = agg; ps_fetch_in = fetch_in; ps_notify_out = notify_out;
         ps_notify_in = counter_value metrics "peer.notify.in";
         ps_sub_lost = counter_value metrics "peer.sub.lost"; ps_share = share;
-        ps_per_shard_ops = per_shard_ops metrics ~shards })
+        ps_per_shard_ops = per_shard_ops metrics ~shards; ps_migrate = migrate })
 
 let run cfg =
   let ops = effective_ops cfg in
@@ -317,12 +443,25 @@ let run cfg =
         (short, Obs.Histogram.snapshot (Obs.histogram p.ps_agg name)))
       (Array.to_list Driver.classes)
   in
+  let migrate_p99 m ph =
+    match List.assoc_opt ph m.mg_phases with
+    | Some s -> s.Obs.Histogram.p99
+    | None -> 0
+  in
   let derived =
     [ ("qps", p.ps_qps); ("subscription_share", p.ps_share) ]
+    @ (match baseline with
+      | Some b when b.ps_qps > 0.0 -> [ ("shard_speedup", p.ps_qps /. b.ps_qps) ]
+      | _ -> [])
     @
-    match baseline with
-    | Some b when b.ps_qps > 0.0 -> [ ("shard_speedup", p.ps_qps /. b.ps_qps) ]
-    | _ -> []
+    match p.ps_migrate with
+    | Some m ->
+      [ ("migrate_keys_moved", float_of_int m.mg_keys_moved);
+        ("migrate_delta_replayed", float_of_int m.mg_delta_replayed);
+        ("migrate_probe_p99_before_us", float_of_int (migrate_p99 m "before"));
+        ("migrate_probe_p99_during_us", float_of_int (migrate_p99 m "during"));
+        ("migrate_probe_p99_after_us", float_of_int (migrate_p99 m "after")) ]
+    | None -> []
   in
   Benchstamp.write_file ~path:cfg.out ~benchmark:"cluster" ~derived
     ([ ( "config",
@@ -358,6 +497,16 @@ let run cfg =
                    (List.map (fun n -> Benchstamp.Int n)
                       (Array.to_list p.ps_per_shard_ops)) ) ]
            else []) ) ]
+    @ (match p.ps_migrate with
+      | Some m ->
+        [ ( "migrate",
+            Benchstamp.Obj
+              ([ ("keys_moved", Benchstamp.Int m.mg_keys_moved);
+                 ("delta_replayed", Benchstamp.Int m.mg_delta_replayed);
+                 ("probe_errors", Benchstamp.Int m.mg_probe_errors) ]
+              @ List.map (fun (ph, s) -> ("probe_" ^ ph ^ "_us", hist_json s)) m.mg_phases)
+          ) ]
+      | None -> [])
     @ (match baseline with
       | Some b ->
         [ ( "baseline_shards1",
@@ -398,5 +547,13 @@ let run cfg =
     Printf.printf "shards=%d qps %.1f vs shards=1 qps %.1f: speedup %.2fx\n" cfg.shards
       p.ps_qps b.ps_qps (p.ps_qps /. b.ps_qps)
   | _ -> ());
+  (match p.ps_migrate with
+  | Some m ->
+    Printf.printf
+      "migration: %d keys moved, %d delta replayed; probe p99 us before/during/after \
+       %d/%d/%d (probe errors %d)\n"
+      m.mg_keys_moved m.mg_delta_replayed (migrate_p99 m "before") (migrate_p99 m "during")
+      (migrate_p99 m "after") m.mg_probe_errors
+  | None -> ());
   Printf.printf "(wrote %s)\n" cfg.out;
   0

@@ -13,6 +13,8 @@
     disjoint slice of timelines. *)
 
 module Social_graph = Pequod_apps.Social_graph
+module Message = Pequod_proto.Message
+module Net_client = Pequod_server_lib.Net_client
 
 type topology = {
   nusers : int;
@@ -46,6 +48,24 @@ let partition_specs ~nusers ~home_addrs =
             else table ^ "|" ^ Social_graph.user_name chunk.(h + 1)
           in
           Printf.sprintf "%s:%s:%s@%s" table lo hi home_addrs.(h)))
+    [ "s"; "p" ]
+
+(** The same placement as {!partition_specs}, as partition-directory
+    entries for a directory-mode cluster (seeded at epoch 1). *)
+let directory_entries ~nusers ~home_addrs =
+  let nhomes = Array.length home_addrs in
+  let chunk = chunk_bounds ~nusers ~nhomes in
+  List.concat_map
+    (fun table ->
+      List.init nhomes (fun h ->
+          { Message.de_table = table;
+            de_lo =
+              (if h = 0 then table ^ "|"
+               else table ^ "|" ^ Social_graph.user_name chunk.(h));
+            de_hi =
+              (if h = nhomes - 1 then table ^ "}"
+               else table ^ "|" ^ Social_graph.user_name chunk.(h + 1));
+            de_home = home_addrs.(h); de_replicas = [] }))
     [ "s"; "p" ]
 
 (* ------------------------------------------------------------------ *)
@@ -125,8 +145,17 @@ let shard_cuts ~nusers ~shards =
     keyspace and running the timeline join, with cut points derived
     from the user-name format so user slices balance. [nhomes] and
     [ncomputes] are ignored — the public port is both the write and the
-    read destination ([--shards] is incompatible with [--partition]). *)
-let start ?server_exe ?memory_limit ?(shards = 0) ~nusers ~nhomes ~ncomputes () =
+    read destination ([--shards] is incompatible with [--partition]).
+
+    With [~directory:true] the cluster is directory-routed instead of
+    flag-routed: home 0 boots as the seed ([--dir-host], epoch 0), the
+    other homes and every compute join it as [--directory] followers,
+    the harness pushes the {!partition_specs} placement as a
+    [Dir_update] at epoch 1, and [start] returns only once every server
+    reports epoch >= 1 over [Dir_get] — so a following migration (see
+    [Coord] [migrate_mid_run]) starts from a converged directory. *)
+let start ?server_exe ?memory_limit ?(shards = 0) ?(directory = false) ~nusers ~nhomes
+    ~ncomputes () =
   if nhomes < 1 || ncomputes < 1 then failwith "need at least one home and one compute";
   if shards > nusers then failwith "--shards must not exceed --users";
   let exe = match server_exe with Some e -> e | None -> default_server_exe () in
@@ -148,6 +177,73 @@ let start ?server_exe ?memory_limit ?(shards = 0) ~nusers ~nhomes ~ncomputes () 
     let topology =
       { nusers; nhomes = 1; ncomputes = 1; chunk = chunk_bounds ~nusers ~nhomes:1;
         home_addrs = [| addr |]; compute_addrs = [| addr |] }
+    in
+    { topology; procs = !procs }
+  end
+  else if directory then begin
+    let client_of addr =
+      match String.rindex_opt addr ':' with
+      | Some i ->
+        Net_client.create ~host:(String.sub addr 0 i)
+          ~port:(int_of_string (String.sub addr (i + 1) (String.length addr - i - 1)))
+          ()
+      | None -> invalid_arg ("bad server address " ^ addr)
+    in
+    (* the seed boots first (epoch 0), the remaining homes follow it *)
+    let seed_addr = Printf.sprintf "127.0.0.1:%d" (boot [ "--port"; "0"; "--dir-host" ]) in
+    let home_addrs =
+      Array.init nhomes (fun h ->
+          if h = 0 then seed_addr
+          else
+            Printf.sprintf "127.0.0.1:%d" (boot [ "--port"; "0"; "--directory"; seed_addr ]))
+    in
+    (* push the placement as epoch 1 *)
+    let entries = directory_entries ~nusers ~home_addrs in
+    let seedc = client_of seed_addr in
+    (match Net_client.call seedc (Message.Dir_update { epoch = 1; entries }) with
+    | Message.Done -> ()
+    | Message.Error msg -> failwith ("directory seeding failed: " ^ msg)
+    | _ -> failwith "directory seeding: unexpected response");
+    Net_client.close seedc;
+    let compute_addrs =
+      Array.init ncomputes (fun _ ->
+          let args =
+            [ "--port"; "0"; "--join"; timeline_join; "--sub-check-every"; "10";
+              "--directory"; seed_addr ]
+            @ (match memory_limit with
+              | Some b -> [ "--memory-limit"; string_of_int b ]
+              | None -> [])
+          in
+          Printf.sprintf "127.0.0.1:%d" (boot args))
+    in
+    (* preloading before the placement converges would freeze ranges at
+       the wrong home; block until every server reports epoch >= 1 *)
+    let wait_epoch addr =
+      let c = client_of addr in
+      let deadline = Unix.gettimeofday () +. 20.0 in
+      let rec go () =
+        let epoch =
+          match Net_client.call c Message.Dir_get with
+          | Message.Dir_state { epoch; _ } -> epoch
+          | _ -> 0
+          | exception Net_client.Net_error _ -> 0
+        in
+        if epoch < 1 then
+          if Unix.gettimeofday () > deadline then
+            failwith (addr ^ " never adopted the seeded directory")
+          else begin
+            Unix.sleepf 0.1;
+            go ()
+          end
+      in
+      go ();
+      Net_client.close c
+    in
+    Array.iter wait_epoch home_addrs;
+    Array.iter wait_epoch compute_addrs;
+    let topology =
+      { nusers; nhomes; ncomputes; chunk = chunk_bounds ~nusers ~nhomes; home_addrs;
+        compute_addrs }
     in
     { topology; procs = !procs }
   end

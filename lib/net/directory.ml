@@ -1,0 +1,183 @@
+(* The partition directory (see directory.mli): epoch-stamped routing
+   truth, held authoritatively by the seed and as follower copies
+   everywhere else. *)
+
+module Message = Pequod_proto.Message
+
+type entry = Message.dir_entry
+
+type t = { mutable epoch : int; mutable entries : entry list (* sorted (table, lo) *) }
+
+let create () = { epoch = 0; entries = [] }
+let epoch t = t.epoch
+let entries t = t.entries
+
+let compare_entry (a : entry) (b : entry) =
+  match String.compare a.Message.de_table b.Message.de_table with
+  | 0 -> String.compare a.Message.de_lo b.Message.de_lo
+  | c -> c
+
+let normalize entries =
+  let sorted = List.sort compare_entry entries in
+  (* coalesce adjacent ranges of one table with identical placement, so
+     repeated migrations don't fragment the directory forever *)
+  let rec go acc = function
+    | [] -> List.rev acc
+    | (e : entry) :: rest -> (
+      match acc with
+      | (p : entry) :: acc'
+        when String.equal p.Message.de_table e.Message.de_table
+             && String.equal p.Message.de_hi e.Message.de_lo
+             && String.equal p.Message.de_home e.Message.de_home
+             && p.Message.de_replicas = e.Message.de_replicas ->
+        go ({ p with Message.de_hi = e.Message.de_hi } :: acc') rest
+      | _ -> go (e :: acc) rest)
+  in
+  go [] sorted
+
+let validate entries =
+  let sorted = List.sort compare_entry entries in
+  let rec go = function
+    | [] -> Ok ()
+    | (e : entry) :: rest ->
+      if e.Message.de_table = "" then Error "directory entry with empty table"
+      else if String.compare e.Message.de_lo e.Message.de_hi >= 0 then
+        Error
+          (Printf.sprintf "directory entry %s[%s,%s) is empty or inverted"
+             e.Message.de_table e.Message.de_lo e.Message.de_hi)
+      else if e.Message.de_home = "" then
+        Error
+          (Printf.sprintf "directory entry %s[%s,%s) has no home" e.Message.de_table
+             e.Message.de_lo e.Message.de_hi)
+      else
+        match rest with
+        | (n : entry) :: _
+          when String.equal n.Message.de_table e.Message.de_table
+               && String.compare n.Message.de_lo e.Message.de_hi < 0 ->
+          Error
+            (Printf.sprintf "directory entries overlap in table %s at %s"
+               e.Message.de_table n.Message.de_lo)
+        | _ -> go rest
+  in
+  go sorted
+
+let install t ~epoch ~entries =
+  if epoch <= t.epoch then
+    Error (Printf.sprintf "stale directory epoch %d (current is %d)" epoch t.epoch)
+  else
+    match validate entries with
+    | Error _ as e -> e
+    | Ok () ->
+      t.epoch <- epoch;
+      t.entries <- normalize entries;
+      Ok ()
+
+let entry_of t ~key =
+  let table = Pequod_store.Store.table_name_of key in
+  List.find_opt
+    (fun (e : entry) ->
+      String.equal e.Message.de_table table
+      && String.compare e.Message.de_lo key <= 0
+      && String.compare key e.Message.de_hi < 0)
+    t.entries
+
+let home_of t ~key = Option.map (fun (e : entry) -> e.Message.de_home) (entry_of t ~key)
+
+let assign entries ~table ~lo ~hi ~home =
+  if String.compare lo hi >= 0 then Error "empty migration range"
+  else if home = "" then Error "empty destination address"
+  else begin
+    let overlapping, others =
+      List.partition
+        (fun (e : entry) ->
+          String.equal e.Message.de_table table
+          && String.compare e.Message.de_lo hi < 0
+          && String.compare lo e.Message.de_hi < 0)
+        entries
+    in
+    let overlapping = List.sort compare_entry overlapping in
+    (* the range must be fully covered, by entries of a single current
+       home: a migration moves data from one source server *)
+    let cursor = ref lo in
+    let gap = ref false in
+    let sources = ref [] in
+    List.iter
+      (fun (e : entry) ->
+        if String.compare !cursor e.Message.de_lo < 0 then gap := true;
+        if String.compare !cursor e.Message.de_hi < 0 then cursor := e.Message.de_hi;
+        if not (List.mem e.Message.de_home !sources) then
+          sources := e.Message.de_home :: !sources)
+      overlapping;
+    if !gap || String.compare !cursor hi < 0 then
+      Error (Printf.sprintf "range %s[%s,%s) is not fully covered by the directory" table lo hi)
+    else
+      match !sources with
+      | [ _ ] ->
+        let pieces =
+          List.concat_map
+            (fun (e : entry) ->
+              let keep_left =
+                if String.compare e.Message.de_lo lo < 0 then
+                  [ { e with Message.de_hi = lo } ]
+                else []
+              in
+              let keep_right =
+                if String.compare hi e.Message.de_hi < 0 then
+                  [ { e with Message.de_lo = hi } ]
+                else []
+              in
+              keep_left @ keep_right)
+            overlapping
+        in
+        let moved =
+          { Message.de_table = table; de_lo = lo; de_hi = hi; de_home = home;
+            de_replicas = [] }
+        in
+        Ok (normalize (moved :: pieces @ others))
+      | srcs ->
+        Error
+          (Printf.sprintf "range %s[%s,%s) spans several homes (%s); migrate per home"
+             table lo hi (String.concat ", " srcs))
+  end
+
+let add_replica entries ~table ~lo ~hi ~addr =
+  if addr = "" then Error "empty replica address"
+  else begin
+    let touched = ref false in
+    let conflict = ref false in
+    let entries' =
+      List.map
+        (fun (e : entry) ->
+          if
+            String.equal e.Message.de_table table
+            && String.compare e.Message.de_lo hi < 0
+            && String.compare lo e.Message.de_hi < 0
+          then begin
+            touched := true;
+            if String.equal e.Message.de_home addr then begin
+              conflict := true;
+              e
+            end
+            else if List.mem addr e.Message.de_replicas then e
+            else { e with Message.de_replicas = e.Message.de_replicas @ [ addr ] }
+          end
+          else e)
+        entries
+    in
+    if !conflict then
+      Error (Printf.sprintf "%s is the home of part of %s[%s,%s)" addr table lo hi)
+    else if not !touched then
+      Error (Printf.sprintf "no directory entry overlaps %s[%s,%s)" table lo hi)
+    else Ok (normalize entries')
+  end
+
+let to_lines t =
+  Printf.sprintf "epoch %d, %d entries" t.epoch (List.length t.entries)
+  :: List.map
+       (fun (e : entry) ->
+         Printf.sprintf "  %s[%s,%s) @ %s%s" e.Message.de_table e.Message.de_lo
+           e.Message.de_hi e.Message.de_home
+           (match e.Message.de_replicas with
+           | [] -> ""
+           | rs -> " replicas " ^ String.concat "," rs))
+       t.entries

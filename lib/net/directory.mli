@@ -1,0 +1,59 @@
+(** The partition directory: a versioned mapping [table range -> home
+    (+ replicas)] that replaces static [--partition] flags as the
+    cluster's source of routing truth.
+
+    One server (the {e seed}, [--dir-host]) holds the authoritative
+    copy and serves it over [Dir_get]/[Dir_watch]; every other server
+    keeps a follower copy refreshed by polling. Each version is stamped
+    with a monotonically increasing {e epoch}; an update ([Dir_update],
+    sent by [pequod_ctl] or by a migration flipping ownership) is
+    accepted only when its epoch is strictly newer, so replayed or
+    crossed updates cannot roll the directory back.
+
+    Epoch 0 means "no directory yet": followers treat every range as
+    unresolved until their first successful fetch, so a half-started
+    cluster defers reads instead of serving empty ranges as truth. *)
+
+type entry = Pequod_proto.Message.dir_entry
+
+type t
+
+(** An empty directory at epoch 0. *)
+val create : unit -> t
+
+val epoch : t -> int
+val entries : t -> entry list
+
+(** Structural validity: ranges non-empty ([lo < hi]), homes non-empty
+    strings, and no two entries of the same table overlapping. Gaps are
+    allowed (an uncovered range simply stays unresolved at computes). *)
+val validate : entry list -> (unit, string) result
+
+(** Install a new version iff [epoch] is strictly newer than the
+    current one and [entries] validate; entries are normalized (sorted,
+    adjacent same-home same-replica ranges coalesced). *)
+val install : t -> epoch:int -> entries:entry list -> (unit, string) result
+
+(** The home of the range containing [key], if any entry covers it. *)
+val home_of : t -> key:string -> string option
+
+(** The entry covering [key], if any. *)
+val entry_of : t -> key:string -> entry option
+
+(** A new entry list reassigning [table [lo,hi)] to [home] (the
+    migration flip): overlapping entries are split around the range,
+    the reassigned piece carries no replicas. Fails if the range is
+    empty or not fully covered by existing entries of one home. *)
+val assign :
+  entry list -> table:string -> lo:string -> hi:string -> home:string ->
+  (entry list, string) result
+
+(** A new entry list with [addr] added as a read replica of every entry
+    of [table] overlapping [[lo,hi)]. Fails if nothing overlaps or
+    [addr] is already the home of an overlapping entry. *)
+val add_replica :
+  entry list -> table:string -> lo:string -> hi:string -> addr:string ->
+  (entry list, string) result
+
+(** One human-readable line per entry ([pequod_ctl dir]). *)
+val to_lines : t -> string list

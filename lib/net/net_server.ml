@@ -116,6 +116,45 @@ type router = {
   rm_forward_in : Obs.Counter.t; (* shard.forward.in: forwards received *)
 }
 
+(* One live range migration (§ docs/PARTITIONING.md): this server is the
+   source home handing [mg_table [mg_lo,mg_hi)] to [mg_dest]. The copy
+   runs one chunk per event-loop step; writes landing in the range
+   during the copy are captured in [mg_delta] and replayed before the
+   directory epoch flips, so the destination never becomes the home of
+   a range it only half holds. *)
+type migration = {
+  mg_table : string;
+  mg_lo : string;
+  mg_hi : string;
+  mg_dest : string;
+  mutable mg_cursor : string; (* next key to copy *)
+  mutable mg_delta : (string * string option) list; (* captured writes, newest first *)
+  mutable mg_keys : int;
+  mutable mg_deltas : int;
+  mg_reply : Unix.file_descr; (* the ctl connection awaiting the answer *)
+}
+
+(* Directory-mode state, installed by [set_directory]: this server's
+   copy of the partition directory (authoritative when [ds_seed] is
+   [None]), plus the migration driver and hotspot read tallies. *)
+type dirstate = {
+  ds_dir : Directory.t;
+  ds_self : string; (* this server's advertised host:port *)
+  ds_seed : string option; (* the seed's address; None: this IS the seed *)
+  ds_hot_threshold : float; (* reads/s per owned range; 0 disables detection *)
+  ds_hot_every : float; (* detection window, seconds *)
+  mutable ds_hot_last : float;
+  ds_reads : (string * string * string, int ref) Hashtbl.t; (* per-owned-range tallies *)
+  mutable ds_mig : migration option; (* at most one migration at a time *)
+  ds_calls : (string, Net_client.t) Hashtbl.t; (* call-mode peer clients *)
+  ds_m_epoch : Obs.Gauge.t; (* dir.epoch *)
+  ds_m_keys : Obs.Counter.t; (* migrate.keys_moved *)
+  ds_m_delta : Obs.Counter.t; (* migrate.delta_replayed *)
+  ds_m_redirect : Obs.Counter.t; (* migrate.redirects *)
+  ds_m_replica_reads : Obs.Counter.t; (* replica.reads *)
+  ds_m_hot : Obs.Counter.t; (* hotspot.detected *)
+}
+
 type t = {
   engine : Server.t;
   listener : Unix.file_descr;
@@ -134,6 +173,11 @@ type t = {
   wakeup_w : Unix.file_descr;
   mutable stepping : bool; (* a step is on the stack: nested steps skip housekeeping *)
   mutable router : router option;
+  mutable dirst : dirstate option; (* directory mode (see [set_directory]) *)
+  (* a nested [step] used as the write-forwarding clients' [on_wait]
+     hook, bound on the first real step (it cannot be built in [create]
+     because [step] is defined later) *)
+  mutable nested_step : unit -> unit;
   persist : Persist.t option; (* durability manager, when --data-dir is set *)
   (* home-server subscriptions (§2.4): source table -> subscriber
      callback address per fetched range. Installed by [Fetch], stabbed
@@ -164,6 +208,9 @@ type t = {
      itself *)
   mutable tickers : (unit -> unit) list;
 }
+
+(* placeholder compared by physical equality; see [nested_step] *)
+let no_nested = fun () -> ()
 
 (** Create a server listening on [port] (0 picks a free port; see {!port})
     with the given cache joins installed. When [config.persist] names a
@@ -214,6 +261,8 @@ let create ?config ?metrics_every ?backend ~port ~joins ~memory_limit () =
     wakeup_r; wakeup_w;
     stepping = false;
     router = None;
+    dirst = None;
+    nested_step = no_nested;
     persist;
     subs = Hashtbl.create 8;
     peers = Hashtbl.create 8;
@@ -254,6 +303,68 @@ let set_router t ~self ~owner ~route_scan ~call ~post ~siblings ~stats =
         rm_client_ops = Obs.counter obs "shard.client.ops";
         rm_forward_out = Obs.counter obs "shard.forward.out";
         rm_forward_in = Obs.counter obs "shard.forward.in" }
+
+(* hotspot detection: once per window, compare each owned range's read
+   tally against the threshold; a hot range is counted and logged with
+   the pequod_ctl command that would replicate it. Replication itself
+   stays an operator decision — the directory is shared cluster state. *)
+let hotspot_tick _t ds () =
+  if ds.ds_hot_threshold > 0. then begin
+    let now = Unix.gettimeofday () in
+    let dt = now -. ds.ds_hot_last in
+    if dt >= ds.ds_hot_every then begin
+      ds.ds_hot_last <- now;
+      Hashtbl.iter
+        (fun (table, lo, hi) r ->
+          let rate = float_of_int !r /. dt in
+          if rate >= ds.ds_hot_threshold then begin
+            Obs.Counter.incr ds.ds_m_hot;
+            Log.warn (fun m ->
+                m
+                  "hot range %s[%s,%s): %.0f reads/s (threshold %.0f); consider: \
+                   pequod_ctl replicate %s %s %s %s REPLICA_ADDR"
+                  table lo hi rate ds.ds_hot_threshold
+                  (Option.value ds.ds_seed ~default:ds.ds_self)
+                  table lo hi)
+          end;
+          r := 0)
+        ds.ds_reads
+    end
+  end
+
+(** Put this server in directory mode: [dir] is its copy of the
+    partition directory (the authoritative one when [seed] is [None] —
+    the [--dir-host] role — a follower copy polled from [seed]
+    otherwise). Enables serving [Dir_get]/[Dir_watch]/[Dir_update],
+    the [Migrate] driver, forwarding of writes whose directory home is
+    another server, and hotspot detection over the per-owned-range read
+    tallies ([hot_threshold] reads/s over [hot_check_every]-second
+    windows; 0 disables). Call once, before serving; pair it with
+    {!Remote.attach_directory} on the same [dir]. *)
+let set_directory t ?seed ?(hot_threshold = 0.) ?(hot_check_every = 5.0) ~dir ~self_addr
+    () =
+  let obs = Server.obs t.engine in
+  let ds =
+    { ds_dir = dir; ds_self = self_addr; ds_seed = seed;
+      ds_hot_threshold = hot_threshold; ds_hot_every = hot_check_every;
+      ds_hot_last = Unix.gettimeofday ();
+      ds_reads = Hashtbl.create 16; ds_mig = None; ds_calls = Hashtbl.create 4;
+      ds_m_epoch = Obs.gauge obs "dir.epoch";
+      ds_m_keys = Obs.counter obs "migrate.keys_moved";
+      ds_m_delta = Obs.counter obs "migrate.delta_replayed";
+      ds_m_redirect = Obs.counter obs "migrate.redirects";
+      ds_m_replica_reads = Obs.counter obs "replica.reads";
+      ds_m_hot = Obs.counter obs "hotspot.detected" }
+  in
+  Obs.Gauge.set ds.ds_m_epoch (Directory.epoch dir);
+  t.dirst <- Some ds;
+  add_ticker t (hotspot_tick t ds)
+
+(** One nested event-loop step, for threading as the [on_wait] of
+    clients owned by this server's loop: while such a client blocks on a
+    call, the loop keeps serving peer traffic — which is what makes
+    symmetric fetches between directory-mode servers deadlock-free. *)
+let on_wait t () = t.nested_step ()
 
 (** The port actually bound (useful with [~port:0]). *)
 let port t =
@@ -358,6 +469,14 @@ let drop_subscriber t addr =
 (* queue one update for every subscriber whose fetched range contains
    [key]; flushed once per read batch *)
 let buffer_notify t key value_opt =
+  (* a write applied while this server is mid-migration of a range
+     containing [key] is part of the handoff delta: the snapshot chunk
+     covering it may already have been copied *)
+  (match t.dirst with
+  | Some { ds_mig = Some mg; _ }
+    when String.compare mg.mg_lo key <= 0 && String.compare key mg.mg_hi < 0 ->
+    mg.mg_delta <- (key, value_opt) :: mg.mg_delta
+  | _ -> ());
   if Hashtbl.length t.subs > 0 then
     match Hashtbl.find_opt t.subs (Pequod_store.Store.table_name_of key) with
     | None -> ()
@@ -398,13 +517,273 @@ let flush_notifications t =
     order
 
 (* ------------------------------------------------------------------ *)
+(* Directory mode: write forwarding, read tallies, migration start     *)
+
+(* call-mode client for a peer named by the directory (a write forward's
+   destination home). [on_wait] nested-steps this server's own loop so
+   two homes forwarding to each other cannot deadlock. *)
+let call_client t ds addr =
+  match Hashtbl.find_opt ds.ds_calls addr with
+  | Some c -> c
+  | None ->
+    let chost, cport = split_addr addr in
+    let config =
+      { Net_client.connect_timeout = 2.0; call_timeout = 10.0; max_retries = 2;
+        backoff = 0.05 }
+    in
+    let c =
+      Net_client.create ~obs:(Server.obs t.engine) ~config
+        ~on_wait:(fun () -> t.nested_step ())
+        ~host:chost ~port:cport ()
+    in
+    Hashtbl.add ds.ds_calls addr c;
+    c
+
+(* Where must a client write for [key] be applied? [Some (ds, home)]
+   when the directory names another server: after a migration flips a
+   range away from this server, stale-routed writers keep sending here —
+   forwarding (rather than applying to the no-longer-authoritative local
+   copy) is what keeps the handoff divergence-free. *)
+let forward_home t key =
+  match t.dirst with
+  | None -> None
+  | Some ds ->
+    if Directory.epoch ds.ds_dir = 0 then None (* no directory yet; apply locally *)
+    else (
+      match Directory.home_of ds.ds_dir ~key with
+      | Some h when not (String.equal h ds.ds_self) -> Some (ds, h)
+      | _ -> None)
+
+(* Split a Put_batch by directory home, preserving per-target order;
+   [None] is the local group. A server with no directory (or no epoch
+   yet) yields one local group, so the static path pays one list cell. *)
+let split_by_home t pairs =
+  match t.dirst with
+  | None -> [ (None, pairs) ]
+  | Some _ ->
+    let groups : (string option, (string * string) list) Hashtbl.t = Hashtbl.create 4 in
+    let order = ref [] in
+    List.iter
+      (fun ((k, _) as p) ->
+        let tgt = Option.map (fun (_, h) -> h) (forward_home t k) in
+        match Hashtbl.find_opt groups tgt with
+        | Some l -> Hashtbl.replace groups tgt (p :: l)
+        | None ->
+          order := tgt :: !order;
+          Hashtbl.add groups tgt [ p ])
+      pairs;
+    List.rev_map (fun tgt -> (tgt, List.rev (Hashtbl.find groups tgt))) !order
+
+let forward_call t ds dest req =
+  Obs.Counter.incr ds.ds_m_redirect;
+  match Net_client.call (call_client t ds dest) req with
+  | resp -> resp
+  | exception Net_client.Net_error msg ->
+    Message.Error (Printf.sprintf "home %s: %s" dest msg)
+
+(* Where should a read of [key] be served? [None]: locally — this
+   server is the home, a listed replica (whose copy is kept fresh by its
+   subscription), or the key is outside the directory (join outputs,
+   un-governed tables). Otherwise the ordered candidates to try: the
+   range's replicas, rotated by this server's identity so different
+   forwarders spread over them, with the home always last. *)
+let read_candidates t key =
+  match t.dirst with
+  | None -> None
+  | Some ds ->
+    if Directory.epoch ds.ds_dir = 0 then None
+    else (
+      match Directory.entry_of ds.ds_dir ~key with
+      | None -> None
+      | Some e ->
+        if
+          String.equal e.Message.de_home ds.ds_self
+          || List.mem ds.ds_self e.Message.de_replicas
+        then None
+        else
+          let cands =
+            match e.Message.de_replicas with
+            | [] -> [ e.Message.de_home ]
+            | reps ->
+              let n = List.length reps in
+              let start = Hashtbl.hash ds.ds_self mod n in
+              List.init n (fun i -> List.nth reps ((start + i) mod n))
+              @ [ e.Message.de_home ]
+          in
+          Some (ds, cands))
+
+(* forward a read, falling through the candidate list (a dead or
+   refusing replica costs one hop, not the answer) *)
+let read_forward t ds cands req =
+  let rec go = function
+    | [] -> Message.Error "no reachable server for the range"
+    | [ addr ] -> forward_call t ds addr req
+    | addr :: rest -> (
+      match forward_call t ds addr req with
+      | Message.Error _ -> go rest
+      | resp -> resp)
+  in
+  go cands
+
+(* read tallies for hotspot detection (owned ranges) and the
+   replica.reads counter (ranges this server replicates) *)
+let tally_read t key =
+  match t.dirst with
+  | None -> ()
+  | Some ds -> (
+    match Directory.entry_of ds.ds_dir ~key with
+    | None -> ()
+    | Some e ->
+      if String.equal e.Message.de_home ds.ds_self then begin
+        if ds.ds_hot_threshold > 0. then begin
+          let k = (e.Message.de_table, e.Message.de_lo, e.Message.de_hi) in
+          match Hashtbl.find_opt ds.ds_reads k with
+          | Some r -> incr r
+          | None -> Hashtbl.add ds.ds_reads k (ref 1)
+        end
+      end
+      else if List.mem ds.ds_self e.Message.de_replicas then
+        Obs.Counter.incr ds.ds_m_replica_reads)
+
+(* A directory-routed scan, served piecewise: segments of [lo, hi)
+   homed (or replicated) here scan the local engine, segments homed
+   elsewhere forward a clamped [Scan] to a replica or the home, gaps the
+   directory does not cover (join outputs, un-governed tables) stay
+   local. Segments come back in key order, so concatenation is the
+   ordered answer. *)
+let scan_directory t ds ~lo ~hi =
+  let table = Pequod_store.Store.table_name_of lo in
+  let overlapping =
+    List.filter
+      (fun (e : Message.dir_entry) ->
+        String.equal e.de_table table
+        && String.compare e.de_lo hi < 0
+        && String.compare lo e.de_hi < 0)
+      (Directory.entries ds.ds_dir)
+    (* directory entries are kept sorted by (table, lo) *)
+  in
+  let segments = ref [] in
+  let cursor = ref lo in
+  List.iter
+    (fun (e : Message.dir_entry) ->
+      if String.compare !cursor e.de_lo < 0 then begin
+        segments := (None, !cursor, e.de_lo) :: !segments;
+        cursor := e.de_lo
+      end;
+      let shi = if String.compare hi e.de_hi < 0 then hi else e.de_hi in
+      if String.compare !cursor shi < 0 then begin
+        let tgt =
+          match read_candidates t !cursor with
+          | None -> None
+          | Some (_, cands) -> Some cands
+        in
+        segments := (tgt, !cursor, shi) :: !segments;
+        cursor := shi
+      end)
+    overlapping;
+  if String.compare !cursor hi < 0 then segments := (None, !cursor, hi) :: !segments;
+  let segments = List.rev !segments in
+  match segments with
+  | [ (None, _, _) ] | [] -> Message.apply_to_server t.engine (Message.Scan { lo; hi })
+  | segs ->
+    let err = ref None in
+    let fail m = if !err = None then err := Some m in
+    let parts =
+      List.map
+        (fun (tgt, slo, shi) ->
+          match tgt with
+          | None -> (
+            match Server.scan_result t.engine ~lo:slo ~hi:shi with
+            | `Ok pairs -> pairs
+            | `Missing ((mt, mlo, mhi) :: _) ->
+              fail
+                (Printf.sprintf "missing base range %s[%s,%s): owning peer unreachable"
+                   mt mlo mhi);
+              []
+            | `Missing [] -> []
+            | exception e ->
+              fail (Printexc.to_string e);
+              [])
+          | Some cands -> (
+            match read_forward t ds cands (Message.Scan { lo = slo; hi = shi }) with
+            | Message.Pairs pairs -> pairs
+            | Message.Error m ->
+              fail m;
+              []
+            | _ ->
+              fail "unexpected scan response";
+              []))
+        segs
+    in
+    (match !err with
+    | Some m -> Message.Error m
+    | None -> Message.Pairs (List.concat parts))
+
+(* start a [Migrate]: validate against the directory, then hand off to
+   the per-step pump ([pump_migration]); the requesting connection is
+   answered only when the handoff completes (or fails) *)
+let start_migration t client ~table ~lo ~hi ~dest =
+  match t.dirst with
+  | None -> Some (Message.Error "no partition directory on this server")
+  | Some ds ->
+    if ds.ds_mig <> None then Some (Message.Error "a migration is already in progress")
+    else if Directory.epoch ds.ds_dir = 0 then
+      Some (Message.Error "no directory epoch yet; seed the directory first")
+    else if String.equal dest ds.ds_self then
+      Some (Message.Error "destination is this server")
+    else begin
+      (* dry-run the flip now so a doomed migration fails before any
+         data moves: the range must be fully covered, by one home *)
+      match Directory.assign (Directory.entries ds.ds_dir) ~table ~lo ~hi ~home:dest with
+      | Error msg -> Some (Message.Error msg)
+      | Ok _ ->
+        if not (Directory.home_of ds.ds_dir ~key:lo = Some ds.ds_self) then
+          Some
+            (Message.Error
+               (Printf.sprintf "this server is not the home of %s[%s,%s)" table lo hi))
+        else begin
+          Log.app (fun m -> m "migrating %s[%s,%s) to %s" table lo hi dest);
+          ds.ds_mig <-
+            Some
+              { mg_table = table; mg_lo = lo; mg_hi = hi; mg_dest = dest;
+                mg_cursor = lo; mg_delta = []; mg_keys = 0; mg_deltas = 0;
+                mg_reply = client.fd };
+          None (* deferred: the pump answers on completion *)
+        end
+    end
+
+(* ------------------------------------------------------------------ *)
 (* Request handling                                                    *)
 
 (* [None] for one-way requests: they produce no response frame *)
-let handle_local t req =
+let handle_local t client req =
   match req with
   | Message.Fetch { table; lo; hi; subscriber } -> (
     Obs.Counter.incr t.m_fetch_in;
+    tally_read t lo;
+    match
+      (* directory mode: refuse to grant a subscription on a range the
+         directory homes elsewhere (unless this server replicates it —
+         a replica's copy is subscription-fresh, so middleman serving
+         is sound). A post-migration straggler fetching from the old
+         home gets an error and replans off its refreshed directory,
+         instead of a frozen snapshot. *)
+      match t.dirst with
+      | Some ds when Directory.epoch ds.ds_dir > 0 -> (
+        match Directory.entry_of ds.ds_dir ~key:lo with
+        | Some e
+          when (not (String.equal e.Message.de_home ds.ds_self))
+               && not (List.mem ds.ds_self e.Message.de_replicas) ->
+          Some e.Message.de_home
+        | _ -> None)
+      | _ -> None
+    with
+    | Some home ->
+      Some
+        (Message.Error
+           (Printf.sprintf "not the home for %s[%s,%s) (directory names %s)" table lo hi
+              home))
+    | None -> (
     (* refetches of the same range by the same subscriber (eviction
        pressure, subscription healing) are idempotent on the subs
        table: an identical live entry is reused, never duplicated,
@@ -432,7 +811,7 @@ let handle_local t req =
       Some (Message.Error (Printf.sprintf "not the home for %s[%s,%s)" table lo hi))
     | exception e ->
       Option.iter (Interval_map.remove (subs_for t table)) handle;
-      Some (Message.Error (Printexc.to_string e)))
+      Some (Message.Error (Printexc.to_string e))))
   | Message.Sub_check { subscriber } ->
     (* subscription heartbeat: report every range still pushed to
        this subscriber, so it can detect (and heal) a drop *)
@@ -461,18 +840,74 @@ let handle_local t req =
     Obs.Counter.incr t.m_notify_in;
     List.iter (fun (k, v) -> buffer_notify t k v) items;
     None
-  | Message.Put (k, v) ->
-    let resp = Message.apply_to_server t.engine req in
-    buffer_notify t k (Some v);
-    Some resp
-  | Message.Remove k ->
-    let resp = Message.apply_to_server t.engine req in
-    buffer_notify t k None;
-    Some resp
-  | Message.Put_batch pairs ->
-    let resp = Message.apply_to_server t.engine req in
-    List.iter (fun (k, v) -> buffer_notify t k (Some v)) pairs;
-    Some resp
+  | Message.Put (k, v) -> (
+    match forward_home t k with
+    | Some (ds, dest) -> Some (forward_call t ds dest req)
+    | None ->
+      let resp = Message.apply_to_server t.engine req in
+      buffer_notify t k (Some v);
+      Some resp)
+  | Message.Remove k -> (
+    match forward_home t k with
+    | Some (ds, dest) -> Some (forward_call t ds dest req)
+    | None ->
+      let resp = Message.apply_to_server t.engine req in
+      buffer_notify t k None;
+      Some resp)
+  | Message.Put_batch pairs -> (
+    match split_by_home t pairs with
+    | [] | [ (None, _) ] ->
+      let resp = Message.apply_to_server t.engine req in
+      List.iter (fun (k, v) -> buffer_notify t k (Some v)) pairs;
+      Some resp
+    | groups ->
+      let ds = Option.get t.dirst in
+      let err = ref None in
+      List.iter
+        (fun (target, sub) ->
+          match target with
+          | None ->
+            ignore (Message.apply_to_server t.engine (Message.Put_batch sub));
+            List.iter (fun (k, v) -> buffer_notify t k (Some v)) sub
+          | Some dest -> (
+            match forward_call t ds dest (Message.Put_batch sub) with
+            | Message.Done -> ()
+            | Message.Error m -> if !err = None then err := Some m
+            | _ -> if !err = None then err := Some "unexpected forward response"))
+        groups;
+      Some (match !err with None -> Message.Done | Some m -> Message.Error m))
+  | Message.Get k -> (
+    tally_read t k;
+    match read_candidates t k with
+    | Some (ds, cands) -> Some (read_forward t ds cands req)
+    | None -> Some (Message.apply_to_server t.engine req))
+  | Message.Scan { lo; hi } -> (
+    tally_read t lo;
+    match t.dirst with
+    | Some ds when Directory.epoch ds.ds_dir > 0 -> Some (scan_directory t ds ~lo ~hi)
+    | _ -> Some (Message.apply_to_server t.engine req))
+  | Message.Dir_get | Message.Dir_watch _ | Message.Dir_update _ -> (
+    match t.dirst with
+    | None -> Some (Message.Error "no partition directory on this server")
+    | Some ds -> (
+      let state () =
+        Message.Dir_state
+          { epoch = Directory.epoch ds.ds_dir; entries = Directory.entries ds.ds_dir }
+      in
+      match req with
+      | Message.Dir_get -> Some (state ())
+      | Message.Dir_watch { epoch } ->
+        if Directory.epoch ds.ds_dir > epoch then Some (state ()) else Some Message.Done
+      | Message.Dir_update { epoch; entries } -> (
+        match Directory.install ds.ds_dir ~epoch ~entries with
+        | Ok () ->
+          Obs.Gauge.set ds.ds_m_epoch epoch;
+          Log.info (fun m ->
+              m "directory updated to epoch %d (%d entries)" epoch (List.length entries));
+          Some Message.Done
+        | Error msg -> Some (Message.Error msg))
+      | _ -> assert false))
+  | Message.Migrate { table; lo; hi; dest } -> start_migration t client ~table ~lo ~hi ~dest
   | req -> Some (Message.apply_to_server t.engine req)
 
 (* requests whose kind only reaches a shard's own listener as a sibling
@@ -526,19 +961,19 @@ let split_by_owner rt key_of items =
    routed; everything arriving on this shard's own listener is local *)
 let dispatch t client req =
   match t.router with
-  | None -> handle_local t req
+  | None -> handle_local t client req
   | Some rt ->
     Obs.Counter.incr rt.rm_ops;
     if not client.injected then begin
       if forward_kind req then Obs.Counter.incr rt.rm_forward_in;
-      handle_local t req
+      handle_local t client req
     end
     else begin
       Obs.Counter.incr rt.rm_client_ops;
       match req with
       | Message.Get k | Message.Put (k, _) | Message.Remove k ->
         let o = rt.rt_owner k in
-        if o = rt.rt_self then handle_local t req
+        if o = rt.rt_self then handle_local t client req
         else begin
           Obs.Counter.incr rt.rm_forward_out;
           match rt.rt_call o req with
@@ -547,7 +982,7 @@ let dispatch t client req =
         end
       | Message.Notify_put (k, _) | Message.Notify_remove k ->
         let o = rt.rt_owner k in
-        if o = rt.rt_self then handle_local t req
+        if o = rt.rt_self then handle_local t client req
         else begin
           (try rt.rt_post o req
            with Net_client.Net_error msg ->
@@ -558,7 +993,7 @@ let dispatch t client req =
         let err = ref None in
         List.iter
           (fun (o, sub) ->
-            if o = rt.rt_self then ignore (handle_local t (Message.Put_batch sub))
+            if o = rt.rt_self then ignore (handle_local t client (Message.Put_batch sub))
             else begin
               Obs.Counter.incr rt.rm_forward_out;
               match rt.rt_call o (Message.Put_batch sub) with
@@ -576,7 +1011,7 @@ let dispatch t client req =
       | Message.Notify_batch items ->
         List.iter
           (fun (o, sub) ->
-            if o = rt.rt_self then ignore (handle_local t (Message.Notify_batch sub))
+            if o = rt.rt_self then ignore (handle_local t client (Message.Notify_batch sub))
             else
               try rt.rt_post o (Message.Notify_batch sub)
               with Net_client.Net_error msg ->
@@ -586,7 +1021,7 @@ let dispatch t client req =
       | Message.Add_join _ -> (
         (* install on every shard: each materializes the join for the
            timeline slices its clients scan *)
-        match handle_local t req with
+        match handle_local t client req with
         | Some Message.Done ->
           let err = ref None in
           List.iter
@@ -620,7 +1055,7 @@ let dispatch t client req =
            by key, is the full answer *)
         match rt.rt_route_scan ~lo ~hi with
         | Some o ->
-          if o = rt.rt_self then handle_local t req
+          if o = rt.rt_self then handle_local t client req
           else begin
             Obs.Counter.incr rt.rm_forward_out;
             match rt.rt_call o req with
@@ -628,7 +1063,7 @@ let dispatch t client req =
             | exception e -> Some (sibling_error e)
           end
         | None -> (
-          match handle_local t req with
+          match handle_local t client req with
           | Some (Message.Pairs local) ->
             let err = ref None in
             let remote =
@@ -658,7 +1093,12 @@ let dispatch t client req =
       | Message.Hello _ | Message.Fetch _ | Message.Sub_check _ ->
         (* fetches and subscription checks are the intra-cluster
            protocol itself: always against this shard's own slice *)
-        handle_local t req
+        handle_local t client req
+      | Message.Dir_get | Message.Dir_watch _ | Message.Dir_update _
+      | Message.Migrate _ ->
+        (* the partition directory is a whole-process concern (and is
+           not enabled in sharded mode anyway) *)
+        handle_local t client req
     end
 
 (* one frame, decoded straight out of the receive buffer (no copy) *)
@@ -789,6 +1229,227 @@ let drain_injected t =
   List.iter (fun fd -> register t fd ~injected:true) (List.rev fds)
 
 (* ------------------------------------------------------------------ *)
+(* Migration pump: drives at most one live range handoff, one bounded
+   batch of work per event-loop step, so the source keeps serving
+   while the copy runs.                                                *)
+
+exception Mig_fail of string
+
+(* a blocking (no [on_wait]) client for the final replay-and-flip: while
+   it is in flight this loop processes nothing, so no write can land
+   between the last delta item and the epoch flip *)
+let mig_client t addr =
+  let chost, cport = split_addr addr in
+  let config =
+    { Net_client.connect_timeout = 2.0; call_timeout = 15.0; max_retries = 2;
+      backoff = 0.05 }
+  in
+  Net_client.create ~obs:(Server.obs t.engine) ~config ~host:chost ~port:cport ()
+
+let mig_barrier c =
+  (* any synchronous, locally-handled call: the response proves every
+     frame posted before it on this connection has been applied (frames
+     are processed in order per connection). Dir_get is answered from
+     the destination's own directory copy and never forwarded — a [Get]
+     for a key in the moving range would bounce straight back to this
+     (blocked) server, because the destination still routes the range
+     here until the epoch flips. *)
+  match Net_client.call c Message.Dir_get with
+  | Message.Dir_state _ -> ()
+  | Message.Error msg -> raise (Mig_fail msg)
+  | _ -> raise (Mig_fail "unexpected barrier response")
+  | exception Net_client.Net_error msg -> raise (Mig_fail msg)
+
+(* feed [items] ((key, Some v | None) in write order) to [c] as posted
+   Notify_batch frames. Notify — not Put — so the receiver applies them
+   locally instead of re-forwarding through its own directory (which
+   still names this server as the range's home until the flip). *)
+let mig_feed c items =
+  let rec chunks = function
+    | [] -> ()
+    | items ->
+      let rec take n acc = function
+        | rest when n = 0 -> (List.rev acc, rest)
+        | [] -> (List.rev acc, [])
+        | x :: rest -> take (n - 1) (x :: acc) rest
+      in
+      let batch, rest = take 1024 [] items in
+      (match Net_client.post c (Message.Notify_batch batch) with
+      | () -> ()
+      | exception Net_client.Net_error msg -> raise (Mig_fail msg));
+      chunks rest
+  in
+  chunks items
+
+let finish_migration t ds mg resp =
+  ds.ds_mig <- None;
+  (match resp with
+  | Message.Error msg ->
+    Log.err (fun m ->
+        m
+          "migration of %s[%s,%s) to %s failed after %d keys: %s (directory unchanged; \
+           re-run the migration)"
+          mg.mg_table mg.mg_lo mg.mg_hi mg.mg_dest mg.mg_keys msg)
+  | _ ->
+    Log.app (fun m ->
+        m "migration of %s[%s,%s) to %s complete: %d keys, %d delta writes" mg.mg_table
+          mg.mg_lo mg.mg_hi mg.mg_dest mg.mg_keys mg.mg_deltas));
+  match Hashtbl.find_opt t.conns mg.mg_reply with
+  | None -> () (* the requesting ctl client went away *)
+  | Some client ->
+    let wire = Message.encode_response resp in
+    Obs.Counter.add t.m_bytes_out (String.length wire + 4);
+    Obs.Histogram.observe t.m_resp_bytes (String.length wire + 4);
+    Outbuf.add_frame client.out wire;
+    flush_output t client
+
+(* the copy is done: atomically replay the delta, flip the directory
+   epoch, hand over subscribers, and release local ownership *)
+let complete_migration t ds mg =
+  let { mg_table = table; mg_lo = lo; mg_hi = hi; mg_dest = dest; _ } = mg in
+  let destc = mig_client t dest in
+  Fun.protect ~finally:(fun () -> Net_client.close destc) @@ fun () ->
+  (* 1. replay the write delta captured during the copy. [destc] never
+     nested-steps this loop, so nothing can append to the delta (or
+     write to the range at all) until the flip below is visible. *)
+  let rec drain () =
+    match mg.mg_delta with
+    | [] -> ()
+    | d ->
+      mg.mg_delta <- [];
+      let items = List.rev d in
+      mg.mg_deltas <- mg.mg_deltas + List.length items;
+      Obs.Counter.add ds.ds_m_delta (List.length items);
+      mig_feed destc items;
+      drain ()
+  in
+  drain ();
+  mig_barrier destc;
+  (* 2. flip the directory epoch: from this version on the cluster
+     routes the range to [dest]. The directory is only ever updated
+     after the destination holds the complete range, so a migration
+     killed at any earlier point leaves the epoch — and reads — exactly
+     where they were. *)
+  let assign_or_fail entries =
+    match Directory.assign entries ~table ~lo ~hi ~home:dest with
+    | Ok e -> e
+    | Error msg -> raise (Mig_fail msg)
+  in
+  let epoch', entries' =
+    match ds.ds_seed with
+    | None ->
+      let entries' = assign_or_fail (Directory.entries ds.ds_dir) in
+      let epoch' = Directory.epoch ds.ds_dir + 1 in
+      (match Directory.install ds.ds_dir ~epoch:epoch' ~entries:entries' with
+      | Ok () -> Obs.Gauge.set ds.ds_m_epoch epoch'
+      | Error msg -> raise (Mig_fail msg));
+      (epoch', entries')
+    | Some seed ->
+      let seedc = mig_client t seed in
+      Fun.protect ~finally:(fun () -> Net_client.close seedc) @@ fun () ->
+      let epoch0, entries0 =
+        match Net_client.call seedc Message.Dir_get with
+        | Message.Dir_state { epoch; entries } -> (epoch, entries)
+        | Message.Error msg -> raise (Mig_fail ("seed: " ^ msg))
+        | _ -> raise (Mig_fail "seed: unexpected Dir_get response")
+        | exception Net_client.Net_error msg -> raise (Mig_fail ("seed: " ^ msg))
+      in
+      let entries' = assign_or_fail entries0 in
+      let epoch' = epoch0 + 1 in
+      (match Net_client.call seedc (Message.Dir_update { epoch = epoch'; entries = entries' }) with
+      | Message.Done -> ()
+      | Message.Error msg -> raise (Mig_fail ("seed: " ^ msg))
+      | _ -> raise (Mig_fail "seed: unexpected Dir_update response")
+      | exception Net_client.Net_error msg -> raise (Mig_fail ("seed: " ^ msg)));
+      (* flip our own follower copy in the same breath: the very next
+         write to the moved range must forward, not apply locally *)
+      (match Directory.install ds.ds_dir ~epoch:epoch' ~entries:entries' with
+      | Ok () -> Obs.Gauge.set ds.ds_m_epoch epoch'
+      | Error _ -> ());
+      (epoch', entries')
+  in
+  (* 3. tell the new home directly — its poll would learn the flip
+     anyway; this closes the window where it still routes the range
+     back to us *)
+  (try
+     ignore (Net_client.call destc (Message.Dir_update { epoch = epoch'; entries = entries' }))
+   with Net_client.Net_error _ -> ());
+  (* 4. hand our subscribers over: the new home installs each one
+     through the ordinary Fetch path (naming the subscriber's own
+     callback address), so pushes keep flowing without waiting for each
+     subscriber's Sub_check heal round to notice *)
+  (match Hashtbl.find_opt t.subs table with
+  | None -> ()
+  | Some im ->
+    let handles = ref [] in
+    Interval_map.iter_overlapping im ~lo ~hi (fun h -> handles := h :: !handles);
+    List.iter
+      (fun h ->
+        let slo, shi = Interval_map.handle_range h in
+        let addr = Interval_map.handle_data h in
+        if not (String.equal addr dest) then begin
+          let clo = if String.compare lo slo < 0 then slo else lo in
+          let chi = if String.compare shi hi < 0 then shi else hi in
+          try
+            ignore
+              (Net_client.call destc
+                 (Message.Fetch { table; lo = clo; hi = chi; subscriber = addr }))
+          with Net_client.Net_error _ -> ()
+        end;
+        (* entries fully inside the moved range are dropped (their
+           subscriber hears from the new home now); a straddling entry
+           keeps serving its unmoved part — its moved part can never
+           fire again, because writes there no longer apply locally *)
+        if String.compare lo slo <= 0 && String.compare shi hi <= 0 then
+          Interval_map.remove im h)
+      !handles);
+  (* 5. this server no longer owns the range; its own resolver (on the
+     flipped routes) now fetches it from the new home on demand *)
+  Server.unmark_present t.engine ~table ~lo ~hi;
+  finish_migration t ds mg
+    (Message.Pairs
+       [ ("keys_moved", string_of_int mg.mg_keys);
+         ("delta_replayed", string_of_int mg.mg_deltas);
+         ("epoch", string_of_int epoch') ])
+
+let mig_chunk = 512 (* keys per posted snapshot batch *)
+let mig_chunks_per_step = 64
+
+(* one step's worth of copying: up to [mig_chunks_per_step] chunks
+   posted to the destination, then a barrier call (which nested-steps
+   this loop, so clients keep getting served while the copy cruises) *)
+let pump_migration t =
+  match t.dirst with
+  | None -> ()
+  | Some ds -> (
+    match ds.ds_mig with
+    | None -> ()
+    | Some mg -> (
+      try
+        let destc = call_client t ds mg.mg_dest in
+        let copied_all = ref false in
+        let budget = ref mig_chunks_per_step in
+        while (not !copied_all) && !budget > 0 do
+          decr budget;
+          match
+            Server.scan_result ~limit:mig_chunk t.engine ~lo:mg.mg_cursor ~hi:mg.mg_hi
+          with
+          | `Missing _ -> raise (Mig_fail "this server does not hold the range")
+          | `Ok pairs ->
+            let n = List.length pairs in
+            if n > 0 then begin
+              mig_feed destc (List.map (fun (k, v) -> (k, Some v)) pairs);
+              mg.mg_keys <- mg.mg_keys + n;
+              Obs.Counter.add ds.ds_m_keys n
+            end;
+            if n = mig_chunk then mg.mg_cursor <- fst (List.nth pairs (n - 1)) ^ "\x00"
+            else copied_all := true
+        done;
+        mig_barrier destc;
+        if !copied_all then complete_migration t ds mg
+      with Mig_fail msg -> finish_migration t ds mg (Message.Error msg)))
+
+(* ------------------------------------------------------------------ *)
 (* The loop                                                            *)
 
 (* One metrics snapshot as a single JSON line on stdout, timestamped so
@@ -820,10 +1481,16 @@ let maybe_dump_metrics t =
     from a connection whose request is already on the stack ([busy]) or
     from acceptor-handed (public) connections, so while blocked a shard
     only advances sibling/peer traffic. *)
-let step ?(timeout = 1.0) t =
+let rec step ?(timeout = 1.0) t =
+  if t.nested_step == no_nested then
+    t.nested_step <- (fun () -> step ~timeout:0.005 t);
   let nested = t.stepping in
   t.stepping <- true;
   Fun.protect ~finally:(fun () -> t.stepping <- nested) @@ fun () ->
+  let timeout =
+    (* a live migration wants the pump back promptly, idle or not *)
+    match t.dirst with Some { ds_mig = Some _; _ } -> 0.0 | _ -> timeout
+  in
   let events = Poller.wait t.poller ~timeout in
   List.iter
     (fun (fd, readable, writable) ->
@@ -850,6 +1517,7 @@ let step ?(timeout = 1.0) t =
     events;
   if not nested then begin
     drain_injected t;
+    pump_migration t;
     Option.iter Persist.tick t.persist;
     List.iter (fun f -> f ()) t.tickers;
     maybe_dump_metrics t

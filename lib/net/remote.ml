@@ -139,6 +139,280 @@ let plan ~routes ~table ~lo ~hi =
            overlapping)
   end
 
+(* directory entries -> routes, from one server's point of view: its
+   own ranges become local routes, everything else names the home *)
+let routes_of_entries ~self_addr entries =
+  List.map
+    (fun (e : Message.dir_entry) ->
+      { r_table = e.de_table; r_lo = e.de_lo; r_hi = e.de_hi;
+        r_addr =
+          (if String.equal e.de_home self_addr then None else Some e.de_home) })
+    entries
+
+let attach_directory ?(check_every = 2.0) ?(poll_every = 1.0) ?client_config ?on_wait
+    ?seed ~engine ~self_addr ~dir () =
+  let obs = Server.obs engine in
+  let client_for = client_cache ?config:client_config ?on_wait obs in
+  (* a dedicated short-fuse client for the seed poll, so a dead seed
+     costs the tick half a second, not the full fetch retry budget *)
+  let poll_for =
+    client_cache
+      ~config:
+        { Net_client.connect_timeout = 0.5; call_timeout = 2.0; max_retries = 0;
+          backoff = 0.05 }
+      ?on_wait obs
+  in
+  let m_fetch_out = Obs.counter obs "peer.fetch.out" in
+  let m_dir_fetch = Obs.counter obs "dir.fetch" in
+  let m_epoch = Obs.gauge obs "dir.epoch" in
+  let m_sub_lost = Obs.counter obs "peer.sub.lost" in
+  let routes = ref [] in
+  let applied = ref 0 in
+  (* read candidates per directory range: that range's replicas, minus
+     this server — the home is always the fallback *)
+  let replicas : (string * string * string, string list) Hashtbl.t = Hashtbl.create 8 in
+  let tracked : (string * string * string, string) Hashtbl.t = Hashtbl.create 16 in
+  let fetch_one ~table ~lo ~hi addr =
+    Obs.Counter.incr m_fetch_out;
+    match
+      Net_client.call (client_for addr)
+        (Message.Fetch { table; lo; hi; subscriber = self_addr })
+    with
+    | Message.Subscribed pairs ->
+      Hashtbl.replace tracked (table, lo, hi) addr;
+      Some pairs
+    | Message.Error msg ->
+      Log.warn (fun m -> m "fetch %s[%s,%s) from %s refused: %s" table lo hi addr msg);
+      None
+    | _ ->
+      Log.warn (fun m -> m "fetch %s[%s,%s) from %s: unexpected response" table lo hi addr);
+      None
+    | exception Net_client.Net_error msg ->
+      Log.warn (fun m -> m "fetch %s[%s,%s) from %s failed: %s" table lo hi addr msg);
+      None
+  in
+  (* one clamp's fetch: spread reads over the range's replicas (each
+     server starts at a different candidate), fall through to the next
+     candidate — the home last — when one refuses or is down *)
+  let fetch_clamp (r, flo, fhi) =
+    let home = Option.get r.r_addr in
+    let cands =
+      match Hashtbl.find_opt replicas (r.r_table, r.r_lo, r.r_hi) with
+      | None | Some [] -> [ home ]
+      | Some reps ->
+        let all = reps @ [ home ] in
+        let n = List.length all in
+        let start = Hashtbl.hash self_addr mod n in
+        List.init n (fun i -> List.nth all ((start + i) mod n))
+    in
+    let rec go = function
+      | [] -> None
+      | addr :: rest -> (
+        match fetch_one ~table:r.r_table ~lo:flo ~hi:fhi addr with
+        | Some _ as got -> got
+        | None -> go rest)
+    in
+    go cands
+  in
+  Server.set_resolver engine (fun ~table ~lo ~hi ->
+      if !applied = 0 then
+        (* no directory yet: resolving [Local] here would mark the range
+           present and freeze it empty; defer until the first epoch *)
+        Server.Deferred
+      else
+        match plan ~routes:!routes ~table ~lo ~hi with
+        | `Unrouted -> Server.Local (* not a directory table (join outputs) *)
+        | `Gap ->
+          Log.warn (fun m ->
+              m "directory leaves a gap inside %s[%s,%s); check the seed entries" table
+                lo hi);
+          Server.Deferred
+        | `Fetch [] -> Server.Local
+        | `Fetch clamps ->
+          let rec fetch acc = function
+            | [] -> Server.Resolved (List.concat (List.rev acc))
+            | clamp :: rest -> (
+              match fetch_clamp clamp with
+              | Some pairs -> fetch (pairs :: acc) rest
+              | None -> Server.Deferred)
+          in
+          fetch [] clamps);
+  let owned_of rs =
+    List.filter_map
+      (fun r -> if r.r_addr = None then Some (r.r_table, r.r_lo, r.r_hi) else None)
+      rs
+  in
+  (* replica duty waiting to be established: (table, lo, hi, home)
+     ranges this server replicates but has not fetch+subscribed yet.
+     Retried every tick until the home answers. *)
+  let warm_pending = ref [] in
+  let warm_replicas () =
+    warm_pending :=
+      List.filter
+        (fun (table, lo, hi, home) ->
+          match fetch_one ~table ~lo ~hi home with
+          | Some pairs ->
+            Server.feed_base engine ~table ~lo ~hi pairs;
+            Log.info (fun m -> m "replicating %s[%s,%s) from %s" table lo hi home);
+            false
+          | None -> true)
+        !warm_pending
+  in
+  (* bring this server in line with the directory version currently in
+     [dir]: recompute routes, adjust owned presence, drop subscriptions
+     whose granting server the new version no longer names for the
+     range, and warm any range this server now serves as a replica *)
+  let apply () =
+    let epoch = Directory.epoch dir in
+    let entries = Directory.entries dir in
+    let new_routes = routes_of_entries ~self_addr entries in
+    let old_owned = owned_of !routes in
+    let new_owned = owned_of new_routes in
+    List.iter
+      (fun ((table, lo, hi) as k) ->
+        if not (List.mem k old_owned) then Server.mark_present engine ~table ~lo ~hi)
+      new_owned;
+    List.iter
+      (fun ((table, lo, hi) as k) ->
+        if not (List.mem k new_owned) then Server.unmark_present engine ~table ~lo ~hi)
+      old_owned;
+    Hashtbl.reset replicas;
+    let warm = ref [] in
+    List.iter
+      (fun (e : Message.dir_entry) ->
+        if not (String.equal e.Message.de_home self_addr) then begin
+          (match
+             List.filter (fun a -> not (String.equal a self_addr)) e.Message.de_replicas
+           with
+          | [] -> ()
+          | others ->
+            Hashtbl.replace replicas (e.Message.de_table, e.Message.de_lo, e.Message.de_hi) others);
+          if
+            List.exists (String.equal self_addr) e.Message.de_replicas
+            && not (Hashtbl.mem tracked (e.Message.de_table, e.Message.de_lo, e.Message.de_hi))
+          then
+            warm :=
+              (e.Message.de_table, e.Message.de_lo, e.Message.de_hi, e.Message.de_home)
+              :: !warm
+        end)
+      entries;
+    routes := new_routes;
+    applied := epoch;
+    Obs.Gauge.set m_epoch epoch;
+    Log.info (fun m ->
+        m "directory epoch %d applied: %d routes, %d owned" epoch
+          (List.length new_routes) (List.length new_owned));
+    let stale = ref [] in
+    Hashtbl.iter
+      (fun ((table, lo, hi) as key) addr ->
+        let valid =
+          match plan ~routes:new_routes ~table ~lo ~hi with
+          | `Fetch clamps ->
+            List.exists
+              (fun (r, _, _) ->
+                (match r.r_addr with
+                | Some h -> String.equal h addr
+                | None -> false)
+                ||
+                match Hashtbl.find_opt replicas (r.r_table, r.r_lo, r.r_hi) with
+                | Some reps -> List.exists (String.equal addr) reps
+                | None -> false)
+              clamps
+          | _ -> false
+        in
+        if not valid then stale := key :: !stale)
+      tracked;
+    List.iter
+      (fun ((table, lo, hi) as key) ->
+        Hashtbl.remove tracked key;
+        (* the data moved out from under the subscription: forget the
+           presence; the next scan refetches from the current home *)
+        Server.unmark_present engine ~table ~lo ~hi)
+      !stale;
+    (* replica duty: a direct fetch+subscribe from the home feeds the
+       copy in (base-table scans never resolve on their own); failures
+       stay pending and retry every tick *)
+    warm_pending := !warm;
+    warm_replicas ()
+  in
+  if Directory.epoch dir > 0 then apply ();
+  let last_poll = ref neg_infinity in
+  let poll now =
+    match seed with
+    | None -> () (* this server is the seed; installs land in [dir] directly *)
+    | Some seed_addr ->
+      if now -. !last_poll >= poll_every then begin
+        last_poll := now;
+        match
+          Net_client.call (poll_for seed_addr)
+            (Message.Dir_watch { epoch = Directory.epoch dir })
+        with
+        | Message.Dir_state { epoch; entries } ->
+          Obs.Counter.incr m_dir_fetch;
+          (* a migration flip pushed to this server can race the poll:
+             an answer at-or-below the installed epoch is just old news *)
+          if epoch > Directory.epoch dir then (
+            match Directory.install dir ~epoch ~entries with
+            | Ok () -> ()
+            | Error msg ->
+              Log.warn (fun m -> m "directory update from seed rejected: %s" msg))
+        | Message.Done -> Obs.Counter.incr m_dir_fetch (* unchanged *)
+        | Message.Error msg ->
+          Log.warn (fun m -> m "seed %s refused Dir_watch: %s" seed_addr msg)
+        | _ -> ()
+        | exception Net_client.Net_error msg ->
+          Log.debug (fun m -> m "directory seed %s unreachable: %s" seed_addr msg)
+      end
+  in
+  let last_check = ref neg_infinity in
+  let heal now =
+    if Hashtbl.length tracked > 0 && now -. !last_check >= check_every then begin
+      last_check := now;
+      let by_addr = Hashtbl.create 4 in
+      Hashtbl.iter
+        (fun key addr ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt by_addr addr) in
+          Hashtbl.replace by_addr addr (key :: prev))
+        tracked;
+      Hashtbl.iter
+        (fun addr keys ->
+          match
+            Net_client.call ~timeout:2.0 (client_for addr)
+              (Message.Sub_check { subscriber = self_addr })
+          with
+          | Message.Sub_ranges live ->
+            let live_set = Hashtbl.create (1 + List.length live) in
+            List.iter (fun k -> Hashtbl.replace live_set k ()) live;
+            List.iter
+              (fun ((table, lo, hi) as key) ->
+                if not (Hashtbl.mem live_set key) then begin
+                  Obs.Counter.force_add m_sub_lost 1;
+                  Log.warn (fun m ->
+                      m "subscription %s[%s,%s) lost at %s; will refetch" table lo hi
+                        addr);
+                  Hashtbl.remove tracked key;
+                  (* directory mode heals lazily: drop the presence and
+                     let the next scan replan — the range may have been
+                     migrated to a different home since *)
+                  Server.unmark_present engine ~table ~lo ~hi
+                end)
+              keys
+          | _ -> ()
+          | exception Net_client.Net_error _ -> ())
+        by_addr
+    end
+  in
+  let last_warm = ref neg_infinity in
+  fun () ->
+    let now = Unix.gettimeofday () in
+    poll now;
+    if Directory.epoch dir > !applied then apply ();
+    if !warm_pending <> [] && now -. !last_warm >= 1.0 then begin
+      last_warm := now;
+      warm_replicas ()
+    end;
+    heal now
+
 let attach ?(check_every = 2.0) ?client_config ?on_wait ?(local_tables = fun _ -> false)
     ~engine ~self_addr ~routes () =
   List.iter

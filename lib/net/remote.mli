@@ -62,6 +62,39 @@ val plan :
   routes:route list -> table:string -> lo:string -> hi:string ->
   [ `Unrouted | `Gap | `Fetch of (route * string * string) list ]
 
+(** Directory entries seen from [self_addr]: entries homed here become
+    local routes, everything else names the home. *)
+val routes_of_entries :
+  self_addr:string -> Pequod_proto.Message.dir_entry list -> route list
+
+(** Directory-mode counterpart of {!attach}: routes come from [dir] (a
+    {!Directory.t} shared with {!Net_server.set_directory}) instead of
+    static specs, and re-plan on every epoch change. Returns the tick to
+    run from the serving event loop ({!Net_server.add_ticker}); each run
+    polls the seed (followers only — [seed = None] means this server
+    {e is} the seed and sees installs directly), applies any new epoch,
+    and heals subscriptions.
+
+    Until the first epoch arrives every range resolves [Deferred] —
+    resolving [Local] would mark it present and freeze it empty. On an
+    epoch change: newly owned ranges are marked present (a migration
+    destination adopts the fed snapshot as authoritative), formerly
+    owned ones un-marked, subscriptions granted by a server the new
+    version no longer names for their range are dropped (the next scan
+    refetches from the current home), and ranges this server now serves
+    as a replica are fetch+subscribed eagerly. Reads of a replicated
+    range spread across the replicas (each server starts at a different
+    candidate) and fall back to the home. Epoch applications set the
+    [dir.epoch] gauge; seed polls count in [dir.fetch]. *)
+val attach_directory :
+  ?check_every:float ->
+  ?poll_every:float ->
+  ?client_config:Net_client.config ->
+  ?on_wait:(unit -> unit) ->
+  ?seed:string ->
+  engine:Pequod_core.Server.t -> self_addr:string -> dir:Directory.t -> unit ->
+  unit -> unit
+
 (** Install the routes on [engine]: local routes are marked present; if
     any remote routes exist, a resolver is set that fetches from the
     owning peers and subscribes as [self_addr]. Returns the

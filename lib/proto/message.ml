@@ -20,6 +20,18 @@
     error instead of misparsing. *)
 let protocol_version = 2
 
+(** One row of the partition directory: [table] keys in [[lo,hi)] live
+    on home server [de_home]; [de_replicas] are read replicas that also
+    fetch+subscribe the range and may serve reads (writes always go to
+    the home). Addresses are ["host:port"]. *)
+type dir_entry = {
+  de_table : string;
+  de_lo : string;
+  de_hi : string;
+  de_home : string;
+  de_replicas : string list;
+}
+
 type request =
   | Hello of { version : int } (* first request on a connection *)
   | Get of string
@@ -43,6 +55,20 @@ type request =
          what it believes subscribed and refetches anything the home
          dropped (e.g. after a failed push or a home restart). *)
   | Stats_full
+  (* partition directory (served by the seed node) *)
+  | Dir_get (* answer [Dir_state] unconditionally *)
+  | Dir_watch of { epoch : int }
+      (* conditional get: [Dir_state] if the directory is newer than
+         [epoch], else [Done] — a cheap poll for followers *)
+  | Dir_update of { epoch : int; entries : dir_entry list }
+      (* replace the directory iff [epoch] is strictly newer; the seed
+         answers [Done] or [Error] on a stale/invalid proposal *)
+  | Migrate of { table : string; lo : string; hi : string; dest : string }
+      (* operator verb, sent to the range's current home: snapshot-feed
+         [[lo,hi)] to [dest] via Put_batch, replay the write delta
+         accumulated during the copy, then flip the directory epoch.
+         Answered (with per-phase stats as [Pairs]) only once the
+         handoff is complete. *)
 
 type response =
   | Done
@@ -55,6 +81,8 @@ type response =
   | Sub_ranges of (string * string * string) list
       (* Sub_check answer: (table, lo, hi) ranges live for the asking
          subscriber, sorted *)
+  | Dir_state of { epoch : int; entries : dir_entry list }
+      (* the directory as of [epoch] (Dir_get/Dir_watch answer) *)
   | Error of string
 
 (** Short name of a request's kind, for per-kind RPC counters
@@ -73,6 +101,10 @@ let request_kind = function
   | Notify_batch _ -> "notify_batch"
   | Sub_check _ -> "sub_check"
   | Stats_full -> "stats_full"
+  | Dir_get -> "dir_get"
+  | Dir_watch _ -> "dir_watch"
+  | Dir_update _ -> "dir_update"
+  | Migrate _ -> "migrate"
 
 (** One-way requests are applied without sending a response frame.
     Subscription pushes must be one-way: a home server that waited for
@@ -81,7 +113,8 @@ let request_kind = function
 let is_oneway = function
   | Notify_put _ | Notify_remove _ | Notify_batch _ -> true
   | Hello _ | Get _ | Put _ | Remove _ | Put_batch _ | Scan _ | Add_join _
-  | Fetch _ | Sub_check _ | Stats_full ->
+  | Fetch _ | Sub_check _ | Stats_full | Dir_get | Dir_watch _ | Dir_update _
+  | Migrate _ ->
     false
 
 exception Protocol_error = Codec.Decode_error
@@ -92,6 +125,29 @@ let retired tag what =
        (Printf.sprintf
           "tag %#x (%s) was retired in protocol v%d; use stats_full" tag what
           protocol_version))
+
+let put_dir_entries buf entries =
+  Codec.put_varint buf (List.length entries);
+  List.iter
+    (fun e ->
+      Codec.put_string buf e.de_table;
+      Codec.put_string buf e.de_lo;
+      Codec.put_string buf e.de_hi;
+      Codec.put_string buf e.de_home;
+      Codec.put_varint buf (List.length e.de_replicas);
+      List.iter (Codec.put_string buf) e.de_replicas)
+    entries
+
+let get_dir_entries r =
+  let n = Codec.get_varint r in
+  List.init n (fun _ ->
+      let de_table = Codec.get_string r in
+      let de_lo = Codec.get_string r in
+      let de_hi = Codec.get_string r in
+      let de_home = Codec.get_string r in
+      let nr = Codec.get_varint r in
+      let de_replicas = List.init nr (fun _ -> Codec.get_string r) in
+      { de_table; de_lo; de_hi; de_home; de_replicas })
 
 let encode_request req =
   let buf = Buffer.create 64 in
@@ -147,7 +203,21 @@ let encode_request req =
     Codec.put_varint buf version
   | Sub_check { subscriber } ->
     Buffer.add_char buf '\x0e';
-    Codec.put_string buf subscriber);
+    Codec.put_string buf subscriber
+  | Dir_get -> Buffer.add_char buf '\x0f'
+  | Dir_watch { epoch } ->
+    Buffer.add_char buf '\x10';
+    Codec.put_varint buf epoch
+  | Dir_update { epoch; entries } ->
+    Buffer.add_char buf '\x11';
+    Codec.put_varint buf epoch;
+    put_dir_entries buf entries
+  | Migrate { table; lo; hi; dest } ->
+    Buffer.add_char buf '\x12';
+    Codec.put_string buf table;
+    Codec.put_string buf lo;
+    Codec.put_string buf hi;
+    Codec.put_string buf dest);
   Buffer.contents buf
 
 let decode_request_r r =
@@ -189,6 +259,18 @@ let decode_request_r r =
              | b -> raise (Codec.Decode_error (Printf.sprintf "bad notify item %#x" b))))
     | 0x0d -> Hello { version = Codec.get_varint r }
     | 0x0e -> Sub_check { subscriber = Codec.get_string r }
+    | 0x0f -> Dir_get
+    | 0x10 -> Dir_watch { epoch = Codec.get_varint r }
+    | 0x11 ->
+      let epoch = Codec.get_varint r in
+      let entries = get_dir_entries r in
+      Dir_update { epoch; entries }
+    | 0x12 ->
+      let table = Codec.get_string r in
+      let lo = Codec.get_string r in
+      let hi = Codec.get_string r in
+      let dest = Codec.get_string r in
+      Migrate { table; lo; hi; dest }
     | tag -> raise (Codec.Decode_error (Printf.sprintf "bad request tag %#x" tag))
   in
   if not (Codec.at_end r) then raise (Codec.Decode_error "trailing bytes");
@@ -252,6 +334,10 @@ let encode_response resp =
         Codec.put_string buf lo;
         Codec.put_string buf hi)
       ranges
+  | Dir_state { epoch; entries } ->
+    Buffer.add_char buf '\x8b';
+    Codec.put_varint buf epoch;
+    put_dir_entries buf entries
   | Error msg ->
     Buffer.add_char buf '\x86';
     Codec.put_string buf msg);
@@ -299,6 +385,10 @@ let decode_response data =
              let lo = Codec.get_string r in
              let hi = Codec.get_string r in
              (table, lo, hi)))
+    | 0x8b ->
+      let epoch = Codec.get_varint r in
+      let entries = get_dir_entries r in
+      Dir_state { epoch; entries }
     | tag -> raise (Codec.Decode_error (Printf.sprintf "bad response tag %#x" tag))
   in
   if not (Codec.at_end r) then raise (Codec.Decode_error "trailing bytes");
@@ -372,3 +462,6 @@ let apply_to_server server req =
   | Stats_full -> Metrics (Server.metrics_snapshot server)
   | Fetch _ -> Error "fetch is handled by the cluster layer"
   | Sub_check _ -> Error "sub_check is handled by the cluster layer"
+  | Dir_get | Dir_watch _ | Dir_update _ ->
+    Error "the partition directory is handled by the cluster layer"
+  | Migrate _ -> Error "migrate is handled by the cluster layer"

@@ -11,8 +11,11 @@
       snapshot, the Newp page, ...);
     - a {e variant} fixes the engine configuration (each §3/§4
       optimization toggled, subtables, eviction pressure, durability
-      with crash-recovery, or remote mode, where a second in-process
-      engine plays the home server behind the resolver);
+      with crash-recovery, remote mode, where a second in-process
+      engine plays the home server behind the resolver, or migrate
+      mode, where two home engines sit behind a mutable range directory
+      and slices of the live keyspace are periodically live-migrated
+      between them mid-sequence);
     - the op sequence is derived from one root seed via {!derive_seed},
       so every run, failure, and shrink is reproducible byte-for-byte.
 
@@ -394,6 +397,13 @@ type variant = {
       (** a second plain engine plays the home server for every base
           table; the engine under test resolves missing ranges from it
           (§3.3), with writes forwarded only for subscribed ranges *)
+  va_migrate : bool;
+      (** remote mode with TWO home engines behind a mutable range
+          directory: a periodic migration event snapshot-copies part of
+          the live keyspace to the other home and flips the directory,
+          modelling live range migration — reads must follow the
+          directory only, and the compute side's subscriptions survive
+          the move (the Fetch handoff) *)
   va_shards : int;
       (** 0 = off; k >= 2 models the shard-per-core server: k engines,
           each owning a component-space slice of every base table (the
@@ -405,52 +415,57 @@ type variant = {
 
 let variants =
   [| { va_name = "default"; va_tweak = (fun _ -> ()); va_persist = No_persist;
-       va_remote = false; va_shards = 0 };
+       va_remote = false; va_migrate = false; va_shards = 0 };
      { va_name = "no-hints";
        va_tweak = (fun c -> c.Config.output_hints <- false);
-       va_persist = No_persist; va_remote = false; va_shards = 0 };
+       va_persist = No_persist; va_remote = false; va_migrate = false; va_shards = 0 };
      { va_name = "no-sharing";
        va_tweak = (fun c -> c.Config.value_sharing <- false);
-       va_persist = No_persist; va_remote = false; va_shards = 0 };
+       va_persist = No_persist; va_remote = false; va_migrate = false; va_shards = 0 };
      { va_name = "no-combine";
        va_tweak = (fun c -> c.Config.combine_updaters <- false);
-       va_persist = No_persist; va_remote = false; va_shards = 0 };
+       va_persist = No_persist; va_remote = false; va_migrate = false; va_shards = 0 };
      { va_name = "eager-checks";
        va_tweak = (fun c -> c.Config.lazy_checks <- false);
-       va_persist = No_persist; va_remote = false; va_shards = 0 };
+       va_persist = No_persist; va_remote = false; va_migrate = false; va_shards = 0 };
      { va_name = "log-limit-1";
        va_tweak = (fun c -> c.Config.pending_log_limit <- 1);
-       va_persist = No_persist; va_remote = false; va_shards = 0 };
+       va_persist = No_persist; va_remote = false; va_migrate = false; va_shards = 0 };
      { va_name = "subtables";
        va_tweak = (fun c -> c.Config.table_config <- (fun _ -> Some 2));
-       va_persist = No_persist; va_remote = false; va_shards = 0 };
+       va_persist = No_persist; va_remote = false; va_migrate = false; va_shards = 0 };
      { va_name = "evict";
        va_tweak = (fun c -> c.Config.memory_limit <- Some 8192);
-       va_persist = No_persist; va_remote = false; va_shards = 0 };
+       va_persist = No_persist; va_remote = false; va_migrate = false; va_shards = 0 };
      { va_name = "evict-no-combine";
        va_tweak =
          (fun c ->
            c.Config.memory_limit <- Some 8192;
            c.Config.combine_updaters <- false);
-       va_persist = No_persist; va_remote = false; va_shards = 0 };
+       va_persist = No_persist; va_remote = false; va_migrate = false; va_shards = 0 };
      { va_name = "persist";
        va_tweak = (fun _ -> ());
-       va_persist = Persist_always { snapshot_every = 0 }; va_remote = false; va_shards = 0 };
+       va_persist = Persist_always { snapshot_every = 0 }; va_remote = false; va_migrate = false; va_shards = 0 };
      { va_name = "persist-snap";
        va_tweak = (fun _ -> ());
-       va_persist = Persist_always { snapshot_every = 7 }; va_remote = false; va_shards = 0 };
+       va_persist = Persist_always { snapshot_every = 7 }; va_remote = false; va_migrate = false; va_shards = 0 };
      { va_name = "remote"; va_tweak = (fun _ -> ()); va_persist = No_persist;
-       va_remote = true; va_shards = 0 };
+       va_remote = true; va_migrate = false; va_shards = 0 };
      { va_name = "remote-evict";
        va_tweak = (fun c -> c.Config.memory_limit <- Some 8192);
-       va_persist = No_persist; va_remote = true; va_shards = 0 };
+       va_persist = No_persist; va_remote = true; va_migrate = false; va_shards = 0 };
+     { va_name = "migrate"; va_tweak = (fun _ -> ()); va_persist = No_persist;
+       va_remote = false; va_migrate = true; va_shards = 0 };
+     { va_name = "migrate-evict";
+       va_tweak = (fun c -> c.Config.memory_limit <- Some 8192);
+       va_persist = No_persist; va_remote = false; va_migrate = true; va_shards = 0 };
      { va_name = "shards-2"; va_tweak = (fun _ -> ()); va_persist = No_persist;
-       va_remote = false; va_shards = 2 };
+       va_remote = false; va_migrate = false; va_shards = 2 };
      { va_name = "shards-3"; va_tweak = (fun _ -> ()); va_persist = No_persist;
-       va_remote = false; va_shards = 3 };
+       va_remote = false; va_migrate = false; va_shards = 3 };
      { va_name = "shards-2-evict";
        va_tweak = (fun c -> c.Config.memory_limit <- Some 8192);
-       va_persist = No_persist; va_remote = false; va_shards = 2 } |]
+       va_persist = No_persist; va_remote = false; va_migrate = false; va_shards = 2 } |]
 
 let find_scenario name = Array.find_opt (fun s -> s.sc_name = name) scenarios
 let find_variant name = Array.find_opt (fun v -> v.va_name = name) variants
@@ -622,24 +637,126 @@ let run_case scenario variant ops =
     | Ok () -> ()
     | Error msg -> fail "oracle rejected join %S: %s" text msg
   in
-  (* remote mode: [home] is the home server for every base table; the
-     engine under test is the compute side. Its resolver alternates
-     between the synchronous fast path (Resolved, as over a healthy TCP
-     peer) and Deferred, which forces the read loop below through the
-     feed_base-and-retry restart path (§3.3). Every resolved range is a
-     subscription: later writes land on the home first and are forwarded
-     only when subscribed, modelling the Notify push. *)
-  let home = if variant.va_remote then Some (Server.create ()) else None in
+  (* remote/migrate modes: [homes] are the home servers for every base
+     table — one in remote mode, two behind a mutable range directory in
+     migrate mode — and the engine under test is the compute side. Its
+     resolver alternates between the synchronous fast path (Resolved, as
+     over a healthy TCP peer) and Deferred, which forces the read loop
+     below through the feed_base-and-retry restart path (§3.3). Every
+     resolved range is a subscription: later writes land on the home
+     first and are forwarded only when subscribed, modelling the Notify
+     push (which in migrate mode also models the Fetch handoff — the
+     subscription keeps delivering across a move). *)
+  let homes =
+    if variant.va_remote then Some [| Server.create () |]
+    else if variant.va_migrate then Some [| Server.create (); Server.create () |]
+    else None
+  in
+  (* the model directory: sorted boundaries, entry (lo, j) homes keys in
+     [lo, next boundary) at homes.(j); everything starts at home 0 *)
+  let dirb = ref [ ("", 0) ] in
+  let dir_segments lo hi =
+    let rec go = function
+      | [] -> []
+      | (slo, j) :: rest ->
+        let shi = match rest with (nlo, _) :: _ -> nlo | [] -> "\xff" in
+        let clo = if String.compare lo slo > 0 then lo else slo in
+        let chi = if String.compare hi shi < 0 then hi else shi in
+        if String.compare clo chi < 0 then (clo, chi, j) :: go rest else go rest
+    in
+    go !dirb
+  in
+  let home_of k =
+    List.fold_left
+      (fun acc (slo, j) -> if String.compare slo k <= 0 then j else acc)
+      0 !dirb
+  in
+  let home_scan lo hi =
+    match homes with
+    | None -> []
+    | Some arr ->
+      List.concat_map
+        (fun (clo, chi, j) -> Server.scan arr.(j) ~lo:clo ~hi:chi)
+        (dir_segments lo hi)
+  in
+  let home_put k v =
+    match homes with Some arr -> Server.put arr.(home_of k) k v | None -> ()
+  in
+  let home_remove k =
+    match homes with Some arr -> Server.remove arr.(home_of k) k | None -> ()
+  in
+  (* split like the net layer's dispatch: each home sees, in argument
+     order, exactly the pairs the directory routes to it *)
+  let home_put_batch pairs =
+    match homes with
+    | None -> ()
+    | Some arr ->
+      Array.iteri
+        (fun j eng ->
+          match List.filter (fun (k, _) -> home_of k = j) pairs with
+          | [] -> ()
+          | mine -> Server.put_batch eng mine)
+        arr
+  in
+  (* migrate mode: hand a slice of the live keyspace to the other home —
+     snapshot-copy through ordinary writes (the Notify_batch feed), flip
+     the directory, then clear the source's copy (the real server
+     unmarks presence; the model deletes so every pair lives at exactly
+     one home and a later migration back cannot resurrect stale data) *)
+  let migrations = ref 0 in
+  let dir_assign lo hi dest =
+    let hi_home = home_of hi in
+    let before = List.filter (fun (slo, _) -> String.compare slo lo < 0) !dirb in
+    let after = List.filter (fun (slo, _) -> String.compare slo hi > 0) !dirb in
+    dirb :=
+      before
+      @ (lo, dest)
+        :: (if String.compare hi "\xfe" >= 0 then [] else (hi, hi_home) :: after)
+  in
+  let migrate_event () =
+    match homes with
+    | Some arr when Array.length arr = 2 ->
+      let live = home_scan "" "\xfe" in
+      let n = List.length live in
+      if n >= 2 then begin
+        incr migrations;
+        (* alternate between handing off the tail and a middle slice *)
+        let lo, hi =
+          if !migrations mod 2 = 1 then (fst (List.nth live (n / 2)), "\xfe")
+          else (fst (List.nth live (n / 4)), fst (List.nth live (3 * n / 4)))
+        in
+        if String.compare lo hi < 0 then begin
+          let dest = 1 - home_of lo in
+          let sources = dir_segments lo hi in
+          List.iter
+            (fun (clo, chi, j) ->
+              if j <> dest then
+                List.iter
+                  (fun (k, v) -> Server.put arr.(dest) k v)
+                  (Server.scan arr.(j) ~lo:clo ~hi:chi))
+            sources;
+          dir_assign lo hi dest;
+          List.iter
+            (fun (clo, chi, j) ->
+              if j <> dest then
+                List.iter
+                  (fun (k, _) -> Server.remove arr.(j) k)
+                  (Server.scan arr.(j) ~lo:clo ~hi:chi))
+            sources
+        end
+      end
+    | _ -> ()
+  in
   let subs = ref [] in
   let defer_next = ref false in
-  (match home with
+  (match homes with
   | None -> ()
-  | Some h ->
+  | Some _ ->
     Server.set_resolver !server (fun ~table:_ ~lo ~hi ->
         subs := (lo, hi) :: !subs;
         defer_next := not !defer_next;
         if !defer_next then Server.Deferred
-        else Server.Resolved (Server.scan h ~lo ~hi)))
+        else Server.Resolved (home_scan lo hi)))
   ;
   let subscribed k =
     List.exists
@@ -672,9 +789,9 @@ let run_case scenario variant ops =
         in
         gather (Server.scan arr.(s) ~lo ~hi) 0)
     | None -> (
-    match home with
+    match homes with
     | None -> Server.scan !server ~lo ~hi
-    | Some h ->
+    | Some _ ->
       let rec converge attempts =
         match Server.scan_result !server ~lo ~hi with
         | `Ok pairs -> pairs
@@ -683,7 +800,7 @@ let run_case scenario variant ops =
             fail "remote scan [%S, %S) still missing ranges after %d feeds" lo hi attempts;
           List.iter
             (fun (table, mlo, mhi) ->
-              Server.feed_base !server ~table ~lo:mlo ~hi:mhi (Server.scan h ~lo:mlo ~hi:mhi))
+              Server.feed_base !server ~table ~lo:mlo ~hi:mhi (home_scan mlo mhi))
             ranges;
           converge (attempts + 1)
       in
@@ -695,7 +812,7 @@ let run_case scenario variant ops =
       in
       let is_sink k = List.mem (table_of k) sinks in
       let front = List.filter (fun (k, _) -> is_sink k) (converge 0) in
-      let base = List.filter (fun (k, _) -> not (is_sink k)) (Server.scan h ~lo ~hi) in
+      let base = List.filter (fun (k, _) -> not (is_sink k)) (home_scan lo hi) in
       List.merge (fun (a, _) (b, _) -> String.compare a b) front base)
   in
   let compare_scan lo hi =
@@ -735,10 +852,10 @@ let run_case scenario variant ops =
           (fun j eng -> if j <> o && shard_subscribed j k then Server.put eng k v)
           arr
       | None -> (
-        match home with
+        match homes with
         | None -> Server.put !server k v
-        | Some h ->
-          Server.put h k v;
+        | Some _ ->
+          home_put k v;
           if subscribed k then Server.put !server k v));
       Oracle.put oracle k v)
     | Put_batch pairs ->
@@ -758,10 +875,10 @@ let run_case scenario variant ops =
             | mine -> Server.put_batch eng mine)
           arr
       | None -> (
-      match home with
+      match homes with
       | None -> Server.put_batch !server pairs
-      | Some h ->
-        Server.put_batch h pairs;
+      | Some _ ->
+        home_put_batch pairs;
         (match List.filter (fun (k, _) -> subscribed k) pairs with
         | [] -> ()
         | fwd -> Server.put_batch !server fwd)));
@@ -780,10 +897,10 @@ let run_case scenario variant ops =
           (fun j eng -> if j <> o && shard_subscribed j k then Server.remove eng k)
           arr
       | None -> (
-        match home with
+        match homes with
         | None -> Server.remove !server k
-        | Some h ->
-          Server.remove h k;
+        | Some _ ->
+          home_remove k;
           if subscribed k then Server.remove !server k));
       Oracle.remove oracle k)
     | Scan (lo, hi) -> compare_scan lo hi
@@ -816,12 +933,21 @@ let run_case scenario variant ops =
         (try apply op with
         | Case_failed _ as e -> raise e
         | e -> fail "op %s raised %s" (op_to_line op) (Printexc.to_string e));
+        (* migrate mode: periodically live-migrate part of the keyspace
+           between the two homes, deterministically mid-sequence *)
+        if variant.va_migrate && i mod 13 = 7 then begin
+          try migrate_event () with
+          | Case_failed _ as e -> raise e
+          | e -> fail "migration event raised %s" (Printexc.to_string e)
+        end;
         try
           match shards_arr with
           | Some (arr, _) -> Array.iter Server.check_invariants arr
           | None -> (
             Server.check_invariants !server;
-            match home with Some h -> Server.check_invariants h | None -> ())
+            match homes with
+            | Some arr -> Array.iter Server.check_invariants arr
+            | None -> ())
         with
         | Case_failed _ as e -> raise e
         | e -> fail "invariants after %s: %s" (op_to_line op) (Printexc.to_string e))

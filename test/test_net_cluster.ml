@@ -215,6 +215,204 @@ let test_cluster () =
           | Error _ -> false);
       check_bool "loss detected and counted" true (counter_of compute "peer.sub.lost" >= 1))
 
+(* ------------------------------------------------------------------ *)
+(* Directory mode: live migration and its crash-safety.                *)
+
+let dir_state client =
+  match Net_client.call client Message.Dir_get with
+  | Message.Dir_state { epoch; entries } -> (epoch, entries)
+  | Message.Error msg -> Alcotest.failf "Dir_get failed: %s" msg
+  | _ -> Alcotest.fail "unexpected Dir_get response"
+
+let get_value client k =
+  match Net_client.call client (Message.Get k) with
+  | Message.Value v -> Ok v
+  | Message.Error msg -> Error msg
+  | _ -> Alcotest.fail "unexpected get response"
+
+(* A seed home owning table s, one follower. Migrate the upper half of
+   the table to the follower under a live client, then check the
+   directory flipped exactly once, both halves stay readable from BOTH
+   servers (forwarded or local), and a write through the OLD home lands
+   at the new one — the directory, not the process you happened to dial,
+   decides placement. *)
+let test_migrate_then_verify () =
+  let pids = ref [] in
+  let clients = ref [] in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun c -> try Net_client.close c with _ -> ()) !clients;
+      List.iter
+        (fun pid ->
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+        !pids)
+    (fun () ->
+      let start args =
+        let pid, out = spawn args in
+        pids := pid :: !pids;
+        let port = read_port out in
+        (pid, port)
+      in
+      let client port =
+        let c = Net_client.create ~host:"127.0.0.1" ~port () in
+        clients := c :: !clients;
+        c
+      in
+      (* the seed homes the whole table at itself (bare spec, no @addr) *)
+      let _, port_a = start [ "--port"; "0"; "--dir-host"; "--partition"; "s" ] in
+      let addr_a = Printf.sprintf "127.0.0.1:%d" port_a in
+      let _, port_b = start [ "--port"; "0"; "--directory"; addr_a ] in
+      let addr_b = Printf.sprintf "127.0.0.1:%d" port_b in
+      let home_a = client port_a in
+      let home_b = client port_b in
+
+      for i = 1 to 99 do
+        put_ok home_a (Printf.sprintf "s|u%03d" i) (Printf.sprintf "v%03d" i)
+      done;
+      check_bool "seed starts at epoch 1" true (fst (dir_state home_a) = 1);
+
+      (match
+         Net_client.call home_a
+           (Message.Migrate { table = "s"; lo = "s|u050"; hi = "s}"; dest = addr_b })
+       with
+      | Message.Pairs stats ->
+        check_bool "keys_moved reported" true
+          (List.assoc_opt "keys_moved" stats = Some "50")
+      | Message.Error msg -> Alcotest.failf "migrate failed: %s" msg
+      | _ -> Alcotest.fail "unexpected migrate response");
+
+      (* the flip is one epoch step and splits the range at the cut *)
+      let epoch, entries = dir_state home_a in
+      check_bool "epoch flipped once" true (epoch = 2);
+      check_bool "range split at the cut" true
+        (List.map
+           (fun (e : Message.dir_entry) -> (e.de_lo, e.de_hi, e.de_home))
+           entries
+        = [ ("s|", "s|u050", addr_a); ("s|u050", "s}", addr_b) ]);
+
+      (* both halves readable through EITHER server: low key via B is
+         forwarded to A, high key via A is forwarded to B *)
+      poll ~timeout:10.0 ~what:"follower to adopt the new epoch" (fun () ->
+          fst (dir_state home_b) = 2);
+      check_bool "low key via new home (forwarded)" true
+        (get_value home_b "s|u010" = Ok (Some "v010"));
+      check_bool "high key via old home (forwarded)" true
+        (get_value home_a "s|u075" = Ok (Some "v075"));
+      check_bool "high key via new home (local)" true
+        (get_value home_b "s|u075" = Ok (Some "v075"));
+
+      (* a write through the OLD home must land at the new one *)
+      put_ok home_a "s|u075" "v075-after-move";
+      check_bool "write through old home lands at new home" true
+        (get_value home_b "s|u075" = Ok (Some "v075-after-move"));
+
+      (* a scan spanning the cut stitches both homes together *)
+      match scan_pairs home_b "s|u048" "s|u052" with
+      | Ok [ ("s|u048", _); ("s|u049", _); ("s|u050", _); ("s|u051", _) ] -> ()
+      | Ok pairs -> Alcotest.failf "cross-home scan: %d pairs" (List.length pairs)
+      | Error msg -> Alcotest.failf "cross-home scan failed: %s" msg)
+
+(* kill -9 the source mid-migration: the directory epoch must NEVER
+   advertise a half-moved range. The followers keep routing to the dead
+   source (reads error; they do not silently serve the partial copy the
+   destination holds), and the epoch stays put. *)
+let test_migration_crash_safety () =
+  let pids = ref [] in
+  let clients = ref [] in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun c -> try Net_client.close c with _ -> ()) !clients;
+      List.iter
+        (fun pid ->
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+        !pids)
+    (fun () ->
+      let start args =
+        let pid, out = spawn args in
+        pids := pid :: !pids;
+        let port = read_port out in
+        (pid, port)
+      in
+      let client port =
+        let c = Net_client.create ~host:"127.0.0.1" ~port () in
+        clients := c :: !clients;
+        c
+      in
+      let pid_a, port_a = start [ "--port"; "0"; "--dir-host"; "--partition"; "s" ] in
+      let addr_a = Printf.sprintf "127.0.0.1:%d" port_a in
+      let _, port_b = start [ "--port"; "0"; "--directory"; addr_a ] in
+      let addr_b = Printf.sprintf "127.0.0.1:%d" port_b in
+      let _, port_c = start [ "--port"; "0"; "--directory"; addr_a ] in
+      let home_a = client port_a in
+      let home_b = client port_b in
+      let observer = client port_c in
+
+      (* enough keys that the copy takes many pump chunks: the kill below
+         is guaranteed to land mid-migration, never after the flip *)
+      let batch = ref [] in
+      for i = 1 to 200_000 do
+        batch := (Printf.sprintf "s|u%06d" i, "v") :: !batch;
+        if i mod 1_000 = 0 then begin
+          (match Net_client.call home_a (Message.Put_batch !batch) with
+          | Message.Done -> ()
+          | Message.Error msg -> Alcotest.failf "preload failed: %s" msg
+          | _ -> Alcotest.fail "unexpected put_batch response");
+          batch := []
+        end
+      done;
+      poll ~timeout:10.0 ~what:"followers to fetch the directory" (fun () ->
+          fst (dir_state home_b) = 1 && fst (dir_state observer) = 1);
+
+      (* fire the migration from a forked child (the call blocks until
+         the flip, which must never come) and kill -9 the source while
+         the snapshot copy is in flight *)
+      let mig_pid = Unix.fork () in
+      if mig_pid = 0 then begin
+        (try
+           let c = Net_client.create ~host:"127.0.0.1" ~port:port_a () in
+           ignore
+             (Net_client.call c
+                (Message.Migrate
+                   { table = "s"; lo = "s|u000001"; hi = "s}"; dest = addr_b }))
+         with _ -> ());
+        Unix._exit 0
+      end;
+      pids := mig_pid :: !pids;
+      Unix.sleepf 0.03;
+      Unix.kill pid_a Sys.sigkill;
+      ignore (Unix.waitpid [] pid_a);
+
+      (* the followers' directory copies must keep the pre-migration
+         truth — epoch 1, the whole range homed at the (dead) source —
+         not just immediately but after their polls run too *)
+      let assert_unchanged who c =
+        let epoch, entries = dir_state c in
+        check_bool (who ^ " epoch unchanged") true (epoch = 1);
+        check_bool (who ^ " still homes the range at the source") true
+          (List.for_all (fun (e : Message.dir_entry) -> e.de_home = addr_a) entries)
+      in
+      assert_unchanged "follower" home_b;
+      assert_unchanged "observer" observer;
+      Unix.sleepf 1.5 (* two poll intervals *);
+      assert_unchanged "follower (after polls)" home_b;
+      assert_unchanged "observer (after polls)" observer;
+
+      (* reads of the half-moved range error out rather than serving the
+         destination's partial copy *)
+      match get_value home_b "s|u100000" with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "read of a half-migrated range served silently")
+
 let () =
   Alcotest.run "net-cluster"
-    [ ("three-process", [ Alcotest.test_case "fetch/subscribe/push" `Quick test_cluster ]) ]
+    [
+      ("three-process", [ Alcotest.test_case "fetch/subscribe/push" `Quick test_cluster ]);
+      ( "directory",
+        [
+          Alcotest.test_case "migrate then verify" `Quick test_migrate_then_verify;
+          Alcotest.test_case "kill -9 source mid-migration" `Quick
+            test_migration_crash_safety;
+        ] );
+    ]

@@ -58,6 +58,21 @@ let requests =
     Message.Stats_full;
     Message.Sub_check { subscriber = "10.0.0.7:7077" };
     Message.Sub_check { subscriber = "" };
+    Message.Dir_get;
+    Message.Dir_watch { epoch = 0 };
+    Message.Dir_watch { epoch = 42 };
+    Message.Dir_update { epoch = 1; entries = [] };
+    Message.Dir_update
+      { epoch = 7;
+        entries =
+          [
+            { Message.de_table = "s"; de_lo = "s|"; de_hi = "s|m";
+              de_home = "10.0.0.1:7001"; de_replicas = [] };
+            { Message.de_table = "s"; de_lo = "s|m"; de_hi = "s}";
+              de_home = "10.0.0.2:7002";
+              de_replicas = [ "10.0.0.3:7003"; "10.0.0.4:7004" ] };
+          ] };
+    Message.Migrate { table = "s"; lo = "s|m"; hi = "s}"; dest = "10.0.0.2:7002" };
   ]
 
 let responses =
@@ -73,6 +88,14 @@ let responses =
     Message.Sub_ranges [ ("p", "p|a", "p|b"); ("s", "s|", "s}") ];
     Message.Sub_ranges [];
     Message.Error "boom";
+    Message.Dir_state { epoch = 0; entries = [] };
+    Message.Dir_state
+      { epoch = 3;
+        entries =
+          [
+            { Message.de_table = "p"; de_lo = "p|"; de_hi = "p}";
+              de_home = "10.0.0.1:7001"; de_replicas = [ "10.0.0.9:7009" ] };
+          ] };
   ]
 
 let test_message_roundtrip () =
@@ -211,6 +234,12 @@ let test_rng_all_variants () =
   let rand_pairs () =
     List.init (Rng.int rng 4) (fun _ -> (rand_string (), rand_string ()))
   in
+  let rand_entries () =
+    List.init (Rng.int rng 3) (fun _ ->
+        { Message.de_table = rand_string (); de_lo = rand_string ();
+          de_hi = rand_string (); de_home = rand_string ();
+          de_replicas = List.init (Rng.int rng 3) (fun _ -> rand_string ()) })
+  in
   let rand_request variant =
     match variant with
     | 0 -> Message.Get (rand_string ())
@@ -232,6 +261,13 @@ let test_rng_all_variants () =
                if Rng.int rng 2 = 0 then Some (rand_string ()) else None )))
     | 10 -> Message.Hello { version = Rng.int rng 1_000 }
     | 11 -> Message.Sub_check { subscriber = rand_string () }
+    | 12 -> Message.Dir_get
+    | 13 -> Message.Dir_watch { epoch = Rng.int rng 1_000 }
+    | 14 -> Message.Dir_update { epoch = Rng.int rng 1_000; entries = rand_entries () }
+    | 15 ->
+      Message.Migrate
+        { table = rand_string (); lo = rand_string (); hi = rand_string ();
+          dest = rand_string () }
     | _ -> Message.Stats_full
   in
   let rand_response variant =
@@ -245,6 +281,7 @@ let test_rng_all_variants () =
     | 6 ->
       Message.Sub_ranges
         (List.init (Rng.int rng 4) (fun _ -> (rand_string (), rand_string (), rand_string ())))
+    | 7 -> Message.Dir_state { epoch = Rng.int rng 1_000; entries = rand_entries () }
     | _ -> Message.Error (rand_string ())
   in
   let truncations_raise what wire decode =
@@ -255,13 +292,13 @@ let test_rng_all_variants () =
     done
   in
   for round = 1 to 50 do
-    for variant = 0 to 12 do
+    for variant = 0 to 16 do
       let req = rand_request variant in
       let wire = Message.encode_request req in
       check_bool "request round-trips" true (Message.decode_request wire = req);
       if round <= 5 then truncations_raise "request" wire Message.decode_request
     done;
-    for variant = 0 to 7 do
+    for variant = 0 to 8 do
       let resp = rand_response variant in
       let wire = Message.encode_response resp in
       check_bool "response round-trips" true (Message.decode_response wire = resp);
