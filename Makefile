@@ -52,8 +52,13 @@ cluster-bench: ; dune exec bin/pequod_load.exe -- \
 # timeout-bounded so a wedged server cannot hang CI
 cluster-smoke:
 	PEQUOD_LOAD_QUOTA=2000 timeout 180 dune exec bin/pequod_load.exe -- \
-		--users 10000 --ops 1000000 --workers 2 --homes 2 --computes 1
+		--users 10000 --ops 1000000 --workers 2 --homes 2 --computes 1 \
+		--pipeline 16
 	sh tools/check_bench_cluster.sh BENCH_cluster.json
+	grep -Eq '"fetch_coalesced": [1-9]' BENCH_cluster.json \
+		|| { echo "FAIL: no single-flight coalescing under pipelined load" >&2; exit 1; }
+	grep -Eq '"scan_parked": [1-9]' BENCH_cluster.json \
+		|| { echo "FAIL: no scans parked under pipelined load" >&2; exit 1; }
 	for n in 1 2 4; do \
 		PEQUOD_LOAD_QUOTA=2000 timeout 180 dune exec bin/pequod_load.exe -- \
 			--users 10000 --ops 1000000 --workers 2 --shards $$n \

@@ -366,8 +366,8 @@ let main port joins memory_limit data_dir sync sync_interval snapshot_every wal_
     | t ->
       let self_addr = Printf.sprintf "%s:%d" advertise (Net_server.port t) in
       let heal =
-        Remote.attach ~check_every:sub_check_every ~engine:(Net_server.engine t) ~self_addr
-          ~routes ()
+        Remote.attach ~check_every:sub_check_every ~server:t
+          ~engine:(Net_server.engine t) ~self_addr ~routes ()
       in
       Net_server.add_ticker t heal;
       Logs.app (fun m ->

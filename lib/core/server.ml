@@ -205,6 +205,12 @@ type t = {
   mutable next_jid : int;
   mutable resolver : resolver option;
   mutable on_mutation : (mutation -> unit) option; (* durability hook *)
+  (* When a scan runs in collect mode, every [Deferred] source range is
+     recorded here instead of aborting the scan at the first miss
+     ([Need_fetch]); the scan returns the full deduplicated set so an
+     asynchronous host can fetch all of it as one burst. [None] outside
+     collect mode (and in blocking deployments). *)
+  mutable deferred_acc : (string * string * string) list ref option;
 }
 
 let create ?config () =
@@ -224,10 +230,17 @@ let create ?config () =
     next_jid = 0;
     resolver = None;
     on_mutation = None;
+    deferred_acc = None;
   }
 
 let config t = t.config
 let obs t = t.obs
+
+(* True while a collect-mode scan is running: a resolver that fetches
+   asynchronously answers [Deferred] here (the miss set comes back via
+   [`Missing]) but must fall back to a blocking fetch outside it (updater
+   firings have no retry loop above them). *)
+let collecting t = t.deferred_acc <> None
 let counter t name = Obs.counter_value t.obs name
 let set_resolver t r = t.resolver <- Some r
 let set_mutation_hook t f = t.on_mutation <- Some f
@@ -351,6 +364,11 @@ let coalesce_valid m ~lo ~hi =
       | Valid { expires = None }, Valid { expires = None } -> true
       | Valid { expires = Some x }, Valid { expires = Some y } -> x = y
       | _ -> false)
+
+(* High-water mark of the collect-mode deferral list: a region whose
+   execution recorded new misses must not be marked Valid, or output
+   computed from absent sources would freeze as fresh. *)
+let deferred_mark t = match t.deferred_acc with Some acc -> List.length !acc | None -> 0
 
 let rec apply_put ?hint ?(shared = false) t key data =
   Obs.Counter.incr t.hot.puts;
@@ -748,9 +766,15 @@ and ensure_source_ready t ~active table ~lo ~hi =
           Obs.Counter.incr t.hot.resolver_fetch;
           Range_map.set present ~lo:plo ~hi:phi ();
           List.iter (fun (k, v) -> ignore (apply_put t k v)) pairs
-        | Deferred ->
+        | Deferred -> (
           Obs.Counter.incr t.hot.resolver_deferred;
-          raise (Need_fetch (table, plo, phi)))
+          (* collect mode: record the miss and keep scanning so one pass
+             surfaces every missing range; the range stays absent (not
+             marked present) and its region is left not-Valid, so the
+             retry after the fetch recomputes it with real data *)
+          match t.deferred_acc with
+          | Some acc -> acc := (table, plo, phi) :: !acc
+          | None -> raise (Need_fetch (table, plo, phi))))
       (List.rev !missing)
 
 (* Bring every push/snapshot join's output in [lo, hi) up to date:
@@ -824,6 +848,7 @@ and touch_covers t involved =
    the region valid. *)
 and recompute_region t ~active m table ~plo ~phi =
   Obs.Counter.incr t.hot.recomputes;
+  let dmark = deferred_mark t in
   let t0 = Obs.tick () in
   (* expand to cover boundaries (fixpoint) so updater teardown is whole *)
   let lo = ref plo and hi = ref phi in
@@ -904,8 +929,12 @@ and recompute_region t ~active m table ~plo ~phi =
           expiry := Some (match !expiry with Some e0 -> Float.min e0 e | None -> e)
         | Joinspec.Push | Joinspec.Pull -> ()))
     involved;
-  Range_map.set m.status ~lo ~hi { state = Valid { expires = !expiry } };
-  coalesce_valid m ~lo ~hi;
+  (* a clean region is fresh; one that deferred stays not-Valid so the
+     post-fetch retry recomputes it (completed covers remain, §3.3) *)
+  if deferred_mark t = dmark then begin
+    Range_map.set m.status ~lo ~hi { state = Valid { expires = !expiry } };
+    coalesce_valid m ~lo ~hi
+  end;
   Obs.trace t.obs ~kind:"recompute" ~table ~lo ~hi ~dur_ns:(Obs.tock t0) ()
 
 (* Release one cover's stake in an updater entry: combined updaters
@@ -937,6 +966,7 @@ and teardown_covers t j ~lo ~hi =
    restricted to the piece. *)
 and apply_log t ~active m ~plo ~phi entries =
   Obs.Counter.incr t.hot.apply_logs;
+  let dmark = deferred_mark t in
   List.iter
     (fun e ->
       let join = e.le_join in
@@ -979,13 +1009,25 @@ and apply_log t ~active m ~plo ~phi entries =
           let olo = Strkey.max_str olo plo and ohi = Strkey.min_str ohi phi in
           if String.compare olo ohi < 0 then retract_binding t join b ~lo:olo ~hi:ohi))
     entries;
-  Range_map.update_range m.status ~lo:plo ~hi:phi (fun _ _ stv ->
-      match stv with
-      | Some st ->
-        (match st.state with Pending _ -> st.state <- Valid { expires = None } | _ -> ());
-        Some st
-      | None -> None);
-  coalesce_valid m ~lo:plo ~hi:phi
+  if deferred_mark t = dmark then begin
+    Range_map.update_range m.status ~lo:plo ~hi:phi (fun _ _ stv ->
+        match stv with
+        | Some st ->
+          (match st.state with Pending _ -> st.state <- Valid { expires = None } | _ -> ());
+          Some st
+        | None -> None);
+    coalesce_valid m ~lo:plo ~hi:phi
+  end
+  else
+    (* the log was replayed against absent sources: downgrade to Invalid
+       so the retry recomputes wholesale instead of re-playing a log we
+       have already consumed *)
+    Range_map.update_range m.status ~lo:plo ~hi:phi (fun _ _ stv ->
+        match stv with
+        | Some st ->
+          (match st.state with Pending _ -> st.state <- Invalid | _ -> ());
+          Some st
+        | None -> None)
 
 (* LRU eviction of computed covers under memory pressure (§2.5). *)
 and maybe_evict t =
@@ -1046,6 +1088,24 @@ let remove t key =
 let apply_batch_run t tname run =
   let tbl = Store.table t.store tname in
   let m = meta t tname in
+  let hint = ref None in
+  let put_cell key data =
+    Obs.Counter.incr t.hot.puts;
+    Obs.Histogram.observe t.hot.put_bytes (String.length data);
+    let handle, old = Table.put ?hint:!hint tbl key { data; charged = String.length data } in
+    hint := Some handle;
+    (match old with Some oc -> t.value_bytes <- t.value_bytes - oc.charged | None -> ());
+    t.value_bytes <- t.value_bytes + String.length data;
+    old
+  in
+  (* A run into a table with no updaters needs none of the overlap-list
+     bookkeeping below, and nothing can install an updater mid-run (only
+     an updater firing can): the whole run is hinted tree appends. The
+     bulk-load case — and what the sorted put_batch microbenchmark
+     measures. *)
+  if Interval_map.size m.updaters = 0 then
+    List.iter (fun (key, data) -> ignore (put_cell key data)) run
+  else begin
   let run_lo = fst (List.hd run) in
   let run_hi =
     Strkey.key_after (List.fold_left (fun _ (k, _) -> k) run_lo run)
@@ -1058,15 +1118,9 @@ let apply_batch_run t tname run =
     Interval_map.iter_overlapping m.updaters ~lo:run_lo ~hi:run_hi (fun e -> acc := e :: !acc);
     overlaps := List.rev !acc
   in
-  let hint = ref None in
   List.iter
     (fun (key, data) ->
-      Obs.Counter.incr t.hot.puts;
-      Obs.Histogram.observe t.hot.put_bytes (String.length data);
-      let handle, old = Table.put ?hint:!hint tbl key { data; charged = String.length data } in
-      hint := Some handle;
-      (match old with Some oc -> t.value_bytes <- t.value_bytes - oc.charged | None -> ());
-      t.value_bytes <- t.value_bytes + String.length data;
+      let old = put_cell key data in
       if Interval_map.size m.updaters > 0 then begin
         if !snap_gen = m.gen then Obs.Counter.incr t.hot.coalesced_stabs else refetch ();
         let change = if old = None then Insert else Update in
@@ -1086,6 +1140,7 @@ let apply_batch_run t tname run =
           !hits
       end)
     run
+  end
 
 (** Batched write. Equivalent to the same puts applied one at a time in
     ascending key order (duplicate keys keep their argument order, so the
@@ -1170,14 +1225,17 @@ let warm_fast_path t ~lo ~hi =
     | _ -> false)
 
 (** Non-blocking scan for asynchronous deployments: either the results, or
-    the base ranges that must be fetched before retrying (§3.3). Fetches
-    are discovered one at a time but completed covers stay valid, so the
-    retry never recomputes finished work. *)
+    the base ranges that must be fetched before retrying (§3.3). One pass
+    collects every missing range it can see (a check join fans out over
+    all bound value ranges at once) and completed covers stay valid, so
+    the retry never recomputes finished work. With [~may_defer:false] the
+    scan never enters collect mode: a [Deferred] resolver answer aborts at
+    the first miss, for callers with no retry loop above them. *)
 (* first [n] elements of [l] (all of [l] when shorter) *)
 let rec take n l =
   match l with x :: rest when n > 0 -> x :: take (n - 1) rest | _ -> []
 
-let scan_result ?limit t ~lo ~hi =
+let scan_result ?limit ?(may_defer = true) t ~lo ~hi =
   Obs.Counter.incr t.hot.scans;
   let t0 = Obs.tick () in
   (* duration/size recording and tracing, skipped entirely when recording
@@ -1210,37 +1268,62 @@ let scan_result ?limit t ~lo ~hi =
     Obs.Counter.incr t.hot.scans_fast;
     finish (bounded_stored ())
   end
-  else
-  match
-    validate_range t ~active:[] ~lo ~hi;
-    pull_results t ~lo ~hi
-  with
-  | pulled ->
-    let stored = bounded_stored () in
-    (* merge, preferring materialized values on key collisions. The
-       truncated stored list is safe under a limit: the n smallest stored
-       keys are all present, so after the merged sort the first n
-       elements are exactly the true bounded result. *)
-    let merged =
-      if pulled = [] then stored
-      else begin
-        let stored_keys = List.map fst stored in
-        let extra = List.filter (fun (k, _) -> not (List.mem k stored_keys)) pulled in
-        let all = List.sort (fun (a, _) (b, _) -> String.compare a b) (stored @ extra) in
-        match limit with None -> all | Some n -> take n all
-      end
-    in
-    (* evict only after the response is assembled: a cover computed for
-       this very scan must not vanish under the read *)
-    maybe_evict t;
-    finish merged
-  | exception Need_fetch (table, flo, fhi) -> `Missing [ (table, flo, fhi) ]
+  else begin
+    (* collect mode: resolver misses accumulate here instead of aborting
+       the scan at the first one, so `Missing carries the full set and an
+       asynchronous host can fetch it as one burst. Saved/restored rather
+       than assumed-None for re-entrancy (a resolver or hook that scans). *)
+    let saved = t.deferred_acc in
+    let acc = ref [] in
+    if may_defer then t.deferred_acc <- Some acc;
+    match
+      Fun.protect ~finally:(fun () -> t.deferred_acc <- saved) (fun () ->
+          validate_range t ~active:[] ~lo ~hi;
+          pull_results t ~lo ~hi)
+    with
+    | pulled when !acc <> [] ->
+      ignore pulled;
+      (* first-discovery order, deduplicated: the same gap can surface
+         once per join source that reads it *)
+      let seen = Hashtbl.create 8 in
+      `Missing
+        (List.filter
+           (fun r ->
+             if Hashtbl.mem seen r then false
+             else begin
+               Hashtbl.add seen r ();
+               true
+             end)
+           (List.rev !acc))
+    | pulled ->
+      let stored = bounded_stored () in
+      (* merge, preferring materialized values on key collisions. The
+         truncated stored list is safe under a limit: the n smallest stored
+         keys are all present, so after the merged sort the first n
+         elements are exactly the true bounded result. *)
+      let merged =
+        if pulled = [] then stored
+        else begin
+          let stored_keys = List.map fst stored in
+          let extra = List.filter (fun (k, _) -> not (List.mem k stored_keys)) pulled in
+          let all = List.sort (fun (a, _) (b, _) -> String.compare a b) (stored @ extra) in
+          match limit with None -> all | Some n -> take n all
+        end
+      in
+      (* evict only after the response is assembled: a cover computed for
+         this very scan must not vanish under the read *)
+      maybe_evict t;
+      finish merged
+    | exception Need_fetch (table, flo, fhi) -> `Missing [ (table, flo, fhi) ]
+  end
 
 (** Ordered scan of [\[lo, hi)], computing and freshening any overlapping
     cache-join output first. Thin wrapper over {!scan_result} for callers
     that know every needed range is local or synchronously resolvable. *)
 let scan ?limit t ~lo ~hi =
-  match scan_result ?limit t ~lo ~hi with
+  (* blocking wrapper: no retry loop above, so let a blocking-fallback
+     resolver fetch inline rather than collecting deferrals *)
+  match scan_result ?limit ~may_defer:false t ~lo ~hi with
   | `Ok pairs -> pairs
   | `Missing ((table, flo, fhi) :: _) ->
     failwith (Printf.sprintf "Pequod.scan: unresolved fetch %s [%s, %s)" table flo fhi)

@@ -79,8 +79,14 @@ val get : t -> string -> string option
 (** Every scan produces one of these: the ordered pairs, or the base
     ranges ([table, lo, hi] triples) that must be fetched — via
     {!feed_base} or a retried resolver — before the scan can complete.
-    Completed covers stay valid across retries (§3.3 restart
-    behaviour), so a retry never recomputes finished work. *)
+    One pass collects {e every} missing range it can currently see (a
+    check join fans out over all bound value ranges at once), in
+    first-discovery order without duplicates, so an asynchronous host
+    can issue the whole set as one fetch burst. Completed covers stay
+    valid across retries (§3.3 restart behaviour), so a retry never
+    recomputes finished work — though a retry may surface ranges that
+    were unreachable before the first feed (a check source gates which
+    value ranges are scanned). *)
 type scan_result =
   [ `Ok of (string * string) list
   | `Missing of (string * string * string) list ]
@@ -90,8 +96,22 @@ type scan_result =
     being cached. [limit] bounds the result to its first [limit] pairs;
     the store walk stops there instead of materializing the whole range
     (maintenance of the range still runs in full, so freshness
-    bookkeeping is identical with and without a limit). *)
-val scan_result : ?limit:int -> t -> lo:string -> hi:string -> scan_result
+    bookkeeping is identical with and without a limit).
+
+    [may_defer] (default [true]) controls collect mode: with
+    [~may_defer:false] a [Deferred] resolver answer aborts the scan at
+    the first miss instead of being collected — for callers with no
+    retry loop above them, whose resolver should fetch inline (see
+    {!collecting}). *)
+val scan_result :
+  ?limit:int -> ?may_defer:bool -> t -> lo:string -> hi:string -> scan_result
+
+(** True while a collect-mode {!scan_result} is running. An
+    asynchronous resolver consults this to pick its answer: [Deferred]
+    inside a collect-mode scan (the host fetches the [`Missing] set as
+    one burst and retries), a blocking inline fetch everywhere else —
+    updater firings and {!scan}/{!get} have no retry loop above them. *)
+val collecting : t -> bool
 
 (** Thin convenience wrapper over {!scan_result} for callers that know
     every needed range is local or synchronously resolvable; fails on

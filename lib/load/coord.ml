@@ -288,6 +288,44 @@ let counter_value metrics name =
     (fun acc (n, v) -> match v with Obs.Counter c when n = name -> acc + c | _ -> acc)
     0 metrics
 
+(* One histogram pooled across the servers' Stats_full replies. The
+   wire carries only percentile snapshots, not buckets, so cross-server
+   percentiles are approximated by count-weighting each server's own
+   percentile — exact with one reporting server, and a documented
+   approximation (not a true pooled quantile) with several. *)
+let hist_pooled metrics name =
+  (* the sharded server exposes per-shard histograms as
+     shard.<i>.<name>; pool those too *)
+  let suffix = "." ^ name in
+  let matches n =
+    n = name
+    || (String.length n > String.length suffix
+       && String.equal suffix
+            (String.sub n (String.length n - String.length suffix) (String.length suffix)))
+  in
+  let snaps =
+    List.filter_map
+      (fun (n, v) ->
+        match v with
+        | Obs.Histogram s when matches n && s.Obs.Histogram.count > 0 -> Some s
+        | _ -> None)
+      metrics
+  in
+  let total = List.fold_left (fun a s -> a + s.Obs.Histogram.count) 0 snaps in
+  if total = 0 then None
+  else
+    let wavg f =
+      List.fold_left
+        (fun a s -> a +. (float_of_int (f s) *. float_of_int s.Obs.Histogram.count))
+        0.0 snaps
+      /. float_of_int total
+    in
+    Some
+      ( total,
+        wavg (fun s -> s.Obs.Histogram.p50),
+        wavg (fun s -> s.Obs.Histogram.p95),
+        wavg (fun s -> s.Obs.Histogram.p99) )
+
 (* requests each shard's loop dispatched, off the sharded server's
    merged Stats_full (shard.<i>.ops). A single shard runs no router and
    publishes no shard.* split, so its whole net.rpcs is the one entry. *)
@@ -319,6 +357,10 @@ type pass = {
   ps_notify_out : int;
   ps_notify_in : int;
   ps_sub_lost : int;
+  ps_scan_parked : int;  (* scans parked on missing ranges (async read path) *)
+  ps_fetch_coalesced : int;  (* fetches shared by single-flight coalescing *)
+  (* pooled resolver.fetch.wait_ns: count, ~p50, ~p95, ~p99 (ns) *)
+  ps_fetch_wait : (int * float * float * float) option;
   ps_share : float;
   ps_per_shard_ops : int array;  (* empty outside shard-per-core mode *)
   ps_migrate : migrate_stats option;  (* set by [migrate_mid_run] passes *)
@@ -407,7 +449,10 @@ let run_pass cfg ~graph ~ops ~shards =
       { ps_preload_rows = preload_rows; ps_wall = wall; ps_worker_max = max_elapsed;
         ps_qps = qps; ps_agg = agg; ps_fetch_in = fetch_in; ps_notify_out = notify_out;
         ps_notify_in = counter_value metrics "peer.notify.in";
-        ps_sub_lost = counter_value metrics "peer.sub.lost"; ps_share = share;
+        ps_sub_lost = counter_value metrics "peer.sub.lost";
+        ps_scan_parked = counter_value metrics "scan.parked";
+        ps_fetch_coalesced = counter_value metrics "fetch.coalesced";
+        ps_fetch_wait = hist_pooled metrics "resolver.fetch.wait_ns"; ps_share = share;
         ps_per_shard_ops = per_shard_ops metrics ~shards; ps_migrate = migrate })
 
 let run cfg =
@@ -448,8 +493,28 @@ let run cfg =
     | Some s -> s.Obs.Histogram.p99
     | None -> 0
   in
+  (* remote fetches per timeline read: how much §2.4 traffic one check
+     costs after batching and coalescing (the seed run paid ~0.7) *)
+  let checks =
+    match List.assoc_opt "check" class_snaps with
+    | Some s -> s.Obs.Histogram.count
+    | None -> 0
+  in
+  let fetch_per_read =
+    if checks = 0 then 0.0 else float_of_int p.ps_fetch_in /. float_of_int checks
+  in
+  let fw_p50, fw_p95, fw_p99 =
+    match p.ps_fetch_wait with
+    | Some (_, p50, p95, p99) -> (p50 /. 1e3, p95 /. 1e3, p99 /. 1e3)
+    | None -> (0.0, 0.0, 0.0)
+  in
   let derived =
-    [ ("qps", p.ps_qps); ("subscription_share", p.ps_share) ]
+    [ ("qps", p.ps_qps); ("subscription_share", p.ps_share);
+      ("fetch_per_read", fetch_per_read);
+      (* parked-scan fetch wait, microseconds (approximate pooling across
+         servers; see [hist_pooled]) *)
+      ("fetch_wait_p50_us", fw_p50); ("fetch_wait_p95_us", fw_p95);
+      ("fetch_wait_p99_us", fw_p99) ]
     @ (match baseline with
       | Some b when b.ps_qps > 0.0 -> [ ("shard_speedup", p.ps_qps /. b.ps_qps) ]
       | _ -> [])
@@ -489,7 +554,9 @@ let run cfg =
               ("peer_fetch_in", Benchstamp.Int p.ps_fetch_in);
               ("peer_notify_out", Benchstamp.Int p.ps_notify_out);
               ("peer_notify_in", Benchstamp.Int p.ps_notify_in);
-              ("peer_sub_lost", Benchstamp.Int p.ps_sub_lost) ]
+              ("peer_sub_lost", Benchstamp.Int p.ps_sub_lost);
+              ("scan_parked", Benchstamp.Int p.ps_scan_parked);
+              ("fetch_coalesced", Benchstamp.Int p.ps_fetch_coalesced) ]
            @
            if cfg.shards > 0 then
              [ ( "per_shard_ops",

@@ -78,6 +78,11 @@ let host t = t.chost
 let port t = t.cport
 let connected t = t.conn <> None
 
+(* the exact bytes [call]/[pipeline] put on the wire for one request;
+   the asynchronous fetcher (Remote.Fetcher) builds its own pipelined
+   bursts from these on sockets it drives itself *)
+let encode_request_frame req = Frame.encode (Message.encode_request req)
+
 let close t =
   match t.conn with
   | None -> ()

@@ -86,6 +86,12 @@ val post : t -> Pequod_proto.Message.request -> unit
 val pipeline :
   ?timeout:float -> t -> Pequod_proto.Message.request list -> Pequod_proto.Message.response list
 
+(** The exact on-the-wire bytes (length-prefixed frame) {!call} and
+    {!pipeline} would write for [req]. For callers that drive their own
+    sockets — the asynchronous fetcher pipelines these on nonblocking
+    connections owned by the serving event loop. *)
+val encode_request_frame : Pequod_proto.Message.request -> string
+
 (** Is the underlying connection currently established? *)
 val connected : t -> bool
 

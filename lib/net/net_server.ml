@@ -87,6 +87,12 @@ module Outbuf = struct
   let write t fd = Unix.write fd t.b t.off t.len
 end
 
+(* One in-order response slot per request whose reply is not produced
+   synchronously (a parked scan): the wire protocol has no request ids,
+   so responses must leave in per-connection pipeline order. Slots fill
+   out of order; only the ready prefix is flushed. *)
+type slot = { mutable sl_wire : string option }
+
 type client = {
   fd : Unix.file_descr;
   peer : string;
@@ -95,6 +101,8 @@ type client = {
   mutable want_write : bool; (* current poller write interest *)
   mutable busy : bool; (* mid-request: nested steps must not read from it *)
   injected : bool; (* handed over by the shard acceptor (public traffic) *)
+  pending : slot Queue.t; (* unfilled/unflushed response slots, request order *)
+  mutable alive : bool; (* false once dropped: late park completions discard *)
 }
 
 (* Shard routing, installed by the shard layer (see shard.ml). [rt_call]
@@ -172,6 +180,13 @@ type t = {
   wakeup_r : Unix.file_descr;
   wakeup_w : Unix.file_descr;
   mutable stepping : bool; (* a step is on the stack: nested steps skip housekeeping *)
+  (* an engine call is on the stack (request handling, a parked-scan
+     retry): steps taken while it is set must not service external fds,
+     whose fetch completions re-enter the engine. A nested step with
+     the engine off-stack — a shard blocked forwarding to a sibling —
+     services them freely; that is what lets a ring of mutually blocked
+     shards finish each other's parked scans instead of deadlocking. *)
+  mutable in_engine : bool;
   mutable router : router option;
   mutable dirst : dirstate option; (* directory mode (see [set_directory]) *)
   (* a nested [step] used as the write-forwarding clients' [on_wait]
@@ -207,6 +222,16 @@ type t = {
      the Remote subscription-healing heartbeat; each callback rate-limits
      itself *)
   mutable tickers : (unit -> unit) list;
+  (* asynchronous fetch engine, installed by [Remote.attach ~server]:
+     given the full missing-range set of a parked scan, it issues every
+     fetch (batched per peer, single-flighted across waiters) and calls
+     back once all of them completed. [None]: scans resolve through the
+     engine's blocking resolver, as before. *)
+  mutable fetcher : ((string * string * string) list -> (ok:bool -> unit) -> unit) option;
+  (* non-client fds serviced by this loop: the fetcher's peer sockets *)
+  externals : (Unix.file_descr, readable:bool -> writable:bool -> unit) Hashtbl.t;
+  m_scan_parked : Obs.Counter.t; (* scan.parked *)
+  m_fetch_wait : Obs.Histogram.t; (* resolver.fetch.wait_ns *)
 }
 
 (* placeholder compared by physical equality; see [nested_step] *)
@@ -260,6 +285,7 @@ let create ?config ?metrics_every ?backend ~port ~joins ~memory_limit () =
     inj_q = Queue.create ();
     wakeup_r; wakeup_w;
     stepping = false;
+    in_engine = false;
     router = None;
     dirst = None;
     nested_step = no_nested;
@@ -281,7 +307,11 @@ let create ?config ?metrics_every ?backend ~port ~joins ~memory_limit () =
     metrics_every;
     next_dump =
       (match metrics_every with Some s -> Unix.gettimeofday () +. s | None -> infinity);
-    tickers = [] }
+    tickers = [];
+    fetcher = None;
+    externals = Hashtbl.create 4;
+    m_scan_parked = Obs.counter obs "scan.parked";
+    m_fetch_wait = Obs.histogram obs "resolver.fetch.wait_ns" }
 
 let engine t = t.engine
 let persist t = t.persist
@@ -290,6 +320,33 @@ let poller_backend t = Poller.backend t.poller
 (** Register background work to run once per {!step} (after I/O); the
     callback is responsible for its own rate limiting. *)
 let add_ticker t f = t.tickers <- t.tickers @ [ f ]
+
+(** {2 External fds}
+
+    The asynchronous fetcher owns nonblocking peer sockets that must be
+    driven by this server's loop. [watch_fd] registers one: [on_ready]
+    runs whenever the fd polls ready and no engine call is on the stack
+    (nested steps taken while blocked on a sibling forward qualify), so
+    fetch completions (which re-run parked scans through the engine)
+    cannot re-enter an engine call already in progress. *)
+let watch_fd t fd ~read ~write ~on_ready =
+  Hashtbl.replace t.externals fd on_ready;
+  Poller.set t.poller fd ~read ~write
+
+(** Adjust poller interest for a watched fd (e.g. write only while the
+    fetcher has buffered output — level-triggered pollers spin
+    otherwise). *)
+let watch_interest t fd ~read ~write = Poller.set t.poller fd ~read ~write
+
+(** Deregister (before closing the fd). *)
+let unwatch_fd t fd =
+  Hashtbl.remove t.externals fd;
+  Poller.remove t.poller fd
+
+(** Install the asynchronous fetch engine (see [Remote.attach ~server]):
+    scans missing base ranges park instead of failing, and [fetcher] is
+    handed the full missing set plus a completion callback. *)
+let set_fetcher t fetcher = t.fetcher <- Some fetcher
 
 (** Install shard routing (see shard.ml); call once, before serving. *)
 let set_router t ~self ~owner ~route_scan ~call ~post ~siblings ~stats =
@@ -380,6 +437,7 @@ let peer_name fd =
 
 let drop t client =
   Log.info (fun m -> m "client %s disconnected" client.peer);
+  client.alive <- false;
   Poller.remove t.poller client.fd;
   Hashtbl.remove t.conns client.fd;
   Obs.Gauge.set t.m_conns (Hashtbl.length t.conns);
@@ -404,6 +462,27 @@ let flush_output t client =
       update_interest t client
     | exception Unix.Unix_error _ -> drop t client
   end
+
+(* move the ready prefix of the slot queue into the output buffer: a
+   filled slot behind an unfilled one waits (pipeline order) *)
+let flush_ready client =
+  let rec go () =
+    match Queue.peek_opt client.pending with
+    | Some { sl_wire = Some wire } ->
+      ignore (Queue.pop client.pending);
+      Outbuf.add_frame client.out wire;
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+(* queue one encoded response in request order: straight to the output
+   buffer unless an earlier request's slot is still unfilled *)
+let enqueue_response t client wire =
+  Obs.Counter.add t.m_bytes_out (String.length wire + 4);
+  Obs.Histogram.observe t.m_resp_bytes (String.length wire + 4);
+  if Queue.is_empty client.pending then Outbuf.add_frame client.out wire
+  else Queue.add { sl_wire = Some wire } client.pending
 
 (* ------------------------------------------------------------------ *)
 (* Subscription push (§2.4): the live-cluster version of the
@@ -753,10 +832,73 @@ let start_migration t client ~table ~lo ~hi ~dest =
     end
 
 (* ------------------------------------------------------------------ *)
+(* Parked scans: a miss never blocks the loop                          *)
+
+(* a parked scan that keeps discovering new ranges (each feed can unlock
+   further check-gated value ranges) retries at most this many times *)
+let max_park_retries = 64
+
+let missing_error = function
+  | (table, flo, fhi) :: _ ->
+    Message.Error
+      (Printf.sprintf "missing base range %s[%s,%s): owning peer unreachable" table flo fhi)
+  | [] -> Message.Error "missing base range: owning peer unreachable"
+
+(* Park a scan whose base ranges are missing: enqueue its in-order
+   response slot, hand the full missing set to the fetcher, and retry
+   the scan when the fetches land. A retry may surface ranges that were
+   unreachable before the feed (a check source gates which value ranges
+   are scanned), so the loop runs until the scan completes or the retry
+   budget is spent. The connection stays live throughout: later
+   pipelined requests are served (their responses queue behind this
+   slot) and other connections never notice — the miss no longer
+   head-of-line blocks the loop. *)
+let park_scan t client ~lo ~hi ranges =
+  Obs.Counter.incr t.m_scan_parked;
+  let fetcher = match t.fetcher with Some f -> f | None -> assert false in
+  let slot = { sl_wire = None } in
+  Queue.add slot client.pending;
+  let t0 = Obs.now_ns () in
+  let tries = ref 0 in
+  let finish response =
+    Obs.Histogram.observe t.m_fetch_wait (Obs.now_ns () - t0);
+    let wire = Message.encode_response response in
+    Obs.Counter.add t.m_bytes_out (String.length wire + 4);
+    Obs.Histogram.observe t.m_resp_bytes (String.length wire + 4);
+    slot.sl_wire <- Some wire;
+    if client.alive then begin
+      flush_ready client;
+      flush_output t client
+    end
+  in
+  let rec attempt ranges =
+    fetcher ranges (fun ~ok ->
+        if not ok then finish (missing_error ranges)
+        else
+          match Server.scan_result t.engine ~lo ~hi with
+          | `Ok pairs -> finish (Message.Pairs pairs)
+          | `Missing ranges' ->
+            incr tries;
+            if !tries > max_park_retries then finish (missing_error ranges')
+            else attempt ranges'
+          | exception e -> finish (Message.Error (Printexc.to_string e)))
+  in
+  attempt ranges
+
+(* ------------------------------------------------------------------ *)
 (* Request handling                                                    *)
 
-(* [None] for one-way requests: they produce no response frame *)
-let handle_local t client req =
+(* [None] for one-way requests: they produce no response frame.
+   [may_park] marks call sites whose result is returned to [client]
+   directly (so a scan may defer its response into a slot); composite
+   paths — the shard scatter merge — must get an immediate answer. *)
+let rec handle_local ?(may_park = false) t client req =
+  let saved = t.in_engine in
+  t.in_engine <- true;
+  Fun.protect ~finally:(fun () -> t.in_engine <- saved) @@ fun () ->
+  handle_local_engine ~may_park t client req
+
+and handle_local_engine ~may_park t client req =
   match req with
   | Message.Fetch { table; lo; hi; subscriber } -> (
     Obs.Counter.incr t.m_fetch_in;
@@ -885,7 +1027,16 @@ let handle_local t client req =
     tally_read t lo;
     match t.dirst with
     | Some ds when Directory.epoch ds.ds_dir > 0 -> Some (scan_directory t ds ~lo ~hi)
-    | _ -> Some (Message.apply_to_server t.engine req))
+    | _ -> (
+      match t.fetcher with
+      | Some _ when may_park -> (
+        match Server.scan_result t.engine ~lo ~hi with
+        | `Ok pairs -> Some (Message.Pairs pairs)
+        | `Missing ranges ->
+          park_scan t client ~lo ~hi ranges;
+          None
+        | exception e -> Some (Message.Error (Printexc.to_string e)))
+      | _ -> Some (Message.apply_to_server t.engine req)))
   | Message.Dir_get | Message.Dir_watch _ | Message.Dir_update _ -> (
     match t.dirst with
     | None -> Some (Message.Error "no partition directory on this server")
@@ -961,12 +1112,14 @@ let split_by_owner rt key_of items =
    routed; everything arriving on this shard's own listener is local *)
 let dispatch t client req =
   match t.router with
-  | None -> handle_local t client req
+  | None -> handle_local ~may_park:true t client req
   | Some rt ->
     Obs.Counter.incr rt.rm_ops;
     if not client.injected then begin
       if forward_kind req then Obs.Counter.incr rt.rm_forward_in;
-      handle_local t client req
+      (* a sibling forward is answered on this connection in pipeline
+         order like any direct client, so its scans may park too *)
+      handle_local ~may_park:true t client req
     end
     else begin
       Obs.Counter.incr rt.rm_client_ops;
@@ -1055,7 +1208,7 @@ let dispatch t client req =
            by key, is the full answer *)
         match rt.rt_route_scan ~lo ~hi with
         | Some o ->
-          if o = rt.rt_self then handle_local t client req
+          if o = rt.rt_self then handle_local ~may_park:true t client req
           else begin
             Obs.Counter.incr rt.rm_forward_out;
             match rt.rt_call o req with
@@ -1119,11 +1272,7 @@ let handle_frame t client buf ~off ~len =
   in
   match resp with
   | None -> ()
-  | Some response ->
-    let wire = Message.encode_response response in
-    Obs.Counter.add t.m_bytes_out (String.length wire + 4);
-    Obs.Histogram.observe t.m_resp_bytes (String.length wire + 4);
-    Outbuf.add_frame client.out wire
+  | Some response -> enqueue_response t client (Message.encode_response response)
 
 (* receive buffers for [handle_readable]: a pool rather than one shared
    buffer because a nested step (serving while blocked on a sibling
@@ -1168,7 +1317,8 @@ let register t fd ~injected =
   (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
   let client =
     { fd; peer = peer_name fd; decoder = Frame.decoder (); out = Outbuf.create ();
-      want_write = false; busy = false; injected }
+      want_write = false; busy = false; injected; pending = Queue.create ();
+      alive = true }
   in
   Log.info (fun m -> m "client %s connected%s" client.peer
       (if injected then " (via acceptor)" else ""));
@@ -1297,10 +1447,7 @@ let finish_migration t ds mg resp =
   match Hashtbl.find_opt t.conns mg.mg_reply with
   | None -> () (* the requesting ctl client went away *)
   | Some client ->
-    let wire = Message.encode_response resp in
-    Obs.Counter.add t.m_bytes_out (String.length wire + 4);
-    Obs.Histogram.observe t.m_resp_bytes (String.length wire + 4);
-    Outbuf.add_frame client.out wire;
+    enqueue_response t client (Message.encode_response resp);
     flush_output t client
 
 (* the copy is done: atomically replay the delta, flip the directory
@@ -1505,15 +1652,30 @@ let rec step ?(timeout = 1.0) t =
         if readable then accept_clients t
       end
       else
-        match Hashtbl.find_opt t.conns fd with
-        | None -> () (* dropped earlier in this very event batch *)
-        | Some client ->
-          if writable then flush_output t client;
-          if readable && not client.busy && not (nested && client.injected) then (
-            (* [client] may have been dropped by the flush above *)
-            match Hashtbl.find_opt t.conns fd with
-            | Some c when c == client -> handle_readable t client
-            | _ -> ()))
+        match Hashtbl.find_opt t.externals fd with
+        | Some on_ready ->
+          (* fetcher peer sockets: serviced whenever the engine is
+             off-stack — a fetch completion re-runs parked scans
+             through the engine, which must not re-enter an engine call
+             already on the stack, but a nested step taken while merely
+             blocked on a sibling forward must service them, or a ring
+             of shards all waiting on each other's parked scans never
+             completes any of them *)
+          if not t.in_engine then begin
+            t.in_engine <- true;
+            Fun.protect ~finally:(fun () -> t.in_engine <- false)
+              (fun () -> on_ready ~readable ~writable)
+          end
+        | None -> (
+          match Hashtbl.find_opt t.conns fd with
+          | None -> () (* dropped earlier in this very event batch *)
+          | Some client ->
+            if writable then flush_output t client;
+            if readable && not client.busy && not (nested && client.injected) then (
+              (* [client] may have been dropped by the flush above *)
+              match Hashtbl.find_opt t.conns fd with
+              | Some c when c == client -> handle_readable t client
+              | _ -> ())))
     events;
   if not nested then begin
     drain_injected t;
@@ -1536,6 +1698,8 @@ let stop t =
   Atomic.set t.shutdown true;
   Hashtbl.iter (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) t.conns;
   Hashtbl.reset t.conns;
+  Hashtbl.iter (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ()) t.externals;
+  Hashtbl.reset t.externals;
   Hashtbl.iter (fun _ c -> Net_client.close c) t.peers;
   Hashtbl.reset t.peers;
   Option.iter Persist.close t.persist;

@@ -56,6 +56,14 @@ let routes_of_specs ~peers specs =
     (Ok []) specs
   |> Result.map List.rev
 
+let host_port addr =
+  match String.rindex_opt addr ':' with
+  | Some i -> (
+    match int_of_string_opt (String.sub addr (i + 1) (String.length addr - i - 1)) with
+    | Some p -> (String.sub addr 0 i, p)
+    | None -> invalid_arg ("bad peer address: " ^ addr))
+  | None -> invalid_arg ("bad peer address: " ^ addr)
+
 (* peer clients, one per owning address, created lazily and registered
    in the engine's own metrics registry ([net.client.retries] etc.) *)
 let client_cache ?config ?on_wait obs =
@@ -64,19 +72,36 @@ let client_cache ?config ?on_wait obs =
     match Hashtbl.find_opt cache addr with
     | Some c -> c
     | None ->
-      let chost, cport =
-        match String.rindex_opt addr ':' with
-        | Some i -> (
-          match
-            int_of_string_opt (String.sub addr (i + 1) (String.length addr - i - 1))
-          with
-          | Some p -> (String.sub addr 0 i, p)
-          | None -> invalid_arg ("bad peer address: " ^ addr))
-        | None -> invalid_arg ("bad peer address: " ^ addr)
-      in
+      let chost, cport = host_port addr in
       let c = Net_client.create ~obs ?config ?on_wait ~host:chost ~port:cport () in
       Hashtbl.add cache addr c;
       c
+
+(* One blocking fetch+subscribe exchange: the §2.4 [Fetch] naming this
+   server as the subscriber, answered by a [Subscribed] snapshot. On
+   success the granted subscription is recorded in [tracked] (keyed by
+   the exact clamp, valued by the granting home) for the healing
+   heartbeat to audit. Shared by the static-route and directory
+   resolvers and by the asynchronous fetcher's non-collecting fallback,
+   so the protocol exchange lives exactly once. *)
+let fetch_one ~client_for ~tracked ~m_fetch_out ~self_addr ~table ~lo ~hi addr =
+  Obs.Counter.incr m_fetch_out;
+  match
+    Net_client.call (client_for addr)
+      (Message.Fetch { table; lo; hi; subscriber = self_addr })
+  with
+  | Message.Subscribed pairs ->
+    Hashtbl.replace tracked (table, lo, hi) addr;
+    Some pairs
+  | Message.Error msg ->
+    Log.warn (fun m -> m "fetch %s[%s,%s) from %s refused: %s" table lo hi addr msg);
+    None
+  | _ ->
+    Log.warn (fun m -> m "fetch %s[%s,%s) from %s: unexpected response" table lo hi addr);
+    None
+  | exception Net_client.Net_error msg ->
+    Log.warn (fun m -> m "fetch %s[%s,%s) from %s failed: %s" table lo hi addr msg);
+    None
 
 (* Which routes serve a missing [lo, hi) of [table]?
    [`Unrouted]: no route mentions the table — it is purely local.
@@ -149,6 +174,327 @@ let routes_of_entries ~self_addr entries =
           (if String.equal e.de_home self_addr then None else Some e.de_home) })
     entries
 
+(* The asynchronous fetch engine behind [Net_server]'s parked scans.
+
+   Where the blocking resolver holds the event loop hostage for one
+   round-trip per missing range, the fetcher owns its own nonblocking
+   peer sockets, driven by the serving loop itself
+   ([Net_server.watch_fd]): a parked scan's whole missing-range set is
+   planned into per-home clamps and written as one pipelined burst per
+   peer, concurrently across peers. Responses are matched to fetches in
+   per-connection pipeline order (the wire has no request ids), fed
+   into the engine, and the scan retried once the full set has landed.
+
+   Single-flight: an in-flight table keyed by the exact (table, lo, hi)
+   clamp means N concurrent parked scans missing the same range share
+   one wire [Fetch] and one [feed_base]; the extra joins are counted in
+   [fetch.coalesced]. No [Hello] is sent on fetcher sockets — the
+   server answers frames without a handshake, and a [Welcome] would
+   desynchronise the response-order matching. *)
+module Fetcher = struct
+  module Frame = Pequod_proto.Frame
+
+  type waiter = {
+    mutable w_remaining : int; (* clamps not yet landed *)
+    mutable w_failed : bool;
+    w_k : ok:bool -> unit;
+  }
+
+  type flight = {
+    fl_key : string * string * string; (* table, clamp lo, clamp hi *)
+    mutable fl_waiters : waiter list;
+  }
+
+  type peer = {
+    p_addr : string;
+    mutable p_fd : Unix.file_descr option;
+    mutable p_connecting : bool; (* nonblocking connect pending SO_ERROR *)
+    mutable p_decoder : Frame.decoder;
+    p_out : Buffer.t; (* encoded frames not yet written *)
+    p_flights : flight Queue.t; (* responses match heads in order *)
+    mutable p_down_until : float; (* reconnect backoff deadline *)
+  }
+
+  type t = {
+    f_server : Net_server.t;
+    f_engine : Server.t;
+    f_self : string;
+    (* missing range -> remote clamps, re-planned at fetch time *)
+    f_plan :
+      table:string -> lo:string -> hi:string ->
+      [ `Fail | `Nothing | `Clamps of (string * string * string * string) list ];
+    f_tracked : (string * string * string, string) Hashtbl.t;
+    f_peers : (string, peer) Hashtbl.t;
+    f_inflight : (string * string * string, flight) Hashtbl.t;
+    f_buf : Bytes.t;
+    m_fetch_out : Obs.Counter.t; (* peer.fetch.out *)
+    m_coalesced : Obs.Counter.t; (* fetch.coalesced *)
+    m_inflight : Obs.Gauge.t; (* fetch.inflight *)
+  }
+
+  let create ~server ~engine ~self_addr ~plan ~tracked =
+    let obs = Server.obs engine in
+    { f_server = server;
+      f_engine = engine;
+      f_self = self_addr;
+      f_plan = plan;
+      f_tracked = tracked;
+      f_peers = Hashtbl.create 4;
+      f_inflight = Hashtbl.create 16;
+      f_buf = Bytes.create 65_536;
+      m_fetch_out = Obs.counter obs "peer.fetch.out";
+      m_coalesced = Obs.counter obs "fetch.coalesced";
+      m_inflight = Obs.gauge obs "fetch.inflight" }
+
+  let peer_of f addr =
+    match Hashtbl.find_opt f.f_peers addr with
+    | Some p -> p
+    | None ->
+      let p =
+        { p_addr = addr; p_fd = None; p_connecting = false;
+          p_decoder = Frame.decoder (); p_out = Buffer.create 256;
+          p_flights = Queue.create (); p_down_until = neg_infinity }
+      in
+      Hashtbl.add f.f_peers addr p;
+      p
+
+  let complete_waiter w ~ok =
+    if not ok then w.w_failed <- true;
+    w.w_remaining <- w.w_remaining - 1;
+    if w.w_remaining = 0 then w.w_k ~ok:(not w.w_failed)
+
+  let drop_flight f fl =
+    Hashtbl.remove f.f_inflight fl.fl_key;
+    Obs.Gauge.set f.m_inflight (Hashtbl.length f.f_inflight)
+
+  (* Tear a peer connection down: every fetch still in its pipeline
+     fails (their parked scans answer Error and the client may retry),
+     and the peer sits out a short backoff so a dead home is one failed
+     [connect] per half second, not per scan. *)
+  let fail_peer f peer msg =
+    if not (Queue.is_empty peer.p_flights) then
+      Log.warn (fun m ->
+          m "peer %s: %s; failing %d in-flight fetches" peer.p_addr msg
+            (Queue.length peer.p_flights));
+    (match peer.p_fd with
+    | Some fd ->
+      peer.p_fd <- None;
+      Net_server.unwatch_fd f.f_server fd;
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+    | None -> ());
+    peer.p_connecting <- false;
+    peer.p_decoder <- Frame.decoder ();
+    Buffer.clear peer.p_out;
+    peer.p_down_until <- Unix.gettimeofday () +. 0.5;
+    let flights = Queue.fold (fun acc fl -> fl :: acc) [] peer.p_flights in
+    Queue.clear peer.p_flights;
+    List.iter
+      (fun fl ->
+        drop_flight f fl;
+        let ws = fl.fl_waiters in
+        fl.fl_waiters <- [];
+        List.iter (fun w -> complete_waiter w ~ok:false) ws)
+      (List.rev flights)
+
+  let rec write_some fd data pos len =
+    if pos >= len then pos
+    else
+      match Unix.write_substring fd data pos (len - pos) with
+      | n -> write_some fd data (pos + n) len
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_some fd data pos len
+      | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) -> pos
+
+  (* Nonblocking flush; write interest stays on exactly while bytes
+     remain buffered (a level-triggered poller would spin otherwise). *)
+  let flush_peer f peer =
+    match peer.p_fd with
+    | None -> ()
+    | Some _ when peer.p_connecting -> ()
+    | Some fd -> (
+      let data = Buffer.contents peer.p_out in
+      Buffer.clear peer.p_out;
+      let len = String.length data in
+      match write_some fd data 0 len with
+      | pos ->
+        if pos < len then begin
+          Buffer.add_substring peer.p_out data pos (len - pos);
+          Net_server.watch_interest f.f_server fd ~read:true ~write:true
+        end
+        else Net_server.watch_interest f.f_server fd ~read:true ~write:false
+      | exception Unix.Unix_error (err, _, _) ->
+        fail_peer f peer ("write: " ^ Unix.error_message err))
+
+  (* One response frame = the head of this peer's pipeline. The flight
+     leaves the in-flight table before its waiters run: a waiter's
+     retry may miss the same range again (eviction raced the feed) and
+     must start a fresh fetch, not join a completed one. *)
+  let handle_frame f peer frame =
+    match Queue.take_opt peer.p_flights with
+    | None ->
+      fail_peer f peer "unexpected frame with no fetch in flight"
+    | Some fl ->
+      drop_flight f fl;
+      let table, lo, hi = fl.fl_key in
+      let ok =
+        match Message.decode_response frame with
+        | Message.Subscribed pairs ->
+          Hashtbl.replace f.f_tracked fl.fl_key peer.p_addr;
+          Server.feed_base f.f_engine ~table ~lo ~hi pairs;
+          true
+        | Message.Error msg ->
+          Log.warn (fun m ->
+              m "fetch %s[%s,%s) from %s refused: %s" table lo hi peer.p_addr msg);
+          false
+        | _ ->
+          Log.warn (fun m ->
+              m "fetch %s[%s,%s) from %s: unexpected response" table lo hi peer.p_addr);
+          false
+        | exception Message.Protocol_error msg ->
+          Log.warn (fun m ->
+              m "fetch %s[%s,%s) from %s: protocol error: %s" table lo hi peer.p_addr
+                msg);
+          false
+      in
+      let ws = fl.fl_waiters in
+      fl.fl_waiters <- [];
+      List.iter (fun w -> complete_waiter w ~ok) ws
+
+  let read_peer f peer fd =
+    match Unix.read fd f.f_buf 0 (Bytes.length f.f_buf) with
+    | 0 -> fail_peer f peer "connection closed"
+    | n ->
+      List.iter
+        (fun frame ->
+          (* a completion may tear this peer down re-entrantly (its own
+             parked-scan retry failing it); later frames are then stale *)
+          if peer.p_fd = Some fd then handle_frame f peer frame)
+        (Frame.feed peer.p_decoder (Bytes.sub_string f.f_buf 0 n))
+    | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
+      -> ()
+    | exception Unix.Unix_error (err, _, _) ->
+      fail_peer f peer ("read: " ^ Unix.error_message err)
+
+  let peer_ready f peer fd ~readable ~writable =
+    if peer.p_fd = Some fd then begin
+      if writable then
+        if peer.p_connecting then (
+          match Unix.getsockopt_error fd with
+          | Some err -> fail_peer f peer ("connect: " ^ Unix.error_message err)
+          | None ->
+            peer.p_connecting <- false;
+            (try Unix.setsockopt fd Unix.TCP_NODELAY true
+             with Unix.Unix_error _ -> ());
+            flush_peer f peer)
+        else flush_peer f peer;
+      if readable && peer.p_fd = Some fd then read_peer f peer fd
+    end
+
+  let sockaddr_of addr =
+    let host, port = host_port addr in
+    let inet =
+      match Unix.inet_addr_of_string host with
+      | a -> a
+      | exception _ -> (
+        match (Unix.gethostbyname host).Unix.h_addr_list with
+        | [||] -> raise (Unix.Unix_error (Unix.EHOSTUNREACH, "gethostbyname", host))
+        | addrs -> addrs.(0)
+        | exception Not_found ->
+          raise (Unix.Unix_error (Unix.EHOSTUNREACH, "gethostbyname", host)))
+    in
+    Unix.ADDR_INET (inet, port)
+
+  let ensure_connected f peer =
+    if peer.p_fd = None then begin
+      match
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        (try Unix.set_nonblock fd
+         with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+        (fd, (try Unix.connect fd (sockaddr_of peer.p_addr); `Done with
+              | Unix.Unix_error (Unix.EINPROGRESS, _, _) -> `Pending
+              | e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e))
+      with
+      | fd, `Done ->
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+        peer.p_fd <- Some fd;
+        peer.p_connecting <- false;
+        peer.p_decoder <- Frame.decoder ();
+        Net_server.watch_fd f.f_server fd ~read:true ~write:false
+          ~on_ready:(fun ~readable ~writable ->
+            peer_ready f peer fd ~readable ~writable)
+      | fd, `Pending ->
+        peer.p_fd <- Some fd;
+        peer.p_connecting <- true;
+        peer.p_decoder <- Frame.decoder ();
+        (* write-ready signals the connect outcome (SO_ERROR) *)
+        Net_server.watch_fd f.f_server fd ~read:true ~write:true
+          ~on_ready:(fun ~readable ~writable ->
+            peer_ready f peer fd ~readable ~writable)
+      | exception Unix.Unix_error (err, _, _) ->
+        fail_peer f peer ("connect: " ^ Unix.error_message err)
+    end
+
+  (* The [Net_server.set_fetcher] entry point: issue one parked scan's
+     whole missing-range set, calling [k ~ok] once every clamp has
+     landed (or any failed). Completion may run synchronously — every
+     clamp already in flight from a down peer — or later from
+     [peer_ready]; the caller handles both. *)
+  let request f ranges k =
+    let now = Unix.gettimeofday () in
+    let planned =
+      List.fold_left
+        (fun acc (table, lo, hi) ->
+          match acc with
+          | `Fail -> `Fail
+          | `Ok clamps -> (
+            match f.f_plan ~table ~lo ~hi with
+            | `Fail -> `Fail
+            | `Nothing ->
+              (* the routes moved under the scan (directory epoch, shard
+                 re-cut): nothing to fetch; the retry re-plans *)
+              `Ok clamps
+            | `Clamps cs -> `Ok (List.rev_append cs clamps)))
+        (`Ok []) ranges
+    in
+    match planned with
+    | `Fail -> k ~ok:false
+    | `Ok [] -> k ~ok:true
+    | `Ok clamps ->
+      let waiter = { w_remaining = List.length clamps; w_failed = false; w_k = k } in
+      let touched = ref [] in
+      List.iter
+        (fun (table, flo, fhi, home) ->
+          let key = (table, flo, fhi) in
+          match Hashtbl.find_opt f.f_inflight key with
+          | Some fl ->
+            (* single-flight: share the wire fetch already under way *)
+            Obs.Counter.incr f.m_coalesced;
+            fl.fl_waiters <- waiter :: fl.fl_waiters
+          | None ->
+            let peer = peer_of f home in
+            if peer.p_fd = None && now < peer.p_down_until then
+              complete_waiter waiter ~ok:false
+            else begin
+              Obs.Counter.incr f.m_fetch_out;
+              let fl = { fl_key = key; fl_waiters = [ waiter ] } in
+              Hashtbl.replace f.f_inflight key fl;
+              Obs.Gauge.set f.m_inflight (Hashtbl.length f.f_inflight);
+              Queue.add fl peer.p_flights;
+              Buffer.add_string peer.p_out
+                (Net_client.encode_request_frame
+                   (Message.Fetch
+                      { table; lo = flo; hi = fhi; subscriber = f.f_self }));
+              if not (List.memq peer !touched) then touched := peer :: !touched
+            end)
+        clamps;
+      (* one burst per touched peer: connect if needed, then push the
+         whole pipeline out in as few writes as the socket allows *)
+      List.iter
+        (fun peer ->
+          ensure_connected f peer;
+          flush_peer f peer)
+        (List.rev !touched)
+end
+
 let attach_directory ?(check_every = 2.0) ?(poll_every = 1.0) ?client_config ?on_wait
     ?seed ~engine ~self_addr ~dir () =
   let obs = Server.obs engine in
@@ -172,25 +518,7 @@ let attach_directory ?(check_every = 2.0) ?(poll_every = 1.0) ?client_config ?on
      this server — the home is always the fallback *)
   let replicas : (string * string * string, string list) Hashtbl.t = Hashtbl.create 8 in
   let tracked : (string * string * string, string) Hashtbl.t = Hashtbl.create 16 in
-  let fetch_one ~table ~lo ~hi addr =
-    Obs.Counter.incr m_fetch_out;
-    match
-      Net_client.call (client_for addr)
-        (Message.Fetch { table; lo; hi; subscriber = self_addr })
-    with
-    | Message.Subscribed pairs ->
-      Hashtbl.replace tracked (table, lo, hi) addr;
-      Some pairs
-    | Message.Error msg ->
-      Log.warn (fun m -> m "fetch %s[%s,%s) from %s refused: %s" table lo hi addr msg);
-      None
-    | _ ->
-      Log.warn (fun m -> m "fetch %s[%s,%s) from %s: unexpected response" table lo hi addr);
-      None
-    | exception Net_client.Net_error msg ->
-      Log.warn (fun m -> m "fetch %s[%s,%s) from %s failed: %s" table lo hi addr msg);
-      None
-  in
+  let fetch_one = fetch_one ~client_for ~tracked ~m_fetch_out ~self_addr in
   (* one clamp's fetch: spread reads over the range's replicas (each
      server starts at a different candidate), fall through to the next
      candidate — the home last — when one refuses or is down *)
@@ -414,7 +742,7 @@ let attach_directory ?(check_every = 2.0) ?(poll_every = 1.0) ?client_config ?on
     heal now
 
 let attach ?(check_every = 2.0) ?client_config ?on_wait ?(local_tables = fun _ -> false)
-    ~engine ~self_addr ~routes () =
+    ?server ~engine ~self_addr ~routes () =
   List.iter
     (fun r ->
       match r.r_addr with
@@ -433,24 +761,29 @@ let attach ?(check_every = 2.0) ?client_config ?on_wait ?(local_tables = fun _ -
        that granted them. The healing heartbeat audits this against the
        home's own Sub_check answer. *)
     let tracked : (string * string * string, string) Hashtbl.t = Hashtbl.create 16 in
-    let fetch_one ~table ~lo ~hi addr =
-      Obs.Counter.incr m_fetch_out;
-      match
-        Net_client.call (client_for addr)
-          (Message.Fetch { table; lo; hi; subscriber = self_addr })
-      with
-      | Message.Subscribed pairs ->
-        Hashtbl.replace tracked (table, lo, hi) addr;
-        Some pairs
-      | Message.Error msg ->
-        Log.warn (fun m -> m "fetch %s[%s,%s) from %s refused: %s" table lo hi addr msg);
-        None
-      | _ ->
-        Log.warn (fun m -> m "fetch %s[%s,%s) from %s: unexpected response" table lo hi addr);
-        None
-      | exception Net_client.Net_error msg ->
-        Log.warn (fun m -> m "fetch %s[%s,%s) from %s failed: %s" table lo hi addr msg);
-        None
+    let fetch_one = fetch_one ~client_for ~tracked ~m_fetch_out ~self_addr in
+    let async =
+      match server with
+      | None -> false
+      | Some srv ->
+        (* asynchronous read path: install the fetch engine on the
+           serving loop. A parked scan's missing ranges are re-planned
+           here into (table, clamp, home) fetches at issue time. *)
+        let fplan ~table ~lo ~hi =
+          if local_tables table then `Nothing
+          else
+            match plan ~routes ~table ~lo ~hi with
+            | `Unrouted | `Fetch [] -> `Nothing
+            | `Gap -> `Fail
+            | `Fetch clamps ->
+              `Clamps
+                (List.map
+                   (fun (r, flo, fhi) -> (table, flo, fhi, Option.get r.r_addr))
+                   clamps)
+        in
+        let fetcher = Fetcher.create ~server:srv ~engine ~self_addr ~plan:fplan ~tracked in
+        Net_server.set_fetcher srv (Fetcher.request fetcher);
+        true
     in
     Server.set_resolver engine (fun ~table ~lo ~hi ->
         (* tables the caller declares always-local — the shard layer's
@@ -471,16 +804,25 @@ let attach ?(check_every = 2.0) ?client_config ?on_wait ?(local_tables = fun _ -
           Server.Deferred
         | `Fetch [] -> Server.Local
         | `Fetch clamps ->
-          (* fetch each owning peer's clamp; all must answer for the
-             range to resolve *)
-          let rec fetch acc = function
-            | [] -> Server.Resolved (List.concat (List.rev acc))
-            | (r, flo, fhi) :: rest -> (
-              match fetch_one ~table ~lo:flo ~hi:fhi (Option.get r.r_addr) with
-              | Some pairs -> fetch (pairs :: acc) rest
-              | None -> Server.Deferred)
-          in
-          fetch [] clamps);
+          if async && Server.collecting engine then
+            (* collect-mode scan under an asynchronous host: report the
+               miss and keep collecting; the host parks the scan and the
+               fetcher issues the whole missing set as one burst *)
+            Server.Deferred
+          else begin
+            (* blocking path (no async host installed, or a caller with
+               no retry loop above it — an updater firing inside a
+               feed_base, a bare scan/get): fetch each owning peer's
+               clamp inline; all must answer for the range to resolve *)
+            let rec fetch acc = function
+              | [] -> Server.Resolved (List.concat (List.rev acc))
+              | (r, flo, fhi) :: rest -> (
+                match fetch_one ~table ~lo:flo ~hi:fhi (Option.get r.r_addr) with
+                | Some pairs -> fetch (pairs :: acc) rest
+                | None -> Server.Deferred)
+            in
+            fetch [] clamps
+          end);
     (* The healing heartbeat, run from the host's event loop: every
        [check_every] seconds ask each home which of our subscriptions it
        still holds. A range the home dropped (failed push while we were

@@ -111,11 +111,27 @@ val attach_directory :
     regardless of routes: the shard layer's join outputs, which each
     shard recomputes from subscription-fresh sources (a fetched copy of
     a join output would freeze — join-derived writes are never pushed).
-    Outbound fetches are counted in [peer.fetch.out]. *)
+    Outbound fetches are counted in [peer.fetch.out].
+
+    [server] turns on the {e asynchronous} read path, and must be the
+    {!Net_server.t} serving [engine]. A scan that misses then parks
+    instead of blocking: the resolver answers [Deferred] for every
+    missing range of a collect-mode scan ([Server.collecting]), the
+    server parks the request ([scan.parked]) and keeps serving, and the
+    fetch engine installed here issues the scan's whole missing set as
+    one pipelined burst per owning peer — concurrently across peers, on
+    nonblocking sockets driven by the serving loop itself. Concurrent
+    parked scans missing the same range share one wire [Fetch] and one
+    [feed_base] ([fetch.coalesced]; in-flight fetches gauge
+    [fetch.inflight]); parked scans' wait is measured in
+    [resolver.fetch.wait_ns]. Resolver calls with no retry loop above
+    them (updater firings, bare [scan]/[get]) still fetch inline through
+    the blocking client. *)
 val attach :
   ?check_every:float ->
   ?client_config:Net_client.config ->
   ?on_wait:(unit -> unit) ->
   ?local_tables:(string -> bool) ->
+  ?server:Net_server.t ->
   engine:Pequod_core.Server.t -> self_addr:string -> routes:route list -> unit ->
   unit -> unit

@@ -230,7 +230,8 @@ let create ?config ?backend ?metrics_every ?(sub_check_every = 2.0)
         in
         let heal =
           Remote.attach ~check_every:sub_check_every ~on_wait
-            ~local_tables:(is_sink engine) ~engine ~self_addr:(addr i) ~routes ()
+            ~local_tables:(is_sink engine) ~server:srv ~engine ~self_addr:(addr i)
+            ~routes ()
         in
         Net_server.add_ticker srv heal;
         (* forwarding clients, one per sibling, separate from the
@@ -296,7 +297,18 @@ let accept_loop t =
 let start t =
   if Array.length t.domains > 0 then invalid_arg "Shard.start: already started";
   t.domains <-
-    Array.map (fun srv -> Domain.spawn (fun () -> Net_server.run srv)) t.servers;
+    Array.mapi
+      (fun i srv ->
+        Domain.spawn (fun () ->
+            (* an exception escaping a shard loop would otherwise stay
+               invisible until join: log it before the domain dies *)
+            try Net_server.run srv
+            with e ->
+              Log.err (fun m ->
+                  m "shard %d loop died: %s\n%s" i (Printexc.to_string e)
+                    (Printexc.get_backtrace ()));
+              raise e))
+      t.servers;
   t.acceptor <- Some (Domain.spawn (fun () -> accept_loop t))
 
 (** Signal every domain, join them, then release sockets and

@@ -422,7 +422,11 @@ let apply_to_server server req =
     Server.remove server k;
     Done
   | Scan { lo; hi } -> (
-    match Server.scan_result server ~lo ~hi with
+    (* no retry loop above this call site (a forwarded sibling scan, a
+       scatter segment, a host with no parking): never enter collect
+       mode, so an installed async resolver fetches inline instead of
+       deferring to a parking continuation that does not exist here *)
+    match Server.scan_result ~may_defer:false server ~lo ~hi with
     | `Ok pairs -> Pairs pairs
     | `Missing ranges ->
       let (t, mlo, mhi) = List.hd ranges in

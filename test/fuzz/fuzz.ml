@@ -411,61 +411,63 @@ type variant = {
           the owner and forwarded to subscribed siblings, sink tables
           computed by whichever engine serves the scan from fetched,
           subscription-fresh source slices *)
+  va_async_feed : bool;
+      (** remote mode driven like the asynchronous read path: each
+          [`Missing] round feeds a random nonempty subset of the
+          reported ranges, in a random order, before retrying — the
+          fetch completions of a parked scan land in arbitrary order,
+          and a dropped range models a failed fetch the retry reissues.
+          Convergence to the same transcript as the in-order feed is
+          exactly the §3.3 restart property the net layer relies on *)
 }
 
+let base_variant =
+  { va_name = ""; va_tweak = (fun _ -> ()); va_persist = No_persist;
+    va_remote = false; va_migrate = false; va_shards = 0; va_async_feed = false }
+
 let variants =
-  [| { va_name = "default"; va_tweak = (fun _ -> ()); va_persist = No_persist;
-       va_remote = false; va_migrate = false; va_shards = 0 };
-     { va_name = "no-hints";
-       va_tweak = (fun c -> c.Config.output_hints <- false);
-       va_persist = No_persist; va_remote = false; va_migrate = false; va_shards = 0 };
-     { va_name = "no-sharing";
-       va_tweak = (fun c -> c.Config.value_sharing <- false);
-       va_persist = No_persist; va_remote = false; va_migrate = false; va_shards = 0 };
-     { va_name = "no-combine";
-       va_tweak = (fun c -> c.Config.combine_updaters <- false);
-       va_persist = No_persist; va_remote = false; va_migrate = false; va_shards = 0 };
-     { va_name = "eager-checks";
-       va_tweak = (fun c -> c.Config.lazy_checks <- false);
-       va_persist = No_persist; va_remote = false; va_migrate = false; va_shards = 0 };
-     { va_name = "log-limit-1";
-       va_tweak = (fun c -> c.Config.pending_log_limit <- 1);
-       va_persist = No_persist; va_remote = false; va_migrate = false; va_shards = 0 };
-     { va_name = "subtables";
-       va_tweak = (fun c -> c.Config.table_config <- (fun _ -> Some 2));
-       va_persist = No_persist; va_remote = false; va_migrate = false; va_shards = 0 };
-     { va_name = "evict";
-       va_tweak = (fun c -> c.Config.memory_limit <- Some 8192);
-       va_persist = No_persist; va_remote = false; va_migrate = false; va_shards = 0 };
-     { va_name = "evict-no-combine";
+  [| { base_variant with va_name = "default" };
+     { base_variant with va_name = "no-hints";
+       va_tweak = (fun c -> c.Config.output_hints <- false) };
+     { base_variant with va_name = "no-sharing";
+       va_tweak = (fun c -> c.Config.value_sharing <- false) };
+     { base_variant with va_name = "no-combine";
+       va_tweak = (fun c -> c.Config.combine_updaters <- false) };
+     { base_variant with va_name = "eager-checks";
+       va_tweak = (fun c -> c.Config.lazy_checks <- false) };
+     { base_variant with va_name = "log-limit-1";
+       va_tweak = (fun c -> c.Config.pending_log_limit <- 1) };
+     { base_variant with va_name = "subtables";
+       va_tweak = (fun c -> c.Config.table_config <- (fun _ -> Some 2)) };
+     { base_variant with va_name = "evict";
+       va_tweak = (fun c -> c.Config.memory_limit <- Some 8192) };
+     { base_variant with va_name = "evict-no-combine";
        va_tweak =
          (fun c ->
            c.Config.memory_limit <- Some 8192;
-           c.Config.combine_updaters <- false);
-       va_persist = No_persist; va_remote = false; va_migrate = false; va_shards = 0 };
-     { va_name = "persist";
-       va_tweak = (fun _ -> ());
-       va_persist = Persist_always { snapshot_every = 0 }; va_remote = false; va_migrate = false; va_shards = 0 };
-     { va_name = "persist-snap";
-       va_tweak = (fun _ -> ());
-       va_persist = Persist_always { snapshot_every = 7 }; va_remote = false; va_migrate = false; va_shards = 0 };
-     { va_name = "remote"; va_tweak = (fun _ -> ()); va_persist = No_persist;
-       va_remote = true; va_migrate = false; va_shards = 0 };
-     { va_name = "remote-evict";
+           c.Config.combine_updaters <- false) };
+     { base_variant with va_name = "persist";
+       va_persist = Persist_always { snapshot_every = 0 } };
+     { base_variant with va_name = "persist-snap";
+       va_persist = Persist_always { snapshot_every = 7 } };
+     { base_variant with va_name = "remote"; va_remote = true };
+     { base_variant with va_name = "remote-evict";
        va_tweak = (fun c -> c.Config.memory_limit <- Some 8192);
-       va_persist = No_persist; va_remote = true; va_migrate = false; va_shards = 0 };
-     { va_name = "migrate"; va_tweak = (fun _ -> ()); va_persist = No_persist;
-       va_remote = false; va_migrate = true; va_shards = 0 };
-     { va_name = "migrate-evict";
+       va_remote = true };
+     { base_variant with va_name = "remote-async";
+       va_remote = true; va_async_feed = true };
+     { base_variant with va_name = "remote-async-evict";
        va_tweak = (fun c -> c.Config.memory_limit <- Some 8192);
-       va_persist = No_persist; va_remote = false; va_migrate = true; va_shards = 0 };
-     { va_name = "shards-2"; va_tweak = (fun _ -> ()); va_persist = No_persist;
-       va_remote = false; va_migrate = false; va_shards = 2 };
-     { va_name = "shards-3"; va_tweak = (fun _ -> ()); va_persist = No_persist;
-       va_remote = false; va_migrate = false; va_shards = 3 };
-     { va_name = "shards-2-evict";
+       va_remote = true; va_async_feed = true };
+     { base_variant with va_name = "migrate"; va_migrate = true };
+     { base_variant with va_name = "migrate-evict";
        va_tweak = (fun c -> c.Config.memory_limit <- Some 8192);
-       va_persist = No_persist; va_remote = false; va_migrate = false; va_shards = 2 } |]
+       va_migrate = true };
+     { base_variant with va_name = "shards-2"; va_shards = 2 };
+     { base_variant with va_name = "shards-3"; va_shards = 3 };
+     { base_variant with va_name = "shards-2-evict";
+       va_tweak = (fun c -> c.Config.memory_limit <- Some 8192);
+       va_shards = 2 } |]
 
 let find_scenario name = Array.find_opt (fun s -> s.sc_name = name) scenarios
 let find_variant name = Array.find_opt (fun v -> v.va_name = name) variants
@@ -792,16 +794,38 @@ let run_case scenario variant ops =
     match homes with
     | None -> Server.scan !server ~lo ~hi
     | Some _ ->
+      let max_attempts = if variant.va_async_feed then 64 else 32 in
       let rec converge attempts =
         match Server.scan_result !server ~lo ~hi with
         | `Ok pairs -> pairs
         | `Missing ranges ->
-          if attempts >= 32 then
+          if attempts >= max_attempts then
             fail "remote scan [%S, %S) still missing ranges after %d feeds" lo hi attempts;
+          let to_feed =
+            if not variant.va_async_feed then ranges
+            else begin
+              (* async-feed modelling: a parked scan's fetches complete
+                 in arbitrary order, and some fail — feed a random
+                 nonempty subset of the missing set, shuffled, and let
+                 the retry reissue the rest. Seeded from the read's
+                 identity so a repro file replays identically. *)
+              let rng =
+                Rng.create (Hashtbl.hash (lo, hi, attempts, !stat_compares))
+              in
+              let arr = Array.of_list ranges in
+              for i = Array.length arr - 1 downto 1 do
+                let j = Rng.int rng (i + 1) in
+                let t = arr.(i) in
+                arr.(i) <- arr.(j);
+                arr.(j) <- t
+              done;
+              Array.to_list (Array.sub arr 0 (1 + Rng.int rng (Array.length arr)))
+            end
+          in
           List.iter
             (fun (table, mlo, mhi) ->
               Server.feed_base !server ~table ~lo:mlo ~hi:mhi (home_scan mlo mhi))
-            ranges;
+            to_feed;
           converge (attempts + 1)
       in
       (* route by table, like a deployed client: join outputs are

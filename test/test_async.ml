@@ -1,0 +1,256 @@
+(* The asynchronous remote read path (Remote.attach ~server): parked
+   scans, fan-out fetch batching, and single-flight coalescing, driven
+   over real TCP sockets in one process with manually-stepped event
+   loops — a home server and a compute server whose scans miss. *)
+
+module Net_server = Pequod_server_lib.Net_server
+module Remote = Pequod_server_lib.Remote
+module Server = Pequod_core.Server
+module Message = Pequod_proto.Message
+module Frame = Pequod_proto.Frame
+(* Rng comes unwrapped from pequod_util *)
+
+let check_bool = Alcotest.(check bool)
+
+let timeline_join = "t|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time>"
+
+let with_server ~joins f =
+  let t = Net_server.create ~port:0 ~joins ~memory_limit:None () in
+  Fun.protect ~finally:(fun () -> Net_server.stop t) (fun () -> f t)
+
+let addr_of t = Printf.sprintf "127.0.0.1:%d" (Net_server.port t)
+
+let connect t =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, Net_server.port t));
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+  fd
+
+let write_all fd s =
+  let sent = ref 0 in
+  while !sent < String.length s do
+    sent := !sent + Unix.write_substring fd s !sent (String.length s - !sent)
+  done
+
+(* write [reqs] as one pipelined burst, then step every server in
+   [servers] until the same number of raw response frames arrived *)
+let pipeline_raw ~servers fd reqs =
+  write_all fd
+    (String.concat "" (List.map (fun r -> Frame.encode (Message.encode_request r)) reqs));
+  let want = List.length reqs in
+  let decoder = Frame.decoder () in
+  let buf = Bytes.create 65536 in
+  let frames = ref [] in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while List.length !frames < want do
+    if Unix.gettimeofday () > deadline then failwith "pipeline_raw timeout";
+    List.iter (fun t -> Net_server.step ~timeout:0.002 t) servers;
+    match Unix.select [ fd ] [] [] 0.002 with
+    | [ _ ], _, _ ->
+      let n = Unix.read fd buf 0 (Bytes.length buf) in
+      if n = 0 then failwith "connection closed";
+      frames := !frames @ Frame.feed decoder (Bytes.sub_string buf 0 n)
+    | _ -> ()
+  done;
+  !frames
+
+let rpc ~servers fd req =
+  match pipeline_raw ~servers fd [ req ] with
+  | [ frame ] -> Message.decode_response frame
+  | _ -> assert false
+
+(* let in-flight pushes / fetch completions drain *)
+let settle servers =
+  for _ = 1 to 10 do
+    List.iter (fun t -> Net_server.step ~timeout:0.001 t) servers
+  done
+
+let counter t name = Server.counter (Net_server.engine t) name
+
+(* N pipelined scans of the same cold timeline must cost exactly one
+   wire Fetch per distinct missing source range: the first parked scan
+   issues each fetch, the other N-1 join the in-flight entry
+   ([fetch.coalesced]), and every response is identical. The timeline
+   join misses in two waves -- the check source (s|) first, then, once
+   its feed names the poster, the copy source (p|) -- so each of the
+   two ranges is single-flighted across all N waiters. *)
+let test_single_flight () =
+  with_server ~joins:[] @@ fun home ->
+  with_server ~joins:[ timeline_join ] @@ fun compute ->
+  let h = Net_server.engine home in
+  Server.mark_present h ~table:"s" ~lo:"s|" ~hi:"s}";
+  Server.mark_present h ~table:"p" ~lo:"p|" ~hi:"p}";
+  Server.put h "s|ann|bob" "1";
+  Server.put h "p|bob|0000000007" "hello";
+  let routes =
+    match Remote.routes_of_specs ~peers:[ addr_of home ] [ "s"; "p" ] with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  let _heal =
+    Remote.attach ~server:compute ~engine:(Net_server.engine compute)
+      ~self_addr:(addr_of compute) ~routes ()
+  in
+  let fd = connect compute in
+  Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+  let n = 5 in
+  let servers = [ compute; home ] in
+  let frames =
+    pipeline_raw ~servers fd
+      (List.init n (fun _ -> Message.Scan { lo = "t|ann|"; hi = "t|ann}" }))
+  in
+  let expected = Message.Pairs [ ("t|ann|0000000007|bob", "hello") ] in
+  List.iteri
+    (fun i frame ->
+      check_bool (Printf.sprintf "response %d" i) true
+        (Message.decode_response frame = expected))
+    frames;
+  (* two distinct missing ranges (s|ann, then p|bob), each fetched
+     over the wire exactly once on behalf of all five waiters *)
+  check_bool "one wire fetch per range" true (counter home "peer.fetch.in" = 2);
+  check_bool "coalesced joins" true (counter compute "fetch.coalesced" = 2 * (n - 1));
+  check_bool "all scans parked" true (counter compute "scan.parked" = n)
+
+(* A parked scan whose home is unreachable answers Error without
+   wedging the connection: requests pipelined behind it still answer,
+   in order, and the connection stays usable afterwards. The timeline
+   join's check source (s|) is routed to an address nothing listens on,
+   so the scan parks and its burst fetch fails fast. *)
+let test_park_failure () =
+  with_server ~joins:[ timeline_join ] @@ fun compute ->
+  (* port 9 on loopback: nothing listens; connect is refused at once *)
+  let routes =
+    match
+      Remote.routes_of_specs ~peers:[]
+        [ "s@127.0.0.1:9"; "p@127.0.0.1:9" ]
+    with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  let _heal =
+    Remote.attach ~server:compute ~engine:(Net_server.engine compute)
+      ~self_addr:(addr_of compute) ~routes ()
+  in
+  let fd = connect compute in
+  Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+  let servers = [ compute ] in
+  (match
+     List.map Message.decode_response
+       (pipeline_raw ~servers fd
+          [ Message.Scan { lo = "t|ann|"; hi = "t|ann}" };
+            Message.Put ("other|k", "1");
+            Message.Get "other|k" ])
+   with
+  | [ Message.Error _; Message.Done; Message.Value (Some "1") ] -> ()
+  | rs ->
+    Alcotest.failf "expected [Error; Done; Value], got %d responses: %s"
+      (List.length rs)
+      (String.concat ", "
+         (List.map
+            (function
+              | Message.Error _ -> "Error"
+              | Message.Done -> "Done"
+              | Message.Value _ -> "Value"
+              | Message.Pairs _ -> "Pairs"
+              | _ -> "?")
+            rs)));
+  check_bool "failed scan parked" true (counter compute "scan.parked" >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* async == sync equivalence                                           *)
+
+let users = [| "ann"; "bob"; "cat"; "dan"; "eve" |]
+
+(* One random interleaving of home writes and compute timeline reads,
+   identical for both modes at the same seed: returns the raw wire
+   response frames of every compute request, in order. *)
+let run_transcript ~async seed =
+  with_server ~joins:[] @@ fun home ->
+  with_server ~joins:[ timeline_join ] @@ fun compute ->
+  let h = Net_server.engine home in
+  Server.mark_present h ~table:"s" ~lo:"s|" ~hi:"s}";
+  Server.mark_present h ~table:"p" ~lo:"p|" ~hi:"p}";
+  let routes =
+    match Remote.routes_of_specs ~peers:[ addr_of home ] [ "s"; "p" ] with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  let servers = [ compute; home ] in
+  let on_wait () = Net_server.step ~timeout:0.001 home in
+  let _heal =
+    if async then
+      Remote.attach ~server:compute ~on_wait ~engine:(Net_server.engine compute)
+        ~self_addr:(addr_of compute) ~routes ()
+    else
+      Remote.attach ~on_wait ~engine:(Net_server.engine compute)
+        ~self_addr:(addr_of compute) ~routes ()
+  in
+  let hfd = connect home in
+  let cfd = connect compute in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.close hfd;
+      Unix.close cfd)
+  @@ fun () ->
+  let rng = Rng.create seed in
+  let transcript = ref [] in
+  let read_compute reqs =
+    transcript := !transcript @ pipeline_raw ~servers cfd reqs
+  in
+  for _ = 1 to 40 do
+    match Rng.int rng 100 with
+    | n when n < 25 ->
+      let k = Printf.sprintf "s|%s|%s" (Rng.pick rng users) (Rng.pick rng users) in
+      ignore (rpc ~servers hfd (Message.Put (k, "1")));
+      settle servers
+    | n when n < 45 ->
+      let k =
+        Printf.sprintf "p|%s|%010d" (Rng.pick rng users) (Rng.int rng 50)
+      in
+      ignore (rpc ~servers hfd (Message.Put (k, Printf.sprintf "m%d" (Rng.int rng 10))));
+      settle servers
+    | n when n < 55 ->
+      let k = Printf.sprintf "s|%s|%s" (Rng.pick rng users) (Rng.pick rng users) in
+      ignore (rpc ~servers hfd (Message.Remove k));
+      settle servers
+    | n when n < 80 ->
+      let u = Rng.pick rng users in
+      read_compute [ Message.Scan { lo = "t|" ^ u ^ "|"; hi = "t|" ^ u ^ "}" } ]
+    | _ ->
+      (* a pipelined burst of reads over several users: different
+         parked scans in flight at once *)
+      read_compute
+        (List.init 3 (fun _ ->
+             let u = Rng.pick rng users in
+             Message.Scan { lo = "t|" ^ u ^ "|"; hi = "t|" ^ u ^ "}" }))
+  done;
+  (* final whole-table read *)
+  read_compute [ Message.Scan { lo = "t|"; hi = "t}" } ];
+  !transcript
+
+let test_equivalence () =
+  List.iter
+    (fun seed ->
+      let sync_t = run_transcript ~async:false seed in
+      let async_t = run_transcript ~async:true seed in
+      check_bool
+        (Printf.sprintf "seed %d: same transcript length" seed)
+        true
+        (List.length sync_t = List.length async_t);
+      List.iteri
+        (fun i (s, a) ->
+          if not (String.equal s a) then
+            Alcotest.failf "seed %d: response %d differs between sync and async" seed i)
+        (List.combine sync_t async_t))
+    [ 1; 7; 42; 1234 ]
+
+let () =
+  Alcotest.run "async"
+    [
+      ( "async-read-path",
+        [
+          Alcotest.test_case "single-flight coalescing" `Quick test_single_flight;
+          Alcotest.test_case "parked failure keeps order" `Quick test_park_failure;
+          Alcotest.test_case "sync == async transcripts" `Quick test_equivalence;
+        ] );
+    ]

@@ -8,8 +8,8 @@
      (Fetch + Subscribed snapshot),
    - later writes reach the compute server without rescanning from
      scratch (Notify_batch push),
-   - a killed home triggers bounded client retries surfaced in
-     net.client.retries and an Error response, not a crash,
+   - a killed home triggers an Error response (the parked scan's fetch
+     fails fast, surfaced in scan.parked), not a crash,
    - a respawned home (same port) heals the route on the next scan,
    - the Sub_check heartbeat detects the subscription lost with the old
      process and re-subscribes, unfreezing already-present ranges. *)
@@ -181,8 +181,10 @@ let test_cluster () =
       (match scan_pairs compute "t|dee|" "t|dee}" with
       | Error _ -> ()
       | Ok _ -> Alcotest.fail "second scan through a dead home must report an error");
-      check_bool "retries surfaced in net.client.retries" true
-        (counter_of compute "net.client.retries" >= 1);
+      (* asynchronous read path: the miss parked and the fetch engine
+         failed it fast (dead-peer backoff), no blocking client retry *)
+      check_bool "failed scans were parked" true
+        (counter_of compute "scan.parked" >= 1);
       (match scan_pairs compute "t|ann|" "t|ann}" with
       | Ok (_ :: _) -> ()
       | Ok [] -> Alcotest.fail "present ranges lost after peer death"

@@ -16,7 +16,9 @@ status=0
 for key in '"benchmark"' '"cluster"' '"commit"' '"date"' '"qps"' \
   '"ops_completed"' '"subscription_share"' '"latency_us"' \
   '"login"' '"check"' '"subscribe"' '"post"' '"p50"' '"p95"' '"p99"' \
-  '"shards"' '"nproc"'; do
+  '"shards"' '"nproc"' \
+  '"fetch_per_read"' '"fetch_wait_p50_us"' '"fetch_wait_p95_us"' \
+  '"fetch_wait_p99_us"' '"scan_parked"' '"fetch_coalesced"'; do
   if ! grep -q "$key" "$f"; then
     echo "FAIL: $f lacks $key" >&2
     status=1
