@@ -67,6 +67,15 @@ cluster-smoke:
 		|| exit 1; \
 	done
 	rm -f BENCH_cluster_shards1.json BENCH_cluster_shards2.json BENCH_cluster_shards4.json
+	PEQUOD_LOAD_QUOTA=2000 timeout 180 dune exec bin/pequod_load.exe -- \
+		--users 10000 --ops 1000000 --workers 2 --homes 2 --computes 1 \
+		--pipeline 16 --sessions --out BENCH_cluster_sessions.json
+	sh tools/check_bench_cluster.sh BENCH_cluster_sessions.json
+	grep -Eq '"stale_read_rate": 0(\.0+)?[,}]' BENCH_cluster_sessions.json \
+		|| { echo "FAIL: sessions run observed stale reads" >&2; exit 1; }
+	grep -Eq '"session_reads": [1-9]' BENCH_cluster_sessions.json \
+		|| { echo "FAIL: sessions run sent no stamped reads" >&2; exit 1; }
+	rm -f BENCH_cluster_sessions.json
 	PEQUOD_LOAD_QUOTA=2000 timeout 300 dune exec bin/pequod_load.exe -- \
 		--users 10000 --ops 1000000 --workers 2 --homes 2 --computes 1 \
 		--preload-posts 5000 --migrate-mid-run --out BENCH_cluster_migrate.json

@@ -1,16 +1,44 @@
 (* pequod-cli: command-line client for a running pequod-server.
 
-   Examples:
-     pequod_cli.exe put  s|ann|bob 1
-     pequod_cli.exe put  'p|bob|0000000100' 'hello'
+   Keyed commands (get / put / remove / scan / load) speak through a
+   {!Session}: write acks fold their stamp vector into the session and
+   are printed for handoff; reads can demand a vector back with
+   repeatable --at-least flags (read-your-writes across invocations):
+
+     pequod_cli.exe put 'p|bob|0000000100' 'hello'
+       ok
+       stamp p	[p|bob|0000000100,p|bob|0000000100\x00)	7
+     pequod_cli.exe --at-least 'p,p|bob|,p|bob},7' scan 't|ann|' 't|ann}'
+
+   With --directory HOST:PORT the CLI asks the partition directory who
+   owns the command's key and connects there — the same routing surface
+   servers use, following live migrations instead of a hardwired --host.
+
+   Other examples:
      pequod_cli.exe scan 't|ann|' 't|ann}'
-     pequod_cli.exe get  't|ann|0000000100|bob'
      pequod_cli.exe add-join 't|<u>|<t>|<p> = check s|<u>|<p> copy p|<p>|<t>'
      pequod_cli.exe stats        # or: pequod_cli.exe --stats
 *)
 
 module Message = Pequod_proto.Message
 module Net_client = Pequod_server_lib.Net_client
+module Session = Pequod_server_lib.Session
+
+let print_stamps stamps =
+  List.iter
+    (fun (table, lo, hi, s) -> Printf.printf "stamp %s\t[%s,%s)\t%d\n" table lo hi s)
+    stamps
+
+(* [Stale] is a retryable, typed condition, not a generic failure:
+   give scripts a distinct status (generic errors exit 1, usage 124+) *)
+let stale_exit_code = 4
+
+let stale_exit unmet =
+  List.iter
+    (fun (table, lo, hi, s) ->
+      Printf.eprintf "stale: %s [%s,%s) still below %d\n" table lo hi s)
+    unmet;
+  exit stale_exit_code
 
 (* all traffic goes through the typed client: connection management,
    the protocol handshake, timeouts, and retries live there, not here *)
@@ -24,13 +52,78 @@ let with_client ~host ~port f =
         Printf.eprintf "error: %s\n" msg;
         exit 1)
 
+let split_addr addr =
+  match String.rindex_opt addr ':' with
+  | Some i ->
+    (try
+       ( String.sub addr 0 i,
+         int_of_string (String.sub addr (i + 1) (String.length addr - i - 1)) )
+     with Failure _ ->
+       Printf.eprintf "error: bad address %s (want HOST:PORT)\n" addr;
+       exit 2)
+  | None ->
+    Printf.eprintf "error: bad address %s (want HOST:PORT)\n" addr;
+    exit 2
+
+let table_of_key key =
+  match String.index_opt key '|' with Some i -> String.sub key 0 i | None -> key
+
+(* --directory: ask the partition directory who owns [key] and connect
+   there. Wildcard entries partition every table in component space
+   (the part of the key after "T|"), mirroring the route semantics in
+   [Remote]. Falls back to --host/--port when no entry covers the key. *)
+let resolve_home ~host ~port directory key =
+  match directory with
+  | None -> (host, port)
+  | Some addr ->
+    let dhost, dport = split_addr addr in
+    with_client ~host:dhost ~port:dport (fun c ->
+        match Net_client.call c Message.Dir_get with
+        | Message.Dir_state { entries; _ } ->
+          let table = table_of_key key in
+          let component =
+            match String.index_opt key '|' with
+            | Some i -> String.sub key (i + 1) (String.length key - i - 1)
+            | None -> ""
+          in
+          let covers (e : Message.dir_entry) =
+            if String.equal e.de_table "*" then
+              String.compare e.de_lo component <= 0
+              && (e.de_hi = "" || String.compare component e.de_hi < 0)
+            else
+              String.equal e.de_table table
+              && String.compare e.de_lo key <= 0
+              && String.compare key e.de_hi < 0
+          in
+          (match List.find_opt covers entries with
+          | Some e -> split_addr e.de_home
+          | None -> (host, port))
+        | Message.Error msg ->
+          Printf.eprintf "error: directory: %s\n" msg;
+          exit 1
+        | _ -> (host, port))
+
+(* keyed commands run in a session: --at-least entries seed the demand
+   vector, write acks grow it, and [Stale] becomes a typed failure *)
+let with_session ~host ~port ~directory ~at_least ~key f =
+  let host, port = resolve_home ~host ~port directory key in
+  with_client ~host ~port (fun client ->
+      let session = Session.create client in
+      Session.with_at_least session at_least;
+      try f session with Session.Stale unmet -> stale_exit unmet)
+
 let print_response = function
   | Message.Done -> print_endline "ok"
   | Message.Value None -> print_endline "(nil)"
   | Message.Value (Some v) -> print_endline v
-  | Message.Pairs pairs | Message.Subscribed pairs ->
+  | Message.Pairs pairs | Message.Subscribed { pairs; _ } ->
     List.iter (fun (k, v) -> Printf.printf "%s\t%s\n" k v) pairs;
     Printf.printf "(%d pairs)\n" (List.length pairs)
+  | Message.Stamps stamps ->
+    (* v3 write ack: the stamp vector for the written keys *)
+    print_endline "ok";
+    print_stamps stamps
+  | Message.Stale unmet -> stale_exit unmet
   | Message.Welcome { version } -> Printf.printf "protocol v%d\n" version
   | Message.Sub_ranges ranges ->
     List.iter (fun (table, lo, hi) -> Printf.printf "%s\t%s\t%s\n" table lo hi) ranges;
@@ -77,6 +170,41 @@ let host =
 
 let port = Arg.(value & opt int 7077 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Server port.")
 
+let directory =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "directory" ] ~docv:"HOST:PORT"
+        ~doc:
+          "Partition directory to consult: the command's key is routed to the home the \
+           directory names, following live migrations (falls back to --host/--port when \
+           no entry covers the key).")
+
+(* TABLE,LO,HI,STAMP — the printed `stamp` lines of an earlier write,
+   handed back as a freshness demand *)
+let at_least_conv =
+  let parse s =
+    match String.split_on_char ',' s with
+    | [ table; lo; hi; stamp ] -> (
+      match int_of_string_opt stamp with
+      | Some n when n > 0 -> Ok (table, lo, hi, n)
+      | _ -> Error (`Msg ("bad stamp in --at-least: " ^ s)))
+    | _ -> Error (`Msg ("--at-least wants TABLE,LO,HI,STAMP, got: " ^ s))
+  in
+  let print ppf (table, lo, hi, s) = Format.fprintf ppf "%s,%s,%s,%d" table lo hi s in
+  Arg.conv (parse, print)
+
+let at_least =
+  Arg.(
+    value
+    & opt_all at_least_conv []
+    & info [ "at-least" ] ~docv:"TABLE,LO,HI,STAMP"
+        ~doc:
+          "Demand the server's copy of [LO,HI) in TABLE be at version STAMP or newer \
+           before answering (repeatable). Pass the $(b,stamp) lines an earlier write \
+           printed; the read waits, refetches, or fails $(b,stale) — it never silently \
+           answers older data.")
+
 let run_command host port req =
   with_client ~host ~port (fun client -> print_response (Net_client.call client req));
   0
@@ -86,27 +214,47 @@ let key_arg n doc = Arg.(required & pos n (some string) None & info [] ~docv:"KE
 let get_cmd =
   Cmd.v (Cmd.info "get" ~doc:"Fetch one key (computing joins if needed)")
     Term.(
-      const (fun host port key -> run_command host port (Message.Get key))
-      $ host $ port $ key_arg 0 "Key to fetch.")
+      const (fun host port directory at_least key ->
+          with_session ~host ~port ~directory ~at_least ~key (fun session ->
+              match Session.get session key with
+              | None -> print_endline "(nil)"
+              | Some v -> print_endline v);
+          0)
+      $ host $ port $ directory $ at_least $ key_arg 0 "Key to fetch.")
 
 let put_cmd =
   Cmd.v (Cmd.info "put" ~doc:"Store a key-value pair")
     Term.(
-      const (fun host port key value -> run_command host port (Message.Put (key, value)))
-      $ host $ port $ key_arg 0 "Key to store."
+      const (fun host port directory key value ->
+          with_session ~host ~port ~directory ~at_least:[] ~key (fun session ->
+              Session.put session key value;
+              print_endline "ok";
+              print_stamps (Session.stamp session));
+          0)
+      $ host $ port $ directory $ key_arg 0 "Key to store."
       $ Arg.(required & pos 1 (some string) None & info [] ~docv:"VALUE" ~doc:"Value."))
 
 let remove_cmd =
   Cmd.v (Cmd.info "remove" ~doc:"Remove a key")
     Term.(
-      const (fun host port key -> run_command host port (Message.Remove key))
-      $ host $ port $ key_arg 0 "Key to remove.")
+      const (fun host port directory key ->
+          with_session ~host ~port ~directory ~at_least:[] ~key (fun session ->
+              Session.remove session key;
+              print_endline "ok";
+              print_stamps (Session.stamp session));
+          0)
+      $ host $ port $ directory $ key_arg 0 "Key to remove.")
 
 let scan_cmd =
   Cmd.v (Cmd.info "scan" ~doc:"Ordered scan of [LO, HI)")
     Term.(
-      const (fun host port lo hi -> run_command host port (Message.Scan { lo; hi }))
-      $ host $ port
+      const (fun host port directory at_least lo hi ->
+          with_session ~host ~port ~directory ~at_least ~key:lo (fun session ->
+              let pairs = Session.scan session ~lo ~hi in
+              List.iter (fun (k, v) -> Printf.printf "%s\t%s\n" k v) pairs;
+              Printf.printf "(%d pairs)\n" (List.length pairs));
+          0)
+      $ host $ port $ directory $ at_least
       $ Arg.(required & pos 0 (some string) None & info [] ~docv:"LO" ~doc:"Range start.")
       $ Arg.(required & pos 1 (some string) None & info [] ~docv:"HI" ~doc:"Range end (exclusive)."))
 
@@ -123,8 +271,9 @@ let stats_cmd =
 
 (* Bulk load: KEY<TAB>VALUE lines, framed as Put_batch chunks so the
    server pays its per-batch costs (sort, stab, fsync) once per chunk
-   instead of once per key. *)
-let run_load host port path batch =
+   instead of once per key. The final stamp vector covers every chunk —
+   hand it to a later stamped read to observe the whole load. *)
+let run_load host port directory path batch =
   if batch < 1 then begin
     prerr_endline "pequod-cli: --batch must be at least 1";
     exit 2
@@ -133,22 +282,15 @@ let run_load host port path batch =
   Fun.protect
     ~finally:(fun () -> if path <> "-" then close_in ic)
     (fun () ->
-      with_client ~host ~port (fun client ->
+      with_session ~host ~port ~directory ~at_least:[] ~key:"" (fun session ->
           let total = ref 0 and batches = ref 0 in
           let send = function
             | [] -> ()
-            | rev_pairs -> (
+            | rev_pairs ->
               let pairs = List.rev rev_pairs in
-              match Net_client.call client (Message.Put_batch pairs) with
-              | Message.Done ->
-                total := !total + List.length pairs;
-                incr batches
-              | Message.Error msg ->
-                Printf.eprintf "error: %s\n" msg;
-                exit 1
-              | _ ->
-                prerr_endline "error: unexpected response to Put_batch";
-                exit 1)
+              Session.put_batch session pairs;
+              total := !total + List.length pairs;
+              incr batches
           in
           let pending = ref [] and n = ref 0 in
           (try
@@ -171,7 +313,8 @@ let run_load host port path batch =
            with End_of_file -> ());
           send !pending;
           Printf.printf "loaded %d pairs in %d batches\n" !total !batches;
-          0))
+          print_stamps (Session.stamp session));
+      0)
 
 let batch_size =
   Arg.(
@@ -183,7 +326,7 @@ let load_cmd =
     (Cmd.info "load"
        ~doc:"Bulk-load KEY<TAB>VALUE lines from FILE (or stdin) using batched writes")
     Term.(
-      const run_load $ host $ port
+      const run_load $ host $ port $ directory
       $ Arg.(
           value & pos 0 string "-"
           & info [] ~docv:"FILE" ~doc:"Input file of KEY<TAB>VALUE lines; - reads stdin.")
@@ -193,16 +336,16 @@ let load_cmd =
    shorthands for the subcommands *)
 let default_term =
   Term.(
-    const (fun host port stats load batch ->
+    const (fun host port directory stats load batch ->
         match load with
-        | Some path -> run_load host port path batch
+        | Some path -> run_load host port directory path batch
         | None ->
           if stats then run_command host port Message.Stats_full
           else begin
             prerr_endline "pequod-cli: missing command (try --help or --stats)";
             2
           end)
-    $ host $ port
+    $ host $ port $ directory
     $ Arg.(value & flag & info [ "stats" ] ~doc:"Print the server's full metrics registry and exit.")
     $ Arg.(
         value & opt (some string) None

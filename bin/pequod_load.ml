@@ -121,6 +121,16 @@ let migrate_mid_run =
            probing read latency of the moving range before/during/after the handoff. \
            Needs $(b,--homes) >= 2; incompatible with $(b,--shards).")
 
+let sessions =
+  Arg.(
+    value & flag
+    & info [ "sessions" ]
+        ~doc:
+          "Thread a session stamp vector through every worker: write acks accumulate and \
+           reads demand them (read-your-writes). $(b,derived.stale_read_rate) in the \
+           result JSON must come out 0; without this flag it measures whatever staleness \
+           subscription-push lag produces.")
+
 let memory_limit =
   Arg.(
     value
@@ -142,7 +152,7 @@ let server_exe =
         ~doc:"pequod_server binary (default: found beside this binary or in _build).")
 
 let run users ops workers homes computes shards avg_follows active rate window login_window
-    seed preload_posts memory_limit migrate_mid_run out server_exe =
+    seed preload_posts memory_limit migrate_mid_run sessions out server_exe =
   if users < 1 then `Error (false, "--users must be positive")
   else if workers < 1 then `Error (false, "--workers must be positive")
   else if homes < 1 || computes < 1 then
@@ -157,8 +167,8 @@ let run users ops workers homes computes shards avg_follows active rate window l
   else
     let cfg =
       { Coord.users; ops; workers; homes; computes; shards; avg_follows; active; rate;
-        window; login_window; seed; preload_posts; memory_limit; migrate_mid_run; out;
-        server_exe }
+        window; login_window; seed; preload_posts; memory_limit; migrate_mid_run;
+        sessions; out; server_exe }
     in
     `Ok (Coord.run cfg)
 
@@ -170,6 +180,6 @@ let cmd =
       ret
         (const run $ users $ ops $ workers $ homes $ computes $ shards $ avg_follows
        $ active $ rate $ window $ login_window $ seed $ preload_posts $ memory_limit
-       $ migrate_mid_run $ out $ server_exe))
+       $ migrate_mid_run $ sessions $ out $ server_exe))
 
 let () = exit (Cmd.eval' cmd)

@@ -332,9 +332,10 @@ let main port joins memory_limit data_dir sync sync_interval snapshot_every wal_
         Option.iter (initial_dir_fetch dir) directory;
         Net_server.set_directory t ?seed:directory ~hot_threshold ~dir ~self_addr ();
         let tick =
-          Remote.attach_directory ~check_every:sub_check_every
-            ~poll_every:dir_poll_every ~on_wait:(Net_server.on_wait t) ?seed:directory
-            ~engine:(Net_server.engine t) ~self_addr ~dir ()
+          Remote.attach
+            (Remote.Config.make ~check_every:sub_check_every
+               ~on_wait:(Net_server.on_wait t) ~engine:(Net_server.engine t) ~self_addr
+               (Remote.Config.directory ~poll_every:dir_poll_every ?seed:directory dir))
         in
         Net_server.add_ticker t tick;
         Logs.app (fun m ->
@@ -366,8 +367,9 @@ let main port joins memory_limit data_dir sync sync_interval snapshot_every wal_
     | t ->
       let self_addr = Printf.sprintf "%s:%d" advertise (Net_server.port t) in
       let heal =
-        Remote.attach ~check_every:sub_check_every ~server:t
-          ~engine:(Net_server.engine t) ~self_addr ~routes ()
+        Remote.attach
+          (Remote.Config.make ~check_every:sub_check_every ~server:t
+             ~engine:(Net_server.engine t) ~self_addr (Remote.Config.Static routes))
       in
       Net_server.add_ticker t heal;
       Logs.app (fun m ->

@@ -66,7 +66,11 @@ let make ~interleaved ?config ?(deployment = In_process) () =
     | Separate_process -> Meter.create_forked ~serve:(serve ()) ()
   in
   let rpc req = Message.decode_response (Meter.call meter (Message.encode_request req)) in
-  let put k v = match rpc (Message.Put (k, v)) with Message.Done -> () | _ -> assert false in
+  let put k v =
+    match rpc (Message.Put (k, v)) with
+    | Message.Done | Message.Stamps _ -> ()
+    | _ -> assert false
+  in
   let get k = match rpc (Message.Get k) with Message.Value v -> v | _ -> assert false in
   let scan lo hi =
     match rpc (Message.Scan { lo; hi }) with Message.Pairs p -> p | _ -> assert false

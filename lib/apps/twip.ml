@@ -104,7 +104,9 @@ let engine_backend ~name ~meter ~subscribe ~bulk_subscribe ~post ~timeline =
 let rpc meter req = Message.decode_response (Meter.call meter (Message.encode_request req))
 
 let put_rpc meter k v =
-  match rpc meter (Message.Put (k, v)) with Message.Done -> () | _ -> assert false
+  match rpc meter (Message.Put (k, v)) with
+  | Message.Done | Message.Stamps _ -> ()
+  | _ -> assert false
 
 let scan_rpc meter lo hi =
   match rpc meter (Message.Scan { lo; hi }) with Message.Pairs p -> p | _ -> assert false

@@ -98,6 +98,13 @@ type tbl_meta = {
      is cache state, refetchable, and must NOT survive a restart — a
      recovered range without its subscription would serve frozen data *)
   mutable owned : unit Range_map.t option;
+  (* per-range version stamps (session consistency, docs/SESSIONS.md):
+     on ranges this server is authoritative for, a counter bumped once
+     per public mutation; on fetched ranges, the owner's stamp as
+     recorded from [Subscribed] snapshots and [Notify] push trailers.
+     One map serves both roles — a migration flips a range from fetched
+     to owned and the counter continues where the feed left it *)
+  mutable stamps : int Range_map.t option;
   (* bumped whenever an entry enters or leaves [updaters]: put_batch
      prefetches one overlap list per key run and must notice when firing
      an updater installs or retracts entries mid-run *)
@@ -256,6 +263,7 @@ let meta t name =
               combine_index = Hashtbl.create 64;
               present = None;
               owned = None;
+              stamps = None;
               gen = 0 }
     in
     Hashtbl.add t.meta name m;
@@ -1065,15 +1073,191 @@ and evict_cover t c =
   Range_map.clear_range m.status ~lo:c.co_lo ~hi:c.co_hi
 
 (* ------------------------------------------------------------------ *)
+(* Per-range version stamps (session consistency, docs/SESSIONS.md)    *)
+
+let stamps_map m =
+  match m.stamps with
+  | Some s -> s
+  | None ->
+    let s = Range_map.create () in
+    m.stamps <- Some s;
+    s
+
+(* highest stamp recorded anywhere in [lo, hi); 0 when none *)
+let stamp_over m ~lo ~hi =
+  match m.stamps with
+  | None -> 0
+  | Some s ->
+    List.fold_left (fun acc (_, _, v) -> max acc v) 0 (Range_map.overlapping s ~lo ~hi)
+
+(* lowest stamp over [lo, hi), counting unrecorded gaps as 0 *)
+let stamp_floor m ~lo ~hi =
+  match m.stamps with
+  | None -> 0
+  | Some s ->
+    let got = ref max_int in
+    Range_map.iter_cover s ~lo ~hi (fun _ _ sv ->
+        got := min !got (match sv with Some v -> v | None -> 0));
+    if !got = max_int then 0 else !got
+
+let owned_piece_of m key =
+  match m.owned with
+  | None -> None
+  | Some o -> (
+    match Range_map.find o key with Some (lo, hi, ()) -> Some (lo, hi) | None -> None)
+
+(* Bump the version stamp of every owned piece containing one of [keys]
+   (all in table [tname]), once per piece per public mutation. A table no
+   partition layer governs ([present = None]) is implicitly owned whole:
+   a standalone or flag-mode home server is authoritative for everything
+   it stores. Nothing reaches the durability hook — WAL replay re-runs
+   the same public mutations in order and reproduces the stamps. *)
+let bump_stamps t tname keys =
+  let m = meta t tname in
+  match m.present with
+  | None ->
+    let lo = tname ^ "|" and hi = tname ^ "}" in
+    Range_map.set (stamps_map m) ~lo ~hi (stamp_over m ~lo ~hi + 1)
+  | Some _ ->
+    let seen = ref [] in
+    List.iter
+      (fun key ->
+        match owned_piece_of m key with
+        | None -> () (* not authoritative here: no stamp to offer *)
+        | Some (lo, hi) ->
+          if not (List.mem (lo, hi) !seen) then begin
+            seen := (lo, hi) :: !seen;
+            Range_map.set (stamps_map m) ~lo ~hi (stamp_over m ~lo ~hi + 1)
+          end)
+      keys
+
+(** The stamp vector acknowledging a write of [keys]: one
+    [(table, lo, hi, stamp)] entry per written key, clamped to the key
+    itself — a demand built from it can only ever gate the keys the
+    session actually wrote, never unrelated ranges that happen to share
+    an owned piece (or another home's slice of the same table). Keys this
+    server is not authoritative for yield no entry. *)
+let stamps_for_keys t keys =
+  List.filter_map
+    (fun key ->
+      let tname = Store.table_name_of key in
+      match Hashtbl.find_opt t.meta tname with
+      | None -> None
+      | Some m ->
+        let authoritative =
+          match m.present with None -> true | Some _ -> owned_piece_of m key <> None
+        in
+        if not authoritative then None
+        else
+          let hi = Strkey.key_after key in
+          (match stamp_over m ~lo:key ~hi with
+          | 0 -> None
+          | s -> Some (tname, key, hi, s)))
+    keys
+
+(** Record that this server's copy of [\[lo, hi)] reflects the owner's
+    version [stamp] (a [Subscribed] snapshot or a [Notify] push trailer).
+    Monotone: only ever raises recorded stamps. Fetched freshness is
+    cache state, like fetched presence — nothing reaches the durability
+    hook; the restore path reuses this entry point because raising from
+    zero is exact. *)
+let set_range_stamp t ~table ~lo ~hi stamp =
+  if stamp > 0 && String.compare lo hi < 0 then begin
+    let m = meta t table in
+    let s = stamps_map m in
+    Range_map.update_range s ~lo ~hi (fun _ _ v ->
+        match v with Some v when v >= stamp -> Some v | _ -> Some stamp);
+    Range_map.coalesce s ~lo ~hi ~eq:Int.equal
+  end
+
+(** The stamp a [Fetch]/[Subscribed] answer carries for [\[lo, hi)]: the
+    lowest stamp over the range — conservative when the clamp spans
+    pieces at different versions (a too-low stamp causes at worst a
+    spurious refetch, never a stale read). *)
+let range_stamp t ~table ~lo ~hi =
+  match Hashtbl.find_opt t.meta table with
+  | None -> 0
+  | Some m -> stamp_floor m ~lo ~hi
+
+(** The sub-ranges of [demands] ([(table, lo, hi, min_stamp)] entries)
+    whose local copy is present but too old: fetched pieces whose
+    recorded stamp is below the demand. Owned and ungoverned pieces
+    satisfy any demand (this server is the authority that produced every
+    stamp a client can hold for them), and so do absent pieces (the
+    scan's resolver fetches a fresh copy, at least as new as any acked
+    stamp). An empty result means a scan served now meets the demand. *)
+let stamp_unsatisfied t demands =
+  let acc = ref [] in
+  List.iter
+    (fun (table, dlo, dhi, want) ->
+      if want > 0 then
+        match Hashtbl.find_opt t.meta table with
+        | None -> () (* nothing resident: any needed fetch serves fresh data *)
+        | Some { present = None; _ } -> () (* ungoverned: authoritative *)
+        | Some m -> (
+          match m.present with
+          | None -> ()
+          | Some p ->
+            Range_map.iter_cover p ~lo:dlo ~hi:dhi (fun plo phi c ->
+                let owned =
+                  match owned_piece_of m plo with
+                  | Some (_, ohi) -> String.compare phi ohi <= 0
+                  | None -> false
+                in
+                if not owned then
+                  match c with
+                  | None ->
+                    (* a gap in a governed table: the server holds no
+                       copy, so it cannot prove the demanded version —
+                       and data *derived* from an earlier copy (a join
+                       output whose source was dropped) may still be
+                       resident and stale. Only an actual refetch, which
+                       re-records the owner's stamp, discharges this. *)
+                    acc := (table, plo, phi, want) :: !acc
+                  | Some _ ->
+                    if stamp_floor m ~lo:plo ~hi:phi < want then
+                      acc := (table, plo, phi, want) :: !acc)))
+    demands;
+  List.rev !acc
+
+(** Authoritative stamps to persist in a snapshot: owned pieces, plus the
+    whole-table stamps of ungoverned tables. Recorded fetched stamps are
+    cache state and deliberately excluded — the refetch after recovery
+    re-records them against live data. *)
+let stamp_ranges t =
+  let acc = ref [] in
+  Hashtbl.iter
+    (fun name m ->
+      match m.stamps with
+      | None -> ()
+      | Some s -> (
+        match m.present with
+        | None ->
+          Range_map.iter s (fun lo hi v -> if v > 0 then acc := (name, lo, hi, v) :: !acc)
+        | Some _ -> (
+          match m.owned with
+          | None -> ()
+          | Some o ->
+            Range_map.iter o (fun olo ohi () ->
+                Range_map.iter_cover s ~lo:olo ~hi:ohi (fun lo hi sv ->
+                    match sv with
+                    | Some v when v > 0 -> acc := (name, lo, hi, v) :: !acc
+                    | _ -> ())))))
+    t.meta;
+  List.sort compare !acc
+
+(* ------------------------------------------------------------------ *)
 (* Client operations                                                   *)
 
 let put t key value =
   ignore (apply_put t key value);
+  bump_stamps t (Store.table_name_of key) [ key ];
   maybe_evict t;
   emit t (M_put (key, value))
 
 let remove t key =
   apply_remove t key;
+  bump_stamps t (Store.table_name_of key) [ key ];
   emit t (M_remove key)
 
 (* One contiguous run of a batch: every key lives in table [tname],
@@ -1177,6 +1361,7 @@ let put_batch t pairs =
         let tname = Store.table_name_of k in
         let run, rest = split_run tname [] l in
         apply_batch_run t tname run;
+        bump_stamps t tname (List.map fst run);
         by_table rest
     in
     by_table sorted;
@@ -1483,6 +1668,7 @@ let check_invariants t =
       Range_map.validate m.status;
       Interval_map.validate m.updaters;
       (match m.present with Some p -> Range_map.validate p | None -> ());
+      (match m.stamps with Some s -> Range_map.validate s | None -> ());
       match m.owned with Some o -> Range_map.validate o | None -> ())
     t.meta;
   Hashtbl.iter (fun _ cm -> Range_map.validate cm) t.covers;

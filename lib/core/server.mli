@@ -140,6 +140,46 @@ val mark_present : t -> table:string -> lo:string -> hi:string -> unit
     subscription the home dropped. *)
 val unmark_present : t -> table:string -> lo:string -> hi:string -> unit
 
+(** {2 Per-range version stamps (session consistency)}
+
+    Every range this server is authoritative for — an owned piece, or
+    any range of a table no partition layer governs — carries a version
+    stamp bumped once per public mutation ({!put}, {!remove},
+    {!put_batch}). Fetched copies record the owner's stamp from
+    [Subscribed] snapshots and [Notify] push trailers. Stamps of
+    authoritative ranges persist through snapshots (and reproduce under
+    WAL replay, which re-runs the same mutations); recorded fetched
+    stamps are cache state and do not survive. See docs/SESSIONS.md. *)
+
+(** Stamp vector acknowledging a write of [keys]: one
+    [(table, lo, hi, stamp)] entry per key this server is authoritative
+    for, clamped to the key itself. *)
+val stamps_for_keys : t -> string list -> (string * string * string * int) list
+
+(** Record that the local copy of [\[lo, hi)] reflects the owner's
+    version [stamp]. Monotone (only raises); also the snapshot-restore
+    entry point. *)
+val set_range_stamp : t -> table:string -> lo:string -> hi:string -> int -> unit
+
+(** The stamp a [Fetch]/[Subscribed] answer carries for [\[lo, hi)]: the
+    lowest stamp over the range (conservative across pieces), 0 when
+    nothing was ever stamped. *)
+val range_stamp : t -> table:string -> lo:string -> hi:string -> int
+
+(** The sub-ranges of [demands] this server cannot prove are at the
+    demanded stamp: fetched pieces a push has not yet caught up, and
+    gaps in a governed table (no copy means no proof — derived data
+    computed from a dropped copy may still be resident). Owned pieces
+    and ungoverned tables satisfy any demand (authority), as do tables
+    with nothing resident at all. Empty: a scan served now meets the
+    demand. *)
+val stamp_unsatisfied :
+  t -> (string * string * string * int) list -> (string * string * string * int) list
+
+(** Authoritative stamps for snapshot writers, sorted: owned pieces plus
+    whole-table stamps of ungoverned tables. *)
+val stamp_ranges : t -> (string * string * string * int) list
+
 (** Approximate resident bytes: keys, nodes, values (§4.3-aware). *)
 val memory_bytes : t -> int
 

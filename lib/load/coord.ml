@@ -47,6 +47,11 @@ type config = {
       (** spawn the cluster directory-routed and live-migrate home 0's
           [p] slice to home 1 mid-run, probing read latency through the
           handoff (needs [homes >= 2], incompatible with [shards]) *)
+  sessions : bool;
+      (** workers thread a {!Session} stamp vector: reads demand the
+          worker's accumulated write stamps ([derived.stale_read_rate]
+          must come out 0; the unstamped baseline measures whatever
+          push lag produces) *)
   out : string;
   server_exe : string option;
 }
@@ -55,7 +60,7 @@ let default =
   { users = 1_000_000; ops = 1_000_000; workers = 4; homes = 2; computes = 2; shards = 0;
     avg_follows = 8; active = 0.7; rate = 0.0; window = 16; login_window = 1_000;
     seed = 42; preload_posts = 0; memory_limit = None; migrate_mid_run = false;
-    out = "BENCH_cluster.json"; server_exe = None }
+    sessions = false; out = "BENCH_cluster.json"; server_exe = None }
 
 let quota_env = "PEQUOD_LOAD_QUOTA"
 
@@ -92,7 +97,7 @@ let preload cfg ~(topo : Spawn.topology) ~graph =
   let flush h =
     if counts.(h) > 0 then begin
       (match Net_client.call clients.(h) (Message.Put_batch (List.rev pending.(h))) with
-      | Message.Done -> ()
+      | Message.Done | Message.Stamps _ -> ()
       | Message.Error msg -> failwith ("preload put_batch failed: " ^ msg)
       | _ -> failwith "preload: unexpected put_batch response");
       total := !total + counts.(h);
@@ -136,7 +141,8 @@ let fork_workers cfg ~ops ~topo ~graph =
       let wcfg =
         { Driver.w_index = i; w_nworkers = cfg.workers; w_seed = cfg.seed; w_quota = quota;
           w_rate = cfg.rate /. float_of_int cfg.workers; w_window = cfg.window;
-          w_login_window = cfg.login_window; w_active = cfg.active }
+          w_login_window = cfg.login_window; w_active = cfg.active;
+          w_sessions = cfg.sessions }
       in
       let r, w = Unix.pipe () in
       match Unix.fork () with
@@ -359,6 +365,9 @@ type pass = {
   ps_sub_lost : int;
   ps_scan_parked : int;  (* scans parked on missing ranges (async read path) *)
   ps_fetch_coalesced : int;  (* fetches shared by single-flight coalescing *)
+  ps_session_reads : int;  (* server-side stamped reads served *)
+  ps_stale_waits : int;  (* reads that had to wait/heal for a demanded stamp *)
+  ps_stale_errors : int;  (* reads that hit the Stale deadline *)
   (* pooled resolver.fetch.wait_ns: count, ~p50, ~p95, ~p99 (ns) *)
   ps_fetch_wait : (int * float * float * float) option;
   ps_share : float;
@@ -452,6 +461,9 @@ let run_pass cfg ~graph ~ops ~shards =
         ps_sub_lost = counter_value metrics "peer.sub.lost";
         ps_scan_parked = counter_value metrics "scan.parked";
         ps_fetch_coalesced = counter_value metrics "fetch.coalesced";
+        ps_session_reads = counter_value metrics "session.reads";
+        ps_stale_waits = counter_value metrics "session.stale_waits";
+        ps_stale_errors = counter_value metrics "session.stale_errors";
         ps_fetch_wait = hist_pooled metrics "resolver.fetch.wait_ns"; ps_share = share;
         ps_per_shard_ops = per_shard_ops metrics ~shards; ps_migrate = migrate })
 
@@ -508,9 +520,17 @@ let run cfg =
     | Some (_, p50, p95, p99) -> (p50 /. 1e3, p95 /. 1e3, p99 /. 1e3)
     | None -> (0.0, 0.0, 0.0)
   in
+  (* read-your-writes anomaly rate over the timeline reads that had an
+     acked own-post to validate against (0 when none did); a session
+     run must record exactly 0 *)
+  let stale = Obs.counter_value p.ps_agg "load.stale_reads" in
+  let fresh = Obs.counter_value p.ps_agg "load.fresh_reads" in
+  let stale_read_rate =
+    if stale + fresh = 0 then 0.0 else float_of_int stale /. float_of_int (stale + fresh)
+  in
   let derived =
     [ ("qps", p.ps_qps); ("subscription_share", p.ps_share);
-      ("fetch_per_read", fetch_per_read);
+      ("fetch_per_read", fetch_per_read); ("stale_read_rate", stale_read_rate);
       (* parked-scan fetch wait, microseconds (approximate pooling across
          servers; see [hist_pooled]) *)
       ("fetch_wait_p50_us", fw_p50); ("fetch_wait_p95_us", fw_p95);
@@ -556,7 +576,13 @@ let run cfg =
               ("peer_notify_in", Benchstamp.Int p.ps_notify_in);
               ("peer_sub_lost", Benchstamp.Int p.ps_sub_lost);
               ("scan_parked", Benchstamp.Int p.ps_scan_parked);
-              ("fetch_coalesced", Benchstamp.Int p.ps_fetch_coalesced) ]
+              ("fetch_coalesced", Benchstamp.Int p.ps_fetch_coalesced);
+              ("sessions", Benchstamp.Int (if cfg.sessions then 1 else 0));
+              ("stale_reads", Benchstamp.Int stale);
+              ("fresh_reads", Benchstamp.Int fresh);
+              ("session_reads", Benchstamp.Int p.ps_session_reads);
+              ("session_stale_waits", Benchstamp.Int p.ps_stale_waits);
+              ("session_stale_errors", Benchstamp.Int p.ps_stale_errors) ]
            @
            if cfg.shards > 0 then
              [ ( "per_shard_ops",
@@ -609,6 +635,12 @@ let run cfg =
     "qps %.1f  subscription share %.3f (peer msgs %d / client ops %d)  errors %d\n"
     p.ps_qps p.ps_share peer_msgs total_ops
     (Obs.counter_value p.ps_agg "load.errors");
+  Printf.printf
+    "%s: stale read rate %.4f (%d stale / %d validated; server stamped reads %d, waits \
+     %d, stale errors %d)\n"
+    (if cfg.sessions then "sessions" else "baseline")
+    stale_read_rate stale (stale + fresh) p.ps_session_reads p.ps_stale_waits
+    p.ps_stale_errors;
   (match baseline with
   | Some b when b.ps_qps > 0.0 ->
     Printf.printf "shards=%d qps %.1f vs shards=1 qps %.1f: speedup %.2fx\n" cfg.shards

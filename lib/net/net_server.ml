@@ -105,6 +105,23 @@ type client = {
   mutable alive : bool; (* false once dropped: late park completions discard *)
 }
 
+(* A stamped read ([Get_at]/[Scan_at]) whose demanded versions the local
+   copy does not yet satisfy: parked with an in-order response slot and
+   re-checked once per step. It waits briefly for the subscription push
+   to catch up, then forces a refetch by unmarking the stale pieces,
+   then fails with a typed [Stale] at the deadline — never silently
+   serving old data (docs/SESSIONS.md). *)
+type stamp_wait = {
+  sw_client : client;
+  sw_slot : slot;
+  sw_req : Message.request; (* the original Get_at/Scan_at *)
+  sw_min : Message.stamp_entry list;
+  sw_t0 : int; (* Obs.now_ns at park *)
+  mutable sw_refetched : bool;
+  mutable sw_fetching : bool; (* explicit refetch of the unmet ranges in flight *)
+  mutable sw_fetch_failed : bool; (* refetch failed: owner unreachable, fail [Stale] *)
+}
+
 (* Shard routing, installed by the shard layer (see shard.ml). [rt_call]
    and [rt_post] speak to sibling shard [i] over its own protocol port;
    [rt_stats] aggregates Stats_full across every shard. *)
@@ -232,6 +249,12 @@ type t = {
   externals : (Unix.file_descr, readable:bool -> writable:bool -> unit) Hashtbl.t;
   m_scan_parked : Obs.Counter.t; (* scan.parked *)
   m_fetch_wait : Obs.Histogram.t; (* resolver.fetch.wait_ns *)
+  (* stamped reads parked for freshness, re-checked once per step *)
+  mutable stamp_waits : stamp_wait list;
+  m_session_reads : Obs.Counter.t; (* session.reads *)
+  m_stale_waits : Obs.Counter.t; (* session.stale_waits *)
+  m_stale_errors : Obs.Counter.t; (* session.stale_errors *)
+  m_stamp_wait : Obs.Histogram.t; (* stamp.wait_ns *)
 }
 
 (* placeholder compared by physical equality; see [nested_step] *)
@@ -311,7 +334,12 @@ let create ?config ?metrics_every ?backend ~port ~joins ~memory_limit () =
     fetcher = None;
     externals = Hashtbl.create 4;
     m_scan_parked = Obs.counter obs "scan.parked";
-    m_fetch_wait = Obs.histogram obs "resolver.fetch.wait_ns" }
+    m_fetch_wait = Obs.histogram obs "resolver.fetch.wait_ns";
+    stamp_waits = [];
+    m_session_reads = Obs.counter obs "session.reads";
+    m_stale_waits = Obs.counter obs "session.stale_waits";
+    m_stale_errors = Obs.counter obs "session.stale_errors";
+    m_stamp_wait = Obs.histogram obs "stamp.wait_ns" }
 
 let engine t = t.engine
 let persist t = t.persist
@@ -588,7 +616,37 @@ let flush_notifications t =
       | Some rev_items ->
         Hashtbl.remove t.pending_notify dst;
         let items = List.rev rev_items in
-        (match Net_client.post (peer_client t dst) (Message.Notify_batch items) with
+        (* stamp trailer: once [items] are applied, every subscribed
+           range of [dst] containing one of the pushed keys is current
+           through the stamp recorded here — pushes leave in write order
+           per connection, so the floor over the range at flush time is
+           a sound promise *)
+        let stamps = ref [] in
+        List.iter
+          (fun (key, _) ->
+            let table = Pequod_store.Store.table_name_of key in
+            match Hashtbl.find_opt t.subs table with
+            | None -> ()
+            | Some im ->
+              Interval_map.stab im key (fun h ->
+                  if String.equal (Interval_map.handle_data h) dst then begin
+                    let slo, shi = Interval_map.handle_range h in
+                    if
+                      not
+                        (List.exists
+                           (fun (tb, l, h', _) ->
+                             String.equal tb table && String.equal l slo
+                             && String.equal h' shi)
+                           !stamps)
+                    then
+                      stamps :=
+                        ( table, slo, shi,
+                          Server.range_stamp t.engine ~table ~lo:slo ~hi:shi )
+                        :: !stamps
+                  end))
+          items;
+        let stamps = List.filter (fun (_, _, _, s) -> s > 0) !stamps in
+        (match Net_client.post (peer_client t dst) (Message.Notify_batch { items; stamps }) with
         | () -> Obs.Counter.incr t.m_notify_out
         | exception Net_client.Net_error msg ->
           Log.warn (fun m -> m "dropping subscriber %s: %s" dst msg);
@@ -692,14 +750,17 @@ let read_candidates t key =
           Some (ds, cands))
 
 (* forward a read, falling through the candidate list (a dead or
-   refusing replica costs one hop, not the answer) *)
+   refusing replica costs one hop, not the answer). A [Stale] answer —
+   a replica whose copy has not caught up to a stamped read's demand —
+   also falls through: the home, always last, is authoritative and can
+   never be stale. *)
 let read_forward t ds cands req =
   let rec go = function
     | [] -> Message.Error "no reachable server for the range"
     | [ addr ] -> forward_call t ds addr req
     | addr :: rest -> (
       match forward_call t ds addr req with
-      | Message.Error _ -> go rest
+      | Message.Error _ | Message.Stale _ -> go rest
       | resp -> resp)
   in
   go cands
@@ -724,13 +785,71 @@ let tally_read t key =
       else if List.mem ds.ds_self e.Message.de_replicas then
         Obs.Counter.incr ds.ds_m_replica_reads)
 
+(* clamp a stamp demand vector to one scan segment: only the entries
+   intersecting [lo, hi), each cut down to the intersection *)
+let clamp_min min ~lo ~hi =
+  List.filter_map
+    (fun (table, dlo, dhi, s) ->
+      if String.compare dlo hi < 0 && String.compare lo dhi < 0 then
+        Some
+          ( table,
+            (if String.compare lo dlo < 0 then dlo else lo),
+            (if String.compare dhi hi < 0 then dhi else hi),
+            s )
+      else None)
+    min
+
 (* A directory-routed scan, served piecewise: segments of [lo, hi)
    homed (or replicated) here scan the local engine, segments homed
    elsewhere forward a clamped [Scan] to a replica or the home, gaps the
    directory does not cover (join outputs, un-governed tables) stay
    local. Segments come back in key order, so concatenation is the
-   ordered answer. *)
-let scan_directory t ds ~lo ~hi =
+   ordered answer.
+
+   [min] is a stamped read's demand vector ([] for plain scans): local
+   segments below a demanded stamp heal synchronously — the stale piece
+   is unmarked, so the resolver refetches it from its owner during the
+   local scan — and remote segments forward a clamped [Scan_at] so each
+   candidate enforces the demand on its own copy (a stale replica
+   answers [Stale] and [read_forward] falls through to the home). *)
+(* Synchronously re-establish a demand: drop the unprovable copies,
+   then touch each dropped range through the engine so a blocking
+   resolver refetches it inline and re-records the owner's stamp. The
+   serving read need not scan the ranges it demands (a timeline read
+   demands its sources), so dropping alone is not enough — derived
+   data computed from the dropped copy stays resident and would be
+   served stale. Returns the ranges still unmet afterwards: non-empty
+   means freshness cannot be proven here (deferred resolver, or the
+   owner is unreachable) and the caller must answer the typed [Stale]
+   rather than serve data the push never refreshed. *)
+let heal_demand t unmet min =
+  List.iter
+    (fun (table, lo, hi, _) -> Server.unmark_present t.engine ~table ~lo ~hi)
+    unmet;
+  List.iter
+    (fun (_, lo, hi, _) ->
+      match Server.scan_result t.engine ~lo ~hi with
+      | _ -> ()
+      | exception _ -> ())
+    unmet;
+  Server.stamp_unsatisfied t.engine min
+
+let scan_directory t ds ?(min = []) ~lo ~hi () =
+  let still_unmet =
+    match min with
+    | [] -> []
+    | _ -> (
+      match Server.stamp_unsatisfied t.engine min with
+      | [] -> []
+      | unmet ->
+        Obs.Counter.incr t.m_stale_waits;
+        heal_demand t unmet min)
+  in
+  match still_unmet with
+  | _ :: _ as still ->
+    Obs.Counter.incr t.m_stale_errors;
+    Message.Stale still
+  | [] ->
   let table = Pequod_store.Store.table_name_of lo in
   let overlapping =
     List.filter
@@ -766,6 +885,7 @@ let scan_directory t ds ~lo ~hi =
   | [ (None, _, _) ] | [] -> Message.apply_to_server t.engine (Message.Scan { lo; hi })
   | segs ->
     let err = ref None in
+    let stale = ref [] in
     let fail m = if !err = None then err := Some m in
     let parts =
       List.map
@@ -784,8 +904,16 @@ let scan_directory t ds ~lo ~hi =
               fail (Printexc.to_string e);
               [])
           | Some cands -> (
-            match read_forward t ds cands (Message.Scan { lo = slo; hi = shi }) with
+            let seg_req =
+              match clamp_min min ~lo:slo ~hi:shi with
+              | [] -> Message.Scan { lo = slo; hi = shi }
+              | m -> Message.Scan_at { lo = slo; hi = shi; min = m }
+            in
+            match read_forward t ds cands seg_req with
             | Message.Pairs pairs -> pairs
+            | Message.Stale st ->
+              stale := st @ !stale;
+              []
             | Message.Error m ->
               fail m;
               []
@@ -794,9 +922,10 @@ let scan_directory t ds ~lo ~hi =
               []))
         segs
     in
-    (match !err with
-    | Some m -> Message.Error m
-    | None -> Message.Pairs (List.concat parts))
+    (match (!stale, !err) with
+    | _ :: _, _ -> Message.Stale !stale
+    | [], Some m -> Message.Error m
+    | [], None -> Message.Pairs (List.concat parts))
 
 (* start a [Migrate]: validate against the directory, then hand off to
    the per-step pump ([pump_migration]); the requesting connection is
@@ -844,6 +973,17 @@ let missing_error = function
       (Printf.sprintf "missing base range %s[%s,%s): owning peer unreachable" table flo fhi)
   | [] -> Message.Error "missing base range: owning peer unreachable"
 
+(* fill a deferred response slot and flush whatever prefix is ready *)
+let fill_slot t client slot response =
+  let wire = Message.encode_response response in
+  Obs.Counter.add t.m_bytes_out (String.length wire + 4);
+  Obs.Histogram.observe t.m_resp_bytes (String.length wire + 4);
+  slot.sl_wire <- Some wire;
+  if client.alive then begin
+    flush_ready client;
+    flush_output t client
+  end
+
 (* Park a scan whose base ranges are missing: enqueue its in-order
    response slot, hand the full missing set to the fetcher, and retry
    the scan when the fetches land. A retry may surface ranges that were
@@ -852,24 +992,27 @@ let missing_error = function
    budget is spent. The connection stays live throughout: later
    pipelined requests are served (their responses queue behind this
    slot) and other connections never notice — the miss no longer
-   head-of-line blocks the loop. *)
-let park_scan t client ~lo ~hi ranges =
+   head-of-line blocks the loop.
+
+   [slot] reuses an already-enqueued response slot: a stamped read that
+   parked for freshness first and then found ranges missing keeps its
+   pipeline position. *)
+let park_scan ?slot t client ~lo ~hi ranges =
   Obs.Counter.incr t.m_scan_parked;
   let fetcher = match t.fetcher with Some f -> f | None -> assert false in
-  let slot = { sl_wire = None } in
-  Queue.add slot client.pending;
+  let slot =
+    match slot with
+    | Some s -> s
+    | None ->
+      let s = { sl_wire = None } in
+      Queue.add s client.pending;
+      s
+  in
   let t0 = Obs.now_ns () in
   let tries = ref 0 in
   let finish response =
     Obs.Histogram.observe t.m_fetch_wait (Obs.now_ns () - t0);
-    let wire = Message.encode_response response in
-    Obs.Counter.add t.m_bytes_out (String.length wire + 4);
-    Obs.Histogram.observe t.m_resp_bytes (String.length wire + 4);
-    slot.sl_wire <- Some wire;
-    if client.alive then begin
-      flush_ready client;
-      flush_output t client
-    end
+    fill_slot t client slot response
   in
   let rec attempt ranges =
     fetcher ranges (fun ~ok ->
@@ -884,6 +1027,164 @@ let park_scan t client ~lo ~hi ranges =
           | exception e -> finish (Message.Error (Printexc.to_string e)))
   in
   attempt ranges
+
+(* ------------------------------------------------------------------ *)
+(* Parked stamped reads: freshness never blocks the loop either        *)
+
+(* The push normally lands within one event-loop step of the write ack
+   (the owner flushes notifications in the same cycle as the ack), so a
+   short grace is enough; past it a refetch — one fetch round trip — is
+   far cheaper than keeping the reader parked. *)
+let stamp_refetch_after_ns = 5_000_000 (* give the push 5ms to catch up *)
+let stamp_deadline_ns = 2_000_000_000 (* then the read fails [Stale] *)
+
+(* park a stamped read whose demand is not yet satisfied; the per-step
+   pump below re-checks it *)
+let park_stamped t client req ~min =
+  let slot = { sl_wire = None } in
+  Queue.add slot client.pending;
+  t.stamp_waits <-
+    { sw_client = client; sw_slot = slot; sw_req = req; sw_min = min;
+      sw_t0 = Obs.now_ns (); sw_refetched = false; sw_fetching = false;
+      sw_fetch_failed = false }
+    :: t.stamp_waits
+
+(* One pump pass over the parked stamped reads, called once per step:
+   a wait whose demand the subscription push has satisfied is served; a
+   wait older than [stamp_refetch_after_ns] drops its stale pieces so
+   the serve refetches them from their owner; a wait older than
+   [stamp_deadline_ns] fails with the typed [Stale] carrying the unmet
+   sub-ranges. *)
+let pump_stamp_waits t =
+  match t.stamp_waits with
+  | [] -> ()
+  | waits ->
+    t.stamp_waits <- [];
+    let keep = ref [] in
+    List.iter
+      (fun w ->
+        if w.sw_client.alive then begin
+          let serve () =
+            (* serving re-enters the engine (and may park on missing
+               ranges): flag it like any request handler *)
+            let saved = t.in_engine in
+            t.in_engine <- true;
+            Fun.protect ~finally:(fun () -> t.in_engine <- saved) @@ fun () ->
+            Obs.Histogram.observe t.m_stamp_wait (Obs.now_ns () - w.sw_t0);
+            match w.sw_req with
+            | Message.Get_at { key; _ } ->
+              let resp =
+                match Server.get t.engine key with
+                | v -> Message.Value v
+                | exception e -> Message.Error (Printexc.to_string e)
+              in
+              fill_slot t w.sw_client w.sw_slot resp
+            | Message.Scan_at { lo; hi; _ } -> (
+              match Server.scan_result t.engine ~lo ~hi with
+              | `Ok pairs -> fill_slot t w.sw_client w.sw_slot (Message.Pairs pairs)
+              | `Missing ranges when t.fetcher <> None ->
+                park_scan ~slot:w.sw_slot t w.sw_client ~lo ~hi ranges
+              | `Missing missing -> fill_slot t w.sw_client w.sw_slot (missing_error missing)
+              | exception e ->
+                fill_slot t w.sw_client w.sw_slot (Message.Error (Printexc.to_string e)))
+            | _ -> assert false
+          in
+          match Server.stamp_unsatisfied t.engine w.sw_min with
+          | [] -> serve ()
+          | unmet ->
+            let waited = Obs.now_ns () - w.sw_t0 in
+            if waited >= stamp_deadline_ns then begin
+              Obs.Counter.incr t.m_stale_errors;
+              Obs.Histogram.observe t.m_stamp_wait waited;
+              fill_slot t w.sw_client w.sw_slot (Message.Stale unmet)
+            end
+            else begin
+              if waited >= stamp_refetch_after_ns && not w.sw_refetched then begin
+                (* the push is not catching up: drop the stale copies
+                   and fetch them back explicitly. The serve need not
+                   scan the ranges it demands (a timeline read demands
+                   its sources), so dropping alone would let derived
+                   data the push never refreshed be served as fresh —
+                   only a completed refetch, which re-records the
+                   owner's stamp, discharges the demand. *)
+                w.sw_refetched <- true;
+                List.iter
+                  (fun (table, lo, hi, _) -> Server.unmark_present t.engine ~table ~lo ~hi)
+                  unmet;
+                match t.fetcher with
+                | Some fetch ->
+                  w.sw_fetching <- true;
+                  fetch
+                    (List.map (fun (table, lo, hi, _) -> (table, lo, hi)) unmet)
+                    (fun ~ok ->
+                      w.sw_fetching <- false;
+                      if not ok then w.sw_fetch_failed <- true)
+                | None ->
+                  (* blocking resolver: touch each dropped range so it
+                     refetches inline *)
+                  List.iter
+                    (fun (_, lo, hi, _) ->
+                      match Server.scan_result t.engine ~lo ~hi with
+                      | _ -> ()
+                      | exception _ -> ())
+                    unmet
+              end;
+              if w.sw_fetch_failed then begin
+                (* the owner is unreachable: freshness cannot be
+                   re-established, so fail honestly and fast *)
+                Obs.Counter.incr t.m_stale_errors;
+                Obs.Histogram.observe t.m_stamp_wait waited;
+                fill_slot t w.sw_client w.sw_slot (Message.Stale unmet)
+              end
+              else if
+                w.sw_refetched && (not w.sw_fetching)
+                && Server.stamp_unsatisfied t.engine w.sw_min = []
+              then serve ()
+              else keep := w :: !keep
+            end
+        end)
+      waits;
+    t.stamp_waits <- !keep @ t.stamp_waits
+
+(* Serve a stamped read: answer immediately when the demand is already
+   satisfied; otherwise park on the async path (fetcher present), or —
+   on the blocking path — heal synchronously by unmarking the stale
+   pieces so the engine's resolver refetches them inline during the
+   read. *)
+let serve_stamped t client ~may_park req ~min =
+  let answer () =
+    match req with
+    | Message.Get_at { key; _ } -> (
+      match Server.get t.engine key with
+      | v -> Some (Message.Value v)
+      | exception e -> Some (Message.Error (Printexc.to_string e)))
+    | Message.Scan_at { lo; hi; _ } -> (
+      match Server.scan_result t.engine ~lo ~hi with
+      | `Ok pairs -> Some (Message.Pairs pairs)
+      | `Missing ranges ->
+        if t.fetcher <> None && may_park then begin
+          park_scan t client ~lo ~hi ranges;
+          None
+        end
+        else Some (missing_error ranges)
+      | exception e -> Some (Message.Error (Printexc.to_string e)))
+    | _ -> assert false
+  in
+  match Server.stamp_unsatisfied t.engine min with
+  | [] -> answer ()
+  | unmet ->
+    Obs.Counter.incr t.m_stale_waits;
+    if t.fetcher <> None && may_park then begin
+      park_stamped t client req ~min;
+      None
+    end
+    else begin
+      match heal_demand t unmet min with
+      | [] -> answer ()
+      | still ->
+        Obs.Counter.incr t.m_stale_errors;
+        Some (Message.Stale still)
+    end
 
 (* ------------------------------------------------------------------ *)
 (* Request handling                                                    *)
@@ -946,7 +1247,10 @@ and handle_local_engine ~may_park t client req =
       else Some (Interval_map.add im ~lo ~hi subscriber)
     in
     match Server.scan_result t.engine ~lo ~hi with
-    | `Ok pairs -> Some (Message.Subscribed pairs)
+    | `Ok pairs ->
+      (* the stamp this snapshot is current through: the subscriber
+         records it, and session reads demand at least it *)
+      Some (Message.Subscribed { stamp = Server.range_stamp t.engine ~table ~lo ~hi; pairs })
     | `Missing _ ->
       (* this server does not own the range; rescind the subscription *)
       Option.iter (Interval_map.remove (subs_for t table)) handle;
@@ -977,7 +1281,9 @@ and handle_local_engine ~may_park t client req =
     Obs.Counter.incr t.m_notify_in;
     buffer_notify t k None;
     None
-  | Message.Notify_batch items ->
+  | Message.Notify_batch { items; _ } ->
+    (* [apply_to_server] applies the items and records the stamp
+       trailer, so the freshness promise lands with the data *)
     ignore (Message.apply_to_server t.engine req);
     Obs.Counter.incr t.m_notify_in;
     List.iter (fun (k, v) -> buffer_notify t k v) items;
@@ -1005,19 +1311,26 @@ and handle_local_engine ~may_park t client req =
     | groups ->
       let ds = Option.get t.dirst in
       let err = ref None in
+      let vec = ref [] in
       List.iter
         (fun (target, sub) ->
           match target with
           | None ->
-            ignore (Message.apply_to_server t.engine (Message.Put_batch sub));
+            (match Message.apply_to_server t.engine (Message.Put_batch sub) with
+            | Message.Stamps s -> vec := s :: !vec
+            | _ -> ());
             List.iter (fun (k, v) -> buffer_notify t k (Some v)) sub
           | Some dest -> (
             match forward_call t ds dest (Message.Put_batch sub) with
+            | Message.Stamps s -> vec := s :: !vec
             | Message.Done -> ()
             | Message.Error m -> if !err = None then err := Some m
             | _ -> if !err = None then err := Some "unexpected forward response"))
         groups;
-      Some (match !err with None -> Message.Done | Some m -> Message.Error m))
+      Some
+        (match !err with
+        | None -> Message.Stamps (List.concat (List.rev !vec))
+        | Some m -> Message.Error m))
   | Message.Get k -> (
     tally_read t k;
     match read_candidates t k with
@@ -1026,7 +1339,7 @@ and handle_local_engine ~may_park t client req =
   | Message.Scan { lo; hi } -> (
     tally_read t lo;
     match t.dirst with
-    | Some ds when Directory.epoch ds.ds_dir > 0 -> Some (scan_directory t ds ~lo ~hi)
+    | Some ds when Directory.epoch ds.ds_dir > 0 -> Some (scan_directory t ds ~lo ~hi ())
     | _ -> (
       match t.fetcher with
       | Some _ when may_park -> (
@@ -1037,6 +1350,18 @@ and handle_local_engine ~may_park t client req =
           None
         | exception e -> Some (Message.Error (Printexc.to_string e)))
       | _ -> Some (Message.apply_to_server t.engine req)))
+  | Message.Get_at { key; min } -> (
+    Obs.Counter.incr t.m_session_reads;
+    tally_read t key;
+    match read_candidates t key with
+    | Some (ds, cands) -> Some (read_forward t ds cands req)
+    | None -> serve_stamped t client ~may_park req ~min)
+  | Message.Scan_at { lo; hi; min } -> (
+    Obs.Counter.incr t.m_session_reads;
+    tally_read t lo;
+    match t.dirst with
+    | Some ds when Directory.epoch ds.ds_dir > 0 -> Some (scan_directory t ds ~min ~lo ~hi ())
+    | _ -> serve_stamped t client ~may_park req ~min)
   | Message.Dir_get | Message.Dir_watch _ | Message.Dir_update _ -> (
     match t.dirst with
     | None -> Some (Message.Error "no partition directory on this server")
@@ -1067,7 +1392,7 @@ and handle_local_engine ~may_park t client req =
    across shards counts exactly these *)
 let forward_kind = function
   | Message.Get _ | Message.Put _ | Message.Remove _ | Message.Put_batch _
-  | Message.Add_join _ | Message.Scan _ ->
+  | Message.Add_join _ | Message.Scan _ | Message.Get_at _ | Message.Scan_at _ ->
     true
   | _ -> false
 
@@ -1124,7 +1449,8 @@ let dispatch t client req =
     else begin
       Obs.Counter.incr rt.rm_client_ops;
       match req with
-      | Message.Get k | Message.Put (k, _) | Message.Remove k ->
+      | Message.Get k | Message.Put (k, _) | Message.Remove k
+      | Message.Get_at { key = k; _ } ->
         let o = rt.rt_owner k in
         if o = rt.rt_self then handle_local t client req
         else begin
@@ -1144,12 +1470,17 @@ let dispatch t client req =
         end
       | Message.Put_batch pairs ->
         let err = ref None in
+        let vec = ref [] in
         List.iter
           (fun (o, sub) ->
-            if o = rt.rt_self then ignore (handle_local t client (Message.Put_batch sub))
+            if o = rt.rt_self then (
+              match handle_local t client (Message.Put_batch sub) with
+              | Some (Message.Stamps s) -> vec := s :: !vec
+              | _ -> ())
             else begin
               Obs.Counter.incr rt.rm_forward_out;
               match rt.rt_call o (Message.Put_batch sub) with
+              | Message.Stamps s -> vec := s :: !vec
               | Message.Done -> ()
               | Message.Error m -> if !err = None then err := Some m
               | _ -> if !err = None then err := Some "unexpected forward response"
@@ -1160,16 +1491,35 @@ let dispatch t client req =
                   | _ -> ())
             end)
           (split_by_owner rt fst pairs);
-        Some (match !err with None -> Message.Done | Some m -> Message.Error m)
-      | Message.Notify_batch items ->
-        List.iter
-          (fun (o, sub) ->
-            if o = rt.rt_self then ignore (handle_local t client (Message.Notify_batch sub))
-            else
-              try rt.rt_post o (Message.Notify_batch sub)
-              with Net_client.Net_error msg ->
-                Log.warn (fun m -> m "notify forward to shard %d failed: %s" o msg))
-          (split_by_owner rt fst items);
+        Some
+          (match !err with
+          | None -> Message.Stamps (List.concat (List.rev !vec))
+          | Some m -> Message.Error m)
+      | Message.Notify_batch { items; stamps } ->
+        (* items and stamp-trailer entries both split by owning shard;
+           a trailer entry with no items for its owner still travels
+           (as an item-less batch) so the promise is never dropped *)
+        let stamps_for o = List.filter (fun (_, slo, _, _) -> rt.rt_owner slo = o) stamps in
+        let groups = split_by_owner rt fst items in
+        let covered = List.map fst groups in
+        let extra =
+          List.sort_uniq compare
+            (List.filter_map
+               (fun (_, slo, _, _) ->
+                 let o = rt.rt_owner slo in
+                 if List.mem o covered then None else Some o)
+               stamps)
+        in
+        let send o sub =
+          let msg = Message.Notify_batch { items = sub; stamps = stamps_for o } in
+          if o = rt.rt_self then ignore (handle_local t client msg)
+          else
+            try rt.rt_post o msg
+            with Net_client.Net_error msg ->
+              Log.warn (fun m -> m "notify forward to shard %d failed: %s" o msg)
+        in
+        List.iter (fun (o, sub) -> send o sub) groups;
+        List.iter (fun o -> send o []) extra;
         None
       | Message.Add_join _ -> (
         (* install on every shard: each materializes the join for the
@@ -1243,6 +1593,65 @@ let dispatch t client req =
             | Some m -> Some (Message.Error m)
             | None -> Some (Message.Pairs (List.fold_left merge_dedup local remote)))
           | other -> other))
+      | Message.Scan_at { lo; hi; min } -> (
+        (* routed like [Scan]; each shard enforces the demand on its own
+           slice. The scatter's local leg heals synchronously (the merge
+           needs an immediate answer) and siblings answering [Stale]
+           make the whole scan [Stale]. *)
+        match rt.rt_route_scan ~lo ~hi with
+        | Some o ->
+          if o = rt.rt_self then handle_local ~may_park:true t client req
+          else begin
+            Obs.Counter.incr rt.rm_forward_out;
+            match rt.rt_call o req with
+            | resp -> Some resp
+            | exception e -> Some (sibling_error e)
+          end
+        | None -> (
+          let still_unmet =
+            match Server.stamp_unsatisfied t.engine min with
+            | [] -> []
+            | unmet ->
+              Obs.Counter.incr t.m_stale_waits;
+              heal_demand t unmet min
+          in
+          match still_unmet with
+          | _ :: _ as still ->
+            Obs.Counter.incr t.m_stale_errors;
+            Some (Message.Stale still)
+          | [] -> (
+          match handle_local t client (Message.Scan { lo; hi }) with
+          | Some (Message.Pairs local) ->
+            let err = ref None in
+            let stale = ref [] in
+            let remote =
+              List.map
+                (fun o ->
+                  Obs.Counter.incr rt.rm_forward_out;
+                  match rt.rt_call o req with
+                  | Message.Pairs ps -> ps
+                  | Message.Stale st ->
+                    stale := st @ !stale;
+                    []
+                  | Message.Error m ->
+                    if !err = None then err := Some m;
+                    []
+                  | _ ->
+                    if !err = None then err := Some "unexpected scan response";
+                    []
+                  | exception e ->
+                    (if !err = None then
+                       match sibling_error e with
+                       | Message.Error m -> err := Some m
+                       | _ -> ());
+                    [])
+                rt.rt_siblings
+            in
+            (match (!stale, !err) with
+            | _ :: _, _ -> Some (Message.Stale !stale)
+            | [], Some m -> Some (Message.Error m)
+            | [], None -> Some (Message.Pairs (List.fold_left merge_dedup local remote)))
+          | other -> other)))
       | Message.Hello _ | Message.Fetch _ | Message.Sub_check _ ->
         (* fetches and subscription checks are the intra-cluster
            protocol itself: always against this shard's own slice *)
@@ -1424,7 +1833,7 @@ let mig_feed c items =
         | x :: rest -> take (n - 1) (x :: acc) rest
       in
       let batch, rest = take 1024 [] items in
-      (match Net_client.post c (Message.Notify_batch batch) with
+      (match Net_client.post c (Message.Notify_batch { items = batch; stamps = [] }) with
       | () -> ()
       | exception Net_client.Net_error msg -> raise (Mig_fail msg));
       chunks rest
@@ -1471,6 +1880,31 @@ let complete_migration t ds mg =
       drain ()
   in
   drain ();
+  (* hand the range's version stamps over before the flip: the new
+     home's counter must continue where this one stops, or a session's
+     acked stamp could exceed anything the new home ever issues *)
+  (let stamp_trailer =
+     List.filter_map
+       (fun (tb, slo, shi, s) ->
+         if
+           String.equal tb table
+           && String.compare slo hi < 0
+           && String.compare lo shi < 0
+         then
+           Some
+             ( tb,
+               (if String.compare slo lo < 0 then lo else slo),
+               (if String.compare hi shi < 0 then hi else shi),
+               s )
+         else None)
+       (Server.stamp_ranges t.engine)
+   in
+   if stamp_trailer <> [] then
+     match
+       Net_client.post destc (Message.Notify_batch { items = []; stamps = stamp_trailer })
+     with
+     | () -> ()
+     | exception Net_client.Net_error msg -> raise (Mig_fail msg));
   mig_barrier destc;
   (* 2. flip the directory epoch: from this version on the cluster
      routes the range to [dest]. The directory is only ever updated
@@ -1638,6 +2072,11 @@ let rec step ?(timeout = 1.0) t =
     (* a live migration wants the pump back promptly, idle or not *)
     match t.dirst with Some { ds_mig = Some _; _ } -> 0.0 | _ -> timeout
   in
+  let timeout =
+    (* so do parked stamped reads: their refetch/deadline clocks tick
+       even when no frame arrives *)
+    if t.stamp_waits <> [] then Float.min timeout 0.002 else timeout
+  in
   let events = Poller.wait t.poller ~timeout in
   List.iter
     (fun (fd, readable, writable) ->
@@ -1680,6 +2119,7 @@ let rec step ?(timeout = 1.0) t =
   if not nested then begin
     drain_injected t;
     pump_migration t;
+    pump_stamp_waits t;
     Option.iter Persist.tick t.persist;
     List.iter (fun f -> f ()) t.tickers;
     maybe_dump_metrics t

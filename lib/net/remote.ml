@@ -84,14 +84,19 @@ let client_cache ?config ?on_wait obs =
    heartbeat to audit. Shared by the static-route and directory
    resolvers and by the asynchronous fetcher's non-collecting fallback,
    so the protocol exchange lives exactly once. *)
-let fetch_one ~client_for ~tracked ~m_fetch_out ~self_addr ~table ~lo ~hi addr =
+let fetch_one ~engine ~client_for ~tracked ~m_fetch_out ~self_addr ~table ~lo ~hi addr =
   Obs.Counter.incr m_fetch_out;
   match
     Net_client.call (client_for addr)
       (Message.Fetch { table; lo; hi; subscriber = self_addr })
   with
-  | Message.Subscribed pairs ->
+  | Message.Subscribed { stamp; pairs } ->
     Hashtbl.replace tracked (table, lo, hi) addr;
+    (* record the snapshot's version: stamped reads compare their demand
+       against it. Every feed path must go through this — the replica
+       warming path used to skip it, leaving a warmed replica unable to
+       detect (and heal) its own staleness under a stamped read. *)
+    if stamp > 0 then Server.set_range_stamp engine ~table ~lo ~hi stamp;
     Some pairs
   | Message.Error msg ->
     Log.warn (fun m -> m "fetch %s[%s,%s) from %s refused: %s" table lo hi addr msg);
@@ -337,9 +342,10 @@ module Fetcher = struct
       let table, lo, hi = fl.fl_key in
       let ok =
         match Message.decode_response frame with
-        | Message.Subscribed pairs ->
+        | Message.Subscribed { stamp; pairs } ->
           Hashtbl.replace f.f_tracked fl.fl_key peer.p_addr;
           Server.feed_base f.f_engine ~table ~lo ~hi pairs;
+          if stamp > 0 then Server.set_range_stamp f.f_engine ~table ~lo ~hi stamp;
           true
         | Message.Error msg ->
           Log.warn (fun m ->
@@ -495,8 +501,8 @@ module Fetcher = struct
         (List.rev !touched)
 end
 
-let attach_directory ?(check_every = 2.0) ?(poll_every = 1.0) ?client_config ?on_wait
-    ?seed ~engine ~self_addr ~dir () =
+let attach_directory_impl ?(check_every = 2.0) ?(poll_every = 1.0) ?client_config
+    ?on_wait ?seed ~engine ~self_addr ~dir () =
   let obs = Server.obs engine in
   let client_for = client_cache ?config:client_config ?on_wait obs in
   (* a dedicated short-fuse client for the seed poll, so a dead seed
@@ -518,7 +524,7 @@ let attach_directory ?(check_every = 2.0) ?(poll_every = 1.0) ?client_config ?on
      this server — the home is always the fallback *)
   let replicas : (string * string * string, string list) Hashtbl.t = Hashtbl.create 8 in
   let tracked : (string * string * string, string) Hashtbl.t = Hashtbl.create 16 in
-  let fetch_one = fetch_one ~client_for ~tracked ~m_fetch_out ~self_addr in
+  let fetch_one = fetch_one ~engine ~client_for ~tracked ~m_fetch_out ~self_addr in
   (* one clamp's fetch: spread reads over the range's replicas (each
      server starts at a different candidate), fall through to the next
      candidate — the home last — when one refuses or is down *)
@@ -741,8 +747,8 @@ let attach_directory ?(check_every = 2.0) ?(poll_every = 1.0) ?client_config ?on
     end;
     heal now
 
-let attach ?(check_every = 2.0) ?client_config ?on_wait ?(local_tables = fun _ -> false)
-    ?server ~engine ~self_addr ~routes () =
+let attach_static_impl ?(check_every = 2.0) ?client_config ?on_wait
+    ?(local_tables = fun _ -> false) ?server ~engine ~self_addr ~routes () =
   List.iter
     (fun r ->
       match r.r_addr with
@@ -761,7 +767,7 @@ let attach ?(check_every = 2.0) ?client_config ?on_wait ?(local_tables = fun _ -
        that granted them. The healing heartbeat audits this against the
        home's own Sub_check answer. *)
     let tracked : (string * string * string, string) Hashtbl.t = Hashtbl.create 16 in
-    let fetch_one = fetch_one ~client_for ~tracked ~m_fetch_out ~self_addr in
+    let fetch_one = fetch_one ~engine ~client_for ~tracked ~m_fetch_out ~self_addr in
     let async =
       match server with
       | None -> false
@@ -878,3 +884,47 @@ let attach ?(check_every = 2.0) ?client_config ?on_wait ?(local_tables = fun _ -
           by_addr
       end
   end
+
+(* ------------------------------------------------------------------ *)
+(* The single configuration surface: one record, one attach.           *)
+
+module Config = struct
+  type routing =
+    | Static of route list
+    | Directory of { dir : Directory.t; seed : string option; poll_every : float }
+
+  type t = {
+    engine : Server.t;
+    self_addr : string;
+    routing : routing;
+    server : Net_server.t option;
+    check_every : float;
+    client_config : Net_client.config option;
+    on_wait : (unit -> unit) option;
+    local_tables : string -> bool;
+  }
+
+  let make ?(check_every = 2.0) ?client_config ?on_wait
+      ?(local_tables = fun _ -> false) ?server ~engine ~self_addr routing =
+    { engine; self_addr; routing; server; check_every; client_config; on_wait;
+      local_tables }
+
+  let directory ?(poll_every = 1.0) ?seed dir = Directory { dir; seed; poll_every }
+end
+
+let attach (cfg : Config.t) =
+  match cfg.Config.routing with
+  | Config.Static routes ->
+    attach_static_impl ~check_every:cfg.Config.check_every
+      ?client_config:cfg.Config.client_config ?on_wait:cfg.Config.on_wait
+      ~local_tables:cfg.Config.local_tables ?server:cfg.Config.server
+      ~engine:cfg.Config.engine ~self_addr:cfg.Config.self_addr ~routes ()
+  | Config.Directory { dir; seed; poll_every } ->
+    attach_directory_impl ~check_every:cfg.Config.check_every ~poll_every
+      ?client_config:cfg.Config.client_config ?on_wait:cfg.Config.on_wait ?seed
+      ~engine:cfg.Config.engine ~self_addr:cfg.Config.self_addr ~dir ()
+
+(* deprecated wrappers (one PR of grace); new code goes through
+   [Config.make] + [attach] *)
+let attach_routes = attach_static_impl
+let attach_directory = attach_directory_impl

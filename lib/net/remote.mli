@@ -67,25 +67,96 @@ val plan :
 val routes_of_entries :
   self_addr:string -> Pequod_proto.Message.dir_entry list -> route list
 
-(** Directory-mode counterpart of {!attach}: routes come from [dir] (a
-    {!Directory.t} shared with {!Net_server.set_directory}) instead of
-    static specs, and re-plan on every epoch change. Returns the tick to
-    run from the serving event loop ({!Net_server.add_ticker}); each run
-    polls the seed (followers only — [seed = None] means this server
-    {e is} the seed and sees installs directly), applies any new epoch,
-    and heals subscriptions.
+(** The single configuration surface for wiring an engine into the
+    cluster. One record names everything the old
+    [attach]/[attach_directory]/[set_fetcher] sprawl took as scattered
+    optional arguments; {!attach} is the one entry point. *)
+module Config : sig
+  (** Where routes come from: a static [--partition] route list, or a
+      live partition directory (a {!Directory.t} shared with
+      {!Net_server.set_directory}) re-planned on every epoch change.
+      [seed = None] means this server {e is} the seed; [poll_every] is
+      the follower's seed-poll period in seconds. *)
+  type routing =
+    | Static of route list
+    | Directory of { dir : Directory.t; seed : string option; poll_every : float }
 
-    Until the first epoch arrives every range resolves [Deferred] —
-    resolving [Local] would mark it present and freeze it empty. On an
-    epoch change: newly owned ranges are marked present (a migration
-    destination adopts the fed snapshot as authoritative), formerly
-    owned ones un-marked, subscriptions granted by a server the new
-    version no longer names for their range are dropped (the next scan
-    refetches from the current home), and ranges this server now serves
-    as a replica are fetch+subscribed eagerly. Reads of a replicated
-    range spread across the replicas (each server starts at a different
-    candidate) and fall back to the home. Epoch applications set the
-    [dir.epoch] gauge; seed polls count in [dir.fetch]. *)
+  type t = {
+    engine : Pequod_core.Server.t;
+    self_addr : string;  (** this server's advertised host:port *)
+    routing : routing;
+    server : Net_server.t option;
+        (** the {!Net_server.t} serving [engine]: turns on the
+            asynchronous read path (parked scans, batched single-flight
+            fetches). [None]: the blocking resolver. Static routing
+            only. *)
+    check_every : float;  (** [Sub_check] healing period, seconds *)
+    client_config : Net_client.config option;
+        (** per-peer retry/timeout override *)
+    on_wait : (unit -> unit) option;
+        (** threaded into every peer client (see {!Net_client.create})
+            so the owning loop keeps serving while a fetch blocks *)
+    local_tables : string -> bool;
+        (** tables the resolver treats as always-local regardless of
+            routes (the shard layer's join outputs) *)
+  }
+
+  (** Build a config; defaults: [check_every = 2.0], no client-config
+      override, no [on_wait], no always-local tables, blocking
+      resolver. *)
+  val make :
+    ?check_every:float ->
+    ?client_config:Net_client.config ->
+    ?on_wait:(unit -> unit) ->
+    ?local_tables:(string -> bool) ->
+    ?server:Net_server.t ->
+    engine:Pequod_core.Server.t -> self_addr:string -> routing -> t
+
+  (** [directory ?poll_every ?seed dir] — shorthand for the
+      {!Directory} routing case ([poll_every] defaults to 1s). *)
+  val directory : ?poll_every:float -> ?seed:string -> Directory.t -> routing
+end
+
+(** Install the configured routing on the engine and return the
+    maintenance tick — run it from the serving event loop
+    ({!Net_server.add_ticker}). Call once, before serving.
+
+    With {!Config.Static} routes: local routes are marked present;
+    remote routes install a resolver that fetches from the owning peers
+    and subscribes as [self_addr], and the tick heals subscriptions
+    (one [Sub_check] round per [check_every] seconds, counted in
+    [peer.sub.lost]). With [server] set, scans that miss park instead
+    of blocking: the fetch engine issues a parked scan's whole missing
+    set as one pipelined burst per owning peer, single-flighted across
+    waiters ([fetch.coalesced], [fetch.inflight],
+    [resolver.fetch.wait_ns]).
+
+    With {!Config.Directory}: routes come from the directory and
+    re-plan on every epoch change — newly owned ranges are marked
+    present, formerly owned ones un-marked, orphaned subscriptions
+    dropped, replica duty fetch+subscribed eagerly — and the tick also
+    polls the seed ([dir.fetch], [dir.epoch]).
+
+    Every [Subscribed] snapshot's version stamp is recorded against the
+    fed range ({!Pequod_core.Server.set_range_stamp}), so stamped
+    session reads (docs/SESSIONS.md) can tell a fresh copy from a stale
+    one — on replicas exactly as on computes. *)
+val attach : Config.t -> unit -> unit
+
+(** Deprecated pre-{!Config} entry point (static routes); use
+    {!Config.make} + {!attach}. *)
+val attach_routes :
+  ?check_every:float ->
+  ?client_config:Net_client.config ->
+  ?on_wait:(unit -> unit) ->
+  ?local_tables:(string -> bool) ->
+  ?server:Net_server.t ->
+  engine:Pequod_core.Server.t -> self_addr:string -> routes:route list -> unit ->
+  unit -> unit
+  [@@deprecated "use Remote.Config.make + Remote.attach"]
+
+(** Deprecated pre-{!Config} entry point (directory routing); use
+    {!Config.make} + {!attach}. *)
 val attach_directory :
   ?check_every:float ->
   ?poll_every:float ->
@@ -94,44 +165,4 @@ val attach_directory :
   ?seed:string ->
   engine:Pequod_core.Server.t -> self_addr:string -> dir:Directory.t -> unit ->
   unit -> unit
-
-(** Install the routes on [engine]: local routes are marked present; if
-    any remote routes exist, a resolver is set that fetches from the
-    owning peers and subscribes as [self_addr]. Returns the
-    subscription-healing tick — run it from the serving event loop
-    ({!Net_server.add_ticker}); it rate-limits itself to one [Sub_check]
-    round per [check_every] seconds (default 2) and is a no-op when
-    there are no remote routes. Call once, before serving.
-
-    [client_config] overrides the per-peer {!Net_client} retry/timeout
-    policy; [on_wait] is threaded into every peer client (see
-    {!Net_client.create}) so the owning event loop keeps serving while a
-    fetch blocks — the shard layer passes a nested server step.
-    [local_tables] names tables the resolver must treat as always-local
-    regardless of routes: the shard layer's join outputs, which each
-    shard recomputes from subscription-fresh sources (a fetched copy of
-    a join output would freeze — join-derived writes are never pushed).
-    Outbound fetches are counted in [peer.fetch.out].
-
-    [server] turns on the {e asynchronous} read path, and must be the
-    {!Net_server.t} serving [engine]. A scan that misses then parks
-    instead of blocking: the resolver answers [Deferred] for every
-    missing range of a collect-mode scan ([Server.collecting]), the
-    server parks the request ([scan.parked]) and keeps serving, and the
-    fetch engine installed here issues the scan's whole missing set as
-    one pipelined burst per owning peer — concurrently across peers, on
-    nonblocking sockets driven by the serving loop itself. Concurrent
-    parked scans missing the same range share one wire [Fetch] and one
-    [feed_base] ([fetch.coalesced]; in-flight fetches gauge
-    [fetch.inflight]); parked scans' wait is measured in
-    [resolver.fetch.wait_ns]. Resolver calls with no retry loop above
-    them (updater firings, bare [scan]/[get]) still fetch inline through
-    the blocking client. *)
-val attach :
-  ?check_every:float ->
-  ?client_config:Net_client.config ->
-  ?on_wait:(unit -> unit) ->
-  ?local_tables:(string -> bool) ->
-  ?server:Net_server.t ->
-  engine:Pequod_core.Server.t -> self_addr:string -> routes:route list -> unit ->
-  unit -> unit
+  [@@deprecated "use Remote.Config.make + Remote.attach"]

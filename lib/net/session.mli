@@ -1,0 +1,76 @@
+(** Session consistency on top of {!Net_client}: read-your-writes
+    across the cluster (docs/SESSIONS.md).
+
+    Every v3 write ack carries a {e stamp vector} — one
+    [(table, lo, hi, stamp)] entry per written key, naming the version
+    of the owned range the write landed in. A session accumulates these
+    vectors; its reads go out as [Get_at]/[Scan_at] demanding at least
+    the accumulated stamps, so any server answering — the owner, a
+    replica warmed by [pequod_ctl replicate], a compute holding a
+    fetched copy — must prove its copy has caught up to the session's
+    own writes (refetching if its push feed lags) or answer [Stale]
+    after the bounded wait.
+
+    Demand entries name {e base-table} ranges: a session that writes
+    [p|bob|…] and then scans the joined timeline [t|ann|…] demands
+    freshness of the [p] range it wrote, which is exactly what the
+    timeline's join sources must reflect. A server that holds no copy
+    of a demanded range ignores that entry — it will fetch fresh from
+    the owner, which trivially satisfies any acked stamp.
+
+    Sessions are not transactions: no atomicity across keys, no
+    isolation — only the ordering promise that this session's reads
+    reflect this session's writes (and any writes folded in through
+    {!with_at_least}).
+
+    Not thread-safe, like the underlying client. *)
+
+(** A stamped read could not be satisfied within the server's bounded
+    wait: the payload is the unmet portion of the demand (same shape as
+    the vector). The session state is unchanged; retrying later — or
+    against the owner — is safe. *)
+exception Stale of Pequod_proto.Message.stamp_entry list
+
+type t
+
+(** [create client] — a fresh session speaking through [client], with
+    an empty stamp vector (its first read demands nothing).
+
+    [max_entries] bounds the vector: past it, entries coalesce into
+    convex hulls — first per user slice (the ['|']-prefix of the key),
+    then, if still over, per table — at the hull's max stamp.
+    Over-demanding is sound (at worst a spurious refetch on some other
+    key in the hull), under-demanding never happens. Default 64. *)
+val create : ?max_entries:int -> Net_client.t -> t
+
+val client : t -> Net_client.t
+
+(** The accumulated stamp vector, for handing a session's
+    read-your-writes guarantee to another session (a different process,
+    a different entry server): ship it out-of-band and
+    {!with_at_least} it into the receiver. *)
+val stamp : t -> Pequod_proto.Message.stamp_entry list
+
+(** Fold an external vector into this session's demand — the receiving
+    half of the {!stamp} handoff. Monotone; unknown ranges are added,
+    known ones keep the larger stamp. *)
+val with_at_least : t -> Pequod_proto.Message.stamp_entry list -> unit
+
+(** Writes: as {!Net_client.call} with [Put]/[Put_batch]/[Remove], with
+    the ack's stamp vector folded into the session. Raise
+    {!Net_client.Net_error} on failure. *)
+
+val put : t -> string -> string -> unit
+
+val put_batch : t -> (string * string) list -> unit
+
+val remove : t -> string -> unit
+
+(** Reads: [Get_at]/[Scan_at] demanding the accumulated vector (plain
+    [Get]/[Scan] while the vector is empty). Raise {!Stale} when the
+    server's bounded wait expires, {!Net_client.Net_error} on transport
+    failure. *)
+
+val get : t -> string -> string option
+
+val scan : t -> lo:string -> hi:string -> (string * string) list

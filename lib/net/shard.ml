@@ -229,9 +229,10 @@ let create ?config ?backend ?metrics_every ?(sub_check_every = 2.0)
                 r_addr = (if j = i then None else Some (addr j)) })
         in
         let heal =
-          Remote.attach ~check_every:sub_check_every ~on_wait
-            ~local_tables:(is_sink engine) ~server:srv ~engine ~self_addr:(addr i)
-            ~routes ()
+          Remote.attach
+            (Remote.Config.make ~check_every:sub_check_every ~on_wait
+               ~local_tables:(is_sink engine) ~server:srv ~engine ~self_addr:(addr i)
+               (Remote.Config.Static routes))
         in
         Net_server.add_ticker srv heal;
         (* forwarding clients, one per sibling, separate from the

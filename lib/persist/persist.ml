@@ -94,6 +94,12 @@ let recover_snapshot ~server ~dir =
         List.iter
           (fun (table, lo, hi) -> Server.mark_present server ~table ~lo ~hi)
           c.Snapshot.presents;
+        (* stamps restore last: the pair replay above already bumped
+           per-range counters, and [set_range_stamp] is monotone, so the
+           result is at least the stamp any pre-crash write ack carried *)
+        List.iter
+          (fun (table, lo, hi, stamp) -> Server.set_range_stamp server ~table ~lo ~hi stamp)
+          c.Snapshot.stamps;
         Log.info (fun m ->
             m "recovery: snapshot %s restored %d pairs, %d joins (seq %d)" path
               (List.length c.Snapshot.pairs) (List.length c.Snapshot.joins) c.Snapshot.seq);

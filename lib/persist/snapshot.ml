@@ -5,9 +5,9 @@
     The file is a stream of {!Record}-framed, CRC-checked payloads:
     a header (magic + format version + covered sequence number), the
     installed joins as canonical text, every base-table pair, the
-    present-range bookkeeping, and a footer carrying the three counts so
-    a truncated stream is detected even when it tears exactly between
-    records. Materialized sink ranges are deliberately {e not} stored:
+    present-range bookkeeping, the per-range version stamps (v2), and a
+    footer carrying the record counts so a truncated stream is detected
+    even when it tears exactly between records. Materialized sink ranges are deliberately {e not} stored:
     dropping them leaves their status Unknown after recovery, so the
     first scan lazily revalidates (recomputes) them from the restored
     base data — the "marked for lazy revalidation" design.
@@ -20,7 +20,11 @@ module Server = Pequod_core.Server
 module Store = Pequod_store.Store
 
 let magic = "PQSNAP"
-let version = 1
+
+(* v2 added per-range version stamps (session consistency); v1 files
+   still load, restoring with no stamps — reads demand nothing of a
+   freshly recovered server until new writes mint new stamps. *)
+let version = 2
 
 let file_name ~seq = Printf.sprintf "snap-%016d.pqs" seq
 
@@ -35,6 +39,7 @@ type contents = {
   joins : string list; (* canonical join text, install order *)
   pairs : (string * string) list; (* base-table data, store order *)
   presents : (string * string * string) list; (* table, lo, hi *)
+  stamps : (string * string * string * int) list; (* table, lo, hi, stamp *)
 }
 
 (* record payload tags *)
@@ -42,6 +47,7 @@ let tag_header = '\x10'
 let tag_join = '\x11'
 let tag_pair = '\x12'
 let tag_present = '\x13'
+let tag_stamp = '\x14'
 let tag_footer = '\x1F'
 
 let payload tag f =
@@ -97,11 +103,23 @@ let write ~dir ~seq server =
                  Codec.put_string buf lo;
                  Codec.put_string buf hi)))
         (Server.present_ranges server);
+      let nstamps = ref 0 in
+      List.iter
+        (fun (table, lo, hi, stamp) ->
+          incr nstamps;
+          emit
+            (payload tag_stamp (fun buf ->
+                 Codec.put_string buf table;
+                 Codec.put_string buf lo;
+                 Codec.put_string buf hi;
+                 Codec.put_varint buf stamp)))
+        (Server.stamp_ranges server);
       emit
         (payload tag_footer (fun buf ->
              Codec.put_varint buf !njoins;
              Codec.put_varint buf !npairs;
-             Codec.put_varint buf !npresents));
+             Codec.put_varint buf !npresents;
+             Codec.put_varint buf !nstamps));
       Unix.fsync fd);
   let path = Filename.concat dir (file_name ~seq) in
   Unix.rename tmp path;
@@ -117,7 +135,9 @@ let load path =
     try
       if ending <> Record.Clean then failwith "snapshot not cleanly terminated";
       let seq = ref 0 in
+      let file_version = ref version in
       let joins = ref [] and pairs = ref [] and presents = ref [] in
+      let stamps = ref [] in
       let saw_header = ref false and saw_footer = ref false in
       List.iter
         (fun p ->
@@ -130,7 +150,9 @@ let load path =
             saw_header := true;
             if Codec.get_string r <> magic then failwith "bad snapshot magic";
             let v = Codec.get_varint r in
-            if v <> version then failwith (Printf.sprintf "unsupported snapshot version %d" v);
+            if v < 1 || v > version then
+              failwith (Printf.sprintf "unsupported snapshot version %d" v);
+            file_version := v;
             seq := Codec.get_varint r
           end
           else if tag = tag_join then joins := Codec.get_string r :: !joins
@@ -145,13 +167,23 @@ let load path =
             let hi = Codec.get_string r in
             presents := (table, lo, hi) :: !presents
           end
+          else if tag = tag_stamp then begin
+            if !file_version < 2 then failwith "stamp record in a v1 snapshot";
+            let table = Codec.get_string r in
+            let lo = Codec.get_string r in
+            let hi = Codec.get_string r in
+            let stamp = Codec.get_varint r in
+            stamps := (table, lo, hi, stamp) :: !stamps
+          end
           else if tag = tag_footer then begin
             saw_footer := true;
             let nj = Codec.get_varint r in
             let np = Codec.get_varint r in
             let npr = Codec.get_varint r in
+            let nst = if !file_version >= 2 then Codec.get_varint r else 0 in
             if nj <> List.length !joins || np <> List.length !pairs
                || npr <> List.length !presents
+               || nst <> List.length !stamps
             then failwith "snapshot footer counts mismatch"
           end
           else failwith (Printf.sprintf "bad snapshot tag %#x" (Char.code tag));
@@ -159,7 +191,7 @@ let load path =
         payloads;
       if not !saw_footer then failwith "snapshot missing footer";
       Ok { seq = !seq; joins = List.rev !joins; pairs = List.rev !pairs;
-           presents = List.rev !presents }
+           presents = List.rev !presents; stamps = List.rev !stamps }
     with
     | Failure msg -> Error msg
     | Codec.Decode_error msg -> Error msg)

@@ -17,8 +17,15 @@
     [Sub_check]/[Sub_ranges] let a subscriber audit (and heal) its
     subscriptions against the home; tags [0x09]/[0x85] are retired —
     still reserved, but decoding them fails loudly with a versioned
-    error instead of misparsing. *)
-let protocol_version = 2
+    error instead of misparsing.
+
+    v3 (session consistency, docs/SESSIONS.md): write acks answer
+    [Stamps] (a per-range version-stamp vector) instead of [Done];
+    [Get_at]/[Scan_at] carry a minimum-stamp demand and may be refused
+    with [Stale]; [Subscribed] gains the fed range's stamp and
+    [Notify_batch] a stamp trailer, so fetched copies know their
+    version. *)
+let protocol_version = 3
 
 (** One row of the partition directory: [table] keys in [[lo,hi)] live
     on home server [de_home]; [de_replicas] are read replicas that also
@@ -31,6 +38,12 @@ type dir_entry = {
   de_home : string;
   de_replicas : string list;
 }
+
+(** One entry of a version-stamp vector: the authoritative copy of
+    [table] keys in [[lo,hi)] was at version [stamp]. Write acks clamp
+    entries to the written keys; a client demands the vector back on
+    reads to get read-your-writes (docs/SESSIONS.md). *)
+type stamp_entry = string * string * string * int
 
 type request =
   | Hello of { version : int } (* first request on a connection *)
@@ -46,9 +59,14 @@ type request =
          notifications to after granting the subscription *)
   | Notify_put of string * string
   | Notify_remove of string
-  | Notify_batch of (string * string option) list
-      (* subscription traffic coalesced per flush: [Some v] is a put,
-         [None] a remove, in source-write order *)
+  | Notify_batch of {
+      items : (string * string option) list;
+          (* subscription traffic coalesced per flush: [Some v] is a
+             put, [None] a remove, in source-write order *)
+      stamps : stamp_entry list;
+          (* trailer: after applying [items], the receiver's subscribed
+             copies of these ranges are current at these versions *)
+    }
   | Sub_check of { subscriber : string }
       (* subscription heartbeat: which ranges does this home still push
          to [subscriber]? A compute server compares the answer against
@@ -69,6 +87,12 @@ type request =
          accumulated during the copy, then flip the directory epoch.
          Answered (with per-phase stats as [Pairs]) only once the
          handoff is complete. *)
+  | Get_at of { key : string; min : stamp_entry list }
+      (* [Get] demanding freshness: answer only from a copy whose
+         recorded stamps cover [min]; park/refetch otherwise, [Stale]
+         past the deadline *)
+  | Scan_at of { lo : string; hi : string; min : stamp_entry list }
+      (* [Scan] with a minimum-stamp demand, same contract as [Get_at] *)
 
 type response =
   | Done
@@ -76,8 +100,15 @@ type response =
   | Pairs of (string * string) list
   | Metrics of (string * Obs.value) list
   | Welcome of { version : int } (* handshake accepted *)
-  | Subscribed of (string * string) list
-      (* Fetch granted: the range snapshot, with a subscription installed *)
+  | Subscribed of { stamp : int; pairs : (string * string) list }
+      (* Fetch granted: the range snapshot (current at version [stamp];
+         0 when never stamped), with a subscription installed *)
+  | Stamps of stamp_entry list
+      (* write acknowledged: the acked keys' ranges are now at these
+         versions — the session's read demand going forward *)
+  | Stale of stamp_entry list
+      (* a [Get_at]/[Scan_at] demand this server could not meet before
+         its deadline: the still-unsatisfied entries *)
   | Sub_ranges of (string * string * string) list
       (* Sub_check answer: (table, lo, hi) ranges live for the asking
          subscriber, sorted *)
@@ -105,6 +136,8 @@ let request_kind = function
   | Dir_watch _ -> "dir_watch"
   | Dir_update _ -> "dir_update"
   | Migrate _ -> "migrate"
+  | Get_at _ -> "get_at"
+  | Scan_at _ -> "scan_at"
 
 (** One-way requests are applied without sending a response frame.
     Subscription pushes must be one-way: a home server that waited for
@@ -114,7 +147,7 @@ let is_oneway = function
   | Notify_put _ | Notify_remove _ | Notify_batch _ -> true
   | Hello _ | Get _ | Put _ | Remove _ | Put_batch _ | Scan _ | Add_join _
   | Fetch _ | Sub_check _ | Stats_full | Dir_get | Dir_watch _ | Dir_update _
-  | Migrate _ ->
+  | Migrate _ | Get_at _ | Scan_at _ ->
     false
 
 exception Protocol_error = Codec.Decode_error
@@ -148,6 +181,25 @@ let get_dir_entries r =
       let nr = Codec.get_varint r in
       let de_replicas = List.init nr (fun _ -> Codec.get_string r) in
       { de_table; de_lo; de_hi; de_home; de_replicas })
+
+let put_stamps buf stamps =
+  Codec.put_varint buf (List.length stamps);
+  List.iter
+    (fun (table, lo, hi, stamp) ->
+      Codec.put_string buf table;
+      Codec.put_string buf lo;
+      Codec.put_string buf hi;
+      Codec.put_varint buf stamp)
+    stamps
+
+let get_stamps r =
+  let n = Codec.get_varint r in
+  List.init n (fun _ ->
+      let table = Codec.get_string r in
+      let lo = Codec.get_string r in
+      let hi = Codec.get_string r in
+      let stamp = Codec.get_varint r in
+      (table, lo, hi, stamp))
 
 let encode_request req =
   let buf = Buffer.create 64 in
@@ -186,7 +238,7 @@ let encode_request req =
   | Put_batch pairs ->
     Buffer.add_char buf '\x0b';
     Codec.put_pair_list buf pairs
-  | Notify_batch items ->
+  | Notify_batch { items; stamps } ->
     Buffer.add_char buf '\x0c';
     Codec.put_varint buf (List.length items);
     List.iter
@@ -197,7 +249,8 @@ let encode_request req =
           Buffer.add_char buf '\x01';
           Codec.put_string buf v
         | None -> Buffer.add_char buf '\x00')
-      items
+      items;
+    put_stamps buf stamps
   | Hello { version } ->
     Buffer.add_char buf '\x0d';
     Codec.put_varint buf version
@@ -217,7 +270,16 @@ let encode_request req =
     Codec.put_string buf table;
     Codec.put_string buf lo;
     Codec.put_string buf hi;
-    Codec.put_string buf dest);
+    Codec.put_string buf dest
+  | Get_at { key; min } ->
+    Buffer.add_char buf '\x13';
+    Codec.put_string buf key;
+    put_stamps buf min
+  | Scan_at { lo; hi; min } ->
+    Buffer.add_char buf '\x14';
+    Codec.put_string buf lo;
+    Codec.put_string buf hi;
+    put_stamps buf min);
   Buffer.contents buf
 
 let decode_request_r r =
@@ -250,13 +312,16 @@ let decode_request_r r =
     | 0x0b -> Put_batch (Codec.get_pair_list r)
     | 0x0c ->
       let n = Codec.get_varint r in
-      Notify_batch
-        (List.init n (fun _ ->
-             let k = Codec.get_string r in
-             match Codec.get_byte r with
-             | 0x01 -> (k, Some (Codec.get_string r))
-             | 0x00 -> (k, None)
-             | b -> raise (Codec.Decode_error (Printf.sprintf "bad notify item %#x" b))))
+      let items =
+        List.init n (fun _ ->
+            let k = Codec.get_string r in
+            match Codec.get_byte r with
+            | 0x01 -> (k, Some (Codec.get_string r))
+            | 0x00 -> (k, None)
+            | b -> raise (Codec.Decode_error (Printf.sprintf "bad notify item %#x" b)))
+      in
+      let stamps = get_stamps r in
+      Notify_batch { items; stamps }
     | 0x0d -> Hello { version = Codec.get_varint r }
     | 0x0e -> Sub_check { subscriber = Codec.get_string r }
     | 0x0f -> Dir_get
@@ -271,6 +336,15 @@ let decode_request_r r =
       let hi = Codec.get_string r in
       let dest = Codec.get_string r in
       Migrate { table; lo; hi; dest }
+    | 0x13 ->
+      let key = Codec.get_string r in
+      let min = get_stamps r in
+      Get_at { key; min }
+    | 0x14 ->
+      let lo = Codec.get_string r in
+      let hi = Codec.get_string r in
+      let min = get_stamps r in
+      Scan_at { lo; hi; min }
     | tag -> raise (Codec.Decode_error (Printf.sprintf "bad request tag %#x" tag))
   in
   if not (Codec.at_end r) then raise (Codec.Decode_error "trailing bytes");
@@ -299,9 +373,16 @@ let encode_response resp =
   | Welcome { version } ->
     Buffer.add_char buf '\x88';
     Codec.put_varint buf version
-  | Subscribed pairs ->
+  | Subscribed { stamp; pairs } ->
     Buffer.add_char buf '\x89';
+    Codec.put_varint buf stamp;
     Codec.put_pair_list buf pairs
+  | Stamps stamps ->
+    Buffer.add_char buf '\x8c';
+    put_stamps buf stamps
+  | Stale stamps ->
+    Buffer.add_char buf '\x8d';
+    put_stamps buf stamps
   | Metrics metrics ->
     Buffer.add_char buf '\x87';
     Codec.put_varint buf (List.length metrics);
@@ -376,7 +457,12 @@ let decode_response data =
              in
              (name, v)))
     | 0x88 -> Welcome { version = Codec.get_varint r }
-    | 0x89 -> Subscribed (Codec.get_pair_list r)
+    | 0x89 ->
+      let stamp = Codec.get_varint r in
+      let pairs = Codec.get_pair_list r in
+      Subscribed { stamp; pairs }
+    | 0x8c -> Stamps (get_stamps r)
+    | 0x8d -> Stale (get_stamps r)
     | 0x8a ->
       let n = Codec.get_varint r in
       Sub_ranges
@@ -405,7 +491,7 @@ let loopback handler req =
 
 (** Apply a request to a Pequod engine (shared by the loopback harness and
     the TCP server). *)
-let apply_to_server server req =
+let rec apply_to_server server req =
   let module Server = Pequod_core.Server in
   match req with
   | Hello { version } ->
@@ -417,10 +503,10 @@ let apply_to_server server req =
   | Get k -> Value (Server.get server k)
   | Put (k, v) ->
     Server.put server k v;
-    Done
+    Stamps (Server.stamps_for_keys server [ k ])
   | Remove k ->
     Server.remove server k;
-    Done
+    Stamps (Server.stamps_for_keys server [ k ])
   | Scan { lo; hi } -> (
     (* no retry loop above this call site (a forwarded sibling scan, a
        scatter segment, a host with no parking): never enter collect
@@ -439,14 +525,14 @@ let apply_to_server server req =
     | Error msg -> Error msg)
   | Put_batch pairs ->
     Server.put_batch server pairs;
-    Done
+    Stamps (Server.stamps_for_keys server (List.map fst pairs))
   | Notify_put (k, v) ->
     Server.put server k v;
     Done
   | Notify_remove k ->
     Server.remove server k;
     Done
-  | Notify_batch items ->
+  | Notify_batch { items; stamps } ->
     (* apply in source-write order; consecutive puts take the engine's
        batched path *)
     let flush acc = if acc <> [] then Server.put_batch server (List.rev acc) in
@@ -462,7 +548,20 @@ let apply_to_server server req =
         [] items
     in
     flush acc;
+    (* only after every item is applied: the trailer asserts the pushed
+       ranges are current at these versions *)
+    List.iter
+      (fun (table, lo, hi, stamp) -> Server.set_range_stamp server ~table ~lo ~hi stamp)
+      stamps;
     Done
+  | Get_at { key; min } -> (
+    match Server.stamp_unsatisfied server min with
+    | [] -> Value (Server.get server key)
+    | unmet -> Stale unmet)
+  | Scan_at { lo; hi; min } -> (
+    match Server.stamp_unsatisfied server min with
+    | [] -> apply_to_server server (Scan { lo; hi })
+    | unmet -> Stale unmet)
   | Stats_full -> Metrics (Server.metrics_snapshot server)
   | Fetch _ -> Error "fetch is handled by the cluster layer"
   | Sub_check _ -> Error "sub_check is handled by the cluster layer"

@@ -165,11 +165,14 @@ let flush_notifications t home =
       | Some rev_items ->
         Hashtbl.remove n.pending_notify dst;
         let items = List.rev rev_items in
-        let wire = Message.encode_request (Message.Notify_batch items) in
+        (* stamp trailer: the pushed keys' ranges are current at these
+           versions once the items are applied (session consistency) *)
+        let stamps = Server.stamps_for_keys n.server (List.map fst items) in
+        let wire = Message.encode_request (Message.Notify_batch { items; stamps }) in
         ignore (account_msg t ~src:home ~dst wire);
         Event.schedule t.event ~delay:t.latency (fun () ->
             match Message.decode_request wire with
-            | Message.Notify_batch items ->
+            | Message.Notify_batch { items; stamps } ->
               let srv = t.nodes.(dst).server in
               let apply acc = if acc <> [] then Server.put_batch srv (List.rev acc) in
               let acc =
@@ -183,7 +186,10 @@ let flush_notifications t home =
                       [])
                   [] items
               in
-              apply acc
+              apply acc;
+              List.iter
+                (fun (table, lo, hi, s) -> Server.set_range_stamp srv ~table ~lo ~hi s)
+                stamps
             | _ -> assert false))
     order
 
@@ -266,12 +272,14 @@ let fetch_range t ~requester ~table ~lo ~hi k =
            the duplicate application is idempotent *)
         ignore (Interval_map.add (subs_for hnode table) ~lo ~hi subscriber);
         let pairs = Server.scan hnode.server ~lo ~hi in
-        let resp_wire = Message.encode_response (Message.Subscribed pairs) in
+        let stamp = Server.range_stamp hnode.server ~table ~lo ~hi in
+        let resp_wire = Message.encode_response (Message.Subscribed { stamp; pairs }) in
         ignore (account_msg t ~src:home ~dst:subscriber resp_wire);
         Event.schedule t.event ~delay:t.latency (fun () ->
             match Message.decode_response resp_wire with
-            | Message.Subscribed pairs ->
+            | Message.Subscribed { stamp; pairs } ->
               Server.feed_base t.nodes.(subscriber).server ~table ~lo ~hi pairs;
+              Server.set_range_stamp t.nodes.(subscriber).server ~table ~lo ~hi stamp;
               k ()
             | _ -> assert false)
       | _ -> assert false)

@@ -419,11 +419,23 @@ type variant = {
           and a dropped range models a failed fetch the retry reissues.
           Convergence to the same transcript as the in-order feed is
           exactly the §3.3 restart property the net layer relies on *)
+  va_session : bool;
+      (** remote mode with a {e lagged} push: subscribed writes land on
+          the home immediately but queue toward the compute with the
+          stamp trailer their ack carried, released in random prefixes —
+          so the compute's copies are genuinely stale between flushes.
+          Every write folds its ack into a model session vector, every
+          compared read demands that vector and, when the compute's
+          recorded stamps fall short, catches up exactly like
+          [serve_stamped]: drain the push, then refetch what is still
+          behind. The oracle is always fresh, so a stamped read that
+          serves stale data despite the demand is a divergence *)
 }
 
 let base_variant =
   { va_name = ""; va_tweak = (fun _ -> ()); va_persist = No_persist;
-    va_remote = false; va_migrate = false; va_shards = 0; va_async_feed = false }
+    va_remote = false; va_migrate = false; va_shards = 0; va_async_feed = false;
+    va_session = false }
 
 let variants =
   [| { base_variant with va_name = "default" };
@@ -459,6 +471,11 @@ let variants =
      { base_variant with va_name = "remote-async-evict";
        va_tweak = (fun c -> c.Config.memory_limit <- Some 8192);
        va_remote = true; va_async_feed = true };
+     { base_variant with va_name = "session";
+       va_remote = true; va_session = true };
+     { base_variant with va_name = "session-evict";
+       va_tweak = (fun c -> c.Config.memory_limit <- Some 8192);
+       va_remote = true; va_session = true };
      { base_variant with va_name = "migrate"; va_migrate = true };
      { base_variant with va_name = "migrate-evict";
        va_tweak = (fun c -> c.Config.memory_limit <- Some 8192);
@@ -757,7 +774,11 @@ let run_case scenario variant ops =
     Server.set_resolver !server (fun ~table:_ ~lo ~hi ->
         subs := (lo, hi) :: !subs;
         defer_next := not !defer_next;
-        if !defer_next then Server.Deferred
+        (* session mode resolves everything through the feed loop below,
+           which models the FIFO fetch (drain the queued push first) and
+           records the fetched range's stamp — a synchronous Resolved
+           would bypass both *)
+        if !defer_next || variant.va_session then Server.Deferred
         else Server.Resolved (home_scan lo hi)))
   ;
   let subscribed k =
@@ -767,6 +788,105 @@ let run_case scenario variant ops =
   in
   let table_of k =
     match String.index_opt k '|' with Some i -> String.sub k 0 i | None -> k
+  in
+  (* session mode: the push lags. A subscribed write queues here with
+     the stamp entries its ack carried instead of being applied to the
+     compute immediately; [session_lag] releases random prefixes, so
+     between flushes the compute's subscribed copies are genuinely
+     behind the home. Flushing an item applies the pair AND records its
+     stamp trailer, mirroring [Notify_batch]'s stamps — so the
+     compute's recorded stamps measure exactly how far the push has
+     caught up, which is what [stamp_unsatisfied] gates on. *)
+  let session_vec : (string * string * string, int) Hashtbl.t = Hashtbl.create 32 in
+  let session_fold entries =
+    List.iter
+      (fun (t, slo, shi, s) ->
+        let key = (t, slo, shi) in
+        match Hashtbl.find_opt session_vec key with
+        | Some s' when s' >= s -> ()
+        | _ -> Hashtbl.replace session_vec key s)
+      entries
+  in
+  let push_q :
+      ((string * string option) list * (string * string * string * int) list) Queue.t =
+    Queue.create ()
+  in
+  let session_flush n =
+    for _ = 1 to n do
+      match Queue.take_opt push_q with
+      | None -> ()
+      | Some (items, stamps) ->
+        List.iter
+          (fun (k, v) ->
+            match v with
+            | Some v -> Server.put !server k v
+            | None -> Server.remove !server k)
+          items;
+        List.iter
+          (fun (t, slo, shi, s) ->
+            Server.set_range_stamp !server ~table:t ~lo:slo ~hi:shi s)
+          stamps
+    done
+  in
+  (* every session write: the home applies it at once (it is the
+     authority), the ack's stamp entries fold into the session vector,
+     and the subscribed keys queue as ONE push item — a batch is
+     delivered as a single [Notify_batch] with one stamp trailer, never
+     split, so duplicate keys inside it cannot be observed mid-batch *)
+  let session_write items =
+    match homes with
+    | None -> ()
+    | Some arr ->
+      let stamped =
+        List.map
+          (fun (k, v) -> ((k, v), Server.stamps_for_keys arr.(home_of k) [ k ]))
+          items
+      in
+      List.iter (fun (_, s) -> session_fold s) stamped;
+      (match List.filter (fun ((k, _), _) -> subscribed k) stamped with
+      | [] -> ()
+      | fwd -> Queue.add (List.map fst fwd, List.concat_map snd fwd) push_q)
+  in
+  (* a fetched copy records the owner's stamp over the fetched range,
+     like [Remote.fetch_one] (the replica-warming fix); and because the
+     home's connection is FIFO, a fetch response is ordered after every
+     notify already emitted — so the queued push drains first *)
+  let session_feed table mlo mhi =
+    session_flush (Queue.length push_q);
+    Server.feed_base !server ~table ~lo:mlo ~hi:mhi (home_scan mlo mhi);
+    match homes with
+    | None -> ()
+    | Some arr ->
+      List.iter
+        (fun (clo, chi, j) ->
+          let s = Server.range_stamp arr.(j) ~table ~lo:clo ~hi:chi in
+          if s > 0 then Server.set_range_stamp !server ~table ~lo:clo ~hi:chi s)
+        (dir_segments mlo mhi)
+  in
+  (* the read-side gate, mirroring [Net_server.serve_stamped]: demand
+     the session's whole vector; if the compute's copies are behind,
+     drain the push (the parked read's pump), then unmark whatever is
+     still short so the converge loop refetches it fresh from the home *)
+  let session_gate () =
+    let demand =
+      Hashtbl.fold (fun (t, slo, shi) s acc -> (t, slo, shi, s) :: acc) session_vec []
+    in
+    if demand <> [] then
+      match Server.stamp_unsatisfied !server demand with
+      | [] -> ()
+      | _ ->
+        session_flush (Queue.length push_q);
+        List.iter
+          (fun (t, ulo, uhi, _) ->
+            Server.unmark_present !server ~table:t ~lo:ulo ~hi:uhi)
+          (Server.stamp_unsatisfied !server demand)
+  in
+  (* deterministic lag schedule: after op [i], maybe release a random
+     prefix of the queued push — seeded from the step index alone, so a
+     shrunk repro replays the exact same flush pattern *)
+  let session_lag i =
+    let rng = Rng.create (Hashtbl.hash ("session-lag", i)) in
+    if Rng.int rng 2 = 0 then session_flush (Rng.int rng (Queue.length push_q + 1))
   in
   let scan_rr = ref 0 in
   let engine_scan lo hi =
@@ -824,10 +944,15 @@ let run_case scenario variant ops =
           in
           List.iter
             (fun (table, mlo, mhi) ->
-              Server.feed_base !server ~table ~lo:mlo ~hi:mhi (home_scan mlo mhi))
+              if variant.va_session then session_feed table mlo mhi
+              else
+                Server.feed_base !server ~table ~lo:mlo ~hi:mhi (home_scan mlo mhi))
             to_feed;
           converge (attempts + 1)
       in
+      (* session mode: every compared read is a stamped read demanding
+         the whole session vector — catch the compute up first *)
+      if variant.va_session then session_gate ();
       (* route by table, like a deployed client: join outputs are
          materialized on the compute engine (which pulls any missing
          source ranges first), base tables live on their home *)
@@ -880,7 +1005,8 @@ let run_case scenario variant ops =
         | None -> Server.put !server k v
         | Some _ ->
           home_put k v;
-          if subscribed k then Server.put !server k v));
+          if variant.va_session then session_write [ (k, Some v) ]
+          else if subscribed k then Server.put !server k v));
       Oracle.put oracle k v)
     | Put_batch pairs ->
       List.iter (fun (k, _) -> guard_sink k) pairs;
@@ -903,9 +1029,12 @@ let run_case scenario variant ops =
       | None -> Server.put_batch !server pairs
       | Some _ ->
         home_put_batch pairs;
-        (match List.filter (fun (k, _) -> subscribed k) pairs with
-        | [] -> ()
-        | fwd -> Server.put_batch !server fwd)));
+        if variant.va_session then
+          session_write (List.map (fun (k, v) -> (k, Some v)) pairs)
+        else (
+          match List.filter (fun (k, _) -> subscribed k) pairs with
+          | [] -> ()
+          | fwd -> Server.put_batch !server fwd)));
       (* put_batch is specified as equivalent to sequential puts; the
          oracle applies the same pairs one at a time (argument order —
          the batch's stable sort keeps duplicate keys in argument order,
@@ -925,7 +1054,8 @@ let run_case scenario variant ops =
         | None -> Server.remove !server k
         | Some _ ->
           home_remove k;
-          if subscribed k then Server.remove !server k));
+          if variant.va_session then session_write [ (k, None) ]
+          else if subscribed k then Server.remove !server k));
       Oracle.remove oracle k)
     | Scan (lo, hi) -> compare_scan lo hi
     | Count (lo, hi) ->
@@ -964,6 +1094,7 @@ let run_case scenario variant ops =
           | Case_failed _ as e -> raise e
           | e -> fail "migration event raised %s" (Printexc.to_string e)
         end;
+        if variant.va_session then session_lag i;
         try
           match shards_arr with
           | Some (arr, _) -> Array.iter Server.check_invariants arr

@@ -88,8 +88,9 @@ let test_single_flight () =
     | Error e -> Alcotest.fail e
   in
   let _heal =
-    Remote.attach ~server:compute ~engine:(Net_server.engine compute)
-      ~self_addr:(addr_of compute) ~routes ()
+    Remote.attach
+      (Remote.Config.make ~server:compute ~engine:(Net_server.engine compute)
+         ~self_addr:(addr_of compute) (Remote.Config.Static routes))
   in
   let fd = connect compute in
   Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
@@ -128,8 +129,9 @@ let test_park_failure () =
     | Error e -> Alcotest.fail e
   in
   let _heal =
-    Remote.attach ~server:compute ~engine:(Net_server.engine compute)
-      ~self_addr:(addr_of compute) ~routes ()
+    Remote.attach
+      (Remote.Config.make ~server:compute ~engine:(Net_server.engine compute)
+         ~self_addr:(addr_of compute) (Remote.Config.Static routes))
   in
   let fd = connect compute in
   Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
@@ -141,7 +143,7 @@ let test_park_failure () =
             Message.Put ("other|k", "1");
             Message.Get "other|k" ])
    with
-  | [ Message.Error _; Message.Done; Message.Value (Some "1") ] -> ()
+  | [ Message.Error _; (Message.Done | Message.Stamps _); Message.Value (Some "1") ] -> ()
   | rs ->
     Alcotest.failf "expected [Error; Done; Value], got %d responses: %s"
       (List.length rs)
@@ -150,6 +152,7 @@ let test_park_failure () =
             (function
               | Message.Error _ -> "Error"
               | Message.Done -> "Done"
+              | Message.Stamps _ -> "Stamps"
               | Message.Value _ -> "Value"
               | Message.Pairs _ -> "Pairs"
               | _ -> "?")
@@ -179,11 +182,14 @@ let run_transcript ~async seed =
   let on_wait () = Net_server.step ~timeout:0.001 home in
   let _heal =
     if async then
-      Remote.attach ~server:compute ~on_wait ~engine:(Net_server.engine compute)
-        ~self_addr:(addr_of compute) ~routes ()
+      Remote.attach
+        (Remote.Config.make ~server:compute ~on_wait
+           ~engine:(Net_server.engine compute) ~self_addr:(addr_of compute)
+           (Remote.Config.Static routes))
     else
-      Remote.attach ~on_wait ~engine:(Net_server.engine compute)
-        ~self_addr:(addr_of compute) ~routes ()
+      Remote.attach
+        (Remote.Config.make ~on_wait ~engine:(Net_server.engine compute)
+           ~self_addr:(addr_of compute) (Remote.Config.Static routes))
   in
   let hfd = connect home in
   let cfd = connect compute in

@@ -104,7 +104,7 @@ let scan_pairs client lo hi =
 
 let put_ok client k v =
   match Net_client.call client (Message.Put (k, v)) with
-  | Message.Done -> ()
+  | Message.Done | Message.Stamps _ -> ()
   | Message.Error msg -> Alcotest.failf "put %s failed: %s" k msg
   | _ -> Alcotest.fail "unexpected put response"
 
@@ -358,7 +358,7 @@ let test_migration_crash_safety () =
         batch := (Printf.sprintf "s|u%06d" i, "v") :: !batch;
         if i mod 1_000 = 0 then begin
           (match Net_client.call home_a (Message.Put_batch !batch) with
-          | Message.Done -> ()
+          | Message.Done | Message.Stamps _ -> ()
           | Message.Error msg -> Alcotest.failf "preload failed: %s" msg
           | _ -> Alcotest.fail "unexpected put_batch response");
           batch := []
@@ -407,6 +407,272 @@ let test_migration_crash_safety () =
       | Error _ -> ()
       | Ok _ -> Alcotest.fail "read of a half-migrated range served silently")
 
+(* ------------------------------------------------------------------ *)
+(* Session consistency (docs/SESSIONS.md): read-your-writes across the
+   cluster, asserted without a single poll — the stamped read itself
+   must wait, refetch, or fail [Stale]; it never answers early.         *)
+
+module Session = Pequod_server_lib.Session
+
+(* Write through a home, read through TWO compute servers that both
+   materialized the timeline BEFORE the write (so each holds a copy the
+   push must catch up): a stamped scan demanding the write's ack vector
+   must include the new post on the very first call, on whichever
+   compute it lands. *)
+let test_session_read_your_writes () =
+  let pids = ref [] in
+  let clients = ref [] in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun c -> try Net_client.close c with _ -> ()) !clients;
+      List.iter
+        (fun pid ->
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+        !pids)
+    (fun () ->
+      let start args =
+        let pid, out = spawn args in
+        pids := pid :: !pids;
+        let port = read_port out in
+        (pid, port)
+      in
+      let client port =
+        let c = Net_client.create ~host:"127.0.0.1" ~port () in
+        clients := c :: !clients;
+        c
+      in
+      let _, port_s = start [ "--port"; "0" ] in
+      let _, port_p = start [ "--port"; "0" ] in
+      let compute_args =
+        [ "--port"; "0"; "--join"; timeline_join;
+          "--partition"; Printf.sprintf "s@127.0.0.1:%d" port_s;
+          "--partition"; Printf.sprintf "p@127.0.0.1:%d" port_p ]
+      in
+      let _, port_c1 = start compute_args in
+      let _, port_c2 = start compute_args in
+      let home_s = client port_s in
+      let home_p = client port_p in
+      let compute1 = client port_c1 in
+      let compute2 = client port_c2 in
+
+      put_ok home_s "s|ann|bob" "1";
+      put_ok home_p "p|bob|0000000100" "hi";
+      (* both computes materialize the timeline: present, subscribed
+         copies that a later write makes stale until the push lands *)
+      List.iter
+        (fun compute ->
+          match scan_pairs compute "t|ann|" "t|ann}" with
+          | Ok [ ("t|ann|0000000100|bob", "hi") ] -> ()
+          | Ok pairs -> Alcotest.failf "warm scan: %d pairs" (List.length pairs)
+          | Error msg -> Alcotest.failf "warm scan failed: %s" msg)
+        [ compute1; compute2 ];
+
+      (* the writing session lives on the home owning p; reader sessions
+         on each compute receive its vector via the stamp handoff *)
+      let writer = Session.create home_p in
+      let reader1 = Session.create compute1 in
+      let reader2 = Session.create compute2 in
+      check_bool "fresh session demands nothing" true (Session.stamp writer = []);
+      for i = 1 to 8 do
+        let time = 100 + i in
+        let key = Printf.sprintf "p|bob|%010d" time in
+        Session.put writer key (Printf.sprintf "post-%d" i);
+        check_bool "write ack carried a stamp" true (Session.stamp writer <> []);
+        (* alternate computes so both serve stamped reads demanding a
+           write they may not have been pushed yet *)
+        let reader = if i mod 2 = 0 then reader1 else reader2 in
+        Session.with_at_least reader (Session.stamp writer);
+        let pairs = Session.scan reader ~lo:"t|ann|" ~hi:"t|ann}" in
+        let tkey = Printf.sprintf "t|ann|%010d|bob" time in
+        check_bool
+          (Printf.sprintf "stamped scan %d sees the write first try" i)
+          true
+          (List.assoc_opt tkey pairs = Some (Printf.sprintf "post-%d" i))
+      done;
+      (* Session.get takes the same gate *)
+      check_bool "stamped get sees the last write" true
+        (Session.get reader1 "t|ann|0000000108|bob" = Some "post-8");
+      check_bool "computes served stamped reads" true
+        (counter_of compute1 "session.reads" + counter_of compute2 "session.reads" >= 9))
+
+(* A session's guarantee must survive a live migration: acked stamps are
+   handed to the new home before the epoch flips (its counter continues,
+   never restarts), so post-flip acks stay comparable and a stamped read
+   through either server sees the post-flip write. *)
+let test_session_across_migration () =
+  let pids = ref [] in
+  let clients = ref [] in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun c -> try Net_client.close c with _ -> ()) !clients;
+      List.iter
+        (fun pid ->
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+        !pids)
+    (fun () ->
+      let start args =
+        let pid, out = spawn args in
+        pids := pid :: !pids;
+        let port = read_port out in
+        (pid, port)
+      in
+      let client port =
+        let c = Net_client.create ~host:"127.0.0.1" ~port () in
+        clients := c :: !clients;
+        c
+      in
+      let _, port_a = start [ "--port"; "0"; "--dir-host"; "--partition"; "s" ] in
+      let addr_a = Printf.sprintf "127.0.0.1:%d" port_a in
+      let _, port_b = start [ "--port"; "0"; "--directory"; addr_a ] in
+      let addr_b = Printf.sprintf "127.0.0.1:%d" port_b in
+      let home_a = client port_a in
+      let home_b = client port_b in
+
+      for i = 1 to 99 do
+        put_ok home_a (Printf.sprintf "s|u%03d" i) (Printf.sprintf "v%03d" i)
+      done;
+      let stamp_covering session key =
+        match
+          List.find_opt
+            (fun (table, lo, hi, _) ->
+              table = "s" && String.compare lo key <= 0 && String.compare key hi < 0)
+            (Session.stamp session)
+        with
+        | Some (_, _, _, s) -> s
+        | None -> Alcotest.failf "no session stamp covers %s" key
+      in
+      let writer = Session.create home_a in
+      Session.put writer "s|u075" "pre-move";
+      let pre_stamp = stamp_covering writer "s|u075" in
+
+      (match
+         Net_client.call home_a
+           (Message.Migrate { table = "s"; lo = "s|u050"; hi = "s}"; dest = addr_b })
+       with
+      | Message.Pairs _ -> ()
+      | Message.Error msg -> Alcotest.failf "migrate failed: %s" msg
+      | _ -> Alcotest.fail "unexpected migrate response");
+      poll ~timeout:10.0 ~what:"follower to adopt the new epoch" (fun () ->
+          fst (dir_state home_b) = 2);
+
+      (* the same session writes through the OLD home: the write is
+         forwarded to the new one and its ack stamp must continue past
+         every pre-migration ack — a restarted counter would issue
+         stamps the session's accumulated vector already exceeds *)
+      Session.put writer "s|u075" "post-move";
+      let post_stamp = stamp_covering writer "s|u075" in
+      check_bool
+        (Printf.sprintf "stamp continues across the flip (%d > %d)" post_stamp pre_stamp)
+        true (post_stamp > pre_stamp);
+
+      (* stamped reads demanding the full vector see the post-flip write
+         through either server, first try *)
+      List.iter
+        (fun c ->
+          let reader = Session.create c in
+          Session.with_at_least reader (Session.stamp writer);
+          check_bool "stamped read sees the post-migration write" true
+            (Session.get reader "s|u075" = Some "post-move"))
+        [ home_a; home_b ])
+
+(* A demand the server cannot prove must fail [Stale], never be served
+   from derived data the push never refreshed. Kill the home owning a
+   demanded range: a stamped read demanding a version past the
+   compute's copy parks, tries to refetch, finds the owner dead and
+   answers the typed [Stale] — while plain (eventual) reads keep
+   serving the old timeline. A respawned owner then heals the next
+   stamped read end to end. *)
+let test_session_stale_on_dead_owner () =
+  let pids = ref [] in
+  let clients = ref [] in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun c -> try Net_client.close c with _ -> ()) !clients;
+      List.iter
+        (fun pid ->
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+        !pids)
+    (fun () ->
+      let start args =
+        let pid, out = spawn args in
+        pids := pid :: !pids;
+        let port = read_port out in
+        (pid, port)
+      in
+      let client port =
+        let c = Net_client.create ~host:"127.0.0.1" ~port () in
+        clients := c :: !clients;
+        c
+      in
+      let _, port_s = start [ "--port"; "0" ] in
+      let pid_p, port_p = start [ "--port"; "0" ] in
+      let _, port_c =
+        start
+          [ "--port"; "0"; "--join"; timeline_join;
+            "--partition"; Printf.sprintf "s@127.0.0.1:%d" port_s;
+            "--partition"; Printf.sprintf "p@127.0.0.1:%d" port_p ]
+      in
+      let home_s = client port_s in
+      let home_p = client port_p in
+      let compute = client port_c in
+
+      put_ok home_s "s|ann|bob" "1";
+      let writer = Session.create home_p in
+      Session.put writer "p|bob|0000000100" "hi";
+      (* the compute materializes the timeline: a present, subscribed
+         copy of the p|bob| slice with the ack's stamp recorded *)
+      (match scan_pairs compute "t|ann|" "t|ann}" with
+      | Ok [ ("t|ann|0000000100|bob", "hi") ] -> ()
+      | Ok pairs -> Alcotest.failf "warm scan: %d pairs" (List.length pairs)
+      | Error msg -> Alcotest.failf "warm scan failed: %s" msg);
+      let reader = Session.create compute in
+      Session.with_at_least reader (Session.stamp writer);
+      check_bool "stamped scan satisfied by the caught-up copy" true
+        (List.mem_assoc "t|ann|0000000100|bob"
+           (Session.scan reader ~lo:"t|ann|" ~hi:"t|ann}"));
+
+      (* kill the owner, then demand one version past anything the
+         compute holds — the shape of an acked write whose push died
+         with its home. Serving the resident timeline would present
+         stale data as fresh; the only honest answer is [Stale]. *)
+      Unix.kill pid_p Sys.sigkill;
+      ignore (Unix.waitpid [] pid_p);
+      Session.with_at_least reader
+        (List.map (fun (t, lo, hi, s) -> (t, lo, hi, s + 1)) (Session.stamp writer));
+      (match Session.scan reader ~lo:"t|ann|" ~hi:"t|ann}" with
+      | pairs ->
+        Alcotest.failf "unprovable demand served %d pairs instead of Stale"
+          (List.length pairs)
+      | exception Session.Stale (_ :: _) -> ());
+      check_bool "stale failure counted" true
+        (counter_of compute "session.stale_errors" >= 1);
+      (* eventual-mode reads are untouched: the old timeline still serves *)
+      (match scan_pairs compute "t|ann|" "t|ann}" with
+      | Ok pairs ->
+        check_bool "plain scan still serves the old copy" true
+          (List.mem_assoc "t|ann|0000000100|bob" pairs)
+      | Error msg -> Alcotest.failf "plain scan failed: %s" msg);
+
+      (* a respawned owner makes demands provable again: the dropped
+         slice refetches from the live process during the stamped read *)
+      let _, port_p2 = start [ "--port"; string_of_int port_p ] in
+      check_bool "respawned on the same port" true (port_p2 = port_p);
+      let writer2 = Session.create (client port_p) in
+      Session.put writer2 "p|bob|0000000100" "hi";
+      Session.put writer2 "p|bob|0000000200" "again";
+      let reader2 = Session.create compute in
+      Session.with_at_least reader2 (Session.stamp writer2);
+      (* the fetcher's dead-peer backoff may still cover the respawned
+         port for a moment; Stale is retryable by contract *)
+      poll ~timeout:10.0 ~what:"stamped read healing through the respawned owner"
+        (fun () ->
+          match Session.scan reader2 ~lo:"t|ann|" ~hi:"t|ann}" with
+          | pairs -> List.mem_assoc "t|ann|0000000200|bob" pairs
+          | exception Session.Stale _ -> false))
+
 let () =
   Alcotest.run "net-cluster"
     [
@@ -416,5 +682,14 @@ let () =
           Alcotest.test_case "migrate then verify" `Quick test_migrate_then_verify;
           Alcotest.test_case "kill -9 source mid-migration" `Quick
             test_migration_crash_safety;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "read-your-writes across computes" `Quick
+            test_session_read_your_writes;
+          Alcotest.test_case "session across live migrate" `Quick
+            test_session_across_migration;
+          Alcotest.test_case "stale on dead owner" `Quick
+            test_session_stale_on_dead_owner;
         ] );
     ]

@@ -245,6 +245,34 @@ let test_rotation_compaction () =
   Server.validate s2;
   Persist.close p2
 
+(* Version stamps are durable (snapshot v2): a stamp acked to a session
+   before the crash is still satisfied after recovery, whether it was
+   covered by the snapshot or only by replayed log records. *)
+let test_stamps_survive_recovery () =
+  let dir = fresh_dir () in
+  let s, p = durable_server dir in
+  Server.put s "b|one" "1";
+  Server.put s "b|two" "2";
+  Persist.snapshot_now p;
+  Server.put s "b|three" "3";
+  (* the stamp a session would have accumulated from its write acks *)
+  let acked = Server.stamps_for_keys s [ "b|three" ] in
+  check_bool "ack stamped" true (acked <> []);
+  Persist.close p;
+  let s2, p2 = durable_server dir in
+  check_bool "acked stamp satisfied after recovery" true
+    (List.for_all
+       (fun (table, lo, hi, stamp) -> Server.range_stamp s2 ~table ~lo ~hi >= stamp)
+       acked);
+  check_bool "stamped read would not block" true
+    (Server.stamp_unsatisfied s2 acked = []);
+  (* new writes keep the counter moving past the recovered level *)
+  let before = Server.range_stamp s2 ~table:"b" ~lo:"b|" ~hi:"b}" in
+  Server.put s2 "b|four" "4";
+  check_bool "stamps advance after recovery" true
+    (Server.range_stamp s2 ~table:"b" ~lo:"b|" ~hi:"b}" > before);
+  Persist.close p2
+
 (* Size-based rotation: a tiny wal-max-bytes forces snapshot+rotate. *)
 let test_size_rotation () =
   let dir = fresh_dir () in
@@ -360,6 +388,8 @@ let () =
             test_refetch_after_recovery;
           Alcotest.test_case "owned ranges survive recovery" `Quick
             test_ownership_survives_recovery;
+          Alcotest.test_case "stamps survive recovery" `Quick
+            test_stamps_survive_recovery;
         ] );
       ( "faults",
         [

@@ -53,8 +53,19 @@ let requests =
     Message.Notify_remove "p|bob|0100";
     Message.Put_batch [ ("p|bob|0100", "hello"); ("s|ann|bob", "1") ];
     Message.Put_batch [];
-    Message.Notify_batch [ ("p|bob|0100", Some "hi"); ("s|ann|bob", None) ];
-    Message.Notify_batch [];
+    Message.Notify_batch
+      { items = [ ("p|bob|0100", Some "hi"); ("s|ann|bob", None) ]; stamps = [] };
+    Message.Notify_batch
+      { items = [ ("p|bob|0100", Some "hi") ];
+        stamps = [ ("p", "p|bob|", "p|bob}", 12); ("s", "s|", "s}", 3) ] };
+    Message.Notify_batch { items = []; stamps = [] };
+    Message.Get_at { key = "t|ann|0100|bob"; min = [] };
+    Message.Get_at
+      { key = "t|ann|0100|bob"; min = [ ("p", "p|bob|", "p|bob}", 7) ] };
+    Message.Scan_at { lo = "t|ann|"; hi = "t|ann}"; min = [] };
+    Message.Scan_at
+      { lo = "t|ann|"; hi = "t|ann}";
+        min = [ ("p", "p|", "p}", 9); ("s", "s|ann|", "s|ann}", 2) ] };
     Message.Stats_full;
     Message.Sub_check { subscriber = "10.0.0.7:7077" };
     Message.Sub_check { subscriber = "" };
@@ -83,8 +94,12 @@ let responses =
     Message.Pairs [ ("a", "1"); ("b", "2") ];
     Message.Pairs [];
     Message.Welcome { version = Message.protocol_version };
-    Message.Subscribed [ ("p|bob|0100", "hi") ];
-    Message.Subscribed [];
+    Message.Subscribed { stamp = 4; pairs = [ ("p|bob|0100", "hi") ] };
+    Message.Subscribed { stamp = 0; pairs = [] };
+    Message.Stamps [ ("p", "p|bob|0100", "p|bob|0100\x00", 12) ];
+    Message.Stamps [];
+    Message.Stale [ ("p", "p|", "p}", 9); ("s", "s|", "s}", 2) ];
+    Message.Stale [];
     Message.Sub_ranges [ ("p", "p|a", "p|b"); ("s", "s|", "s}") ];
     Message.Sub_ranges [];
     Message.Error "boom";
@@ -191,28 +206,34 @@ let test_loopback_server () =
     = Message.Done);
   check_bool "bad join reported" true
     (match rpc (Message.Add_join "nonsense") with Message.Error _ -> true | _ -> false);
-  check_bool "put" true (rpc (Message.Put ("s|ann|bob", "1")) = Message.Done);
-  check_bool "put post" true (rpc (Message.Put ("p|bob|0100", "hi")) = Message.Done);
+  (* v3: write acks carry the stamp vector for the written keys *)
+  let is_ack = function Message.Stamps _ -> true | _ -> false in
+  check_bool "put" true (is_ack (rpc (Message.Put ("s|ann|bob", "1"))));
+  check_bool "put post" true (is_ack (rpc (Message.Put ("p|bob|0100", "hi"))));
   (match rpc (Message.Scan { lo = "t|ann|"; hi = "t|ann}" }) with
   | Message.Pairs [ ("t|ann|0100|bob", "hi") ] -> ()
   | _ -> Alcotest.fail "scan through the wire");
   (match rpc (Message.Get "t|ann|0100|bob") with
   | Message.Value (Some "hi") -> ()
   | _ -> Alcotest.fail "get through the wire");
-  check_bool "remove" true (rpc (Message.Remove "p|bob|0100") = Message.Done);
+  check_bool "remove" true (is_ack (rpc (Message.Remove "p|bob|0100")));
   (match rpc (Message.Scan { lo = "t|ann|"; hi = "t|ann}" }) with
   | Message.Pairs [] -> ()
   | _ -> Alcotest.fail "timeline empty after remove");
   (* a batch through the wire lands in source tables AND fires updaters *)
   check_bool "put_batch" true
-    (rpc (Message.Put_batch [ ("p|bob|0200", "yo"); ("p|bob|0150", "lo"); ("s|ann|cal", "1") ])
-    = Message.Done);
+    (is_ack
+       (rpc
+          (Message.Put_batch
+             [ ("p|bob|0200", "yo"); ("p|bob|0150", "lo"); ("s|ann|cal", "1") ])));
   (match rpc (Message.Scan { lo = "t|ann|"; hi = "t|ann}" }) with
   | Message.Pairs [ ("t|ann|0150|bob", "lo"); ("t|ann|0200|bob", "yo") ] -> ()
   | _ -> Alcotest.fail "timeline after put_batch");
   (* notify batches interleave puts and removes in source-write order *)
   check_bool "notify_batch" true
-    (rpc (Message.Notify_batch [ ("p|bob|0150", None); ("p|bob|0150", Some "re") ])
+    (rpc
+       (Message.Notify_batch
+          { items = [ ("p|bob|0150", None); ("p|bob|0150", Some "re") ]; stamps = [] })
     = Message.Done);
   (match rpc (Message.Get "t|ann|0150|bob") with
   | Message.Value (Some "re") -> ()
@@ -233,6 +254,10 @@ let test_rng_all_variants () =
   in
   let rand_pairs () =
     List.init (Rng.int rng 4) (fun _ -> (rand_string (), rand_string ()))
+  in
+  let rand_stamps () =
+    List.init (Rng.int rng 4) (fun _ ->
+        (rand_string (), rand_string (), rand_string (), Rng.int rng 1_000_000))
   in
   let rand_entries () =
     List.init (Rng.int rng 3) (fun _ ->
@@ -256,9 +281,11 @@ let test_rng_all_variants () =
     | 8 -> Message.Put_batch (rand_pairs ())
     | 9 ->
       Message.Notify_batch
-        (List.init (Rng.int rng 4) (fun _ ->
-             ( rand_string (),
-               if Rng.int rng 2 = 0 then Some (rand_string ()) else None )))
+        { items =
+            List.init (Rng.int rng 4) (fun _ ->
+                ( rand_string (),
+                  if Rng.int rng 2 = 0 then Some (rand_string ()) else None ));
+          stamps = rand_stamps () }
     | 10 -> Message.Hello { version = Rng.int rng 1_000 }
     | 11 -> Message.Sub_check { subscriber = rand_string () }
     | 12 -> Message.Dir_get
@@ -268,6 +295,9 @@ let test_rng_all_variants () =
       Message.Migrate
         { table = rand_string (); lo = rand_string (); hi = rand_string ();
           dest = rand_string () }
+    | 16 -> Message.Get_at { key = rand_string (); min = rand_stamps () }
+    | 17 ->
+      Message.Scan_at { lo = rand_string (); hi = rand_string (); min = rand_stamps () }
     | _ -> Message.Stats_full
   in
   let rand_response variant =
@@ -277,11 +307,13 @@ let test_rng_all_variants () =
     | 2 -> Message.Value (Some (rand_string ()))
     | 3 -> Message.Pairs (rand_pairs ())
     | 4 -> Message.Welcome { version = Rng.int rng 1_000 }
-    | 5 -> Message.Subscribed (rand_pairs ())
+    | 5 -> Message.Subscribed { stamp = Rng.int rng 1_000_000; pairs = rand_pairs () }
     | 6 ->
       Message.Sub_ranges
         (List.init (Rng.int rng 4) (fun _ -> (rand_string (), rand_string (), rand_string ())))
     | 7 -> Message.Dir_state { epoch = Rng.int rng 1_000; entries = rand_entries () }
+    | 8 -> Message.Stamps (rand_stamps ())
+    | 9 -> Message.Stale (rand_stamps ())
     | _ -> Message.Error (rand_string ())
   in
   let truncations_raise what wire decode =
@@ -292,13 +324,13 @@ let test_rng_all_variants () =
     done
   in
   for round = 1 to 50 do
-    for variant = 0 to 16 do
+    for variant = 0 to 18 do
       let req = rand_request variant in
       let wire = Message.encode_request req in
       check_bool "request round-trips" true (Message.decode_request wire = req);
       if round <= 5 then truncations_raise "request" wire Message.decode_request
     done;
-    for variant = 0 to 8 do
+    for variant = 0 to 10 do
       let resp = rand_response variant in
       let wire = Message.encode_response resp in
       check_bool "response round-trips" true (Message.decode_response wire = resp);

@@ -19,6 +19,9 @@ module Frame = Pequod_proto.Frame
 
 let check_bool = Alcotest.(check bool)
 
+(* v3 write acks carry a stamp vector instead of a bare Done *)
+let is_ack = function Message.Stamps _ | Message.Done -> true | _ -> false
+
 let timeline_join = "t|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time>"
 
 (* ------------------------------------------------------------------ *)
@@ -82,14 +85,13 @@ let replay ?want client issued ops =
       match op with
       | T_put (k, v) ->
         incr issued;
-        check_bool "put" true (Net_client.call client (Message.Put (k, v)) = Message.Done)
+        check_bool "put" true (is_ack (Net_client.call client (Message.Put (k, v))))
       | T_batch pairs ->
         incr issued;
-        check_bool "batch" true
-          (Net_client.call client (Message.Put_batch pairs) = Message.Done)
+        check_bool "batch" true (is_ack (Net_client.call client (Message.Put_batch pairs)))
       | T_remove k ->
         incr issued;
-        check_bool "remove" true (Net_client.call client (Message.Remove k) = Message.Done)
+        check_bool "remove" true (is_ack (Net_client.call client (Message.Remove k)))
       | T_scan (lo, hi) ->
         let reference = Option.map (fun w -> List.assoc i w) want in
         let deadline = Unix.gettimeofday () +. 5.0 in
@@ -178,10 +180,9 @@ let test_transcript_equivalence () =
    the owner directly, a sibling via forward, and the public scan *)
 let test_cross_shard_freshness () =
   with_shard_server ~cuts:[ "b"; "d" ] ~shards:3 (fun _ client ->
-      check_bool "sub" true
-        (Net_client.call client (Message.Put ("s|ann|dee", "1")) = Message.Done);
+      check_bool "sub" true (is_ack (Net_client.call client (Message.Put ("s|ann|dee", "1"))));
       check_bool "post" true
-        (Net_client.call client (Message.Put ("p|dee|0042", "hello")) = Message.Done);
+        (is_ack (Net_client.call client (Message.Put ("p|dee|0042", "hello"))));
       (* ann (shard 0) follows dee (shard 2): the timeline join on ann's
          shard must fetch dee's posts across shards *)
       let deadline = Unix.gettimeofday () +. 5.0 in
@@ -197,7 +198,7 @@ let test_cross_shard_freshness () =
       (* a later post must arrive through the subscription push, not a
          refetch: write, then watch the already-materialized timeline *)
       check_bool "post2" true
-        (Net_client.call client (Message.Put ("p|dee|0043", "again")) = Message.Done);
+        (is_ack (Net_client.call client (Message.Put ("p|dee|0043", "again"))));
       let rec wait2 () =
         match scan_of client "t|ann|" "t|ann}" with
         | [ _; ("t|ann|0043|dee", "again") ] -> ()
@@ -274,7 +275,7 @@ let assert_still_serving t =
     ~finally:(fun () -> Unix.close fd)
     (fun () ->
       check_bool "still serving" true
-        (rpc t fd (Message.Put ("health|k", "ok")) = Message.Done);
+        (is_ack (rpc t fd (Message.Put ("health|k", "ok"))));
       match rpc t fd (Message.Get "health|k") with
       | Message.Value (Some "ok") -> ()
       | _ -> Alcotest.fail "server wedged after torture case")
@@ -317,7 +318,7 @@ let torture ~backend () =
             | _ -> ()
           done;
           match List.rev !responses with
-          | [ Message.Welcome _; Message.Done; Message.Value (Some "1") ] -> ()
+          | [ Message.Welcome _; (Message.Done | Message.Stamps _); Message.Value (Some "1") ] -> ()
           | _ -> Alcotest.fail "byte-at-a-time session");
       (* truncated frame: a header promising 100 bytes, 10 delivered,
          then disconnect — the server must just drop the connection *)
@@ -347,7 +348,7 @@ let torture ~backend () =
           | Message.Error _ -> ()
           | _ -> Alcotest.fail "garbage tag must answer an error");
           check_bool "session survives garbage" true
-            (rpc t fd (Message.Put ("b|two", "2")) = Message.Done));
+            (is_ack (rpc t fd (Message.Put ("b|two", "2")))));
       (* mid-handshake disconnect: half a Hello then EOF *)
       let fd = connect t in
       let hello =
@@ -430,7 +431,7 @@ let test_fd_scale () =
             | [] -> read_done ()
           in
           match read_done () with
-          | Message.Done -> ()
+          | Message.Done | Message.Stamps _ -> ()
           | _ -> Alcotest.failf "put %d under fd pressure" i)
         !fds;
       (* all writes landed, served through one epoll loop *)

@@ -18,7 +18,9 @@ for key in '"benchmark"' '"cluster"' '"commit"' '"date"' '"qps"' \
   '"login"' '"check"' '"subscribe"' '"post"' '"p50"' '"p95"' '"p99"' \
   '"shards"' '"nproc"' \
   '"fetch_per_read"' '"fetch_wait_p50_us"' '"fetch_wait_p95_us"' \
-  '"fetch_wait_p99_us"' '"scan_parked"' '"fetch_coalesced"'; do
+  '"fetch_wait_p99_us"' '"scan_parked"' '"fetch_coalesced"' \
+  '"sessions"' '"stale_read_rate"' '"stale_reads"' '"fresh_reads"' \
+  '"session_reads"'; do
   if ! grep -q "$key" "$f"; then
     echo "FAIL: $f lacks $key" >&2
     status=1
